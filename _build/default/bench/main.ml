@@ -1,0 +1,112 @@
+(* Benchmark / reproduction harness.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     dune exec bench/main.exe                 -- everything, quick scale
+     dune exec bench/main.exe -- --full       -- paper scale (5 runs, 24-48 vh)
+     dune exec bench/main.exe -- --exp t2     -- a single experiment
+     dune exec bench/main.exe -- --exp micro  -- Bechamel micro-benchmarks
+
+   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro. *)
+
+let ppf = Format.std_formatter
+
+let micro () =
+  let open Bechamel in
+  let caps = Nf_cpu.Vmx_caps.alder_lake in
+  let validator = Nf_validator.Validator.create caps in
+  let rng = Nf_stdext.Rng.create 99 in
+  let raw = Nf_fuzzer.Input.random rng in
+  let golden = Nf_validator.Golden.vmcs caps in
+  let test_round =
+    Test.make ~name:"validator-round"
+      (Staged.stage (fun () ->
+           let vmcs = Nf_vmcs.Vmcs.of_blob (Nf_harness.Layout.vmcs_raw_bytes raw) in
+           Nf_validator.Validator.round validator vmcs))
+  in
+  let test_enter =
+    Test.make ~name:"cpu-vmentry-checks"
+      (Staged.stage (fun () -> ignore (Nf_cpu.Vmx_cpu.enter ~caps golden)))
+  in
+  let test_exec =
+    Test.make ~name:"harness-execution"
+      (Staged.stage (fun () ->
+           let san = Nf_sanitizer.Sanitizer.create () in
+           let hv =
+             Nf_kvm.Kvm.pack_intel ~features:Nf_cpu.Features.default
+               ~sanitizer:san
+           in
+           ignore
+             (Nf_harness.Executor.run ~hv ~vmx_validator:validator
+                ~svm_validator:(Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+                ~ablation:Nf_harness.Executor.full_ablation
+                ~features:Nf_cpu.Features.default ~input:raw)))
+  in
+  let test_blob =
+    Test.make ~name:"vmcs-blob-roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Nf_vmcs.Vmcs.of_blob (Nf_vmcs.Vmcs.to_blob golden))))
+  in
+  let test_hamming =
+    Test.make ~name:"vmcs-hamming"
+      (Staged.stage (fun () -> ignore (Nf_vmcs.Vmcs.hamming golden golden)))
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let results = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.fprintf ppf "%-24s %12.1f ns/run@." name est
+        | _ -> Format.fprintf ppf "%-24s (no estimate)@." name)
+      results
+  in
+  Format.fprintf ppf "@.== Micro-benchmarks (Bechamel) ==@.";
+  List.iter
+    (fun t -> benchmark (Test.make_grouped ~name:"necofuzz" [ t ]))
+    [ test_round; test_enter; test_exec; test_blob; test_hamming ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    if List.mem "--full" args then Necofuzz.Experiments.full
+    else Necofuzz.Experiments.quick
+  in
+  let exp =
+    let rec find = function
+      | "--exp" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let module E = Necofuzz.Experiments in
+  Format.fprintf ppf
+    "NecoFuzz reproduction bench (%s scale: %d runs, %.0f vh KVM)@."
+    (if scale == E.full then "full" else "quick")
+    scale.E.runs scale.E.kvm_hours;
+  (match exp with
+  | None -> E.run_all ~scale ppf
+  | Some "t1" -> E.print_t1 ppf
+  | Some "t2" ->
+      let t2 = E.run_t2 scale in
+      E.print_t2 ppf t2
+  | Some "f3" ->
+      let t2 = E.run_t2 scale in
+      E.print_f3 ppf t2
+  | Some "t3" -> E.print_t3 ppf (E.run_t3 scale)
+  | Some "f4" -> E.print_f4 ppf (E.run_t3 scale)
+  | Some "f5" -> E.print_f5 ppf (E.run_f5 scale)
+  | Some "t4" -> E.print_t4 ppf (E.run_t4 scale)
+  | Some "t5" -> E.print_t5 ppf (E.run_t5 scale)
+  | Some "t6" -> E.print_t6 ppf (E.run_t6 scale)
+  | Some "lessons" -> E.print_lessons ppf (E.run_lessons scale)
+  | Some "micro" -> micro ()
+  | Some other -> Format.fprintf ppf "unknown experiment %S@." other);
+  Format.pp_print_flush ppf ()

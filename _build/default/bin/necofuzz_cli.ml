@@ -1,0 +1,209 @@
+(* Command-line front end.
+
+     necofuzz fuzz --target kvm-intel --hours 12 --seed 3
+     necofuzz fuzz --target vbox --hours 4          (black-box)
+     necofuzz fuzz --target kvm-amd --no-validator  (ablation)
+     necofuzz experiment t2 --full
+     necofuzz list-checks *)
+
+open Cmdliner
+
+let target_conv =
+  let parse = function
+    | "kvm-intel" -> Ok Necofuzz.Kvm_intel
+    | "kvm-amd" -> Ok Necofuzz.Kvm_amd
+    | "xen-intel" -> Ok Necofuzz.Xen_intel
+    | "xen-amd" -> Ok Necofuzz.Xen_amd
+    | "vbox" -> Ok Necofuzz.Vbox
+    | s -> Error (`Msg (Printf.sprintf "unknown target %S" s))
+  in
+  let print ppf t = Format.fprintf ppf "%s" (Necofuzz.Agent.target_name t) in
+  Arg.conv (parse, print)
+
+let fuzz_cmd =
+  let target =
+    Arg.(
+      value
+      & opt target_conv Necofuzz.Kvm_intel
+      & info [ "target"; "t" ] ~docv:"TARGET"
+          ~doc:"L0 hypervisor: kvm-intel, kvm-amd, xen-intel, xen-amd, vbox.")
+  in
+  let hours =
+    Arg.(
+      value & opt float 12.0
+      & info [ "hours" ] ~docv:"H" ~doc:"Virtual campaign duration in hours.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let blind =
+    Arg.(
+      value & flag
+      & info [ "blind" ] ~doc:"Disable coverage guidance (black-box mode).")
+  in
+  let no_harness =
+    Arg.(
+      value & flag
+      & info [ "no-exec-harness" ]
+          ~doc:"Ablation: freeze the VM execution harness templates.")
+  in
+  let no_validator =
+    Arg.(
+      value & flag
+      & info [ "no-validator" ] ~doc:"Ablation: disable the VM state validator.")
+  in
+  let no_configurator =
+    Arg.(
+      value & flag
+      & info [ "no-configurator" ] ~doc:"Ablation: disable the vCPU configurator.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Persist crash reproducers and a campaign summary to DIR.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Minimize each crash reproducer before reporting (afl-tmin style).")
+  in
+  let run target hours seed blind no_harness no_validator no_configurator
+      corpus_dir minimize =
+    let ablation =
+      {
+        Necofuzz.Executor.use_exec_harness = not no_harness;
+        generation =
+          (if no_validator then Necofuzz.Executor.Template
+           else Necofuzz.Executor.Boundary);
+        use_configurator = not no_configurator;
+      }
+    in
+    let cfg =
+      Necofuzz.campaign ~guided:(not blind) ~seed ~ablation ~target ~hours ()
+    in
+    Format.printf "fuzzing %s for %.1f virtual hours (seed %d)...@."
+      (Necofuzz.Agent.target_name target)
+      hours seed;
+    let r = Necofuzz.run cfg in
+    Format.printf
+      "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
+      r.execs r.corpus_size r.restarts (Necofuzz.coverage_pct r);
+    List.iter (fun c -> Format.printf "%a@." Necofuzz.pp_crash c) r.crashes;
+    if minimize then
+      List.iter
+        (fun (c : Necofuzz.crash) ->
+          let marker = String.sub c.message 0 (min 24 (String.length c.message)) in
+          let crashes =
+            Nf_agent.Minimize.crash_predicate ~target ~ablation ~marker
+          in
+          let minimal, calls = Nf_agent.Minimize.minimize ~crashes c.reproducer in
+          Format.printf
+            "minimized %S: %d -> %d non-zero bytes (%d executions)@." marker
+            (Nf_agent.Minimize.nonzero_bytes c.reproducer)
+            (Nf_agent.Minimize.nonzero_bytes minimal)
+            calls)
+        r.crashes;
+    match corpus_dir with
+    | Some dir ->
+        let corpus = Nf_agent.Corpus.create ~dir in
+        let paths = Nf_agent.Corpus.persist_result corpus r in
+        Format.printf "saved %d crash reproducer(s) under %s@."
+          (List.length paths) dir
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against a simulated L0 hypervisor.")
+    Term.(
+      const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
+      $ no_configurator $ corpus_dir $ minimize)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons all.")
+  in
+  let full_scale =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper scale (5 runs, 24-48 vh).")
+  in
+  let run which full_scale =
+    let scale =
+      if full_scale then Necofuzz.Experiments.full else Necofuzz.Experiments.quick
+    in
+    let ppf = Format.std_formatter in
+    let module E = Necofuzz.Experiments in
+    (match which with
+    | "all" -> E.run_all ~scale ppf
+    | "t1" -> E.print_t1 ppf
+    | "t2" -> E.print_t2 ppf (E.run_t2 scale)
+    | "f3" -> E.print_f3 ppf (E.run_t2 scale)
+    | "t3" -> E.print_t3 ppf (E.run_t3 scale)
+    | "f4" -> E.print_f4 ppf (E.run_t3 scale)
+    | "f5" -> E.print_f5 ppf (E.run_f5 scale)
+    | "t4" -> E.print_t4 ppf (E.run_t4 scale)
+    | "t5" -> E.print_t5 ppf (E.run_t5 scale)
+    | "t6" -> E.print_t6 ppf (E.run_t6 scale)
+    | "lessons" -> E.print_lessons ppf (E.run_lessons scale)
+    | other -> Format.fprintf ppf "unknown experiment %S@." other);
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce a table or figure from the paper.")
+    Term.(const run $ which $ full_scale)
+
+let list_checks_cmd =
+  let run () =
+    Format.printf "VMX VM-entry consistency checks:@.";
+    List.iter
+      (fun (c : Nf_cpu.Vmx_checks.check) ->
+        Format.printf "  %-32s [%s] %s@." c.id
+          (Nf_cpu.Vmx_checks.group_name c.group)
+          c.doc)
+      Nf_cpu.Vmx_checks.all;
+    Format.printf "@.SVM VMRUN consistency checks:@.";
+    List.iter
+      (fun (c : Nf_cpu.Svm_checks.check) ->
+        Format.printf "  %-32s %s@." c.id c.doc)
+      Nf_cpu.Svm_checks.all
+  in
+  Cmd.v
+    (Cmd.info "list-checks"
+       ~doc:"List the architectural consistency checks in the model.")
+    Term.(const run $ const ())
+
+let validate_model_cmd =
+  let samples =
+    Arg.(
+      value & opt int 10000
+      & info [ "samples" ] ~docv:"N" ~doc:"Boundary states to test.")
+  in
+  let run samples =
+    let report =
+      Necofuzz.Oracle_campaign.run ~samples ~caps:Nf_cpu.Vmx_caps.alder_lake
+        ~seed:1 ()
+    in
+    Format.printf "%a" Necofuzz.Oracle_campaign.pp report;
+    Format.printf "@.legacy-Bochs regression (the two bugs of §4.3):@.";
+    List.iter
+      (fun (name, exposed) ->
+        Format.printf "  %-45s %s@." name
+          (if exposed then "exposed by the oracle" else "NOT exposed"))
+      (Necofuzz.Oracle_campaign.run_with_legacy_bochs_checks
+         ~caps:Nf_cpu.Vmx_caps.alder_lake ())
+  in
+  Cmd.v
+    (Cmd.info "validate-model"
+       ~doc:
+         "Differential-test the VM state validator against the hardware           oracle (the self-correction loop of the paper's Sec. 3.4).")
+    Term.(const run $ samples)
+
+let () =
+  let info =
+    Cmd.info "necofuzz" ~version:"1.0.0"
+      ~doc:"Fuzzing nested virtualization via fuzz-harness VMs (simulated substrate)"
+  in
+  exit (Cmd.eval (Cmd.group info
+          [ fuzz_cmd; experiment_cmd; list_checks_cmd; validate_model_cmd ]))

@@ -1,0 +1,1 @@
+examples/boundary_explorer.ml: Format List Necofuzz Nf_cpu Nf_stdext String

@@ -1,0 +1,1 @@
+examples/corpus_workflow.ml: Filename Format List Necofuzz Nf_cpu Nf_xen String

@@ -1,0 +1,1 @@
+examples/find_cve.ml: Format List Necofuzz Nf_cpu Nf_kvm

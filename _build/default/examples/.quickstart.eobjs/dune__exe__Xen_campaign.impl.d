@@ -1,0 +1,1 @@
+examples/xen_campaign.ml: Format List Necofuzz Nf_cpu

@@ -1,0 +1,1 @@
+examples/xen_campaign.mli:

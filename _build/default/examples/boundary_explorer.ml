@@ -1,0 +1,53 @@
+(* Use the VM state validator standalone: generate boundary states,
+   check them against the hardware oracle, and print the Fig. 5-style
+   Hamming statistics — the paper's §5.3.2 experiment in miniature.
+
+     dune exec examples/boundary_explorer.exe *)
+
+let () =
+  let caps = Nf_cpu.Vmx_caps.alder_lake in
+  let validator = Necofuzz.Validator.create caps in
+  let rng = Nf_stdext.Rng.create 2026 in
+  (* Generate a batch of boundary states and classify them on the CPU
+     oracle. *)
+  let entered = ref 0 and ctl = ref 0 and host = ref 0 and guest = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    let vmcs = Necofuzz.Distribution.random_vmcs rng in
+    Necofuzz.Validator.round validator vmcs;
+    ignore (Necofuzz.Mutation.mutate (Necofuzz.Mutation.of_rng rng) vmcs);
+    match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+    | Nf_cpu.Vmx_cpu.Entered _ -> incr entered
+    | Vmfail_control _ -> incr ctl
+    | Vmfail_host _ -> incr host
+    | Entry_fail_guest _ | Entry_fail_msr_load _ -> incr guest
+  done;
+  Format.printf "boundary states over %d samples:@." n;
+  Format.printf "  entered:                %5d (%.1f%%)@." !entered
+    (100.0 *. float_of_int !entered /. float_of_int n);
+  Format.printf "  invalid controls:       %5d@." !ctl;
+  Format.printf "  invalid host state:     %5d@." !host;
+  Format.printf "  invalid guest state:    %5d@." !guest;
+  (* The validator's self-correction loop: the spec says IA-32e requires
+     CR4.PAE; the silicon silently forgives it.  The oracle comparison
+     teaches the validator. *)
+  let witness = (Necofuzz.Witness.find_vmx "guest.ia32e_pae").build caps in
+  (match Necofuzz.Validator.self_check validator witness with
+  | Necofuzz.Validator.Model_too_strict id ->
+      Format.printf
+        "self-check: model was too strict — hardware accepts states \
+         violating %S; learned as a skip.@."
+        id
+  | Agree -> Format.printf "self-check: model agrees with hardware.@."
+  | Model_too_lax id ->
+      Format.printf "self-check: model too lax on %S (validator bug!)@." id);
+  Format.printf "learned skips: [%s]@."
+    (String.concat "; " validator.learned_skips);
+  (* Fig. 5 distributions at small scale. *)
+  List.iter
+    (fun d -> Format.printf "%a@." Necofuzz.Distribution.pp_summary d)
+    [
+      Necofuzz.Distribution.random_vs_validated ~caps ~samples:1000 ~seed:1;
+      Necofuzz.Distribution.default_vs_validated ~caps ~samples:1000 ~seed:2;
+      Necofuzz.Distribution.pairwise ~caps ~samples:1000 ~seed:3;
+    ]

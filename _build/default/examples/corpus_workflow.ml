@@ -1,0 +1,61 @@
+(* The full tooling loop around a campaign: fuzz, persist the corpus and
+   crash reports to disk, minimize each reproducer to its load-bearing
+   bytes, then replay the minimized input from scratch to confirm it
+   still triggers the same anomaly.
+
+     dune exec examples/corpus_workflow.exe *)
+
+let replay_and_report ~marker input =
+  (* Boot a fresh hypervisor with the input's own configuration and run
+     the executor once — the reproduction recipe a crash report
+     documents. *)
+  let features = Necofuzz.Layout.config_of_input input in
+  let sanitizer = Necofuzz.Sanitizer.create () in
+  let hv = Nf_xen.Xen.pack_amd ~features ~sanitizer in
+  ignore
+    (Necofuzz.Executor.run ~hv
+       ~vmx_validator:(Necofuzz.Validator.create Nf_cpu.Vmx_caps.alder_lake)
+       ~svm_validator:(Necofuzz.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+       ~ablation:Necofuzz.Executor.full_ablation ~features ~input);
+  let reproduced =
+    List.exists
+      (fun e ->
+        let m = Necofuzz.Sanitizer.event_message e in
+        let nl = String.length marker and hl = String.length m in
+        let rec go i = i + nl <= hl && (String.sub m i nl = marker || go (i + 1)) in
+        nl = 0 || go 0)
+      (Necofuzz.Sanitizer.events sanitizer)
+  in
+  Format.printf "  replay of minimized input: %s@."
+    (if reproduced then "anomaly reproduced" else "NOT reproduced")
+
+let () =
+  let dir = Filename.temp_dir "necofuzz-corpus" "" in
+  Format.printf "corpus directory: %s@." dir;
+  (* 1. Fuzz Xen/AMD briefly: both of its planted bugs surface fast. *)
+  let cfg = Necofuzz.campaign ~target:Necofuzz.Xen_amd ~hours:3.0 () in
+  let result = Necofuzz.run cfg in
+  Format.printf "campaign: %d executions, %.1f%% coverage, %d crash(es)@."
+    result.execs
+    (Necofuzz.coverage_pct result)
+    (List.length result.crashes);
+  (* 2. Persist reproducers + reports + summary. *)
+  let corpus = Necofuzz.Corpus.create ~dir in
+  let saved = Necofuzz.Corpus.persist_result corpus result in
+  List.iter (Format.printf "saved %s@.") saved;
+  (* 3. Minimize each reproducer, then 4. replay it. *)
+  List.iter
+    (fun (c : Necofuzz.crash) ->
+      let marker = String.sub c.message 0 (min 20 (String.length c.message)) in
+      let crashes =
+        Necofuzz.Minimize.crash_predicate ~target:Necofuzz.Xen_amd
+          ~ablation:Necofuzz.Executor.full_ablation ~marker
+      in
+      let minimal, calls = Necofuzz.Minimize.minimize ~crashes c.reproducer in
+      Format.printf "minimized %S...: %4d -> %2d non-zero bytes (%d replays)@."
+        marker
+        (Necofuzz.Minimize.nonzero_bytes c.reproducer)
+        (Necofuzz.Minimize.nonzero_bytes minimal)
+        calls;
+      replay_and_report ~marker minimal)
+    result.crashes

@@ -1,0 +1,27 @@
+(* Quickstart: fuzz the simulated KVM/Intel hypervisor for a short
+   campaign and report what happened.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  Format.printf "NecoFuzz quickstart: fuzzing %s for 4 virtual hours...@."
+    (Necofuzz.Agent.target_name Necofuzz.Kvm_intel);
+  let cfg = Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~hours:4.0 () in
+  let result = Necofuzz.run cfg in
+  Format.printf "executions:        %d@." result.execs;
+  Format.printf "corpus entries:    %d@." result.corpus_size;
+  Format.printf "watchdog restarts: %d@." result.restarts;
+  Format.printf "coverage:          %.1f%% of %d instrumented lines@."
+    (Necofuzz.coverage_pct result)
+    (Necofuzz.Coverage.total_lines
+       (Necofuzz.Agent.target_region Necofuzz.Kvm_intel));
+  Format.printf "coverage over time:@.";
+  List.iter
+    (fun (h, c) ->
+      if Float.rem h 1.0 = 0.0 then Format.printf "  %4.1fh  %5.1f%%@." h c)
+    result.timeline;
+  match result.crashes with
+  | [] -> Format.printf "no crashes in this short run — try more hours.@."
+  | crashes ->
+      Format.printf "crash reports:@.";
+      List.iter (fun c -> Format.printf "  %a@." Necofuzz.pp_crash c) crashes

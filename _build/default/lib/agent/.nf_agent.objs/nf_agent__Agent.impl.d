@@ -1,0 +1,1 @@
+lib/agent/agent.ml: Array Bytes Char Format Hashtbl List Nf_coverage Nf_cpu Nf_fuzzer Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vbox Nf_vmcs Nf_xen String

@@ -1,0 +1,1 @@
+lib/agent/corpus.ml: Agent Array Bytes Char Filename Format Int64 List Nf_config Nf_coverage Nf_cpu Printf Sys

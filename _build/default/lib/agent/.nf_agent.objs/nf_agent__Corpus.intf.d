@@ -1,0 +1,1 @@
+lib/agent/corpus.mli: Agent Bytes

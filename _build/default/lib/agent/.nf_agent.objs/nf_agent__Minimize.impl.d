@@ -1,0 +1,1 @@
+lib/agent/minimize.ml: Agent Bytes List Nf_cpu Nf_harness Nf_sanitizer Nf_validator String

@@ -1,0 +1,1 @@
+lib/agent/minimize.mli: Agent Bytes Nf_harness

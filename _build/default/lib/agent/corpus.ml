@@ -1,0 +1,111 @@
+(** On-disk corpus and crash-report persistence (§4.5).
+
+    "Upon detecting an anomaly or observing new code coverage, the agent
+    saves the current fuzzing input to a timestamped file within a
+    designated directory" — this module is that directory.  File names
+    carry the virtual-time stamp and a content hash, so reports are
+    stable across reruns and reproducible by feeding the saved input back
+    through the executor. *)
+
+type t = { dir : string }
+
+let ensure_dir path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  else if not (Sys.is_directory path) then
+    invalid_arg (Printf.sprintf "Corpus: %s exists and is not a directory" path)
+
+let create ~dir =
+  ensure_dir dir;
+  ensure_dir (Filename.concat dir "queue");
+  ensure_dir (Filename.concat dir "crashes");
+  { dir }
+
+(* A short content hash for stable file names (FNV-1a over the bytes). *)
+let content_hash b =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    b;
+  Printf.sprintf "%08Lx" (Int64.logand !h 0xFFFF_FFFFL)
+
+let write_file path (b : Bytes.t) =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+(** Save a queue (interesting) input; returns the path. *)
+let save_input t ~at_us (input : Bytes.t) =
+  let name = Printf.sprintf "id_%012Ld_%s.bin" at_us (content_hash input) in
+  let path = Filename.concat (Filename.concat t.dir "queue") name in
+  write_file path input;
+  path
+
+(** Save a crash reproducer together with a human-readable report;
+    returns the reproducer path. *)
+let save_crash t (c : Agent.crash_report) =
+  let at_us = Int64.of_float (c.found_at_hours *. 3.6e9) in
+  let stem = Printf.sprintf "crash_%012Ld_%s" at_us (content_hash c.reproducer) in
+  let crashes = Filename.concat t.dir "crashes" in
+  let bin = Filename.concat crashes (stem ^ ".bin") in
+  write_file bin c.reproducer;
+  let report = Filename.concat crashes (stem ^ ".txt") in
+  let oc = open_out report in
+  Printf.fprintf oc "detection: %s\n" c.detection;
+  Printf.fprintf oc "message:   %s\n" c.message;
+  Printf.fprintf oc "found at:  %.2f virtual hours\n" c.found_at_hours;
+  Printf.fprintf oc "config:    %s\n"
+    (Format.asprintf "%a" Nf_cpu.Features.pp c.config);
+  Printf.fprintf oc "kvm-intel params: %s\n"
+    (Nf_config.Vcpu_config.Kvm_adapter.module_params
+       ~vendor:Nf_cpu.Cpu_model.Intel c.config);
+  Printf.fprintf oc "reproducer: %s\n" (Filename.basename bin);
+  close_out oc;
+  bin
+
+let list_dir t sub =
+  let d = Filename.concat t.dir sub in
+  Sys.readdir d |> Array.to_list |> List.sort compare
+  |> List.map (Filename.concat d)
+
+(** Load every saved queue input (e.g. to seed a follow-up campaign). *)
+let load_inputs t =
+  list_dir t "queue"
+  |> List.filter (fun p -> Filename.check_suffix p ".bin")
+  |> List.map read_file
+
+let crash_files t =
+  list_dir t "crashes" |> List.filter (fun p -> Filename.check_suffix p ".bin")
+
+(** Write a campaign summary next to the corpus. *)
+let write_summary t (r : Agent.result) =
+  let oc = open_out (Filename.concat t.dir "summary.txt") in
+  Printf.fprintf oc "target:     %s\n" (Agent.target_name r.cfg.target);
+  Printf.fprintf oc "duration:   %.1f virtual hours\n" r.cfg.duration_hours;
+  Printf.fprintf oc "executions: %d\n" r.execs;
+  Printf.fprintf oc "corpus:     %d entries\n" r.corpus_size;
+  Printf.fprintf oc "restarts:   %d\n" r.restarts;
+  Printf.fprintf oc "coverage:   %.1f%%\n"
+    (Nf_coverage.Coverage.Map.coverage_pct r.coverage);
+  Printf.fprintf oc "crashes:    %d\n" (List.length r.crashes);
+  List.iter
+    (fun (c : Agent.crash_report) ->
+      Printf.fprintf oc "  [%s] %s\n" c.detection c.message)
+    r.crashes;
+  close_out oc
+
+(** Persist a finished campaign: all crashes plus the summary.  Returns
+    the saved reproducer paths. *)
+let persist_result t (r : Agent.result) =
+  let paths = List.map (save_crash t) r.crashes in
+  write_summary t r;
+  paths

@@ -1,0 +1,36 @@
+(** On-disk corpus and crash-report persistence (§4.5).
+
+    The agent "saves the current fuzzing input to a timestamped file
+    within a designated directory" — this module is that directory, with
+    a [queue/] subdirectory for interesting inputs and [crashes/] for
+    reproducers plus human-readable reports. *)
+
+type t
+
+(** Create (or reopen) a corpus directory.
+    @raise Invalid_argument if the path exists and is not a directory. *)
+val create : dir:string -> t
+
+(** FNV-1a content hash used in stable file names. *)
+val content_hash : Bytes.t -> string
+
+(** Save a queue input stamped with the campaign's virtual time; returns
+    the path. *)
+val save_input : t -> at_us:int64 -> Bytes.t -> string
+
+(** Save a crash reproducer and its sibling [.txt] report (detection,
+    message, vCPU configuration and the module-parameter line to
+    reproduce it); returns the reproducer path. *)
+val save_crash : t -> Agent.crash_report -> string
+
+(** Load every saved queue input (e.g. to seed a follow-up campaign). *)
+val load_inputs : t -> Bytes.t list
+
+(** Paths of saved crash reproducers. *)
+val crash_files : t -> string list
+
+(** Write [summary.txt] for a finished campaign. *)
+val write_summary : t -> Agent.result -> unit
+
+(** Persist all crashes and the summary; returns reproducer paths. *)
+val persist_result : t -> Agent.result -> string list

@@ -1,0 +1,85 @@
+(** Crash-reproducer minimization (afl-tmin for fuzz-harness VMs).
+
+    The 2 KiB inputs saved by the agent contain everything the campaign
+    happened to accumulate; for "subsequent manual analysis and
+    debugging" (§4.5) one wants the minimal set of bytes that still
+    triggers the anomaly.  Since inputs are fixed-size, minimization
+    zeroes spans rather than deleting them: the result is an input of the
+    same shape where every surviving non-zero byte is load-bearing. *)
+
+(** [crashes input] must re-run the reproducer and report whether the
+    anomaly still occurs. *)
+type predicate = Bytes.t -> bool
+
+(** Zero out [len] bytes at [off] (bounds-clamped), returning a copy. *)
+let zeroed input ~off ~len =
+  let b = Bytes.copy input in
+  let len = min len (Bytes.length b - off) in
+  if len > 0 then Bytes.fill b off len '\000';
+  b
+
+(** Binary block reduction: try zeroing halves, quarters, ... single
+    bytes; keep each zeroing that preserves the crash.  Runs in
+    O(n log n) predicate calls worst case, far fewer in practice. *)
+let minimize ~(crashes : predicate) (input : Bytes.t) : Bytes.t * int =
+  let calls = ref 0 in
+  let try_crash b =
+    incr calls;
+    crashes b
+  in
+  if not (try_crash input) then
+    invalid_arg "Minimize.minimize: input does not reproduce the crash";
+  let current = ref (Bytes.copy input) in
+  let block = ref (Bytes.length input / 2) in
+  while !block >= 1 do
+    let off = ref 0 in
+    while !off < Bytes.length !current do
+      (* Skip spans that are already zero. *)
+      let len = min !block (Bytes.length !current - !off) in
+      let all_zero = ref true in
+      for i = !off to !off + len - 1 do
+        if Bytes.get !current i <> '\000' then all_zero := false
+      done;
+      if not !all_zero then begin
+        let candidate = zeroed !current ~off:!off ~len in
+        if try_crash candidate then current := candidate
+      end;
+      off := !off + len
+    done;
+    block := !block / 2
+  done;
+  (!current, !calls)
+
+let nonzero_bytes b =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) b;
+  !n
+
+(** Convenience: build a crash predicate that boots a fresh target with
+    the input's configuration, runs the executor, and checks whether any
+    sanitizer event contains [marker]. *)
+let crash_predicate ~(target : Agent.target)
+    ~(ablation : Nf_harness.Executor.ablation) ~(marker : string) : predicate =
+  let contains hay =
+    let nl = String.length marker and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = marker || go (i + 1))
+    in
+    nl = 0 || go 0
+  in
+  fun input ->
+    let features =
+      if ablation.Nf_harness.Executor.use_configurator then
+        Nf_harness.Layout.config_of_input input
+      else Nf_cpu.Features.default
+    in
+    let sanitizer = Nf_sanitizer.Sanitizer.create () in
+    let hv = Agent.boot_target target ~features ~sanitizer in
+    let vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake in
+    let svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3 in
+    ignore
+      (Nf_harness.Executor.run ~hv ~vmx_validator ~svm_validator ~ablation
+         ~features ~input);
+    List.exists
+      (fun e -> contains (Nf_sanitizer.Sanitizer.event_message e))
+      (Nf_sanitizer.Sanitizer.events sanitizer)

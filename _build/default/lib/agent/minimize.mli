@@ -1,0 +1,29 @@
+(** Crash-reproducer minimization (afl-tmin for fuzz-harness VMs).
+
+    Inputs are fixed-size, so minimization zeroes spans rather than
+    deleting them: the result has the same shape and every surviving
+    non-zero byte is load-bearing. *)
+
+(** [crashes input] must re-run the reproducer and report whether the
+    anomaly still occurs. *)
+type predicate = Bytes.t -> bool
+
+(** [zeroed input ~off ~len] is a copy with the span zeroed
+    (bounds-clamped). *)
+val zeroed : Bytes.t -> off:int -> len:int -> Bytes.t
+
+(** Binary block reduction; returns the minimized input and the number of
+    predicate calls spent.
+    @raise Invalid_argument if [input] does not reproduce the crash. *)
+val minimize : crashes:predicate -> Bytes.t -> Bytes.t * int
+
+val nonzero_bytes : Bytes.t -> int
+
+(** Build a crash predicate that boots a fresh [target] with the input's
+    configuration, runs the executor, and checks whether any sanitizer
+    message contains [marker]. *)
+val crash_predicate :
+  target:Agent.target ->
+  ablation:Nf_harness.Executor.ablation ->
+  marker:string ->
+  predicate

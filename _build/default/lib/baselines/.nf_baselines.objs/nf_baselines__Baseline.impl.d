@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Float List Nf_coverage

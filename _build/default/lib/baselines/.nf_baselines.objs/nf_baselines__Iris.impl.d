@@ -1,0 +1,1 @@
+lib/baselines/iris.ml: Array Baseline Field Int64 List Nf_coverage Nf_cpu Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vmcs Nf_x86 Vmcs

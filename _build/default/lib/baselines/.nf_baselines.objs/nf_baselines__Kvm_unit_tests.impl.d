@@ -1,0 +1,1 @@
+lib/baselines/kvm_unit_tests.ml: List Nf_coverage Nf_cpu Nf_hv Nf_kvm Nf_stdext Nf_validator Nf_vmcs Nf_x86 Suite_util

@@ -1,0 +1,1 @@
+lib/baselines/kvm_unit_tests.mli: Baseline Suite_util

@@ -1,0 +1,1 @@
+lib/baselines/selftests.mli: Baseline Suite_util

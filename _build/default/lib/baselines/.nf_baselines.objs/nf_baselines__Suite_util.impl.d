@@ -1,0 +1,1 @@
+lib/baselines/suite_util.ml: Baseline List Nf_coverage Nf_cpu Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_xen

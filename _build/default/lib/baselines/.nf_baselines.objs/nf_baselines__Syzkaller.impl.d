@@ -1,0 +1,1 @@
+lib/baselines/syzkaller.ml: Array Baseline Field List Nf_coverage Nf_cpu Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vmcs Nf_x86 Vmcs

@@ -1,0 +1,1 @@
+lib/baselines/syzkaller.mli: Baseline

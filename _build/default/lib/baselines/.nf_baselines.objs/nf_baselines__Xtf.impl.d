@@ -1,0 +1,1 @@
+lib/baselines/xtf.ml: List Nf_coverage Nf_cpu Nf_hv Nf_stdext Nf_vmcs Nf_x86 Nf_xen Suite_util

@@ -1,0 +1,18 @@
+(** Shared result shape for the comparison tools of §5.1. *)
+
+module Cov = Nf_coverage.Coverage
+
+type run_result = {
+  label : string;
+  coverage : Cov.Map.t;
+  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  execs : int;
+}
+
+let timeline_of ~hours ~at coverage_pct =
+  (* A tool that saturates at [at] hours and stays flat. *)
+  let rec go t acc =
+    if t > hours then List.rev acc
+    else go (t +. 1.0) ((t, coverage_pct) :: acc)
+  in
+  (0.0, 0.0) :: (at, coverage_pct) :: go (Float.of_int (int_of_float at + 1)) []

@@ -1,0 +1,12 @@
+(** Shared result shape for the comparison tools of §5.1. *)
+
+type run_result = {
+  label : string;
+  coverage : Nf_coverage.Coverage.Map.t;
+  timeline : (float * float) list; (** (virtual hours, coverage %) *)
+  execs : int;
+}
+
+(** A timeline for a tool that saturates at [at] hours and stays flat. *)
+val timeline_of :
+  hours:float -> at:float -> float -> (float * float) list

@@ -1,0 +1,7 @@
+(** Behavioural model of IRIS (DSN'23): record-and-replay of traces from
+    well-behaved guests — always-valid VM states (its coverage saturates
+    within minutes) — and unstable when run inside an L1 VM: in the
+    paper's nested setup it crashed after a few minutes, so coverage is
+    reported at the point of termination.  Intel only. *)
+
+val run_intel : seed:int -> duration_hours:float -> Baseline.run_result

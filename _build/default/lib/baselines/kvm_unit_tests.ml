@@ -1,0 +1,285 @@
+(** Behavioural model of KVM-unit-tests: a minimal guest OS running 84
+    deterministic unit tests against KVM in about 20 minutes (§5.2).
+
+    Unlike the selftests it is guest-only (no ioctl access) and runs
+    under the default configuration, but its vmx tests systematically
+    probe VM-entry failure conditions — which is why it reaches more
+    check-failure branches than Syzkaller while still missing the
+    feature-dependent merge paths. *)
+
+module Cov = Nf_coverage.Coverage
+open Suite_util
+
+(* The entry-failure conditions vmx_tests.c exercises (a large, but not
+   complete, subset of the architectural checks). *)
+let vmx_checked_ids =
+  [
+    "ctl.pin_reserved"; "ctl.proc_reserved"; "ctl.proc2_reserved";
+    "ctl.exit_reserved"; "ctl.entry_reserved"; "ctl.cr3_target_count";
+    "ctl.io_bitmaps"; "ctl.msr_bitmap"; "ctl.tpr_shadow";
+    "ctl.nmi"; "ctl.nmi_window"; "ctl.vpid_nonzero"; "ctl.eptp_valid";
+    "ctl.unrestricted_requires_ept"; "ctl.pml"; "ctl.apic_access_align";
+    "ctl.exit_msr_areas"; "ctl.entry_msr_area"; "ctl.entry_intr_info";
+    "host.cr0_fixed"; "host.cr4_fixed"; "host.canonical"; "host.selectors";
+    "host.efer"; "host.pat";
+    "guest.cr0_fixed"; "guest.cr4_fixed"; "guest.ia32e_pg";
+    "guest.cr3_width"; "guest.debugctl"; "guest.sysenter_canonical";
+    "guest.pat"; "guest.efer"; "guest.rflags"; "guest.activity";
+    "guest.interruptibility"; "guest.pending_dbg"; "guest.vmcs_link";
+    "guest.gdtr_idtr"; "guest.rip"; "guest.seg.cs"; "guest.seg.ss";
+    "guest.seg.ds"; "guest.seg.es"; "guest.seg.fs"; "guest.seg.gs";
+    "guest.seg.tr"; "guest.seg.ldtr"; "guest.rflags_vm";
+    "guest.rflags_if_injection"; "guest.legacy_pcide"; "guest.cr0_pg_pe";
+    "guest.dr7_high"; "guest.bndcfgs"; "guest.activity_hlt_dpl";
+    "guest.activity_sipi_injection"; "guest.pdpte"; "guest.ia32e_pg";
+    "host.cr3_width"; "host.addr_space"; "host.perf_global";
+    "ctl.x2apic_conflict"; "ctl.vid_requires_ext_intr"; "ctl.smm";
+    "ctl.preemption_timer_save"; "ctl.vmfunc_requires_ept";
+  ]
+
+let entry_failure_case id : scenario =
+  {
+    name = "vmx_test_" ^ id;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_intel () in
+        let vmcs12 = (Nf_validator.Witness.find_vmx id).build intel_caps in
+        ignore (vmx_setup (Nf_kvm.Vmx_nested.exec_l1 kvm) vmcs12);
+        kvm.Nf_kvm.Vmx_nested.cov);
+  }
+
+let simple name f : scenario =
+  {
+    name;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_intel () in
+        f kvm;
+        kvm.Nf_kvm.Vmx_nested.cov);
+  }
+
+let l1 kvm op = Nf_kvm.Vmx_nested.exec_l1 kvm op
+
+let launch kvm insns =
+  let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+  if vmx_setup (l1 kvm) vmcs12 then
+    l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume insns
+
+let misc_cases : scenario list =
+  [
+    simple "vmx_basic" (fun kvm -> launch kvm [ Nf_cpu.Insn.Vmcall ]);
+    simple "vmenter" (fun kvm ->
+        launch kvm [ Nf_cpu.Insn.Cpuid 0 ];
+        ignore (l1 kvm Nf_hv.L1_op.Vmlaunch) (* launched: VMfail *));
+    simple "vmx_instruction_errors" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 5L))));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmclear 0x3000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmptrld 0x3000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmread 0xBEEF));
+        ignore (l1 kvm Nf_hv.L1_op.Vmresume));
+    simple "vmx_exit_cpuid" (fun kvm -> launch kvm [ Nf_cpu.Insn.Cpuid 1; Cpuid 7 ]);
+    simple "vmx_exit_hlt" (fun kvm -> launch kvm [ Nf_cpu.Insn.Hlt ]);
+    simple "vmx_exit_io" (fun kvm ->
+        launch kvm [ Nf_cpu.Insn.Io_in 0x70; Io_out (0x70, 1) ]);
+    simple "vmx_exit_msr" (fun kvm ->
+        launch kvm
+          [ Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_tsc;
+            Wrmsr (Nf_x86.Msr.ia32_sysenter_cs, 0x10L) ]);
+    simple "vmx_exit_cr" (fun kvm ->
+        launch kvm [ Nf_cpu.Insn.Mov_to_cr (3, 0x5000L); Mov_from_cr 3 ]);
+    simple "vmx_exit_dr" (fun kvm -> launch kvm [ Nf_cpu.Insn.Mov_dr 7 ]);
+    simple "vmx_exit_rdtsc" (fun kvm -> launch kvm [ Nf_cpu.Insn.Rdtsc; Rdtscp ]);
+    simple "vmx_exit_misc" (fun kvm ->
+        launch kvm [ Nf_cpu.Insn.Invd; Wbinvd; Xsetbv 3L; Pause; Rdpmc ]);
+    simple "vmx_exit_vmx_insn" (fun kvm ->
+        launch kvm
+          [ Nf_cpu.Insn.Vmx_in_guest "vmxon"; Vmx_in_guest "vmclear";
+            Vmx_in_guest "vmwrite"; Vmx_in_guest "vmxoff";
+            Vmx_in_guest "invept"; Vmx_in_guest "invvpid" ]);
+    simple "vmx_exception_bitmap" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.exception_bitmap 0xFFFF_FFFFL;
+        if vmx_setup (l1 kvm) vmcs12 then
+          l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume
+            [ Nf_cpu.Insn.Ud2; Soft_int 13 ]);
+    simple "vmx_event_injection" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.entry_intr_info
+          (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_hw_exception
+             ~deliver_ec:true ~vector:Nf_x86.Exn.gp ());
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.entry_exception_error_code 0L;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_msr_load" (fun kvm ->
+        ignore
+          (l1 kvm
+             (Nf_hv.L1_op.Set_entry_msr_area
+                [| (Nf_x86.Msr.ia32_lstar, 0xFFFF_8000_1234_0000L) |]));
+        launch kvm [ Nf_cpu.Insn.Cpuid 0 ]);
+    simple "vmx_msr_load_fail" (fun kvm ->
+        ignore
+          (l1 kvm
+             (Nf_hv.L1_op.Set_entry_msr_area
+                [| (Nf_x86.Msr.ia32_lstar, 0x8000_0000_0000_0000L) |]));
+        launch kvm []);
+    simple "vmx_preemption_timer" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.pin_based_ctls
+          Nf_vmcs.Controls.Pin.preemption_timer true;
+        if vmx_setup (l1 kvm) vmcs12 then
+          l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume
+            (List.init 20 (fun _ -> Nf_cpu.Insn.Nop)));
+    simple "vmx_ept_access" (fun kvm ->
+        launch kvm (List.init 10 (fun _ -> Nf_cpu.Insn.Nop)));
+    simple "vmx_cr_shadowing" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.cr0_guest_host_mask (-1L);
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.cr4_guest_host_mask (-1L);
+        if vmx_setup (l1 kvm) vmcs12 then
+          l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume
+            [ Nf_cpu.Insn.Mov_to_cr (0, 0x11L); Mov_to_cr (4, 0L) ]);
+    simple "vmx_capability_msrs" (fun kvm ->
+        List.iter
+          (fun m -> ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Rdmsr m))))
+          [ Nf_x86.Msr.ia32_vmx_basic; Nf_x86.Msr.ia32_vmx_pinbased_ctls;
+            Nf_x86.Msr.ia32_vmx_procbased_ctls; Nf_x86.Msr.ia32_vmx_ept_vpid_cap;
+            Nf_x86.Msr.ia32_vmx_misc ]);
+    simple "vmx_apicv" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls
+          Nf_vmcs.Controls.Proc.use_tpr_shadow true;
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.virtual_apic_page_addr 0x15000L;
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.pin_based_ctls
+          Nf_vmcs.Controls.Pin.external_interrupt_exiting true;
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls2
+          Nf_vmcs.Controls.Proc2.virtual_interrupt_delivery true;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_io_bitmaps" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls
+          Nf_vmcs.Controls.Proc.use_io_bitmaps true;
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.io_bitmap_a 0x17000L;
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.io_bitmap_b 0x18000L;
+        if vmx_setup (l1 kvm) vmcs12 then
+          l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume
+            [ Nf_cpu.Insn.Io_in 0x21; Io_out (0x21, 0xFF); Io_in 0xC000 ]);
+    simple "vmx_pml" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls2
+          Nf_vmcs.Controls.Proc2.enable_pml true;
+        Nf_vmcs.Vmcs.write vmcs12 (Nf_vmcs.Field.find_exn "PML_ADDRESS") 0x19000L;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_tsc_scaling" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls2
+          Nf_vmcs.Controls.Proc2.use_tsc_scaling true;
+        Nf_vmcs.Vmcs.write vmcs12 (Nf_vmcs.Field.find_exn "TSC_MULTIPLIER") 2L;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_shadow_vmcs" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls2
+          Nf_vmcs.Controls.Proc2.vmcs_shadowing true;
+        Nf_vmcs.Vmcs.write vmcs12 Nf_vmcs.Field.vmcs_link_pointer 0x1A000L;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_unrestricted_guest" (fun kvm ->
+        let vmcs12 = Nf_validator.Golden.vmcs intel_caps in
+        Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.proc_based_ctls2
+          Nf_vmcs.Controls.Proc2.unrestricted_guest true;
+        ignore (vmx_setup (l1 kvm) vmcs12));
+    simple "vmx_invept_invvpid" (fun kvm ->
+        ignore (vmx_setup (l1 kvm) (Nf_validator.Golden.vmcs intel_caps));
+        ignore (l1 kvm (Nf_hv.L1_op.Invept (1, 0x10_0000L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Invept (6, 0L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Invvpid (2, 1L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Invvpid (7, 0L))));
+    simple "vmx_vmxoff" (fun kvm ->
+        ignore (vmx_setup (l1 kvm) (Nf_validator.Golden.vmcs intel_caps));
+        ignore (l1 kvm Nf_hv.L1_op.Vmptrst);
+        ignore (l1 kvm Nf_hv.L1_op.Vmxoff);
+        ignore (l1 kvm Nf_hv.L1_op.Vmxoff));
+    simple "vmx_vmread_vmwrite" (fun kvm ->
+        ignore (vmx_setup (l1 kvm) (Nf_validator.Golden.vmcs intel_caps));
+        List.iter
+          (fun f ->
+            ignore (l1 kvm (Nf_hv.L1_op.Vmread (Nf_vmcs.Field.encoding f))))
+          [ Nf_vmcs.Field.exit_reason; Nf_vmcs.Field.guest_rip;
+            Nf_vmcs.Field.guest_rsp ]);
+  ]
+
+(* AMD side of the suite (svm.flat): fewer but analogous tests. *)
+let svm_checked_ids =
+  [ "svm.efer_svme"; "svm.efer_reserved"; "svm.cr0_cd_nw"; "svm.cr0_high";
+    "svm.cr4_reserved"; "svm.dr6_high"; "svm.dr7_high"; "svm.asid";
+    "svm.vmrun_intercept"; "svm.long_mode_pae"; "svm.long_mode_pe";
+    "svm.long_mode_cs"; "svm.event_inj"; "svm.ncr3_mbz"; "svm.iopm_mbz";
+    "svm.msrpm_mbz"; "svm.rflags_reserved" ]
+
+let svm_case id : scenario =
+  {
+    name = "svm_test_" ^ id;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_amd () in
+        let vmcb12 = (Nf_validator.Witness.find_svm id).svm_build amd_caps in
+        ignore (svm_setup (Nf_kvm.Svm_nested.exec_l1 kvm) vmcb12);
+        kvm.Nf_kvm.Svm_nested.cov);
+  }
+
+let svm_simple name f : scenario =
+  {
+    name;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_amd () in
+        f kvm;
+        kvm.Nf_kvm.Svm_nested.cov);
+  }
+
+let svm_launch kvm insns =
+  let vmcb12 = Nf_validator.Golden.vmcb amd_caps in
+  if svm_setup (Nf_kvm.Svm_nested.exec_l1 kvm) vmcb12 then
+    l2_loop (Nf_kvm.Svm_nested.exec_l2 kvm)
+      (Nf_kvm.Svm_nested.exec_l1 kvm)
+      (Nf_hv.L1_op.Vmrun 0x1000L) insns
+
+let svm_misc : scenario list =
+  [
+    svm_simple "svm_basic" (fun kvm -> svm_launch kvm [ Nf_cpu.Insn.Cpuid 0 ]);
+    svm_simple "svm_exits" (fun kvm ->
+        svm_launch kvm
+          [ Nf_cpu.Insn.Hlt; Rdtsc; Io_in 0x40; Rdmsr Nf_x86.Msr.ia32_efer;
+            Pause; Mov_to_cr (0, 0x11L); Xsetbv 3L; Wbinvd; Monitor; Mwait;
+            Rdpmc; Invlpg 0x1000L; Vmcall; Mov_to_cr (3, 0x4000L);
+            Mov_to_cr (4, 0x20L) ]);
+    svm_simple "svm_insns" (fun kvm ->
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm Nf_hv.L1_op.Vmload);
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm Nf_hv.L1_op.Vmsave);
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm Nf_hv.L1_op.Clgi);
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm Nf_hv.L1_op.Stgi);
+        ignore (Nf_kvm.Svm_nested.exec_l1 kvm Nf_hv.L1_op.Invlpga));
+    svm_simple "svm_l2_svm_insns" (fun kvm ->
+        svm_launch kvm
+          [ Nf_cpu.Insn.Vmx_in_guest "vmrun"; Vmx_in_guest "vmmcall";
+            Vmx_in_guest "vmload"; Vmx_in_guest "vmsave" ]);
+    svm_simple "svm_npf" (fun kvm ->
+        svm_launch kvm (List.init 8 (fun _ -> Nf_cpu.Insn.Nop)));
+  ]
+
+let intel_cases =
+  List.map entry_failure_case vmx_checked_ids @ misc_cases
+
+let amd_cases = List.map svm_case svm_checked_ids @ svm_misc
+
+let case_count = List.length intel_cases + List.length amd_cases
+
+(* 84 cases in about 20 minutes. *)
+let runtime_hours = 20.0 /. 60.0
+
+let run_intel ~duration_hours =
+  fst
+    (run_suite ~label:"KVM-unit-tests" ~runtime_hours ~duration_hours intel_cases)
+
+let run_amd ~duration_hours =
+  fst (run_suite ~label:"KVM-unit-tests" ~runtime_hours ~duration_hours amd_cases)

@@ -1,0 +1,12 @@
+(** Behavioural model of KVM-unit-tests: a minimal guest OS running ~84
+    deterministic unit tests in about 20 minutes.  Guest-only (no
+    ioctls), default configuration, but systematic about VM-entry
+    failure conditions — why it out-covers Syzkaller yet misses the
+    feature-dependent paths. *)
+
+val intel_cases : Suite_util.scenario list
+val amd_cases : Suite_util.scenario list
+val case_count : int
+
+val run_intel : duration_hours:float -> Baseline.run_result
+val run_amd : duration_hours:float -> Baseline.run_result

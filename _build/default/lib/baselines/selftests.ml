@@ -1,0 +1,197 @@
+(** Behavioural model of the Linux kernel KVM selftests
+    (tools/testing/selftests/kvm): 60 deterministic test programs that
+    drive KVM through ioctl()s and small guest stubs, finishing in about
+    80 seconds (§5.2).
+
+    Selftests are the one baseline that exercises the host-side nested
+    state save/restore interface — the source of the "Selftests −
+    NecoFuzz" rows of Table 2. *)
+
+open Nf_vmcs
+module Cov = Nf_coverage.Coverage
+open Suite_util
+
+let golden () = Nf_validator.Golden.vmcs intel_caps
+
+let witness id = (Nf_validator.Witness.find_vmx id).build intel_caps
+
+let intel_scenario name f : scenario =
+  {
+    name = "vmx_" ^ name;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_intel () in
+        f kvm;
+        kvm.Nf_kvm.Vmx_nested.cov);
+  }
+
+let l1 kvm op = Nf_kvm.Vmx_nested.exec_l1 kvm op
+let setup kvm vmcs12 = vmx_setup (l1 kvm) vmcs12
+
+let launch_and_run kvm vmcs12 insns =
+  if setup kvm vmcs12 then
+    l2_loop (Nf_kvm.Vmx_nested.exec_l2 kvm) (l1 kvm) Nf_hv.L1_op.Vmresume insns
+
+let entry_failure_test id kvm = ignore (setup kvm (witness id))
+
+let intel_cases : scenario list =
+  [
+    intel_scenario "vmx_feature_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_basic)));
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_entry_ctls))));
+    intel_scenario "vmxon_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 5L))));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmxon 0x3000L)) (* double vmxon *));
+    intel_scenario "vmxon_bad_address_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 5L))));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmxon 0x3001L)));
+    intel_scenario "vmclear_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmclear 0x1000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmclear 0x3000L)) (* vmxon ptr *);
+        ignore (l1 kvm (Nf_hv.L1_op.Vmclear 0x7L)));
+    intel_scenario "vmptrld_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmptrld 0x2000L)) (* never vmcleared *);
+        ignore (l1 kvm (Nf_hv.L1_op.Vmptrld 0x3000L));
+        ignore (l1 kvm Nf_hv.L1_op.Vmptrst));
+    intel_scenario "vmwrite_vmread_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmread (Field.encoding Field.guest_rip)));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmread 0xDEAD));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmwrite (Field.encoding Field.guest_rip, 0x1234L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmwrite (Field.encoding Field.exit_reason, 0L)))
+        (* read-only *));
+    intel_scenario "vmlaunch_basic_test" (fun kvm ->
+        launch_and_run kvm (golden ()) [ Nf_cpu.Insn.Cpuid 0; Hlt; Vmcall ]);
+    intel_scenario "vmresume_without_launch_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 kvm (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 5L))));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmclear 0x1000L));
+        ignore (l1 kvm (Nf_hv.L1_op.Vmptrld 0x1000L));
+        ignore (l1 kvm Nf_hv.L1_op.Vmresume));
+    intel_scenario "double_launch_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm Nf_hv.L1_op.Vmlaunch) (* launch of launched vmcs *));
+    intel_scenario "invalid_entry_ctls_test" (entry_failure_test "ctl.entry_reserved");
+    intel_scenario "cr3_target_count_test" (entry_failure_test "ctl.cr3_target_count");
+    intel_scenario "vmcs_link_ptr_test" (entry_failure_test "guest.vmcs_link");
+    intel_scenario "guest_rflags_test" (entry_failure_test "guest.rflags");
+    intel_scenario "guest_activity_state_test" (entry_failure_test "guest.activity");
+    intel_scenario "host_canonical_test" (entry_failure_test "host.canonical");
+    intel_scenario "guest_tr_test" (entry_failure_test "guest.seg.tr");
+    intel_scenario "msr_load_area_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.Set_entry_msr_area [| (Nf_x86.Msr.ia32_pat, 0x0007040600070406L) |]));
+        ignore (setup kvm (golden ())));
+    intel_scenario "msr_load_noncanonical_test" (fun kvm ->
+        ignore (l1 kvm (Nf_hv.L1_op.Set_entry_msr_area [| (Nf_x86.Msr.ia32_kernel_gs_base, 0x8000_0000_0000_0000L) |]));
+        ignore (setup kvm (golden ())) (* entry failure, reason 34 *));
+    intel_scenario "invept_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm (Nf_hv.L1_op.Invept (1, 0x10_0000L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Invept (5, 0L))));
+    intel_scenario "invvpid_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm (Nf_hv.L1_op.Invvpid (1, 1L)));
+        ignore (l1 kvm (Nf_hv.L1_op.Invvpid (8, 0L))));
+    intel_scenario "nested_state_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        Nf_kvm.Vmx_nested.host_ioctl kvm Nf_kvm.Vmx_nested.Get_nested_state);
+    intel_scenario "activity_sanitize_test" (fun kvm ->
+        (* KVM sanitizes SHUTDOWN to ACTIVE when building VMCS02; the
+           consistency checks accept the value. *)
+        let v = golden () in
+        Vmcs.write v Field.guest_activity_state Field.Activity.shutdown;
+        ignore (setup kvm v));
+    intel_scenario "vmxoff_test" (fun kvm ->
+        ignore (setup kvm (golden ()));
+        ignore (l1 kvm Nf_hv.L1_op.Vmxoff);
+        ignore (l1 kvm Nf_hv.L1_op.Vmxoff) (* #UD *));
+  ]
+
+(* --- AMD --- *)
+
+let amd_scenario name f : scenario =
+  {
+    name = "svm_" ^ name;
+    run =
+      (fun () ->
+        let kvm = fresh_kvm_amd () in
+        f kvm;
+        kvm.Nf_kvm.Svm_nested.cov);
+  }
+
+let amd_golden () = Nf_validator.Golden.vmcb amd_caps
+
+let amd_witness id = (Nf_validator.Witness.find_svm id).svm_build amd_caps
+
+let amd_l1 kvm op = Nf_kvm.Svm_nested.exec_l1 kvm op
+let amd_setup kvm vmcb12 = svm_setup (amd_l1 kvm) vmcb12
+
+let amd_launch_and_run kvm vmcb12 insns =
+  if amd_setup kvm vmcb12 then
+    l2_loop (Nf_kvm.Svm_nested.exec_l2 kvm) (amd_l1 kvm) (Nf_hv.L1_op.Vmrun 0x1000L)
+      insns
+
+let amd_vmrun_fail_test id kvm = ignore (amd_setup kvm (amd_witness id))
+
+let amd_cases : scenario list =
+  [
+    amd_scenario "vmrun_basic_test" (fun kvm ->
+        amd_launch_and_run kvm (amd_golden ()) [ Nf_cpu.Insn.Cpuid 0; Hlt ]);
+    amd_scenario "vmrun_no_svme_test" (fun kvm ->
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Vmrun 0x1000L)));
+    amd_scenario "vmrun_bad_address_test" (fun kvm ->
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Vmrun 0x1003L)));
+    amd_scenario "asid_zero_test" (amd_vmrun_fail_test "svm.asid");
+    amd_scenario "efer_reserved_test" (amd_vmrun_fail_test "svm.efer_reserved");
+    amd_scenario "cr0_cd_nw_test" (amd_vmrun_fail_test "svm.cr0_cd_nw");
+    amd_scenario "cr4_reserved_test" (amd_vmrun_fail_test "svm.cr4_reserved");
+    amd_scenario "cr3_mbz_test" (amd_vmrun_fail_test "svm.cr3_mbz");
+    amd_scenario "dr7_high_test" (amd_vmrun_fail_test "svm.dr7_high");
+    amd_scenario "vmrun_intercept_test" (amd_vmrun_fail_test "svm.vmrun_intercept");
+    amd_scenario "long_mode_pae_test" (amd_vmrun_fail_test "svm.long_mode_pae");
+    amd_scenario "cs_l_d_test" (amd_vmrun_fail_test "svm.long_mode_cs");
+    amd_scenario "eventinj_test" (amd_vmrun_fail_test "svm.event_inj");
+    amd_scenario "vmload_vmsave_test" (fun kvm ->
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (amd_l1 kvm Nf_hv.L1_op.Vmload);
+        ignore (amd_l1 kvm Nf_hv.L1_op.Vmsave));
+    amd_scenario "stgi_clgi_test" (fun kvm ->
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (amd_l1 kvm Nf_hv.L1_op.Clgi);
+        ignore (amd_l1 kvm Nf_hv.L1_op.Stgi));
+    amd_scenario "svm_insn_no_svme_test" (fun kvm ->
+        ignore (amd_l1 kvm Nf_hv.L1_op.Vmload);
+        ignore (amd_l1 kvm Nf_hv.L1_op.Stgi);
+        ignore (amd_l1 kvm Nf_hv.L1_op.Invlpga));
+    amd_scenario "invlpga_test" (fun kvm ->
+        ignore (amd_l1 kvm (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (amd_l1 kvm Nf_hv.L1_op.Invlpga));
+    amd_scenario "exit_sweep_test" (fun kvm ->
+        amd_launch_and_run kvm (amd_golden ())
+          [ Nf_cpu.Insn.Rdtsc; Io_in 0x40; Rdmsr Nf_x86.Msr.ia32_efer;
+            Pause; Invlpg 0x1000L; Mov_to_cr (0, 0x11L) ]);
+    amd_scenario "npf_reflect_test" (fun kvm ->
+        amd_launch_and_run kvm (amd_golden ()) (List.init 8 (fun _ -> Nf_cpu.Insn.Nop)));
+    amd_scenario "nested_state_test" (fun kvm ->
+        ignore (amd_setup kvm (amd_golden ()));
+        Nf_kvm.Svm_nested.host_ioctl kvm Nf_kvm.Svm_nested.Get_nested_state;
+        Nf_kvm.Svm_nested.host_ioctl kvm Nf_kvm.Svm_nested.Set_nested_state);
+  ]
+
+(* The real suite runs 60 cases in ~80 seconds. *)
+let runtime_hours = 80.0 /. 3600.0
+
+let run_intel ~duration_hours =
+  fst (run_suite ~label:"Selftests" ~runtime_hours ~duration_hours intel_cases)
+
+let run_amd ~duration_hours =
+  fst (run_suite ~label:"Selftests" ~runtime_hours ~duration_hours amd_cases)
+
+let case_count = List.length intel_cases + List.length amd_cases

@@ -1,0 +1,12 @@
+(** Behavioural model of the Linux kernel KVM selftests: ~60
+    deterministic ioctl-driven test programs finishing in about 80
+    seconds.  The one baseline that exercises the host-side nested state
+    save/restore interface — the source of the "Selftests − NecoFuzz"
+    rows of Table 2. *)
+
+val intel_cases : Suite_util.scenario list
+val amd_cases : Suite_util.scenario list
+val case_count : int
+
+val run_intel : duration_hours:float -> Baseline.run_result
+val run_amd : duration_hours:float -> Baseline.run_result

@@ -1,0 +1,74 @@
+(** Helpers shared by the deterministic test-suite models (Selftests,
+    KVM-unit-tests, XTF). *)
+
+module Cov = Nf_coverage.Coverage
+
+let default_features = Nf_cpu.Features.default
+
+let intel_caps =
+  Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake default_features
+
+let amd_caps = Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 default_features
+
+let fresh_kvm_intel () =
+  Nf_kvm.Vmx_nested.create ~features:default_features
+    ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+
+let fresh_kvm_amd () =
+  Nf_kvm.Svm_nested.create ~features:default_features
+    ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+
+let fresh_xen_intel () =
+  Nf_xen.Vmx_nested.create ~features:default_features
+    ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+
+let fresh_xen_amd () =
+  Nf_xen.Svm_nested.create ~features:default_features
+    ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+
+(** Run the standard VMX setup with [vmcs12]; returns whether L2
+    entered. *)
+let vmx_setup exec_l1 vmcs12 =
+  let ops = Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
+  List.fold_left
+    (fun entered op ->
+      match exec_l1 op with Nf_hv.Hypervisor.L2_entered -> true | _ -> entered)
+    false ops
+
+let svm_setup exec_l1 vmcb12 =
+  let ops = Nf_harness.Executor.svm_init_template ~vmcb12 in
+  List.fold_left
+    (fun entered op ->
+      match exec_l1 op with Nf_hv.Hypervisor.L2_entered -> true | _ -> entered)
+    false ops
+
+(** Run [insns] in L2, resuming via [resume] after reflected exits. *)
+let l2_loop exec_l2 exec_l1 resume insns =
+  List.iter
+    (fun insn ->
+      match exec_l2 insn with
+      | Nf_hv.Hypervisor.L2_exit_to_l1 _ -> ignore (exec_l1 resume)
+      | _ -> ())
+    insns
+
+type scenario = { name : string; run : unit -> Cov.Map.t }
+
+let run_suite ~label ~runtime_hours ~duration_hours scenarios :
+    Baseline.run_result * string list =
+  match scenarios with
+  | [] -> invalid_arg "empty suite"
+  | first :: _ ->
+      let acc = ref (first.run ()) in
+      let acc_map = Cov.Map.copy !acc in
+      List.iteri
+        (fun i s -> if i > 0 then Cov.Map.merge acc_map (s.run ()))
+        scenarios;
+      let pct = Cov.Map.coverage_pct acc_map in
+      ( {
+          Baseline.label;
+          coverage = acc_map;
+          timeline =
+            [ (0.0, 0.0); (runtime_hours, pct); (duration_hours, pct) ];
+          execs = List.length scenarios;
+        },
+        List.map (fun s -> s.name) scenarios )

@@ -1,0 +1,179 @@
+(** Behavioural model of Syzkaller's nested-virtualization fuzzing
+    (google/syzkaller, commit 96a211b; the only prior tool with explicit
+    nested support — §5.1).
+
+    Syzkaller drives KVM through the ioctl interface with a manually
+    written harness (syz_kvm_setup_cpu).  Its VM-state handling has two
+    modes the paper calls out: a fixed known-good setup ("golden"), and
+    random values assigned to VM-state fields with no notion of validity
+    boundaries — whole-state randomization fails the very first
+    consistency check, so the deep validation logic stays untouched.  It
+    mutates *syscall sequences* well, which reaches the instruction-
+    emulation error paths.  There is no AMD nested harness: on AMD it
+    only exercises generic ioctls (the 7% of Table 2). *)
+
+open Nf_vmcs
+module Cov = Nf_coverage.Coverage
+
+(* syzkaller reuses booted VMs: an execution is a syscall program, much
+   cheaper than a fuzz-harness VM boot. *)
+let exec_cost_us = 700_000L
+
+(* The VM-state fields syzkaller's harness assigns (semi-)random values
+   to: register state and a few control knobs, individually — never the
+   cross-field boundary combinations. *)
+let syz_fuzzed_fields =
+  [| Field.guest_rip; Field.guest_rsp; Field.guest_cr3; Field.guest_rflags;
+     Field.guest_cr0; Field.guest_cr4; Field.guest_ia32_efer;
+     Field.exception_bitmap; Field.tsc_offset; Field.entry_intr_info;
+     Field.proc_based_ctls; Field.guest_activity_state;
+     Field.guest_base Nf_x86.Seg.FS; Field.guest_base Nf_x86.Seg.GS |]
+
+let l2_program =
+  [| Nf_cpu.Insn.Cpuid 0; Hlt; Io_in 0x3F8; Io_out (0x3F8, 0x41);
+     Rdmsr Nf_x86.Msr.ia32_tsc; Wrmsr (Nf_x86.Msr.ia32_tsc, 0L); Rdtsc;
+     Vmcall; Mov_to_cr (3, 0x4000L); Ud2 |]
+
+let run_intel ~seed ~duration_hours : Baseline.run_result =
+  let rng = Nf_stdext.Rng.create seed in
+  let features = Nf_cpu.Features.default in
+  let caps_l1 = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features in
+  let campaign_cov = Cov.Map.create Nf_kvm.Vmx_nested.region in
+  let clock = Nf_stdext.Vclock.create () in
+  let deadline = Nf_stdext.Vclock.of_hours duration_hours in
+  let execs = ref 0 in
+  let timeline = ref [ (0.0, 0.0) ] in
+  let next_cp = ref 1.0 in
+  while not (Nf_stdext.Vclock.reached clock ~deadline_us:deadline) do
+    incr execs;
+    Nf_stdext.Vclock.advance_us clock exec_cost_us;
+    let san = Nf_sanitizer.Sanitizer.create () in
+    let kvm = Nf_kvm.Vmx_nested.create ~features ~sanitizer:san in
+    (if Nf_stdext.Rng.chance rng ~num:1 ~den:10 then begin
+       (* Pure ioctl program: live-migration state save/restore — the
+          host-side surface NecoFuzz's threat model excludes. *)
+       Nf_kvm.Vmx_nested.host_ioctl kvm Nf_kvm.Vmx_nested.Get_nested_state;
+       if Nf_stdext.Rng.bool rng then
+         Nf_kvm.Vmx_nested.host_ioctl kvm Nf_kvm.Vmx_nested.Set_nested_state
+     end
+     else begin
+       (* The nested harness: fixed setup sequence with a golden VMCS. *)
+       let vmcs12 =
+         if Nf_stdext.Rng.chance rng ~num:1 ~den:4 then begin
+           (* Whole-state randomization: no validity awareness. *)
+           let v = Vmcs.create () in
+           List.iter
+             (fun f ->
+               Vmcs.write v f
+                 (Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng) (Field.bits f)))
+             Field.all;
+           v
+         end
+         else begin
+           let v = Nf_validator.Golden.vmcs caps_l1 in
+           (* Random values into individual harness-exposed fields. *)
+           let k = Nf_stdext.Rng.int rng 4 in
+           for _ = 1 to k do
+             let f = Nf_stdext.Rng.pick rng syz_fuzzed_fields in
+             Vmcs.write v f (Nf_stdext.Rng.bits64 rng)
+           done;
+           v
+         end
+       in
+       let ops =
+         Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||]
+       in
+       (* Sequence mutation: syzkaller's strength — insert a random VMX
+          call somewhere.  Which call is drawn with a geometric tail: a
+          grammar-based mutator stumbles on the common patterns quickly
+          and the exotic ones only over many hours, which is what gives
+          Syzkaller its slow convergence in Fig. 3. *)
+       let ops =
+         if Nf_stdext.Rng.chance rng ~num:3 ~den:10 then begin
+           let pool =
+             [| Nf_hv.L1_op.Vmptrst; Vmclear 0x1000L; Vmclear 0x777L;
+                Vmptrld 0x2000L; Vmread 0x4402; Vmread 0xDEAD;
+                Vmwrite (0x681E, 0L); Vmwrite (0x4400, 1L); Vmxoff;
+                Vmxon 0x3000L; Vmresume; Invept (1, 0L); Invept (9, 0L);
+                Invvpid (2, 1L) |]
+           in
+           (* Geometric index: op k appears with probability ~2^-(k+1). *)
+           let rec geometric k =
+             if k >= Array.length pool - 1 || Nf_stdext.Rng.bool rng then k
+             else geometric (k + 1)
+           in
+           let extra = pool.(geometric 0) in
+           let pos = Nf_stdext.Rng.int rng (List.length ops) in
+           List.concat
+             (List.mapi (fun i op -> if i = pos then [ extra; op ] else [ op ]) ops)
+         end
+         else ops
+       in
+       let entered =
+         List.fold_left
+           (fun entered op ->
+             match Nf_kvm.Vmx_nested.exec_l1 kvm op with
+             | Nf_hv.Hypervisor.L2_entered -> true
+             | _ -> entered)
+           false ops
+       in
+       if entered then begin
+         let stop = ref false in
+         for i = 0 to 11 do
+           if not !stop then begin
+             match
+               Nf_kvm.Vmx_nested.exec_l2 kvm
+                 l2_program.(Nf_stdext.Rng.int rng (Array.length l2_program))
+             with
+             | Nf_hv.Hypervisor.L2_exit_to_l1 _ -> (
+                 ignore i;
+                 match Nf_kvm.Vmx_nested.exec_l1 kvm Nf_hv.L1_op.Vmresume with
+                 | Nf_hv.Hypervisor.L2_entered -> ()
+                 | _ -> stop := true)
+             | Ok_step | L2_resumed -> ()
+             | _ -> stop := true
+           end
+         done
+       end
+     end);
+    Cov.Map.merge campaign_cov kvm.Nf_kvm.Vmx_nested.cov;
+    while
+      !next_cp <= duration_hours && Nf_stdext.Vclock.now_hours clock >= !next_cp
+    do
+      timeline := (!next_cp, Cov.Map.coverage_pct campaign_cov) :: !timeline;
+      next_cp := !next_cp +. 1.0
+    done
+  done;
+  timeline := (duration_hours, Cov.Map.coverage_pct campaign_cov) :: !timeline;
+  {
+    Baseline.label = "Syzkaller";
+    coverage = campaign_cov;
+    timeline = List.rev !timeline;
+    execs = !execs;
+  }
+
+(** On AMD there is no nested harness: random ioctl programs only. *)
+let run_amd ~seed ~duration_hours : Baseline.run_result =
+  let rng = Nf_stdext.Rng.create seed in
+  let features = Nf_cpu.Features.default in
+  let campaign_cov = Cov.Map.create Nf_kvm.Svm_nested.region in
+  let clock = Nf_stdext.Vclock.create () in
+  let deadline = Nf_stdext.Vclock.of_hours duration_hours in
+  let execs = ref 0 in
+  while not (Nf_stdext.Vclock.reached clock ~deadline_us:deadline) do
+    incr execs;
+    Nf_stdext.Vclock.advance_us clock exec_cost_us;
+    let san = Nf_sanitizer.Sanitizer.create () in
+    let kvm = Nf_kvm.Svm_nested.create ~features ~sanitizer:san in
+    if Nf_stdext.Rng.bool rng then
+      Nf_kvm.Svm_nested.host_ioctl kvm Nf_kvm.Svm_nested.Get_nested_state;
+    Cov.Map.merge campaign_cov kvm.Nf_kvm.Svm_nested.cov
+  done;
+  {
+    Baseline.label = "Syzkaller";
+    coverage = campaign_cov;
+    timeline =
+      [ (0.0, 0.0); (1.0, Cov.Map.coverage_pct campaign_cov);
+        (duration_hours, Cov.Map.coverage_pct campaign_cov) ];
+    execs = !execs;
+  }

@@ -1,0 +1,10 @@
+(** Behavioural model of Syzkaller's nested-virtualization fuzzing
+    (google/syzkaller commit 96a211b): ioctl-driven, a manually written
+    Intel harness with golden or wholly random VM states (no validity
+    boundaries), good syscall-sequence mutation, and no AMD nested
+    harness at all — the structural limits behind its Table 2 rows. *)
+
+val run_intel : seed:int -> duration_hours:float -> Baseline.run_result
+
+(** Generic ioctl programs only: the ~7% row of Table 2. *)
+val run_amd : seed:int -> duration_hours:float -> Baseline.run_result

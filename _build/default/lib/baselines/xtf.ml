@@ -1,0 +1,82 @@
+(** Behavioural model of the Xen Test Framework (XTF): a small set of
+    deterministic micro-VM tests.  XTF has only smoke-level nested-HVM
+    coverage, which is why Table 4 shows it in the 10–20% range. *)
+
+module Cov = Nf_coverage.Coverage
+open Suite_util
+
+let intel_case name f : scenario =
+  {
+    name = "xtf_" ^ name;
+    run =
+      (fun () ->
+        let xen = fresh_xen_intel () in
+        f xen;
+        xen.Nf_xen.Vmx_nested.cov);
+  }
+
+let l1 xen op = Nf_xen.Vmx_nested.exec_l1 xen op
+
+let intel_cases : scenario list =
+  [
+    intel_case "test-hvm64-vmxon" (fun xen ->
+        ignore (l1 xen (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 xen (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmxon 0x3000L)));
+    intel_case "test-hvm64-vmclear" (fun xen ->
+        ignore (l1 xen (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 xen (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmclear 0x1000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmclear 0x7L)));
+    intel_case "test-hvm64-vmptrld" (fun xen ->
+        ignore (l1 xen (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 xen (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmclear 0x1000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmptrld 0x1000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmread (Nf_vmcs.Field.encoding Nf_vmcs.Field.guest_rip))));
+    intel_case "test-hvm64-vvmx-insns" (fun xen ->
+        ignore (l1 xen (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+        ignore (l1 xen (Nf_hv.L1_op.Vmxon 0x3000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmclear 0x1000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmptrld 0x1000L));
+        ignore (l1 xen (Nf_hv.L1_op.Vmwrite (Nf_vmcs.Field.encoding Nf_vmcs.Field.guest_rip, 0x1000L)));
+        ignore (l1 xen (Nf_hv.L1_op.Vmwrite (0xBEEF, 0L)));
+        ignore (l1 xen (Nf_hv.L1_op.Vmread 0xBEEF));
+        ignore (l1 xen Nf_hv.L1_op.Vmptrst);
+        ignore (l1 xen (Nf_hv.L1_op.Invept (1, 0L)));
+        ignore (l1 xen (Nf_hv.L1_op.Invvpid (1, 1L)));
+        ignore (l1 xen Nf_hv.L1_op.Vmxoff));
+    intel_case "test-hvm64-msr" (fun xen ->
+        List.iter
+          (fun m -> ignore (l1 xen (Nf_hv.L1_op.L1_insn (Nf_cpu.Insn.Rdmsr m))))
+          [ Nf_x86.Msr.ia32_vmx_basic; Nf_x86.Msr.ia32_vmx_procbased_ctls ]);
+  ]
+
+let amd_case name f : scenario =
+  {
+    name = "xtf_" ^ name;
+    run =
+      (fun () ->
+        let xen = fresh_xen_amd () in
+        f xen;
+        xen.Nf_xen.Svm_nested.cov);
+  }
+
+let amd_cases : scenario list =
+  [
+    amd_case "test-hvm64-svm-ud" (fun xen ->
+        ignore (Nf_xen.Svm_nested.exec_l1 xen (Nf_hv.L1_op.Vmrun 0x1000L)));
+    amd_case "test-hvm64-svm-insns" (fun xen ->
+        ignore (Nf_xen.Svm_nested.exec_l1 xen (Nf_hv.L1_op.Set_efer_svme true));
+        ignore (Nf_xen.Svm_nested.exec_l1 xen (Nf_hv.L1_op.Vmrun 0x1003L));
+        ignore (Nf_xen.Svm_nested.exec_l1 xen Nf_hv.L1_op.Vmload);
+        ignore (Nf_xen.Svm_nested.exec_l1 xen Nf_hv.L1_op.Vmsave));
+  ]
+
+let runtime_hours = 5.0 /. 60.0
+
+let run_intel ~duration_hours =
+  fst (run_suite ~label:"XTF" ~runtime_hours ~duration_hours intel_cases)
+
+let run_amd ~duration_hours =
+  fst (run_suite ~label:"XTF" ~runtime_hours ~duration_hours amd_cases)

@@ -1,0 +1,5 @@
+(** Behavioural model of the Xen Test Framework: smoke-level nested-HVM
+    micro-VM tests (the 10–20% rows of Table 4). *)
+
+val run_intel : duration_hours:float -> Baseline.run_result
+val run_amd : duration_hours:float -> Baseline.run_result

@@ -1,0 +1,1 @@
+lib/config/vcpu_config.ml: Bytes Char Nf_cpu Printf

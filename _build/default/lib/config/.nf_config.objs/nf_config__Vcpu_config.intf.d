@@ -1,0 +1,1 @@
+lib/config/vcpu_config.mli: Bytes Nf_cpu

@@ -1,0 +1,78 @@
+(** vCPU configurator (§3.5/§4.4).
+
+    The hypervisor-independent core turns fuzzing-input bytes into a
+    feature bit-array ([Nf_cpu.Features.t]); a small per-hypervisor
+    adapter renders the configuration in that hypervisor's native
+    interface (kernel module parameters + QEMU command line for KVM, xl
+    options for Xen, VBoxManage flags for VirtualBox).  The adapters also
+    document, in reports, how to reproduce a configuration by hand. *)
+
+(** Derive a feature configuration from a fuzzing-input bit array.  Bit i
+    of [bits] decides flag i; trailing flags default to enabled.  The
+    result is normalized so dependent features are consistent, exactly as
+    the module-parameter handling of a real hypervisor would. *)
+let of_bits (bits : int) : Nf_cpu.Features.t =
+  let f = ref Nf_cpu.Features.default in
+  for i = 0 to Nf_cpu.Features.flag_count - 1 do
+    f := Nf_cpu.Features.with_nth_flag !f i (bits land (1 lsl i) <> 0)
+  done;
+  Nf_cpu.Features.normalize !f
+
+let of_bytes (b : Bytes.t) ~pos : Nf_cpu.Features.t =
+  let byte i =
+    if Bytes.length b = 0 then 0xFF
+    else Char.code (Bytes.get b ((pos + i) mod Bytes.length b))
+  in
+  of_bits (byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16))
+
+(** Mutate one feature flag, for configuration-space exploration that is
+    independent of a full regeneration. *)
+let flip_flag (f : Nf_cpu.Features.t) i =
+  Nf_cpu.Features.normalize
+    (Nf_cpu.Features.with_nth_flag f i (not (Nf_cpu.Features.nth_flag f i)))
+
+(** KVM adapter: kernel module parameters + QEMU command line. *)
+module Kvm_adapter = struct
+  let module_params ~(vendor : Nf_cpu.Cpu_model.vendor) (f : Nf_cpu.Features.t) =
+    let b v = if v then "1" else "0" in
+    match vendor with
+    | Intel ->
+        Printf.sprintf
+          "kvm-intel nested=%s ept=%s unrestricted_guest=%s vpid=%s \
+           enable_shadow_vmcs=%s enable_apicv=%s preemption_timer=%s pml=%s"
+          (b f.nested) (b f.ept) (b f.unrestricted_guest) (b f.vpid)
+          (b f.vmcs_shadowing) (b f.apicv) (b f.preemption_timer) (b f.pml)
+    | Amd ->
+        Printf.sprintf
+          "kvm-amd nested=%s npt=%s nrips=%s vgif=%s avic=%s vls=%s \
+           pause_filter_count=%s"
+          (b f.nested) (b f.npt) (b f.nrips) (b f.vgif) (b f.avic) (b f.vls)
+          (if f.pause_filter then "3000" else "0")
+
+  let qemu_cmdline ~(vendor : Nf_cpu.Cpu_model.vendor) (f : Nf_cpu.Features.t) =
+    let vmx_or_svm =
+      match vendor with
+      | Intel -> if f.nested then "+vmx" else "-vmx"
+      | Amd -> if f.nested then "+svm" else "-svm"
+    in
+    Printf.sprintf "qemu-kvm -cpu host,%s -smp 1 -m 1G" vmx_or_svm
+end
+
+(** Xen adapter: guest configuration file fragment. *)
+module Xen_adapter = struct
+  let guest_cfg (f : Nf_cpu.Features.t) =
+    Printf.sprintf "type=\"hvm\"\nnestedhvm=%d\nhap=%d\napic=1"
+      (if f.nested then 1 else 0)
+      (if f.ept || f.npt then 1 else 0)
+end
+
+(** VirtualBox adapter: VBoxManage invocation. *)
+module Vbox_adapter = struct
+  let modifyvm (f : Nf_cpu.Features.t) =
+    Printf.sprintf
+      "VBoxManage modifyvm fuzz-harness --nested-hw-virt %s --vtx-vpid %s \
+       --large-pages %s"
+      (if f.nested then "on" else "off")
+      (if f.vpid then "on" else "off")
+      (if f.ept then "on" else "off")
+end

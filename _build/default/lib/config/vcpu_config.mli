@@ -1,0 +1,38 @@
+(** vCPU configurator (§3.5/§4.4).
+
+    The hypervisor-independent core turns fuzzing-input bytes into a
+    feature bit-array ({!Nf_cpu.Features.t}); a small per-hypervisor
+    adapter renders the configuration in that hypervisor's native
+    interface.  The adapters also document, in crash reports, how to
+    reproduce a configuration by hand. *)
+
+(** Derive a feature configuration from a bit array: bit [i] decides
+    flag [i].  The result is normalized (dependent features consistent),
+    exactly as a real hypervisor's module-parameter handling would. *)
+val of_bits : int -> Nf_cpu.Features.t
+
+(** Read the configuration bits from a fuzzing input at byte offset
+    [pos]. *)
+val of_bytes : Bytes.t -> pos:int -> Nf_cpu.Features.t
+
+(** Toggle one feature flag and re-normalize. *)
+val flip_flag : Nf_cpu.Features.t -> int -> Nf_cpu.Features.t
+
+(** KVM adapter: kernel module parameters and QEMU command line. *)
+module Kvm_adapter : sig
+  val module_params :
+    vendor:Nf_cpu.Cpu_model.vendor -> Nf_cpu.Features.t -> string
+
+  val qemu_cmdline :
+    vendor:Nf_cpu.Cpu_model.vendor -> Nf_cpu.Features.t -> string
+end
+
+(** Xen adapter: guest configuration file fragment. *)
+module Xen_adapter : sig
+  val guest_cfg : Nf_cpu.Features.t -> string
+end
+
+(** VirtualBox adapter: VBoxManage invocation. *)
+module Vbox_adapter : sig
+  val modifyvm : Nf_cpu.Features.t -> string
+end

@@ -1,0 +1,1 @@
+lib/core/necofuzz.ml: Experiments Nf_agent Nf_config Nf_coverage Nf_cpu Nf_fuzzer Nf_harness Nf_sanitizer Nf_validator

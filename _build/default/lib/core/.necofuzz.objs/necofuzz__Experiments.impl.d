@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Format List Nf_agent Nf_baselines Nf_coverage Nf_cpu Nf_fuzzer Nf_harness Nf_stdext Nf_validator Nf_vmcs Printf String

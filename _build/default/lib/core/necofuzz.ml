@@ -1,0 +1,71 @@
+(** NecoFuzz: fuzzing nested virtualization via fuzz-harness VMs.
+
+    This is the public entry point of the framework.  The typical flow:
+
+    {[
+      let cfg = Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~hours:48.0 () in
+      let result = Necofuzz.run cfg in
+      Format.printf "coverage: %.1f%%@."
+        (Necofuzz.coverage_pct result);
+      List.iter (Format.printf "%a@." Necofuzz.pp_crash) result.crashes
+    ]}
+
+    The submodules re-export the component libraries so applications can
+    depend on a single library:
+
+    - {!Agent} — campaign orchestration (the agent program of §4.5)
+    - {!Executor} — the fuzz-harness VM (§4.2)
+    - {!Validator} / {!Svm_validator} — the VM state validator (§4.3)
+    - {!Vcpu_config} — the vCPU configurator (§4.4)
+    - {!Fuzzer} — the AFL++-style engine (§4.1)
+    - {!Experiments} — reproduction of every table and figure of §5 *)
+
+module Agent = Nf_agent.Agent
+module Executor = Nf_harness.Executor
+module Templates = Nf_harness.Templates
+module Layout = Nf_harness.Layout
+module Validator = Nf_validator.Validator
+module Svm_validator = Nf_validator.Svm_validator
+module Golden = Nf_validator.Golden
+module Witness = Nf_validator.Witness
+module Distribution = Nf_validator.Distribution
+module Mutation = Nf_validator.Mutation
+module Oracle_campaign = Nf_validator.Oracle_campaign
+module Corpus = Nf_agent.Corpus
+module Minimize = Nf_agent.Minimize
+module Vcpu_config = Nf_config.Vcpu_config
+module Fuzzer = Nf_fuzzer.Fuzzer
+module Coverage = Nf_coverage.Coverage
+module Sanitizer = Nf_sanitizer.Sanitizer
+module Features = Nf_cpu.Features
+module Experiments = Experiments
+
+type target = Nf_agent.Agent.target =
+  | Kvm_intel
+  | Kvm_amd
+  | Xen_intel
+  | Xen_amd
+  | Vbox
+
+type campaign = Nf_agent.Agent.cfg
+type result = Nf_agent.Agent.result
+type crash = Nf_agent.Agent.crash_report
+
+(** Build a campaign configuration.  [guided:false] runs the black-box
+    mode of §5.4 (automatic for VirtualBox, which exposes no coverage). *)
+let campaign ?(guided = true) ?(seed = 1)
+    ?(ablation = Nf_harness.Executor.full_ablation) ~target ~hours () :
+    campaign =
+  {
+    (Nf_agent.Agent.default_cfg target) with
+    mode = (if guided && target <> Vbox then Guided else Blind);
+    seed;
+    ablation;
+    duration_hours = hours;
+  }
+
+let run = Nf_agent.Agent.run
+
+let coverage_pct (r : result) = Nf_coverage.Coverage.Map.coverage_pct r.coverage
+
+let pp_crash = Nf_agent.Agent.pp_crash

@@ -1,0 +1,79 @@
+(** Line-coverage substrate (the KCOV/gcov stand-in) and the AFL-style
+    edge bitmap the agent shares with the fuzzer.
+
+    A simulated hypervisor registers a {!region} of instrumented source
+    files; each basic block registers a {!probe} carrying a line weight.
+    Running code calls {!Map.hit}; the evaluation harness reports
+    covered/total lines the way the paper reports KCOV data for
+    [arch/x86/kvm/{vmx,svm}/nested.c], including the A∩B / A−B set
+    algebra of Tables 2 and 4. *)
+
+type probe = private {
+  id : int;
+  file : string;
+  name : string;
+  line_start : int;
+  lines : int; (* number of source lines this block accounts for *)
+}
+
+type region
+
+val create_region : string -> region
+
+(** [probe region ~file ~lines name] registers a basic block of [lines]
+    source lines; line numbers are assigned consecutively per file. *)
+val probe : region -> file:string -> lines:int -> string -> probe
+
+val probes : region -> probe array
+val files : region -> string list
+val total_lines : ?file:string -> region -> int
+
+(** A coverage map over one region: per-probe hit counts. *)
+module Map : sig
+  type t
+
+  val create : region -> t
+  val hit : t -> probe -> unit
+  val hit_count : t -> probe -> int
+  val is_covered : t -> probe -> bool
+  val reset : t -> unit
+  val copy : t -> t
+  val covered_lines : ?file:string -> t -> int
+  val coverage_pct : ?file:string -> t -> float
+
+  (** [merge a b] accumulates [b]'s hits into [a]. *)
+  val merge : t -> t -> unit
+
+  val union : t -> t -> t
+
+  (** Lines covered by [a] but not [b] (the "A − B" rows of Table 2). *)
+  val minus_lines : ?file:string -> t -> t -> int
+
+  (** Lines covered by both (the "A ∩ B" rows). *)
+  val inter_lines : ?file:string -> t -> t -> int
+
+  val uncovered : ?file:string -> t -> probe list
+end
+
+(** AFL-style edge bitmap: 64 KiB of bucketed counters. *)
+module Bitmap : sig
+  val size : int
+
+  type t = { counts : int array; mutable prev_loc : int }
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  (** Fold one probe hit into the edge map (prev-location hashing). *)
+  val record : t -> int -> unit
+
+  (** AFL++ hit-count classes. *)
+  val bucket : int -> int
+
+  (** [has_new_bits ~virgin t] — does [t] touch any bucket not yet seen?
+      Updates [virgin] in place. *)
+  val has_new_bits : virgin:int array -> t -> bool
+
+  val create_virgin : unit -> int array
+  val count_nonzero : t -> int
+end

@@ -1,0 +1,1 @@
+lib/cpu/cpu_model.ml: Svm_caps Vmx_caps

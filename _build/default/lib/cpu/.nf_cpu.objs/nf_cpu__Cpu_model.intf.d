@@ -1,0 +1,1 @@
+lib/cpu/cpu_model.mli: Svm_caps Vmx_caps

@@ -1,0 +1,1 @@
+lib/cpu/exit_reason.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/cpu/features.ml: Format Fun List String

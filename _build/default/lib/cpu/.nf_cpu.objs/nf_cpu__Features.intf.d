@@ -1,0 +1,1 @@
+lib/cpu/features.mli: Format

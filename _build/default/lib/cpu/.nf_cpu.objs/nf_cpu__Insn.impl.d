@@ -1,0 +1,1 @@
+lib/cpu/insn.ml: Nf_x86 Printf

@@ -1,0 +1,1 @@
+lib/cpu/svm_caps.ml: Features Int64 Nf_stdext

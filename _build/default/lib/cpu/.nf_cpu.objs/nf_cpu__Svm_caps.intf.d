@@ -1,0 +1,1 @@
+lib/cpu/svm_caps.mli: Features

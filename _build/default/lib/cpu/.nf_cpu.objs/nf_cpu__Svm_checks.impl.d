@@ -1,0 +1,1 @@
+lib/cpu/svm_checks.ml: Format Hashtbl Int64 List Nf_stdext Nf_vmcb Nf_x86 Printf Svm_caps

@@ -1,0 +1,1 @@
+lib/cpu/svm_checks.mli: Nf_vmcb Svm_caps

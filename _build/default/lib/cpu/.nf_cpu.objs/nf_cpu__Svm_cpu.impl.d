@@ -1,0 +1,1 @@
+lib/cpu/svm_cpu.ml: Format List Nf_stdext Nf_vmcb Nf_x86 Svm_caps Svm_checks

@@ -1,0 +1,1 @@
+lib/cpu/svm_cpu.mli: Format Nf_vmcb Svm_caps Svm_checks

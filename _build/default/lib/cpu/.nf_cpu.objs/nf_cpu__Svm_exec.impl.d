@@ -1,0 +1,1 @@
+lib/cpu/svm_exec.ml: Insn Int64 Nf_stdext Nf_vmcb Nf_x86 Vmcb

@@ -1,0 +1,1 @@
+lib/cpu/vmx_caps.ml: Controls Entry Exit Features Int64 List Nf_stdext Nf_vmcs Nf_x86 Pin Proc Proc2

@@ -1,0 +1,1 @@
+lib/cpu/vmx_caps.mli: Features

@@ -1,0 +1,1 @@
+lib/cpu/vmx_checks.mli: Nf_vmcs Vmx_caps

@@ -1,0 +1,1 @@
+lib/cpu/vmx_cpu.ml: Array Field Format Int64 List Nf_stdext Nf_vmcs Nf_x86 Printf Vmcs Vmx_caps Vmx_checks

@@ -1,0 +1,1 @@
+lib/cpu/vmx_cpu.mli: Format Nf_vmcs Vmx_caps Vmx_checks

@@ -1,0 +1,1 @@
+lib/cpu/vmx_exec.ml: Controls Exit_reason Field Insn Int64 Nf_stdext Nf_vmcs Nf_x86 Pin Printf Proc Proc2 Vmcs

@@ -1,0 +1,46 @@
+(** Physical CPU models used in the paper's evaluation. *)
+
+type vendor = Intel | Amd
+
+let vendor_name = function Intel -> "Intel" | Amd -> "AMD"
+
+type t = {
+  vendor : vendor;
+  model_name : string;
+  vmx : Vmx_caps.t option;
+  svm : Svm_caps.t option;
+}
+
+let intel_i9_12900k =
+  {
+    vendor = Intel;
+    model_name = "Intel Core i9-12900K";
+    vmx = Some Vmx_caps.alder_lake;
+    svm = None;
+  }
+
+let amd_threadripper_5995wx =
+  {
+    vendor = Amd;
+    model_name = "AMD Ryzen Threadripper PRO 5995WX";
+    vmx = None;
+    svm = Some Svm_caps.zen3;
+  }
+
+let amd_ryzen_5950x =
+  {
+    vendor = Amd;
+    model_name = "AMD Ryzen 9 5950X";
+    vmx = None;
+    svm = Some Svm_caps.zen3;
+  }
+
+let vmx_caps_exn t =
+  match t.vmx with
+  | Some c -> c
+  | None -> invalid_arg (t.model_name ^ " has no VT-x")
+
+let svm_caps_exn t =
+  match t.svm with
+  | Some c -> c
+  | None -> invalid_arg (t.model_name ^ " has no AMD-V")

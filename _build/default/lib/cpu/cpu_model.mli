@@ -1,0 +1,19 @@
+(** Physical CPU models used in the paper's evaluation. *)
+
+type vendor = Intel | Amd
+
+val vendor_name : vendor -> string
+
+type t = {
+  vendor : vendor;
+  model_name : string;
+  vmx : Vmx_caps.t option;
+  svm : Svm_caps.t option;
+}
+
+val intel_i9_12900k : t
+val amd_threadripper_5995wx : t
+val amd_ryzen_5950x : t
+
+val vmx_caps_exn : t -> Vmx_caps.t
+val svm_caps_exn : t -> Svm_caps.t

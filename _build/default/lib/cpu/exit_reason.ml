@@ -1,0 +1,87 @@
+(** Intel VT-x basic exit reasons (SDM Vol. 3D App. C). *)
+
+let exception_nmi = 0
+let external_interrupt = 1
+let triple_fault = 2
+let init_signal = 3
+let sipi = 4
+let interrupt_window = 7
+let nmi_window = 8
+let task_switch = 9
+let cpuid = 10
+let getsec = 11
+let hlt = 12
+let invd = 13
+let invlpg = 14
+let rdpmc = 15
+let rdtsc = 16
+let rsm = 17
+let vmcall = 18
+let vmclear = 19
+let vmlaunch = 20
+let vmptrld = 21
+let vmptrst = 22
+let vmread = 23
+let vmresume = 24
+let vmwrite = 25
+let vmxoff = 26
+let vmxon = 27
+let cr_access = 28
+let dr_access = 29
+let io_instruction = 30
+let msr_read = 31
+let msr_write = 32
+let invalid_guest_state = 33
+let msr_load_fail = 34
+let mwait = 36
+let monitor_trap_flag = 37
+let monitor = 39
+let pause = 40
+let machine_check = 41
+let tpr_below_threshold = 43
+let apic_access = 44
+let virtualized_eoi = 45
+let gdtr_idtr_access = 46
+let ldtr_tr_access = 47
+let ept_violation = 48
+let ept_misconfig = 49
+let invept = 50
+let rdtscp = 51
+let preemption_timer = 52
+let invvpid = 53
+let wbinvd = 54
+let xsetbv = 55
+let apic_write = 56
+let rdrand = 57
+let invpcid = 58
+let vmfunc = 59
+let encls = 60
+let rdseed = 61
+let pml_full = 62
+let xsaves = 63
+let xrstors = 64
+
+(** Bit 31 of the exit-reason field flags a VM-entry failure. *)
+let entry_failure_flag = 0x8000_0000L
+
+let with_entry_failure r = Int64.logor (Int64.of_int r) entry_failure_flag
+
+let name = function
+  | 0 -> "EXCEPTION_NMI" | 1 -> "EXTERNAL_INTERRUPT" | 2 -> "TRIPLE_FAULT"
+  | 3 -> "INIT" | 4 -> "SIPI" | 7 -> "INTERRUPT_WINDOW" | 8 -> "NMI_WINDOW"
+  | 9 -> "TASK_SWITCH" | 10 -> "CPUID" | 11 -> "GETSEC" | 12 -> "HLT"
+  | 13 -> "INVD" | 14 -> "INVLPG" | 15 -> "RDPMC" | 16 -> "RDTSC"
+  | 17 -> "RSM" | 18 -> "VMCALL" | 19 -> "VMCLEAR" | 20 -> "VMLAUNCH"
+  | 21 -> "VMPTRLD" | 22 -> "VMPTRST" | 23 -> "VMREAD" | 24 -> "VMRESUME"
+  | 25 -> "VMWRITE" | 26 -> "VMXOFF" | 27 -> "VMXON" | 28 -> "CR_ACCESS"
+  | 29 -> "DR_ACCESS" | 30 -> "IO_INSTRUCTION" | 31 -> "MSR_READ"
+  | 32 -> "MSR_WRITE" | 33 -> "INVALID_GUEST_STATE" | 34 -> "MSR_LOAD_FAIL"
+  | 36 -> "MWAIT" | 37 -> "MONITOR_TRAP_FLAG" | 39 -> "MONITOR"
+  | 40 -> "PAUSE" | 41 -> "MACHINE_CHECK" | 43 -> "TPR_BELOW_THRESHOLD"
+  | 44 -> "APIC_ACCESS" | 45 -> "VIRTUALIZED_EOI" | 46 -> "GDTR_IDTR"
+  | 47 -> "LDTR_TR" | 48 -> "EPT_VIOLATION" | 49 -> "EPT_MISCONFIG"
+  | 50 -> "INVEPT" | 51 -> "RDTSCP" | 52 -> "PREEMPTION_TIMER"
+  | 53 -> "INVVPID" | 54 -> "WBINVD" | 55 -> "XSETBV" | 56 -> "APIC_WRITE"
+  | 57 -> "RDRAND" | 58 -> "INVPCID" | 59 -> "VMFUNC" | 60 -> "ENCLS"
+  | 61 -> "RDSEED" | 62 -> "PML_FULL" | 63 -> "XSAVES" | 64 -> "XRSTORS"
+  | n -> Printf.sprintf "EXIT(%d)" n

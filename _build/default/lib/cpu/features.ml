@@ -1,0 +1,127 @@
+(** vCPU feature configuration.
+
+    This is the bit array the vCPU configurator mutates (§3.5/§4.4): each
+    flag enables or disables one hardware-assisted-virtualization feature
+    of the virtual CPU presented to the L1 hypervisor.  The Intel flags map
+    to kvm-intel.ko module parameters / QEMU cpu flags, the AMD ones to
+    kvm-amd.ko parameters. *)
+
+type t = {
+  (* Common *)
+  nested : bool; (* expose VMX/SVM to the guest at all *)
+  (* Intel VT-x *)
+  ept : bool;
+  unrestricted_guest : bool; (* requires ept *)
+  vpid : bool;
+  vmcs_shadowing : bool;
+  apicv : bool; (* APIC-register virtualization + virtual-interrupt delivery *)
+  posted_interrupts : bool; (* requires apicv *)
+  preemption_timer : bool;
+  pml : bool; (* requires ept *)
+  vmfunc : bool; (* requires ept *)
+  ept_ad : bool; (* EPT accessed/dirty flags; requires ept *)
+  tsc_scaling : bool;
+  xsaves : bool;
+  (* AMD-V *)
+  npt : bool;
+  nrips : bool;
+  vgif : bool;
+  avic : bool;
+  vls : bool; (* virtual VMLOAD/VMSAVE *)
+  pause_filter : bool;
+}
+
+let default =
+  {
+    nested = true;
+    ept = true;
+    unrestricted_guest = true;
+    vpid = true;
+    vmcs_shadowing = true;
+    apicv = true;
+    posted_interrupts = true;
+    preemption_timer = true;
+    pml = true;
+    vmfunc = true;
+    ept_ad = true;
+    tsc_scaling = true;
+    xsaves = true;
+    npt = true;
+    nrips = true;
+    vgif = true;
+    avic = false; (* matches KVM's default: AVIC off *)
+    vls = true;
+    pause_filter = true;
+  }
+
+(** Resolve dependencies the way KVM's module-parameter handling does:
+    disabling a prerequisite silently disables its dependents. *)
+let normalize f =
+  let f = if f.ept then f else { f with unrestricted_guest = false; pml = false; vmfunc = false; ept_ad = false } in
+  let f = if f.apicv then f else { f with posted_interrupts = false } in
+  f
+
+(** The fixed order in which the configurator's fuzzing-input bit array is
+    applied (§4.4: "configuration is generally represented as a bit
+    array"). *)
+let nth_flag f i =
+  match i with
+  | 0 -> f.ept
+  | 1 -> f.unrestricted_guest
+  | 2 -> f.vpid
+  | 3 -> f.vmcs_shadowing
+  | 4 -> f.apicv
+  | 5 -> f.posted_interrupts
+  | 6 -> f.preemption_timer
+  | 7 -> f.pml
+  | 8 -> f.vmfunc
+  | 9 -> f.ept_ad
+  | 10 -> f.tsc_scaling
+  | 11 -> f.xsaves
+  | 12 -> f.npt
+  | 13 -> f.nrips
+  | 14 -> f.vgif
+  | 15 -> f.avic
+  | 16 -> f.vls
+  | 17 -> f.pause_filter
+  | _ -> invalid_arg "Features.nth_flag"
+
+let flag_count = 18
+
+let with_nth_flag f i b =
+  match i with
+  | 0 -> { f with ept = b }
+  | 1 -> { f with unrestricted_guest = b }
+  | 2 -> { f with vpid = b }
+  | 3 -> { f with vmcs_shadowing = b }
+  | 4 -> { f with apicv = b }
+  | 5 -> { f with posted_interrupts = b }
+  | 6 -> { f with preemption_timer = b }
+  | 7 -> { f with pml = b }
+  | 8 -> { f with vmfunc = b }
+  | 9 -> { f with ept_ad = b }
+  | 10 -> { f with tsc_scaling = b }
+  | 11 -> { f with xsaves = b }
+  | 12 -> { f with npt = b }
+  | 13 -> { f with nrips = b }
+  | 14 -> { f with vgif = b }
+  | 15 -> { f with avic = b }
+  | 16 -> { f with vls = b }
+  | 17 -> { f with pause_filter = b }
+  | _ -> invalid_arg "Features.with_nth_flag"
+
+let flag_name = function
+  | 0 -> "ept" | 1 -> "unrestricted_guest" | 2 -> "vpid"
+  | 3 -> "vmcs_shadowing" | 4 -> "apicv" | 5 -> "posted_interrupts"
+  | 6 -> "preemption_timer" | 7 -> "pml" | 8 -> "vmfunc" | 9 -> "ept_ad"
+  | 10 -> "tsc_scaling" | 11 -> "xsaves" | 12 -> "npt" | 13 -> "nrips"
+  | 14 -> "vgif" | 15 -> "avic" | 16 -> "vls" | 17 -> "pause_filter"
+  | _ -> invalid_arg "Features.flag_name"
+
+let pp ppf f =
+  let flags =
+    List.filter_map
+      (fun i -> if nth_flag f i then Some (flag_name i) else None)
+      (List.init flag_count Fun.id)
+  in
+  Format.fprintf ppf "{%s}" (String.concat "," flags)

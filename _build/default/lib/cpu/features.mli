@@ -1,0 +1,43 @@
+(** vCPU feature configuration: the bit array the vCPU configurator
+    mutates (§3.5/§4.4).  Intel flags map to kvm-intel.ko module
+    parameters / QEMU CPU flags, AMD flags to kvm-amd.ko parameters. *)
+
+type t = {
+  nested : bool; (** expose VMX/SVM to the guest at all *)
+  (* Intel VT-x *)
+  ept : bool;
+  unrestricted_guest : bool; (** requires ept *)
+  vpid : bool;
+  vmcs_shadowing : bool;
+  apicv : bool;
+  posted_interrupts : bool; (** requires apicv *)
+  preemption_timer : bool;
+  pml : bool; (** requires ept *)
+  vmfunc : bool; (** requires ept *)
+  ept_ad : bool; (** requires ept *)
+  tsc_scaling : bool;
+  xsaves : bool;
+  (* AMD-V *)
+  npt : bool;
+  nrips : bool;
+  vgif : bool;
+  avic : bool;
+  vls : bool;
+  pause_filter : bool;
+}
+
+(** Everything enabled except AVIC (KVM's default). *)
+val default : t
+
+(** Resolve dependencies the way KVM's module-parameter handling does:
+    disabling a prerequisite silently disables its dependents. *)
+val normalize : t -> t
+
+(** Number of flags in the configurator's bit array. *)
+val flag_count : int
+
+val nth_flag : t -> int -> bool
+val with_nth_flag : t -> int -> bool -> t
+val flag_name : int -> string
+
+val pp : Format.formatter -> t -> unit

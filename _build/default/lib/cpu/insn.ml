@@ -1,0 +1,69 @@
+(** Guest instructions the execution harness can run in L2 (or L1).
+
+    These are the "exit-triggering instruction templates" of Table 1: each
+    constructor is one instruction class with its parameters.  The CPU
+    model decides whether executing it in non-root mode causes a VM exit
+    under the current controls. *)
+
+type t =
+  | Cpuid of int (* leaf *)
+  | Hlt
+  | Pause
+  | Mwait
+  | Monitor
+  | Invd
+  | Wbinvd
+  | Invlpg of int64
+  | Rdtsc
+  | Rdtscp
+  | Rdpmc
+  | Rdrand
+  | Rdseed
+  | Xsetbv of int64
+  | Vmcall
+  | Mov_to_cr of int * int64 (* cr number, value *)
+  | Mov_from_cr of int
+  | Mov_dr of int
+  | Io_in of int (* port *)
+  | Io_out of int * int (* port, value *)
+  | Rdmsr of int
+  | Wrmsr of int * int64
+  | Vmx_in_guest of string (* any VMX instruction executed in L2 *)
+  | Soft_int of int (* INT n *)
+  | Ud2 (* invalid opcode *)
+  | Nop
+  (* Asynchronous pseudo-events (the §6.3 extension): injected by the
+     harness on a deterministic schedule rather than decoded from guest
+     code. *)
+  | Ext_interrupt of int (* external interrupt, vector *)
+  | Nmi_event
+
+let name = function
+  | Cpuid _ -> "cpuid"
+  | Hlt -> "hlt"
+  | Pause -> "pause"
+  | Mwait -> "mwait"
+  | Monitor -> "monitor"
+  | Invd -> "invd"
+  | Wbinvd -> "wbinvd"
+  | Invlpg _ -> "invlpg"
+  | Rdtsc -> "rdtsc"
+  | Rdtscp -> "rdtscp"
+  | Rdpmc -> "rdpmc"
+  | Rdrand -> "rdrand"
+  | Rdseed -> "rdseed"
+  | Xsetbv _ -> "xsetbv"
+  | Vmcall -> "vmcall"
+  | Mov_to_cr (n, _) -> Printf.sprintf "mov cr%d, r" n
+  | Mov_from_cr n -> Printf.sprintf "mov r, cr%d" n
+  | Mov_dr n -> Printf.sprintf "mov dr%d" n
+  | Io_in p -> Printf.sprintf "in 0x%x" p
+  | Io_out (p, _) -> Printf.sprintf "out 0x%x" p
+  | Rdmsr m -> Printf.sprintf "rdmsr %s" (Nf_x86.Msr.name m)
+  | Wrmsr (m, _) -> Printf.sprintf "wrmsr %s" (Nf_x86.Msr.name m)
+  | Vmx_in_guest i -> i ^ " (in guest)"
+  | Soft_int n -> Printf.sprintf "int %d" n
+  | Ud2 -> "ud2"
+  | Nop -> "nop"
+  | Ext_interrupt v -> Printf.sprintf "ext-intr %d" v
+  | Nmi_event -> "nmi"

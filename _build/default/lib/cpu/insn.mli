@@ -1,0 +1,38 @@
+(** Guest instructions the execution harness can run in L2 (or L1) — the
+    exit-triggering instruction classes of Table 1, plus the asynchronous
+    pseudo-events of the §6.3 extension. *)
+
+type t =
+  | Cpuid of int (** leaf *)
+  | Hlt
+  | Pause
+  | Mwait
+  | Monitor
+  | Invd
+  | Wbinvd
+  | Invlpg of int64
+  | Rdtsc
+  | Rdtscp
+  | Rdpmc
+  | Rdrand
+  | Rdseed
+  | Xsetbv of int64
+  | Vmcall
+  | Mov_to_cr of int * int64 (** CR number, value *)
+  | Mov_from_cr of int
+  | Mov_dr of int
+  | Io_in of int (** port *)
+  | Io_out of int * int (** port, value *)
+  | Rdmsr of int
+  | Wrmsr of int * int64
+  | Vmx_in_guest of string
+      (** any VMX/SVM instruction executed inside L2 *)
+  | Soft_int of int (** INT n *)
+  | Ud2
+  | Nop
+  | Ext_interrupt of int
+      (** asynchronous external interrupt (vector), injected by the
+          harness on a deterministic schedule *)
+  | Nmi_event
+
+val name : t -> string

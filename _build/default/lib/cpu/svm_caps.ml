@@ -1,0 +1,42 @@
+(** AMD-V (SVM) capability model, masked by the vCPU configuration. *)
+
+type t = {
+  maxphyaddr : int;
+  has_npt : bool;
+  has_nrips : bool;
+  has_vgif : bool;
+  has_avic : bool;
+  has_vls : bool; (* virtual VMLOAD/VMSAVE *)
+  has_pause_filter : bool;
+  has_lbr_virt : bool;
+}
+
+(** The evaluation machines' AMD CPUs (Threadripper PRO 5995WX / Ryzen 9
+    5950X — both Zen 3). *)
+let zen3 : t =
+  {
+    maxphyaddr = 48;
+    has_npt = true;
+    has_nrips = true;
+    has_vgif = true;
+    has_avic = true;
+    has_vls = true;
+    has_pause_filter = true;
+    has_lbr_virt = true;
+  }
+
+let physaddr_mask t = Nf_stdext.Bits.mask t.maxphyaddr
+
+let addr_in_physaddr t v = Int64.logand v (Int64.lognot (physaddr_mask t)) = 0L
+
+let apply_features (t : t) (f : Features.t) : t =
+  let f = Features.normalize f in
+  {
+    t with
+    has_npt = t.has_npt && f.npt;
+    has_nrips = t.has_nrips && f.nrips;
+    has_vgif = t.has_vgif && f.vgif;
+    has_avic = t.has_avic && f.avic;
+    has_vls = t.has_vls && f.vls;
+    has_pause_filter = t.has_pause_filter && f.pause_filter;
+  }

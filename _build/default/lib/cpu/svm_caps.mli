@@ -1,0 +1,20 @@
+(** AMD-V (SVM) capability model, masked by the vCPU configuration. *)
+
+type t = {
+  maxphyaddr : int;
+  has_npt : bool;
+  has_nrips : bool;
+  has_vgif : bool;
+  has_avic : bool;
+  has_vls : bool;
+  has_pause_filter : bool;
+  has_lbr_virt : bool;
+}
+
+(** The evaluation machines' AMD CPUs (Threadripper PRO 5995WX / Ryzen 9
+    5950X — both Zen 3). *)
+val zen3 : t
+
+val physaddr_mask : t -> int64
+val addr_in_physaddr : t -> int64 -> bool
+val apply_features : t -> Features.t -> t

@@ -1,0 +1,269 @@
+(** VMRUN canonicalization and consistency checks (AMD APM Vol. 2 §15.5.1).
+
+    Violations cause VMRUN to exit immediately with VMEXIT_INVALID; no
+    guest instruction runs.  As on the Intel side, the table is shared by
+    the CPU oracle, the validator, and the hypervisors' replicated
+    checks.
+
+    One deliberate *absence*: the APM permits EFER.LME=1 with CR0.PG=0
+    (legacy mode with long mode armed) and does not define how VMRUN
+    should treat it — the architectural ambiguity behind the Xen nested
+    SVM bug (paper §5.5.2).  Hardware accepts the state, so there is no
+    check for it here. *)
+
+type ctx = { caps : Svm_caps.t; vmcb : Nf_vmcb.Vmcb.t }
+
+type check = { id : string; doc : string; run : ctx -> (unit, string) result }
+
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let require b fmt =
+  if b then Format.ikfprintf (fun _ -> Ok ()) Format.str_formatter fmt
+  else Format.kasprintf (fun s -> Error s) fmt
+
+let rd ctx f = Nf_vmcb.Vmcb.read ctx.vmcb f
+let bit ctx f n = Nf_stdext.Bits.is_set (rd ctx f) n
+
+let all =
+  [
+    {
+      id = "svm.efer_svme";
+      doc = "EFER.SVME must be set";
+      run =
+        (fun ctx ->
+          require
+            (bit ctx Nf_vmcb.Vmcb.efer Nf_x86.Efer.svme)
+            "EFER.SVME clear in VMCB");
+    };
+    {
+      id = "svm.efer_reserved";
+      doc = "EFER reserved bits must be zero";
+      run =
+        (fun ctx ->
+          let e = rd ctx Nf_vmcb.Vmcb.efer in
+          require
+            (Int64.logand e (Int64.lognot Nf_x86.Efer.defined_mask) = 0L)
+            "EFER reserved bits set (%Lx)" e);
+    };
+    {
+      id = "svm.cr0_cd_nw";
+      doc = "CR0.CD clear with CR0.NW set is illegal";
+      run =
+        (fun ctx ->
+          require
+            (not
+               (bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.nw
+               && not (bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.cd)))
+            "CR0.NW set with CR0.CD clear");
+    };
+    {
+      id = "svm.cr0_high";
+      doc = "CR0[63:32] must be zero";
+      run =
+        (fun ctx ->
+          require
+            (Int64.shift_right_logical (rd ctx Nf_vmcb.Vmcb.cr0) 32 = 0L)
+            "CR0 upper half set (%Lx)" (rd ctx Nf_vmcb.Vmcb.cr0));
+    };
+    {
+      id = "svm.cr3_mbz";
+      doc = "CR3 must-be-zero bits (beyond physical width)";
+      run =
+        (fun ctx ->
+          require
+            (Svm_caps.addr_in_physaddr ctx.caps (rd ctx Nf_vmcb.Vmcb.cr3))
+            "CR3 beyond physical-address width (%Lx)" (rd ctx Nf_vmcb.Vmcb.cr3));
+    };
+    {
+      id = "svm.cr4_reserved";
+      doc = "CR4 reserved bits must be zero";
+      run =
+        (fun ctx ->
+          let v = rd ctx Nf_vmcb.Vmcb.cr4 in
+          require
+            (Int64.logand v (Int64.lognot Nf_x86.Cr4.defined_mask) = 0L)
+            "CR4 reserved bits set (%Lx)" v);
+    };
+    {
+      id = "svm.dr6_high";
+      doc = "DR6[63:32] must be zero";
+      run =
+        (fun ctx ->
+          require
+            (Int64.shift_right_logical (rd ctx Nf_vmcb.Vmcb.dr6) 32 = 0L)
+            "DR6 upper half set");
+    };
+    {
+      id = "svm.dr7_high";
+      doc = "DR7[63:32] must be zero";
+      run =
+        (fun ctx ->
+          require
+            (Int64.shift_right_logical (rd ctx Nf_vmcb.Vmcb.dr7) 32 = 0L)
+            "DR7 upper half set");
+    };
+    {
+      id = "svm.long_mode_pae";
+      doc = "EFER.LME && CR0.PG requires CR4.PAE";
+      run =
+        (fun ctx ->
+          require
+            (not
+               (bit ctx Nf_vmcb.Vmcb.efer Nf_x86.Efer.lme
+               && bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg
+               && not (bit ctx Nf_vmcb.Vmcb.cr4 Nf_x86.Cr4.pae)))
+            "long mode paging without CR4.PAE");
+    };
+    {
+      id = "svm.long_mode_pe";
+      doc = "EFER.LME && CR0.PG requires CR0.PE";
+      run =
+        (fun ctx ->
+          require
+            (not
+               (bit ctx Nf_vmcb.Vmcb.efer Nf_x86.Efer.lme
+               && bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg
+               && not (bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pe)))
+            "long mode paging without CR0.PE");
+    };
+    {
+      id = "svm.long_mode_cs";
+      doc = "64-bit mode forbids CS.L together with CS.D";
+      run =
+        (fun ctx ->
+          let attrib = rd ctx (Nf_vmcb.Vmcb.seg_attrib Nf_x86.Seg.CS) in
+          let l = Nf_stdext.Bits.is_set attrib 9 in
+          let d = Nf_stdext.Bits.is_set attrib 10 in
+          (* VMCB attrib format: bits 0..11 of the descriptor's 52..63. *)
+          require
+            (not
+               (bit ctx Nf_vmcb.Vmcb.efer Nf_x86.Efer.lme
+               && bit ctx Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg
+               && bit ctx Nf_vmcb.Vmcb.cr4 Nf_x86.Cr4.pae
+               && l && d))
+            "CS.L and CS.D both set in long mode");
+    };
+    {
+      id = "svm.asid";
+      doc = "Guest ASID must not be zero";
+      run =
+        (fun ctx ->
+          require (rd ctx Nf_vmcb.Vmcb.guest_asid <> 0L) "guest ASID is 0");
+    };
+    {
+      id = "svm.vmrun_intercept";
+      doc = "The VMRUN intercept must be set";
+      run =
+        (fun ctx ->
+          require
+            (bit ctx Nf_vmcb.Vmcb.intercept_vec4 Nf_vmcb.Vmcb.Vec4.vmrun)
+            "VMRUN intercept clear");
+    };
+    {
+      id = "svm.iopm_mbz";
+      doc = "IOPM base must be within the physical-address width";
+      run =
+        (fun ctx ->
+          require
+            (Svm_caps.addr_in_physaddr ctx.caps (rd ctx Nf_vmcb.Vmcb.iopm_base_pa))
+            "IOPM base beyond physical width");
+    };
+    {
+      id = "svm.msrpm_mbz";
+      doc = "MSRPM base must be within the physical-address width";
+      run =
+        (fun ctx ->
+          require
+            (Svm_caps.addr_in_physaddr ctx.caps (rd ctx Nf_vmcb.Vmcb.msrpm_base_pa))
+            "MSRPM base beyond physical width");
+    };
+    {
+      id = "svm.npt_supported";
+      doc = "Nested paging may only be enabled when supported";
+      run =
+        (fun ctx ->
+          require
+            ((not (bit ctx Nf_vmcb.Vmcb.nested_ctl Nf_vmcb.Vmcb.Nested.np_enable))
+            || ctx.caps.has_npt)
+            "nested paging enabled without NPT support");
+    };
+    {
+      id = "svm.ncr3_mbz";
+      doc = "N_CR3 must be within the physical-address width and 4K-aligned";
+      run =
+        (fun ctx ->
+          if not (bit ctx Nf_vmcb.Vmcb.nested_ctl Nf_vmcb.Vmcb.Nested.np_enable)
+          then Ok ()
+          else begin
+            let v = rd ctx Nf_vmcb.Vmcb.n_cr3 in
+            require
+              (Svm_caps.addr_in_physaddr ctx.caps v
+              && Nf_stdext.Bits.is_aligned v 12)
+              "N_CR3 invalid (%Lx)" v
+          end);
+    };
+    {
+      id = "svm.vgif_supported";
+      doc = "vGIF may only be enabled when supported";
+      run =
+        (fun ctx ->
+          require
+            ((not (bit ctx Nf_vmcb.Vmcb.vintr_ctl Nf_vmcb.Vmcb.Vintr.v_gif_enable))
+            || ctx.caps.has_vgif)
+            "vGIF enabled without hardware support");
+    };
+    {
+      id = "svm.avic_supported";
+      doc = "AVIC may only be enabled when supported";
+      run =
+        (fun ctx ->
+          require
+            ((not (bit ctx Nf_vmcb.Vmcb.vintr_ctl Nf_vmcb.Vmcb.Vintr.avic_enable))
+            || ctx.caps.has_avic)
+            "AVIC enabled without hardware support");
+    };
+    {
+      id = "svm.event_inj";
+      doc = "EVENTINJ type must be valid";
+      run =
+        (fun ctx ->
+          let e = rd ctx Nf_vmcb.Vmcb.event_inj in
+          if not (Nf_stdext.Bits.is_set e 31) then Ok ()
+          else begin
+            let typ = Int64.to_int (Nf_stdext.Bits.extract e ~lo:8 ~width:3) in
+            match typ with
+            | 0 | 2 | 3 | 4 -> Ok ()
+            | t -> fail "EVENTINJ type %d reserved" t
+          end);
+    };
+    {
+      id = "svm.rflags_reserved";
+      doc = "RFLAGS reserved-1 bit must be set";
+      run =
+        (fun ctx ->
+          require
+            (bit ctx Nf_vmcb.Vmcb.rflags Nf_x86.Rflags.reserved_one)
+            "RFLAGS bit 1 clear");
+    };
+  ]
+
+let ids = List.map (fun c -> c.id) all
+
+let by_id =
+  let h = Hashtbl.create 37 in
+  List.iter (fun c -> Hashtbl.replace h c.id c) all;
+  fun id ->
+    match Hashtbl.find_opt h id with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "unknown SVM check %S" id)
+
+let run_all ?(skip = fun _ -> false) ctx =
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if skip c.id then go rest
+        else begin
+          match c.run ctx with Ok () -> go rest | Error msg -> Error (c, msg)
+        end
+  in
+  go all

@@ -1,0 +1,19 @@
+(** VMRUN canonicalization and consistency checks (AMD APM Vol. 2
+    §15.5.1).  Violations cause VMRUN to fail with VMEXIT_INVALID.
+
+    One deliberate absence: the APM permits EFER.LME=1 with CR0.PG=0 and
+    does not define VMRUN's behaviour for it — the architectural
+    ambiguity behind the Xen nested-SVM bug — so there is no check for
+    that state here. *)
+
+type ctx = { caps : Svm_caps.t; vmcb : Nf_vmcb.Vmcb.t }
+
+type check = { id : string; doc : string; run : ctx -> (unit, string) result }
+
+val all : check list
+val ids : string list
+
+(** @raise Invalid_argument on an unknown identifier. *)
+val by_id : string -> check
+
+val run_all : ?skip:(string -> bool) -> ctx -> (unit, check * string) result

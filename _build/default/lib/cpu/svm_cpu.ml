@@ -1,0 +1,34 @@
+(** Physical-CPU oracle for AMD-V: VMRUN consistency checking. *)
+
+type outcome =
+  | Entered
+  | Vmexit_invalid of { check : Svm_checks.check; msg : string }
+      (** VMRUN failed its consistency checks: EXITCODE = VMEXIT_INVALID *)
+
+let outcome_name = function
+  | Entered -> "ENTERED"
+  | Vmexit_invalid _ -> "VMEXIT_INVALID"
+
+let pp_outcome ppf = function
+  | Entered -> Format.fprintf ppf "entered"
+  | Vmexit_invalid { check; msg } ->
+      Format.fprintf ppf "VMEXIT_INVALID %s: %s" check.Svm_checks.id msg
+
+(** Hardware accepts states the manual is silent about; nothing in
+    [Svm_checks.all] models the EFER.LME && !CR0.PG ambiguity, so there is
+    no skip list — kept for interface symmetry with the Intel oracle. *)
+let hardware_skips : string list = []
+
+let vmrun ~(caps : Svm_caps.t) (vmcb : Nf_vmcb.Vmcb.t) : outcome =
+  let ctx = { Svm_checks.caps; vmcb } in
+  let skip id = List.mem id hardware_skips in
+  match Svm_checks.run_all ~skip ctx with
+  | Ok () -> Entered
+  | Error (check, msg) -> Vmexit_invalid { check; msg }
+
+(** Is the VMCB describing a guest in the "legacy mode with long mode
+    armed" corner (EFER.LME set, CR0.PG clear)?  Hardware permits it; how a
+    nested hypervisor mirrors it into VMCB02 is where Xen goes wrong. *)
+let lme_without_paging vmcb =
+  Nf_stdext.Bits.is_set (Nf_vmcb.Vmcb.read vmcb Nf_vmcb.Vmcb.efer) Nf_x86.Efer.lme
+  && not (Nf_stdext.Bits.is_set (Nf_vmcb.Vmcb.read vmcb Nf_vmcb.Vmcb.cr0) Nf_x86.Cr0.pg)

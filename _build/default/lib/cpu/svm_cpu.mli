@@ -1,0 +1,20 @@
+(** Physical-CPU oracle for AMD-V: VMRUN consistency checking. *)
+
+type outcome =
+  | Entered
+  | Vmexit_invalid of { check : Svm_checks.check; msg : string }
+      (** VMRUN failed its consistency checks: EXITCODE = VMEXIT_INVALID *)
+
+val outcome_name : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Kept for interface symmetry with the Intel oracle; empty — the
+    EFER.LME && !CR0.PG ambiguity is modelled by *absence* of a check. *)
+val hardware_skips : string list
+
+val vmrun : caps:Svm_caps.t -> Nf_vmcb.Vmcb.t -> outcome
+
+(** Is the VMCB in the "legacy mode with long mode armed" corner
+    (EFER.LME set, CR0.PG clear)?  Hardware permits it; how a nested
+    hypervisor mirrors it into VMCB02 is where Xen goes wrong. *)
+val lme_without_paging : Nf_vmcb.Vmcb.t -> bool

@@ -1,0 +1,122 @@
+(** Non-root execution model for AMD-V: decide which #VMEXIT (if any) an
+    instruction executed under a VMCB's intercept configuration causes. *)
+
+open Nf_vmcb
+
+type exit = { code : int64; info1 : int64; info2 : int64 }
+
+type verdict = No_exit | Exit of exit
+
+let exit ?(info1 = 0L) ?(info2 = 0L) code = Exit { code; info1; info2 }
+
+let vec3 vmcb n = Vmcb.read_bit vmcb Vmcb.intercept_vec3 n
+let vec4 vmcb n = Vmcb.read_bit vmcb Vmcb.intercept_vec4 n
+
+let bitmap_bit addr index =
+  let r = Nf_stdext.Rng.of_int64 (Int64.add addr (Int64.of_int (index * 2654435761))) in
+  Nf_stdext.Rng.bool r
+
+let io_intercepted vmcb port =
+  vec3 vmcb Vmcb.Vec3.ioio_prot
+  && bitmap_bit (Vmcb.read vmcb Vmcb.iopm_base_pa) port
+
+let msr_intercepted vmcb ~write msr =
+  vec3 vmcb Vmcb.Vec3.msr_prot
+  &&
+  let in_range =
+    (msr >= 0 && msr < 0x2000)
+    || (msr >= 0xC0000000 && msr < 0xC0002000)
+    || (msr >= 0xC0010000 && msr < 0xC0012000)
+  in
+  (not in_range)
+  || bitmap_bit (Vmcb.read vmcb Vmcb.msrpm_base_pa) ((msr * 2) + if write then 1 else 0)
+
+let exception_intercepted vmcb vector =
+  vector < 32 && Vmcb.read_bit vmcb Vmcb.intercept_exceptions vector
+
+let decide (vmcb : Vmcb.t) (insn : Insn.t) : verdict =
+  match insn with
+  | Insn.Nop -> No_exit
+  | Cpuid leaf ->
+      if vec3 vmcb Vmcb.Vec3.cpuid then exit ~info1:(Int64.of_int leaf) Vmcb.Exit.cpuid
+      else No_exit
+  | Hlt -> if vec3 vmcb Vmcb.Vec3.hlt then exit Vmcb.Exit.hlt else No_exit
+  | Pause -> if vec3 vmcb Vmcb.Vec3.pause then exit Vmcb.Exit.pause else No_exit
+  | Mwait -> if vec4 vmcb Vmcb.Vec4.mwait then exit Vmcb.Exit.mwait else No_exit
+  | Monitor ->
+      if vec4 vmcb Vmcb.Vec4.monitor then exit Vmcb.Exit.monitor else No_exit
+  | Invd -> if vec3 vmcb Vmcb.Vec3.invd then exit (Int64.of_int 0x76) else No_exit
+  | Wbinvd -> if vec4 vmcb Vmcb.Vec4.wbinvd then exit Vmcb.Exit.wbinvd else No_exit
+  | Invlpg _ -> if vec3 vmcb Vmcb.Vec3.invlpg then exit Vmcb.Exit.invlpg else No_exit
+  | Rdtsc -> if vec3 vmcb Vmcb.Vec3.rdtsc then exit Vmcb.Exit.rdtsc else No_exit
+  | Rdtscp -> if vec4 vmcb Vmcb.Vec4.rdtscp then exit Vmcb.Exit.rdtscp else No_exit
+  | Rdpmc -> if vec3 vmcb Vmcb.Vec3.rdpmc then exit Vmcb.Exit.rdpmc else No_exit
+  | Rdrand | Rdseed -> No_exit (* no SVM intercept for these *)
+  | Xsetbv _ -> if vec4 vmcb Vmcb.Vec4.xsetbv then exit Vmcb.Exit.xsetbv else No_exit
+  | Vmcall -> if vec4 vmcb Vmcb.Vec4.vmmcall then exit Vmcb.Exit.vmmcall else No_exit
+  | Mov_to_cr (0, _) ->
+      if Vmcb.read_bit vmcb Vmcb.intercept_cr_write 0 then exit Vmcb.Exit.cr0_write
+      else No_exit
+  | Mov_to_cr (3, _) ->
+      if Vmcb.read_bit vmcb Vmcb.intercept_cr_write 3 then exit Vmcb.Exit.cr3_write
+      else No_exit
+  | Mov_to_cr (4, _) ->
+      if Vmcb.read_bit vmcb Vmcb.intercept_cr_write 4 then exit Vmcb.Exit.cr4_write
+      else No_exit
+  | Mov_to_cr (n, _) ->
+      if n < 16 && Vmcb.read_bit vmcb Vmcb.intercept_cr_write n then
+        exit (Int64.of_int (0x10 + n))
+      else No_exit
+  | Mov_from_cr n ->
+      if n < 16 && Vmcb.read_bit vmcb Vmcb.intercept_cr_read n then
+        exit (Int64.of_int n)
+      else No_exit
+  | Mov_dr n ->
+      if n < 16 && Vmcb.read_bit vmcb Vmcb.intercept_dr_write n then
+        exit (Int64.of_int (0x30 + n))
+      else No_exit
+  | Io_in port ->
+      if io_intercepted vmcb port then
+        exit ~info1:(Int64.of_int ((port lsl 16) lor 1)) Vmcb.Exit.ioio
+      else No_exit
+  | Io_out (port, _) ->
+      if io_intercepted vmcb port then
+        exit ~info1:(Int64.of_int (port lsl 16)) Vmcb.Exit.ioio
+      else No_exit
+  | Rdmsr msr ->
+      if msr_intercepted vmcb ~write:false msr then
+        exit ~info1:0L ~info2:(Int64.of_int msr) Vmcb.Exit.msr
+      else No_exit
+  | Wrmsr (msr, _) ->
+      if msr_intercepted vmcb ~write:true msr then
+        exit ~info1:1L ~info2:(Int64.of_int msr) Vmcb.Exit.msr
+      else No_exit
+  | Vmx_in_guest kind -> begin
+      (* SVM instructions executed inside the guest. *)
+      match kind with
+      | "vmrun" -> if vec4 vmcb Vmcb.Vec4.vmrun then exit Vmcb.Exit.vmrun else No_exit
+      | "vmload" ->
+          if vec4 vmcb Vmcb.Vec4.vmload then exit Vmcb.Exit.vmload else No_exit
+      | "vmsave" ->
+          if vec4 vmcb Vmcb.Vec4.vmsave then exit Vmcb.Exit.vmsave else No_exit
+      | "stgi" -> if vec4 vmcb Vmcb.Vec4.stgi then exit Vmcb.Exit.stgi else No_exit
+      | "clgi" -> if vec4 vmcb Vmcb.Vec4.clgi then exit Vmcb.Exit.clgi else No_exit
+      | "invlpga" ->
+          if vec3 vmcb Vmcb.Vec3.invlpga then exit Vmcb.Exit.invlpga else No_exit
+      | "skinit" ->
+          if vec4 vmcb Vmcb.Vec4.skinit then exit Vmcb.Exit.skinit else No_exit
+      | _ -> No_exit
+    end
+  | Soft_int vector ->
+      if vec3 vmcb Vmcb.Vec3.intn then
+        exit ~info1:(Int64.of_int vector) (Int64.of_int 0x75)
+      else No_exit
+  | Ud2 ->
+      if exception_intercepted vmcb Nf_x86.Exn.ud then
+        exit (Int64.add Vmcb.Exit.exception_base (Int64.of_int Nf_x86.Exn.ud))
+      else No_exit
+  | Ext_interrupt vector ->
+      if vec3 vmcb Vmcb.Vec3.intr then
+        exit ~info1:(Int64.of_int vector) Vmcb.Exit.intr
+      else No_exit
+  | Nmi_event -> if vec3 vmcb Vmcb.Vec3.nmi then exit Vmcb.Exit.nmi else No_exit

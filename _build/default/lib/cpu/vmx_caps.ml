@@ -1,0 +1,177 @@
+(** VMX capability model — the IA32_VMX_* MSRs of a physical CPU, masked by
+    the vCPU configuration.
+
+    Each 32-bit control field is constrained by an (allowed0, allowed1)
+    pair: bits set in [allowed0] must be 1 in the control, bits clear in
+    [allowed1] must be 0.  CR0/CR4 are constrained by fixed0/fixed1 the
+    same way.  These are the invariants the VM state validator rounds
+    toward and the physical CPU enforces. *)
+
+open Nf_vmcs
+
+type ctl_caps = { allowed0 : int64; allowed1 : int64 }
+
+let ctl_valid c v =
+  Int64.logand v (Int64.lognot c.allowed1) = 0L
+  && Int64.logand (Int64.lognot v) c.allowed0 = 0L
+
+(** Round a control value to validity: force allowed0 bits on and clear
+    everything outside allowed1. *)
+let ctl_round c v =
+  Int64.logand (Int64.logor v c.allowed0) c.allowed1
+
+type t = {
+  revision_id : int;
+  pin : ctl_caps;
+  proc : ctl_caps;
+  proc2 : ctl_caps;
+  exit : ctl_caps;
+  entry : ctl_caps;
+  cr0_fixed0 : int64;
+  cr0_fixed1 : int64;
+  cr4_fixed0 : int64;
+  cr4_fixed1 : int64;
+  activity_hlt : bool;
+  activity_shutdown : bool;
+  activity_wait_sipi : bool;
+  max_msr_list : int; (* entries allowed in MSR-load/store areas *)
+  maxphyaddr : int;
+  has_ept_wb : bool;
+  has_ept_uc : bool;
+  has_ept_ad : bool;
+  has_ept_5level : bool;
+}
+
+let cr0_valid ?(unrestricted = false) t v =
+  let fixed0 =
+    if unrestricted then
+      (* Unrestricted guest relaxes PE and PG. *)
+      Nf_stdext.Bits.clear (Nf_stdext.Bits.clear t.cr0_fixed0 Nf_x86.Cr0.pe) Nf_x86.Cr0.pg
+    else t.cr0_fixed0
+  in
+  Int64.logand (Int64.lognot v) fixed0 = 0L
+  && Int64.logand v (Int64.lognot t.cr0_fixed1) = 0L
+
+let cr0_round ?(unrestricted = false) t v =
+  let fixed0 =
+    if unrestricted then
+      Nf_stdext.Bits.clear (Nf_stdext.Bits.clear t.cr0_fixed0 Nf_x86.Cr0.pe) Nf_x86.Cr0.pg
+    else t.cr0_fixed0
+  in
+  Int64.logand (Int64.logor v fixed0) t.cr0_fixed1
+
+let cr4_valid t v =
+  Int64.logand (Int64.lognot v) t.cr4_fixed0 = 0L
+  && Int64.logand v (Int64.lognot t.cr4_fixed1) = 0L
+
+let cr4_round t v = Int64.logand (Int64.logor v t.cr4_fixed0) t.cr4_fixed1
+
+let physaddr_mask t = Nf_stdext.Bits.mask t.maxphyaddr
+
+let addr_in_physaddr t v = Int64.logand v (Int64.lognot (physaddr_mask t)) = 0L
+
+let set_bits bits = List.fold_left Nf_stdext.Bits.set 0L bits
+
+(** Capability MSRs of the evaluation machine's Intel CPU (Core i9-12900K,
+    Alder Lake): all the features the paper's vCPU configurator toggles
+    are available in hardware. *)
+let alder_lake : t =
+  let open Controls in
+  {
+    revision_id = 0x4;
+    pin =
+      { allowed0 = Pin.default1; allowed1 = Int64.logor Pin.default1 (set_bits Pin.defined) };
+    proc =
+      { allowed0 = Proc.default1; allowed1 = Int64.logor Proc.default1 (set_bits Proc.defined) };
+    proc2 = { allowed0 = 0L; allowed1 = set_bits Proc2.defined };
+    exit =
+      { allowed0 = Exit.default1; allowed1 = Int64.logor Exit.default1 (set_bits Exit.defined) };
+    entry =
+      { allowed0 = Entry.default1; allowed1 = Int64.logor Entry.default1 (set_bits Entry.defined) };
+    (* CR0: PE, NE, PG must be 1 (PE/PG relaxed by unrestricted guest). *)
+    cr0_fixed0 = set_bits [ Nf_x86.Cr0.pe; Nf_x86.Cr0.ne; Nf_x86.Cr0.pg ];
+    cr0_fixed1 = Nf_x86.Cr0.defined_mask;
+    (* CR4: VMXE must be 1. *)
+    cr4_fixed0 = set_bits [ Nf_x86.Cr4.vmxe ];
+    cr4_fixed1 = Nf_x86.Cr4.defined_mask;
+    activity_hlt = true;
+    activity_shutdown = true;
+    activity_wait_sipi = true;
+    max_msr_list = 512;
+    maxphyaddr = 46;
+    has_ept_wb = true;
+    has_ept_uc = true;
+    has_ept_ad = true;
+    has_ept_5level = false;
+  }
+
+(** An older-generation part (Nehalem-era, as discussed in §2.1: early
+    CPUs lacked unrestricted guest, EPT accessed/dirty flags, the
+    preemption timer and most secondary controls).  Useful for testing
+    that the validator and the golden template adapt to the capability
+    envelope rather than assuming modern silicon. *)
+let nehalem : t =
+  let open Controls in
+  let base = alder_lake in
+  let drop caps bits =
+    let m = Int64.lognot (set_bits bits) in
+    { allowed0 = Int64.logand caps.allowed0 m;
+      allowed1 = Int64.logand caps.allowed1 m }
+  in
+  {
+    base with
+    revision_id = 0xE;
+    pin = drop base.pin [ Pin.process_posted_interrupts; Pin.preemption_timer ];
+    proc2 =
+      drop base.proc2
+        [ Proc2.unrestricted_guest; Proc2.apic_register_virtualization;
+          Proc2.virtual_interrupt_delivery; Proc2.virtualize_x2apic;
+          Proc2.enable_pml; Proc2.enable_vmfunc; Proc2.vmcs_shadowing;
+          Proc2.use_tsc_scaling; Proc2.enable_xsaves; Proc2.rdrand_exiting;
+          Proc2.rdseed_exiting; Proc2.enable_invpcid;
+          Proc2.enable_encls_exiting; Proc2.enable_enclv_exiting;
+          Proc2.ept_violation_ve; Proc2.mode_based_ept_exec;
+          Proc2.sub_page_write_permission; Proc2.pt_uses_guest_pa;
+          Proc2.conceal_vmx_from_pt; Proc2.enable_user_wait_pause ];
+    entry =
+      drop base.entry
+        [ Entry.load_bndcfgs; Entry.load_rtit_ctl; Entry.load_cet_state;
+          Entry.load_pkrs; Entry.conceal_vmx_from_pt ];
+    exit =
+      drop base.exit
+        [ Exit.clear_bndcfgs; Exit.clear_rtit_ctl; Exit.load_cet_state;
+          Exit.load_pkrs; Exit.conceal_vmx_from_pt; Exit.save_preemption_timer ];
+    activity_wait_sipi = false;
+    max_msr_list = 128;
+    maxphyaddr = 40;
+    has_ept_ad = false;
+    has_ept_5level = false;
+  }
+
+(** Mask the physical capabilities by a vCPU feature configuration: the
+    virtual CPU the L1 hypervisor sees advertises only enabled features.
+    This is what makes the vCPU configurator change L0 behaviour. *)
+let apply_features (t : t) (f : Features.t) : t =
+  let open Controls in
+  let f = Features.normalize f in
+  let clear_in caps bits =
+    let m = Int64.lognot (set_bits bits) in
+    { allowed0 = Int64.logand caps.allowed0 m; allowed1 = Int64.logand caps.allowed1 m }
+  in
+  let proc2 = t.proc2 in
+  let proc2 = if f.ept then proc2 else clear_in proc2 [ Proc2.enable_ept; Proc2.ept_violation_ve; Proc2.mode_based_ept_exec; Proc2.sub_page_write_permission ] in
+  let proc2 = if f.unrestricted_guest then proc2 else clear_in proc2 [ Proc2.unrestricted_guest ] in
+  let proc2 = if f.vpid then proc2 else clear_in proc2 [ Proc2.enable_vpid ] in
+  let proc2 = if f.vmcs_shadowing then proc2 else clear_in proc2 [ Proc2.vmcs_shadowing ] in
+  let proc2 =
+    if f.apicv then proc2
+    else clear_in proc2 [ Proc2.apic_register_virtualization; Proc2.virtual_interrupt_delivery ]
+  in
+  let proc2 = if f.pml then proc2 else clear_in proc2 [ Proc2.enable_pml ] in
+  let proc2 = if f.vmfunc then proc2 else clear_in proc2 [ Proc2.enable_vmfunc ] in
+  let proc2 = if f.tsc_scaling then proc2 else clear_in proc2 [ Proc2.use_tsc_scaling ] in
+  let proc2 = if f.xsaves then proc2 else clear_in proc2 [ Proc2.enable_xsaves ] in
+  let pin = t.pin in
+  let pin = if f.posted_interrupts then pin else clear_in pin [ Pin.process_posted_interrupts ] in
+  let pin = if f.preemption_timer then pin else clear_in pin [ Pin.preemption_timer ] in
+  { t with pin; proc2; has_ept_ad = t.has_ept_ad && f.ept_ad }

@@ -1,0 +1,60 @@
+(** VMX capability model — the IA32_VMX_* MSRs of a physical CPU, masked
+    by the vCPU configuration.
+
+    Each 32-bit control field is constrained by an (allowed0, allowed1)
+    pair: bits set in [allowed0] must be 1, bits clear in [allowed1] must
+    be 0.  CR0/CR4 are constrained by fixed0/fixed1 the same way.  These
+    are the invariants the VM state validator rounds toward and the
+    physical CPU enforces. *)
+
+type ctl_caps = { allowed0 : int64; allowed1 : int64 }
+
+val ctl_valid : ctl_caps -> int64 -> bool
+
+(** Force allowed0 bits on and clear everything outside allowed1. *)
+val ctl_round : ctl_caps -> int64 -> int64
+
+type t = {
+  revision_id : int;
+  pin : ctl_caps;
+  proc : ctl_caps;
+  proc2 : ctl_caps;
+  exit : ctl_caps;
+  entry : ctl_caps;
+  cr0_fixed0 : int64;
+  cr0_fixed1 : int64;
+  cr4_fixed0 : int64;
+  cr4_fixed1 : int64;
+  activity_hlt : bool;
+  activity_shutdown : bool;
+  activity_wait_sipi : bool;
+  max_msr_list : int;
+  maxphyaddr : int;
+  has_ept_wb : bool;
+  has_ept_uc : bool;
+  has_ept_ad : bool;
+  has_ept_5level : bool;
+}
+
+(** [unrestricted] relaxes the CR0.PE/PG fixed bits. *)
+val cr0_valid : ?unrestricted:bool -> t -> int64 -> bool
+
+val cr0_round : ?unrestricted:bool -> t -> int64 -> int64
+val cr4_valid : t -> int64 -> bool
+val cr4_round : t -> int64 -> int64
+
+val physaddr_mask : t -> int64
+val addr_in_physaddr : t -> int64 -> bool
+
+(** The evaluation machine's Intel CPU (Core i9-12900K, Alder Lake). *)
+val alder_lake : t
+
+(** An older-generation part without unrestricted guest, EPT A/D flags,
+    the preemption timer or most secondary controls (§2.1's point that
+    feature availability varies across CPU generations). *)
+val nehalem : t
+
+(** Mask the physical capabilities by a vCPU feature configuration: the
+    virtual CPU the L1 hypervisor sees advertises only enabled
+    features. *)
+val apply_features : t -> Features.t -> t

@@ -1,0 +1,1162 @@
+(** VM-entry consistency checks (Intel SDM Vol. 3C §26.2–26.3).
+
+    Each check has a stable identifier.  Three consumers share this table:
+
+    - the physical-CPU oracle ([Vmx_cpu]), which runs all checks except the
+      hardware quirks it is documented/observed to skip;
+    - the Bochs-derived VM state validator, which uses the checks for
+      rounding raw states toward validity;
+    - the simulated hypervisors, which replicate a *subset* — the missing
+      identifiers are exactly the planted vulnerabilities.
+
+    The checks read like the SDM: one rule, one failure message. *)
+
+open Nf_vmcs
+
+type group = Ctl | Host | Guest
+
+let group_name = function Ctl -> "controls" | Host -> "host-state" | Guest -> "guest-state"
+
+type ctx = {
+  caps : Vmx_caps.t;
+  vmcs : Vmcs.t;
+  entry_msr_load : (int * int64) array;
+      (* parsed VM-entry MSR-load area; its *address/count* fields are
+         checked here, its *contents* are processed during entry *)
+}
+
+type check = {
+  id : string;
+  group : group;
+  doc : string;
+  run : ctx -> (unit, string) result;
+}
+
+let ok = Ok ()
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let require b fmt =
+  if b then Format.ikfprintf (fun _ -> Ok ()) Format.str_formatter fmt
+  else Format.kasprintf (fun s -> Error s) fmt
+
+(* Shorthands. *)
+let rd ctx f = Vmcs.read ctx.vmcs f
+let bit ctx f n = Nf_stdext.Bits.is_set (Vmcs.read ctx.vmcs f) n
+
+let pin ctx n = bit ctx Field.pin_based_ctls n
+let proc ctx n = bit ctx Field.proc_based_ctls n
+
+let proc2_active ctx = proc ctx Controls.Proc.activate_secondary_controls
+
+let proc2 ctx n = proc2_active ctx && bit ctx Field.proc_based_ctls2 n
+let entryc ctx n = bit ctx Field.entry_ctls n
+let exitc ctx n = bit ctx Field.exit_ctls n
+
+let ia32e_guest ctx = entryc ctx Controls.Entry.ia32e_mode_guest
+let unrestricted ctx = proc2 ctx Controls.Proc2.unrestricted_guest
+
+let page_aligned v = Nf_stdext.Bits.is_aligned v 12
+
+let in_phys ctx v = Vmx_caps.addr_in_physaddr ctx.caps v
+
+let valid_pat v =
+  let rec go i =
+    if i = 8 then true
+    else begin
+      let b = Int64.to_int (Nf_stdext.Bits.extract v ~lo:(i * 8) ~width:8) in
+      (match b with 0 | 1 | 4 | 5 | 6 | 7 -> true | _ -> false) && go (i + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Control-field checks (§26.2.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ctl_checks =
+  [
+    {
+      id = "ctl.pin_reserved";
+      group = Ctl;
+      doc = "Pin-based controls must honour IA32_VMX_PINBASED_CTLS";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.ctl_valid ctx.caps.pin (rd ctx Field.pin_based_ctls))
+            "pin-based controls violate capability MSR");
+    };
+    {
+      id = "ctl.proc_reserved";
+      group = Ctl;
+      doc = "Primary processor-based controls must honour capabilities";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.ctl_valid ctx.caps.proc (rd ctx Field.proc_based_ctls))
+            "primary processor-based controls violate capability MSR");
+    };
+    {
+      id = "ctl.proc2_reserved";
+      group = Ctl;
+      doc = "Secondary controls must honour capabilities when activated";
+      run =
+        (fun ctx ->
+          if not (proc2_active ctx) then ok
+          else
+            require
+              (Vmx_caps.ctl_valid ctx.caps.proc2 (rd ctx Field.proc_based_ctls2))
+              "secondary processor-based controls violate capability MSR");
+    };
+    {
+      id = "ctl.exit_reserved";
+      group = Ctl;
+      doc = "VM-exit controls must honour capabilities";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.ctl_valid ctx.caps.exit (rd ctx Field.exit_ctls))
+            "VM-exit controls violate capability MSR");
+    };
+    {
+      id = "ctl.entry_reserved";
+      group = Ctl;
+      doc = "VM-entry controls must honour capabilities";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.ctl_valid ctx.caps.entry (rd ctx Field.entry_ctls))
+            "VM-entry controls violate capability MSR");
+    };
+    {
+      id = "ctl.cr3_target_count";
+      group = Ctl;
+      doc = "CR3-target count must not exceed 4";
+      run =
+        (fun ctx ->
+          require
+            (rd ctx Field.cr3_target_count <= 4L)
+            "CR3-target count %Ld > 4" (rd ctx Field.cr3_target_count));
+    };
+    {
+      id = "ctl.io_bitmaps";
+      group = Ctl;
+      doc = "I/O bitmap addresses must be 4K-aligned physical addresses";
+      run =
+        (fun ctx ->
+          if not (proc ctx Controls.Proc.use_io_bitmaps) then ok
+          else begin
+            let a = rd ctx Field.io_bitmap_a and b = rd ctx Field.io_bitmap_b in
+            require
+              (page_aligned a && in_phys ctx a && page_aligned b && in_phys ctx b)
+              "I/O bitmap address invalid (A=%Lx B=%Lx)" a b
+          end);
+    };
+    {
+      id = "ctl.msr_bitmap";
+      group = Ctl;
+      doc = "MSR bitmap address must be 4K-aligned physical address";
+      run =
+        (fun ctx ->
+          if not (proc ctx Controls.Proc.use_msr_bitmaps) then ok
+          else begin
+            let a = rd ctx Field.msr_bitmap in
+            require
+              (page_aligned a && in_phys ctx a)
+              "MSR bitmap address invalid (%Lx)" a
+          end);
+    };
+    {
+      id = "ctl.tpr_shadow";
+      group = Ctl;
+      doc = "TPR shadow requires a valid virtual-APIC page and threshold";
+      run =
+        (fun ctx ->
+          if proc ctx Controls.Proc.use_tpr_shadow then begin
+            let a = rd ctx Field.virtual_apic_page_addr in
+            if not (page_aligned a && in_phys ctx a) then
+              fail "virtual-APIC page address invalid (%Lx)" a
+            else begin
+              let thr = rd ctx Field.tpr_threshold in
+              if Int64.logand thr (Int64.lognot 0xFL) <> 0L then
+                fail "TPR threshold reserved bits set (%Lx)" thr
+              else ok
+            end
+          end
+          else if
+            proc2 ctx Controls.Proc2.virtualize_x2apic
+            || proc2 ctx Controls.Proc2.apic_register_virtualization
+            || proc2 ctx Controls.Proc2.virtual_interrupt_delivery
+          then
+            fail "APIC virtualization controls require use-TPR-shadow"
+          else ok);
+    };
+    {
+      id = "ctl.x2apic_conflict";
+      group = Ctl;
+      doc = "x2APIC mode and APIC-access virtualization are mutually exclusive";
+      run =
+        (fun ctx ->
+          require
+            (not
+               (proc2 ctx Controls.Proc2.virtualize_x2apic
+               && proc2 ctx Controls.Proc2.virtualize_apic_accesses))
+            "virtualize-x2APIC and virtualize-APIC-accesses both set");
+    };
+    {
+      id = "ctl.nmi";
+      group = Ctl;
+      doc = "Virtual NMIs require NMI exiting";
+      run =
+        (fun ctx ->
+          require
+            (not (pin ctx Controls.Pin.virtual_nmis)
+            || pin ctx Controls.Pin.nmi_exiting)
+            "virtual NMIs set without NMI exiting");
+    };
+    {
+      id = "ctl.nmi_window";
+      group = Ctl;
+      doc = "NMI-window exiting requires virtual NMIs";
+      run =
+        (fun ctx ->
+          require
+            (not (proc ctx Controls.Proc.nmi_window_exiting)
+            || pin ctx Controls.Pin.virtual_nmis)
+            "NMI-window exiting set without virtual NMIs");
+    };
+    {
+      id = "ctl.posted_intr";
+      group = Ctl;
+      doc = "Posted interrupts require VID, ack-on-exit, a valid vector and descriptor";
+      run =
+        (fun ctx ->
+          if not (pin ctx Controls.Pin.process_posted_interrupts) then ok
+          else if not (proc2 ctx Controls.Proc2.virtual_interrupt_delivery) then
+            fail "posted interrupts without virtual-interrupt delivery"
+          else if not (exitc ctx Controls.Exit.acknowledge_interrupt) then
+            fail "posted interrupts without acknowledge-interrupt-on-exit"
+          else begin
+            let nv = rd ctx Field.posted_intr_nv in
+            if Int64.logand nv (Int64.lognot 0xFFL) <> 0L then
+              fail "posted-interrupt notification vector reserved bits (%Lx)" nv
+            else begin
+              let d = rd ctx Field.posted_intr_desc_addr in
+              require
+                (Nf_stdext.Bits.is_aligned d 6 && in_phys ctx d)
+                "posted-interrupt descriptor misaligned (%Lx)" d
+            end
+          end);
+    };
+    {
+      id = "ctl.vid_requires_ext_intr";
+      group = Ctl;
+      doc = "Virtual-interrupt delivery requires external-interrupt exiting";
+      run =
+        (fun ctx ->
+          require
+            (not (proc2 ctx Controls.Proc2.virtual_interrupt_delivery)
+            || pin ctx Controls.Pin.external_interrupt_exiting)
+            "virtual-interrupt delivery without external-interrupt exiting");
+    };
+    {
+      id = "ctl.vpid_nonzero";
+      group = Ctl;
+      doc = "Enable-VPID requires VPID != 0";
+      run =
+        (fun ctx ->
+          require
+            (not (proc2 ctx Controls.Proc2.enable_vpid) || rd ctx Field.vpid <> 0L)
+            "enable VPID with VPID 0");
+    };
+    {
+      id = "ctl.eptp_valid";
+      group = Ctl;
+      doc = "EPT pointer memory type, walk length and reserved bits";
+      run =
+        (fun ctx ->
+          if not (proc2 ctx Controls.Proc2.enable_ept) then ok
+          else begin
+            let e = rd ctx Field.ept_pointer in
+            let mt = Controls.Eptp.memtype e in
+            let mt_ok =
+              (mt = 6 && ctx.caps.has_ept_wb) || (mt = 0 && ctx.caps.has_ept_uc)
+            in
+            if not mt_ok then fail "EPTP memory type %d unsupported" mt
+            else if
+              Controls.Eptp.walk_length e <> 3
+              && not (Controls.Eptp.walk_length e = 4 && ctx.caps.has_ept_5level)
+            then fail "EPTP walk length %d unsupported" (Controls.Eptp.walk_length e)
+            else if Controls.Eptp.access_dirty e && not ctx.caps.has_ept_ad then
+              fail "EPTP accessed/dirty flag unsupported"
+            else if Int64.logand e 0xF80L <> 0L then
+              fail "EPTP reserved bits 11:7 set (%Lx)" e
+            else
+              require (in_phys ctx e) "EPTP beyond physical-address width (%Lx)" e
+          end);
+    };
+    {
+      id = "ctl.unrestricted_requires_ept";
+      group = Ctl;
+      doc = "Unrestricted guest requires EPT";
+      run =
+        (fun ctx ->
+          require
+            (not (proc2 ctx Controls.Proc2.unrestricted_guest)
+            || proc2 ctx Controls.Proc2.enable_ept)
+            "unrestricted guest without EPT");
+    };
+    {
+      id = "ctl.pml";
+      group = Ctl;
+      doc = "PML requires EPT and a 4K-aligned PML address";
+      run =
+        (fun ctx ->
+          if not (proc2 ctx Controls.Proc2.enable_pml) then ok
+          else if not (proc2 ctx Controls.Proc2.enable_ept) then
+            fail "PML without EPT"
+          else begin
+            let a = rd ctx (Field.find_exn "PML_ADDRESS") in
+            require (page_aligned a && in_phys ctx a) "PML address invalid (%Lx)" a
+          end);
+    };
+    {
+      id = "ctl.vmfunc_requires_ept";
+      group = Ctl;
+      doc = "VM functions require EPT";
+      run =
+        (fun ctx ->
+          require
+            (not (proc2 ctx Controls.Proc2.enable_vmfunc)
+            || proc2 ctx Controls.Proc2.enable_ept)
+            "enable VM functions without EPT");
+    };
+    {
+      id = "ctl.apic_access_align";
+      group = Ctl;
+      doc = "APIC-access address must be 4K-aligned physical address";
+      run =
+        (fun ctx ->
+          if not (proc2 ctx Controls.Proc2.virtualize_apic_accesses) then ok
+          else begin
+            let a = rd ctx Field.apic_access_addr in
+            require
+              (page_aligned a && in_phys ctx a)
+              "APIC-access address invalid (%Lx)" a
+          end);
+    };
+    {
+      id = "ctl.exit_msr_areas";
+      group = Ctl;
+      doc = "VM-exit MSR store/load areas: count bound, 16-byte alignment";
+      run =
+        (fun ctx ->
+          let area count_f addr_f what =
+            let count = Int64.to_int (rd ctx count_f) in
+            if count = 0 then ok
+            else if count > ctx.caps.max_msr_list then
+              fail "%s count %d exceeds capability" what count
+            else begin
+              let a = rd ctx addr_f in
+              require
+                (Nf_stdext.Bits.is_aligned a 4 && in_phys ctx a)
+                "%s address invalid (%Lx)" what a
+            end
+          in
+          match area Field.exit_msr_store_count Field.exit_msr_store_addr "exit MSR-store" with
+          | Error _ as e -> e
+          | Ok () ->
+              area Field.exit_msr_load_count Field.exit_msr_load_addr "exit MSR-load");
+    };
+    {
+      id = "ctl.entry_msr_area";
+      group = Ctl;
+      doc = "VM-entry MSR-load area: count bound, 16-byte alignment";
+      run =
+        (fun ctx ->
+          let count = Int64.to_int (rd ctx Field.entry_msr_load_count) in
+          if count = 0 then ok
+          else if count > ctx.caps.max_msr_list then
+            fail "entry MSR-load count %d exceeds capability" count
+          else begin
+            let a = rd ctx Field.entry_msr_load_addr in
+            require
+              (Nf_stdext.Bits.is_aligned a 4 && in_phys ctx a)
+              "entry MSR-load address invalid (%Lx)" a
+          end);
+    };
+    {
+      id = "ctl.entry_intr_info";
+      group = Ctl;
+      doc = "VM-entry interruption information must be well-formed";
+      run =
+        (fun ctx ->
+          let open Nf_x86.Exn.Intr_info in
+          let ii = rd ctx Field.entry_intr_info in
+          if not (valid ii) then ok
+          else begin
+            let t = typ ii and v = vector ii in
+            if Int64.logand ii reserved_mask <> 0L then
+              fail "entry interruption-info reserved bits set (%Lx)" ii
+            else if t = 1 then fail "entry interruption type 1 is reserved"
+            else if t = type_nmi && v <> 2 then
+              fail "NMI injection with vector %d" v
+            else if t = type_hw_exception && v > 31 then
+              fail "hardware-exception injection with vector %d > 31" v
+            else if
+              deliver_error_code ii
+              && not (t = type_hw_exception && Nf_x86.Exn.has_error_code v)
+            then fail "deliver-error-code set for vector %d/type %d" v t
+            else if
+              deliver_error_code ii
+              && Int64.logand (rd ctx Field.entry_exception_error_code)
+                   (Int64.lognot 0x7FFFL)
+                 <> 0L
+            then fail "entry exception error code reserved bits set"
+            else if
+              (t = type_sw_interrupt || t = type_sw_exception
+             || t = type_priv_sw_exception)
+              &&
+              let len = rd ctx Field.entry_instruction_len in
+              len < 1L || len > 15L
+            then fail "software injection with instruction length out of range"
+            else ok
+          end);
+    };
+    {
+      id = "ctl.smm";
+      group = Ctl;
+      doc = "Entry-to-SMM / deactivate-dual-monitor must be 0 outside SMM";
+      run =
+        (fun ctx ->
+          if entryc ctx Controls.Entry.entry_to_smm then
+            fail "entry to SMM outside system-management mode"
+          else if entryc ctx Controls.Entry.deactivate_dual_monitor then
+            fail "deactivate dual-monitor treatment outside SMM"
+          else ok);
+    };
+    {
+      id = "ctl.preemption_timer_save";
+      group = Ctl;
+      doc = "Save-preemption-timer requires activate-preemption-timer";
+      run =
+        (fun ctx ->
+          require
+            (not (exitc ctx Controls.Exit.save_preemption_timer)
+            || pin ctx Controls.Pin.preemption_timer)
+            "save VMX-preemption timer without activating it");
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Host-state checks (§26.2.2–26.2.4)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let host_addr_space ctx = exitc ctx Controls.Exit.host_address_space_size
+
+let host_checks =
+  [
+    {
+      id = "host.cr0_fixed";
+      group = Host;
+      doc = "Host CR0 must honour the CR0 fixed bits";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.cr0_valid ctx.caps (rd ctx Field.host_cr0))
+            "host CR0 violates fixed bits (%Lx)" (rd ctx Field.host_cr0));
+    };
+    {
+      id = "host.cr4_fixed";
+      group = Host;
+      doc = "Host CR4 must honour the CR4 fixed bits";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.cr4_valid ctx.caps (rd ctx Field.host_cr4))
+            "host CR4 violates fixed bits (%Lx)" (rd ctx Field.host_cr4));
+    };
+    {
+      id = "host.cr3_width";
+      group = Host;
+      doc = "Host CR3 must not exceed the physical-address width";
+      run =
+        (fun ctx ->
+          require
+            (in_phys ctx (rd ctx Field.host_cr3))
+            "host CR3 beyond physical-address width (%Lx)" (rd ctx Field.host_cr3));
+    };
+    {
+      id = "host.addr_space";
+      group = Host;
+      doc = "64-bit host: host-address-space-size consistency with CR4/RIP";
+      run =
+        (fun ctx ->
+          if host_addr_space ctx then begin
+            if not (bit ctx Field.host_cr4 Nf_x86.Cr4.pae) then
+              fail "64-bit host without host CR4.PAE"
+            else
+              require
+                (Nf_stdext.Bits.is_canonical (rd ctx Field.host_rip))
+                "host RIP not canonical (%Lx)" (rd ctx Field.host_rip)
+          end
+          else begin
+            (* The model CPU is in IA-32e mode; leaving it via VM exit is
+               not supported. *)
+            fail "host-address-space-size clear on a 64-bit host"
+          end);
+    };
+    {
+      id = "host.canonical";
+      group = Host;
+      doc = "Host base addresses and SYSENTER MSRs must be canonical";
+      run =
+        (fun ctx ->
+          let fields =
+            [
+              Field.host_fs_base; Field.host_gs_base; Field.host_tr_base;
+              Field.host_gdtr_base; Field.host_idtr_base;
+              Field.host_sysenter_esp; Field.host_sysenter_eip;
+            ]
+          in
+          let bad =
+            List.find_opt
+              (fun f -> not (Nf_stdext.Bits.is_canonical (rd ctx f)))
+              fields
+          in
+          match bad with
+          | None -> ok
+          | Some f -> fail "host %s not canonical (%Lx)" (Field.name f) (rd ctx f));
+    };
+    {
+      id = "host.selectors";
+      group = Host;
+      doc = "Host selector RPL/TI zero; CS and TR non-null";
+      run =
+        (fun ctx ->
+          let sels =
+            List.map
+              (fun r -> (r, rd ctx (Field.host_selector r)))
+              [ Nf_x86.Seg.ES; CS; SS; DS; FS; GS; TR ]
+          in
+          let bad_rpl =
+            List.find_opt (fun (_, v) -> Int64.logand v 7L <> 0L) sels
+          in
+          match bad_rpl with
+          | Some (r, v) ->
+              fail "host %s selector RPL/TI set (%Lx)" (Nf_x86.Seg.register_name r) v
+          | None ->
+              if rd ctx Field.host_cs_selector = 0L then fail "host CS selector null"
+              else if rd ctx Field.host_tr_selector = 0L then
+                fail "host TR selector null"
+              else if
+                (not (host_addr_space ctx)) && rd ctx Field.host_ss_selector = 0L
+              then fail "host SS selector null outside 64-bit mode"
+              else ok);
+    };
+    {
+      id = "host.efer";
+      group = Host;
+      doc = "Loaded host EFER: reserved bits zero, LMA=LME=host-address-space";
+      run =
+        (fun ctx ->
+          if not (exitc ctx Controls.Exit.load_ia32_efer) then ok
+          else begin
+            let e = rd ctx Field.host_ia32_efer in
+            if Int64.logand e (Int64.lognot Nf_x86.Efer.defined_mask) <> 0L then
+              fail "host EFER reserved bits set (%Lx)" e
+            else begin
+              let lma = Nf_stdext.Bits.is_set e Nf_x86.Efer.lma in
+              let lme = Nf_stdext.Bits.is_set e Nf_x86.Efer.lme in
+              require
+                (lma = host_addr_space ctx && lme = host_addr_space ctx)
+                "host EFER.LMA/LME inconsistent with host-address-space-size"
+            end
+          end);
+    };
+    {
+      id = "host.pat";
+      group = Host;
+      doc = "Loaded host PAT must contain valid memory types";
+      run =
+        (fun ctx ->
+          require
+            (not (exitc ctx Controls.Exit.load_ia32_pat)
+            || valid_pat (rd ctx Field.host_ia32_pat))
+            "host PAT invalid (%Lx)" (rd ctx Field.host_ia32_pat));
+    };
+    {
+      id = "host.perf_global";
+      group = Host;
+      doc = "Loaded host IA32_PERF_GLOBAL_CTRL reserved bits must be zero";
+      run =
+        (fun ctx ->
+          if not (exitc ctx Controls.Exit.load_perf_global_ctrl) then ok
+          else begin
+            let v = rd ctx (Field.find_exn "HOST_IA32_PERF_GLOBAL_CTRL") in
+            require
+              (Int64.logand v (Int64.lognot 0x7_0000_000FL) = 0L)
+              "host PERF_GLOBAL_CTRL reserved bits set (%Lx)" v
+          end);
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Guest-state checks (§26.3.1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let seg_ar ctx r = rd ctx (Field.guest_ar r)
+let seg_usable ctx r = not (Nf_x86.Seg.Ar.is_unusable (seg_ar ctx r))
+
+let v8086 ctx = bit ctx Field.guest_rflags Nf_x86.Rflags.vm
+
+(* Limit/granularity consistency: with G=0 limit[31:20] must be 0; with
+   G=1 limit[11:0] must be all-ones. *)
+let limit_g_consistent ar limit =
+  if Nf_x86.Seg.Ar.is_granular ar then
+    Int64.logand limit 0xFFFL = 0xFFFL
+  else Int64.logand limit 0xFFF0_0000L = 0L
+
+let seg_check_usable ctx r =
+  let open Nf_x86.Seg in
+  let ar = seg_ar ctx r in
+  let limit = rd ctx (Field.guest_limit r) in
+  let base = rd ctx (Field.guest_base r) in
+  let sel = rd ctx (Field.guest_selector r) in
+  let name = register_name r in
+  if Int64.logand ar Ar.reserved_mask <> 0L then
+    fail "guest %s access rights reserved bits set (%Lx)" name ar
+  else if not (Ar.is_present ar) then fail "guest %s not present" name
+  else if not (limit_g_consistent ar limit) then
+    fail "guest %s limit/granularity mismatch (AR=%Lx limit=%Lx)" name ar limit
+  else begin
+    match r with
+    | CS ->
+        let t = Ar.get_type ar in
+        if not (Ar.is_code_data ar) then fail "guest CS descriptor type 0"
+        else if not (t land 0x8 = 0x8 && t land 0x1 = 0x1) then
+          (* must be an accessed code segment; type 3 allowed only with
+             unrestricted guest *)
+          if t = 3 && unrestricted ctx then ok
+          else fail "guest CS type %d invalid" t
+        else if
+          ia32e_guest ctx && Ar.is_long ar && Ar.is_db ar
+        then fail "guest CS has both L and D/B set in IA-32e mode"
+        else if
+          (not (unrestricted ctx))
+          && t land 0xC <> 0xC (* non-conforming *)
+          && Ar.get_dpl ar <> Int64.to_int (Int64.logand sel 3L)
+        then fail "guest CS DPL %d != RPL %Ld" (Ar.get_dpl ar) (Int64.logand sel 3L)
+        else ok
+    | SS ->
+        let t = Ar.get_type ar in
+        if not (Ar.is_code_data ar) then fail "guest SS descriptor type 0"
+        else if t <> 3 && t <> 7 then fail "guest SS type %d invalid" t
+        else if
+          (not (unrestricted ctx))
+          && Int64.logand sel 3L
+             <> Int64.logand (rd ctx (Field.guest_selector CS)) 3L
+        then fail "guest SS RPL != CS RPL"
+        else ok
+    | DS | ES | FS | GS ->
+        let t = Ar.get_type ar in
+        if not (Ar.is_code_data ar) then fail "guest %s descriptor type 0" name
+        else if t land 0x1 = 0 then fail "guest %s not accessed (type %d)" name t
+        else if t land 0x8 = 0x8 && t land 0x2 = 0 then
+          fail "guest %s is execute-only code (type %d)" name t
+        else if
+          (match r with FS | GS -> not (Nf_stdext.Bits.is_canonical base) | _ -> false)
+        then fail "guest %s base not canonical (%Lx)" name base
+        else ok
+    | TR ->
+        let t = Ar.get_type ar in
+        if Ar.is_code_data ar then fail "guest TR descriptor S=1"
+        else if t <> 11 && not (t = 3 && not (ia32e_guest ctx)) then
+          fail "guest TR type %d invalid" t
+        else if Int64.logand sel 4L <> 0L then fail "guest TR selector TI set"
+        else if not (Nf_stdext.Bits.is_canonical base) then
+          fail "guest TR base not canonical (%Lx)" base
+        else ok
+    | LDTR ->
+        let t = Ar.get_type ar in
+        if Ar.is_code_data ar then fail "guest LDTR descriptor S=1"
+        else if t <> 2 then fail "guest LDTR type %d invalid" t
+        else if Int64.logand sel 4L <> 0L then fail "guest LDTR selector TI set"
+        else if not (Nf_stdext.Bits.is_canonical base) then
+          fail "guest LDTR base not canonical (%Lx)" base
+        else ok
+  end
+
+let seg_check_v8086 ctx r =
+  let open Nf_x86.Seg in
+  match r with
+  | LDTR | TR -> ok
+  | _ ->
+      let sel = rd ctx (Field.guest_selector r) in
+      let base = rd ctx (Field.guest_base r) in
+      let limit = rd ctx (Field.guest_limit r) in
+      let ar = seg_ar ctx r in
+      if base <> Int64.shift_left sel 4 then
+        fail "v8086 guest %s base != selector<<4" (register_name r)
+      else if limit <> 0xFFFFL then
+        fail "v8086 guest %s limit != 0xFFFF" (register_name r)
+      else if Int64.logand ar 0x1FFFFL <> 0xF3L then
+        fail "v8086 guest %s access rights != 0xF3" (register_name r)
+      else ok
+
+let seg_check ctx r =
+  if v8086 ctx then seg_check_v8086 ctx r
+  else begin
+    match r with
+    | Nf_x86.Seg.CS | TR -> seg_check_usable ctx r (* always usable *)
+    | _ -> if seg_usable ctx r then seg_check_usable ctx r else ok
+  end
+
+let guest_checks =
+  [
+    {
+      id = "guest.cr0_fixed";
+      group = Guest;
+      doc = "Guest CR0 must honour fixed bits (unrestricted relaxes PE/PG)";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.cr0_valid ~unrestricted:(unrestricted ctx) ctx.caps
+               (rd ctx Field.guest_cr0))
+            "guest CR0 violates fixed bits (%Lx)" (rd ctx Field.guest_cr0));
+    };
+    {
+      id = "guest.cr0_pg_pe";
+      group = Guest;
+      doc = "Guest CR0.PG requires CR0.PE";
+      run =
+        (fun ctx ->
+          require
+            (not (bit ctx Field.guest_cr0 Nf_x86.Cr0.pg)
+            || bit ctx Field.guest_cr0 Nf_x86.Cr0.pe)
+            "guest CR0.PG without CR0.PE");
+    };
+    {
+      id = "guest.cr4_fixed";
+      group = Guest;
+      doc = "Guest CR4 must honour fixed bits";
+      run =
+        (fun ctx ->
+          require
+            (Vmx_caps.cr4_valid ctx.caps (rd ctx Field.guest_cr4))
+            "guest CR4 violates fixed bits (%Lx)" (rd ctx Field.guest_cr4));
+    };
+    {
+      id = "guest.ia32e_pg";
+      group = Guest;
+      doc = "IA-32e mode guest requires CR0.PG";
+      run =
+        (fun ctx ->
+          require
+            ((not (ia32e_guest ctx)) || bit ctx Field.guest_cr0 Nf_x86.Cr0.pg)
+            "IA-32e mode guest with CR0.PG clear");
+    };
+    {
+      id = "guest.ia32e_pae";
+      group = Guest;
+      doc =
+        "IA-32e mode guest requires CR4.PAE (spec rule; hardware silently \
+         assumes it — the CVE-2023-30456 quirk)";
+      run =
+        (fun ctx ->
+          require
+            ((not (ia32e_guest ctx)) || bit ctx Field.guest_cr4 Nf_x86.Cr4.pae)
+            "IA-32e mode guest with CR4.PAE clear");
+    };
+    {
+      id = "guest.legacy_pcide";
+      group = Guest;
+      doc = "CR4.PCIDE must be clear outside IA-32e mode";
+      run =
+        (fun ctx ->
+          require
+            (ia32e_guest ctx || not (bit ctx Field.guest_cr4 Nf_x86.Cr4.pcide))
+            "guest CR4.PCIDE set outside IA-32e mode");
+    };
+    {
+      id = "guest.cr3_width";
+      group = Guest;
+      doc = "Guest CR3 must not exceed the physical-address width";
+      run =
+        (fun ctx ->
+          require
+            (in_phys ctx (rd ctx Field.guest_cr3))
+            "guest CR3 beyond physical-address width (%Lx)"
+            (rd ctx Field.guest_cr3));
+    };
+    {
+      id = "guest.debugctl";
+      group = Guest;
+      doc = "Loaded guest IA32_DEBUGCTL reserved bits must be zero";
+      run =
+        (fun ctx ->
+          if not (entryc ctx Controls.Entry.load_debug_controls) then ok
+          else begin
+            let v = rd ctx Field.guest_ia32_debugctl in
+            require
+              (Int64.logand v (Int64.lognot 0x7FC3L) = 0L)
+              "guest DEBUGCTL reserved bits set (%Lx)" v
+          end);
+    };
+    {
+      id = "guest.dr7_high";
+      group = Guest;
+      doc = "Loaded guest DR7 bits 63:32 must be zero";
+      run =
+        (fun ctx ->
+          require
+            ((not (entryc ctx Controls.Entry.load_debug_controls))
+            || Int64.shift_right_logical (rd ctx Field.guest_dr7) 32 = 0L)
+            "guest DR7 upper half set (%Lx)" (rd ctx Field.guest_dr7));
+    };
+    {
+      id = "guest.sysenter_canonical";
+      group = Guest;
+      doc = "Guest SYSENTER ESP/EIP must be canonical";
+      run =
+        (fun ctx ->
+          let esp = rd ctx Field.guest_sysenter_esp in
+          let eip = rd ctx Field.guest_sysenter_eip in
+          if not (Nf_stdext.Bits.is_canonical esp) then
+            fail "guest SYSENTER_ESP not canonical (%Lx)" esp
+          else
+            require
+              (Nf_stdext.Bits.is_canonical eip)
+              "guest SYSENTER_EIP not canonical (%Lx)" eip);
+    };
+    {
+      id = "guest.pat";
+      group = Guest;
+      doc = "Loaded guest PAT must contain valid memory types";
+      run =
+        (fun ctx ->
+          require
+            (not (entryc ctx Controls.Entry.load_ia32_pat)
+            || valid_pat (rd ctx Field.guest_ia32_pat))
+            "guest PAT invalid (%Lx)" (rd ctx Field.guest_ia32_pat));
+    };
+    {
+      id = "guest.efer";
+      group = Guest;
+      doc = "Loaded guest EFER: reserved zero, LMA = IA-32e mode, LME tied to PG";
+      run =
+        (fun ctx ->
+          if not (entryc ctx Controls.Entry.load_ia32_efer) then ok
+          else begin
+            let e = rd ctx Field.guest_ia32_efer in
+            if Int64.logand e (Int64.lognot Nf_x86.Efer.defined_mask) <> 0L then
+              fail "guest EFER reserved bits set (%Lx)" e
+            else begin
+              let lma = Nf_stdext.Bits.is_set e Nf_x86.Efer.lma in
+              let lme = Nf_stdext.Bits.is_set e Nf_x86.Efer.lme in
+              if lma <> ia32e_guest ctx then
+                fail "guest EFER.LMA != IA-32e-mode-guest control"
+              else if bit ctx Field.guest_cr0 Nf_x86.Cr0.pg && lme <> lma then
+                fail "guest EFER.LME != EFER.LMA with paging enabled"
+              else ok
+            end
+          end);
+    };
+    {
+      id = "guest.bndcfgs";
+      group = Guest;
+      doc = "Loaded guest BNDCFGS: canonical base, reserved bits zero";
+      run =
+        (fun ctx ->
+          if not (entryc ctx Controls.Entry.load_bndcfgs) then ok
+          else begin
+            let v = rd ctx (Field.find_exn "GUEST_IA32_BNDCFGS") in
+            if Int64.logand v 0xFFCL <> 0L then
+              fail "guest BNDCFGS reserved bits set (%Lx)" v
+            else
+              require
+                (Nf_stdext.Bits.is_canonical v)
+                "guest BNDCFGS base not canonical (%Lx)" v
+          end);
+    };
+    {
+      id = "guest.rflags";
+      group = Guest;
+      doc = "Guest RFLAGS reserved bits (bit 1 set, others clear)";
+      run =
+        (fun ctx ->
+          require
+            (Nf_x86.Rflags.valid (rd ctx Field.guest_rflags))
+            "guest RFLAGS reserved bits invalid (%Lx)" (rd ctx Field.guest_rflags));
+    };
+    {
+      id = "guest.rflags_vm";
+      group = Guest;
+      doc = "RFLAGS.VM must be clear in IA-32e mode or without CR0.PE";
+      run =
+        (fun ctx ->
+          if not (v8086 ctx) then ok
+          else if ia32e_guest ctx then fail "RFLAGS.VM set in IA-32e mode"
+          else
+            require
+              (bit ctx Field.guest_cr0 Nf_x86.Cr0.pe)
+              "RFLAGS.VM set without CR0.PE");
+    };
+    {
+      id = "guest.rflags_if_injection";
+      group = Guest;
+      doc = "RFLAGS.IF must be set when injecting an external interrupt";
+      run =
+        (fun ctx ->
+          let ii = rd ctx Field.entry_intr_info in
+          let open Nf_x86.Exn.Intr_info in
+          require
+            ((not (valid ii && typ ii = type_external))
+            || bit ctx Field.guest_rflags Nf_x86.Rflags.if_)
+            "external-interrupt injection with RFLAGS.IF clear");
+    };
+    {
+      id = "guest.activity";
+      group = Guest;
+      doc = "Activity state must be a supported value";
+      run =
+        (fun ctx ->
+          let a = rd ctx Field.guest_activity_state in
+          let supported =
+            a = Field.Activity.active
+            || (a = Field.Activity.hlt && ctx.caps.activity_hlt)
+            || (a = Field.Activity.shutdown && ctx.caps.activity_shutdown)
+            || (a = Field.Activity.wait_for_sipi && ctx.caps.activity_wait_sipi)
+          in
+          require supported "guest activity state %Ld unsupported" a);
+    };
+    {
+      id = "guest.activity_hlt_dpl";
+      group = Guest;
+      doc = "HLT activity state requires SS.DPL = 0";
+      run =
+        (fun ctx ->
+          require
+            (rd ctx Field.guest_activity_state <> Field.Activity.hlt
+            || Nf_x86.Seg.Ar.get_dpl (seg_ar ctx Nf_x86.Seg.SS) = 0)
+            "HLT activity state with SS.DPL != 0");
+    };
+    {
+      id = "guest.activity_sipi_injection";
+      group = Guest;
+      doc = "No event injection in WAIT-FOR-SIPI activity state";
+      run =
+        (fun ctx ->
+          require
+            (rd ctx Field.guest_activity_state <> Field.Activity.wait_for_sipi
+            || not (Nf_x86.Exn.Intr_info.valid (rd ctx Field.entry_intr_info)))
+            "event injection in wait-for-SIPI activity state");
+    };
+    {
+      id = "guest.interruptibility";
+      group = Guest;
+      doc = "Interruptibility state: reserved bits, STI/MOV-SS exclusivity";
+      run =
+        (fun ctx ->
+          let v = rd ctx Field.guest_interruptibility in
+          let sti = Nf_stdext.Bits.is_set v 0 in
+          let movss = Nf_stdext.Bits.is_set v 1 in
+          if Int64.logand v (Int64.lognot 0x1FL) <> 0L then
+            fail "interruptibility reserved bits set (%Lx)" v
+          else if sti && movss then fail "STI and MOV-SS blocking both set"
+          else if sti && not (bit ctx Field.guest_rflags Nf_x86.Rflags.if_) then
+            fail "STI blocking with RFLAGS.IF clear"
+          else begin
+            let ii = rd ctx Field.entry_intr_info in
+            let open Nf_x86.Exn.Intr_info in
+            if valid ii && typ ii = type_nmi && movss then
+              fail "NMI injection with MOV-SS blocking"
+            else ok
+          end);
+    };
+    {
+      id = "guest.pending_dbg";
+      group = Guest;
+      doc = "Pending debug exceptions: reserved bits, BS vs TF consistency";
+      run =
+        (fun ctx ->
+          let v = rd ctx Field.guest_pending_dbg in
+          if Int64.logand v (Int64.lognot 0x1_F00FL) <> 0L then
+            fail "pending debug exceptions reserved bits set (%Lx)" v
+          else begin
+            let interruptibility = rd ctx Field.guest_interruptibility in
+            let blocked =
+              Nf_stdext.Bits.is_set interruptibility 0
+              || Nf_stdext.Bits.is_set interruptibility 1
+              || rd ctx Field.guest_activity_state = Field.Activity.hlt
+            in
+            if not blocked then ok
+            else begin
+              let bs = Nf_stdext.Bits.is_set v 14 in
+              let tf = bit ctx Field.guest_rflags Nf_x86.Rflags.tf in
+              let btf = Nf_stdext.Bits.is_set (rd ctx Field.guest_ia32_debugctl) 1 in
+              if tf && (not btf) && not bs then
+                fail "pending debug BS clear with RFLAGS.TF set"
+              else if (not tf || btf) && bs then
+                fail "pending debug BS set without single-stepping"
+              else ok
+            end
+          end);
+    };
+    {
+      id = "guest.vmcs_link";
+      group = Guest;
+      doc = "VMCS link pointer must be all-ones (no shadow VMCS)";
+      run =
+        (fun ctx ->
+          let v = rd ctx Field.vmcs_link_pointer in
+          if v = -1L then ok
+          else if proc2 ctx Controls.Proc2.vmcs_shadowing then
+            require
+              (page_aligned v && in_phys ctx v)
+              "shadow VMCS link pointer invalid (%Lx)" v
+          else fail "VMCS link pointer not ~0 (%Lx)" v);
+    };
+    {
+      id = "guest.pdpte";
+      group = Guest;
+      doc = "PAE paging: loaded PDPTEs must have reserved bits clear";
+      run =
+        (fun ctx ->
+          let pae_paging =
+            bit ctx Field.guest_cr0 Nf_x86.Cr0.pg
+            && bit ctx Field.guest_cr4 Nf_x86.Cr4.pae
+            && not (ia32e_guest ctx)
+          in
+          if not (pae_paging && proc2 ctx Controls.Proc2.enable_ept) then ok
+          else begin
+            let reserved = Int64.lognot (Int64.logor (Vmx_caps.physaddr_mask ctx.caps) 1L) in
+            let bad =
+              List.find_opt
+                (fun i ->
+                  let v = rd ctx (Field.find_exn (Printf.sprintf "GUEST_PDPTE%d" i)) in
+                  Nf_stdext.Bits.is_set v 0 && Int64.logand v reserved <> 0L)
+                [ 0; 1; 2; 3 ]
+            in
+            match bad with
+            | None -> ok
+            | Some i -> fail "guest PDPTE%d reserved bits set" i
+          end);
+    };
+    {
+      id = "guest.gdtr_idtr";
+      group = Guest;
+      doc = "GDTR/IDTR bases canonical, limits within 16 bits";
+      run =
+        (fun ctx ->
+          let gb = rd ctx Field.guest_gdtr_base and ib = rd ctx Field.guest_idtr_base in
+          if not (Nf_stdext.Bits.is_canonical gb) then
+            fail "guest GDTR base not canonical (%Lx)" gb
+          else if not (Nf_stdext.Bits.is_canonical ib) then
+            fail "guest IDTR base not canonical (%Lx)" ib
+          else if Int64.shift_right_logical (rd ctx Field.guest_gdtr_limit) 16 <> 0L then
+            fail "guest GDTR limit beyond 16 bits"
+          else
+            require
+              (Int64.shift_right_logical (rd ctx Field.guest_idtr_limit) 16 = 0L)
+              "guest IDTR limit beyond 16 bits");
+    };
+    {
+      id = "guest.rip";
+      group = Guest;
+      doc = "Guest RIP: upper bits clear outside 64-bit code, else canonical";
+      run =
+        (fun ctx ->
+          let rip = rd ctx Field.guest_rip in
+          let cs_long = Nf_x86.Seg.Ar.is_long (seg_ar ctx Nf_x86.Seg.CS) in
+          if ia32e_guest ctx && cs_long then
+            require (Nf_stdext.Bits.is_canonical rip) "guest RIP not canonical (%Lx)" rip
+          else
+            require
+              (Int64.shift_right_logical rip 32 = 0L)
+              "guest RIP upper half set outside 64-bit code (%Lx)" rip);
+    };
+    {
+      id = "guest.seg.cs";
+      group = Guest;
+      doc = "Guest CS register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.CS);
+    };
+    {
+      id = "guest.seg.ss";
+      group = Guest;
+      doc = "Guest SS register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.SS);
+    };
+    {
+      id = "guest.seg.ds";
+      group = Guest;
+      doc = "Guest DS register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.DS);
+    };
+    {
+      id = "guest.seg.es";
+      group = Guest;
+      doc = "Guest ES register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.ES);
+    };
+    {
+      id = "guest.seg.fs";
+      group = Guest;
+      doc = "Guest FS register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.FS);
+    };
+    {
+      id = "guest.seg.gs";
+      group = Guest;
+      doc = "Guest GS register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.GS);
+    };
+    {
+      id = "guest.seg.ldtr";
+      group = Guest;
+      doc = "Guest LDTR register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.LDTR);
+    };
+    {
+      id = "guest.seg.tr";
+      group = Guest;
+      doc = "Guest TR register checks";
+      run = (fun ctx -> seg_check ctx Nf_x86.Seg.TR);
+    };
+  ]
+
+let all = ctl_checks @ host_checks @ guest_checks
+
+let by_id =
+  let h = Hashtbl.create 97 in
+  List.iter (fun c -> Hashtbl.replace h c.id c) all;
+  fun id ->
+    match Hashtbl.find_opt h id with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "unknown VMX check %S" id)
+
+let ids = List.map (fun c -> c.id) all
+
+(** Run every check of [group] in table order; first failure wins, as on
+    hardware. [skip] suppresses individual checks (hardware quirks, or a
+    hypervisor's missing replication). *)
+let run_group ?(skip = fun _ -> false) group ctx =
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if c.group <> group || skip c.id then go rest
+        else begin
+          match c.run ctx with
+          | Ok () -> go rest
+          | Error msg -> Error (c, msg)
+        end
+  in
+  go all
+
+let run_all ?skip ctx =
+  match run_group ?skip Ctl ctx with
+  | Error _ as e -> e
+  | Ok () -> (
+      match run_group ?skip Host ctx with
+      | Error _ as e -> e
+      | Ok () -> run_group ?skip Guest ctx)

@@ -1,0 +1,43 @@
+(** VM-entry consistency checks (Intel SDM Vol. 3C §26.2–26.3).
+
+    Each check has a stable identifier.  Three consumers share the table:
+    the physical-CPU oracle (which skips its hardware quirks), the
+    Bochs-derived validator (which rounds toward these rules), and the
+    simulated hypervisors (which replicate a subset — the missing
+    identifiers are exactly the planted vulnerabilities). *)
+
+type group = Ctl | Host | Guest
+
+val group_name : group -> string
+
+type ctx = {
+  caps : Vmx_caps.t;
+  vmcs : Nf_vmcs.Vmcs.t;
+  entry_msr_load : (int * int64) array;
+      (** the area's address/count fields are checked here; its contents
+          are processed during entry by [Vmx_cpu] *)
+}
+
+type check = {
+  id : string;
+  group : group;
+  doc : string;
+  run : ctx -> (unit, string) result;
+}
+
+(** All checks in architectural evaluation order: controls, then host
+    state, then guest state. *)
+val all : check list
+
+(** @raise Invalid_argument on an unknown identifier. *)
+val by_id : string -> check
+
+val ids : string list
+
+(** Run every check of [group] in table order; first failure wins, as on
+    hardware.  [skip] suppresses individual checks (hardware quirks, or a
+    hypervisor's missing replication). *)
+val run_group :
+  ?skip:(string -> bool) -> group -> ctx -> (unit, check * string) result
+
+val run_all : ?skip:(string -> bool) -> ctx -> (unit, check * string) result

@@ -1,0 +1,165 @@
+(** Physical-CPU oracle for Intel VT-x.
+
+    [enter] performs the consistency-checking part of VMLAUNCH/VMRESUME on
+    a VMCS: control and host-state violations VMfail with instruction
+    errors 7/8; guest-state violations cause an early VM exit with basic
+    reason 33 (and 34 for MSR-load failures), exactly the observable
+    behaviour the paper's validator uses as ground truth.
+
+    Hardware deviates from the written specification in places — the
+    quirks below.  The documented rule "CR4.PAE must be set when IA-32e
+    mode is enabled" is *not* enforced: the CPU silently assumes PAE, the
+    behaviour that makes CVE-2023-30456 possible when a hypervisor
+    replicates the manual instead of the silicon. *)
+
+open Nf_vmcs
+
+(** Check identifiers the physical CPU does not enforce even though the
+    manual states them.  The validator discovers these by comparing its
+    model against [enter]. *)
+let hardware_skips = [ "guest.ia32e_pae" ]
+
+(** VM-instruction error numbers (SDM Vol. 3C §30.4). *)
+module Insn_error = struct
+  let vmcall_in_root = 1
+  let vmclear_invalid_addr = 2
+  let vmclear_vmxon_ptr = 3
+  let vmlaunch_not_clear = 4
+  let vmresume_not_launched = 5
+  let vmresume_after_vmxoff = 6
+  let entry_invalid_control = 7
+  let entry_invalid_host = 8
+  let vmptrld_invalid_addr = 9
+  let vmptrld_vmxon_ptr = 10
+  let vmptrld_wrong_revision = 11
+  let vmread_vmwrite_unsupported = 12
+  let vmwrite_readonly = 13
+  let vmxon_in_root = 15
+  let invept_invalid_operand = 28
+
+  let name = function
+    | 1 -> "VMCALL_IN_ROOT" | 2 -> "VMCLEAR_INVALID_ADDR"
+    | 3 -> "VMCLEAR_VMXON_PTR" | 4 -> "VMLAUNCH_NOT_CLEAR"
+    | 5 -> "VMRESUME_NOT_LAUNCHED" | 6 -> "VMRESUME_AFTER_VMXOFF"
+    | 7 -> "ENTRY_INVALID_CONTROL" | 8 -> "ENTRY_INVALID_HOST"
+    | 9 -> "VMPTRLD_INVALID_ADDR" | 10 -> "VMPTRLD_VMXON_PTR"
+    | 11 -> "VMPTRLD_WRONG_REVISION" | 12 -> "VMREAD_VMWRITE_UNSUPPORTED"
+    | 13 -> "VMWRITE_READONLY" | 15 -> "VMXON_IN_ROOT"
+    | 28 -> "INVEPT_INVALID_OPERAND"
+    | n -> Printf.sprintf "VM_INSN_ERROR(%d)" n
+end
+
+type outcome =
+  | Entered of { adjustments : (Field.t * int64 * int64) list }
+      (** entry succeeded; list of (field, before, after) the CPU silently
+          corrected *)
+  | Vmfail_control of { check : Vmx_checks.check; msg : string }
+      (** instruction error 7 *)
+  | Vmfail_host of { check : Vmx_checks.check; msg : string }
+      (** instruction error 8 *)
+  | Entry_fail_guest of { check : Vmx_checks.check; msg : string }
+      (** early exit, basic reason 33 | bit 31 *)
+  | Entry_fail_msr_load of { index : int; msr : int; msg : string }
+      (** early exit, basic reason 34 | bit 31; qualification = index+1 *)
+
+let outcome_name = function
+  | Entered _ -> "ENTERED"
+  | Vmfail_control _ -> "VMFAIL_INVALID_CONTROL"
+  | Vmfail_host _ -> "VMFAIL_INVALID_HOST"
+  | Entry_fail_guest _ -> "ENTRY_FAIL_GUEST_STATE"
+  | Entry_fail_msr_load _ -> "ENTRY_FAIL_MSR_LOAD"
+
+let pp_outcome ppf = function
+  | Entered { adjustments = [] } -> Format.fprintf ppf "entered"
+  | Entered { adjustments } ->
+      Format.fprintf ppf "entered (%d silent fixes)" (List.length adjustments)
+  | Vmfail_control { check; msg } ->
+      Format.fprintf ppf "VMfail(7) %s: %s" check.Vmx_checks.id msg
+  | Vmfail_host { check; msg } ->
+      Format.fprintf ppf "VMfail(8) %s: %s" check.Vmx_checks.id msg
+  | Entry_fail_guest { check; msg } ->
+      Format.fprintf ppf "entry-fail(33) %s: %s" check.Vmx_checks.id msg
+  | Entry_fail_msr_load { index; msr; msg } ->
+      Format.fprintf ppf "entry-fail(34) MSR-load[%d]=%s: %s" index
+        (Nf_x86.Msr.name msr) msg
+
+(** Validate one VM-entry MSR-load entry, as the CPU does after the guest
+    state checks pass (SDM §26.4). *)
+let check_msr_load_entry (msr, value) =
+  if msr = Nf_x86.Msr.ia32_fs_base || msr = Nf_x86.Msr.ia32_gs_base then
+    Error "FS_BASE/GS_BASE cannot be loaded from the MSR-load area"
+  else if msr land 0xFFFFF000 = 0x800 then
+    Error "x2APIC MSRs cannot be loaded from the MSR-load area"
+  else if
+    List.mem msr Nf_x86.Msr.must_be_canonical
+    && not (Nf_stdext.Bits.is_canonical value)
+  then Error (Printf.sprintf "non-canonical value %Lx" value)
+  else if msr = Nf_x86.Msr.ia32_efer
+          && Int64.logand value (Int64.lognot Nf_x86.Efer.defined_mask) <> 0L
+  then Error "EFER reserved bits set"
+  else Ok ()
+
+(** Silent corrections the CPU applies on a *successful* entry.  Returns
+    the adjusted VMCS together with the change list; the original is not
+    modified. *)
+let silent_adjust vmcs =
+  let adjusted = Vmcs.copy vmcs in
+  let changes = ref [] in
+  let fix f v =
+    let old = Vmcs.read adjusted f in
+    if old <> v then begin
+      Vmcs.write adjusted f v;
+      changes := (f, old, v) :: !changes
+    end
+  in
+  (* Event injection into a halted guest wakes it: activity rounds to
+     ACTIVE. *)
+  if
+    Nf_x86.Exn.Intr_info.valid (Vmcs.read vmcs Field.entry_intr_info)
+    && Vmcs.read vmcs Field.guest_activity_state = Field.Activity.hlt
+  then fix Field.guest_activity_state Field.Activity.active;
+  (* The CPU materialises the reserved-1 bit of RFLAGS if the rest of the
+     register passed the checks with it set; reading it back always shows
+     bit 1. *)
+  let rf = Vmcs.read vmcs Field.guest_rflags in
+  if not (Nf_stdext.Bits.is_set rf 1) then
+    fix Field.guest_rflags (Nf_stdext.Bits.set rf 1);
+  (adjusted, List.rev !changes)
+
+let enter ~(caps : Vmx_caps.t) ?(msr_load = [||]) (vmcs : Vmcs.t) : outcome =
+  let ctx = { Vmx_checks.caps; vmcs; entry_msr_load = msr_load } in
+  let skip id = List.mem id hardware_skips in
+  match Vmx_checks.run_group ~skip Ctl ctx with
+  | Error (check, msg) -> Vmfail_control { check; msg }
+  | Ok () -> (
+      match Vmx_checks.run_group ~skip Host ctx with
+      | Error (check, msg) -> Vmfail_host { check; msg }
+      | Ok () -> (
+          match Vmx_checks.run_group ~skip Guest ctx with
+          | Error (check, msg) -> Entry_fail_guest { check; msg }
+          | Ok () ->
+              (* MSR-load processing. *)
+              let fail = ref None in
+              Array.iteri
+                (fun i entry ->
+                  if !fail = None then begin
+                    match check_msr_load_entry entry with
+                    | Ok () -> ()
+                    | Error msg -> fail := Some (i, fst entry, msg)
+                  end)
+                msr_load;
+              (match !fail with
+              | Some (index, msr, msg) -> Entry_fail_msr_load { index; msr; msg }
+              | None ->
+                  let _, adjustments = silent_adjust vmcs in
+                  Entered { adjustments })))
+
+(** [enter] with the adjusted VMCS written back, mirroring what a guest
+    observes via VMREAD after running: the paper's validator compares this
+    against its own prediction. *)
+let enter_and_writeback ~caps ?msr_load vmcs =
+  match enter ~caps ?msr_load vmcs with
+  | Entered { adjustments } ->
+      List.iter (fun (f, _old, v) -> Vmcs.write vmcs f v) adjustments;
+      Entered { adjustments }
+  | other -> other

@@ -1,0 +1,66 @@
+(** Physical-CPU oracle for Intel VT-x: the consistency-checking part of
+    VMLAUNCH/VMRESUME.
+
+    Control and host-state violations VMfail with instruction errors 7/8;
+    guest-state violations cause an early VM exit with basic reason 33
+    (34 for MSR-load failures) — the observable behaviour the paper's
+    validator uses as ground truth.
+
+    Hardware deviates from the written specification in places: the
+    documented rule "CR4.PAE must be set when IA-32e mode is enabled" is
+    not enforced (the CPU silently assumes PAE), which is what makes
+    CVE-2023-30456 possible when a hypervisor replicates the manual
+    instead of the silicon. *)
+
+(** Check identifiers the physical CPU does not enforce even though the
+    manual states them. *)
+val hardware_skips : string list
+
+(** VM-instruction error numbers (SDM Vol. 3C §30.4). *)
+module Insn_error : sig
+  val vmcall_in_root : int
+  val vmclear_invalid_addr : int
+  val vmclear_vmxon_ptr : int
+  val vmlaunch_not_clear : int
+  val vmresume_not_launched : int
+  val vmresume_after_vmxoff : int
+  val entry_invalid_control : int
+  val entry_invalid_host : int
+  val vmptrld_invalid_addr : int
+  val vmptrld_vmxon_ptr : int
+  val vmptrld_wrong_revision : int
+  val vmread_vmwrite_unsupported : int
+  val vmwrite_readonly : int
+  val vmxon_in_root : int
+  val invept_invalid_operand : int
+  val name : int -> string
+end
+
+type outcome =
+  | Entered of { adjustments : (Nf_vmcs.Field.t * int64 * int64) list }
+      (** entry succeeded; (field, before, after) the CPU silently
+          corrected *)
+  | Vmfail_control of { check : Vmx_checks.check; msg : string }
+  | Vmfail_host of { check : Vmx_checks.check; msg : string }
+  | Entry_fail_guest of { check : Vmx_checks.check; msg : string }
+  | Entry_fail_msr_load of { index : int; msr : int; msg : string }
+
+val outcome_name : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Validate one VM-entry MSR-load entry (SDM §26.4). *)
+val check_msr_load_entry : int * int64 -> (unit, string) result
+
+(** Silent corrections the CPU applies on a successful entry; returns the
+    adjusted copy and the change list. *)
+val silent_adjust :
+  Nf_vmcs.Vmcs.t -> Nf_vmcs.Vmcs.t * (Nf_vmcs.Field.t * int64 * int64) list
+
+(** Attempt a VM entry. *)
+val enter :
+  caps:Vmx_caps.t -> ?msr_load:(int * int64) array -> Nf_vmcs.Vmcs.t -> outcome
+
+(** Like {!enter}, with silent adjustments written back — what a guest
+    observes via VMREAD after running. *)
+val enter_and_writeback :
+  caps:Vmx_caps.t -> ?msr_load:(int * int64) array -> Nf_vmcs.Vmcs.t -> outcome

@@ -1,0 +1,224 @@
+(** Non-root execution model for Intel VT-x.
+
+    Given the controls of the VMCS a guest is running under and an
+    instruction the guest executes, decide whether the instruction causes
+    a VM exit and with what basic reason/qualification (SDM Vol. 3C §25.1).
+
+    Guest memory is not modelled; I/O- and MSR-bitmap lookups are replaced
+    by a deterministic hash of (bitmap address, index).  This preserves
+    what matters for fuzzing — whether intercept decisions *vary* with the
+    bitmap configuration — without a physical-memory substrate (see
+    DESIGN.md §1). *)
+
+open Nf_vmcs
+
+type exit = { reason : int; qualification : int64; intr_info : int64 }
+
+type verdict = No_exit | Exit of exit
+
+let exit ?(qualification = 0L) ?(intr_info = 0L) reason =
+  Exit { reason; qualification; intr_info }
+
+let bit vmcs f n = Nf_stdext.Bits.is_set (Vmcs.read vmcs f) n
+let proc vmcs n = bit vmcs Field.proc_based_ctls n
+
+let proc2 vmcs n =
+  proc vmcs Controls.Proc.activate_secondary_controls
+  && bit vmcs Field.proc_based_ctls2 n
+
+(* Deterministic surrogate for a bit lookup in a guest-memory bitmap. *)
+let bitmap_bit addr index =
+  let r = Nf_stdext.Rng.of_int64 (Int64.add addr (Int64.of_int (index * 2654435761))) in
+  Nf_stdext.Rng.bool r
+
+let io_intercepted vmcs port =
+  if proc vmcs Controls.Proc.unconditional_io_exiting then true
+  else if proc vmcs Controls.Proc.use_io_bitmaps then begin
+    let bitmap =
+      if port < 0x8000 then Vmcs.read vmcs Field.io_bitmap_a
+      else Vmcs.read vmcs Field.io_bitmap_b
+    in
+    bitmap_bit bitmap port
+  end
+  else false
+
+(* MSRs in the low (0..0x1FFF) and high (0xC0000000..0xC0001FFF) ranges
+   are covered by the MSR bitmaps; everything else always exits. *)
+let msr_intercepted vmcs ~write msr =
+  if not (proc vmcs Controls.Proc.use_msr_bitmaps) then true
+  else begin
+    let in_range =
+      (msr >= 0 && msr < 0x2000)
+      || (msr >= 0xC0000000 && msr < 0xC0002000)
+    in
+    if not in_range then true
+    else bitmap_bit (Vmcs.read vmcs Field.msr_bitmap) ((msr * 2) + if write then 1 else 0)
+  end
+
+let exception_intercepted vmcs vector =
+  Nf_stdext.Bits.is_set (Vmcs.read vmcs Field.exception_bitmap) vector
+
+let exception_exit vmcs vector =
+  if exception_intercepted vmcs vector then
+    exit
+      ~intr_info:
+        (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_hw_exception
+           ~vector ())
+      Exit_reason.exception_nmi
+  else No_exit
+
+(* CR0/CR4 writes exit when a bit owned by the hypervisor (guest/host
+   mask) would change relative to the read shadow. *)
+let cr_masked_write_exits vmcs ~mask_f ~shadow_f value =
+  let mask = Vmcs.read vmcs mask_f in
+  let shadow = Vmcs.read vmcs shadow_f in
+  Int64.logand mask (Int64.logxor value shadow) <> 0L
+
+let cr_access_qual ~cr ~write =
+  (* Exit qualification for CR accesses: bits 3:0 = CR number, bits 5:4 =
+     access type (0 = mov-to, 1 = mov-from). *)
+  Int64.of_int (cr lor (if write then 0 else 0x10))
+
+let cr3_in_target_list vmcs value =
+  let count = Int64.to_int (Vmcs.read vmcs Field.cr3_target_count) in
+  let rec go i =
+    if i >= count || i >= 4 then false
+    else if
+      Vmcs.read vmcs (Field.find_exn (Printf.sprintf "CR3_TARGET_VALUE%d" i))
+      = value
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let decide (vmcs : Vmcs.t) (insn : Insn.t) : verdict =
+  let open Controls in
+  match insn with
+  | Insn.Nop -> No_exit
+  | Cpuid leaf -> exit ~qualification:(Int64.of_int leaf) Exit_reason.cpuid
+  | Hlt -> if proc vmcs Proc.hlt_exiting then exit Exit_reason.hlt else No_exit
+  | Pause ->
+      if proc vmcs Proc.pause_exiting then exit Exit_reason.pause
+      else if proc2 vmcs Proc2.pause_loop_exiting then exit Exit_reason.pause
+      else No_exit
+  | Mwait -> if proc vmcs Proc.mwait_exiting then exit Exit_reason.mwait else No_exit
+  | Monitor ->
+      if proc vmcs Proc.monitor_exiting then exit Exit_reason.monitor else No_exit
+  | Invd -> exit Exit_reason.invd
+  | Wbinvd ->
+      if proc2 vmcs Proc2.wbinvd_exiting then exit Exit_reason.wbinvd else No_exit
+  | Invlpg addr ->
+      if proc vmcs Proc.invlpg_exiting then
+        exit ~qualification:addr Exit_reason.invlpg
+      else No_exit
+  | Rdtsc -> if proc vmcs Proc.rdtsc_exiting then exit Exit_reason.rdtsc else No_exit
+  | Rdtscp ->
+      if not (proc2 vmcs Proc2.enable_rdtscp) then exception_exit vmcs Nf_x86.Exn.ud
+      else if proc vmcs Proc.rdtsc_exiting then exit Exit_reason.rdtscp
+      else No_exit
+  | Rdpmc -> if proc vmcs Proc.rdpmc_exiting then exit Exit_reason.rdpmc else No_exit
+  | Rdrand ->
+      if proc2 vmcs Proc2.rdrand_exiting then exit Exit_reason.rdrand else No_exit
+  | Rdseed ->
+      if proc2 vmcs Proc2.rdseed_exiting then exit Exit_reason.rdseed else No_exit
+  | Xsetbv _ -> exit Exit_reason.xsetbv
+  | Vmcall -> exit Exit_reason.vmcall
+  | Mov_to_cr (0, v) ->
+      if
+        cr_masked_write_exits vmcs ~mask_f:Field.cr0_guest_host_mask
+          ~shadow_f:Field.cr0_read_shadow v
+      then exit ~qualification:(cr_access_qual ~cr:0 ~write:true) Exit_reason.cr_access
+      else No_exit
+  | Mov_to_cr (3, v) ->
+      if proc vmcs Proc.cr3_load_exiting && not (cr3_in_target_list vmcs v) then
+        exit ~qualification:(cr_access_qual ~cr:3 ~write:true) Exit_reason.cr_access
+      else No_exit
+  | Mov_to_cr (4, v) ->
+      if
+        cr_masked_write_exits vmcs ~mask_f:Field.cr4_guest_host_mask
+          ~shadow_f:Field.cr4_read_shadow v
+      then exit ~qualification:(cr_access_qual ~cr:4 ~write:true) Exit_reason.cr_access
+      else No_exit
+  | Mov_to_cr (8, _) ->
+      if proc vmcs Proc.cr8_load_exiting then
+        exit ~qualification:(cr_access_qual ~cr:8 ~write:true) Exit_reason.cr_access
+      else No_exit
+  | Mov_to_cr (_, _) -> exception_exit vmcs Nf_x86.Exn.ud
+  | Mov_from_cr 3 ->
+      if proc vmcs Proc.cr3_store_exiting then
+        exit ~qualification:(cr_access_qual ~cr:3 ~write:false) Exit_reason.cr_access
+      else No_exit
+  | Mov_from_cr 8 ->
+      if proc vmcs Proc.cr8_store_exiting then
+        exit ~qualification:(cr_access_qual ~cr:8 ~write:false) Exit_reason.cr_access
+      else No_exit
+  | Mov_from_cr _ -> No_exit
+  | Mov_dr _ ->
+      if proc vmcs Proc.mov_dr_exiting then exit Exit_reason.dr_access else No_exit
+  | Io_in port ->
+      if io_intercepted vmcs port then
+        exit
+          ~qualification:(Int64.of_int ((port lsl 16) lor 0x8))
+          Exit_reason.io_instruction
+      else No_exit
+  | Io_out (port, _) ->
+      if io_intercepted vmcs port then
+        exit ~qualification:(Int64.of_int (port lsl 16)) Exit_reason.io_instruction
+      else No_exit
+  | Rdmsr msr ->
+      if msr_intercepted vmcs ~write:false msr then
+        exit ~qualification:(Int64.of_int msr) Exit_reason.msr_read
+      else No_exit
+  | Wrmsr (msr, _) ->
+      if msr_intercepted vmcs ~write:true msr then
+        exit ~qualification:(Int64.of_int msr) Exit_reason.msr_write
+      else No_exit
+  | Vmx_in_guest kind ->
+      (* All VMX instructions executed in non-root mode exit
+         unconditionally. *)
+      let reason =
+        match kind with
+        | "vmclear" -> Exit_reason.vmclear
+        | "vmlaunch" -> Exit_reason.vmlaunch
+        | "vmptrld" -> Exit_reason.vmptrld
+        | "vmptrst" -> Exit_reason.vmptrst
+        | "vmread" -> Exit_reason.vmread
+        | "vmresume" -> Exit_reason.vmresume
+        | "vmwrite" -> Exit_reason.vmwrite
+        | "vmxoff" -> Exit_reason.vmxoff
+        | "vmxon" -> Exit_reason.vmxon
+        | "invept" -> Exit_reason.invept
+        | "invvpid" -> Exit_reason.invvpid
+        | "invpcid" -> Exit_reason.invpcid
+        | "vmfunc" -> Exit_reason.vmfunc
+        | _ -> -1 (* an SVM instruction on Intel: #UD *)
+      in
+      if reason = -1 then exception_exit vmcs Nf_x86.Exn.ud else exit reason
+  | Soft_int vector ->
+      if exception_intercepted vmcs vector then
+        exit
+          ~intr_info:
+            (Nf_x86.Exn.Intr_info.make
+               ~typ:Nf_x86.Exn.Intr_info.type_sw_interrupt ~vector ())
+          Exit_reason.exception_nmi
+      else No_exit
+  | Ud2 -> exception_exit vmcs Nf_x86.Exn.ud
+  | Ext_interrupt vector ->
+      (* An external interrupt arriving in non-root mode exits when
+         external-interrupt exiting is set; otherwise it is delivered
+         through the guest IDT. *)
+      if bit vmcs Field.pin_based_ctls Pin.external_interrupt_exiting then
+        exit
+          ~intr_info:
+            (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_external
+               ~vector ())
+          Exit_reason.external_interrupt
+      else No_exit
+  | Nmi_event ->
+      if bit vmcs Field.pin_based_ctls Pin.nmi_exiting then
+        exit
+          ~intr_info:
+            (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_nmi
+               ~vector:2 ())
+          Exit_reason.exception_nmi
+      else No_exit

@@ -1,0 +1,1 @@
+lib/fuzzer/fuzzer.ml: Array Bytes Input Nf_coverage Nf_stdext

@@ -1,0 +1,1 @@
+lib/fuzzer/fuzzer.mli: Bytes Nf_coverage

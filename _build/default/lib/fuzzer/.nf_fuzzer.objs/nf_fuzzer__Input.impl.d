@@ -1,0 +1,1 @@
+lib/fuzzer/input.ml: Bytes Char Int64 Nf_stdext

@@ -1,0 +1,1 @@
+lib/fuzzer/input.mli: Bytes Nf_stdext

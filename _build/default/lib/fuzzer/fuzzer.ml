@@ -1,0 +1,121 @@
+(** Coverage-guided fuzzing core (the AFL++ extension of §4.1).
+
+    The engine owns the queue of interesting inputs and the virgin-bits
+    map.  Each cycle it proposes an input ([next_input]); the agent runs
+    the fuzz-harness VM with it, folds the hypervisor's coverage trace
+    into an edge bitmap and reports back ([report]).  Inputs that touch
+    new bitmap buckets join the queue.
+
+    [Blind] mode never consults coverage: every input is random or a
+    havoc of a random earlier input.  It models both the coverage-guidance
+    ablation (Table 5) and the closed-source black-box setting (§5.4). *)
+
+module Bitmap = Nf_coverage.Coverage.Bitmap
+
+type mode = Guided | Blind
+
+type entry = {
+  data : Bytes.t;
+  mutable fuzz_count : int;
+  discovered_at_us : int64;
+}
+
+type t = {
+  rng : Nf_stdext.Rng.t;
+  mode : mode;
+  mutable queue : entry array;
+  mutable queue_len : int;
+  virgin : int array;
+  mutable cursor : int;
+  mutable execs : int;
+  mutable finds : int;
+}
+
+let create ?(mode = Guided) ~seed () =
+  {
+    rng = Nf_stdext.Rng.create seed;
+    mode;
+    queue = Array.make 64 { data = Input.zero (); fuzz_count = 0; discovered_at_us = 0L };
+    queue_len = 0;
+    virgin = Bitmap.create_virgin ();
+    cursor = 0;
+    execs = 0;
+    finds = 0;
+  }
+
+let queue_push t e =
+  if t.queue_len = Array.length t.queue then begin
+    let bigger = Array.make (2 * t.queue_len) e in
+    Array.blit t.queue 0 bigger 0 t.queue_len;
+    t.queue <- bigger
+  end;
+  t.queue.(t.queue_len) <- e;
+  t.queue_len <- t.queue_len + 1
+
+let seed_input t data =
+  queue_push t { data = Input.copy data; fuzz_count = 0; discovered_at_us = 0L }
+
+let queue_size t = t.queue_len
+
+(** Propose the next input to execute. *)
+let next_input t : Bytes.t =
+  t.execs <- t.execs + 1;
+  match t.mode with
+  | Blind ->
+      (* No feedback: random inputs, or havoc over a random previous one
+         so the harness still sees structured bytes occasionally. *)
+      if t.queue_len > 0 && Nf_stdext.Rng.chance t.rng ~num:1 ~den:2 then begin
+        let e = t.queue.(Nf_stdext.Rng.int t.rng t.queue_len) in
+        Input.havoc t.rng e.data
+      end
+      else Input.random t.rng
+  | Guided ->
+      if t.queue_len = 0 then Input.random t.rng
+      else begin
+        (* Round-robin with energy: entries found recently get more
+           attention (simplified AFL++ scheduling). *)
+        t.cursor <- (t.cursor + 1) mod t.queue_len;
+        let e = t.queue.(t.cursor) in
+        e.fuzz_count <- e.fuzz_count + 1;
+        if e.fuzz_count <= 48 then begin
+          (* Deterministic stage: walk single-bit flips across the whole
+             input with a coprime stride, AFL++'s bitflip 1/1.  This is
+             what systematically exposes every harness directive byte. *)
+          let b = Input.copy e.data in
+          let pos = e.fuzz_count * 12289 mod (Input.size * 8) in
+          Input.set b (pos / 8) (Input.get b (pos / 8) lxor (1 lsl (pos mod 8)));
+          b
+        end
+        else begin
+          let donor =
+            if t.queue_len > 1 then
+              Some t.queue.(Nf_stdext.Rng.int t.rng t.queue_len).data
+            else None
+          in
+          Input.havoc t.rng ?donor e.data
+        end
+      end
+
+(** Report the bitmap observed for [input]; returns true when the input
+    exposed new behaviour (and, in guided mode, joined the queue).
+    Crashing inputs are never queued — AFL++ saves them to the crash
+    directory instead, or re-fuzzing them would turn the queue into a
+    crash loop. *)
+let report t ~input ?(crashed = false) ~(bitmap : Bitmap.t) ~now_us () =
+  match t.mode with
+  | Blind ->
+      (* Blind mode keeps a small reservoir for splicing but ignores
+         coverage. *)
+      if (not crashed) && t.queue_len < 32 then seed_input t input;
+      false
+  | Guided ->
+      let novel = Bitmap.has_new_bits ~virgin:t.virgin bitmap in
+      if novel && not crashed then begin
+        t.finds <- t.finds + 1;
+        queue_push t
+          { data = Input.copy input; fuzz_count = 0; discovered_at_us = now_us }
+      end;
+      novel
+
+let execs t = t.execs
+let finds t = t.finds

@@ -1,0 +1,44 @@
+(** Coverage-guided fuzzing core (the AFL++ extension of §4.1).
+
+    The engine owns the queue of interesting inputs and the virgin-bits
+    map.  Each cycle it proposes an input ({!next_input}); the agent runs
+    the fuzz-harness VM with it, folds the coverage trace into an edge
+    bitmap and reports back ({!report}).  Inputs that touch new bitmap
+    buckets join the queue; crashing inputs never do.
+
+    [Blind] mode never consults coverage — it models both the
+    coverage-guidance ablation (Table 5) and the closed-source black-box
+    setting (§5.4). *)
+
+type mode = Guided | Blind
+
+type t
+
+val create : ?mode:mode -> seed:int -> unit -> t
+
+(** Add an initial corpus entry. *)
+val seed_input : t -> Bytes.t -> unit
+
+val queue_size : t -> int
+
+(** Propose the next input to execute.  Guided mode interleaves a short
+    deterministic bit-flip stage per queue entry with havoc/splice. *)
+val next_input : t -> Bytes.t
+
+(** Report the observed bitmap; returns true when the input exposed new
+    behaviour and joined the queue.  [crashed] inputs are never queued
+    (AFL++ saves them to the crash directory instead). *)
+val report :
+  t ->
+  input:Bytes.t ->
+  ?crashed:bool ->
+  bitmap:Nf_coverage.Coverage.Bitmap.t ->
+  now_us:int64 ->
+  unit ->
+  bool
+
+(** Total inputs proposed. *)
+val execs : t -> int
+
+(** Queue entries discovered through coverage feedback. *)
+val finds : t -> int

@@ -1,0 +1,25 @@
+(** Fuzzing inputs and mutation operators.
+
+    The unit of fuzzing is a fixed-size 2 KiB binary blob (§4.1) that the
+    agent embeds into the UEFI executor.  The mutators are the AFL++
+    havoc repertoire restricted to fixed-size inputs. *)
+
+(** Input size in bytes (2048). *)
+val size : int
+
+val zero : unit -> Bytes.t
+val random : Nf_stdext.Rng.t -> Bytes.t
+val copy : Bytes.t -> Bytes.t
+
+(** [get b i] / [set b i v] access bytes modulo {!size}. *)
+val get : Bytes.t -> int -> int
+
+val set : Bytes.t -> int -> int -> unit
+
+(** [apply_one rng ?donor b] applies one random mutation operator in
+    place; [donor] enables the splice operator. *)
+val apply_one : Nf_stdext.Rng.t -> ?donor:Bytes.t -> Bytes.t -> unit
+
+(** [havoc rng ?donor parent] returns a mutated copy, stacking 1..32
+    operators as AFL++ does.  [parent] is not modified. *)
+val havoc : Nf_stdext.Rng.t -> ?donor:Bytes.t -> Bytes.t -> Bytes.t

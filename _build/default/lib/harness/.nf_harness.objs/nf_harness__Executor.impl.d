@@ -1,0 +1,1 @@
+lib/harness/executor.ml: Array Bytes Char Controls Field Hypervisor Int64 L1_op Layout List Nf_cpu Nf_hv Nf_stdext Nf_validator Nf_vmcb Nf_vmcs Nf_x86 Templates Vmcs

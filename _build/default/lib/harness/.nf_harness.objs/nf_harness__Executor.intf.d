@@ -1,0 +1,1 @@
+lib/harness/executor.mli: Bytes Nf_cpu Nf_hv Nf_validator Nf_vmcb Nf_vmcs

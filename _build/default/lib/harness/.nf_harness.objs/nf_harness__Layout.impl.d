@@ -1,0 +1,1 @@
+lib/harness/layout.ml: Bytes Char Nf_config Nf_fuzzer

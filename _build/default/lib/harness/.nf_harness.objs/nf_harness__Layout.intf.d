@@ -1,0 +1,1 @@
+lib/harness/layout.mli: Bytes Nf_cpu

@@ -1,0 +1,1 @@
+lib/harness/templates.ml: Array Int64 List Nf_cpu Nf_x86 String

@@ -1,0 +1,1 @@
+lib/harness/templates.mli: Nf_cpu

@@ -1,0 +1,452 @@
+(** The UEFI executor: fuzzing orchestration inside the fuzz-harness VM
+    (§4.1/§4.2).
+
+    One [run] is one boot of the fuzz-harness VM with one 2 KiB fuzzing
+    input embedded in the binary.  It plays both the L1 hypervisor and
+    the L2 guest: the initialization phase issues the (mutated) VMX/SVM
+    setup template; the runtime phase loops exit-triggering instruction
+    templates in L2 and acts as the L1 exit handler.
+
+    The [ablation] record implements the component switches of Table 3:
+    disabling the execution harness freezes the templates, disabling the
+    validator replaces round-and-flip generation with golden-plus-noise,
+    and the configurator switch is honoured by the *agent* (it owns vCPU
+    configuration). *)
+
+open Nf_hv
+
+(* VM-state generation strategies — the §5.6 input-generation recipe and
+   its ablations. *)
+type state_generation =
+  | Boundary (* round to validity, then selective invalidation (the paper) *)
+  | Rounded_only (* round, no boundary flips *)
+  | Raw (* raw fuzz input as VMCS/VMCB content, no validation *)
+  | Template (* the golden template (Table 3's "w/o VM state validator") *)
+
+let generation_name = function
+  | Boundary -> "round + selective invalidation"
+  | Rounded_only -> "round only"
+  | Raw -> "raw (no validation)"
+  | Template -> "golden template"
+
+type ablation = {
+  use_exec_harness : bool;
+  generation : state_generation;
+  use_configurator : bool;
+}
+
+let full_ablation =
+  { use_exec_harness = true; generation = Boundary; use_configurator = true }
+
+(* Table 3 compatibility: the "w/o VM state validator" configuration uses
+   the fixed template state, with field-level noise coming from the
+   execution harness's mutated vmwrite arguments. *)
+let use_validator (a : ablation) =
+  match a.generation with
+  | Boundary | Rounded_only | Raw -> true
+  | Template -> false
+
+type termination =
+  | Completed (* iteration limit reached *)
+  | Vm_died of string
+  | Host_crashed of string
+
+type outcome = {
+  l1_steps : int;
+  l2_steps : int;
+  entries : int; (* successful L2 entries *)
+  reflected_exits : int;
+  vmfails : int;
+  termination : termination;
+  cost_us : int64; (* virtual time this execution consumed *)
+}
+
+(* Virtual-time model: booting the UEFI harness dominates; each emulated
+   operation adds a little. *)
+let boot_cost_us = 1_800_000L
+let l1_op_cost_us = 4_000L
+let l2_insn_cost_us = 800L
+
+let max_l2_insns = 48
+
+(* ------------------------------------------------------------------ *)
+(* VM state generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The boundary-mutation directives are drawn from a stream seeded by the
+   *whole* input (the flips slice plus a hash of the raw VM-state slice):
+   any byte the fuzzer changes anywhere yields a fresh flip plan, so a
+   campaign explores as many (field, bit) plans as it runs executions —
+   "field selection guided by fuzzing input to explore different regions
+   of the VMCS state space" (§4.3). *)
+let directive_source input : unit -> int =
+  let h = ref 0xcbf29ce484222325L in
+  let mix b =
+    h := Int64.logxor !h (Int64.of_int b);
+    h := Int64.mul !h 0x100000001b3L
+  in
+  Bytes.iter (fun c -> mix (Char.code c)) (Layout.flips_bytes input);
+  Bytes.iter (fun c -> mix (Char.code c)) (Layout.vmcs_raw_bytes input);
+  let rng = Nf_stdext.Rng.of_int64 !h in
+  fun () -> Nf_stdext.Rng.byte rng
+
+(* Usually pin the nested paging root into harness-owned memory — a real
+   L1 builds its EPT/NPT tables in its own RAM.  A low-probability escape
+   leaves the fuzzed root in place, which is how the invalid-root bug
+   stays reachable without drowning every entry in triple faults. *)
+let bias_vmx_root next vmcs =
+  let open Nf_vmcs in
+  if next () land 0x0F <> 0 then begin
+    let e = Vmcs.read vmcs Field.ept_pointer in
+    let e' =
+      Controls.Eptp.make
+        ~memtype:(Controls.Eptp.memtype e)
+        ~ad:(Controls.Eptp.access_dirty e)
+        ~pml4:0x10_0000L ()
+    in
+    Vmcs.write vmcs Field.ept_pointer e'
+  end
+
+let bias_svm_root next vmcb =
+  if next () land 0x0F <> 0 then
+    Nf_vmcb.Vmcb.write vmcb Nf_vmcb.Vmcb.n_cr3 0x8000L
+
+let generate_vmcs12 ~(ablation : ablation) ~(validator : Nf_validator.Validator.t)
+    ~(caps_l1 : Nf_cpu.Vmx_caps.t) input =
+  match ablation.generation with
+  | Template -> Nf_validator.Golden.vmcs caps_l1
+  | Raw -> Nf_vmcs.Vmcs.of_blob (Layout.vmcs_raw_bytes input)
+  | Rounded_only | Boundary ->
+      (* The executor reads the vCPU's own capability MSRs, so the
+         validator rounds into the *masked* envelope — the state must be
+         plausible for the configuration under test.  Modelling
+         corrections learned from hardware carry over from the campaign
+         validator. *)
+      let validator =
+        let v = Nf_validator.Validator.create caps_l1 in
+        v.Nf_validator.Validator.learned_skips <-
+          validator.Nf_validator.Validator.learned_skips;
+        v
+      in
+      let raw = Layout.vmcs_raw_bytes input in
+      let vmcs = Nf_vmcs.Vmcs.of_blob raw in
+      Nf_validator.Validator.round validator vmcs;
+      let next = directive_source input in
+      bias_vmx_root next vmcs;
+      if ablation.generation = Boundary then
+        ignore (Nf_validator.Mutation.mutate next vmcs);
+      vmcs
+
+let raw_vmcb input =
+  (* Reuse the VMCS slice: consume its prefix as raw VMCB content. *)
+  let vmcb = Nf_vmcb.Vmcb.create () in
+  let cur = Layout.cursor (Layout.vmcs_raw_bytes input) in
+  List.iter
+    (fun f ->
+      let v = ref 0L in
+      for k = 0 to (Nf_vmcb.Vmcb.field_bits f / 8) - 1 do
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int (cur ())) (8 * k))
+      done;
+      Nf_vmcb.Vmcb.write vmcb f !v)
+    Nf_vmcb.Vmcb.all_fields;
+  vmcb
+
+let generate_vmcb12 ~(ablation : ablation)
+    ~(svm_validator : Nf_validator.Svm_validator.t)
+    ~(caps_l1 : Nf_cpu.Svm_caps.t) input =
+  match ablation.generation with
+  | Template -> Nf_validator.Golden.vmcb caps_l1
+  | Raw -> raw_vmcb input
+  | Rounded_only | Boundary ->
+      let vmcb = raw_vmcb input in
+      let svm_validator =
+        let v = Nf_validator.Svm_validator.create caps_l1 in
+        v.Nf_validator.Svm_validator.learned_skips <-
+          svm_validator.Nf_validator.Svm_validator.learned_skips;
+        v
+      in
+      Nf_validator.Svm_validator.round svm_validator vmcb;
+      let next = directive_source input in
+      bias_svm_root next vmcb;
+      if ablation.generation = Boundary then
+        Nf_validator.Svm_validator.mutate next vmcb;
+      vmcb
+
+let generate_msr_area input =
+  let next = Layout.cursor (Layout.msr_area_bytes input) in
+  let count = next () land 0x3 in
+  Array.init count (fun _ ->
+      let msrs =
+        [| Nf_x86.Msr.ia32_kernel_gs_base; Nf_x86.Msr.ia32_lstar;
+           Nf_x86.Msr.ia32_pat; Nf_x86.Msr.ia32_efer;
+           Nf_x86.Msr.ia32_sysenter_esp; Nf_x86.Msr.ia32_tsc_aux;
+           Nf_x86.Msr.ia32_fs_base |]
+      in
+      let msr = msrs.(next () mod Array.length msrs) in
+      (msr, Templates.value64 next))
+
+(* ------------------------------------------------------------------ *)
+(* Initialization-phase template                                        *)
+(* ------------------------------------------------------------------ *)
+
+let vmx_init_template ~vmcs12 ~msr_area : L1_op.t list =
+  [
+    L1_op.L1_insn
+      (Nf_cpu.Insn.Mov_to_cr
+         ( 4,
+           List.fold_left Nf_stdext.Bits.set 0L
+             [ Nf_x86.Cr4.vmxe; Nf_x86.Cr4.pae; Nf_x86.Cr4.osfxsr ] ));
+    L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 5L));
+    L1_op.Vmxon 0x3000L;
+    L1_op.Vmclear 0x1000L;
+    L1_op.Vmptrld 0x1000L;
+    L1_op.Vmwrite_state vmcs12;
+    L1_op.Set_entry_msr_area msr_area;
+    L1_op.Vmlaunch;
+  ]
+
+let svm_init_template ~vmcb12 : L1_op.t list =
+  [
+    L1_op.L1_insn
+      (Nf_cpu.Insn.Wrmsr
+         ( Nf_x86.Msr.ia32_efer,
+           List.fold_left Nf_stdext.Bits.set 0L
+             [ Nf_x86.Efer.svme; Nf_x86.Efer.lme; Nf_x86.Efer.lma;
+               Nf_x86.Efer.sce ] ));
+    L1_op.Vmcb_state vmcb12;
+    L1_op.Vmrun 0x1000L;
+  ]
+
+let fuzz_addresses =
+  [| 0x1000L; 0x1000L; 0x3000L; 0x1008L (* unaligned *); 0x7FFF_F000L;
+     0xFFFF_FFFF_F000L (* beyond guest memory *); 0L |]
+
+(** Mutate the initialization sequence: instruction ordering, argument
+    values and repetition counts (§4.2), all drawn from the init slice. *)
+let mutate_init_ops next (ops : L1_op.t list) : L1_op.t list =
+  let arr = Array.of_list ops in
+  (* Order: up to two swaps of adjacent operations. *)
+  let swaps = next () land 0x3 in
+  for _ = 1 to swaps do
+    let i = next () mod max 1 (Array.length arr - 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(i + 1);
+    arr.(i + 1) <- tmp
+  done;
+  (* Arguments: occasionally corrupt an address operand. *)
+  let arr =
+    Array.map
+      (fun op ->
+        if next () land 0x7 <> 0 then op
+        else begin
+          let addr () = fuzz_addresses.(next () mod Array.length fuzz_addresses) in
+          match (op : L1_op.t) with
+          | Vmxon _ -> L1_op.Vmxon (addr ())
+          | Vmclear _ -> L1_op.Vmclear (addr ())
+          | Vmptrld _ -> L1_op.Vmptrld (addr ())
+          | Vmrun _ -> L1_op.Vmrun (addr ())
+          | other -> other
+        end)
+      arr
+  in
+  (* Repetition / insertion: sprinkle extra VMX housekeeping ops. *)
+  let extras = next () land 0x3 in
+  let extra_pool =
+    [|
+      L1_op.Vmptrst;
+      L1_op.Vmread Nf_vmcs.Field.(encoding exit_reason);
+      L1_op.Vmread 0xDEAD (* unsupported encoding *);
+      L1_op.Vmwrite (Nf_vmcs.Field.(encoding guest_rip), 0x20_0000L);
+      L1_op.Vmwrite (Nf_vmcs.Field.(encoding vm_instruction_error), 1L)
+      (* read-only: error path *);
+      L1_op.Vmclear 0x1000L;
+      L1_op.Vmresume (* resume before launch: error path *);
+      L1_op.Invept (1, 0x10_0000L);
+      L1_op.Invept (7, 0L) (* invalid type: error path *);
+      L1_op.Invvpid (1, 1L);
+      L1_op.Invvpid (9, 0L) (* invalid type: error path *);
+      L1_op.Vmxon 0x3000L (* vmxon while on: error path *);
+      L1_op.Vmwrite (0xDEAD, 0L) (* unsupported encoding *);
+      L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 0L));
+      L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_basic);
+      L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_procbased_ctls);
+      L1_op.Vmxoff;
+      L1_op.Stgi;
+      L1_op.Vmload;
+    |]
+  in
+  let out = ref [] in
+  Array.iter
+    (fun op ->
+      out := op :: !out;
+      if extras > 0 && next () land 0x7 = 0 then
+        out := extra_pool.(next () mod Array.length extra_pool) :: !out)
+    arr;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Main orchestration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run ~(hv : Hypervisor.packed) ~(vmx_validator : Nf_validator.Validator.t)
+    ~(svm_validator : Nf_validator.Svm_validator.t) ~(ablation : ablation)
+    ~(features : Nf_cpu.Features.t) ~(input : Bytes.t) : outcome =
+  let cost = ref boot_cost_us in
+  let l1_steps = ref 0 and l2_steps = ref 0 in
+  let entries = ref 0 and reflected = ref 0 and vmfails = ref 0 in
+  let termination = ref Completed in
+  let charge c = cost := Int64.add !cost c in
+  let exec_l1 op =
+    incr l1_steps;
+    charge l1_op_cost_us;
+    Hypervisor.packed_exec_l1 hv op
+  in
+  let exec_l2 insn =
+    incr l2_steps;
+    charge l2_insn_cost_us;
+    Hypervisor.packed_exec_l2 hv insn
+  in
+  let vendor = Hypervisor.packed_arch hv in
+  (* --- generation --- *)
+  let msr_area = generate_msr_area input in
+  let init_ops =
+    match vendor with
+    | Nf_cpu.Cpu_model.Intel ->
+        let caps_l1 =
+          Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features
+        in
+        let vmcs12 = generate_vmcs12 ~ablation ~validator:vmx_validator ~caps_l1 input in
+        vmx_init_template ~vmcs12 ~msr_area
+    | Nf_cpu.Cpu_model.Amd ->
+        let caps_l1 =
+          Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features
+        in
+        let vmcb12 = generate_vmcb12 ~ablation ~svm_validator ~caps_l1 input in
+        svm_init_template ~vmcb12
+  in
+  let init_ops =
+    if ablation.use_exec_harness then
+      mutate_init_ops (Layout.cursor (Layout.init_bytes input)) init_ops
+    else init_ops
+  in
+  (* --- initialization phase --- *)
+  let rec run_init ops in_l2 =
+    match ops with
+    | [] -> in_l2
+    | op :: rest -> (
+        match exec_l1 op with
+        | Hypervisor.Ok_step -> run_init rest in_l2
+        | Vmfail _ ->
+            incr vmfails;
+            run_init rest in_l2
+        | Fault _ -> run_init rest in_l2
+        | L2_entered ->
+            incr entries;
+            true
+        | L2_exit_to_l1 _ ->
+            incr reflected;
+            run_init rest in_l2
+        | L2_resumed -> run_init rest true
+        | Vm_killed msg ->
+            termination := Vm_died msg;
+            false
+        | Host_down msg ->
+            termination := Host_crashed msg;
+            false)
+  in
+  let in_l2 = run_init init_ops false in
+  (* --- runtime phase --- *)
+  let runtime_next = Layout.cursor (Layout.runtime_bytes input) in
+  let fixed_cycle =
+    [| Nf_cpu.Insn.Cpuid 0; Nf_cpu.Insn.Hlt; Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_tsc |]
+  in
+  let pick_insn i =
+    if ablation.use_exec_harness then begin
+      (* Asynchronous-event extension (§6.3): occasionally the next
+         "instruction" is an external interrupt or NMI arriving while L2
+         runs, on a schedule derived from the input so runs stay
+         deterministic and reproducible. *)
+      let b = runtime_next () in
+      if b land 0x1F = 0x1F then Nf_cpu.Insn.Ext_interrupt (0x20 + (b lsr 5))
+      else if b land 0x1F = 0x1E then Nf_cpu.Insn.Nmi_event
+      else Templates.pick_l2 runtime_next
+    end
+    else fixed_cycle.(i mod Array.length fixed_cycle)
+  in
+  let l1_handle_exit () =
+    (* Act as the L1 exit handler: a few optional operations, then
+       re-enter L2 with vmresume (occasionally vmlaunch, an error path). *)
+    if ablation.use_exec_harness then begin
+      let actions = runtime_next () land 0x3 in
+      for _ = 1 to actions do
+        let op =
+          match runtime_next () land 0x7 with
+          | 0 -> L1_op.Vmread Nf_vmcs.Field.(encoding exit_reason)
+          | 1 -> L1_op.Vmread Nf_vmcs.Field.(encoding exit_qualification)
+          | 2 ->
+              L1_op.Vmwrite
+                (Nf_vmcs.Field.(encoding guest_rip), Templates.value64 runtime_next)
+          | 3 ->
+              L1_op.Vmwrite
+                ( Nf_vmcs.Field.(encoding proc_based_ctls),
+                  Templates.value64 runtime_next )
+          | 4 -> L1_op.L1_insn (Nf_cpu.Insn.Cpuid 1)
+          | 5 ->
+              L1_op.L1_insn
+                (Nf_cpu.Insn.Rdmsr
+                   (Nf_x86.Msr.ia32_vmx_basic + (runtime_next () land 0xF)))
+          | _ -> L1_op.L1_insn Nf_cpu.Insn.Nop
+        in
+        match vendor with
+        | Nf_cpu.Cpu_model.Intel -> ignore (exec_l1 op)
+        | Nf_cpu.Cpu_model.Amd -> ignore (exec_l1 (L1_op.L1_insn Nf_cpu.Insn.Nop))
+      done;
+      match vendor with
+      | Nf_cpu.Cpu_model.Intel ->
+          if runtime_next () land 0xF = 0 then exec_l1 L1_op.Vmlaunch
+          else exec_l1 L1_op.Vmresume
+      | Nf_cpu.Cpu_model.Amd -> exec_l1 (L1_op.Vmrun 0x1000L)
+    end
+    else begin
+      match vendor with
+      | Nf_cpu.Cpu_model.Intel -> exec_l1 L1_op.Vmresume
+      | Nf_cpu.Cpu_model.Amd -> exec_l1 (L1_op.Vmrun 0x1000L)
+    end
+  in
+  let rec runtime i in_l2 =
+    if i >= max_l2_insns then ()
+    else if not in_l2 then ()
+    else begin
+      match exec_l2 (pick_insn i) with
+      | Hypervisor.Ok_step | L2_resumed -> runtime (i + 1) true
+      | L2_exit_to_l1 _ -> (
+          incr reflected;
+          match l1_handle_exit () with
+          | Hypervisor.L2_entered ->
+              incr entries;
+              runtime (i + 1) true
+          | Ok_step | L2_resumed -> runtime (i + 1) false
+          | Vmfail _ | Fault _ ->
+              incr vmfails;
+              runtime (i + 1) false
+          | L2_exit_to_l1 _ ->
+              incr reflected;
+              runtime (i + 1) false
+          | Vm_killed msg -> termination := Vm_died msg
+          | Host_down msg -> termination := Host_crashed msg)
+      | Vm_killed msg -> termination := Vm_died msg
+      | Host_down msg -> termination := Host_crashed msg
+      | Vmfail _ | Fault _ -> runtime (i + 1) in_l2
+      | L2_entered -> runtime (i + 1) true
+    end
+  in
+  if !termination = Completed && in_l2 then runtime 0 true;
+  {
+    l1_steps = !l1_steps;
+    l2_steps = !l2_steps;
+    entries = !entries;
+    reflected_exits = !reflected;
+    vmfails = !vmfails;
+    termination = !termination;
+    cost_us = !cost;
+  }

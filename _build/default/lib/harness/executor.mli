@@ -1,0 +1,100 @@
+(** The UEFI executor: fuzzing orchestration inside the fuzz-harness VM
+    (§4.1/§4.2).
+
+    One {!run} is one boot of the fuzz-harness VM with one 2 KiB fuzzing
+    input embedded in the binary.  It plays both the L1 hypervisor and
+    the L2 guest: the initialization phase issues the (mutated) VMX/SVM
+    setup template; the runtime phase loops exit-triggering instruction
+    templates in L2 and acts as the L1 exit handler. *)
+
+(** VM-state generation strategies — the §5.6 input-generation recipe
+    and its ablations. *)
+type state_generation =
+  | Boundary
+      (** round to validity, then selective invalidation (the paper) *)
+  | Rounded_only (** round, no boundary flips *)
+  | Raw (** raw fuzz input as VMCS/VMCB content, no validation *)
+  | Template
+      (** the golden template (Table 3's "w/o VM state validator") *)
+
+val generation_name : state_generation -> string
+
+(** The component switches of Table 3. *)
+type ablation = {
+  use_exec_harness : bool;
+      (** mutate init ordering/arguments and runtime template selection *)
+  generation : state_generation;
+  use_configurator : bool;
+      (** honoured by the agent, which owns vCPU configuration *)
+}
+
+val full_ablation : ablation
+
+(** Does this configuration run the VM state validator at all? *)
+val use_validator : ablation -> bool
+
+type termination =
+  | Completed (** iteration limit reached *)
+  | Vm_died of string
+  | Host_crashed of string
+
+type outcome = {
+  l1_steps : int;
+  l2_steps : int;
+  entries : int; (** successful L2 entries *)
+  reflected_exits : int;
+  vmfails : int;
+  termination : termination;
+  cost_us : int64; (** virtual time this execution consumed *)
+}
+
+(** Virtual-time model: booting the UEFI harness dominates. *)
+val boot_cost_us : int64
+
+val l1_op_cost_us : int64
+val l2_insn_cost_us : int64
+
+(** Runtime-phase iteration limit. *)
+val max_l2_insns : int
+
+(** Generate the VM-entry MSR-load area from the input's MSR slice. *)
+val generate_msr_area : Bytes.t -> (int * int64) array
+
+(** Generate the VMCS12 per the ablation: round-and-flip over the raw
+    slice (validator rounds into the masked capability envelope of
+    [caps_l1]) or the golden template. *)
+val generate_vmcs12 :
+  ablation:ablation ->
+  validator:Nf_validator.Validator.t ->
+  caps_l1:Nf_cpu.Vmx_caps.t ->
+  Bytes.t ->
+  Nf_vmcs.Vmcs.t
+
+val generate_vmcb12 :
+  ablation:ablation ->
+  svm_validator:Nf_validator.Svm_validator.t ->
+  caps_l1:Nf_cpu.Svm_caps.t ->
+  Bytes.t ->
+  Nf_vmcb.Vmcb.t
+
+(** The canonical VMX initialization sequence (§2.1): enable CR4.VMXE,
+    program IA32_FEATURE_CONTROL, vmxon, vmclear, vmptrld, the vmwrite
+    sequence, the MSR-load area, vmlaunch. *)
+val vmx_init_template :
+  vmcs12:Nf_vmcs.Vmcs.t -> msr_area:(int * int64) array -> Nf_hv.L1_op.t list
+
+val svm_init_template : vmcb12:Nf_vmcb.Vmcb.t -> Nf_hv.L1_op.t list
+
+(** Mutate the initialization sequence: instruction ordering, argument
+    values and repetition counts (§4.2). *)
+val mutate_init_ops : (unit -> int) -> Nf_hv.L1_op.t list -> Nf_hv.L1_op.t list
+
+(** Execute one fuzz-harness VM run. *)
+val run :
+  hv:Nf_hv.Hypervisor.packed ->
+  vmx_validator:Nf_validator.Validator.t ->
+  svm_validator:Nf_validator.Svm_validator.t ->
+  ablation:ablation ->
+  features:Nf_cpu.Features.t ->
+  input:Bytes.t ->
+  outcome

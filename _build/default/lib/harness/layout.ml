@@ -1,0 +1,53 @@
+(** Partitioning of the 2 KiB fuzzing input (§3.2).
+
+    The fuzzer supplies one binary blob per execution; the agent and the
+    UEFI executor slice it at fixed offsets and dispatch each slice to one
+    VM-generator component:
+
+    - [init]     → VM execution harness, initialization phase
+    - [runtime]  → VM execution harness, runtime phase
+    - [vmcs_raw] → VM state validator: raw VMCS/VMCB content (1,000 bytes
+                   = the full 8,000-bit VM state)
+    - [flips]    → VM state validator: boundary-mutation directives
+    - [msr_area] → VM-entry MSR-load area contents
+    - [config]   → vCPU configurator bit array *)
+
+let total = Nf_fuzzer.Input.size
+
+let init_off = 0
+let init_len = 64
+let runtime_off = 64
+let runtime_len = 448
+let vmcs_raw_off = 512
+let vmcs_raw_len = 1000
+let flips_off = 1512
+let flips_len = 64
+let msr_area_off = 1576
+let msr_area_len = 72
+let config_off = 2040
+let config_len = 8
+
+let () = assert (config_off + config_len <= total)
+
+let slice b ~off ~len = Bytes.sub b off (min len (Bytes.length b - off))
+
+let init_bytes b = slice b ~off:init_off ~len:init_len
+let runtime_bytes b = slice b ~off:runtime_off ~len:runtime_len
+let vmcs_raw_bytes b = slice b ~off:vmcs_raw_off ~len:vmcs_raw_len
+let flips_bytes b = slice b ~off:flips_off ~len:flips_len
+let msr_area_bytes b = slice b ~off:msr_area_off ~len:msr_area_len
+
+(** The vCPU configuration slice is consumed by the agent (host side),
+    not the executor: module parameters must be set before boot. *)
+let config_of_input b = Nf_config.Vcpu_config.of_bytes b ~pos:config_off
+
+(** A cursor over a slice, used as [Mutation.byte_source]. *)
+let cursor (b : Bytes.t) : unit -> int =
+  let pos = ref 0 in
+  fun () ->
+    if Bytes.length b = 0 then 0
+    else begin
+      let v = Char.code (Bytes.get b (!pos mod Bytes.length b)) in
+      incr pos;
+      v
+    end

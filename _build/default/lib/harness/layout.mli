@@ -1,0 +1,34 @@
+(** Partitioning of the 2 KiB fuzzing input (§3.2).
+
+    The fuzzer supplies one binary blob per execution; the agent and the
+    UEFI executor slice it at fixed offsets and dispatch each slice to
+    one VM-generator component. *)
+
+val total : int
+
+val init_off : int
+val init_len : int
+val runtime_off : int
+val runtime_len : int
+val vmcs_raw_off : int
+val vmcs_raw_len : int
+val flips_off : int
+val flips_len : int
+val msr_area_off : int
+val msr_area_len : int
+val config_off : int
+val config_len : int
+
+val init_bytes : Bytes.t -> Bytes.t
+val runtime_bytes : Bytes.t -> Bytes.t
+val vmcs_raw_bytes : Bytes.t -> Bytes.t
+val flips_bytes : Bytes.t -> Bytes.t
+val msr_area_bytes : Bytes.t -> Bytes.t
+
+(** The vCPU configuration slice is consumed by the agent (host side):
+    module parameters must be set before the VM boots. *)
+val config_of_input : Bytes.t -> Nf_cpu.Features.t
+
+(** A cycling byte cursor over a slice, used as the "next byte of fuzzing
+    input" source throughout the harness. *)
+val cursor : Bytes.t -> unit -> int

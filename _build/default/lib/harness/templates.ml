@@ -1,0 +1,154 @@
+(** Instruction templates (§3.3/§4.2, Table 1).
+
+    The runtime phase does not execute unstructured instruction streams:
+    it draws from a library of templates for the instructions known to
+    cause VM exits, each wrapped with minimal setup and parameterized by
+    fuzzing-input bytes.  The same table doubles as the data behind the
+    paper's Table 1. *)
+
+type clazz =
+  | Vmx_instructions
+  | Privileged_registers
+  | Io_and_msr
+  | Miscellaneous
+
+let class_name = function
+  | Vmx_instructions -> "VMX Instructions"
+  | Privileged_registers -> "Privileged Registers"
+  | Io_and_msr -> "I/O and MSR Operations"
+  | Miscellaneous -> "Miscellaneous"
+
+let class_handling = function
+  | Vmx_instructions -> "Emulated by the L0 hypervisor"
+  | Privileged_registers -> "Commonly intercepted"
+  | Io_and_msr -> "Selectively intercepted based on bitmaps"
+  | Miscellaneous -> "Commonly intercepted"
+
+type template = {
+  name : string;
+  clazz : clazz;
+  build : (unit -> int) -> Nf_cpu.Insn.t; (* parameterized by input bytes *)
+}
+
+let fuzz_msrs =
+  [| Nf_x86.Msr.ia32_tsc; Nf_x86.Msr.ia32_apic_base; Nf_x86.Msr.ia32_efer;
+     Nf_x86.Msr.ia32_sysenter_cs; Nf_x86.Msr.ia32_sysenter_esp;
+     Nf_x86.Msr.ia32_pat; Nf_x86.Msr.ia32_debugctl; Nf_x86.Msr.ia32_star;
+     Nf_x86.Msr.ia32_lstar; Nf_x86.Msr.ia32_fs_base; Nf_x86.Msr.ia32_gs_base;
+     Nf_x86.Msr.ia32_kernel_gs_base; Nf_x86.Msr.ia32_vmx_basic;
+     Nf_x86.Msr.ia32_vmx_procbased_ctls; Nf_x86.Msr.ia32_vmx_ept_vpid_cap;
+     Nf_x86.Msr.amd_vm_cr; Nf_x86.Msr.ia32_spec_ctrl; 0xDEAD |]
+
+let value64 next =
+  let v = ref 0L in
+  for k = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (next ())) (8 * k))
+  done;
+  !v
+
+let l2_templates : template array =
+  [|
+    { name = "cpuid"; clazz = Miscellaneous;
+      build = (fun next -> Cpuid (next () land 0x1F)) };
+    { name = "hlt"; clazz = Miscellaneous; build = (fun _ -> Hlt) };
+    { name = "pause"; clazz = Miscellaneous; build = (fun _ -> Pause) };
+    { name = "mwait"; clazz = Miscellaneous; build = (fun _ -> Mwait) };
+    { name = "monitor"; clazz = Miscellaneous; build = (fun _ -> Monitor) };
+    { name = "invd"; clazz = Miscellaneous; build = (fun _ -> Invd) };
+    { name = "wbinvd"; clazz = Miscellaneous; build = (fun _ -> Wbinvd) };
+    { name = "invlpg"; clazz = Privileged_registers;
+      build = (fun next -> Invlpg (value64 next)) };
+    { name = "rdtsc"; clazz = Miscellaneous; build = (fun _ -> Rdtsc) };
+    { name = "rdtscp"; clazz = Miscellaneous; build = (fun _ -> Rdtscp) };
+    { name = "rdpmc"; clazz = Miscellaneous; build = (fun _ -> Rdpmc) };
+    { name = "rdrand"; clazz = Miscellaneous; build = (fun _ -> Rdrand) };
+    { name = "rdseed"; clazz = Miscellaneous; build = (fun _ -> Rdseed) };
+    { name = "xsetbv"; clazz = Miscellaneous;
+      build = (fun next -> Xsetbv (Int64.of_int (next () land 7))) };
+    { name = "vmcall"; clazz = Vmx_instructions; build = (fun _ -> Vmcall) };
+    { name = "mov cr0"; clazz = Privileged_registers;
+      build = (fun next -> Mov_to_cr (0, value64 next)) };
+    { name = "mov cr3"; clazz = Privileged_registers;
+      build = (fun next -> Mov_to_cr (3, value64 next)) };
+    { name = "mov cr4"; clazz = Privileged_registers;
+      build = (fun next -> Mov_to_cr (4, value64 next)) };
+    { name = "mov cr8"; clazz = Privileged_registers;
+      build = (fun next -> Mov_to_cr (8, Int64.of_int (next () land 0xF))) };
+    { name = "read cr3"; clazz = Privileged_registers;
+      build = (fun _ -> Mov_from_cr 3) };
+    { name = "read cr8"; clazz = Privileged_registers;
+      build = (fun _ -> Mov_from_cr 8) };
+    { name = "mov dr"; clazz = Privileged_registers;
+      build = (fun next -> Mov_dr (next () land 7)) };
+    { name = "in"; clazz = Io_and_msr;
+      build = (fun next -> Io_in ((next () lsl 8) lor next ())) };
+    { name = "out"; clazz = Io_and_msr;
+      build = (fun next -> Io_out ((next () lsl 8) lor next (), next ())) };
+    { name = "rdmsr"; clazz = Io_and_msr;
+      build = (fun next -> Rdmsr fuzz_msrs.(next () mod Array.length fuzz_msrs)) };
+    { name = "wrmsr"; clazz = Io_and_msr;
+      build =
+        (fun next ->
+          Wrmsr (fuzz_msrs.(next () mod Array.length fuzz_msrs), value64 next)) };
+    { name = "vmxon (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmxon") };
+    { name = "vmlaunch (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmlaunch") };
+    { name = "vmread (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmread") };
+    { name = "vmwrite (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmwrite") };
+    { name = "vmptrld (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmptrld") };
+    { name = "vmclear (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmclear") };
+    { name = "vmptrst (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmptrst") };
+    { name = "vmresume (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmresume") };
+    { name = "vmxoff (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmxoff") };
+    { name = "invept (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "invept") };
+    { name = "invvpid (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "invvpid") };
+    { name = "invpcid (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "invpcid") };
+    { name = "vmfunc (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmfunc") };
+    { name = "clgi (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "clgi") };
+    { name = "vmsave (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmsave") };
+    { name = "invlpga (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "invlpga") };
+    { name = "skinit (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "skinit") };
+    { name = "vmrun (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmrun") };
+    { name = "vmload (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "vmload") };
+    { name = "stgi (in L2)"; clazz = Vmx_instructions;
+      build = (fun _ -> Vmx_in_guest "stgi") };
+    { name = "int n"; clazz = Miscellaneous;
+      build = (fun next -> Soft_int (next () land 0x1F)) };
+    { name = "ud2"; clazz = Miscellaneous; build = (fun _ -> Ud2) };
+    { name = "nop"; clazz = Miscellaneous; build = (fun _ -> Nop) };
+  |]
+
+let pick_l2 next : Nf_cpu.Insn.t =
+  let tmpl = l2_templates.(next () mod Array.length l2_templates) in
+  tmpl.build next
+
+(** Table 1 rows: one representative line per instruction class. *)
+let table1 =
+  List.map
+    (fun clazz ->
+      let examples =
+        Array.to_list l2_templates
+        |> List.filter (fun t -> t.clazz = clazz)
+        |> List.filteri (fun i _ -> i < 5)
+        |> List.map (fun t -> t.name)
+      in
+      (class_name clazz, String.concat ", " examples, class_handling clazz))
+    [ Vmx_instructions; Privileged_registers; Io_and_msr; Miscellaneous ]

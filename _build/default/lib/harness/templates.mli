@@ -1,0 +1,34 @@
+(** Instruction templates (§3.3/§4.2, Table 1).
+
+    The runtime phase draws from a library of templates for the
+    instructions known to cause VM exits, each wrapped with minimal setup
+    and parameterized by fuzzing-input bytes. *)
+
+type clazz =
+  | Vmx_instructions
+  | Privileged_registers
+  | Io_and_msr
+  | Miscellaneous
+
+val class_name : clazz -> string
+val class_handling : clazz -> string
+
+type template = {
+  name : string;
+  clazz : clazz;
+  build : (unit -> int) -> Nf_cpu.Insn.t;
+}
+
+(** MSR numbers the rdmsr/wrmsr templates draw from. *)
+val fuzz_msrs : int array
+
+(** Assemble a little-endian 64-bit value from eight input bytes. *)
+val value64 : (unit -> int) -> int64
+
+val l2_templates : template array
+
+(** Pick and instantiate one L2 template from input bytes. *)
+val pick_l2 : (unit -> int) -> Nf_cpu.Insn.t
+
+(** The rows of the paper's Table 1: (class, examples, handling). *)
+val table1 : (string * string * string) list

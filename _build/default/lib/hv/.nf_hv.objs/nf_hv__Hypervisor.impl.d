@@ -1,0 +1,1 @@
+lib/hv/hypervisor.ml: L1_op Nf_coverage Nf_cpu Nf_sanitizer Nf_x86 Printf

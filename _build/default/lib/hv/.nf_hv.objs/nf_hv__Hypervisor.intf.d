@@ -1,0 +1,1 @@
+lib/hv/hypervisor.mli: L1_op Nf_coverage Nf_cpu Nf_sanitizer

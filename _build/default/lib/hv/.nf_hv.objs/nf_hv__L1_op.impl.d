@@ -1,0 +1,1 @@
+lib/hv/l1_op.ml: Nf_cpu Nf_vmcb Nf_vmcs

@@ -1,0 +1,1 @@
+lib/hv/replica.ml: Array List Nf_coverage Nf_cpu

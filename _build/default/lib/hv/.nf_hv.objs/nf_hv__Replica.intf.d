@@ -1,0 +1,1 @@
+lib/hv/replica.mli: Nf_coverage Nf_cpu

@@ -1,0 +1,71 @@
+(** The L0 hypervisor interface.
+
+    Every simulated host hypervisor (KVM, Xen, VirtualBox) implements
+    [S].  The agent and the execution harness only speak this interface,
+    which is what makes NecoFuzz "largely hypervisor-agnostic" (§4.1). *)
+
+(** Result of executing one L1 operation or one L2 instruction. *)
+type step_result =
+  | Ok_step (* completed; still in the same context *)
+  | Vmfail of int (* VMX instruction failed with this VM-instruction error *)
+  | Fault of int (* the instruction raised this exception in L1 (#UD, #GP) *)
+  | L2_entered (* VM entry succeeded; now running the L2 guest *)
+  | L2_exit_to_l1 of int64
+      (* an L2 exit was reflected to L1 with this (raw) exit reason /
+         SVM exit code; the harness should now act as the L1 handler *)
+  | L2_resumed (* the exit was handled entirely inside L0; L2 continues *)
+  | Vm_killed of string (* the fuzz-harness VM was terminated *)
+  | Host_down of string (* the whole host crashed or hung: watchdog case *)
+
+let step_name = function
+  | Ok_step -> "ok"
+  | Vmfail e -> Printf.sprintf "vmfail(%d)" e
+  | Fault v -> Printf.sprintf "fault(%s)" (Nf_x86.Exn.name v)
+  | L2_entered -> "l2-entered"
+  | L2_exit_to_l1 r -> Printf.sprintf "l2-exit(%Ld)" r
+  | L2_resumed -> "l2-resumed"
+  | Vm_killed m -> Printf.sprintf "vm-killed(%s)" m
+  | Host_down m -> Printf.sprintf "host-down(%s)" m
+
+module type S = sig
+  type t
+
+  val name : string
+  val arch : Nf_cpu.Cpu_model.vendor
+
+  (** The instrumented nested-virtualization source region (one
+      [Nf_coverage] region per hypervisor+vendor, shared by all
+      instances so coverage maps from different runs are compatible). *)
+  val region : Nf_coverage.Coverage.region
+
+  (** [create ~features ~sanitizer] boots the hypervisor with the given
+      vCPU configuration applied through its adapter. *)
+  val create :
+    features:Nf_cpu.Features.t -> sanitizer:Nf_sanitizer.Sanitizer.t -> t
+
+  (** Per-instance coverage map ([None] for closed-source hypervisors
+      fuzzing must treat as black boxes). *)
+  val coverage : t -> Nf_coverage.Coverage.Map.t option
+
+  val exec_l1 : t -> L1_op.t -> step_result
+
+  (** Execute one instruction in the L2 guest context. Only meaningful
+      while [in_l2]. *)
+  val exec_l2 : t -> Nf_cpu.Insn.t -> step_result
+
+  val in_l2 : t -> bool
+
+  (** Watchdog restart after a host crash: reboot the hypervisor,
+      dropping all nested state but keeping the same configuration. *)
+  val reset : t -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let packed_name (Packed ((module H), _)) = H.name
+let packed_exec_l1 (Packed ((module H), vm)) op = H.exec_l1 vm op
+let packed_exec_l2 (Packed ((module H), vm)) insn = H.exec_l2 vm insn
+let packed_in_l2 (Packed ((module H), vm)) = H.in_l2 vm
+let packed_coverage (Packed ((module H), vm)) = H.coverage vm
+let packed_reset (Packed ((module H), vm)) = H.reset vm
+let packed_arch (Packed ((module H), _)) = H.arch

@@ -1,0 +1,59 @@
+(** The L0 hypervisor interface.
+
+    Every simulated host hypervisor (KVM, Xen, VirtualBox) implements
+    [S]; the agent and the execution harness only speak this interface,
+    which is what makes NecoFuzz "largely hypervisor-agnostic" (§4.1). *)
+
+(** Result of executing one L1 operation or one L2 instruction. *)
+type step_result =
+  | Ok_step
+  | Vmfail of int (** VM-instruction error number *)
+  | Fault of int (** exception vector raised in L1 (#UD, #GP) *)
+  | L2_entered
+  | L2_exit_to_l1 of int64
+      (** reflected exit: raw exit reason (Intel) or exit code (AMD) *)
+  | L2_resumed (** the exit was handled entirely inside L0 *)
+  | Vm_killed of string
+  | Host_down of string (** watchdog case: the whole host crashed/hung *)
+
+val step_name : step_result -> string
+
+module type S = sig
+  type t
+
+  val name : string
+  val arch : Nf_cpu.Cpu_model.vendor
+
+  (** The instrumented nested-virtualization source region, shared by all
+      instances so coverage maps from different runs are compatible. *)
+  val region : Nf_coverage.Coverage.region
+
+  val create :
+    features:Nf_cpu.Features.t -> sanitizer:Nf_sanitizer.Sanitizer.t -> t
+
+  (** Per-instance coverage map ([None] for closed-source hypervisors the
+      fuzzer must treat as black boxes). *)
+  val coverage : t -> Nf_coverage.Coverage.Map.t option
+
+  val exec_l1 : t -> L1_op.t -> step_result
+
+  (** Execute one instruction in the L2 guest context; only meaningful
+      while [in_l2]. *)
+  val exec_l2 : t -> Nf_cpu.Insn.t -> step_result
+
+  val in_l2 : t -> bool
+
+  (** Watchdog restart: reboot the hypervisor, dropping nested state but
+      keeping the configuration. *)
+  val reset : t -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+val packed_name : packed -> string
+val packed_exec_l1 : packed -> L1_op.t -> step_result
+val packed_exec_l2 : packed -> Nf_cpu.Insn.t -> step_result
+val packed_in_l2 : packed -> bool
+val packed_coverage : packed -> Nf_coverage.Coverage.Map.t option
+val packed_reset : packed -> unit
+val packed_arch : packed -> Nf_cpu.Cpu_model.vendor

@@ -1,0 +1,63 @@
+(** Operations the fuzz-harness VM can perform in the L1 (guest
+    hypervisor) context.
+
+    Every constructor corresponds to something a real L1 kernel could do:
+    a hardware-assisted-virtualization instruction (which the L0
+    hypervisor must emulate), bulk-programming of the VM state in guest
+    memory, or an ordinary instruction that may exit to L0.  The
+    initialization-phase template of the execution harness is a list of
+    these. *)
+
+type t =
+  (* Intel VT-x instructions. *)
+  | Vmxon of int64 (* vmxon region physical address *)
+  | Vmxoff
+  | Vmclear of int64
+  | Vmptrld of int64
+  | Vmptrst
+  | Vmread of int (* field encoding *)
+  | Vmwrite of int * int64 (* field encoding, value *)
+  | Vmwrite_state of Nf_vmcs.Vmcs.t
+      (* program an entire generated VMCS12 through a vmwrite sequence *)
+  | Vmlaunch
+  | Vmresume
+  | Invept of int * int64 (* type, eptp *)
+  | Invvpid of int * int64 (* type, vpid *)
+  | Set_entry_msr_area of (int * int64) array
+      (* write the VM-entry MSR-load area into guest memory *)
+  (* AMD-V instructions. *)
+  | Set_efer_svme of bool (* wrmsr EFER.SVME from L1 *)
+  | Vmrun of int64 (* VMCB physical address *)
+  | Vmcb_state of Nf_vmcb.Vmcb.t (* program VMCB12 in guest memory *)
+  | Vmload
+  | Vmsave
+  | Stgi
+  | Clgi
+  | Invlpga
+  (* Ordinary instruction executed with L1 privileges (intercepted by L0
+     per VMCS01). *)
+  | L1_insn of Nf_cpu.Insn.t
+
+let name = function
+  | Vmxon _ -> "vmxon"
+  | Vmxoff -> "vmxoff"
+  | Vmclear _ -> "vmclear"
+  | Vmptrld _ -> "vmptrld"
+  | Vmptrst -> "vmptrst"
+  | Vmread _ -> "vmread"
+  | Vmwrite _ -> "vmwrite"
+  | Vmwrite_state _ -> "vmwrite*"
+  | Vmlaunch -> "vmlaunch"
+  | Vmresume -> "vmresume"
+  | Invept _ -> "invept"
+  | Invvpid _ -> "invvpid"
+  | Set_entry_msr_area _ -> "msr-load-area"
+  | Set_efer_svme _ -> "wrmsr efer.svme"
+  | Vmrun _ -> "vmrun"
+  | Vmcb_state _ -> "vmcb*"
+  | Vmload -> "vmload"
+  | Vmsave -> "vmsave"
+  | Stgi -> "stgi"
+  | Clgi -> "clgi"
+  | Invlpga -> "invlpga"
+  | L1_insn i -> Nf_cpu.Insn.name i

@@ -1,0 +1,35 @@
+(** Operations the fuzz-harness VM can perform in the L1 (guest
+    hypervisor) context — hardware-assisted virtualization instructions
+    the L0 hypervisor must emulate, bulk programming of guest-memory VM
+    state, and ordinary instructions that may exit to L0. *)
+
+type t =
+  (* Intel VT-x instructions. *)
+  | Vmxon of int64 (** vmxon region physical address *)
+  | Vmxoff
+  | Vmclear of int64
+  | Vmptrld of int64
+  | Vmptrst
+  | Vmread of int (** field encoding *)
+  | Vmwrite of int * int64 (** field encoding, value *)
+  | Vmwrite_state of Nf_vmcs.Vmcs.t
+      (** program an entire generated VMCS12 through a vmwrite sequence *)
+  | Vmlaunch
+  | Vmresume
+  | Invept of int * int64 (** type, eptp *)
+  | Invvpid of int * int64 (** type, vpid *)
+  | Set_entry_msr_area of (int * int64) array
+      (** write the VM-entry MSR-load area into guest memory *)
+  (* AMD-V instructions. *)
+  | Set_efer_svme of bool
+  | Vmrun of int64 (** VMCB physical address *)
+  | Vmcb_state of Nf_vmcb.Vmcb.t
+  | Vmload
+  | Vmsave
+  | Stgi
+  | Clgi
+  | Invlpga
+  (* Ordinary instruction executed with L1 privileges. *)
+  | L1_insn of Nf_cpu.Insn.t
+
+val name : t -> string

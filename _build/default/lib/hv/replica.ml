@@ -1,0 +1,111 @@
+(** Replicated consistency checking with coverage instrumentation.
+
+    A real L0 hypervisor re-implements the CPU's VM-entry consistency
+    checks in software (§2.2).  The simulated hypervisors share this
+    helper: it registers two coverage probes per architectural check — one
+    for evaluating the check (hit whenever the check runs) and one for its
+    failure branch (hit only when a state actually violates that rule,
+    i.e. only for near-boundary states) — and runs the checks with a
+    per-hypervisor list of *missing* replications.  The missing
+    identifiers are the planted vulnerabilities. *)
+
+module Cov = Nf_coverage.Coverage
+
+module Vmx = struct
+  type probes = { eval : Cov.probe; fail : Cov.probe }
+
+  type t = {
+    ctl : (Nf_cpu.Vmx_checks.check * probes) array;
+    host : (Nf_cpu.Vmx_checks.check * probes) array;
+    guest : (Nf_cpu.Vmx_checks.check * probes) array;
+  }
+
+  (** Register eval/fail probes for every architectural VMX check in
+      [region] under [file].  [eval_lines]/[fail_lines] are the per-check
+      line weights.  The per-group check arrays are precomputed: this
+      runs on every nested VM entry. *)
+  let register region ~file ?(eval_lines = 3) ?(fail_lines = 3) ~missing () =
+    let make group =
+      Nf_cpu.Vmx_checks.all
+      |> List.filter (fun (c : Nf_cpu.Vmx_checks.check) ->
+             c.group = group && not (List.mem c.id missing))
+      |> List.map (fun (c : Nf_cpu.Vmx_checks.check) ->
+             let eval =
+               Cov.probe region ~file ~lines:eval_lines ("check:" ^ c.id)
+             in
+             let fail =
+               Cov.probe region ~file ~lines:fail_lines ("check-fail:" ^ c.id)
+             in
+             (c, { eval; fail }))
+      |> Array.of_list
+    in
+    (* Registration must preserve the architectural (table) order so the
+       line-number layout is stable: Ctl, then Host, then Guest. *)
+    let ctl = make Nf_cpu.Vmx_checks.Ctl in
+    let host = make Nf_cpu.Vmx_checks.Host in
+    let guest = make Nf_cpu.Vmx_checks.Guest in
+    { ctl; host; guest }
+
+  (** Run the replicated checks of [group] in architectural order,
+      recording coverage in [cov].  Returns the first failure. *)
+  let run_group t cov group ctx =
+    let arr =
+      match (group : Nf_cpu.Vmx_checks.group) with
+      | Ctl -> t.ctl
+      | Host -> t.host
+      | Guest -> t.guest
+    in
+    let n = Array.length arr in
+    let rec go i =
+      if i >= n then Ok ()
+      else begin
+        let c, probes = arr.(i) in
+        Cov.Map.hit cov probes.eval;
+        match c.Nf_cpu.Vmx_checks.run ctx with
+        | Ok () -> go (i + 1)
+        | Error msg ->
+            Cov.Map.hit cov probes.fail;
+            Error (c, msg)
+      end
+    in
+    go 0
+end
+
+module Svm = struct
+  type probes = { eval : Cov.probe; fail : Cov.probe }
+
+  type t = { checks : (Nf_cpu.Svm_checks.check * probes) array }
+
+  let register region ~file ?(eval_lines = 3) ?(fail_lines = 3) ~missing () =
+    let checks =
+      Nf_cpu.Svm_checks.all
+      |> List.filter (fun (c : Nf_cpu.Svm_checks.check) ->
+             not (List.mem c.id missing))
+      |> List.map (fun (c : Nf_cpu.Svm_checks.check) ->
+             let eval =
+               Cov.probe region ~file ~lines:eval_lines ("check:" ^ c.id)
+             in
+             let fail =
+               Cov.probe region ~file ~lines:fail_lines ("check-fail:" ^ c.id)
+             in
+             (c, { eval; fail }))
+      |> Array.of_list
+    in
+    { checks }
+
+  let run t cov ctx =
+    let n = Array.length t.checks in
+    let rec go i =
+      if i >= n then Ok ()
+      else begin
+        let c, probes = t.checks.(i) in
+        Cov.Map.hit cov probes.eval;
+        match c.Nf_cpu.Svm_checks.run ctx with
+        | Ok () -> go (i + 1)
+        | Error msg ->
+            Cov.Map.hit cov probes.fail;
+            Error (c, msg)
+      end
+    in
+    go 0
+end

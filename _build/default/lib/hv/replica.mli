@@ -1,0 +1,62 @@
+(** Replicated consistency checking with coverage instrumentation.
+
+    A real L0 hypervisor re-implements the CPU's VM-entry consistency
+    checks in software (§2.2).  This helper registers two coverage probes
+    per architectural check — one for evaluating it (hit whenever the
+    check runs) and one for its failure branch (hit only for
+    near-boundary states) — and runs the checks with a per-hypervisor
+    list of {e missing} replications: the missing identifiers are the
+    planted vulnerabilities. *)
+
+module Vmx : sig
+  type probes = {
+    eval : Nf_coverage.Coverage.probe;
+    fail : Nf_coverage.Coverage.probe;
+  }
+
+  type t
+
+  (** Register eval/fail probes for every VMX check in [region] under
+      [file], skipping the [missing] identifiers. *)
+  val register :
+    Nf_coverage.Coverage.region ->
+    file:string ->
+    ?eval_lines:int ->
+    ?fail_lines:int ->
+    missing:string list ->
+    unit ->
+    t
+
+  (** Run the replicated checks of a group in architectural order,
+      recording coverage; first failure wins. *)
+  val run_group :
+    t ->
+    Nf_coverage.Coverage.Map.t ->
+    Nf_cpu.Vmx_checks.group ->
+    Nf_cpu.Vmx_checks.ctx ->
+    (unit, Nf_cpu.Vmx_checks.check * string) result
+end
+
+module Svm : sig
+  type probes = {
+    eval : Nf_coverage.Coverage.probe;
+    fail : Nf_coverage.Coverage.probe;
+  }
+
+  type t
+
+  val register :
+    Nf_coverage.Coverage.region ->
+    file:string ->
+    ?eval_lines:int ->
+    ?fail_lines:int ->
+    missing:string list ->
+    unit ->
+    t
+
+  val run :
+    t ->
+    Nf_coverage.Coverage.Map.t ->
+    Nf_cpu.Svm_checks.ctx ->
+    (unit, Nf_cpu.Svm_checks.check * string) result
+end

@@ -1,0 +1,1 @@
+lib/kvm/kvm.ml: Nf_cpu Nf_hv Svm_nested Vmx_nested

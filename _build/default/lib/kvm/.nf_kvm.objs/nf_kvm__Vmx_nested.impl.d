@@ -1,0 +1,1 @@
+lib/kvm/vmx_nested.ml: Array Controls Eptp Field Format Hashtbl Int64 List Nf_coverage Nf_cpu Nf_hv Nf_sanitizer Nf_stdext Nf_validator Nf_vmcs Nf_x86 Pin Printf Proc Proc2 Vmcs

@@ -1,0 +1,360 @@
+(** Simulated KVM nested SVM: the arch/x86/kvm/svm/nested.c model.
+
+    Smaller than the Intel side, as in the real tree (the paper
+    instruments 387 lines here vs. 1,681 for VMX).  The planted bug is the
+    AMD half of the invalid-nested-root flaw: an N_CR3 that passes the
+    must-be-zero checks but points outside guest-visible memory makes KVM
+    synthesize a shutdown/triple-fault style exit although L2 never ran. *)
+
+open Nf_vmcb
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+let region = Cov.create_region "kvm-svm-nested"
+let file = "arch/x86/kvm/svm/nested.c"
+
+let guest_mem_limit = 0x4000_0000L
+
+let missing_checks : string list = []
+
+let probe name lines = Cov.probe region ~file ~lines name
+
+module P = struct
+  let handle_vmrun = probe "nested_svm_vmrun" 14
+  let vmrun_no_svme = probe "vmrun:efer-svme-clear" 4
+  let vmrun_bad_addr = probe "vmrun:bad-vmcb-address" 4
+  let copy_vmcb12 = probe "nested_load_control_from_vmcb12" 10
+  let reflect_invalid = probe "vmrun:reflect-VMEXIT_INVALID" 6
+  let ncr3_check = probe "nested_svm_load_cr3" 8
+  let bug_invalid_ncr3 = probe "nested-npt:invalid-root" 5
+  let merge_controls = probe "nested_vmcb02_prepare_control" 22
+  let merge_save = probe "nested_vmcb02_prepare_save" 18
+  let merge_npt_on = probe "merge:nested-npt" 8
+  let merge_shadow = probe "merge:shadow-paging" 10
+  let merge_nrips = probe "merge:nrips" 4
+  let merge_vgif = probe "merge:vgif" 6
+  let merge_avic = probe "merge:avic" 5
+  let merge_vls = probe "merge:virtual-vmload-vmsave" 5
+  let merge_pause = probe "merge:pause-filter" 4
+  let entry_success = probe "vmcb02-entry-success" 6
+  let entry_hw_fail = probe "vmcb02-entry-hw-failure" 4
+  let handle_vmload = probe "nested_svm_vmload" 7
+  let handle_vmsave = probe "nested_svm_vmsave" 7
+  let handle_stgi = probe "nested_svm_stgi" 5
+  let handle_clgi = probe "nested_svm_clgi" 5
+  let handle_invlpga = probe "nested_svm_invlpga" 4
+  let svm_insn_no_svme = probe "svm-insn:#UD-without-svme" 4
+  let exit_dispatch = probe "nested_svm_exit_handled" 14
+  let sync_vmcb12 = probe "nested_svm_vmexit:sync" 18
+  let ioctl_get_nested_state = probe "ioctl:svm_get_nested_state" 18
+  let ioctl_set_nested_state = probe "ioctl:svm_set_nested_state" 20
+  let module_setup = probe "svm_nested_setup" 8
+end
+
+let replica =
+  Nf_hv.Replica.Svm.register region ~file ~eval_lines:2 ~fail_lines:2
+    ~missing:missing_checks ()
+
+(* Per-exit-code reflect / L0-handle probes. *)
+let exit_codes_modelled =
+  [ Vmcb.Exit.cpuid; Vmcb.Exit.hlt; Vmcb.Exit.msr; Vmcb.Exit.ioio;
+    Vmcb.Exit.rdtsc; Vmcb.Exit.rdpmc; Vmcb.Exit.pause; Vmcb.Exit.invlpg;
+    Vmcb.Exit.vmrun; Vmcb.Exit.vmmcall; Vmcb.Exit.vmload; Vmcb.Exit.vmsave;
+    Vmcb.Exit.stgi; Vmcb.Exit.clgi; Vmcb.Exit.xsetbv; Vmcb.Exit.wbinvd;
+    Vmcb.Exit.monitor; Vmcb.Exit.mwait; Vmcb.Exit.npf ]
+
+let l0_handled_codes = [ Vmcb.Exit.msr; Vmcb.Exit.ioio; Vmcb.Exit.npf ]
+
+let reflect_probes, l0_probes =
+  let reflect = Hashtbl.create 32 and l0 = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace reflect c
+        (probe (Printf.sprintf "reflect:%s" (Vmcb.Exit.name c)) 2))
+    exit_codes_modelled;
+  List.iter
+    (fun c ->
+      Hashtbl.replace l0 c
+        (probe (Printf.sprintf "l0-handle:%s" (Vmcb.Exit.name c)) 4))
+    l0_handled_codes;
+  (reflect, l0)
+
+type t = {
+  features : Nf_cpu.Features.t;
+  caps_l1 : Nf_cpu.Svm_caps.t;
+  caps_l0 : Nf_cpu.Svm_caps.t;
+  san : San.t;
+  cov : Cov.Map.t;
+  mutable l1_efer : int64;
+  mutable gif : bool;
+  vmcb_regions : (int64, Vmcb.t) Hashtbl.t;
+  mutable current_vmcb12 : Vmcb.t option;
+  mutable in_l2 : bool;
+  mutable vmcb02 : Vmcb.t;
+  mutable warned_invalid_root : bool;
+  mutable dead : bool;
+  golden02 : Vmcb.t;
+}
+
+let hit t p = Cov.Map.hit t.cov p
+
+let create ~features ~sanitizer =
+  let features = Nf_cpu.Features.normalize features in
+  let caps_l0 = Nf_cpu.Svm_caps.zen3 in
+  let t =
+    {
+      features;
+      caps_l1 = Nf_cpu.Svm_caps.apply_features caps_l0 features;
+      caps_l0;
+      san = sanitizer;
+      cov = Cov.Map.create region;
+      l1_efer = 0L;
+      gif = true;
+      vmcb_regions = Hashtbl.create 7;
+      current_vmcb12 = None;
+      in_l2 = false;
+      vmcb02 = Vmcb.create ();
+      warned_invalid_root = false;
+      dead = false;
+      golden02 = Nf_validator.Golden.vmcb caps_l0;
+    }
+  in
+  hit t P.module_setup;
+  t
+
+let reset t =
+  hit t P.module_setup;
+  t.l1_efer <- 0L;
+  t.gif <- true;
+  Hashtbl.reset t.vmcb_regions;
+  t.current_vmcb12 <- None;
+  t.in_l2 <- false;
+  t.dead <- false
+
+let svme t = Nf_stdext.Bits.is_set t.l1_efer Nf_x86.Efer.svme
+
+open Nf_hv.Hypervisor
+
+let prepare_vmcb02 t (vmcb12 : Vmcb.t) : Vmcb.t =
+  hit t P.merge_controls;
+  let v02 = Vmcb.copy t.golden02 in
+  let c12 f = Vmcb.read vmcb12 f in
+  let w f v = Vmcb.write v02 f v in
+  (* Intercept vectors: union of L1's and L0's own. *)
+  w Vmcb.intercept_cr_read (Int64.logor (Vmcb.read v02 Vmcb.intercept_cr_read) (c12 Vmcb.intercept_cr_read));
+  w Vmcb.intercept_cr_write (Int64.logor (Vmcb.read v02 Vmcb.intercept_cr_write) (c12 Vmcb.intercept_cr_write));
+  w Vmcb.intercept_exceptions (Int64.logor (Vmcb.read v02 Vmcb.intercept_exceptions) (c12 Vmcb.intercept_exceptions));
+  w Vmcb.intercept_vec3 (Int64.logor (Vmcb.read v02 Vmcb.intercept_vec3) (c12 Vmcb.intercept_vec3));
+  w Vmcb.intercept_vec4 (Int64.logor (Vmcb.read v02 Vmcb.intercept_vec4) (c12 Vmcb.intercept_vec4));
+  w Vmcb.guest_asid 2L;
+  w Vmcb.tsc_offset_f (c12 Vmcb.tsc_offset_f);
+  if t.features.npt then begin
+    hit t P.merge_npt_on;
+    w Vmcb.nested_ctl (Nf_stdext.Bits.set 0L Vmcb.Nested.np_enable);
+    w Vmcb.n_cr3 0x8000L
+  end
+  else begin
+    hit t P.merge_shadow;
+    w Vmcb.nested_ctl 0L;
+    (* Shadow paging: intercept CR3 writes and page faults. *)
+    w Vmcb.intercept_cr_write (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.intercept_cr_write) 3);
+    w Vmcb.intercept_exceptions
+      (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.intercept_exceptions) Nf_x86.Exn.pf)
+  end;
+  if t.features.nrips then begin
+    hit t P.merge_nrips;
+    w Vmcb.nrip (c12 Vmcb.rip)
+  end;
+  if t.features.vgif && Vmcb.read_bit vmcb12 Vmcb.vintr_ctl Vmcb.Vintr.v_gif_enable
+  then begin
+    hit t P.merge_vgif;
+    w Vmcb.vintr_ctl
+      (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.vintr_ctl) Vmcb.Vintr.v_gif_enable)
+  end;
+  if t.features.avic then hit t P.merge_avic;
+  if t.features.vls then hit t P.merge_vls;
+  if t.features.pause_filter then begin
+    hit t P.merge_pause;
+    w (Vmcb.find_exn "PAUSE_FILTER_COUNT") (c12 (Vmcb.find_exn "PAUSE_FILTER_COUNT"))
+  end;
+  (* Save area copied from VMCB12 (already validated). *)
+  hit t P.merge_save;
+  List.iter
+    (fun f -> if Vmcb.field_area f = Vmcb.Save then w f (c12 f))
+    Vmcb.all_fields;
+  v02
+
+let sync_exit_to_vmcb12 t vmcb12 ~code ~info1 ~info2 =
+  hit t P.sync_vmcb12;
+  Vmcb.write vmcb12 Vmcb.exitcode code;
+  Vmcb.write vmcb12 Vmcb.exitinfo1 info1;
+  Vmcb.write vmcb12 Vmcb.exitinfo2 info2;
+  if t.in_l2 then
+    List.iter
+      (fun f ->
+        if Vmcb.field_area f = Vmcb.Save then
+          Vmcb.write vmcb12 f (Vmcb.read t.vmcb02 f))
+      Vmcb.all_fields
+
+let nested_svm_vmrun t addr : step_result =
+  hit t P.handle_vmrun;
+  if not (svme t) then begin
+    hit t P.vmrun_no_svme;
+    Fault Nf_x86.Exn.ud
+  end
+  else if
+    not (Nf_stdext.Bits.is_aligned addr 12 && addr >= 0L && addr < guest_mem_limit)
+  then begin
+    hit t P.vmrun_bad_addr;
+    Fault Nf_x86.Exn.gp
+  end
+  else begin
+    let vmcb12 =
+      match Hashtbl.find_opt t.vmcb_regions addr with
+      | Some v -> v
+      | None ->
+          let v = Vmcb.create () in
+          Hashtbl.replace t.vmcb_regions addr v;
+          v
+    in
+    t.current_vmcb12 <- Some vmcb12;
+    hit t P.copy_vmcb12;
+    let ctx = { Nf_cpu.Svm_checks.caps = t.caps_l1; vmcb = vmcb12 } in
+    match Nf_hv.Replica.Svm.run replica t.cov ctx with
+    | Error _ ->
+        hit t P.reflect_invalid;
+        sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.invalid ~info1:0L ~info2:0L;
+        L2_exit_to_l1 Vmcb.Exit.invalid
+    | Ok () ->
+        (* Planted bug: nested-NPT root visibility (shared with Intel). *)
+        let uses_npt =
+          t.features.npt && Vmcb.read_bit vmcb12 Vmcb.nested_ctl Vmcb.Nested.np_enable
+        in
+        if uses_npt then hit t P.ncr3_check;
+        if uses_npt && Vmcb.read vmcb12 Vmcb.n_cr3 >= guest_mem_limit then begin
+          hit t P.bug_invalid_ncr3;
+          if not t.warned_invalid_root then begin
+            t.warned_invalid_root <- true;
+            San.assert_fail t.san
+              "WARN_ON_ONCE: nested NPT root not visible; injecting shutdown \
+               before L2 ran"
+          end;
+          sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.shutdown ~info1:0L
+            ~info2:0L;
+          L2_exit_to_l1 Vmcb.Exit.shutdown
+        end
+        else begin
+          let v02 = prepare_vmcb02 t vmcb12 in
+          match Nf_cpu.Svm_cpu.vmrun ~caps:t.caps_l0 v02 with
+          | Nf_cpu.Svm_cpu.Entered ->
+              hit t P.entry_success;
+              t.vmcb02 <- v02;
+              t.in_l2 <- true;
+              L2_entered
+          | Nf_cpu.Svm_cpu.Vmexit_invalid { msg; _ } ->
+              hit t P.entry_hw_fail;
+              San.log_warn t.san "KVM: vmcb02 rejected by hardware: %s" msg;
+              sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.invalid ~info1:0L
+                ~info2:0L;
+              L2_exit_to_l1 Vmcb.Exit.invalid
+        end
+  end
+
+let exec_l1 t (op : Nf_hv.L1_op.t) : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else begin
+    match op with
+    | Set_efer_svme b ->
+        t.l1_efer <- Nf_stdext.Bits.assign t.l1_efer Nf_x86.Efer.svme b;
+        Ok_step
+    | Vmrun addr -> nested_svm_vmrun t addr
+    | Vmcb_state state -> (
+        (* Program VMCB12 in guest memory (address 0x1000 by convention;
+           the harness pairs this with Vmrun 0x1000). *)
+        match Hashtbl.find_opt t.vmcb_regions 0x1000L with
+        | Some v ->
+            List.iter (fun f -> Vmcb.write v f (Vmcb.read state f)) Vmcb.all_fields;
+            Ok_step
+        | None ->
+            Hashtbl.replace t.vmcb_regions 0x1000L (Vmcb.copy state);
+            Ok_step)
+    | Vmload ->
+        hit t P.handle_vmload;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Vmsave ->
+        hit t P.handle_vmsave;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Stgi ->
+        hit t P.handle_stgi;
+        if svme t then begin t.gif <- true; Ok_step end
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Clgi ->
+        hit t P.handle_clgi;
+        if svme t then begin t.gif <- false; Ok_step end
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Invlpga ->
+        hit t P.handle_invlpga;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | L1_insn insn -> begin
+        match insn with
+        | Nf_cpu.Insn.Wrmsr (m, v) when m = Nf_x86.Msr.ia32_efer ->
+            t.l1_efer <- v;
+            Ok_step
+        | _ -> Ok_step
+      end
+    (* Intel operations are invalid opcodes on an AMD vCPU. *)
+    | Vmxon _ | Vmxoff | Vmclear _ | Vmptrld _ | Vmptrst | Vmread _
+    | Vmwrite _ | Vmwrite_state _ | Vmlaunch | Vmresume | Invept _ | Invvpid _
+    | Set_entry_msr_area _ ->
+        Fault Nf_x86.Exn.ud
+  end
+
+let exec_l2 t insn : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else if not t.in_l2 then Fault Nf_x86.Exn.ud
+  else begin
+    (* Lazy nested-paging fill: L0 handles the first NPF itself; a page
+       L1 left unmapped reflects. *)
+    (if t.features.npt then begin
+       match Hashtbl.find_opt l0_probes Vmcb.Exit.npf with
+       | Some p -> hit t p
+       | None -> ()
+     end);
+    (match t.current_vmcb12 with
+    | Some vmcb12 when Vmcb.read_bit vmcb12 Vmcb.nested_ctl Vmcb.Nested.np_enable
+      -> (
+        match Hashtbl.find_opt reflect_probes Vmcb.Exit.npf with
+        | Some p -> hit t p
+        | None -> ())
+    | _ -> ());
+    match Nf_cpu.Svm_exec.decide t.vmcb02 insn with
+    | Nf_cpu.Svm_exec.No_exit -> Ok_step
+    | Nf_cpu.Svm_exec.Exit e -> (
+        hit t P.exit_dispatch;
+        let vmcb12 =
+          match t.current_vmcb12 with Some v -> v | None -> assert false
+        in
+        match Nf_cpu.Svm_exec.decide vmcb12 insn with
+        | Nf_cpu.Svm_exec.Exit e12 ->
+            (match Hashtbl.find_opt reflect_probes e12.code with
+            | Some p -> hit t p
+            | None -> ());
+            sync_exit_to_vmcb12 t vmcb12 ~code:e12.code ~info1:e12.info1
+              ~info2:e12.info2;
+            t.in_l2 <- false;
+            L2_exit_to_l1 e12.code
+        | Nf_cpu.Svm_exec.No_exit ->
+            (match Hashtbl.find_opt l0_probes e.code with
+            | Some p -> hit t p
+            | None -> ());
+            L2_resumed)
+  end
+
+type ioctl = Get_nested_state | Set_nested_state
+
+let host_ioctl t = function
+  | Get_nested_state -> hit t P.ioctl_get_nested_state
+  | Set_nested_state -> hit t P.ioctl_set_nested_state

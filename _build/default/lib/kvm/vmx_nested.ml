@@ -1,0 +1,811 @@
+(** Simulated KVM nested VT-x: the arch/x86/kvm/vmx/nested.c model.
+
+    This module emulates the hardware-assisted virtualization interface
+    for an L1 hypervisor the way KVM (Linux 6.5, pre-fix) does: VMX
+    instruction emulation, VMCS12 consistency checking, VMCS02
+    construction, and nested exit reflection.  Every basic block carries a
+    line-weighted coverage probe so campaigns measure line coverage of
+    this file exactly as the paper measures KCOV coverage of nested.c.
+
+    Two real vulnerabilities are planted with their original root causes:
+
+    - CVE-2023-30456: the "guest.ia32e_pae" consistency check is missing
+      from the replicated set.  With ept=0, IA-32e mode set and CR4.PAE
+      clear, hardware silently enters (it assumes PAE) while KVM's shadow
+      MMU interprets CR4.PAE literally — an out-of-bounds page-walk write
+      reported by UBSAN.
+    - Invalid nested root (pre-0e3223d8d): an EPTP that passes format
+      checks but points outside guest-visible memory makes
+      mmu_check_root() fail, and KVM wrongly synthesizes a triple-fault
+      exit to L1 although L2 never ran. *)
+
+open Nf_vmcs
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+let region = Cov.create_region "kvm-vmx-nested"
+let file = "arch/x86/kvm/vmx/nested.c"
+
+(* Guest-visible physical memory of the fuzz-harness VM (1 GiB). *)
+let guest_mem_limit = 0x4000_0000L
+
+(* The consistency checks KVM does NOT replicate (the CVE-2023-30456
+   gap). *)
+let missing_checks = [ "guest.ia32e_pae" ]
+
+(* Probe registration.  Order matters only for line-number assignment. *)
+let probe name lines = Cov.probe region ~file ~lines name
+
+module P = struct
+  (* VMX instruction handlers. *)
+  let handle_vmxon = probe "handle_vmxon" 18
+  let vmxon_no_vmxe = probe "vmxon:cr4-vmxe-clear" 4
+  let vmxon_feature_control = probe "vmxon:feature-control" 6
+  let vmxon_bad_addr = probe "vmxon:bad-address" 5
+  let vmxon_already = probe "vmxon:already-on" 4
+  let handle_vmxoff = probe "handle_vmxoff" 9
+  let vmxoff_not_on = probe "vmxoff:not-in-vmx" 3
+  let handle_vmclear = probe "handle_vmclear" 14
+  let vmclear_bad_addr = probe "vmclear:bad-address" 5
+  let vmclear_vmxon_ptr = probe "vmclear:vmxon-pointer" 4
+  let vmclear_current = probe "vmclear:clears-current" 4
+  let handle_vmptrld = probe "handle_vmptrld" 15
+  let vmptrld_bad_addr = probe "vmptrld:bad-address" 5
+  let vmptrld_revision = probe "vmptrld:wrong-revision" 6
+  let vmptrld_vmxon_ptr = probe "vmptrld:vmxon-pointer" 4
+  let handle_vmptrst = probe "handle_vmptrst" 7
+  let handle_vmread = probe "handle_vmread" 12
+  let vmread_bad_field = probe "vmread:unsupported-field" 5
+  let vmread_no_vmcs = probe "vmread:no-current-vmcs" 4
+  let handle_vmwrite = probe "handle_vmwrite" 13
+  let vmwrite_bad_field = probe "vmwrite:unsupported-field" 5
+  let vmwrite_readonly = probe "vmwrite:read-only-field" 5
+  let vmwrite_no_vmcs = probe "vmwrite:no-current-vmcs" 4
+  let handle_invept = probe "handle_invept" 11
+  let invept_bad_type = probe "invept:invalid-type" 4
+  let invept_disabled = probe "invept:not-enabled" 4
+  let handle_invvpid = probe "handle_invvpid" 11
+  let invvpid_bad_type = probe "invvpid:invalid-type" 4
+  let invvpid_disabled = probe "invvpid:not-enabled" 4
+  let nested_msr_read = probe "vmx_get_vmx_msr" 38
+  let not_in_vmx_ud = probe "vmx-insn:#UD-outside-vmx" 4
+
+  (* nested_vmx_run and VMCS02 construction. *)
+  let nested_vmx_run = probe "nested_vmx_run" 25
+  let run_no_current = probe "nested_vmx_run:no-current-vmcs" 4
+  let run_launch_state = probe "nested_vmx_run:bad-launch-state" 6
+  let copy_vmcs12 = probe "copy_vmcs12_from_shadow" 50
+  let reflect_entry_failure = probe "nested_vmx_entry_failure" 12
+  let cve_2023_30456 = probe "shadow-walk:ia32e-without-pae" 4
+  let ept_root_check = probe "nested_ept:mmu_check_root" 8
+  let bug_invalid_root = probe "nested_ept:invalid-root-triple-fault" 6
+  let prepare_controls = probe "prepare_vmcs02:controls" 75
+  let prepare_guest = probe "prepare_vmcs02:guest-state" 38
+  let prepare_host = probe "prepare_vmcs02:host-state" 16
+  let merge_ept_on = probe "prepare_vmcs02:nested-ept" 12
+  let merge_shadow_paging = probe "prepare_vmcs02:shadow-paging" 16
+  let merge_vpid = probe "prepare_vmcs02:vpid02" 8
+  let merge_apicv = probe "prepare_vmcs02:apicv" 11
+  let merge_preemption = probe "prepare_vmcs02:preemption-timer" 6
+  let merge_tsc_scaling = probe "prepare_vmcs02:tsc-scaling" 5
+  let merge_pml = probe "prepare_vmcs02:pml" 7
+  let merge_shadow_vmcs = probe "prepare_vmcs02:shadow-vmcs" 9
+  let merge_unrestricted = probe "prepare_vmcs02:unrestricted" 6
+  let merge_msr_bitmap = probe "nested_vmx_prepare_msr_bitmap" 18
+  let sanitize_activity = probe "prepare_vmcs02:sanitize-activity" 5
+  let event_injection = probe "vmcs12-event-injection" 13
+  let msr_load_loop = probe "nested_vmx_load_msr" 10
+  let msr_load_fail = probe "nested_vmx_load_msr:fail" 7
+  let entry_success = probe "vmcs02-entry-success" 10
+  let entry_hw_fail = probe "vmcs02-entry-hw-failure" 6
+
+  (* Exit handling. *)
+  let exit_dispatch = probe "nested_vmx_reflect_vmexit" 36
+  let sync_vmcs12 = probe "sync_vmcs02_to_vmcs12" 70
+  let exit_msr_store = probe "nested_vmx_store_msr" 9
+  let load_vmcs01 = probe "nested_vmx_vmexit:restore-l1" 26
+  let idt_vectoring = probe "vmcs12_save_pending_event" 9
+  let l2_first_ept_violation = probe "nested-ept:lazy-map" 8
+  let l2_shadow_page_fault = probe "shadow-mmu:l2-page-fault" 12
+
+  (* ioctl-only (host-side) interface: unreachable from guests. *)
+  let ioctl_get_nested_state = probe "ioctl:get_nested_state" 44
+  let ioctl_set_nested_state = probe "ioctl:set_nested_state" 50
+  let ioctl_enable_evmcs = probe "ioctl:enable_enlightened_vmcs" 9
+  let module_setup = probe "nested_vmx_hardware_setup" 40
+  let module_unsetup = probe "nested_vmx_hardware_unsetup" 6
+
+  (* Rare-feature code: unreachable in this configuration. *)
+  let evmcs_path = probe "enlightened-vmcs" 14
+  let intel_pt_path = probe "intel-pt-nested" 5
+  let sgx_path = probe "sgx-enclv-exiting" 6
+  let bug_on_paths = probe "BUG()/alloc-failure" 7
+end
+
+(* Replicated consistency checks with per-check eval/fail probes. *)
+let replica =
+  Nf_hv.Replica.Vmx.register region ~file ~eval_lines:4 ~fail_lines:3
+    ~missing:missing_checks ()
+
+(* Per-exit-reason reflect probes; L0-handle probes only exist for the
+   reasons where the merged VMCS02 can genuinely intercept something L1
+   did not ask for (shadow paging, L0-owned bitmaps, L0 timer). *)
+let exit_reasons_modelled =
+  [ 0; 2; 10; 12; 13; 14; 15; 16; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27;
+    28; 29; 30; 31; 32; 36; 39; 40; 48; 50; 51; 52; 53; 54; 55; 57; 58; 59;
+    61 ]
+
+let l0_handled_reasons = [ 0; 28; 30; 31; 32; 48; 52 ]
+
+let reflect_probes, l0_probes =
+  let reflect = Hashtbl.create 64 and l0 = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace reflect r
+        (probe (Printf.sprintf "reflect:%s" (Nf_cpu.Exit_reason.name r)) 5))
+    exit_reasons_modelled;
+  List.iter
+    (fun r ->
+      Hashtbl.replace l0 r
+        (probe (Printf.sprintf "l0-handle:%s" (Nf_cpu.Exit_reason.name r)) 7))
+    l0_handled_reasons;
+  (reflect, l0)
+
+type t = {
+  features : Nf_cpu.Features.t;
+  caps_l1 : Nf_cpu.Vmx_caps.t; (* what the vCPU advertises to L1 *)
+  caps_l0 : Nf_cpu.Vmx_caps.t; (* the physical CPU *)
+  san : San.t;
+  cov : Cov.Map.t;
+  (* L1 vCPU state. *)
+  mutable l1_cr4 : int64;
+  mutable feature_control : int64;
+  mutable vmxon : bool;
+  mutable vmxon_ptr : int64;
+  mutable current_vmptr : int64; (* -1 = none *)
+  vmcs_regions : (int64, Vmcs.t) Hashtbl.t;
+  mutable msr_load_area : (int * int64) array;
+  (* L2 state. *)
+  mutable in_l2 : bool;
+  mutable vmcs02 : Vmcs.t;
+  mutable l2_insns_since_entry : int;
+  mutable warned_invalid_root : bool;
+  mutable dead : bool;
+  golden02 : Vmcs.t; (* cached base for VMCS02 construction *)
+}
+
+let hit t p = Cov.Map.hit t.cov p
+
+let create ~features ~sanitizer =
+  let features = Nf_cpu.Features.normalize features in
+  let caps_l0 = Nf_cpu.Vmx_caps.alder_lake in
+  let t =
+    {
+      features;
+      caps_l1 = Nf_cpu.Vmx_caps.apply_features caps_l0 features;
+      caps_l0;
+      san = sanitizer;
+      cov = Cov.Map.create region;
+      l1_cr4 = 0L;
+      feature_control = 5L (* locked + VMXON enabled, the common BIOS setup *);
+      vmxon = false;
+      vmxon_ptr = -1L;
+      current_vmptr = -1L;
+      vmcs_regions = Hashtbl.create 7;
+      msr_load_area = [||];
+      in_l2 = false;
+      vmcs02 = Vmcs.create ();
+      l2_insns_since_entry = 0;
+      warned_invalid_root = false;
+      dead = false;
+      golden02 = Nf_validator.Golden.vmcs caps_l0;
+    }
+  in
+  hit t P.module_setup;
+  t
+
+let reset t =
+  hit t P.module_unsetup;
+  hit t P.module_setup;
+  t.l1_cr4 <- 0L;
+  t.vmxon <- false;
+  t.vmxon_ptr <- -1L;
+  t.current_vmptr <- -1L;
+  Hashtbl.reset t.vmcs_regions;
+  t.msr_load_area <- [||];
+  t.in_l2 <- false;
+  t.l2_insns_since_entry <- 0;
+  t.dead <- false
+
+let good_vmcs_addr t a =
+  ignore t;
+  Nf_stdext.Bits.is_aligned a 12 && a >= 0L && a < guest_mem_limit
+
+let current_vmcs12 t =
+  if t.current_vmptr = -1L then None
+  else Hashtbl.find_opt t.vmcs_regions t.current_vmptr
+
+open Nf_hv.Hypervisor
+
+(* ------------------------------------------------------------------ *)
+(* VMCS02 construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_vmcs02 t (vmcs12 : Vmcs.t) : Vmcs.t =
+  let open Controls in
+  hit t P.prepare_controls;
+  let v02 = Vmcs.copy t.golden02 in
+  let c12 f = Vmcs.read vmcs12 f in
+  let w f value = Vmcs.write v02 f value in
+  (* Controls: L1's requests constrained by what L0 itself needs. *)
+  w Field.pin_based_ctls
+    (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.pin (c12 Field.pin_based_ctls));
+  w Field.proc_based_ctls
+    (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc
+       (Int64.logor (c12 Field.proc_based_ctls)
+          (Nf_stdext.Bits.set 0L Proc.activate_secondary_controls)));
+  w Field.exception_bitmap (c12 Field.exception_bitmap);
+  w Field.entry_ctls (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.entry (c12 Field.entry_ctls));
+  w Field.exit_ctls (Vmcs.read v02 Field.exit_ctls);
+  let proc2_12 = c12 Field.proc_based_ctls2 in
+  let proc2_02 = ref (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc2 proc2_12) in
+  if t.features.ept then begin
+    hit t P.merge_ept_on;
+    (* L0 always runs L2 on EPT when available (shadow-on-EPT). *)
+    proc2_02 := Nf_stdext.Bits.set !proc2_02 Proc2.enable_ept;
+    w Field.ept_pointer (Eptp.make ~ad:t.caps_l0.has_ept_ad ~pml4:0x20_0000L ())
+  end
+  else begin
+    hit t P.merge_shadow_paging;
+    (* Shadow paging: intercept CR3 and page faults on behalf of L0. *)
+    proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_ept;
+    w Field.proc_based_ctls
+      (Int64.logor
+         (Vmcs.read v02 Field.proc_based_ctls)
+         (List.fold_left Nf_stdext.Bits.set 0L
+            [ Proc.cr3_load_exiting; Proc.cr3_store_exiting ]));
+    w Field.exception_bitmap
+      (Nf_stdext.Bits.set (Vmcs.read v02 Field.exception_bitmap) Nf_x86.Exn.pf)
+  end;
+  if t.features.unrestricted_guest then hit t P.merge_unrestricted
+  else proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.unrestricted_guest;
+  if t.features.vpid then begin
+    hit t P.merge_vpid;
+    proc2_02 := Nf_stdext.Bits.set !proc2_02 Proc2.enable_vpid;
+    (* vpid02 is a distinct allocation from L1's vpid12 *)
+    w Field.vpid 2L
+  end
+  else begin
+    proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_vpid;
+    w Field.vpid 0L
+  end;
+  if
+    t.features.apicv
+    && Nf_stdext.Bits.is_set proc2_12 Proc2.virtual_interrupt_delivery
+  then hit t P.merge_apicv;
+  if t.features.preemption_timer then begin
+    (* L0 drives its own clock with the preemption timer, whether or not
+       L1 asked for it. *)
+    hit t P.merge_preemption;
+    w Field.pin_based_ctls
+      (Nf_stdext.Bits.set (Vmcs.read v02 Field.pin_based_ctls) Pin.preemption_timer);
+    w Field.preemption_timer_value (c12 Field.preemption_timer_value)
+  end;
+  if
+    t.features.tsc_scaling
+    && Nf_stdext.Bits.is_set proc2_12 Proc2.use_tsc_scaling
+  then begin
+    hit t P.merge_tsc_scaling;
+    w (Field.find_exn "TSC_MULTIPLIER") (c12 (Field.find_exn "TSC_MULTIPLIER"))
+  end;
+  if t.features.pml && Nf_stdext.Bits.is_set proc2_12 Proc2.enable_pml then begin
+    hit t P.merge_pml;
+    proc2_02 := Nf_stdext.Bits.set !proc2_02 Proc2.enable_pml;
+    w (Field.find_exn "PML_ADDRESS") 0x30_0000L
+  end
+  else proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_pml;
+  if
+    t.features.vmcs_shadowing
+    && Nf_stdext.Bits.is_set proc2_12 Proc2.vmcs_shadowing
+  then hit t P.merge_shadow_vmcs;
+  proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.vmcs_shadowing;
+  proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_vmfunc;
+  w Field.proc_based_ctls2 (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc2 !proc2_02);
+  if Nf_stdext.Bits.is_set (c12 Field.proc_based_ctls) Proc.use_msr_bitmaps then begin
+    hit t P.merge_msr_bitmap;
+    w Field.msr_bitmap 0x11000L
+  end;
+  w Field.tsc_offset (c12 Field.tsc_offset);
+  w Field.cr0_guest_host_mask (c12 Field.cr0_guest_host_mask);
+  w Field.cr4_guest_host_mask (c12 Field.cr4_guest_host_mask);
+  w Field.cr0_read_shadow (c12 Field.cr0_read_shadow);
+  w Field.cr4_read_shadow (c12 Field.cr4_read_shadow);
+  (* Guest state: copied from VMCS12 (already validated). *)
+  hit t P.prepare_guest;
+  List.iter
+    (fun f -> if Field.group f = Field.Guest then w f (c12 f))
+    Field.all;
+  (* KVM sanitizes the activity state: only ACTIVE and HLT reach
+     VMCS02 — the check Xen lacks (bug 4 there). *)
+  let act = c12 Field.guest_activity_state in
+  if act <> Field.Activity.active && act <> Field.Activity.hlt then begin
+    hit t P.sanitize_activity;
+    w Field.guest_activity_state Field.Activity.active
+  end;
+  (* Entry controls and event injection forwarded from L1. *)
+  let ii = c12 Field.entry_intr_info in
+  if Nf_x86.Exn.Intr_info.valid ii then begin
+    hit t P.event_injection;
+    w Field.entry_intr_info ii;
+    w Field.entry_exception_error_code (c12 Field.entry_exception_error_code);
+    w Field.entry_instruction_len (c12 Field.entry_instruction_len)
+  end;
+  (* Host state of VMCS02 is L0's own (from the golden base). *)
+  hit t P.prepare_host;
+  v02
+
+(* ------------------------------------------------------------------ *)
+(* Nested VM entry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sync_exit_to_vmcs12 ?(copy_guest = false) t vmcs12 ~reason ~qualification
+    ~intr_info =
+  hit t P.sync_vmcs12;
+  Vmcs.write vmcs12 Field.exit_reason reason;
+  Vmcs.write vmcs12 Field.exit_qualification qualification;
+  Vmcs.write vmcs12 Field.exit_intr_info intr_info;
+  (* Guest state written back from VMCS02 on a real exit. *)
+  if copy_guest then
+    List.iter
+      (fun f ->
+        if Field.group f = Field.Guest then
+          Vmcs.write vmcs12 f (Vmcs.read t.vmcs02 f))
+      Field.all;
+  if Int64.to_int (Vmcs.read vmcs12 Field.exit_msr_store_count) > 0 then
+    hit t P.exit_msr_store;
+  let ii = Vmcs.read vmcs12 Field.entry_intr_info in
+  if Nf_x86.Exn.Intr_info.valid ii then hit t P.idt_vectoring;
+  hit t P.load_vmcs01
+
+let nested_vmx_run t ~launch : step_result =
+  hit t P.nested_vmx_run;
+  match current_vmcs12 t with
+  | None ->
+      hit t P.run_no_current;
+      Vmfail 0 (* VMfailInvalid *)
+  | Some vmcs12 -> (
+      let bad_launch_state =
+        (launch && vmcs12.Vmcs.launch_state = Vmcs.Launched)
+        || ((not launch) && vmcs12.Vmcs.launch_state = Vmcs.Clear)
+      in
+      if bad_launch_state then begin
+        hit t P.run_launch_state;
+        Vmfail
+          (if launch then Nf_cpu.Vmx_cpu.Insn_error.vmlaunch_not_clear
+           else Nf_cpu.Vmx_cpu.Insn_error.vmresume_not_launched)
+      end
+      else begin
+        hit t P.copy_vmcs12;
+        let ctx =
+          {
+            Nf_cpu.Vmx_checks.caps = t.caps_l1;
+            vmcs = vmcs12;
+            entry_msr_load = t.msr_load_area;
+          }
+        in
+        (* Replicated consistency checks, with KVM's gaps. *)
+        match Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Ctl ctx with
+        | Error _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control
+        | Ok () -> (
+            match
+              Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Host ctx
+            with
+            | Error _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_host
+            | Ok () -> (
+                match
+                  Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Guest
+                    ctx
+                with
+                | Error _ ->
+                    (* Reflect a VM-entry failure (exit 33) to L1. *)
+                    hit t P.reflect_entry_failure;
+                    sync_exit_to_vmcs12 t vmcs12
+                      ~reason:
+                        (Nf_cpu.Exit_reason.with_entry_failure
+                           Nf_cpu.Exit_reason.invalid_guest_state)
+                      ~qualification:0L ~intr_info:0L;
+                    L2_exit_to_l1
+                      (Nf_cpu.Exit_reason.with_entry_failure
+                         Nf_cpu.Exit_reason.invalid_guest_state)
+                | Ok () ->
+                    (* CVE-2023-30456 trigger: nothing rejected IA-32e
+                       without PAE; with shadow paging KVM now walks L2
+                       page tables in the wrong format. *)
+                    let ia32e =
+                      Nf_stdext.Bits.is_set
+                        (Vmcs.read vmcs12 Field.entry_ctls)
+                        Controls.Entry.ia32e_mode_guest
+                    in
+                    let pae =
+                      Nf_stdext.Bits.is_set
+                        (Vmcs.read vmcs12 Field.guest_cr4)
+                        Nf_x86.Cr4.pae
+                    in
+                    if (not t.features.ept) && ia32e && not pae then begin
+                      hit t P.cve_2023_30456;
+                      San.ubsan t.san
+                        "array-index-out-of-bounds in paging_tmpl.h \
+                         walk_addr_generic (CR4.PAE=0 with IA-32e L2)"
+                    end;
+                    (* Nested EPT root check (planted bug 3). *)
+                    let use_nested_ept =
+                      t.features.ept
+                      && Nf_stdext.Bits.is_set
+                           (Vmcs.read vmcs12 Field.proc_based_ctls2)
+                           Controls.Proc2.enable_ept
+                    in
+                    let root_invisible =
+                      use_nested_ept
+                      && Controls.Eptp.pml4_addr
+                           (Vmcs.read vmcs12 Field.ept_pointer)
+                         >= guest_mem_limit
+                    in
+                    if root_invisible then begin
+                      hit t P.ept_root_check;
+                      hit t P.bug_invalid_root;
+                      if not t.warned_invalid_root then begin
+                        t.warned_invalid_root <- true;
+                        San.assert_fail t.san
+                          "WARN_ON_ONCE: mmu_check_root failed; synthesizing \
+                           triple fault before L2 entry"
+                      end;
+                      (match
+                         Hashtbl.find_opt reflect_probes
+                           Nf_cpu.Exit_reason.triple_fault
+                       with
+                      | Some p -> hit t p
+                      | None -> ());
+                      sync_exit_to_vmcs12 t vmcs12
+                        ~reason:(Int64.of_int Nf_cpu.Exit_reason.triple_fault)
+                        ~qualification:0L ~intr_info:0L;
+                      L2_exit_to_l1 (Int64.of_int Nf_cpu.Exit_reason.triple_fault)
+                    end
+                    else begin
+                      if use_nested_ept then hit t P.ept_root_check;
+                      (* MSR-load processing (KVM validates canonical
+                         values — the check VirtualBox lacks). *)
+                      let msr_fail = ref None in
+                      if Array.length t.msr_load_area > 0 then begin
+                        hit t P.msr_load_loop;
+                        Array.iteri
+                          (fun i e ->
+                            if !msr_fail = None then begin
+                              match Nf_cpu.Vmx_cpu.check_msr_load_entry e with
+                              | Ok () -> ()
+                              | Error m -> msr_fail := Some (i, m)
+                            end)
+                          t.msr_load_area
+                      end;
+                      match !msr_fail with
+                      | Some (i, _m) ->
+                          hit t P.msr_load_fail;
+                          let reason =
+                            Nf_cpu.Exit_reason.with_entry_failure
+                              Nf_cpu.Exit_reason.msr_load_fail
+                          in
+                          sync_exit_to_vmcs12 t vmcs12 ~reason
+                            ~qualification:(Int64.of_int (i + 1)) ~intr_info:0L;
+                          L2_exit_to_l1 reason
+                      | None -> (
+                          let v02 = prepare_vmcs02 t vmcs12 in
+                          match
+                            Nf_cpu.Vmx_cpu.enter ~caps:t.caps_l0 v02
+                          with
+                          | Nf_cpu.Vmx_cpu.Entered _ ->
+                              hit t P.entry_success;
+                              t.vmcs02 <- v02;
+                              t.in_l2 <- true;
+                              t.l2_insns_since_entry <- 0;
+                              vmcs12.Vmcs.launch_state <- Vmcs.Launched;
+                              L2_entered
+                          | failure ->
+                              hit t P.entry_hw_fail;
+                              San.log_warn t.san
+                                "KVM: vmcs02 rejected by hardware: %s"
+                                (Format.asprintf "%a" Nf_cpu.Vmx_cpu.pp_outcome
+                                   failure);
+                              Vmfail
+                                Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control)
+                    end))
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* L1 operation dispatch                                                *)
+(* ------------------------------------------------------------------ *)
+
+let exec_l1 t (op : Nf_hv.L1_op.t) : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else begin
+    match op with
+    | Vmxon addr ->
+        hit t P.handle_vmxon;
+        if not (Nf_stdext.Bits.is_set t.l1_cr4 Nf_x86.Cr4.vmxe) then begin
+          hit t P.vmxon_no_vmxe;
+          Fault Nf_x86.Exn.ud
+        end
+        else if Int64.logand t.feature_control 5L <> 5L then begin
+          hit t P.vmxon_feature_control;
+          Fault Nf_x86.Exn.gp
+        end
+        else if not (good_vmcs_addr t addr) then begin
+          hit t P.vmxon_bad_addr;
+          Vmfail 0
+        end
+        else if t.vmxon then begin
+          hit t P.vmxon_already;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmxon_in_root
+        end
+        else begin
+          t.vmxon <- true;
+          t.vmxon_ptr <- addr;
+          Ok_step
+        end
+    | Vmxoff ->
+        hit t P.handle_vmxoff;
+        if not t.vmxon then begin
+          hit t P.vmxoff_not_on;
+          Fault Nf_x86.Exn.ud
+        end
+        else begin
+          t.vmxon <- false;
+          t.current_vmptr <- -1L;
+          Ok_step
+        end
+    | Vmclear addr ->
+        hit t P.handle_vmclear;
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else if not (good_vmcs_addr t addr) then begin
+          hit t P.vmclear_bad_addr;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmclear_invalid_addr
+        end
+        else if addr = t.vmxon_ptr then begin
+          hit t P.vmclear_vmxon_ptr;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmclear_vmxon_ptr
+        end
+        else begin
+          let v =
+            match Hashtbl.find_opt t.vmcs_regions addr with
+            | Some v -> v
+            | None ->
+                let v = Vmcs.create () in
+                Hashtbl.replace t.vmcs_regions addr v;
+                v
+          in
+          v.Vmcs.launch_state <- Vmcs.Clear;
+          v.Vmcs.revision_id <- t.caps_l1.revision_id;
+          if t.current_vmptr = addr then begin
+            hit t P.vmclear_current;
+            t.current_vmptr <- -1L
+          end;
+          Ok_step
+        end
+    | Vmptrld addr ->
+        hit t P.handle_vmptrld;
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else if not (good_vmcs_addr t addr) then begin
+          hit t P.vmptrld_bad_addr;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmptrld_invalid_addr
+        end
+        else if addr = t.vmxon_ptr then begin
+          hit t P.vmptrld_vmxon_ptr;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmptrld_vmxon_ptr
+        end
+        else begin
+          match Hashtbl.find_opt t.vmcs_regions addr with
+          | Some v when v.Vmcs.revision_id = t.caps_l1.revision_id ->
+              t.current_vmptr <- addr;
+              Ok_step
+          | Some _ | None ->
+              (* Never vmcleared (or stale revision): reject. *)
+              hit t P.vmptrld_revision;
+              Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmptrld_wrong_revision
+        end
+    | Vmptrst ->
+        hit t P.handle_vmptrst;
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else Ok_step
+    | Vmread enc ->
+        hit t P.handle_vmread;
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else if current_vmcs12 t = None then begin
+          hit t P.vmread_no_vmcs;
+          Vmfail 0
+        end
+        else begin
+          match Field.of_encoding enc with
+          | Some _ -> Ok_step
+          | None ->
+              hit t P.vmread_bad_field;
+              Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+        end
+    | Vmwrite (enc, value) ->
+        hit t P.handle_vmwrite;
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else begin
+          match current_vmcs12 t with
+          | None ->
+              hit t P.vmwrite_no_vmcs;
+              Vmfail 0
+          | Some vmcs12 -> (
+              match Field.of_encoding enc with
+              | None ->
+                  hit t P.vmwrite_bad_field;
+                  Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+              | Some f when Field.group f = Field.Exit_info ->
+                  hit t P.vmwrite_readonly;
+                  Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmwrite_readonly
+              | Some f ->
+                  Vmcs.write vmcs12 f value;
+                  Ok_step)
+        end
+    | Vmwrite_state state ->
+        (* Bulk-program the generated VMCS12: the harness's vmwrite loop. *)
+        hit t P.handle_vmwrite;
+        (match current_vmcs12 t with
+        | None ->
+            hit t P.vmwrite_no_vmcs;
+            Vmfail 0
+        | Some vmcs12 ->
+            List.iter
+              (fun f ->
+                if Field.group f <> Field.Exit_info then
+                  Vmcs.write vmcs12 f (Vmcs.read state f))
+              Field.all;
+            Ok_step)
+    | Vmlaunch ->
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else nested_vmx_run t ~launch:true
+    | Vmresume ->
+        if not t.vmxon then begin hit t P.not_in_vmx_ud; Fault Nf_x86.Exn.ud end
+        else nested_vmx_run t ~launch:false
+    | Invept (typ, _) ->
+        hit t P.handle_invept;
+        if not t.features.ept then begin
+          hit t P.invept_disabled;
+          Fault Nf_x86.Exn.ud
+        end
+        else if typ < 1 || typ > 2 then begin
+          hit t P.invept_bad_type;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.invept_invalid_operand
+        end
+        else Ok_step
+    | Invvpid (typ, _) ->
+        hit t P.handle_invvpid;
+        if not t.features.vpid then begin
+          hit t P.invvpid_disabled;
+          Fault Nf_x86.Exn.ud
+        end
+        else if typ < 0 || typ > 3 then begin
+          hit t P.invvpid_bad_type;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.invept_invalid_operand
+        end
+        else Ok_step
+    | Set_entry_msr_area area ->
+        t.msr_load_area <- area;
+        Ok_step
+    | L1_insn insn -> begin
+        (* L1 instructions that touch nested-virtualization state. *)
+        match insn with
+        | Nf_cpu.Insn.Mov_to_cr (4, v) ->
+            t.l1_cr4 <- v;
+            Ok_step
+        | Wrmsr (m, v) when m = Nf_x86.Msr.ia32_feature_control ->
+            t.feature_control <- v;
+            Ok_step
+        | Rdmsr m
+          when m >= Nf_x86.Msr.ia32_vmx_basic && m <= Nf_x86.Msr.ia32_vmx_vmfunc
+          ->
+            hit t P.nested_msr_read;
+            if t.features.nested then Ok_step else Fault Nf_x86.Exn.gp
+        | _ -> Ok_step
+      end
+    (* AMD operations are invalid opcodes on an Intel vCPU. *)
+    | Set_efer_svme _ | Vmrun _ | Vmcb_state _ | Vmload | Vmsave | Stgi | Clgi
+    | Invlpga ->
+        Fault Nf_x86.Exn.ud
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L2 execution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exec_l2 t insn : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else if not t.in_l2 then Fault Nf_x86.Exn.ud
+  else begin
+    t.l2_insns_since_entry <- t.l2_insns_since_entry + 1;
+    let vmcs12_opt = current_vmcs12 t in
+    (* Lazy mapping: the first L2 access after entry faults into L0 and
+       is fixed up there (EPT violation / shadow #PF). *)
+    if t.l2_insns_since_entry = 1 then begin
+      if t.features.ept then begin
+        hit t P.l2_first_ept_violation;
+        match Hashtbl.find_opt l0_probes Nf_cpu.Exit_reason.ept_violation with
+        | Some p -> hit t p
+        | None -> ()
+      end
+      else begin
+        hit t P.l2_shadow_page_fault;
+        match Hashtbl.find_opt l0_probes Nf_cpu.Exit_reason.exception_nmi with
+        | Some p -> hit t p
+        | None -> ()
+      end
+    end;
+    (* An L2 access to a page L1 left unmapped in its nested tables
+       reflects as an EPT violation to L1. *)
+    (match vmcs12_opt with
+    | Some vmcs12
+      when t.l2_insns_since_entry = 8 && t.features.ept
+           && Nf_stdext.Bits.is_set
+                (Vmcs.read vmcs12 Field.proc_based_ctls2)
+                Controls.Proc2.enable_ept -> (
+        match Hashtbl.find_opt reflect_probes Nf_cpu.Exit_reason.ept_violation with
+        | Some p -> hit t p
+        | None -> ())
+    | _ -> ());
+    (* The L0 preemption timer fires periodically; it reflects only when
+       L1 also armed it. *)
+    (if t.l2_insns_since_entry = 16 && t.features.preemption_timer then begin
+       match vmcs12_opt with
+       | Some vmcs12
+         when Nf_stdext.Bits.is_set
+                (Vmcs.read vmcs12 Field.pin_based_ctls)
+                Controls.Pin.preemption_timer -> (
+           match
+             Hashtbl.find_opt reflect_probes Nf_cpu.Exit_reason.preemption_timer
+           with
+           | Some p -> hit t p
+           | None -> ())
+       | _ -> (
+           match
+             Hashtbl.find_opt l0_probes Nf_cpu.Exit_reason.preemption_timer
+           with
+           | Some p -> hit t p
+           | None -> ())
+     end);
+    match Nf_cpu.Vmx_exec.decide t.vmcs02 insn with
+    | Nf_cpu.Vmx_exec.No_exit -> Ok_step
+    | Nf_cpu.Vmx_exec.Exit e -> (
+        hit t P.exit_dispatch;
+        let vmcs12 =
+          match current_vmcs12 t with Some v -> v | None -> assert false
+        in
+        (* Reflect if L1's VMCS12 intercepts this event. *)
+        match Nf_cpu.Vmx_exec.decide vmcs12 insn with
+        | Nf_cpu.Vmx_exec.Exit e12 ->
+            (match Hashtbl.find_opt reflect_probes e12.reason with
+            | Some p -> hit t p
+            | None -> ());
+            sync_exit_to_vmcs12 ~copy_guest:true t vmcs12
+              ~reason:(Int64.of_int e12.reason)
+              ~qualification:e12.qualification ~intr_info:e12.intr_info;
+            t.in_l2 <- false;
+            L2_exit_to_l1 (Int64.of_int e12.reason)
+        | Nf_cpu.Vmx_exec.No_exit ->
+            (match Hashtbl.find_opt l0_probes e.reason with
+            | Some p -> hit t p
+            | None -> ());
+            L2_resumed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Host-side ioctl interface (outside the guest threat model)          *)
+(* ------------------------------------------------------------------ *)
+
+type ioctl = Get_nested_state | Set_nested_state | Enable_evmcs
+
+let host_ioctl t (i : ioctl) =
+  match i with
+  | Get_nested_state -> hit t P.ioctl_get_nested_state
+  | Set_nested_state -> hit t P.ioctl_set_nested_state
+  | Enable_evmcs -> hit t P.ioctl_enable_evmcs

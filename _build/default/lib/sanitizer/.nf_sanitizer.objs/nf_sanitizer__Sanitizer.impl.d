@@ -1,0 +1,1 @@
+lib/sanitizer/sanitizer.ml: Format List

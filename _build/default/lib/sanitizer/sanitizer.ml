@@ -1,0 +1,67 @@
+(** Bug-detection substrate: the KASAN/UBSAN/kernel-log stand-in.
+
+    Simulated hypervisors report anomalies here; the agent drains the
+    stream after every execution and classifies it — the "Detection
+    Method" column of Table 6. *)
+
+type event =
+  | Ubsan of string (* undefined-behaviour sanitizer report *)
+  | Kasan of string (* address sanitizer report *)
+  | Assert_fail of string (* ASSERT()/BUG_ON() style failure *)
+  | Host_crash of string (* the whole host went down (oops/hang) *)
+  | Vm_crash of string (* the guest VM terminated abnormally *)
+  | Gpf of string (* general protection fault in host context *)
+  | Log_warn of string (* suspicious log line *)
+
+let event_kind = function
+  | Ubsan _ -> "UBSAN"
+  | Kasan _ -> "KASAN"
+  | Assert_fail _ -> "Assertion"
+  | Host_crash _ -> "Host Crash"
+  | Vm_crash _ -> "VM Crash"
+  | Gpf _ -> "GP Fault"
+  | Log_warn _ -> "Log Warning"
+
+let event_message = function
+  | Ubsan m | Kasan m | Assert_fail m | Host_crash m | Vm_crash m | Gpf m
+  | Log_warn m ->
+      m
+
+(** Does this event terminate the current execution (and, for host
+    crashes, require the watchdog to restart the machine)? *)
+let is_fatal = function
+  | Host_crash _ | Vm_crash _ | Gpf _ -> true
+  | Ubsan _ | Kasan _ | Assert_fail _ | Log_warn _ -> false
+
+(** Does this event indicate a potential vulnerability worth saving? *)
+let is_reportable = function
+  | Log_warn _ -> false
+  | Ubsan _ | Kasan _ | Assert_fail _ | Host_crash _ | Vm_crash _ | Gpf _ ->
+      true
+
+type t = { mutable events : event list (* reversed *) }
+
+let create () = { events = [] }
+
+let record t e = t.events <- e :: t.events
+
+let ubsan t fmt = Format.kasprintf (fun s -> record t (Ubsan s)) fmt
+let kasan t fmt = Format.kasprintf (fun s -> record t (Kasan s)) fmt
+let assert_fail t fmt = Format.kasprintf (fun s -> record t (Assert_fail s)) fmt
+let host_crash t fmt = Format.kasprintf (fun s -> record t (Host_crash s)) fmt
+let vm_crash t fmt = Format.kasprintf (fun s -> record t (Vm_crash s)) fmt
+let gpf t fmt = Format.kasprintf (fun s -> record t (Gpf s)) fmt
+let log_warn t fmt = Format.kasprintf (fun s -> record t (Log_warn s)) fmt
+
+let events t = List.rev t.events
+
+let drain t =
+  let es = events t in
+  t.events <- [];
+  es
+
+let has_fatal t = List.exists is_fatal t.events
+let has_reportable t = List.exists is_reportable t.events
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%s] %s" (event_kind e) (event_message e)

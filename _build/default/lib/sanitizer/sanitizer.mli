@@ -1,0 +1,49 @@
+(** Bug-detection substrate: the KASAN/UBSAN/kernel-log stand-in.
+
+    Simulated hypervisors report anomalies here; the agent drains the
+    stream after every execution and classifies it — the "Detection
+    Method" column of the paper's Table 6. *)
+
+type event =
+  | Ubsan of string (* undefined-behaviour sanitizer report *)
+  | Kasan of string (* address sanitizer report *)
+  | Assert_fail of string (* ASSERT()/BUG_ON() style failure *)
+  | Host_crash of string (* the whole host went down (oops/hang) *)
+  | Vm_crash of string (* the guest VM terminated abnormally *)
+  | Gpf of string (* general protection fault in host context *)
+  | Log_warn of string (* suspicious log line *)
+
+val event_kind : event -> string
+val event_message : event -> string
+
+(** Does this event terminate the current execution (and, for host
+    crashes, require the watchdog to restart the machine)? *)
+val is_fatal : event -> bool
+
+(** Does this event indicate a potential vulnerability worth saving? *)
+val is_reportable : event -> bool
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+
+val ubsan : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val kasan : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val assert_fail : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val host_crash : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val vm_crash : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val gpf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val log_warn : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Events in the order they were recorded. *)
+val events : t -> event list
+
+(** Like {!events}, but also clears the stream. *)
+val drain : t -> event list
+
+val has_fatal : t -> bool
+val has_reportable : t -> bool
+
+val pp_event : Format.formatter -> event -> unit

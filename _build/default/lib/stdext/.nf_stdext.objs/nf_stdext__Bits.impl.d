@@ -1,0 +1,1 @@
+lib/stdext/bits.ml: Int64 Printf

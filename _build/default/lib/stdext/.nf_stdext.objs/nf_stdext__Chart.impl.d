@@ -1,0 +1,1 @@
+lib/stdext/chart.ml: Array Float Format List String

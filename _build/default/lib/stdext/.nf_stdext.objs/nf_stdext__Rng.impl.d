@@ -1,0 +1,1 @@
+lib/stdext/rng.ml: Array Bytes Char Int64 List

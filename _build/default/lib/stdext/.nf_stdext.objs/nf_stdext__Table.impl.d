@@ -1,0 +1,1 @@
+lib/stdext/table.ml: Array Format List String

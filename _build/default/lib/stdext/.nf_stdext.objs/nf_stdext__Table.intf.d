@@ -1,0 +1,1 @@
+lib/stdext/table.mli: Format

@@ -1,0 +1,1 @@
+lib/stdext/vclock.ml: Format Int64

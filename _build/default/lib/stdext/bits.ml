@@ -1,0 +1,62 @@
+(** 64-bit field/bit manipulation helpers.
+
+    VMCS and VMCB fields are at most 64 bits wide; everything in the
+    framework represents field values as [int64] and uses these helpers to
+    stay within declared widths. *)
+
+let bit n = Int64.shift_left 1L n
+
+let is_set v n = Int64.logand v (bit n) <> 0L
+
+let set v n = Int64.logor v (bit n)
+
+let clear v n = Int64.logand v (Int64.lognot (bit n))
+
+let flip v n = Int64.logxor v (bit n)
+
+let assign v n b = if b then set v n else clear v n
+
+(** [mask width] is a value with the low [width] bits set; [mask 64] is all
+    ones. *)
+let mask width =
+  if width >= 64 then -1L
+  else Int64.sub (Int64.shift_left 1L width) 1L
+
+(** Truncate [v] to [width] bits. *)
+let truncate v width = Int64.logand v (mask width)
+
+(** [extract v ~lo ~width] reads a bit-field. *)
+let extract v ~lo ~width =
+  truncate (Int64.shift_right_logical v lo) width
+
+(** [insert v ~lo ~width field] writes a bit-field. *)
+let insert v ~lo ~width field =
+  let m = Int64.shift_left (mask width) lo in
+  Int64.logor
+    (Int64.logand v (Int64.lognot m))
+    (Int64.logand (Int64.shift_left field lo) m)
+
+let popcount v =
+  let rec go v acc =
+    if v = 0L then acc
+    else go (Int64.logand v (Int64.sub v 1L)) (acc + 1)
+  in
+  go v 0
+
+(** Number of differing bits between two values, restricted to [width]. *)
+let hamming ?(width = 64) a b =
+  popcount (truncate (Int64.logxor a b) width)
+
+(** x86 canonical-address check: bits 63..47 must be a sign extension of
+    bit 47 (48-bit virtual addresses). *)
+let is_canonical v =
+  let top = Int64.shift_right v 47 in
+  top = 0L || top = -1L
+
+(** Is [v] aligned to [2^n] bytes? *)
+let is_aligned v n = Int64.logand v (mask n) = 0L
+
+(** Does the value fit in [width] bits (i.e. no high garbage)? *)
+let fits v width = truncate v width = v
+
+let to_hex v = Printf.sprintf "0x%Lx" v

@@ -1,0 +1,43 @@
+(** 64-bit field and bit manipulation helpers.
+
+    VMCS and VMCB fields are at most 64 bits wide; everything in the
+    framework represents field values as [int64]. *)
+
+(** [bit n] is a value with only bit [n] set. *)
+val bit : int -> int64
+
+val is_set : int64 -> int -> bool
+val set : int64 -> int -> int64
+val clear : int64 -> int -> int64
+val flip : int64 -> int -> int64
+
+(** [assign v n b] sets or clears bit [n] of [v] according to [b]. *)
+val assign : int64 -> int -> bool -> int64
+
+(** [mask width] has the low [width] bits set; [mask 64] is all ones. *)
+val mask : int -> int64
+
+(** Truncate a value to [width] bits. *)
+val truncate : int64 -> int -> int64
+
+(** [extract v ~lo ~width] reads a bit-field. *)
+val extract : int64 -> lo:int -> width:int -> int64
+
+(** [insert v ~lo ~width field] writes a bit-field. *)
+val insert : int64 -> lo:int -> width:int -> int64 -> int64
+
+val popcount : int64 -> int
+
+(** Number of differing bits, restricted to [width] (default 64). *)
+val hamming : ?width:int -> int64 -> int64 -> int
+
+(** x86 canonical-address check: bits 63..47 must sign-extend bit 47. *)
+val is_canonical : int64 -> bool
+
+(** Is the value aligned to [2^n] bytes? *)
+val is_aligned : int64 -> int -> bool
+
+(** Does the value fit in [width] bits? *)
+val fits : int64 -> int -> bool
+
+val to_hex : int64 -> string

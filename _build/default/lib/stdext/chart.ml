@@ -1,0 +1,66 @@
+(** ASCII line charts for the coverage-over-time figures.
+
+    The bench renders Figs. 3 and 4 both as checkpoint rows and as a
+    shared-axis chart so the saturation shapes are visible in a
+    terminal. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** Render [series] on a shared time axis: y is percent (0-100), x spans
+    [0, max time].  Each series is drawn with its own glyph; collisions
+    show the later series. *)
+let render ?(width = 64) ?(height = 16) (all : series list) ppf =
+  let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '~' |] in
+  let max_t =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun a (t, _) -> Float.max a t) acc s.points)
+      1.0 all
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let plot glyph points =
+    (* Linear interpolation between checkpoints so lines read as lines. *)
+    let at t =
+      let rec go = function
+        | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+            if t >= t1 && t <= t2 then
+              if t2 -. t1 < 1e-9 then v2
+              else v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+            else go rest
+        | [ (_, v) ] -> v
+        | [] -> 0.0
+      in
+      go points
+    in
+    match points with
+    | [] -> ()
+    | _ ->
+        for col = 0 to width - 1 do
+          let t = max_t *. float_of_int col /. float_of_int (width - 1) in
+          let v = at t in
+          let row =
+            height - 1 - int_of_float (v /. 100.0 *. float_of_int (height - 1))
+          in
+          let row = max 0 (min (height - 1) row) in
+          grid.(row).(col) <- glyph
+        done
+  in
+  List.iteri
+    (fun i s -> plot glyphs.(i mod Array.length glyphs) s.points)
+    all;
+  for row = 0 to height - 1 do
+    let pct = 100 * (height - 1 - row) / (height - 1) in
+    Format.fprintf ppf "%3d%% |" pct;
+    for col = 0 to width - 1 do
+      Format.fprintf ppf "%c" grid.(row).(col)
+    done;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf "     +%s@." (String.make width '-');
+  Format.fprintf ppf "      0h%s%.0fh@."
+    (String.make (max 1 (width - 6)) ' ')
+    max_t;
+  List.iteri
+    (fun i s ->
+      Format.fprintf ppf "      %c %s@." glyphs.(i mod Array.length glyphs)
+        s.label)
+    all

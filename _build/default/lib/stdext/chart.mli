@@ -1,0 +1,8 @@
+(** ASCII line charts for the coverage-over-time figures (3 and 4). *)
+
+type series = { label : string; points : (float * float) list }
+
+(** Render series on a shared axis: y is percent (0–100), x spans
+    [0, max time].  Each series gets its own glyph; a legend follows. *)
+val render :
+  ?width:int -> ?height:int -> series list -> Format.formatter -> unit

@@ -1,0 +1,87 @@
+(** Deterministic pseudo-random number generator.
+
+    All randomness in the framework flows through this module so that every
+    campaign, test and benchmark is reproducible from a 64-bit seed.  The
+    generator is SplitMix64 (Steele, Lea & Flood, OOPSLA'14): tiny state,
+    full 64-bit output, and a [split] operation that derives independent
+    streams — convenient for giving each fuzzing component its own stream. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let of_int64 seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* Core SplitMix64 step: advance the state by the golden gamma and mix. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  of_int64 seed
+
+let bits64 t = next_int64 t
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [chance t ~num ~den] is true with probability [num/den]. *)
+let chance t ~num ~den = int t den < num
+
+let float t =
+  (* 53 random mantissa bits, as for a standard uniform double. *)
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0
+
+(** Uniform byte. *)
+let byte t = int t 256
+
+(** [pick t arr] draws a uniformly random element of a non-empty array. *)
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(** Fill [b] with random bytes. *)
+let fill_bytes t b =
+  for i = 0 to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (byte t))
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  fill_bytes t b;
+  b
+
+(** Fisher–Yates shuffle, in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** Geometric-ish small count in [1, max]: halving probability per step.
+    Used for "1 to 3 fields, 1 to 8 bits" style draws where small values
+    should dominate, mirroring AFL++'s havoc stacking. *)
+let small_count t ~max =
+  let rec go n = if n >= max || bool t then n else go (n + 1) in
+  go 1

@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomness in the framework flows through this module, so every
+    campaign, test and benchmark is reproducible from a 64-bit seed. *)
+
+type t
+
+(** [create seed] builds a generator from an integer seed. *)
+val create : int -> t
+
+(** [of_int64 seed] builds a generator from a full 64-bit seed. *)
+val of_int64 : int64 -> t
+
+(** [copy t] is an independent clone continuing from the same state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and derives an independent stream — use to give
+    each component its own generator. *)
+val split : t -> t
+
+(** 64 fresh pseudo-random bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [chance t ~num ~den] is true with probability [num/den]. *)
+val chance : t -> num:int -> den:int -> bool
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform byte in [0, 255]. *)
+val byte : t -> int
+
+(** [pick t arr] draws a uniformly random element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] draws from a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+val pick_list : t -> 'a list -> 'a
+
+(** Fill [b] with random bytes. *)
+val fill_bytes : t -> Bytes.t -> unit
+
+(** [bytes t n] is [n] fresh random bytes. *)
+val bytes : t -> int -> Bytes.t
+
+(** Fisher–Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit
+
+(** Geometric-ish small count in [1, max]: halving probability per step. *)
+val small_count : t -> max:int -> int

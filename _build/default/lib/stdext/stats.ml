@@ -1,0 +1,147 @@
+(** Statistics used by the evaluation harness.
+
+    The paper follows Klees et al. (CCS'18): medians over five runs, 95%
+    confidence intervals, two-sided Mann-Whitney U tests and Cohen's d
+    effect sizes.  This module implements exactly those estimators. *)
+
+let mean xs =
+  if Array.length xs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs p =
+  let c = sorted xs in
+  let n = Array.length c in
+  if n = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (c.(lo) *. (1.0 -. frac)) +. (c.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+(** 95% confidence interval of the median via the binomial (distribution
+    free) method for small samples; degenerates to (min, max) for n <= 5,
+    matching how fuzzing papers report 5-run CIs. *)
+let ci95_median xs =
+  let c = sorted xs in
+  let n = Array.length c in
+  if n = 0 then (0.0, 0.0)
+  else if n <= 5 then (c.(0), c.(n - 1))
+  else begin
+    (* Normal approximation of binomial order statistics. *)
+    let nf = float_of_int n in
+    let delta = 1.96 *. sqrt (nf /. 4.0) in
+    let lo = max 0 (int_of_float (floor ((nf /. 2.0) -. delta))) in
+    let hi = min (n - 1) (int_of_float (ceil ((nf /. 2.0) +. delta))) in
+    (c.(lo), c.(hi))
+  end
+
+(** Two-sided Mann-Whitney U test; returns (u, approximate p-value) using
+    the normal approximation with tie correction — adequate for the 5-vs-5
+    comparisons used in the evaluation. *)
+let mann_whitney_u a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then (0.0, 1.0)
+  else begin
+    let all = Array.append (Array.map (fun x -> (x, `A)) a) (Array.map (fun x -> (x, `B)) b) in
+    Array.sort (fun (x, _) (y, _) -> compare x y) all;
+    let n = Array.length all in
+    let ranks = Array.make n 0.0 in
+    (* Average ranks over ties. *)
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n - 1 && fst all.(!j + 1) = fst all.(!i) do incr j done;
+      let avg = float_of_int (!i + !j + 2) /. 2.0 in
+      for k = !i to !j do ranks.(k) <- avg done;
+      i := !j + 1
+    done;
+    let ra = ref 0.0 in
+    Array.iteri (fun k (_, tag) -> if tag = `A then ra := !ra +. ranks.(k)) all;
+    let naf = float_of_int na and nbf = float_of_int nb in
+    let u = !ra -. (naf *. (naf +. 1.0) /. 2.0) in
+    let mu = naf *. nbf /. 2.0 in
+    let sigma = sqrt (naf *. nbf *. (naf +. nbf +. 1.0) /. 12.0) in
+    if sigma = 0.0 then (u, 1.0)
+    else begin
+      let z = Float.abs ((u -. mu) /. sigma) in
+      (* Two-sided p from the normal tail, via the complementary error
+         function approximation (Abramowitz & Stegun 7.1.26). *)
+      let erfc x =
+        let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+        let poly =
+          t
+          *. (0.254829592
+             +. (t
+                *. (-0.284496736
+                   +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+        in
+        poly *. exp (-.x *. x)
+      in
+      let p = erfc (z /. sqrt 2.0) in
+      (u, p)
+    end
+  end
+
+(** Cohen's d effect size with pooled standard deviation. *)
+let cohens_d a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then infinity
+  else begin
+    let va = variance a and vb = variance b in
+    let pooled =
+      sqrt
+        (((float_of_int (na - 1) *. va) +. (float_of_int (nb - 1) *. vb))
+        /. float_of_int (na + nb - 2))
+    in
+    if pooled = 0.0 then infinity else (mean a -. mean b) /. pooled
+  end
+
+(** Fixed-width histogram over [lo, hi); used to render the Fig. 5 violin
+    plots as ASCII distributions. *)
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    bins : int array;
+    mutable count : int;
+  }
+
+  let create ~lo ~hi ~bins = { lo; hi; bins = Array.make bins 0; count = 0 }
+
+  let add t x =
+    let nbins = Array.length t.bins in
+    let idx =
+      int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int nbins)
+    in
+    let idx = max 0 (min (nbins - 1) idx) in
+    t.bins.(idx) <- t.bins.(idx) + 1;
+    t.count <- t.count + 1
+
+  let render ?(width = 50) t ppf =
+    let maxv = Array.fold_left max 1 t.bins in
+    let nbins = Array.length t.bins in
+    for i = 0 to nbins - 1 do
+      let lo = t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int nbins) in
+      let bar = t.bins.(i) * width / maxv in
+      Format.fprintf ppf "%8.1f | %s (%d)@." lo (String.make bar '#') t.bins.(i)
+    done
+end

@@ -1,0 +1,44 @@
+(** Statistics used by the evaluation harness, following Klees et al.
+    (CCS'18): medians over repeated runs, 95% confidence intervals,
+    two-sided Mann-Whitney U tests and Cohen's d effect sizes. *)
+
+val mean : float array -> float
+
+(** Sample variance (n-1 denominator). *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** A sorted copy. *)
+val sorted : float array -> float array
+
+(** [percentile xs p] with linear interpolation, [p] in [0, 100]. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float
+
+(** Distribution-free 95% CI of the median; degenerates to (min, max) for
+    n <= 5, matching how fuzzing papers report 5-run CIs. *)
+val ci95_median : float array -> float * float
+
+(** Two-sided Mann-Whitney U with tie correction; returns (U, p). *)
+val mann_whitney_u : float array -> float array -> float * float
+
+(** Cohen's d with pooled standard deviation; [infinity] when degenerate. *)
+val cohens_d : float array -> float array -> float
+
+module Histogram : sig
+  type t = {
+    lo : float;
+    hi : float;
+    bins : int array;
+    mutable count : int;
+  }
+
+  val create : lo:float -> hi:float -> bins:int -> t
+
+  (** Out-of-range samples are clamped into the edge bins. *)
+  val add : t -> float -> unit
+
+  val render : ?width:int -> t -> Format.formatter -> unit
+end

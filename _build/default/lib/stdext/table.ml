@@ -1,0 +1,55 @@
+(** Minimal aligned-column table rendering for the experiment harness.
+
+    Every table in the evaluation is printed through this module so the
+    bench output looks like the paper's tables. *)
+
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?(aligns = []) header = { header; aligns; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_sep t = t.rows <- [ "\x00sep" ] :: t.rows
+
+let align_of t i =
+  match List.nth_opt t.aligns i with Some a -> a | None -> Left
+
+let render t ppf =
+  let rows = List.rev t.rows in
+  let all = t.header :: List.filter (fun r -> r <> [ "\x00sep" ]) rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter measure all;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align_of t i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let print_row row =
+    let cells = List.mapi pad row in
+    Format.fprintf ppf "| %s |@." (String.concat " | " cells)
+  in
+  let sep () =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Format.fprintf ppf "|-%s-|@." (String.concat "-+-" dashes)
+  in
+  print_row t.header;
+  sep ();
+  List.iter
+    (fun row -> if row = [ "\x00sep" ] then sep () else print_row row)
+    rows
+
+let print t = render t Format.std_formatter

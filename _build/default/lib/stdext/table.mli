@@ -1,0 +1,20 @@
+(** Minimal aligned-column table rendering: every table in the evaluation
+    harness is printed through this module so the bench output reads like
+    the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ?aligns header] — missing alignments default to [Left]. *)
+val create : ?aligns:align list -> string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Insert a horizontal separator before the next row. *)
+val add_sep : t -> unit
+
+val render : t -> Format.formatter -> unit
+
+(** [render] to stdout. *)
+val print : t -> unit

@@ -1,0 +1,32 @@
+(** Virtual time.
+
+    The paper's campaigns run for 24 or 48 wall-clock hours on bare metal.
+    In simulation every harness execution is charged a virtual cost, so the
+    coverage-over-time figures keep their shape while the whole campaign
+    completes in seconds of real time.  Time is kept in virtual
+    microseconds. *)
+
+type t = { mutable now_us : int64 }
+
+let create () = { now_us = 0L }
+
+let us_per_ms = 1_000L
+let us_per_s = 1_000_000L
+
+let now_us t = t.now_us
+let now_s t = Int64.to_float t.now_us /. 1.0e6
+let now_hours t = now_s t /. 3600.0
+
+let advance_us t us = t.now_us <- Int64.add t.now_us us
+let advance_ms t ms = advance_us t (Int64.mul (Int64.of_int ms) us_per_ms)
+let advance_s t s = advance_us t (Int64.mul (Int64.of_int s) us_per_s)
+
+let of_hours h = Int64.of_float (h *. 3.6e9)
+
+let reached t ~deadline_us = t.now_us >= deadline_us
+
+let pp_duration ppf us =
+  let s = Int64.to_float us /. 1.0e6 in
+  if s < 60.0 then Format.fprintf ppf "%.1fs" s
+  else if s < 3600.0 then Format.fprintf ppf "%.1fm" (s /. 60.0)
+  else Format.fprintf ppf "%.1fh" (s /. 3600.0)

@@ -1,0 +1,28 @@
+(** Virtual time.
+
+    The paper's campaigns run for 24 or 48 wall-clock hours on bare
+    metal; in simulation every harness execution is charged a virtual
+    cost so coverage-over-time figures keep their shape while campaigns
+    complete in seconds.  Time is kept in virtual microseconds. *)
+
+type t
+
+val create : unit -> t
+
+val us_per_ms : int64
+val us_per_s : int64
+
+val now_us : t -> int64
+val now_s : t -> float
+val now_hours : t -> float
+
+val advance_us : t -> int64 -> unit
+val advance_ms : t -> int -> unit
+val advance_s : t -> int -> unit
+
+(** [of_hours h] is the microsecond count of [h] virtual hours. *)
+val of_hours : float -> int64
+
+val reached : t -> deadline_us:int64 -> bool
+
+val pp_duration : Format.formatter -> int64 -> unit

@@ -1,0 +1,1 @@
+lib/validator/bochs_bugs.ml: Ar Field Golden Int64 Nf_vmcs Nf_x86 Vmcs

@@ -1,0 +1,1 @@
+lib/validator/bochs_bugs.mli: Nf_cpu Nf_vmcs Nf_x86

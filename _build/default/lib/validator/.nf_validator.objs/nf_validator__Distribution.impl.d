@@ -1,0 +1,1 @@
+lib/validator/distribution.ml: Array Bytes Char Field Format Golden List Nf_stdext Nf_vmcs Validator Vmcs

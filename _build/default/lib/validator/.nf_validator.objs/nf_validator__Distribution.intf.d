@@ -1,0 +1,1 @@
+lib/validator/distribution.mli: Format Nf_cpu Nf_stdext Nf_vmcs

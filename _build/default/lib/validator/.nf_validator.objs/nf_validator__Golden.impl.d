@@ -1,0 +1,1 @@
+lib/validator/golden.ml: Controls Entry Eptp Exit Field List Nf_cpu Nf_stdext Nf_vmcb Nf_vmcs Nf_x86 Proc Proc2 Vmcb Vmcs

@@ -1,0 +1,1 @@
+lib/validator/golden.mli: Nf_cpu Nf_vmcb Nf_vmcs

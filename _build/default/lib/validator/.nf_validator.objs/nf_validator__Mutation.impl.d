@@ -1,0 +1,1 @@
+lib/validator/mutation.ml: Array Bytes Char Field Format Fun Int64 List Nf_stdext Nf_vmcs Nf_x86 String Validator Vmcs

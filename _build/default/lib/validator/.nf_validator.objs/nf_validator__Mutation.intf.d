@@ -1,0 +1,1 @@
+lib/validator/mutation.mli: Bytes Format Nf_stdext Nf_vmcs Validator

@@ -1,0 +1,1 @@
+lib/validator/oracle_campaign.ml: Bochs_bugs Distribution Format List Mutation Nf_cpu Nf_stdext Nf_vmcs Nf_x86 Validator

@@ -1,0 +1,1 @@
+lib/validator/oracle_campaign.mli: Format Nf_cpu Nf_vmcs

@@ -1,0 +1,1 @@
+lib/validator/svm_validator.ml: Array Int64 List Nf_cpu Nf_stdext Nf_vmcb Nf_x86 Vmcb

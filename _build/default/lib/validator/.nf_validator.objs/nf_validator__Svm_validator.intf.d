@@ -1,0 +1,1 @@
+lib/validator/svm_validator.mli: Nf_cpu Nf_vmcb

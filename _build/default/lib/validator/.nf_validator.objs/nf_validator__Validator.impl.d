@@ -1,0 +1,1 @@
+lib/validator/validator.ml: Ar Controls Entry Exit Field Int64 List Nf_cpu Nf_stdext Nf_vmcs Nf_x86 Pin Printf Proc Proc2 Vmcs

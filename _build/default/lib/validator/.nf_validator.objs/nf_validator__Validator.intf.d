@@ -1,0 +1,1 @@
+lib/validator/validator.mli: Nf_cpu Nf_vmcs

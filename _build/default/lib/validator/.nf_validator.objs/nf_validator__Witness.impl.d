@@ -1,0 +1,1 @@
+lib/validator/witness.ml: Controls Field Golden Int64 List Nf_cpu Nf_stdext Nf_vmcb Nf_vmcs Nf_x86 Vmcb Vmcs

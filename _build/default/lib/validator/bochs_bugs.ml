@@ -1,0 +1,78 @@
+(** The two Bochs validator bugs found during NecoFuzz development.
+
+    While building the VM state validator the authors discovered and
+    patched two bugs in Bochs's VM-entry checks for guest segment
+    registers (Bochs PR #51).  We model both as "legacy" check variants:
+    enabling [legacy_mode] reproduces the pre-patch behaviour, and the
+    hardware-oracle self-check exposes the divergence — exactly how the
+    paper says the bugs were noticed.
+
+    Bug 1: the pre-patch check validated the SS RPL/CS RPL match even for
+    an *unusable* SS, rejecting states hardware accepts (too strict).
+
+    Bug 2: the pre-patch check skipped the granularity/limit consistency
+    rule for expand-down data segments, accepting states hardware rejects
+    (too lax). *)
+
+open Nf_vmcs
+
+type variant = Legacy | Patched
+
+(* Bug 1 (too strict): pre-patch SS check. *)
+let check_ss_rpl variant vmcs =
+  let open Nf_x86.Seg in
+  let ar = Vmcs.read vmcs (Field.guest_ar SS) in
+  let consider =
+    match variant with
+    | Legacy -> true (* checked even when SS is unusable *)
+    | Patched -> not (Ar.is_unusable ar)
+  in
+  if not consider then Ok ()
+  else begin
+    let ss_rpl = Int64.logand (Vmcs.read vmcs (Field.guest_selector SS)) 3L in
+    let cs_rpl = Int64.logand (Vmcs.read vmcs (Field.guest_selector CS)) 3L in
+    if ss_rpl = cs_rpl then Ok ()
+    else Error "guest SS RPL != CS RPL"
+  end
+
+(* Bug 2 (too lax): pre-patch granularity check. *)
+let check_data_limit variant vmcs r =
+  let open Nf_x86.Seg in
+  let ar = Vmcs.read vmcs (Field.guest_ar r) in
+  let limit = Vmcs.read vmcs (Field.guest_limit r) in
+  if Ar.is_unusable ar then Ok ()
+  else begin
+    let expand_down = Ar.is_code_data ar && Ar.get_type ar land 0xC = 0x4 in
+    let skip =
+      match variant with
+      | Legacy -> expand_down (* pre-patch: expand-down skipped the rule *)
+      | Patched -> false
+    in
+    if skip then Ok ()
+    else if Ar.is_granular ar then
+      if Int64.logand limit 0xFFFL = 0xFFFL then Ok ()
+      else Error "granular segment with limit[11:0] != 0xFFF"
+    else if Int64.logand limit 0xFFF0_0000L = 0L then Ok ()
+    else Error "byte-granular segment with limit[31:20] != 0"
+  end
+
+(** Construct a VMCS demonstrating bug 1: valid state with an unusable SS
+    whose RPL disagrees with CS — hardware accepts, legacy model rejects. *)
+let witness_bug1 caps =
+  let v = Golden.vmcs caps in
+  Vmcs.write v (Field.guest_ar Nf_x86.Seg.SS) Nf_x86.Seg.ldtr_unusable_ar;
+  Vmcs.write v (Field.guest_selector Nf_x86.Seg.SS) 0x13L;
+  (* RPL 3 *)
+  v
+
+(** Construct a VMCS demonstrating bug 2: expand-down data segment with an
+    inconsistent granular limit — hardware rejects, legacy model accepts. *)
+let witness_bug2 caps =
+  let v = Golden.vmcs caps in
+  let ar =
+    Nf_x86.Seg.Ar.make ~typ:Nf_x86.Seg.type_data_rw_expand_down ~gran:true ()
+  in
+  Vmcs.write v (Field.guest_ar Nf_x86.Seg.DS) ar;
+  Vmcs.write v (Field.guest_limit Nf_x86.Seg.DS) 0x1000L;
+  (* granular but limit[11:0] = 0 *)
+  v

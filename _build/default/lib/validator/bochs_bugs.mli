@@ -1,0 +1,24 @@
+(** The two Bochs validator bugs found during NecoFuzz development
+    (Bochs PR #51), modelled as legacy/patched check variants so the
+    hardware-oracle comparison can expose them — exactly how the paper
+    says the bugs were noticed. *)
+
+type variant = Legacy | Patched
+
+(** Bug 1 (too strict): the pre-patch check validated the SS/CS RPL match
+    even for an unusable SS, rejecting states hardware accepts. *)
+val check_ss_rpl : variant -> Nf_vmcs.Vmcs.t -> (unit, string) result
+
+(** Bug 2 (too lax): the pre-patch check skipped the granularity/limit
+    consistency rule for expand-down data segments, accepting states
+    hardware rejects. *)
+val check_data_limit :
+  variant -> Nf_vmcs.Vmcs.t -> Nf_x86.Seg.register -> (unit, string) result
+
+(** A valid state with an unusable SS whose RPL disagrees with CS:
+    hardware accepts it, the legacy model rejects it. *)
+val witness_bug1 : Nf_cpu.Vmx_caps.t -> Nf_vmcs.Vmcs.t
+
+(** An expand-down data segment with an inconsistent granular limit:
+    hardware rejects it, the legacy model accepts it. *)
+val witness_bug2 : Nf_cpu.Vmx_caps.t -> Nf_vmcs.Vmcs.t

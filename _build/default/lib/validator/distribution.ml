@@ -1,0 +1,108 @@
+(** VM-state distribution measurements (paper §5.3.2 / Fig. 5).
+
+    Three Hamming-distance distributions over the 165-field (~8,000-bit)
+    VMCS layout:
+
+    - random vs. validated: distance between a raw random state and its
+      rounded counterpart ("how far is random from valid");
+    - default vs. validated: distance between validated states and the
+      default-initialized golden state ("diversity beyond defaults");
+    - pairwise: distance between two independently generated validated
+      states ("intra-set variability"). *)
+
+open Nf_vmcs
+
+type summary = {
+  label : string;
+  mean : float;
+  stddev : float;
+  min_d : int;
+  max_d : int;
+  samples : int;
+  histogram : Nf_stdext.Stats.Histogram.t;
+}
+
+let random_vmcs rng =
+  let v = Vmcs.create () in
+  List.iter
+    (fun f ->
+      Vmcs.write v f
+        (Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng) (Field.bits f)))
+    Field.all;
+  v
+
+(** A state built the way the fuzzer actually builds raw VMCS content:
+    AFL++-style inputs are sparse mutations over near-empty seeds, so most
+    bytes are zero and a small fraction carry entropy.  The diversity
+    violins of Fig. 5 are measured over these, not over uniform noise. *)
+let fuzzer_like_vmcs rng =
+  let b = Bytes.make Vmcs.blob_bytes '\000' in
+  for i = 0 to Bytes.length b - 1 do
+    if Nf_stdext.Rng.chance rng ~num:12 ~den:100 then
+      Bytes.set b i (Char.chr (Nf_stdext.Rng.byte rng))
+  done;
+  Vmcs.of_blob b
+
+let summarize label distances =
+  let xs = Array.map float_of_int distances in
+  let max_d = Array.fold_left max 0 distances in
+  let min_d = Array.fold_left min max_int distances in
+  let histogram =
+    Nf_stdext.Stats.Histogram.create ~lo:0.0
+      ~hi:(float_of_int (max 1 max_d) +. 1.0)
+      ~bins:20
+  in
+  Array.iter (Nf_stdext.Stats.Histogram.add histogram) xs;
+  {
+    label;
+    mean = Nf_stdext.Stats.mean xs;
+    stddev = Nf_stdext.Stats.stddev xs;
+    min_d;
+    max_d;
+    samples = Array.length distances;
+    histogram;
+  }
+
+(** Distance between raw random states and their rounded versions. *)
+let random_vs_validated ~caps ~samples ~seed =
+  let rng = Nf_stdext.Rng.create seed in
+  let validator = Validator.create caps in
+  let distances =
+    Array.init samples (fun _ ->
+        let raw = random_vmcs rng in
+        let rounded = Vmcs.copy raw in
+        Validator.round validator rounded;
+        Vmcs.hamming raw rounded)
+  in
+  summarize "random vs validated" distances
+
+(** Distance between validated states and the default golden state. *)
+let default_vs_validated ~caps ~samples ~seed =
+  let rng = Nf_stdext.Rng.create seed in
+  let validator = Validator.create caps in
+  let golden = Golden.vmcs caps in
+  let distances =
+    Array.init samples (fun _ ->
+        let v = fuzzer_like_vmcs rng in
+        Validator.round validator v;
+        Vmcs.hamming v golden)
+  in
+  summarize "default vs validated" distances
+
+(** Pairwise distance between independently generated validated states. *)
+let pairwise ~caps ~samples ~seed =
+  let rng = Nf_stdext.Rng.create seed in
+  let validator = Validator.create caps in
+  let fresh () =
+    let v = fuzzer_like_vmcs rng in
+    Validator.round validator v;
+    v
+  in
+  let distances =
+    Array.init samples (fun _ -> Vmcs.hamming (fresh ()) (fresh ()))
+  in
+  summarize "pairwise validated" distances
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%-22s mean=%.1f bits  sd=%.1f  min=%d max=%d (n=%d)"
+    s.label s.mean s.stddev s.min_d s.max_d s.samples

@@ -1,0 +1,37 @@
+(** VM-state distribution measurements (paper §5.3.2 / Fig. 5): Hamming
+    distances over the 165-field, 8,000-bit VMCS layout. *)
+
+type summary = {
+  label : string;
+  mean : float;
+  stddev : float;
+  min_d : int;
+  max_d : int;
+  samples : int;
+  histogram : Nf_stdext.Stats.Histogram.t;
+}
+
+(** A uniformly random VM state (every field random within its width). *)
+val random_vmcs : Nf_stdext.Rng.t -> Nf_vmcs.Vmcs.t
+
+(** A state built the way the fuzzer actually builds raw VMCS content:
+    sparse mutations over near-empty seeds. *)
+val fuzzer_like_vmcs : Nf_stdext.Rng.t -> Nf_vmcs.Vmcs.t
+
+val summarize : string -> int array -> summary
+
+(** Distance between raw random states and their rounded versions ("how
+    far is random from valid"). *)
+val random_vs_validated :
+  caps:Nf_cpu.Vmx_caps.t -> samples:int -> seed:int -> summary
+
+(** Distance between validated states and the default golden state
+    ("diversity beyond defaults"). *)
+val default_vs_validated :
+  caps:Nf_cpu.Vmx_caps.t -> samples:int -> seed:int -> summary
+
+(** Distance between two independently generated validated states
+    ("intra-set variability"). *)
+val pairwise : caps:Nf_cpu.Vmx_caps.t -> samples:int -> seed:int -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

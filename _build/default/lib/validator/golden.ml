@@ -1,0 +1,140 @@
+(** Golden VM states: the fully valid, default-initialized configurations a
+    well-behaved hypervisor would program.
+
+    The execution harness's initialization template starts from these, and
+    the Fig. 5 experiment uses them as the "simple default-initialized
+    values" reference point. *)
+
+open Nf_vmcs
+
+(** A canonical 64-bit guest VMCS that passes every VM-entry check of
+    [Nf_cpu.Vmx_checks] under [caps]. *)
+let vmcs (caps : Nf_cpu.Vmx_caps.t) : Vmcs.t =
+  let v = Vmcs.create () in
+  let w f value = Vmcs.write v f value in
+  let open Controls in
+  (* Controls: minimal valid settings — every control rounded into its
+     capability envelope, secondary controls active with EPT + VPID. *)
+  w Field.pin_based_ctls (Nf_cpu.Vmx_caps.ctl_round caps.pin 0L);
+  let proc =
+    Nf_cpu.Vmx_caps.ctl_round caps.proc
+      (List.fold_left Nf_stdext.Bits.set 0L
+         [ Proc.hlt_exiting; Proc.use_msr_bitmaps; Proc.activate_secondary_controls ])
+  in
+  w Field.proc_based_ctls proc;
+  let proc2 =
+    Nf_cpu.Vmx_caps.ctl_round caps.proc2
+      (List.fold_left Nf_stdext.Bits.set 0L
+         [ Proc2.enable_ept; Proc2.enable_vpid; Proc2.enable_rdtscp ])
+  in
+  w Field.proc_based_ctls2 proc2;
+  w Field.exit_ctls
+    (Nf_cpu.Vmx_caps.ctl_round caps.exit
+       (List.fold_left Nf_stdext.Bits.set 0L
+          [ Exit.host_address_space_size; Exit.load_ia32_efer; Exit.save_ia32_efer ]));
+  w Field.entry_ctls
+    (Nf_cpu.Vmx_caps.ctl_round caps.entry
+       (List.fold_left Nf_stdext.Bits.set 0L
+          [ Entry.ia32e_mode_guest; Entry.load_ia32_efer ]));
+  if Nf_stdext.Bits.is_set proc2 (Proc2.enable_vpid) then w Field.vpid 1L;
+  if Nf_stdext.Bits.is_set proc2 Proc2.enable_ept then
+    w Field.ept_pointer
+      (Eptp.make ~ad:caps.has_ept_ad ~pml4:0x10_0000L ());
+  w Field.msr_bitmap 0x11000L;
+  (* Host state: flat 64-bit kernel. *)
+  w Field.host_cr0 (Nf_cpu.Vmx_caps.cr0_round caps 0x8005_0033L);
+  w Field.host_cr3 0x2000L;
+  w Field.host_cr4
+    (Nf_cpu.Vmx_caps.cr4_round caps (Nf_stdext.Bits.set 0L Nf_x86.Cr4.pae));
+  w Field.host_cs_selector 0x10L;
+  w (Field.host_selector Nf_x86.Seg.SS) 0x18L;
+  w (Field.host_selector Nf_x86.Seg.DS) 0x18L;
+  w (Field.host_selector Nf_x86.Seg.ES) 0x18L;
+  w (Field.host_selector Nf_x86.Seg.FS) 0x18L;
+  w (Field.host_selector Nf_x86.Seg.GS) 0x18L;
+  w Field.host_tr_selector 0x40L;
+  w Field.host_rip 0xFFFF_8000_0010_0000L;
+  w Field.host_rsp 0xFFFF_8000_0020_0000L;
+  w Field.host_gdtr_base 0xFFFF_8000_0000_1000L;
+  w Field.host_idtr_base 0xFFFF_8000_0000_2000L;
+  w Field.host_tr_base 0xFFFF_8000_0000_3000L;
+  w Field.host_ia32_efer
+    (List.fold_left Nf_stdext.Bits.set 0L
+       [ Nf_x86.Efer.lme; Nf_x86.Efer.lma; Nf_x86.Efer.sce; Nf_x86.Efer.nxe ]);
+  (* Guest state: 64-bit flat guest at ring 0. *)
+  w Field.guest_cr0 (Nf_cpu.Vmx_caps.cr0_round caps 0x8005_0033L);
+  w Field.guest_cr3 0x4000L;
+  w Field.guest_cr4
+    (Nf_cpu.Vmx_caps.cr4_round caps (Nf_stdext.Bits.set 0L Nf_x86.Cr4.pae));
+  w Field.guest_ia32_efer
+    (List.fold_left Nf_stdext.Bits.set 0L
+       [ Nf_x86.Efer.lme; Nf_x86.Efer.lma; Nf_x86.Efer.sce; Nf_x86.Efer.nxe ]);
+  w Field.guest_rip 0x10_0000L;
+  w Field.guest_rsp 0x20_0000L;
+  w Field.guest_rflags 0x2L;
+  w Field.guest_dr7 0x400L;
+  w Field.vmcs_link_pointer (-1L);
+  w Field.guest_activity_state Field.Activity.active;
+  List.iter
+    (fun r ->
+      let open Nf_x86.Seg in
+      let code = r = CS in
+      w (Field.guest_selector r) (if code then 0x08L else 0x10L);
+      w (Field.guest_limit r) 0xFFFF_FFFFL;
+      w (Field.guest_base r) 0L;
+      w (Field.guest_ar r) (if code then flat_code_ar else flat_data_ar))
+    [ Nf_x86.Seg.CS; SS; DS; ES; FS; GS ];
+  w (Field.guest_selector Nf_x86.Seg.TR) 0x40L;
+  w (Field.guest_limit Nf_x86.Seg.TR) 0x67L;
+  w (Field.guest_base Nf_x86.Seg.TR) 0x5000L;
+  w (Field.guest_ar Nf_x86.Seg.TR) Nf_x86.Seg.tr_ar;
+  w (Field.guest_selector Nf_x86.Seg.LDTR) 0L;
+  w (Field.guest_ar Nf_x86.Seg.LDTR) Nf_x86.Seg.ldtr_unusable_ar;
+  w Field.guest_gdtr_base 0x6000L;
+  w Field.guest_gdtr_limit 0xFFL;
+  w Field.guest_idtr_base 0x7000L;
+  w Field.guest_idtr_limit 0xFFFL;
+  v
+
+(** A golden VMCB: 64-bit guest under nested paging with the customary
+    intercepts, passing every VMRUN consistency check. *)
+let vmcb (caps : Nf_cpu.Svm_caps.t) : Nf_vmcb.Vmcb.t =
+  let open Nf_vmcb in
+  let v = Vmcb.create () in
+  let w f value = Vmcb.write v f value in
+  w Vmcb.efer
+    (List.fold_left Nf_stdext.Bits.set 0L
+       [ Nf_x86.Efer.svme; Nf_x86.Efer.lme; Nf_x86.Efer.lma; Nf_x86.Efer.sce ]);
+  w Vmcb.cr0 0x8005_0033L;
+  w Vmcb.cr3 0x4000L;
+  w Vmcb.cr4 (Nf_stdext.Bits.set 0L Nf_x86.Cr4.pae);
+  w Vmcb.dr6 0xFFFF_0FF0L;
+  w Vmcb.dr7 0x400L;
+  w Vmcb.rflags 0x2L;
+  w Vmcb.rip 0x10_0000L;
+  w Vmcb.rsp 0x20_0000L;
+  w Vmcb.guest_asid 1L;
+  w Vmcb.intercept_vec4 (Nf_stdext.Bits.set 0L Vmcb.Vec4.vmrun);
+  w Vmcb.intercept_vec3
+    (List.fold_left Nf_stdext.Bits.set 0L
+       [ Vmcb.Vec3.cpuid; Vmcb.Vec3.hlt; Vmcb.Vec3.msr_prot; Vmcb.Vec3.ioio_prot ]);
+  if caps.has_npt then begin
+    w Vmcb.nested_ctl (Nf_stdext.Bits.set 0L Vmcb.Nested.np_enable);
+    w Vmcb.n_cr3 0x8000L
+  end;
+  w Vmcb.iopm_base_pa 0x12000L;
+  w Vmcb.msrpm_base_pa 0x14000L;
+  w (Vmcb.seg_selector Nf_x86.Seg.CS) 0x08L;
+  w (Vmcb.seg_attrib Nf_x86.Seg.CS) 0x29BL;
+  (* type B, S, P, L *)
+  w (Vmcb.seg_limit Nf_x86.Seg.CS) 0xFFFF_FFFFL;
+  List.iter
+    (fun r ->
+      w (Vmcb.seg_selector r) 0x10L;
+      w (Vmcb.seg_attrib r) 0x93L;
+      w (Vmcb.seg_limit r) 0xFFFF_FFFFL)
+    [ Nf_x86.Seg.SS; DS; ES; FS; GS ];
+  w (Vmcb.seg_attrib Nf_x86.Seg.TR) 0x8BL;
+  w (Vmcb.seg_limit Nf_x86.Seg.TR) 0x67L;
+  w Vmcb.g_pat 0x0007_0406_0007_0406L;
+  v

@@ -1,0 +1,14 @@
+(** Golden VM states: the fully valid, default-initialized configurations
+    a well-behaved hypervisor would program.
+
+    The execution harness's initialization template starts from these,
+    and the Fig. 5 experiment uses them as the "simple
+    default-initialized values" reference point. *)
+
+(** A canonical 64-bit guest VMCS that passes every VM-entry check of
+    [Nf_cpu.Vmx_checks] under [caps]. *)
+val vmcs : Nf_cpu.Vmx_caps.t -> Nf_vmcs.Vmcs.t
+
+(** A golden VMCB: 64-bit guest under nested paging with the customary
+    intercepts, passing every VMRUN consistency check. *)
+val vmcb : Nf_cpu.Svm_caps.t -> Nf_vmcb.Vmcb.t

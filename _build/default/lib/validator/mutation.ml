@@ -1,0 +1,122 @@
+(** Boundary mutation (§4.3): after rounding a VMCS to validity, flip a
+    few bits in security-critical fields so the state lands *near* the
+    valid/invalid boundary.
+
+    The algorithm is the paper's, verbatim: (1) select a field guided by
+    fuzzing input, (2) select bit positions within the field's valid
+    width, (3) flip them, (4) repeat over 1–3 fields with 1–8 bits each.
+    Field selection is weighted toward control fields and access-rights
+    registers, the areas the paper calls security-critical. *)
+
+open Nf_vmcs
+
+(** A byte source abstracts "the next byte of fuzzing input"; the harness
+    wires the AFL++ input buffer here, tests wire an RNG. *)
+type byte_source = unit -> int
+
+let of_rng rng : byte_source = fun () -> Nf_stdext.Rng.byte rng
+
+let of_bytes ?(pos = 0) b : byte_source =
+  let cursor = ref pos in
+  fun () ->
+    if Bytes.length b = 0 then 0
+    else begin
+      let v = Char.code (Bytes.get b (!cursor mod Bytes.length b)) in
+      incr cursor;
+      v
+    end
+
+(* Selection table: security-critical fields — control fields,
+   access-rights registers, and the mode-defining registers (CR0/CR3/CR4,
+   EFER) whose interdependencies the consistency checks guard — appear
+   three times, everything else mutable once; exit-information fields are
+   read-only and never mutated. *)
+let critical_state_fields =
+  [ Field.guest_cr0; Field.guest_cr3; Field.guest_cr4; Field.guest_ia32_efer;
+    Field.host_cr0; Field.host_cr4; Field.host_ia32_efer;
+    Field.guest_rflags; Field.guest_activity_state;
+    Field.guest_interruptibility ]
+
+let selection_table =
+  let weight f =
+    match Field.group f with
+    | Field.Exit_info -> 0
+    | Field.Control -> 3
+    | Field.Guest | Field.Host ->
+        if List.mem f critical_state_fields then 3
+        else begin
+          let n = Field.name f in
+          if String.length n > 3 && String.sub n (String.length n - 3) 3 = "_AR"
+          then 3
+          else 1
+        end
+  in
+  Array.of_list
+    (List.concat_map (fun f -> List.init (weight f) (fun _ -> f)) Field.all)
+
+type flip = { field : Field.t; bit : int }
+
+(* "The selection is constrained to the field's valid bit-width" (§4.3):
+   for registers with architecturally defined bits, flips target those
+   bits — flipping bit 55 of CR4 only re-proves the reserved-bits check,
+   while flipping a *defined* bit probes a real consistency rule. *)
+let bit_domain f : int array =
+  let name = Field.name f in
+  let ends s =
+    String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  if ends "_CR0" then Array.of_list Nf_x86.Cr0.all_defined
+  else if ends "_CR4" then Array.of_list Nf_x86.Cr4.all_defined
+  else if ends "_EFER" then Array.of_list Nf_x86.Efer.all_defined
+  else if name = "GUEST_RFLAGS" then Array.init 22 Fun.id
+  else if name = "GUEST_ACTIVITY_STATE" then [| 0; 1 |]
+  else if name = "GUEST_INTERRUPTIBILITY" then Array.init 5 Fun.id
+  else if ends "_AR" then Array.init 17 Fun.id
+  else Array.init (Field.bits f) Fun.id
+
+let bit_domains = Array.of_list (List.map bit_domain Field.all)
+
+(** Apply boundary mutation to [vmcs] in place; returns the applied flips
+    so the agent can log reproducible reports. *)
+let mutate (next : byte_source) vmcs : flip list =
+  let n_fields = 1 + (next () mod 3) in
+  let flips = ref [] in
+  for _ = 1 to n_fields do
+    (* Two bytes of input select the field, through a mixing hash so that
+       a single-bit input change (AFL's deterministic stage) reaches a
+       completely different part of the selection table. *)
+    let raw = (next () lsl 8) lor next () in
+    let mixed =
+      Int64.to_int
+        (Int64.logand
+           (Nf_stdext.Rng.bits64 (Nf_stdext.Rng.of_int64 (Int64.of_int raw)))
+           0x3FFF_FFFFL)
+    in
+    let idx = mixed mod Array.length selection_table in
+    let field = selection_table.(idx) in
+    (* One to eight bits, biased toward single-bit flips: one precise
+       violation is the most effective boundary probe; multi-bit flips
+       mostly trip the first reserved-bits check. *)
+    let b = next () in
+    let n_bits = if b land 1 = 0 then 1 else 1 + (b lsr 1 mod 8) in
+    let domain = bit_domains.(field) in
+    for _ = 1 to n_bits do
+      let bit = domain.(next () mod Array.length domain) in
+      Vmcs.flip_bit vmcs field bit;
+      flips := { field; bit } :: !flips
+    done
+  done;
+  List.rev !flips
+
+let pp_flip ppf { field; bit } =
+  Format.fprintf ppf "%s[%d]" (Field.name field) bit
+
+(** The full generation pipeline of §4.3: raw bytes → VMCS → round →
+    selective invalidation.  Returns the state and the flips. *)
+let generate (validator : Validator.t) ~(raw : Bytes.t) (next : byte_source) :
+    Vmcs.t * flip list =
+  let vmcs = Vmcs.of_blob raw in
+  Validator.round validator vmcs;
+  let flips = mutate next vmcs in
+  (vmcs, flips)

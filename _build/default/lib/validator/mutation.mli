@@ -1,0 +1,33 @@
+(** Boundary mutation (§4.3): after rounding a VMCS to validity, flip a
+    few bits in security-critical fields so the state lands near the
+    valid/invalid boundary.
+
+    The algorithm is the paper's: (1) select a field guided by fuzzing
+    input (control fields, access-rights registers and the mode-defining
+    registers weighted up), (2) select bit positions within the field's
+    valid bit domain, (3) flip them, (4) repeat over 1–3 fields with 1–8
+    bits each. *)
+
+(** "The next byte of fuzzing input". *)
+type byte_source = unit -> int
+
+val of_rng : Nf_stdext.Rng.t -> byte_source
+val of_bytes : ?pos:int -> Bytes.t -> byte_source
+
+(** The architecturally meaningful bit positions of a field: defined CR
+    bits, 22 RFLAGS bits, 2 activity bits, …; the full width for plain
+    data fields. *)
+val bit_domain : Nf_vmcs.Field.t -> int array
+
+type flip = { field : Nf_vmcs.Field.t; bit : int }
+
+(** Apply boundary mutation in place; returns the flips for reproducible
+    crash reports. *)
+val mutate : byte_source -> Nf_vmcs.Vmcs.t -> flip list
+
+val pp_flip : Format.formatter -> flip -> unit
+
+(** The full generation pipeline of §4.3: raw bytes → VMCS → round →
+    selective invalidation. *)
+val generate :
+  Validator.t -> raw:Bytes.t -> byte_source -> Nf_vmcs.Vmcs.t * flip list

@@ -1,0 +1,21 @@
+(** Validator differential testing against the hardware oracle (§3.4):
+    generate boundary states in bulk, compare the model's verdict with
+    the physical CPU's, learn quirks, and surface model bugs. *)
+
+type report = {
+  samples : int;
+  agreements : int;
+  quirks_learned : string list; (** check ids relaxed at runtime *)
+  model_bugs : (string * Nf_vmcs.Vmcs.t) list;
+      (** too-lax check id + witness state *)
+}
+
+val run : ?samples:int -> caps:Nf_cpu.Vmx_caps.t -> seed:int -> unit -> report
+
+(** The regression scenario of Bochs PR #51: with the legacy (pre-patch)
+    segment checks injected, does the oracle expose each bug?  Returns
+    (description, exposed). *)
+val run_with_legacy_bochs_checks :
+  caps:Nf_cpu.Vmx_caps.t -> unit -> (string * bool) list
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,128 @@
+(** AMD-V counterpart of the VM state validator: round a raw VMCB toward
+    VMRUN validity, then selectively invalidate.  The structure mirrors
+    [Validator]; the constraint set is the (much smaller) VMRUN
+    consistency list. *)
+
+open Nf_vmcb
+
+type t = {
+  caps : Nf_cpu.Svm_caps.t;
+  mutable learned_skips : string list;
+  mutable corrections : int;
+}
+
+let create caps = { caps; learned_skips = []; corrections = 0 }
+
+let round t vmcb =
+  let caps = t.caps in
+  let rd f = Vmcb.read vmcb f and w f v = Vmcb.write vmcb f v in
+  let setb f n = w f (Nf_stdext.Bits.set (rd f) n) in
+  let bit f n = Nf_stdext.Bits.is_set (rd f) n in
+  (* EFER: SVME on, reserved bits off. *)
+  w Vmcb.efer (Int64.logand (rd Vmcb.efer) Nf_x86.Efer.defined_mask);
+  setb Vmcb.efer Nf_x86.Efer.svme;
+  (* CR0: upper half clear, CD/NW consistent. *)
+  w Vmcb.cr0 (Int64.logand (rd Vmcb.cr0) 0xFFFF_FFFFL);
+  if bit Vmcb.cr0 Nf_x86.Cr0.nw && not (bit Vmcb.cr0 Nf_x86.Cr0.cd) then
+    setb Vmcb.cr0 Nf_x86.Cr0.cd;
+  w Vmcb.cr3 (Int64.logand (rd Vmcb.cr3) (Nf_cpu.Svm_caps.physaddr_mask caps));
+  w Vmcb.cr4 (Int64.logand (rd Vmcb.cr4) Nf_x86.Cr4.defined_mask);
+  w Vmcb.dr6 (Int64.logand (rd Vmcb.dr6) 0xFFFF_FFFFL);
+  w Vmcb.dr7 (Int64.logand (rd Vmcb.dr7) 0xFFFF_FFFFL);
+  (* Long-mode consistency. *)
+  if bit Vmcb.efer Nf_x86.Efer.lme && bit Vmcb.cr0 Nf_x86.Cr0.pg then begin
+    setb Vmcb.cr4 Nf_x86.Cr4.pae;
+    setb Vmcb.cr0 Nf_x86.Cr0.pe;
+    let attrib = rd (Vmcb.seg_attrib Nf_x86.Seg.CS) in
+    if Nf_stdext.Bits.is_set attrib 9 && Nf_stdext.Bits.is_set attrib 10 then
+      w (Vmcb.seg_attrib Nf_x86.Seg.CS) (Nf_stdext.Bits.clear attrib 10)
+  end;
+  (* Note: EFER.LME with CR0.PG clear is *left alone* — hardware permits
+     it (the Xen-nested-SVM ambiguity), so the validator must not round it
+     away or the boundary state would be unreachable. *)
+  if rd Vmcb.guest_asid = 0L then w Vmcb.guest_asid 1L;
+  setb Vmcb.intercept_vec4 Vmcb.Vec4.vmrun;
+  w Vmcb.iopm_base_pa
+    (Int64.logand (rd Vmcb.iopm_base_pa) (Nf_cpu.Svm_caps.physaddr_mask caps));
+  w Vmcb.msrpm_base_pa
+    (Int64.logand (rd Vmcb.msrpm_base_pa) (Nf_cpu.Svm_caps.physaddr_mask caps));
+  if bit Vmcb.nested_ctl Vmcb.Nested.np_enable then begin
+    if not caps.has_npt then
+      w Vmcb.nested_ctl (Nf_stdext.Bits.clear (rd Vmcb.nested_ctl) Vmcb.Nested.np_enable)
+    else
+      w Vmcb.n_cr3
+        (Int64.logand
+           (Int64.logand (rd Vmcb.n_cr3) (Int64.lognot 0xFFFL))
+           (Nf_cpu.Svm_caps.physaddr_mask caps))
+  end;
+  if bit Vmcb.vintr_ctl Vmcb.Vintr.v_gif_enable && not caps.has_vgif then
+    w Vmcb.vintr_ctl (Nf_stdext.Bits.clear (rd Vmcb.vintr_ctl) Vmcb.Vintr.v_gif_enable);
+  if bit Vmcb.vintr_ctl Vmcb.Vintr.avic_enable && not caps.has_avic then
+    w Vmcb.vintr_ctl (Nf_stdext.Bits.clear (rd Vmcb.vintr_ctl) Vmcb.Vintr.avic_enable);
+  (* EVENTINJ: round reserved types to external interrupt. *)
+  let e = rd Vmcb.event_inj in
+  if Nf_stdext.Bits.is_set e 31 then begin
+    let typ = Int64.to_int (Nf_stdext.Bits.extract e ~lo:8 ~width:3) in
+    match typ with
+    | 0 | 2 | 3 | 4 -> ()
+    | _ -> w Vmcb.event_inj (Nf_stdext.Bits.insert e ~lo:8 ~width:3 0L)
+  end;
+  setb Vmcb.rflags Nf_x86.Rflags.reserved_one
+
+type model_verdict = Valid | Invalid of string * string
+
+let check t vmcb =
+  let skip id = List.mem id t.learned_skips in
+  match Nf_cpu.Svm_checks.run_all ~skip { caps = t.caps; vmcb } with
+  | Ok () -> Valid
+  | Error (c, msg) -> Invalid (c.Nf_cpu.Svm_checks.id, msg)
+
+type oracle_verdict = Agree | Model_too_strict of string | Model_too_lax of string
+
+let self_check t vmcb =
+  let model = check t vmcb in
+  let hw = Nf_cpu.Svm_cpu.vmrun ~caps:t.caps vmcb in
+  match (model, hw) with
+  | Valid, Nf_cpu.Svm_cpu.Entered -> Agree
+  | Invalid _, Nf_cpu.Svm_cpu.Vmexit_invalid _ -> Agree
+  | Invalid (id, _), Entered ->
+      if not (List.mem id t.learned_skips) then begin
+        t.learned_skips <- id :: t.learned_skips;
+        t.corrections <- t.corrections + 1
+      end;
+      Model_too_strict id
+  | Valid, Vmexit_invalid { check; _ } -> Model_too_lax check.Nf_cpu.Svm_checks.id
+
+(* Boundary mutation over VMCB fields; control-area fields weighted up. *)
+let selection_table =
+  Array.of_list
+    (List.concat_map
+       (fun f ->
+         let weight =
+           match Vmcb.field_area f with Vmcb.Control -> 3 | Vmcb.Save -> 1
+         in
+         List.init weight (fun _ -> f))
+       Vmcb.all_fields)
+
+let mutate (next : unit -> int) vmcb =
+  let n_fields = 1 + (next () mod 3) in
+  for _ = 1 to n_fields do
+    let raw = (next () lsl 8) lor next () in
+    let mixed =
+      Int64.to_int
+        (Int64.logand
+           (Nf_stdext.Rng.bits64 (Nf_stdext.Rng.of_int64 (Int64.of_int raw)))
+           0x3FFF_FFFFL)
+    in
+    let idx = mixed mod Array.length selection_table in
+    let field = selection_table.(idx) in
+    (* One to eight bits, biased toward single-bit flips: one precise
+       violation is the most effective boundary probe; multi-bit flips
+       mostly trip the first reserved-bits check. *)
+    let b = next () in
+    let n_bits = if b land 1 = 0 then 1 else 1 + (b lsr 1 mod 8) in
+    let width = Vmcb.field_bits field in
+    for _ = 1 to n_bits do
+      Vmcb.flip_bit vmcb field (next () mod width)
+    done
+  done

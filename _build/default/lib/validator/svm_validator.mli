@@ -1,0 +1,30 @@
+(** AMD-V counterpart of the VM state validator: round a raw VMCB toward
+    VMRUN validity, then selectively invalidate.
+
+    One deliberate non-correction: EFER.LME with CR0.PG clear is left
+    alone — hardware permits the state (the architectural ambiguity
+    behind the Xen nested-SVM bug), so rounding it away would make the
+    interesting boundary unreachable. *)
+
+type t = {
+  caps : Nf_cpu.Svm_caps.t;
+  mutable learned_skips : string list;
+  mutable corrections : int;
+}
+
+val create : Nf_cpu.Svm_caps.t -> t
+
+(** Round a VMCB to VMRUN validity in place (idempotent; every rounded
+    VMCB passes the hardware oracle — test-enforced). *)
+val round : t -> Nf_vmcb.Vmcb.t -> unit
+
+type model_verdict = Valid | Invalid of string * string
+
+val check : t -> Nf_vmcb.Vmcb.t -> model_verdict
+
+type oracle_verdict = Agree | Model_too_strict of string | Model_too_lax of string
+
+val self_check : t -> Nf_vmcb.Vmcb.t -> oracle_verdict
+
+(** Boundary mutation over VMCB fields (control area weighted up). *)
+val mutate : (unit -> int) -> Nf_vmcb.Vmcb.t -> unit

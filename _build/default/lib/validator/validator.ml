@@ -1,0 +1,580 @@
+(** The VM state validator (paper §3.4/§4.3).
+
+    Derived from Bochs's VM-entry validation logic: three routines —
+    [round_vm_controls], [round_host_state], [round_guest_state] — mirror
+    VMenterLoadCheckVmControls(), VMenterLoadCheckHostState() and
+    VMenterLoadCheckGuestState(), except that instead of only *checking*
+    they also *round* each offending field to the nearest valid value.
+    Rounding runs sequentially over the three groups (controls → host →
+    guest); intra-group constraints are corrected first, then inter-group
+    constraints against the previously processed groups.  Dependent fields
+    form a unidirectional graph, so each pass terminates in one sweep and
+    [round] is idempotent (a property the test suite checks).
+
+    The validator also carries the runtime self-correction loop of §3.4:
+    [self_check] compares the model's verdict against the physical CPU
+    oracle and learns the checks hardware does not actually enforce. *)
+
+open Nf_vmcs
+
+type t = {
+  caps : Nf_cpu.Vmx_caps.t;
+  mutable learned_skips : string list;
+      (* spec checks observed to be unenforced by hardware *)
+  mutable corrections : int; (* how many modeling inaccuracies were fixed *)
+}
+
+let create caps = { caps; learned_skips = []; corrections = 0 }
+
+let sign_extend_47 v =
+  if Nf_stdext.Bits.is_set v 47 then
+    Int64.logor v (Int64.shift_left (-1L) 48)
+  else Int64.logand v (Nf_stdext.Bits.mask 48)
+
+let canonicalize vmcs f =
+  Vmcs.write vmcs f (sign_extend_47 (Vmcs.read vmcs f))
+
+let page_align v = Int64.logand v (Int64.lognot 0xFFFL)
+
+let round_pat v =
+  (* Replace invalid PAT entries with write-back. *)
+  let out = ref v in
+  for i = 0 to 7 do
+    let b = Int64.to_int (Nf_stdext.Bits.extract v ~lo:(i * 8) ~width:8) in
+    match b with
+    | 0 | 1 | 4 | 5 | 6 | 7 -> ()
+    | _ -> out := Nf_stdext.Bits.insert !out ~lo:(i * 8) ~width:8 6L
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Group 1: VM-execution, entry and exit controls                      *)
+(* ------------------------------------------------------------------ *)
+
+let round_vm_controls t vmcs =
+  let caps = t.caps in
+  let open Controls in
+  let rd f = Vmcs.read vmcs f and w f v = Vmcs.write vmcs f v in
+  let setb f n = w f (Nf_stdext.Bits.set (rd f) n) in
+  let clrb f n = w f (Nf_stdext.Bits.clear (rd f) n) in
+  let bit f n = Nf_stdext.Bits.is_set (rd f) n in
+  (* Capability envelopes first. *)
+  w Field.pin_based_ctls (Nf_cpu.Vmx_caps.ctl_round caps.pin (rd Field.pin_based_ctls));
+  w Field.proc_based_ctls (Nf_cpu.Vmx_caps.ctl_round caps.proc (rd Field.proc_based_ctls));
+  w Field.exit_ctls (Nf_cpu.Vmx_caps.ctl_round caps.exit (rd Field.exit_ctls));
+  w Field.entry_ctls (Nf_cpu.Vmx_caps.ctl_round caps.entry (rd Field.entry_ctls));
+  (* Keep whatever secondary controls the raw input suggested alive by
+     activating them; then round them into the envelope. *)
+  if rd Field.proc_based_ctls2 <> 0L then
+    setb Field.proc_based_ctls Proc.activate_secondary_controls;
+  if bit Field.proc_based_ctls Proc.activate_secondary_controls then
+    w Field.proc_based_ctls2
+      (Nf_cpu.Vmx_caps.ctl_round caps.proc2 (rd Field.proc_based_ctls2))
+  else w Field.proc_based_ctls2 0L;
+  let proc2b n = bit Field.proc_based_ctls2 n in
+  (* Intra-group dependencies, in dependency order. *)
+  w Field.cr3_target_count (Int64.rem (rd Field.cr3_target_count) 5L);
+  if bit Field.proc_based_ctls Proc.use_io_bitmaps then begin
+    w Field.io_bitmap_a (Int64.logand (page_align (rd Field.io_bitmap_a)) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+    w Field.io_bitmap_b (Int64.logand (page_align (rd Field.io_bitmap_b)) (Nf_cpu.Vmx_caps.physaddr_mask caps))
+  end;
+  if bit Field.proc_based_ctls Proc.use_msr_bitmaps then
+    w Field.msr_bitmap (Int64.logand (page_align (rd Field.msr_bitmap)) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+  if bit Field.proc_based_ctls Proc.use_tpr_shadow then begin
+    w Field.virtual_apic_page_addr
+      (Int64.logand (page_align (rd Field.virtual_apic_page_addr)) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+    w Field.tpr_threshold (Int64.logand (rd Field.tpr_threshold) 0xFL)
+  end
+  else begin
+    clrb Field.proc_based_ctls2 Proc2.virtualize_x2apic;
+    clrb Field.proc_based_ctls2 Proc2.apic_register_virtualization;
+    clrb Field.proc_based_ctls2 Proc2.virtual_interrupt_delivery
+  end;
+  if proc2b Proc2.virtualize_x2apic && proc2b Proc2.virtualize_apic_accesses then
+    clrb Field.proc_based_ctls2 Proc2.virtualize_apic_accesses;
+  if bit Field.pin_based_ctls Pin.virtual_nmis = false then
+    clrb Field.proc_based_ctls Proc.nmi_window_exiting;
+  if
+    bit Field.pin_based_ctls Pin.virtual_nmis
+    && not (bit Field.pin_based_ctls Pin.nmi_exiting)
+  then setb Field.pin_based_ctls Pin.nmi_exiting;
+  if proc2b Proc2.virtual_interrupt_delivery then
+    setb Field.pin_based_ctls Pin.external_interrupt_exiting;
+  if bit Field.pin_based_ctls Pin.process_posted_interrupts then begin
+    if not (proc2b Proc2.virtual_interrupt_delivery) then
+      clrb Field.pin_based_ctls Pin.process_posted_interrupts
+    else begin
+      setb Field.exit_ctls Exit.acknowledge_interrupt;
+      w Field.posted_intr_nv (Int64.logand (rd Field.posted_intr_nv) 0xFFL);
+      w Field.posted_intr_desc_addr
+        (Int64.logand
+           (Int64.logand (rd Field.posted_intr_desc_addr) (Int64.lognot 0x3FL))
+           (Nf_cpu.Vmx_caps.physaddr_mask caps))
+    end
+  end;
+  if proc2b Proc2.enable_vpid && rd Field.vpid = 0L then w Field.vpid 1L;
+  if proc2b Proc2.unrestricted_guest && not (proc2b Proc2.enable_ept) then
+    setb Field.proc_based_ctls2 Proc2.enable_ept;
+  if proc2b Proc2.enable_ept then begin
+    let e = rd Field.ept_pointer in
+    let mt = Controls.Eptp.memtype e in
+    let memtype =
+      if mt = 6 || (mt = 0 && caps.has_ept_uc) then mt
+      else if mt land 1 = 0 && caps.has_ept_uc then 0
+      else 6
+    in
+    let ad = Controls.Eptp.access_dirty e && caps.has_ept_ad in
+    let pml4 = Int64.logand (Controls.Eptp.pml4_addr e) (Nf_cpu.Vmx_caps.physaddr_mask caps) in
+    w Field.ept_pointer (Controls.Eptp.make ~memtype ~walk_length:3 ~ad ~pml4 ())
+  end
+  else begin
+    clrb Field.proc_based_ctls2 Proc2.enable_pml;
+    clrb Field.proc_based_ctls2 Proc2.enable_vmfunc;
+    clrb Field.proc_based_ctls2 Proc2.ept_violation_ve
+  end;
+  if proc2b Proc2.enable_pml then begin
+    let a = Field.find_exn "PML_ADDRESS" in
+    w a (Int64.logand (page_align (rd a)) (Nf_cpu.Vmx_caps.physaddr_mask caps))
+  end;
+  if proc2b Proc2.virtualize_apic_accesses then
+    w Field.apic_access_addr
+      (Int64.logand (page_align (rd Field.apic_access_addr)) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+  (* MSR areas: clamp counts, align addresses. *)
+  let fix_area count_f addr_f =
+    let count = rd count_f in
+    if count <> 0L then begin
+      if Int64.to_int count > caps.max_msr_list then
+        w count_f (Int64.of_int (Int64.to_int count mod (caps.max_msr_list + 1)));
+      w addr_f
+        (Int64.logand
+           (Int64.logand (rd addr_f) (Int64.lognot 0xFL))
+           (Nf_cpu.Vmx_caps.physaddr_mask caps))
+    end
+  in
+  fix_area Field.exit_msr_store_count Field.exit_msr_store_addr;
+  fix_area Field.exit_msr_load_count Field.exit_msr_load_addr;
+  fix_area Field.entry_msr_load_count Field.entry_msr_load_addr;
+  (* Entry interruption information. *)
+  let ii = rd Field.entry_intr_info in
+  let open Nf_x86.Exn.Intr_info in
+  if valid ii then begin
+    let ii = Int64.logand ii (Int64.lognot reserved_mask) in
+    let t0 = typ ii in
+    let t0 = if t0 = 1 then type_external else t0 in
+    let v0 = vector ii in
+    let v0 =
+      if t0 = type_nmi then 2
+      else if t0 = type_hw_exception then v0 land 0x1F
+      else v0
+    in
+    let dec =
+      t0 = type_hw_exception && Nf_x86.Exn.has_error_code v0 && deliver_error_code ii
+    in
+    w Field.entry_intr_info (make ~valid:true ~deliver_ec:dec ~typ:t0 ~vector:v0 ());
+    if dec then
+      w Field.entry_exception_error_code
+        (Int64.logand (rd Field.entry_exception_error_code) 0x7FFFL);
+    if t0 = type_sw_interrupt || t0 = type_sw_exception || t0 = type_priv_sw_exception
+    then begin
+      let len = rd Field.entry_instruction_len in
+      if len < 1L || len > 15L then w Field.entry_instruction_len 1L
+    end
+  end;
+  (* SMM controls are unusable outside SMM. *)
+  clrb Field.entry_ctls Entry.entry_to_smm;
+  clrb Field.entry_ctls Entry.deactivate_dual_monitor;
+  if
+    bit Field.exit_ctls Exit.save_preemption_timer
+    && not (bit Field.pin_based_ctls Pin.preemption_timer)
+  then clrb Field.exit_ctls Exit.save_preemption_timer
+
+(* ------------------------------------------------------------------ *)
+(* Group 2: host-state area                                            *)
+(* ------------------------------------------------------------------ *)
+
+let round_host_state t vmcs =
+  let caps = t.caps in
+  let open Controls in
+  let rd f = Vmcs.read vmcs f and w f v = Vmcs.write vmcs f v in
+  w Field.host_cr0 (Nf_cpu.Vmx_caps.cr0_round caps (rd Field.host_cr0));
+  w Field.host_cr4 (Nf_cpu.Vmx_caps.cr4_round caps (rd Field.host_cr4));
+  w Field.host_cr3 (Int64.logand (rd Field.host_cr3) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+  (* Inter-group: a 64-bit host requires host-address-space-size, which
+     lives in the (already processed) exit controls. *)
+  w Field.exit_ctls (Nf_stdext.Bits.set (rd Field.exit_ctls) Exit.host_address_space_size);
+  w Field.host_cr4 (Nf_stdext.Bits.set (rd Field.host_cr4) Nf_x86.Cr4.pae);
+  List.iter (canonicalize vmcs)
+    [
+      Field.host_rip; Field.host_fs_base; Field.host_gs_base; Field.host_tr_base;
+      Field.host_gdtr_base; Field.host_idtr_base; Field.host_sysenter_esp;
+      Field.host_sysenter_eip;
+    ];
+  List.iter
+    (fun r ->
+      let f = Field.host_selector r in
+      w f (Int64.logand (rd f) (Int64.lognot 7L)))
+    [ Nf_x86.Seg.ES; CS; SS; DS; FS; GS; TR ];
+  if rd Field.host_cs_selector = 0L then w Field.host_cs_selector 0x08L;
+  if rd Field.host_tr_selector = 0L then w Field.host_tr_selector 0x40L;
+  if Nf_stdext.Bits.is_set (rd Field.exit_ctls) Exit.load_ia32_efer then begin
+    let e = Int64.logand (rd Field.host_ia32_efer) Nf_x86.Efer.defined_mask in
+    let e = Nf_stdext.Bits.set (Nf_stdext.Bits.set e Nf_x86.Efer.lma) Nf_x86.Efer.lme in
+    w Field.host_ia32_efer e
+  end;
+  if Nf_stdext.Bits.is_set (rd Field.exit_ctls) Exit.load_ia32_pat then
+    w Field.host_ia32_pat (round_pat (rd Field.host_ia32_pat));
+  if Nf_stdext.Bits.is_set (rd Field.exit_ctls) Exit.load_perf_global_ctrl then begin
+    let f = Field.find_exn "HOST_IA32_PERF_GLOBAL_CTRL" in
+    w f (Int64.logand (rd f) 0x7_0000_000FL)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Group 3: guest-state area                                           *)
+(* ------------------------------------------------------------------ *)
+
+let round_guest_segment t vmcs r =
+  ignore t;
+  let open Nf_x86.Seg in
+  let rd f = Vmcs.read vmcs f and w f v = Vmcs.write vmcs f v in
+  let ar_f = Field.guest_ar r in
+  let ia32e =
+    Nf_stdext.Bits.is_set (rd Field.entry_ctls) Controls.Entry.ia32e_mode_guest
+  in
+  let ar = rd ar_f in
+  let usable = not (Ar.is_unusable ar) in
+  match r with
+  | CS ->
+      (* CS is always usable: clear the unusable bit, force an accessed
+         code type, presence, and AR reserved bits. *)
+      let t0 = Ar.get_type ar lor 0x9 in
+      let ar = Nf_stdext.Bits.insert ar ~lo:0 ~width:4 (Int64.of_int t0) in
+      let ar = Nf_stdext.Bits.set ar Ar.s in
+      let ar = Nf_stdext.Bits.set ar Ar.p in
+      let ar = Nf_stdext.Bits.clear ar Ar.unusable in
+      let ar = Int64.logand ar (Int64.lognot Ar.reserved_mask) in
+      let ar =
+        if ia32e && Ar.is_long ar && Ar.is_db ar then Nf_stdext.Bits.clear ar 14
+        else ar
+      in
+      w ar_f ar;
+      (* Non-conforming CS: DPL must equal RPL. *)
+      if Ar.get_type ar land 0xC <> 0xC then begin
+        let sel = rd (Field.guest_selector r) in
+        w ar_f
+          (Nf_stdext.Bits.insert (rd ar_f) ~lo:5 ~width:2 (Int64.logand sel 3L))
+      end;
+      if Ar.is_granular (rd ar_f) then
+        w (Field.guest_limit r) (Int64.logor (rd (Field.guest_limit r)) 0xFFFL)
+      else
+        w (Field.guest_limit r)
+          (Int64.logand (rd (Field.guest_limit r)) (Int64.lognot 0xFFF0_0000L))
+  | SS ->
+      if usable then begin
+        let t0 = if Ar.get_type ar land 0x4 <> 0 then 7 else 3 in
+        let ar = Nf_stdext.Bits.insert ar ~lo:0 ~width:4 (Int64.of_int t0) in
+        let ar = Nf_stdext.Bits.set ar Ar.s in
+        let ar = Nf_stdext.Bits.set ar Ar.p in
+        let ar = Int64.logand ar (Int64.lognot Ar.reserved_mask) in
+        w ar_f ar;
+        (* SS.RPL must match CS.RPL. *)
+        let cs_rpl = Int64.logand (rd (Field.guest_selector CS)) 3L in
+        let sel = rd (Field.guest_selector r) in
+        w (Field.guest_selector r)
+          (Int64.logor (Int64.logand sel (Int64.lognot 3L)) cs_rpl);
+        if Ar.is_granular ar then
+          w (Field.guest_limit r) (Int64.logor (rd (Field.guest_limit r)) 0xFFFL)
+        else
+          w (Field.guest_limit r)
+            (Int64.logand (rd (Field.guest_limit r)) (Int64.lognot 0xFFF0_0000L))
+      end
+  | DS | ES | FS | GS ->
+      if usable then begin
+        let t0 = Ar.get_type ar lor 0x1 in
+        let t0 = if t0 land 0x8 <> 0 then t0 lor 0x2 else t0 in
+        let ar = Nf_stdext.Bits.insert ar ~lo:0 ~width:4 (Int64.of_int t0) in
+        let ar = Nf_stdext.Bits.set ar Ar.s in
+        let ar = Nf_stdext.Bits.set ar Ar.p in
+        let ar = Int64.logand ar (Int64.lognot Ar.reserved_mask) in
+        w ar_f ar;
+        (match r with
+        | FS | GS -> canonicalize vmcs (Field.guest_base r)
+        | _ -> ());
+        if Ar.is_granular ar then
+          w (Field.guest_limit r) (Int64.logor (rd (Field.guest_limit r)) 0xFFFL)
+        else
+          w (Field.guest_limit r)
+            (Int64.logand (rd (Field.guest_limit r)) (Int64.lognot 0xFFF0_0000L))
+      end
+  | TR ->
+      let ar = Nf_stdext.Bits.clear ar Ar.unusable in
+      let ar = Nf_stdext.Bits.insert ar ~lo:0 ~width:4 11L in
+      let ar = Nf_stdext.Bits.clear ar Ar.s in
+      let ar = Nf_stdext.Bits.set ar Ar.p in
+      let ar = Int64.logand ar (Int64.lognot Ar.reserved_mask) in
+      w ar_f ar;
+      w (Field.guest_selector r)
+        (Int64.logand (rd (Field.guest_selector r)) (Int64.lognot 4L));
+      canonicalize vmcs (Field.guest_base r);
+      if Ar.is_granular ar then
+        w (Field.guest_limit r) (Int64.logor (rd (Field.guest_limit r)) 0xFFFL)
+      else
+        w (Field.guest_limit r)
+          (Int64.logand (rd (Field.guest_limit r)) (Int64.lognot 0xFFF0_0000L))
+  | LDTR ->
+      if usable then begin
+        let ar = Nf_stdext.Bits.insert ar ~lo:0 ~width:4 2L in
+        let ar = Nf_stdext.Bits.clear ar Ar.s in
+        let ar = Nf_stdext.Bits.set ar Ar.p in
+        let ar = Int64.logand ar (Int64.lognot Ar.reserved_mask) in
+        w ar_f ar;
+        w (Field.guest_selector r)
+          (Int64.logand (rd (Field.guest_selector r)) (Int64.lognot 4L));
+        canonicalize vmcs (Field.guest_base r);
+        if Ar.is_granular ar then
+          w (Field.guest_limit r) (Int64.logor (rd (Field.guest_limit r)) 0xFFFL)
+        else
+          w (Field.guest_limit r)
+            (Int64.logand (rd (Field.guest_limit r)) (Int64.lognot 0xFFF0_0000L))
+      end
+
+let round_guest_state t vmcs =
+  let caps = t.caps in
+  let open Controls in
+  let rd f = Vmcs.read vmcs f and w f v = Vmcs.write vmcs f v in
+  let bit f n = Nf_stdext.Bits.is_set (rd f) n in
+  let setb f n = w f (Nf_stdext.Bits.set (rd f) n) in
+  let clrb f n = w f (Nf_stdext.Bits.clear (rd f) n) in
+  let unrestricted =
+    bit Field.proc_based_ctls Proc.activate_secondary_controls
+    && bit Field.proc_based_ctls2 Proc2.unrestricted_guest
+  in
+  let ia32e = bit Field.entry_ctls Entry.ia32e_mode_guest in
+  (* Control registers. *)
+  w Field.guest_cr0 (Nf_cpu.Vmx_caps.cr0_round ~unrestricted caps (rd Field.guest_cr0));
+  if bit Field.guest_cr0 Nf_x86.Cr0.pg then setb Field.guest_cr0 Nf_x86.Cr0.pe;
+  w Field.guest_cr4 (Nf_cpu.Vmx_caps.cr4_round caps (rd Field.guest_cr4));
+  if ia32e then begin
+    (* Spec rule (the one hardware silently forgives for PAE): IA-32e
+       guests need paging and PAE. *)
+    setb Field.guest_cr0 Nf_x86.Cr0.pg;
+    setb Field.guest_cr0 Nf_x86.Cr0.pe;
+    setb Field.guest_cr4 Nf_x86.Cr4.pae
+  end
+  else clrb Field.guest_cr4 Nf_x86.Cr4.pcide;
+  w Field.guest_cr3 (Int64.logand (rd Field.guest_cr3) (Nf_cpu.Vmx_caps.physaddr_mask caps));
+  (* Debug state. *)
+  if bit Field.entry_ctls Entry.load_debug_controls then begin
+    w Field.guest_ia32_debugctl (Int64.logand (rd Field.guest_ia32_debugctl) 0x7FC3L);
+    w Field.guest_dr7 (Int64.logand (rd Field.guest_dr7) 0xFFFF_FFFFL)
+  end;
+  canonicalize vmcs Field.guest_sysenter_esp;
+  canonicalize vmcs Field.guest_sysenter_eip;
+  if bit Field.entry_ctls Entry.load_ia32_pat then
+    w Field.guest_ia32_pat (round_pat (rd Field.guest_ia32_pat));
+  if bit Field.entry_ctls Entry.load_ia32_efer then begin
+    let e = Int64.logand (rd Field.guest_ia32_efer) Nf_x86.Efer.defined_mask in
+    let e = Nf_stdext.Bits.assign e Nf_x86.Efer.lma ia32e in
+    let e =
+      if bit Field.guest_cr0 Nf_x86.Cr0.pg then
+        Nf_stdext.Bits.assign e Nf_x86.Efer.lme ia32e
+      else e
+    in
+    w Field.guest_ia32_efer e
+  end;
+  if bit Field.entry_ctls Entry.load_bndcfgs then begin
+    let f = Field.find_exn "GUEST_IA32_BNDCFGS" in
+    w f (sign_extend_47 (Int64.logand (rd f) (Int64.lognot 0xFFCL)))
+  end;
+  (* RFLAGS. *)
+  let rf = rd Field.guest_rflags in
+  let rf = Nf_stdext.Bits.set rf Nf_x86.Rflags.reserved_one in
+  let rf = Int64.logand rf (Int64.lognot Nf_x86.Rflags.reserved_zero_mask) in
+  let rf =
+    if ia32e || not (bit Field.guest_cr0 Nf_x86.Cr0.pe) then
+      Nf_stdext.Bits.clear rf Nf_x86.Rflags.vm
+    else rf
+  in
+  let ii = rd Field.entry_intr_info in
+  let rf =
+    if
+      Nf_x86.Exn.Intr_info.valid ii
+      && Nf_x86.Exn.Intr_info.typ ii = Nf_x86.Exn.Intr_info.type_external
+    then Nf_stdext.Bits.set rf Nf_x86.Rflags.if_
+    else rf
+  in
+  w Field.guest_rflags rf;
+  (* Segments (before RIP/activity, which depend on them). *)
+  if bit Field.guest_rflags Nf_x86.Rflags.vm then
+    (* v8086: the shadow encoding replaces the protected-mode rules for
+       the six user segments. *)
+    List.iter
+      (fun r ->
+        let sel = rd (Field.guest_selector r) in
+        w (Field.guest_base r) (Int64.shift_left sel 4);
+        w (Field.guest_limit r) 0xFFFFL;
+        w (Field.guest_ar r) 0xF3L)
+      [ Nf_x86.Seg.CS; SS; DS; ES; FS; GS ]
+  else
+    List.iter (round_guest_segment t vmcs) [ Nf_x86.Seg.CS; SS; DS; ES; FS; GS ];
+  List.iter (round_guest_segment t vmcs) [ Nf_x86.Seg.TR; LDTR ];
+  (* Descriptor tables. *)
+  canonicalize vmcs Field.guest_gdtr_base;
+  canonicalize vmcs Field.guest_idtr_base;
+  w Field.guest_gdtr_limit (Int64.logand (rd Field.guest_gdtr_limit) 0xFFFFL);
+  w Field.guest_idtr_limit (Int64.logand (rd Field.guest_idtr_limit) 0xFFFFL);
+  (* RIP. *)
+  let cs_long = Nf_x86.Seg.Ar.is_long (rd (Field.guest_ar Nf_x86.Seg.CS)) in
+  if ia32e && cs_long then canonicalize vmcs Field.guest_rip
+  else w Field.guest_rip (Int64.logand (rd Field.guest_rip) 0xFFFF_FFFFL);
+  (* Activity and interruptibility. *)
+  let act = Int64.rem (rd Field.guest_activity_state) 4L in
+  let act =
+    if
+      (act = Field.Activity.hlt && not caps.activity_hlt)
+      || (act = Field.Activity.shutdown && not caps.activity_shutdown)
+      || (act = Field.Activity.wait_for_sipi && not caps.activity_wait_sipi)
+    then Field.Activity.active
+    else act
+  in
+  let act =
+    if
+      act = Field.Activity.hlt
+      && Nf_x86.Seg.Ar.get_dpl (rd (Field.guest_ar Nf_x86.Seg.SS)) <> 0
+    then Field.Activity.active
+    else act
+  in
+  let act =
+    if act = Field.Activity.wait_for_sipi && Nf_x86.Exn.Intr_info.valid ii then
+      Field.Activity.active
+    else act
+  in
+  w Field.guest_activity_state act;
+  let intr = Int64.logand (rd Field.guest_interruptibility) 0x1FL in
+  let intr =
+    if Nf_stdext.Bits.is_set intr 0 && Nf_stdext.Bits.is_set intr 1 then
+      Nf_stdext.Bits.clear intr 1
+    else intr
+  in
+  let intr =
+    if Nf_stdext.Bits.is_set intr 0 && not (bit Field.guest_rflags Nf_x86.Rflags.if_)
+    then Nf_stdext.Bits.clear intr 0
+    else intr
+  in
+  let intr =
+    if
+      Nf_x86.Exn.Intr_info.valid ii
+      && Nf_x86.Exn.Intr_info.typ ii = Nf_x86.Exn.Intr_info.type_nmi
+    then Nf_stdext.Bits.clear intr 1
+    else intr
+  in
+  w Field.guest_interruptibility intr;
+  (* Pending debug exceptions. *)
+  let pd = Int64.logand (rd Field.guest_pending_dbg) 0x1_F00FL in
+  let blocked =
+    Nf_stdext.Bits.is_set intr 0 || Nf_stdext.Bits.is_set intr 1
+    || rd Field.guest_activity_state = Field.Activity.hlt
+  in
+  let pd =
+    if blocked then begin
+      let tf = bit Field.guest_rflags Nf_x86.Rflags.tf in
+      let btf = Nf_stdext.Bits.is_set (rd Field.guest_ia32_debugctl) 1 in
+      if tf && not btf then Nf_stdext.Bits.set pd 14 else Nf_stdext.Bits.clear pd 14
+    end
+    else pd
+  in
+  w Field.guest_pending_dbg pd;
+  (* VMCS link pointer. *)
+  let shadowing =
+    bit Field.proc_based_ctls Proc.activate_secondary_controls
+    && bit Field.proc_based_ctls2 Proc2.vmcs_shadowing
+  in
+  if shadowing then begin
+    if rd Field.vmcs_link_pointer <> -1L then
+      w Field.vmcs_link_pointer
+        (Int64.logand (page_align (rd Field.vmcs_link_pointer))
+           (Nf_cpu.Vmx_caps.physaddr_mask caps))
+  end
+  else w Field.vmcs_link_pointer (-1L);
+  (* PDPTEs under PAE paging with EPT. *)
+  let pae_paging =
+    bit Field.guest_cr0 Nf_x86.Cr0.pg
+    && bit Field.guest_cr4 Nf_x86.Cr4.pae
+    && not ia32e
+  in
+  if
+    pae_paging
+    && bit Field.proc_based_ctls Proc.activate_secondary_controls
+    && bit Field.proc_based_ctls2 Proc2.enable_ept
+  then
+    List.iter
+      (fun i ->
+        let f = Field.find_exn (Printf.sprintf "GUEST_PDPTE%d" i) in
+        let v = rd f in
+        if Nf_stdext.Bits.is_set v 0 then
+          w f (Int64.logand v (Int64.logor (Nf_cpu.Vmx_caps.physaddr_mask caps) 1L)))
+      [ 0; 1; 2; 3 ]
+
+(** Full rounding pass, in the paper's sequential group order. *)
+let round t vmcs =
+  round_vm_controls t vmcs;
+  round_host_state t vmcs;
+  round_guest_state t vmcs
+
+(* ------------------------------------------------------------------ *)
+(* Checking (the Bochs VMenterLoadCheck* routines, check-only form)    *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx t vmcs =
+  { Nf_cpu.Vmx_checks.caps = t.caps; vmcs; entry_msr_load = [||] }
+
+let skip t id = List.mem id t.learned_skips
+
+let vmenter_load_check_vm_controls t vmcs =
+  Nf_cpu.Vmx_checks.run_group ~skip:(skip t) Nf_cpu.Vmx_checks.Ctl (make_ctx t vmcs)
+
+let vmenter_load_check_host_state t vmcs =
+  Nf_cpu.Vmx_checks.run_group ~skip:(skip t) Nf_cpu.Vmx_checks.Host (make_ctx t vmcs)
+
+let vmenter_load_check_guest_state t vmcs =
+  Nf_cpu.Vmx_checks.run_group ~skip:(skip t) Nf_cpu.Vmx_checks.Guest (make_ctx t vmcs)
+
+type model_verdict = Valid | Invalid of string * string (* check id, msg *)
+
+let check t vmcs =
+  match Nf_cpu.Vmx_checks.run_all ~skip:(skip t) (make_ctx t vmcs) with
+  | Ok () -> Valid
+  | Error (c, msg) -> Invalid (c.Nf_cpu.Vmx_checks.id, msg)
+
+(* ------------------------------------------------------------------ *)
+(* Hardware-oracle self-correction (§3.4)                              *)
+(* ------------------------------------------------------------------ *)
+
+type oracle_verdict =
+  | Agree
+  | Model_too_strict of string
+      (** the model rejected a state hardware accepts; the offending check
+          is learned as a skip and no longer enforced *)
+  | Model_too_lax of string
+      (** the model accepted a state hardware rejects — a validator bug,
+          the class the paper fixed twice in Bochs *)
+
+(** Set the VMCS "on the actual CPU, attempt a VM entry, and compare": run
+    both the model and the hardware oracle and reconcile. *)
+let self_check t vmcs =
+  let model = check t vmcs in
+  let hw = Nf_cpu.Vmx_cpu.enter ~caps:t.caps vmcs in
+  match (model, hw) with
+  | Valid, Nf_cpu.Vmx_cpu.Entered _ -> Agree
+  | Invalid _, (Vmfail_control _ | Vmfail_host _ | Entry_fail_guest _) -> Agree
+  | Invalid (id, _), Entered _ ->
+      if not (List.mem id t.learned_skips) then begin
+        t.learned_skips <- id :: t.learned_skips;
+        t.corrections <- t.corrections + 1
+      end;
+      Model_too_strict id
+  | Valid, Vmfail_control { check; _ }
+  | Valid, Vmfail_host { check; _ }
+  | Valid, Entry_fail_guest { check; _ } ->
+      Model_too_lax check.Nf_cpu.Vmx_checks.id
+  | Valid, Entry_fail_msr_load _ -> Agree (* MSR areas are outside the model *)
+  | Invalid _, Entry_fail_msr_load _ -> Agree

@@ -1,0 +1,65 @@
+(** The VM state validator (paper §3.4/§4.3).
+
+    Derived from Bochs's VM-entry validation logic: three routines mirror
+    VMenterLoadCheckVmControls(), VMenterLoadCheckHostState() and
+    VMenterLoadCheckGuestState(), except that instead of only checking
+    they also {e round} offending fields to the nearest valid value.
+    Rounding runs sequentially over the three groups (controls → host →
+    guest); intra-group constraints are corrected first, then inter-group
+    constraints against the previously processed groups.  The pass is
+    idempotent and every rounded state passes the physical-CPU oracle —
+    both properties are enforced by the test suite.
+
+    The validator also carries the runtime self-correction loop of §3.4:
+    {!self_check} compares the model against the hardware oracle and
+    learns the checks silicon does not actually enforce. *)
+
+type t = {
+  caps : Nf_cpu.Vmx_caps.t;
+  mutable learned_skips : string list;
+      (** spec checks observed to be unenforced by hardware *)
+  mutable corrections : int;
+      (** how many modeling inaccuracies were fixed at runtime *)
+}
+
+val create : Nf_cpu.Vmx_caps.t -> t
+
+(** Sign-extend bit 47 (canonicalize a 48-bit virtual address). *)
+val sign_extend_47 : int64 -> int64
+
+(** Round the three field groups individually (Bochs routine order). *)
+val round_vm_controls : t -> Nf_vmcs.Vmcs.t -> unit
+
+val round_host_state : t -> Nf_vmcs.Vmcs.t -> unit
+val round_guest_state : t -> Nf_vmcs.Vmcs.t -> unit
+
+(** Full rounding pass, in the paper's sequential group order. *)
+val round : t -> Nf_vmcs.Vmcs.t -> unit
+
+(** Check-only forms of the three Bochs routines (honouring learned
+    skips). *)
+val vmenter_load_check_vm_controls :
+  t -> Nf_vmcs.Vmcs.t -> (unit, Nf_cpu.Vmx_checks.check * string) result
+
+val vmenter_load_check_host_state :
+  t -> Nf_vmcs.Vmcs.t -> (unit, Nf_cpu.Vmx_checks.check * string) result
+
+val vmenter_load_check_guest_state :
+  t -> Nf_vmcs.Vmcs.t -> (unit, Nf_cpu.Vmx_checks.check * string) result
+
+type model_verdict = Valid | Invalid of string * string (* check id, msg *)
+
+val check : t -> Nf_vmcs.Vmcs.t -> model_verdict
+
+type oracle_verdict =
+  | Agree
+  | Model_too_strict of string
+      (** the model rejected a state hardware accepts; the offending
+          check is learned as a skip and no longer enforced *)
+  | Model_too_lax of string
+      (** the model accepted a state hardware rejects — a validator bug,
+          the class the paper fixed twice in Bochs *)
+
+(** "Set the generated VMCS on the actual CPU, attempt a VM entry, and
+    compare": run both the model and the hardware oracle and reconcile. *)
+val self_check : t -> Nf_vmcs.Vmcs.t -> oracle_verdict

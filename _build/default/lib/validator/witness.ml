@@ -1,0 +1,495 @@
+(** Violation witnesses: for (nearly) every consistency check, a VM state
+    that fails exactly that check, built from the golden state.
+
+    Three consumers: the property-test suite (each witness must fail its
+    own check and nothing earlier), the KVM-unit-tests baseline model
+    (the real suite contains hand-written tests of exactly this shape),
+    and documentation of what each check guards. *)
+
+open Nf_vmcs
+
+let bits = List.fold_left Nf_stdext.Bits.set 0L
+
+type t = {
+  check_id : string;
+  build : Nf_cpu.Vmx_caps.t -> Vmcs.t;
+}
+
+let w vmcs f v = Vmcs.write vmcs f v
+
+let modify caps f =
+  let vmcs = Golden.vmcs caps in
+  f vmcs;
+  vmcs
+
+let set_bit vmcs field n = Vmcs.set_bit vmcs field n true
+let clear_bit vmcs field n = Vmcs.set_bit vmcs field n false
+
+(* A golden variant running an unrestricted (EPT-backed) guest, used by
+   witnesses that need the CR0 PE/PG relaxation. *)
+let golden_unrestricted caps =
+  let vmcs = Golden.vmcs caps in
+  set_bit vmcs Field.proc_based_ctls2 Controls.Proc2.unrestricted_guest;
+  vmcs
+
+(* A golden variant running a legacy (non-IA-32e) PAE guest. *)
+let golden_legacy caps =
+  let vmcs = Golden.vmcs caps in
+  clear_bit vmcs Field.entry_ctls Controls.Entry.ia32e_mode_guest;
+  w vmcs Field.guest_ia32_efer 0L;
+  List.iter
+    (fun r ->
+      let ar = Vmcs.read vmcs (Field.guest_ar r) in
+      w vmcs (Field.guest_ar r) (Nf_stdext.Bits.clear ar Nf_x86.Seg.Ar.l))
+    [ Nf_x86.Seg.CS ];
+  w vmcs Field.guest_rip 0x10_0000L;
+  vmcs
+
+let vmx : t list =
+  [
+    { check_id = "ctl.pin_reserved";
+      build = (fun caps -> modify caps (fun v -> set_bit v Field.pin_based_ctls 13)) };
+    { check_id = "ctl.proc_reserved";
+      build = (fun caps -> modify caps (fun v -> set_bit v Field.proc_based_ctls 0)) };
+    { check_id = "ctl.proc2_reserved";
+      build = (fun caps -> modify caps (fun v -> set_bit v Field.proc_based_ctls2 29)) };
+    { check_id = "ctl.exit_reserved";
+      build = (fun caps -> modify caps (fun v -> set_bit v Field.exit_ctls 30)) };
+    { check_id = "ctl.entry_reserved";
+      build = (fun caps -> modify caps (fun v -> set_bit v Field.entry_ctls 30)) };
+    { check_id = "ctl.cr3_target_count";
+      build = (fun caps -> modify caps (fun v -> w v Field.cr3_target_count 5L)) };
+    { check_id = "ctl.io_bitmaps";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls Controls.Proc.use_io_bitmaps;
+              w v Field.io_bitmap_a 0x1001L)) };
+    { check_id = "ctl.msr_bitmap";
+      build = (fun caps -> modify caps (fun v -> w v Field.msr_bitmap 0x123L)) };
+    { check_id = "ctl.tpr_shadow";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.virtualize_x2apic)) };
+    { check_id = "ctl.x2apic_conflict";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls Controls.Proc.use_tpr_shadow;
+              w v Field.virtual_apic_page_addr 0x15000L;
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.virtualize_x2apic;
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.virtualize_apic_accesses;
+              w v Field.apic_access_addr 0x16000L)) };
+    { check_id = "ctl.nmi";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.pin_based_ctls Controls.Pin.virtual_nmis)) };
+    { check_id = "ctl.nmi_window";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls Controls.Proc.nmi_window_exiting)) };
+    { check_id = "ctl.posted_intr";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.pin_based_ctls Controls.Pin.process_posted_interrupts)) };
+    { check_id = "ctl.vid_requires_ext_intr";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls Controls.Proc.use_tpr_shadow;
+              w v Field.virtual_apic_page_addr 0x15000L;
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.virtual_interrupt_delivery)) };
+    { check_id = "ctl.vpid_nonzero";
+      build = (fun caps -> modify caps (fun v -> w v Field.vpid 0L)) };
+    { check_id = "ctl.eptp_valid";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.ept_pointer
+                (Controls.Eptp.make ~memtype:3 ~pml4:0x10_0000L ()))) };
+    { check_id = "ctl.unrestricted_requires_ept";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.unrestricted_guest;
+              clear_bit v Field.proc_based_ctls2 Controls.Proc2.enable_ept)) };
+    { check_id = "ctl.pml";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.enable_pml;
+              w v (Field.find_exn "PML_ADDRESS") 0x10L)) };
+    { check_id = "ctl.vmfunc_requires_ept";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.enable_vmfunc;
+              clear_bit v Field.proc_based_ctls2 Controls.Proc2.enable_ept)) };
+    { check_id = "ctl.apic_access_align";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.proc_based_ctls2 Controls.Proc2.virtualize_apic_accesses;
+              w v Field.apic_access_addr 0x777L)) };
+    { check_id = "ctl.exit_msr_areas";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.exit_msr_store_count 1L;
+              w v Field.exit_msr_store_addr 0x7L)) };
+    { check_id = "ctl.entry_msr_area";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.entry_msr_load_count 1L;
+              w v Field.entry_msr_load_addr 0x9L)) };
+    { check_id = "ctl.entry_intr_info";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.entry_intr_info
+                (Nf_x86.Exn.Intr_info.make ~typ:1 ~vector:32 ()))) };
+    { check_id = "ctl.smm";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.entry_ctls Controls.Entry.entry_to_smm)) };
+    { check_id = "ctl.preemption_timer_save";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.exit_ctls Controls.Exit.save_preemption_timer)) };
+    { check_id = "host.cr0_fixed";
+      build =
+        (fun caps ->
+          modify caps (fun v -> clear_bit v Field.host_cr0 Nf_x86.Cr0.pe)) };
+    { check_id = "host.cr4_fixed";
+      build =
+        (fun caps ->
+          modify caps (fun v -> clear_bit v Field.host_cr4 Nf_x86.Cr4.vmxe)) };
+    { check_id = "host.cr3_width";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.host_cr3 (Int64.shift_left 1L 50))) };
+    { check_id = "host.addr_space";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              clear_bit v Field.exit_ctls Controls.Exit.host_address_space_size;
+              (* keep host EFER consistent so only addr_space trips *)
+              clear_bit v Field.exit_ctls Controls.Exit.load_ia32_efer)) };
+    { check_id = "host.canonical";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.host_fs_base 0x8000_0000_0000_0000L)) };
+    { check_id = "host.selectors";
+      build =
+        (fun caps -> modify caps (fun v -> w v Field.host_cs_selector 0x13L)) };
+    { check_id = "host.efer";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.host_ia32_efer (bits [ Nf_x86.Efer.lme ]))) };
+    { check_id = "host.pat";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.exit_ctls Controls.Exit.load_ia32_pat;
+              w v Field.host_ia32_pat 0x02L)) };
+    { check_id = "host.perf_global";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.exit_ctls Controls.Exit.load_perf_global_ctrl;
+              w v (Field.find_exn "HOST_IA32_PERF_GLOBAL_CTRL")
+                (Int64.shift_left 1L 20))) };
+    { check_id = "guest.cr0_fixed";
+      build =
+        (fun caps ->
+          modify caps (fun v -> clear_bit v Field.guest_cr0 Nf_x86.Cr0.ne)) };
+    { check_id = "guest.cr0_pg_pe";
+      build =
+        (fun caps ->
+          let v = golden_unrestricted caps in
+          clear_bit v Field.guest_cr0 Nf_x86.Cr0.pe;
+          (* keep PG set: PG without PE *)
+          v) };
+    { check_id = "guest.cr4_fixed";
+      build =
+        (fun caps ->
+          modify caps (fun v -> clear_bit v Field.guest_cr4 Nf_x86.Cr4.vmxe)) };
+    { check_id = "guest.ia32e_pg";
+      build =
+        (fun caps ->
+          let v = golden_unrestricted caps in
+          clear_bit v Field.guest_cr0 Nf_x86.Cr0.pg;
+          (* EFER.LME stays set with PG clear: legal under SVM, checked on
+             VMX via LMA below — avoid tripping guest.efer first *)
+          clear_bit v Field.entry_ctls Controls.Entry.load_ia32_efer;
+          v) };
+    { check_id = "guest.ia32e_pae";
+      (* The CVE-2023-30456 witness. *)
+      build =
+        (fun caps ->
+          modify caps (fun v -> clear_bit v Field.guest_cr4 Nf_x86.Cr4.pae)) };
+    { check_id = "guest.legacy_pcide";
+      build =
+        (fun caps ->
+          let v = golden_legacy caps in
+          set_bit v Field.guest_cr4 Nf_x86.Cr4.pcide;
+          v) };
+    { check_id = "guest.cr3_width";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.guest_cr3 (Int64.shift_left 1L 50))) };
+    { check_id = "guest.debugctl";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.entry_ctls Controls.Entry.load_debug_controls;
+              w v Field.guest_ia32_debugctl 0xFFFFL)) };
+    { check_id = "guest.dr7_high";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.entry_ctls Controls.Entry.load_debug_controls;
+              w v Field.guest_dr7 (Int64.shift_left 1L 35))) };
+    { check_id = "guest.sysenter_canonical";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_sysenter_esp 0x8000_0000_0000_0000L)) };
+    { check_id = "guest.pat";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.entry_ctls Controls.Entry.load_ia32_pat;
+              w v Field.guest_ia32_pat 0x03L)) };
+    { check_id = "guest.efer";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_ia32_efer (bits [ Nf_x86.Efer.lme; Nf_x86.Efer.sce ]))) };
+    { check_id = "guest.bndcfgs";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              set_bit v Field.entry_ctls Controls.Entry.load_bndcfgs;
+              w v (Field.find_exn "GUEST_IA32_BNDCFGS") 0x4L)) };
+    { check_id = "guest.rflags";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.guest_rflags 0L)) };
+    { check_id = "guest.rflags_vm";
+      build =
+        (fun caps ->
+          modify caps (fun v -> set_bit v Field.guest_rflags Nf_x86.Rflags.vm)) };
+    { check_id = "guest.rflags_if_injection";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.entry_intr_info
+                (Nf_x86.Exn.Intr_info.make
+                   ~typ:Nf_x86.Exn.Intr_info.type_external ~vector:0x20 ())
+              (* golden RFLAGS.IF is clear *))) };
+    { check_id = "guest.activity";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.guest_activity_state 5L)) };
+    { check_id = "guest.activity_hlt_dpl";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_activity_state Field.Activity.hlt;
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.SS) in
+              w v (Field.guest_ar Nf_x86.Seg.SS)
+                (Nf_stdext.Bits.insert ar ~lo:5 ~width:2 3L))) };
+    { check_id = "guest.activity_sipi_injection";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_activity_state Field.Activity.wait_for_sipi;
+              w v Field.entry_intr_info
+                (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_nmi
+                   ~vector:2 ()))) };
+    { check_id = "guest.interruptibility";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.guest_interruptibility 3L)) };
+    { check_id = "guest.pending_dbg";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_pending_dbg (Int64.shift_left 1L 5))) };
+    { check_id = "guest.vmcs_link";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.vmcs_link_pointer 0x1000L)) };
+    { check_id = "guest.pdpte";
+      build =
+        (fun caps ->
+          let v = golden_legacy caps in
+          clear_bit v Field.entry_ctls Controls.Entry.load_ia32_efer;
+          w v (Field.find_exn "GUEST_PDPTE0")
+            (Int64.logor 1L (Int64.shift_left 1L 50));
+          v) };
+    { check_id = "guest.gdtr_idtr";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v Field.guest_gdtr_base 0x8000_0000_0000_0000L)) };
+    { check_id = "guest.rip";
+      build =
+        (fun caps ->
+          modify caps (fun v -> w v Field.guest_rip 0x8000_0000_0000_0000L)) };
+    { check_id = "guest.seg.cs";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.CS) in
+              w v (Field.guest_ar Nf_x86.Seg.CS)
+                (Nf_stdext.Bits.insert ar ~lo:0 ~width:4 4L))) };
+    { check_id = "guest.seg.ss";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.SS) in
+              w v (Field.guest_ar Nf_x86.Seg.SS)
+                (Nf_stdext.Bits.insert ar ~lo:0 ~width:4 5L))) };
+    { check_id = "guest.seg.ds";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.DS) in
+              w v (Field.guest_ar Nf_x86.Seg.DS)
+                (Nf_stdext.Bits.insert ar ~lo:0 ~width:4 8L))) };
+    { check_id = "guest.seg.es";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.ES) in
+              w v (Field.guest_ar Nf_x86.Seg.ES) (Nf_stdext.Bits.set ar 9))) };
+    { check_id = "guest.seg.fs";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v (Field.guest_base Nf_x86.Seg.FS) 0x8000_0000_0000_0000L)) };
+    { check_id = "guest.seg.gs";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v (Field.guest_limit Nf_x86.Seg.GS) 0xFFF0_0000L)) };
+    { check_id = "guest.seg.ldtr";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              w v (Field.guest_ar Nf_x86.Seg.LDTR)
+                (Nf_x86.Seg.Ar.make ~typ:3 ~code_data:false ~gran:false ()))) };
+    { check_id = "guest.seg.tr";
+      build =
+        (fun caps ->
+          modify caps (fun v ->
+              let ar = Vmcs.read v (Field.guest_ar Nf_x86.Seg.TR) in
+              w v (Field.guest_ar Nf_x86.Seg.TR)
+                (Nf_stdext.Bits.insert ar ~lo:0 ~width:4 9L))) };
+  ]
+
+let find_vmx check_id = List.find (fun t -> t.check_id = check_id) vmx
+
+(* --- SVM witnesses --- *)
+
+type svm_t = {
+  svm_check_id : string;
+  svm_build : Nf_cpu.Svm_caps.t -> Nf_vmcb.Vmcb.t;
+}
+
+let svm_modify caps f =
+  let vmcb = Golden.vmcb caps in
+  f vmcb;
+  vmcb
+
+let svm : svm_t list =
+  let open Nf_vmcb in
+  [
+    { svm_check_id = "svm.efer_svme";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.set_bit v Vmcb.efer Nf_x86.Efer.svme false)) };
+    { svm_check_id = "svm.efer_reserved";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.efer 5 true)) };
+    { svm_check_id = "svm.cr0_cd_nw";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.cr0 Nf_x86.Cr0.nw true)) };
+    { svm_check_id = "svm.cr0_high";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.cr0 40 true)) };
+    { svm_check_id = "svm.cr3_mbz";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.cr3 55 true)) };
+    { svm_check_id = "svm.cr4_reserved";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.cr4 27 true)) };
+    { svm_check_id = "svm.dr6_high";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.dr6 40 true)) };
+    { svm_check_id = "svm.dr7_high";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.dr7 40 true)) };
+    { svm_check_id = "svm.long_mode_pae";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.set_bit v Vmcb.cr4 Nf_x86.Cr4.pae false)) };
+    { svm_check_id = "svm.long_mode_pe";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.set_bit v Vmcb.cr0 Nf_x86.Cr0.pe false)) };
+    { svm_check_id = "svm.long_mode_cs";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              let a = Vmcb.read v (Vmcb.seg_attrib Nf_x86.Seg.CS) in
+              Vmcb.write v (Vmcb.seg_attrib Nf_x86.Seg.CS)
+                (Nf_stdext.Bits.set a 10))) };
+    { svm_check_id = "svm.asid";
+      svm_build =
+        (fun caps -> svm_modify caps (fun v -> Vmcb.write v Vmcb.guest_asid 0L)) };
+    { svm_check_id = "svm.vmrun_intercept";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.set_bit v Vmcb.intercept_vec4 Vmcb.Vec4.vmrun false)) };
+    { svm_check_id = "svm.iopm_mbz";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.iopm_base_pa 55 true)) };
+    { svm_check_id = "svm.msrpm_mbz";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v -> Vmcb.set_bit v Vmcb.msrpm_base_pa 55 true)) };
+    { svm_check_id = "svm.ncr3_mbz";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v -> Vmcb.write v Vmcb.n_cr3 0x8123L)) };
+    { svm_check_id = "svm.event_inj";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.write v Vmcb.event_inj
+                (Nf_stdext.Bits.set (Int64.shift_left 5L 8) 31))) };
+    { svm_check_id = "svm.rflags_reserved";
+      svm_build =
+        (fun caps ->
+          svm_modify caps (fun v ->
+              Vmcb.set_bit v Vmcb.rflags Nf_x86.Rflags.reserved_one false)) };
+  ]
+
+let find_svm check_id = List.find (fun t -> t.svm_check_id = check_id) svm

@@ -1,0 +1,27 @@
+(** Violation witnesses: for (nearly) every consistency check, a VM state
+    that fails exactly that check, built from the golden state.
+
+    Consumers: the property-test suite (each witness must fail its own
+    check and nothing earlier), the KVM-unit-tests baseline model (the
+    real suite contains hand-written tests of exactly this shape), and
+    documentation of what each check guards. *)
+
+type t = {
+  check_id : string;
+  build : Nf_cpu.Vmx_caps.t -> Nf_vmcs.Vmcs.t;
+}
+
+(** One witness per VMX check (a >90% subset of [Nf_cpu.Vmx_checks.all],
+    enforced by the test suite). *)
+val vmx : t list
+
+(** @raise Not_found when no witness exists for the id. *)
+val find_vmx : string -> t
+
+type svm_t = {
+  svm_check_id : string;
+  svm_build : Nf_cpu.Svm_caps.t -> Nf_vmcb.Vmcb.t;
+}
+
+val svm : svm_t list
+val find_svm : string -> svm_t

@@ -1,0 +1,1 @@
+lib/vbox/vbox.ml: Array Field Hashtbl Int64 List Nf_coverage Nf_cpu Nf_hv Nf_sanitizer Nf_stdext Nf_vmcs Nf_x86 Vmcs

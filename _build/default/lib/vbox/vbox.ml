@@ -1,0 +1,304 @@
+(** Simulated Oracle VirtualBox 7.0.12 nested VT-x.
+
+    VirtualBox is closed-source: [coverage] returns [None], so campaigns
+    against it run NecoFuzz as a pure black-box fuzzer with crash-only
+    feedback — the mode §5.4 argues the validator-driven strategy still
+    serves well.
+
+    Planted bug — CVE-2024-21106: VirtualBox emulates the VM-entry
+    MSR-load area in software but never validates that values destined
+    for canonical-address MSRs (e.g. KernelGSBase, 0xC0000102) are
+    canonical.  Loading 0x8000000000000000 takes a general protection
+    fault in host context; the VM dies and may wedge on shutdown. *)
+
+open Nf_vmcs
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+(* Internal instrumentation exists (we built the binary), but it is not
+   exposed through [coverage] — the fuzzer cannot see it, matching the
+   closed-source setting. *)
+let region = Cov.create_region "vbox-nested-vmx"
+let file = "VMMR0/HMVMXR0.cpp"
+
+let probe name lines = Cov.probe region ~file ~lines name
+
+module P = struct
+  let insn_emulation = probe "IEMExecDecodedVmx*" 120
+  let vmentry = probe "iemVmxVmentry" 60
+  let vmentry_checks_fail = probe "iemVmxVmentry:diag" 40
+  let msr_load = probe "iemVmxVmentryLoadGuestAutoMsrs" 18
+  let msr_load_gp = probe "msr-load:#GP-non-canonical" 6
+  let exit_path = probe "iemVmxVmexit" 80
+  let misc = probe "misc" 60
+end
+
+let missing_checks : string list = []
+
+let replica =
+  Nf_hv.Replica.Vmx.register region ~file ~eval_lines:2 ~fail_lines:1
+    ~missing:missing_checks ()
+
+type t = {
+  features : Nf_cpu.Features.t;
+  caps_l1 : Nf_cpu.Vmx_caps.t;
+  caps_l0 : Nf_cpu.Vmx_caps.t;
+  san : San.t;
+  cov : Cov.Map.t;
+  mutable l1_cr4 : int64;
+  mutable vmxon : bool;
+  mutable vmxon_ptr : int64;
+  mutable current_vmptr : int64;
+  vmcs_regions : (int64, Vmcs.t) Hashtbl.t;
+  mutable msr_load_area : (int * int64) array;
+  mutable in_l2 : bool;
+  mutable vmcs02 : Vmcs.t;
+  mutable dead : bool;
+}
+
+let hit t p = Cov.Map.hit t.cov p
+
+let create ~features ~sanitizer =
+  let features = Nf_cpu.Features.normalize features in
+  let caps_l0 = Nf_cpu.Vmx_caps.alder_lake in
+  {
+    features;
+    caps_l1 = Nf_cpu.Vmx_caps.apply_features caps_l0 features;
+    caps_l0;
+    san = sanitizer;
+    cov = Cov.Map.create region;
+    l1_cr4 = 0L;
+    vmxon = false;
+    vmxon_ptr = -1L;
+    current_vmptr = -1L;
+    vmcs_regions = Hashtbl.create 7;
+    msr_load_area = [||];
+    in_l2 = false;
+    vmcs02 = Vmcs.create ();
+    dead = false;
+  }
+
+let reset t =
+  t.l1_cr4 <- 0L;
+  t.vmxon <- false;
+  t.vmxon_ptr <- -1L;
+  t.current_vmptr <- -1L;
+  Hashtbl.reset t.vmcs_regions;
+  t.msr_load_area <- [||];
+  t.in_l2 <- false;
+  t.dead <- false
+
+let current_vmcs12 t =
+  if t.current_vmptr = -1L then None
+  else Hashtbl.find_opt t.vmcs_regions t.current_vmptr
+
+open Nf_hv.Hypervisor
+
+let vmentry t ~launch : step_result =
+  hit t P.vmentry;
+  match current_vmcs12 t with
+  | None -> Vmfail 0
+  | Some vmcs12 ->
+      let bad =
+        (launch && vmcs12.Vmcs.launch_state = Vmcs.Launched)
+        || ((not launch) && vmcs12.Vmcs.launch_state = Vmcs.Clear)
+      in
+      if bad then
+        Vmfail
+          (if launch then Nf_cpu.Vmx_cpu.Insn_error.vmlaunch_not_clear
+           else Nf_cpu.Vmx_cpu.Insn_error.vmresume_not_launched)
+      else begin
+        let ctx =
+          {
+            Nf_cpu.Vmx_checks.caps = t.caps_l1;
+            vmcs = vmcs12;
+            entry_msr_load = t.msr_load_area;
+          }
+        in
+        match Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Ctl ctx with
+        | Error _ ->
+            hit t P.vmentry_checks_fail;
+            Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control
+        | Ok () -> (
+            match
+              Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Host ctx
+            with
+            | Error _ ->
+                hit t P.vmentry_checks_fail;
+                Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_host
+            | Ok () -> (
+                match
+                  Nf_hv.Replica.Vmx.run_group replica t.cov
+                    Nf_cpu.Vmx_checks.Guest ctx
+                with
+                | Error _ ->
+                    hit t P.vmentry_checks_fail;
+                    Vmcs.write vmcs12 Field.exit_reason
+                      (Nf_cpu.Exit_reason.with_entry_failure
+                         Nf_cpu.Exit_reason.invalid_guest_state);
+                    L2_exit_to_l1
+                      (Nf_cpu.Exit_reason.with_entry_failure
+                         Nf_cpu.Exit_reason.invalid_guest_state)
+                | Ok () -> (
+                    (* Software-emulated MSR loads: THE BUG — values are
+                       written to host MSRs without the canonical check. *)
+                    hit t P.msr_load;
+                    let gp = ref None in
+                    Array.iter
+                      (fun (msr, value) ->
+                        if
+                          !gp = None
+                          && List.mem msr Nf_x86.Msr.must_be_canonical
+                          && not (Nf_stdext.Bits.is_canonical value)
+                        then gp := Some (msr, value))
+                      t.msr_load_area;
+                    match !gp with
+                    | Some (msr, value) ->
+                        hit t P.msr_load_gp;
+                        San.gpf t.san
+                          "general protection fault, probably for \
+                           non-canonical address 0x%Lx (wrmsr %s)" value
+                          (Nf_x86.Msr.name msr);
+                        San.vm_crash t.san
+                          "VirtualBox VM terminated unexpectedly during \
+                           nested VM entry";
+                        t.dead <- true;
+                        Vm_killed "host #GP during nested MSR load"
+                    | None ->
+                        (* Software entry succeeded. *)
+                        let v02 = Vmcs.copy vmcs12 in
+                        t.vmcs02 <- v02;
+                        t.in_l2 <- true;
+                        vmcs12.Vmcs.launch_state <- Vmcs.Launched;
+                        L2_entered)))
+      end
+
+let exec_l1 t (op : Nf_hv.L1_op.t) : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else begin
+    hit t P.insn_emulation;
+    match op with
+    | Vmxon addr ->
+        if not (Nf_stdext.Bits.is_set t.l1_cr4 Nf_x86.Cr4.vmxe) then
+          Fault Nf_x86.Exn.ud
+        else if not (Nf_stdext.Bits.is_aligned addr 12) then Vmfail 0
+        else begin
+          t.vmxon <- true;
+          t.vmxon_ptr <- addr;
+          Ok_step
+        end
+    | Vmxoff ->
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else begin
+          t.vmxon <- false;
+          t.current_vmptr <- -1L;
+          Ok_step
+        end
+    | Vmclear addr ->
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else if not (Nf_stdext.Bits.is_aligned addr 12) || addr = t.vmxon_ptr
+        then Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmclear_invalid_addr
+        else begin
+          let v =
+            match Hashtbl.find_opt t.vmcs_regions addr with
+            | Some v -> v
+            | None ->
+                let v = Vmcs.create () in
+                Hashtbl.replace t.vmcs_regions addr v;
+                v
+          in
+          v.Vmcs.launch_state <- Vmcs.Clear;
+          v.Vmcs.revision_id <- t.caps_l1.revision_id;
+          if t.current_vmptr = addr then t.current_vmptr <- -1L;
+          Ok_step
+        end
+    | Vmptrld addr -> (
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else begin
+          match Hashtbl.find_opt t.vmcs_regions addr with
+          | Some v when v.Vmcs.revision_id = t.caps_l1.revision_id ->
+              t.current_vmptr <- addr;
+              Ok_step
+          | _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmptrld_wrong_revision
+        end)
+    | Vmptrst -> if t.vmxon then Ok_step else Fault Nf_x86.Exn.ud
+    | Vmread enc ->
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else if current_vmcs12 t = None || Field.of_encoding enc = None then
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+        else Ok_step
+    | Vmwrite (enc, value) -> (
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else begin
+          match (current_vmcs12 t, Field.of_encoding enc) with
+          | Some vmcs12, Some f when Field.group f <> Field.Exit_info ->
+              Vmcs.write vmcs12 f value;
+              Ok_step
+          | _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+        end)
+    | Vmwrite_state state -> (
+        match current_vmcs12 t with
+        | None -> Vmfail 0
+        | Some vmcs12 ->
+            List.iter
+              (fun f ->
+                if Field.group f <> Field.Exit_info then
+                  Vmcs.write vmcs12 f (Vmcs.read state f))
+              Field.all;
+            Ok_step)
+    | Vmlaunch ->
+        if not t.vmxon then Fault Nf_x86.Exn.ud else vmentry t ~launch:true
+    | Vmresume ->
+        if not t.vmxon then Fault Nf_x86.Exn.ud else vmentry t ~launch:false
+    | Invept _ -> if t.features.ept then Ok_step else Fault Nf_x86.Exn.ud
+    | Invvpid _ -> if t.features.vpid then Ok_step else Fault Nf_x86.Exn.ud
+    | Set_entry_msr_area area ->
+        t.msr_load_area <- area;
+        Ok_step
+    | L1_insn insn -> begin
+        match insn with
+        | Nf_cpu.Insn.Mov_to_cr (4, v) ->
+            t.l1_cr4 <- v;
+            Ok_step
+        | _ -> Ok_step
+      end
+    | Set_efer_svme _ | Vmrun _ | Vmcb_state _ | Vmload | Vmsave | Stgi | Clgi
+    | Invlpga ->
+        Fault Nf_x86.Exn.ud
+  end
+
+let exec_l2 t insn : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else if not t.in_l2 then Fault Nf_x86.Exn.ud
+  else begin
+    match Nf_cpu.Vmx_exec.decide t.vmcs02 insn with
+    | Nf_cpu.Vmx_exec.No_exit -> Ok_step
+    | Nf_cpu.Vmx_exec.Exit e ->
+        hit t P.exit_path;
+        let vmcs12 =
+          match current_vmcs12 t with Some v -> v | None -> assert false
+        in
+        Vmcs.write vmcs12 Field.exit_reason (Int64.of_int e.reason);
+        Vmcs.write vmcs12 Field.exit_qualification e.qualification;
+        t.in_l2 <- false;
+        L2_exit_to_l1 (Int64.of_int e.reason)
+  end
+
+module Hv = struct
+  type nonrec t = t
+
+  let name = "VirtualBox 7.0.12"
+  let arch = Nf_cpu.Cpu_model.Intel
+  let region = region
+  let create = create
+
+  (* Closed source: no coverage interface for the fuzzer. *)
+  let coverage _ = None
+  let exec_l1 = exec_l1
+  let exec_l2 = exec_l2
+  let in_l2 t = t.in_l2
+  let reset = reset
+end
+
+let pack ~features ~sanitizer : Nf_hv.Hypervisor.packed =
+  Nf_hv.Hypervisor.Packed ((module Hv), create ~features ~sanitizer)

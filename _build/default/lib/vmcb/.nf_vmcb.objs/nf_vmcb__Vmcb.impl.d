@@ -1,0 +1,1 @@
+lib/vmcb/vmcb.ml: Array Hashtbl Int64 List Nf_stdext Nf_x86 Printf

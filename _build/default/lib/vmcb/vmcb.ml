@@ -1,0 +1,338 @@
+(** AMD-V virtual machine control block (VMCB) model.
+
+    The VMCB is the AMD counterpart of the VMCS: a 4 KiB structure split
+    into a control area (intercept vectors, TLB/ASID control, virtual
+    interrupt state, nested paging pointer) and a save area (guest register
+    state).  AMD APM Vol. 2 App. B defines the layout; we model the fields
+    the nested-SVM logic manipulates, with offsets matching the manual. *)
+
+type width = W8 | W16 | W32 | W64
+
+let bits_of_width = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+type area = Control | Save
+
+type t_field = int
+
+type info = {
+  index : int;
+  name : string;
+  offset : int; (* byte offset within the 4K VMCB *)
+  width : width;
+  area : area;
+}
+
+let seg_defs prefix base =
+  [
+    (prefix ^ "_SELECTOR", base, W16, Save);
+    (prefix ^ "_ATTRIB", base + 2, W16, Save);
+    (prefix ^ "_LIMIT", base + 4, W32, Save);
+    (prefix ^ "_BASE", base + 8, W64, Save);
+  ]
+
+let defs =
+  [
+    (* --- Control area --- *)
+    ("INTERCEPT_CR_READ", 0x000, W16, Control);
+    ("INTERCEPT_CR_WRITE", 0x002, W16, Control);
+    ("INTERCEPT_DR_READ", 0x004, W16, Control);
+    ("INTERCEPT_DR_WRITE", 0x006, W16, Control);
+    ("INTERCEPT_EXCEPTIONS", 0x008, W32, Control);
+    ("INTERCEPT_VEC3", 0x00C, W32, Control);
+    ("INTERCEPT_VEC4", 0x010, W32, Control);
+    ("INTERCEPT_VEC5", 0x014, W32, Control);
+    ("PAUSE_FILTER_THRESHOLD", 0x03C, W16, Control);
+    ("PAUSE_FILTER_COUNT", 0x03E, W16, Control);
+    ("IOPM_BASE_PA", 0x040, W64, Control);
+    ("MSRPM_BASE_PA", 0x048, W64, Control);
+    ("TSC_OFFSET", 0x050, W64, Control);
+    ("GUEST_ASID", 0x058, W32, Control);
+    ("TLB_CONTROL", 0x05C, W8, Control);
+    ("VINTR_CTL", 0x060, W64, Control);
+    ("INTERRUPT_SHADOW", 0x068, W64, Control);
+    ("EXITCODE", 0x070, W64, Control);
+    ("EXITINFO1", 0x078, W64, Control);
+    ("EXITINFO2", 0x080, W64, Control);
+    ("EXITINTINFO", 0x088, W64, Control);
+    ("NESTED_CTL", 0x090, W64, Control);
+    ("AVIC_APIC_BAR", 0x098, W64, Control);
+    ("GHCB_PA", 0x0A0, W64, Control);
+    ("EVENT_INJ", 0x0A8, W64, Control);
+    ("N_CR3", 0x0B0, W64, Control);
+    ("LBR_VIRT_ENABLE", 0x0B8, W64, Control);
+    ("VMCB_CLEAN", 0x0C0, W32, Control);
+    ("NRIP", 0x0C8, W64, Control);
+    ("GUEST_INSTR_COUNT", 0x0D0, W8, Control);
+    ("AVIC_BACKING_PAGE", 0x0E0, W64, Control);
+    ("AVIC_LOGICAL_TABLE", 0x0F0, W64, Control);
+    ("AVIC_PHYSICAL_TABLE", 0x0F8, W64, Control);
+    ("VMSA_PA", 0x108, W64, Control);
+  ]
+  (* --- Save area --- *)
+  @ seg_defs "ES" 0x400
+  @ seg_defs "CS" 0x410
+  @ seg_defs "SS" 0x420
+  @ seg_defs "DS" 0x430
+  @ seg_defs "FS" 0x440
+  @ seg_defs "GS" 0x450
+  @ seg_defs "GDTR" 0x460
+  @ seg_defs "LDTR" 0x470
+  @ seg_defs "IDTR" 0x480
+  @ seg_defs "TR" 0x490
+  @ [
+      ("CPL", 0x4CB, W8, Save);
+      ("EFER", 0x4D0, W64, Save);
+      ("CR4", 0x548, W64, Save);
+      ("CR3", 0x550, W64, Save);
+      ("CR0", 0x558, W64, Save);
+      ("DR7", 0x560, W64, Save);
+      ("DR6", 0x568, W64, Save);
+      ("RFLAGS", 0x570, W64, Save);
+      ("RIP", 0x578, W64, Save);
+      ("RSP", 0x5D8, W64, Save);
+      ("S_CET", 0x5E0, W64, Save);
+      ("RAX", 0x5F8, W64, Save);
+      ("STAR", 0x600, W64, Save);
+      ("LSTAR", 0x608, W64, Save);
+      ("CSTAR", 0x610, W64, Save);
+      ("SFMASK", 0x618, W64, Save);
+      ("KERNEL_GS_BASE", 0x620, W64, Save);
+      ("SYSENTER_CS", 0x628, W64, Save);
+      ("SYSENTER_ESP", 0x630, W64, Save);
+      ("SYSENTER_EIP", 0x638, W64, Save);
+      ("CR2", 0x640, W64, Save);
+      ("G_PAT", 0x668, W64, Save);
+      ("DBGCTL", 0x670, W64, Save);
+      ("BR_FROM", 0x678, W64, Save);
+      ("BR_TO", 0x680, W64, Save);
+      ("LAST_EXCP_FROM", 0x688, W64, Save);
+      ("LAST_EXCP_TO", 0x690, W64, Save);
+    ]
+
+let table =
+  Array.of_list
+    (List.mapi
+       (fun index (name, offset, width, area) ->
+         { index; name; offset; width; area })
+       defs)
+
+let field_count = Array.length table
+
+let info (f : t_field) = table.(f)
+let field_name f = (info f).name
+let field_width f = (info f).width
+let field_area f = (info f).area
+let field_bits f = bits_of_width (field_width f)
+
+let total_bits =
+  Array.fold_left (fun acc i -> acc + bits_of_width i.width) 0 table
+
+let all_fields : t_field list = List.init field_count (fun i -> i)
+
+let by_name =
+  let h = Hashtbl.create 128 in
+  Array.iter (fun i -> Hashtbl.replace h i.name i.index) table;
+  h
+
+let find_exn n =
+  match Hashtbl.find_opt by_name n with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Vmcb field %S not defined" n)
+
+(* --- store --- *)
+
+type t = { values : int64 array }
+
+let create () = { values = Array.make field_count 0L }
+
+let copy t = { values = Array.copy t.values }
+
+let read t f = t.values.(f)
+
+let write t f v = t.values.(f) <- Nf_stdext.Bits.truncate v (field_bits f)
+
+let read_bit t f n = Nf_stdext.Bits.is_set (read t f) n
+let set_bit t f n b = write t f (Nf_stdext.Bits.assign (read t f) n b)
+let flip_bit t f n = write t f (Nf_stdext.Bits.flip (read t f) n)
+
+let hamming a b =
+  List.fold_left
+    (fun acc f ->
+      acc + Nf_stdext.Bits.hamming ~width:(field_bits f) a.values.(f) b.values.(f))
+    0 all_fields
+
+let equal a b = Array.for_all2 Int64.equal a.values b.values
+
+(* --- named fields --- *)
+
+let intercept_cr_read = find_exn "INTERCEPT_CR_READ"
+let intercept_cr_write = find_exn "INTERCEPT_CR_WRITE"
+let intercept_dr_read = find_exn "INTERCEPT_DR_READ"
+let intercept_dr_write = find_exn "INTERCEPT_DR_WRITE"
+let intercept_exceptions = find_exn "INTERCEPT_EXCEPTIONS"
+let intercept_vec3 = find_exn "INTERCEPT_VEC3"
+let intercept_vec4 = find_exn "INTERCEPT_VEC4"
+let iopm_base_pa = find_exn "IOPM_BASE_PA"
+let msrpm_base_pa = find_exn "MSRPM_BASE_PA"
+let tsc_offset_f = find_exn "TSC_OFFSET"
+let guest_asid = find_exn "GUEST_ASID"
+let tlb_control = find_exn "TLB_CONTROL"
+let vintr_ctl = find_exn "VINTR_CTL"
+let interrupt_shadow = find_exn "INTERRUPT_SHADOW"
+let exitcode = find_exn "EXITCODE"
+let exitinfo1 = find_exn "EXITINFO1"
+let exitinfo2 = find_exn "EXITINFO2"
+let exitintinfo = find_exn "EXITINTINFO"
+let nested_ctl = find_exn "NESTED_CTL"
+let event_inj = find_exn "EVENT_INJ"
+let n_cr3 = find_exn "N_CR3"
+let vmcb_clean = find_exn "VMCB_CLEAN"
+let nrip = find_exn "NRIP"
+let avic_backing_page = find_exn "AVIC_BACKING_PAGE"
+let cpl = find_exn "CPL"
+let efer = find_exn "EFER"
+let cr0 = find_exn "CR0"
+let cr2 = find_exn "CR2"
+let cr3 = find_exn "CR3"
+let cr4 = find_exn "CR4"
+let dr6 = find_exn "DR6"
+let dr7 = find_exn "DR7"
+let rflags = find_exn "RFLAGS"
+let rip = find_exn "RIP"
+let rsp = find_exn "RSP"
+let rax = find_exn "RAX"
+let kernel_gs_base = find_exn "KERNEL_GS_BASE"
+let g_pat = find_exn "G_PAT"
+let dbgctl = find_exn "DBGCTL"
+
+let seg_selector r = find_exn (Nf_x86.Seg.register_name r ^ "_SELECTOR")
+let seg_attrib r = find_exn (Nf_x86.Seg.register_name r ^ "_ATTRIB")
+let seg_limit r = find_exn (Nf_x86.Seg.register_name r ^ "_LIMIT")
+let seg_base r = find_exn (Nf_x86.Seg.register_name r ^ "_BASE")
+
+(* Virtual interrupt control field layout (offset 0x60). *)
+module Vintr = struct
+  let v_tpr_lo = 0 (* bits 0..7 *)
+  let v_irq = 8
+  let v_gif = 9 (* virtual global interrupt flag value *)
+  let v_intr_prio_lo = 16 (* bits 16..19 *)
+  let v_ign_tpr = 20
+  let v_intr_masking = 24
+  let v_gif_enable = 25
+  let avic_enable = 31
+  let v_intr_vector_lo = 32 (* bits 32..39 *)
+end
+
+(* Nested control field layout (offset 0x90). *)
+module Nested = struct
+  let np_enable = 0
+  let sev_enable = 1
+  let sev_es_enable = 2
+end
+
+(* Intercept vector 3 bits (offset 0x0C). *)
+module Vec3 = struct
+  let intr = 0
+  let nmi = 1
+  let smi = 2
+  let init = 3
+  let vintr = 4
+  let cr0_sel_write = 5
+  let read_idtr = 6
+  let read_gdtr = 7
+  let read_ldtr = 8
+  let read_tr = 9
+  let write_idtr = 10
+  let write_gdtr = 11
+  let write_ldtr = 12
+  let write_tr = 13
+  let rdtsc = 14
+  let rdpmc = 15
+  let pushf = 16
+  let popf = 17
+  let cpuid = 18
+  let rsm = 19
+  let iret = 20
+  let intn = 21
+  let invd = 22
+  let pause = 23
+  let hlt = 24
+  let invlpg = 25
+  let invlpga = 26
+  let ioio_prot = 27
+  let msr_prot = 28
+  let task_switch = 29
+  let ferr_freeze = 30
+  let shutdown = 31
+end
+
+(* Intercept vector 4 bits (offset 0x10). *)
+module Vec4 = struct
+  let vmrun = 0
+  let vmmcall = 1
+  let vmload = 2
+  let vmsave = 3
+  let stgi = 4
+  let clgi = 5
+  let skinit = 6
+  let rdtscp = 7
+  let icebp = 8
+  let wbinvd = 9
+  let monitor = 10
+  let mwait = 11
+  let mwait_cond = 12
+  let xsetbv = 13
+  let rdpru = 14
+  let efer_write_trap = 15
+end
+
+(* SVM exit codes (AMD APM Vol. 2 App. C), subset used by the model. *)
+module Exit = struct
+  let cr0_read = 0x000L
+  let cr0_write = 0x010L
+  let cr3_write = 0x013L
+  let cr4_write = 0x014L
+  let exception_base = 0x040L (* 0x40 + vector *)
+  let intr = 0x060L
+  let nmi = 0x061L
+  let vintr = 0x064L
+  let rdtsc = 0x06EL
+  let rdpmc = 0x06FL
+  let cpuid = 0x072L
+  let pause = 0x077L
+  let hlt = 0x078L
+  let invlpg = 0x079L
+  let invlpga = 0x07AL
+  let ioio = 0x07BL
+  let msr = 0x07CL
+  let shutdown = 0x07FL
+  let vmrun = 0x080L
+  let vmmcall = 0x081L
+  let vmload = 0x082L
+  let vmsave = 0x083L
+  let stgi = 0x084L
+  let clgi = 0x085L
+  let skinit = 0x086L
+  let rdtscp = 0x087L
+  let wbinvd = 0x089L
+  let monitor = 0x08AL
+  let mwait = 0x08BL
+  let xsetbv = 0x08DL
+  let npf = 0x400L
+  let avic_incomplete_ipi = 0x401L
+  let avic_noaccel = 0x402L
+  let vmgexit = 0x403L
+  let invalid = -1L (* VMEXIT_INVALID *)
+
+  let name c =
+    if c = invalid then "VMEXIT_INVALID"
+    else if c = cpuid then "VMEXIT_CPUID"
+    else if c = hlt then "VMEXIT_HLT"
+    else if c = msr then "VMEXIT_MSR"
+    else if c = ioio then "VMEXIT_IOIO"
+    else if c = vmrun then "VMEXIT_VMRUN"
+    else if c = npf then "VMEXIT_NPF"
+    else if c = avic_noaccel then "VMEXIT_AVIC_NOACCEL"
+    else if c = shutdown then "VMEXIT_SHUTDOWN"
+    else Printf.sprintf "VMEXIT(0x%Lx)" c
+end

@@ -1,0 +1,1 @@
+lib/vmcs/field.ml: Array Hashtbl List Nf_x86 Printf

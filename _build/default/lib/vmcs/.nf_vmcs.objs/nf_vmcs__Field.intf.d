@@ -1,0 +1,1 @@
+lib/vmcs/field.mli: Nf_x86

@@ -1,0 +1,1 @@
+lib/vmcs/vmcs.ml: Array Bytes Char Controls Field Format Int64 List Nf_stdext

@@ -1,0 +1,145 @@
+(** Bit definitions for the VMX control fields (Intel SDM Vol. 3C §24.6–24.9).
+
+    Each constant is a bit position within the corresponding 32-bit control
+    field.  The capability MSRs in [Nf_cpu.Vmx_caps] decide, per CPU model
+    and per vCPU configuration, which of these may be 0 and which may be 1. *)
+
+module Pin = struct
+  let external_interrupt_exiting = 0
+  let nmi_exiting = 3
+  let virtual_nmis = 5
+  let preemption_timer = 6
+  let process_posted_interrupts = 7
+
+  let defined = [ 0; 3; 5; 6; 7 ]
+
+  (* Bits 1, 2 and 4 are reserved and read as 1 (default1 class). *)
+  let default1 = 0x16L
+end
+
+module Proc = struct
+  let interrupt_window_exiting = 2
+  let use_tsc_offsetting = 3
+  let hlt_exiting = 7
+  let invlpg_exiting = 9
+  let mwait_exiting = 10
+  let rdpmc_exiting = 11
+  let rdtsc_exiting = 12
+  let cr3_load_exiting = 15
+  let cr3_store_exiting = 16
+  let cr8_load_exiting = 19
+  let cr8_store_exiting = 20
+  let use_tpr_shadow = 21
+  let nmi_window_exiting = 22
+  let mov_dr_exiting = 23
+  let unconditional_io_exiting = 24
+  let use_io_bitmaps = 25
+  let monitor_trap_flag = 27
+  let use_msr_bitmaps = 28
+  let monitor_exiting = 29
+  let pause_exiting = 30
+  let activate_secondary_controls = 31
+
+  let defined =
+    [ 2; 3; 7; 9; 10; 11; 12; 15; 16; 19; 20; 21; 22; 23; 24; 25; 27; 28;
+      29; 30; 31 ]
+
+  (* Reserved-1 bits 1, 4..6, 8, 13, 14, 17, 18, 26. *)
+  let default1 = 0x0401_E172L
+end
+
+module Proc2 = struct
+  let virtualize_apic_accesses = 0
+  let enable_ept = 1
+  let descriptor_table_exiting = 2
+  let enable_rdtscp = 3
+  let virtualize_x2apic = 4
+  let enable_vpid = 5
+  let wbinvd_exiting = 6
+  let unrestricted_guest = 7
+  let apic_register_virtualization = 8
+  let virtual_interrupt_delivery = 9
+  let pause_loop_exiting = 10
+  let rdrand_exiting = 11
+  let enable_invpcid = 12
+  let enable_vmfunc = 13
+  let vmcs_shadowing = 14
+  let enable_encls_exiting = 15
+  let rdseed_exiting = 16
+  let enable_pml = 17
+  let ept_violation_ve = 18
+  let conceal_vmx_from_pt = 19
+  let enable_xsaves = 20
+  let mode_based_ept_exec = 22
+  let sub_page_write_permission = 23
+  let pt_uses_guest_pa = 24
+  let use_tsc_scaling = 25
+  let enable_user_wait_pause = 26
+  let enable_enclv_exiting = 28
+
+  let defined =
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19;
+      20; 22; 23; 24; 25; 26; 28 ]
+
+  let default1 = 0L
+end
+
+module Entry = struct
+  let load_debug_controls = 2
+  let ia32e_mode_guest = 9
+  let entry_to_smm = 10
+  let deactivate_dual_monitor = 11
+  let load_perf_global_ctrl = 13
+  let load_ia32_pat = 14
+  let load_ia32_efer = 15
+  let load_bndcfgs = 16
+  let conceal_vmx_from_pt = 17
+  let load_rtit_ctl = 18
+  let load_cet_state = 20
+  let load_pkrs = 22
+
+  let defined = [ 2; 9; 10; 11; 13; 14; 15; 16; 17; 18; 20; 22 ]
+
+  (* Reserved-1 bits 0, 1, 3..8, 12. *)
+  let default1 = 0x11FBL
+end
+
+module Exit = struct
+  let save_debug_controls = 2
+  let host_address_space_size = 9
+  let load_perf_global_ctrl = 12
+  let acknowledge_interrupt = 15
+  let save_ia32_pat = 18
+  let load_ia32_pat = 19
+  let save_ia32_efer = 20
+  let load_ia32_efer = 21
+  let save_preemption_timer = 22
+  let clear_bndcfgs = 23
+  let conceal_vmx_from_pt = 24
+  let clear_rtit_ctl = 25
+  let load_cet_state = 28
+  let load_pkrs = 29
+
+  let defined = [ 2; 9; 12; 15; 18; 19; 20; 21; 22; 23; 24; 25; 28; 29 ]
+
+  (* Reserved-1 bits 0, 1, 3..8, 10, 11, 13, 14, 16, 17. *)
+  let default1 = 0x36DFBL
+end
+
+(* EPT pointer field layout (SDM Vol. 3C §24.6.11). *)
+module Eptp = struct
+  let memtype v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:0 ~width:3)
+  let walk_length v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:3 ~width:3)
+  let access_dirty v = Nf_stdext.Bits.is_set v 6
+  let pml4_addr v = Int64.logand v 0xFFFF_FFFF_F000L
+
+  let make ?(memtype = 6) ?(walk_length = 3) ?(ad = true) ~pml4 () =
+    let open Nf_stdext.Bits in
+    let v = Int64.logand pml4 0xFFFF_FFFF_F000L in
+    let v = insert v ~lo:0 ~width:3 (Int64.of_int memtype) in
+    let v = insert v ~lo:3 ~width:3 (Int64.of_int walk_length) in
+    assign v 6 ad
+
+  (* Valid memory types for an EPTP: 0 (UC) and 6 (WB). *)
+  let memtype_valid v = memtype v = 0 || memtype v = 6
+end

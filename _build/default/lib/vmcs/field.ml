@@ -1,0 +1,367 @@
+(** VMCS field layout.
+
+    The virtual-machine control structure is modelled as a fixed table of
+    165 fields — the figure the paper uses for the Fig. 5 experiment ("an
+    8,000-bit VM state across 165 fields with predefined widths").  Each
+    field carries its Intel-style encoding, width class and area.  Field
+    identity is a dense integer index into the table, which keeps the store
+    a flat array and the bit-level serialisation deterministic. *)
+
+type width = W16 | W32 | W64 | Natural
+
+(* Natural-width fields are 64-bit on a 64-bit processor. *)
+let bits_of_width = function W16 -> 16 | W32 -> 32 | W64 | Natural -> 64
+
+type group =
+  | Control (* VM-execution, entry and exit controls and addresses *)
+  | Exit_info (* read-only exit information *)
+  | Guest (* guest-state area *)
+  | Host (* host-state area *)
+
+let group_name = function
+  | Control -> "control"
+  | Exit_info -> "exit-info"
+  | Guest -> "guest"
+  | Host -> "host"
+
+type t = int (* dense index into [table] *)
+
+type info = {
+  index : int;
+  name : string;
+  encoding : int;
+  width : width;
+  group : group;
+}
+
+let defs =
+  [
+    (* --- 16-bit control fields --- *)
+    ("VPID", 0x0000, W16, Control);
+    ("POSTED_INTR_NV", 0x0002, W16, Control);
+    ("EPTP_INDEX", 0x0004, W16, Control);
+    (* --- 16-bit guest-state fields --- *)
+    ("GUEST_ES_SELECTOR", 0x0800, W16, Guest);
+    ("GUEST_CS_SELECTOR", 0x0802, W16, Guest);
+    ("GUEST_SS_SELECTOR", 0x0804, W16, Guest);
+    ("GUEST_DS_SELECTOR", 0x0806, W16, Guest);
+    ("GUEST_FS_SELECTOR", 0x0808, W16, Guest);
+    ("GUEST_GS_SELECTOR", 0x080A, W16, Guest);
+    ("GUEST_LDTR_SELECTOR", 0x080C, W16, Guest);
+    ("GUEST_TR_SELECTOR", 0x080E, W16, Guest);
+    ("GUEST_INTR_STATUS", 0x0810, W16, Guest);
+    ("GUEST_PML_INDEX", 0x0812, W16, Guest);
+    (* --- 16-bit host-state fields --- *)
+    ("HOST_ES_SELECTOR", 0x0C00, W16, Host);
+    ("HOST_CS_SELECTOR", 0x0C02, W16, Host);
+    ("HOST_SS_SELECTOR", 0x0C04, W16, Host);
+    ("HOST_DS_SELECTOR", 0x0C06, W16, Host);
+    ("HOST_FS_SELECTOR", 0x0C08, W16, Host);
+    ("HOST_GS_SELECTOR", 0x0C0A, W16, Host);
+    ("HOST_TR_SELECTOR", 0x0C0C, W16, Host);
+    (* --- 64-bit control fields --- *)
+    ("IO_BITMAP_A", 0x2000, W64, Control);
+    ("IO_BITMAP_B", 0x2002, W64, Control);
+    ("MSR_BITMAP", 0x2004, W64, Control);
+    ("EXIT_MSR_STORE_ADDR", 0x2006, W64, Control);
+    ("EXIT_MSR_LOAD_ADDR", 0x2008, W64, Control);
+    ("ENTRY_MSR_LOAD_ADDR", 0x200A, W64, Control);
+    ("EXECUTIVE_VMCS_PTR", 0x200C, W64, Control);
+    ("PML_ADDRESS", 0x200E, W64, Control);
+    ("TSC_OFFSET", 0x2010, W64, Control);
+    ("VIRTUAL_APIC_PAGE_ADDR", 0x2012, W64, Control);
+    ("APIC_ACCESS_ADDR", 0x2014, W64, Control);
+    ("POSTED_INTR_DESC_ADDR", 0x2016, W64, Control);
+    ("VM_FUNCTION_CONTROL", 0x2018, W64, Control);
+    ("EPT_POINTER", 0x201A, W64, Control);
+    ("EOI_EXIT_BITMAP0", 0x201C, W64, Control);
+    ("EOI_EXIT_BITMAP1", 0x201E, W64, Control);
+    ("EOI_EXIT_BITMAP2", 0x2020, W64, Control);
+    ("EOI_EXIT_BITMAP3", 0x2022, W64, Control);
+    ("EPTP_LIST_ADDR", 0x2024, W64, Control);
+    ("VMREAD_BITMAP", 0x2026, W64, Control);
+    ("VMWRITE_BITMAP", 0x2028, W64, Control);
+    ("VE_INFO_ADDR", 0x202A, W64, Control);
+    ("XSS_EXIT_BITMAP", 0x202C, W64, Control);
+    ("ENCLS_EXITING_BITMAP", 0x202E, W64, Control);
+    ("SPP_TABLE_ADDR", 0x2030, W64, Control);
+    ("TSC_MULTIPLIER", 0x2032, W64, Control);
+    ("TERTIARY_PROC_CTLS", 0x2034, W64, Control);
+    ("HLAT_POINTER", 0x2040, W64, Control);
+    (* --- 64-bit read-only data --- *)
+    ("GUEST_PHYSICAL_ADDRESS", 0x2400, W64, Exit_info);
+    (* --- 64-bit guest-state fields --- *)
+    ("VMCS_LINK_POINTER", 0x2800, W64, Guest);
+    ("GUEST_IA32_DEBUGCTL", 0x2802, W64, Guest);
+    ("GUEST_IA32_PAT", 0x2804, W64, Guest);
+    ("GUEST_IA32_EFER", 0x2806, W64, Guest);
+    ("GUEST_IA32_PERF_GLOBAL_CTRL", 0x2808, W64, Guest);
+    ("GUEST_PDPTE0", 0x280A, W64, Guest);
+    ("GUEST_PDPTE1", 0x280C, W64, Guest);
+    ("GUEST_PDPTE2", 0x280E, W64, Guest);
+    ("GUEST_PDPTE3", 0x2810, W64, Guest);
+    ("GUEST_IA32_BNDCFGS", 0x2812, W64, Guest);
+    ("GUEST_IA32_RTIT_CTL", 0x2814, W64, Guest);
+    ("GUEST_SSP", 0x2816, W64, Guest);
+    (* --- 64-bit host-state fields --- *)
+    ("HOST_IA32_PAT", 0x2C00, W64, Host);
+    ("HOST_IA32_EFER", 0x2C02, W64, Host);
+    ("HOST_IA32_PERF_GLOBAL_CTRL", 0x2C04, W64, Host);
+    ("HOST_SSP", 0x2C06, W64, Host);
+    (* --- 32-bit control fields --- *)
+    ("PIN_BASED_CTLS", 0x4000, W32, Control);
+    ("PROC_BASED_CTLS", 0x4002, W32, Control);
+    ("EXCEPTION_BITMAP", 0x4004, W32, Control);
+    ("PF_ERROR_CODE_MASK", 0x4006, W32, Control);
+    ("PF_ERROR_CODE_MATCH", 0x4008, W32, Control);
+    ("CR3_TARGET_COUNT", 0x400A, W32, Control);
+    ("EXIT_CTLS", 0x400C, W32, Control);
+    ("EXIT_MSR_STORE_COUNT", 0x400E, W32, Control);
+    ("EXIT_MSR_LOAD_COUNT", 0x4010, W32, Control);
+    ("ENTRY_CTLS", 0x4012, W32, Control);
+    ("ENTRY_MSR_LOAD_COUNT", 0x4014, W32, Control);
+    ("ENTRY_INTR_INFO", 0x4016, W32, Control);
+    ("ENTRY_EXCEPTION_ERROR_CODE", 0x4018, W32, Control);
+    ("ENTRY_INSTRUCTION_LEN", 0x401A, W32, Control);
+    ("TPR_THRESHOLD", 0x401C, W32, Control);
+    ("PROC_BASED_CTLS2", 0x401E, W32, Control);
+    ("PLE_GAP", 0x4020, W32, Control);
+    ("PLE_WINDOW", 0x4022, W32, Control);
+    (* --- 32-bit read-only data --- *)
+    ("VM_INSTRUCTION_ERROR", 0x4400, W32, Exit_info);
+    ("EXIT_REASON", 0x4402, W32, Exit_info);
+    ("EXIT_INTR_INFO", 0x4404, W32, Exit_info);
+    ("EXIT_INTR_ERROR_CODE", 0x4406, W32, Exit_info);
+    ("IDT_VECTORING_INFO", 0x4408, W32, Exit_info);
+    ("IDT_VECTORING_ERROR_CODE", 0x440A, W32, Exit_info);
+    ("EXIT_INSTRUCTION_LEN", 0x440C, W32, Exit_info);
+    ("EXIT_INSTRUCTION_INFO", 0x440E, W32, Exit_info);
+    (* --- 32-bit guest-state fields --- *)
+    ("GUEST_ES_LIMIT", 0x4800, W32, Guest);
+    ("GUEST_CS_LIMIT", 0x4802, W32, Guest);
+    ("GUEST_SS_LIMIT", 0x4804, W32, Guest);
+    ("GUEST_DS_LIMIT", 0x4806, W32, Guest);
+    ("GUEST_FS_LIMIT", 0x4808, W32, Guest);
+    ("GUEST_GS_LIMIT", 0x480A, W32, Guest);
+    ("GUEST_LDTR_LIMIT", 0x480C, W32, Guest);
+    ("GUEST_TR_LIMIT", 0x480E, W32, Guest);
+    ("GUEST_GDTR_LIMIT", 0x4810, W32, Guest);
+    ("GUEST_IDTR_LIMIT", 0x4812, W32, Guest);
+    ("GUEST_ES_AR", 0x4814, W32, Guest);
+    ("GUEST_CS_AR", 0x4816, W32, Guest);
+    ("GUEST_SS_AR", 0x4818, W32, Guest);
+    ("GUEST_DS_AR", 0x481A, W32, Guest);
+    ("GUEST_FS_AR", 0x481C, W32, Guest);
+    ("GUEST_GS_AR", 0x481E, W32, Guest);
+    ("GUEST_LDTR_AR", 0x4820, W32, Guest);
+    ("GUEST_TR_AR", 0x4822, W32, Guest);
+    ("GUEST_INTERRUPTIBILITY", 0x4824, W32, Guest);
+    ("GUEST_ACTIVITY_STATE", 0x4826, W32, Guest);
+    ("GUEST_SMBASE", 0x4828, W32, Guest);
+    ("GUEST_SYSENTER_CS", 0x482A, W32, Guest);
+    ("PREEMPTION_TIMER_VALUE", 0x482E, W32, Guest);
+    (* --- 32-bit host-state fields --- *)
+    ("HOST_SYSENTER_CS", 0x4C00, W32, Host);
+    (* --- natural-width control fields --- *)
+    ("CR0_GUEST_HOST_MASK", 0x6000, Natural, Control);
+    ("CR4_GUEST_HOST_MASK", 0x6002, Natural, Control);
+    ("CR0_READ_SHADOW", 0x6004, Natural, Control);
+    ("CR4_READ_SHADOW", 0x6006, Natural, Control);
+    ("CR3_TARGET_VALUE0", 0x6008, Natural, Control);
+    ("CR3_TARGET_VALUE1", 0x600A, Natural, Control);
+    ("CR3_TARGET_VALUE2", 0x600C, Natural, Control);
+    ("CR3_TARGET_VALUE3", 0x600E, Natural, Control);
+    (* --- natural-width read-only data --- *)
+    ("EXIT_QUALIFICATION", 0x6400, Natural, Exit_info);
+    ("IO_RCX", 0x6402, Natural, Exit_info);
+    ("IO_RSI", 0x6404, Natural, Exit_info);
+    ("IO_RDI", 0x6406, Natural, Exit_info);
+    ("IO_RIP", 0x6408, Natural, Exit_info);
+    ("GUEST_LINEAR_ADDRESS", 0x640A, Natural, Exit_info);
+    (* --- natural-width guest-state fields --- *)
+    ("GUEST_CR0", 0x6800, Natural, Guest);
+    ("GUEST_CR3", 0x6802, Natural, Guest);
+    ("GUEST_CR4", 0x6804, Natural, Guest);
+    ("GUEST_ES_BASE", 0x6806, Natural, Guest);
+    ("GUEST_CS_BASE", 0x6808, Natural, Guest);
+    ("GUEST_SS_BASE", 0x680A, Natural, Guest);
+    ("GUEST_DS_BASE", 0x680C, Natural, Guest);
+    ("GUEST_FS_BASE", 0x680E, Natural, Guest);
+    ("GUEST_GS_BASE", 0x6810, Natural, Guest);
+    ("GUEST_LDTR_BASE", 0x6812, Natural, Guest);
+    ("GUEST_TR_BASE", 0x6814, Natural, Guest);
+    ("GUEST_GDTR_BASE", 0x6816, Natural, Guest);
+    ("GUEST_IDTR_BASE", 0x6818, Natural, Guest);
+    ("GUEST_DR7", 0x681A, Natural, Guest);
+    ("GUEST_RSP", 0x681C, Natural, Guest);
+    ("GUEST_RIP", 0x681E, Natural, Guest);
+    ("GUEST_RFLAGS", 0x6820, Natural, Guest);
+    ("GUEST_PENDING_DBG_EXCEPTIONS", 0x6822, Natural, Guest);
+    ("GUEST_SYSENTER_ESP", 0x6824, Natural, Guest);
+    ("GUEST_SYSENTER_EIP", 0x6826, Natural, Guest);
+    ("GUEST_S_CET", 0x6828, Natural, Guest);
+    ("GUEST_INTR_SSP_TABLE", 0x682A, Natural, Guest);
+    (* --- natural-width host-state fields --- *)
+    ("HOST_CR0", 0x6C00, Natural, Host);
+    ("HOST_CR3", 0x6C02, Natural, Host);
+    ("HOST_CR4", 0x6C04, Natural, Host);
+    ("HOST_FS_BASE", 0x6C06, Natural, Host);
+    ("HOST_GS_BASE", 0x6C08, Natural, Host);
+    ("HOST_TR_BASE", 0x6C0A, Natural, Host);
+    ("HOST_GDTR_BASE", 0x6C0C, Natural, Host);
+    ("HOST_IDTR_BASE", 0x6C0E, Natural, Host);
+    ("HOST_SYSENTER_ESP", 0x6C10, Natural, Host);
+    ("HOST_SYSENTER_EIP", 0x6C12, Natural, Host);
+    ("HOST_RSP", 0x6C14, Natural, Host);
+    ("HOST_RIP", 0x6C16, Natural, Host);
+    ("HOST_S_CET", 0x6C18, Natural, Host);
+    ("HOST_INTR_SSP_TABLE", 0x6C1A, Natural, Host);
+  ]
+
+let table =
+  Array.of_list
+    (List.mapi
+       (fun index (name, encoding, width, group) ->
+         { index; name; encoding; width; group })
+       defs)
+
+let count = Array.length table
+
+let info (f : t) = table.(f)
+let name f = (info f).name
+let width f = (info f).width
+let group f = (info f).group
+let encoding f = (info f).encoding
+let bits f = bits_of_width (width f)
+
+let total_bits =
+  Array.fold_left (fun acc i -> acc + bits_of_width i.width) 0 table
+
+let all : t list = List.init count (fun i -> i)
+
+let by_name : (string, t) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  Array.iter (fun i -> Hashtbl.replace h i.name i.index) table;
+  h
+
+let find_exn n =
+  match Hashtbl.find_opt by_name n with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Vmcs field %S not defined" n)
+
+let by_encoding : (int, t) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  Array.iter (fun i -> Hashtbl.replace h i.encoding i.index) table;
+  h
+
+let of_encoding e = Hashtbl.find_opt by_encoding e
+
+let in_group g = List.filter (fun f -> group f = g) all
+
+(* Named constants for the fields the rest of the framework manipulates
+   directly.  Resolved once at module initialisation. *)
+
+let vpid = find_exn "VPID"
+let posted_intr_nv = find_exn "POSTED_INTR_NV"
+let io_bitmap_a = find_exn "IO_BITMAP_A"
+let io_bitmap_b = find_exn "IO_BITMAP_B"
+let msr_bitmap = find_exn "MSR_BITMAP"
+let exit_msr_store_addr = find_exn "EXIT_MSR_STORE_ADDR"
+let exit_msr_load_addr = find_exn "EXIT_MSR_LOAD_ADDR"
+let entry_msr_load_addr = find_exn "ENTRY_MSR_LOAD_ADDR"
+let virtual_apic_page_addr = find_exn "VIRTUAL_APIC_PAGE_ADDR"
+let apic_access_addr = find_exn "APIC_ACCESS_ADDR"
+let posted_intr_desc_addr = find_exn "POSTED_INTR_DESC_ADDR"
+let ept_pointer = find_exn "EPT_POINTER"
+let tsc_offset = find_exn "TSC_OFFSET"
+let vmcs_link_pointer = find_exn "VMCS_LINK_POINTER"
+let guest_ia32_debugctl = find_exn "GUEST_IA32_DEBUGCTL"
+let guest_ia32_pat = find_exn "GUEST_IA32_PAT"
+let guest_ia32_efer = find_exn "GUEST_IA32_EFER"
+let guest_pdpte0 = find_exn "GUEST_PDPTE0"
+let host_ia32_pat = find_exn "HOST_IA32_PAT"
+let host_ia32_efer = find_exn "HOST_IA32_EFER"
+let pin_based_ctls = find_exn "PIN_BASED_CTLS"
+let proc_based_ctls = find_exn "PROC_BASED_CTLS"
+let proc_based_ctls2 = find_exn "PROC_BASED_CTLS2"
+let exception_bitmap = find_exn "EXCEPTION_BITMAP"
+let cr3_target_count = find_exn "CR3_TARGET_COUNT"
+let exit_ctls = find_exn "EXIT_CTLS"
+let exit_msr_store_count = find_exn "EXIT_MSR_STORE_COUNT"
+let exit_msr_load_count = find_exn "EXIT_MSR_LOAD_COUNT"
+let entry_ctls = find_exn "ENTRY_CTLS"
+let entry_msr_load_count = find_exn "ENTRY_MSR_LOAD_COUNT"
+let entry_intr_info = find_exn "ENTRY_INTR_INFO"
+let entry_exception_error_code = find_exn "ENTRY_EXCEPTION_ERROR_CODE"
+let entry_instruction_len = find_exn "ENTRY_INSTRUCTION_LEN"
+let tpr_threshold = find_exn "TPR_THRESHOLD"
+let vm_instruction_error = find_exn "VM_INSTRUCTION_ERROR"
+let exit_reason = find_exn "EXIT_REASON"
+let exit_qualification = find_exn "EXIT_QUALIFICATION"
+let exit_intr_info = find_exn "EXIT_INTR_INFO"
+let guest_interruptibility = find_exn "GUEST_INTERRUPTIBILITY"
+let guest_activity_state = find_exn "GUEST_ACTIVITY_STATE"
+let guest_sysenter_cs = find_exn "GUEST_SYSENTER_CS"
+let guest_sysenter_esp = find_exn "GUEST_SYSENTER_ESP"
+let guest_sysenter_eip = find_exn "GUEST_SYSENTER_EIP"
+let preemption_timer_value = find_exn "PREEMPTION_TIMER_VALUE"
+let cr0_guest_host_mask = find_exn "CR0_GUEST_HOST_MASK"
+let cr4_guest_host_mask = find_exn "CR4_GUEST_HOST_MASK"
+let cr0_read_shadow = find_exn "CR0_READ_SHADOW"
+let cr4_read_shadow = find_exn "CR4_READ_SHADOW"
+let guest_cr0 = find_exn "GUEST_CR0"
+let guest_cr3 = find_exn "GUEST_CR3"
+let guest_cr4 = find_exn "GUEST_CR4"
+let guest_dr7 = find_exn "GUEST_DR7"
+let guest_rsp = find_exn "GUEST_RSP"
+let guest_rip = find_exn "GUEST_RIP"
+let guest_rflags = find_exn "GUEST_RFLAGS"
+let guest_pending_dbg = find_exn "GUEST_PENDING_DBG_EXCEPTIONS"
+let guest_gdtr_base = find_exn "GUEST_GDTR_BASE"
+let guest_idtr_base = find_exn "GUEST_IDTR_BASE"
+let guest_gdtr_limit = find_exn "GUEST_GDTR_LIMIT"
+let guest_idtr_limit = find_exn "GUEST_IDTR_LIMIT"
+let host_cr0 = find_exn "HOST_CR0"
+let host_cr3 = find_exn "HOST_CR3"
+let host_cr4 = find_exn "HOST_CR4"
+let host_rsp = find_exn "HOST_RSP"
+let host_rip = find_exn "HOST_RIP"
+let host_fs_base = find_exn "HOST_FS_BASE"
+let host_gs_base = find_exn "HOST_GS_BASE"
+let host_tr_base = find_exn "HOST_TR_BASE"
+let host_gdtr_base = find_exn "HOST_GDTR_BASE"
+let host_idtr_base = find_exn "HOST_IDTR_BASE"
+let host_sysenter_cs = find_exn "HOST_SYSENTER_CS"
+let host_sysenter_esp = find_exn "HOST_SYSENTER_ESP"
+let host_sysenter_eip = find_exn "HOST_SYSENTER_EIP"
+let host_cs_selector = find_exn "HOST_CS_SELECTOR"
+let host_tr_selector = find_exn "HOST_TR_SELECTOR"
+let host_ss_selector = find_exn "HOST_SS_SELECTOR"
+
+(* Per-segment field lookup. *)
+let seg_name r = Nf_x86.Seg.register_name r
+let guest_selector r = find_exn (Printf.sprintf "GUEST_%s_SELECTOR" (seg_name r))
+let guest_base r = find_exn (Printf.sprintf "GUEST_%s_BASE" (seg_name r))
+let guest_limit r = find_exn (Printf.sprintf "GUEST_%s_LIMIT" (seg_name r))
+let guest_ar r = find_exn (Printf.sprintf "GUEST_%s_AR" (seg_name r))
+
+let host_selector r =
+  match (r : Nf_x86.Seg.register) with
+  | ES | CS | SS | DS | FS | GS | TR ->
+      find_exn (Printf.sprintf "HOST_%s_SELECTOR" (seg_name r))
+  | LDTR -> invalid_arg "host has no LDTR selector field"
+
+(* Guest activity states (SDM Vol. 3C §24.4.2). *)
+module Activity = struct
+  let active = 0L
+  let hlt = 1L
+  let shutdown = 2L
+  let wait_for_sipi = 3L
+
+  let name = function
+    | 0L -> "ACTIVE"
+    | 1L -> "HLT"
+    | 2L -> "SHUTDOWN"
+    | 3L -> "WAIT_FOR_SIPI"
+    | v -> Printf.sprintf "ACTIVITY(%Ld)" v
+end

@@ -1,0 +1,148 @@
+(** VMCS field layout: a fixed table of 165 fields totalling exactly
+    8,000 bits — the VM-state figure of the paper's Fig. 5 experiment.
+    Each field carries its Intel-style encoding, width class and area;
+    field identity is a dense integer index, keeping the store a flat
+    array and the bit-level serialisation deterministic. *)
+
+type width = W16 | W32 | W64 | Natural
+
+(** Natural-width fields are 64-bit on a 64-bit processor. *)
+val bits_of_width : width -> int
+
+type group =
+  | Control (** VM-execution, entry and exit controls and addresses *)
+  | Exit_info (** read-only exit information *)
+  | Guest (** guest-state area *)
+  | Host (** host-state area *)
+
+val group_name : group -> string
+
+type t = int (** dense index into the field table *)
+
+type info = {
+  index : int;
+  name : string;
+  encoding : int;
+  width : width;
+  group : group;
+}
+
+(** Number of fields (165). *)
+val count : int
+
+val info : t -> info
+val name : t -> string
+val width : t -> width
+val group : t -> group
+val encoding : t -> int
+val bits : t -> int
+
+(** Sum of all field widths (8,000). *)
+val total_bits : int
+
+(** Every field, in table (serialisation) order. *)
+val all : t list
+
+(** @raise Invalid_argument on an unknown field name. *)
+val find_exn : string -> t
+
+val of_encoding : int -> t option
+val in_group : group -> t list
+
+(* Named fields manipulated directly by the framework. *)
+
+val vpid : t
+val posted_intr_nv : t
+val io_bitmap_a : t
+val io_bitmap_b : t
+val msr_bitmap : t
+val exit_msr_store_addr : t
+val exit_msr_load_addr : t
+val entry_msr_load_addr : t
+val virtual_apic_page_addr : t
+val apic_access_addr : t
+val posted_intr_desc_addr : t
+val ept_pointer : t
+val tsc_offset : t
+val vmcs_link_pointer : t
+val guest_ia32_debugctl : t
+val guest_ia32_pat : t
+val guest_ia32_efer : t
+val guest_pdpte0 : t
+val host_ia32_pat : t
+val host_ia32_efer : t
+val pin_based_ctls : t
+val proc_based_ctls : t
+val proc_based_ctls2 : t
+val exception_bitmap : t
+val cr3_target_count : t
+val exit_ctls : t
+val exit_msr_store_count : t
+val exit_msr_load_count : t
+val entry_ctls : t
+val entry_msr_load_count : t
+val entry_intr_info : t
+val entry_exception_error_code : t
+val entry_instruction_len : t
+val tpr_threshold : t
+val vm_instruction_error : t
+val exit_reason : t
+val exit_qualification : t
+val exit_intr_info : t
+val guest_interruptibility : t
+val guest_activity_state : t
+val guest_sysenter_cs : t
+val guest_sysenter_esp : t
+val guest_sysenter_eip : t
+val preemption_timer_value : t
+val cr0_guest_host_mask : t
+val cr4_guest_host_mask : t
+val cr0_read_shadow : t
+val cr4_read_shadow : t
+val guest_cr0 : t
+val guest_cr3 : t
+val guest_cr4 : t
+val guest_dr7 : t
+val guest_rsp : t
+val guest_rip : t
+val guest_rflags : t
+val guest_pending_dbg : t
+val guest_gdtr_base : t
+val guest_idtr_base : t
+val guest_gdtr_limit : t
+val guest_idtr_limit : t
+val host_cr0 : t
+val host_cr3 : t
+val host_cr4 : t
+val host_rsp : t
+val host_rip : t
+val host_fs_base : t
+val host_gs_base : t
+val host_tr_base : t
+val host_gdtr_base : t
+val host_idtr_base : t
+val host_sysenter_cs : t
+val host_sysenter_esp : t
+val host_sysenter_eip : t
+val host_cs_selector : t
+val host_tr_selector : t
+val host_ss_selector : t
+
+(** Per-segment field lookup. *)
+val guest_selector : Nf_x86.Seg.register -> t
+
+val guest_base : Nf_x86.Seg.register -> t
+val guest_limit : Nf_x86.Seg.register -> t
+val guest_ar : Nf_x86.Seg.register -> t
+
+(** @raise Invalid_argument for LDTR (the host has no LDTR selector). *)
+val host_selector : Nf_x86.Seg.register -> t
+
+(** Guest activity states (SDM Vol. 3C §24.4.2). *)
+module Activity : sig
+  val active : int64
+  val hlt : int64
+  val shutdown : int64
+  val wait_for_sipi : int64
+  val name : int64 -> string
+end

@@ -1,0 +1,112 @@
+(** VMCS store: a flat array of field values plus launch-state tracking.
+
+    The store keeps every field truncated to its declared width, so
+    bit-level serialisation and Hamming distances are well defined.  The
+    [revision_id] and [launch_state] mirror the parts of the hardware
+    structure that the VMX instruction emulation needs (vmclear /
+    vmptrld / vmlaunch sequencing). *)
+
+module Field = Field
+module Controls = Controls
+
+type launch_state = Clear | Launched
+
+type t = {
+  values : int64 array;
+  mutable revision_id : int;
+  mutable launch_state : launch_state;
+}
+
+let create () =
+  { values = Array.make Field.count 0L; revision_id = 0; launch_state = Clear }
+
+let copy t =
+  {
+    values = Array.copy t.values;
+    revision_id = t.revision_id;
+    launch_state = t.launch_state;
+  }
+
+let read t f = t.values.(f)
+
+let write t f v =
+  t.values.(f) <- Nf_stdext.Bits.truncate v (Field.bits f)
+
+let read_bit t f n = Nf_stdext.Bits.is_set (read t f) n
+
+let set_bit t f n b = write t f (Nf_stdext.Bits.assign (read t f) n b)
+
+let flip_bit t f n = write t f (Nf_stdext.Bits.flip (read t f) n)
+
+let clear_all t =
+  Array.fill t.values 0 Field.count 0L;
+  t.launch_state <- Clear
+
+(** Bit-level serialisation: fields are packed consecutively, least
+    significant bit first, in table order.  The blob is
+    [Field.total_bits / 8] bytes (the "several KB" VM state of the paper:
+    165 fields, ~8,000 bits). *)
+let blob_bytes = (Field.total_bits + 7) / 8
+
+(* Every field width is a byte multiple, so the packing is byte-aligned:
+   (de)serialisation works in whole bytes. *)
+let field_byte_offsets =
+  let offs = Array.make Field.count 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun f ->
+      offs.(f) <- !pos;
+      assert (Field.bits f mod 8 = 0);
+      pos := !pos + (Field.bits f / 8))
+    Field.all;
+  offs
+
+let to_blob t =
+  let b = Bytes.make blob_bytes '\000' in
+  List.iter
+    (fun f ->
+      let off = field_byte_offsets.(f) in
+      let v = t.values.(f) in
+      for k = 0 to (Field.bits f / 8) - 1 do
+        Bytes.set b (off + k)
+          (Char.chr
+             (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xFF))
+      done)
+    Field.all;
+  b
+
+let of_blob b =
+  let t = create () in
+  let len = Bytes.length b in
+  List.iter
+    (fun f ->
+      let off = field_byte_offsets.(f) in
+      let v = ref 0L in
+      for k = 0 to (Field.bits f / 8) - 1 do
+        let byte = if off + k < len then Char.code (Bytes.get b (off + k)) else 0 in
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int byte) (8 * k))
+      done;
+      t.values.(f) <- !v)
+    Field.all;
+  t
+
+(** Number of differing bits between two VM states, per-field widths
+    respected — the metric of the paper's Fig. 5. *)
+let hamming a b =
+  List.fold_left
+    (fun acc f ->
+      acc + Nf_stdext.Bits.hamming ~width:(Field.bits f) a.values.(f) b.values.(f))
+    0 Field.all
+
+let equal a b = Array.for_all2 Int64.equal a.values b.values
+
+(** Fields that differ between two states, for debugging/triage output. *)
+let diff a b =
+  List.filter (fun f -> a.values.(f) <> b.values.(f)) Field.all
+
+let pp_diff ppf (a, b) =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s: %Lx -> %Lx@." (Field.name f) a.values.(f)
+        b.values.(f))
+    (diff a b)

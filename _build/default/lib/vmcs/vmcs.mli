@@ -1,0 +1,53 @@
+(** VMCS store: a flat array of field values plus launch-state tracking.
+
+    Every field is kept truncated to its declared width, so bit-level
+    serialisation and Hamming distances are well defined.  The
+    [revision_id] and [launch_state] mirror the parts of the hardware
+    structure the VMX instruction emulation needs (vmclear / vmptrld /
+    vmlaunch sequencing). *)
+
+module Field = Field
+module Controls = Controls
+
+type launch_state = Clear | Launched
+
+type t = {
+  values : int64 array;
+  mutable revision_id : int;
+  mutable launch_state : launch_state;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val read : t -> Field.t -> int64
+
+(** Writes are truncated to the field's width. *)
+val write : t -> Field.t -> int64 -> unit
+
+val read_bit : t -> Field.t -> int -> bool
+val set_bit : t -> Field.t -> int -> bool -> unit
+val flip_bit : t -> Field.t -> int -> unit
+
+(** Zero every field and reset the launch state. *)
+val clear_all : t -> unit
+
+(** Size of the serialised state: [Field.total_bits / 8] = 1,000 bytes. *)
+val blob_bytes : int
+
+(** Byte-level serialisation in table order, little-endian per field. *)
+val to_blob : t -> Bytes.t
+
+(** Inverse of {!to_blob}; short blobs zero-fill the tail. *)
+val of_blob : Bytes.t -> t
+
+(** Number of differing bits between two VM states (per-field widths
+    respected) — the metric of the paper's Fig. 5. *)
+val hamming : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Fields whose values differ, for triage output. *)
+val diff : t -> t -> Field.t list
+
+val pp_diff : Format.formatter -> t * t -> unit

@@ -1,0 +1,1 @@
+lib/x86/cr4.ml: Format List Nf_stdext Printf String

@@ -1,0 +1,1 @@
+lib/x86/efer.ml: Format List Nf_stdext Printf String

@@ -1,0 +1,1 @@
+lib/x86/seg.ml: Int64 Nf_stdext

@@ -1,0 +1,36 @@
+(** CR0 control register bits (Intel SDM Vol. 3A §2.5, AMD APM Vol. 2 §3.1). *)
+
+let pe = 0 (* protection enable *)
+let mp = 1 (* monitor coprocessor *)
+let em = 2 (* emulation *)
+let ts = 3 (* task switched *)
+let et = 4 (* extension type (fixed 1 on modern CPUs) *)
+let ne = 5 (* numeric error *)
+let wp = 16 (* write protect *)
+let am = 18 (* alignment mask *)
+let nw = 29 (* not write-through *)
+let cd = 30 (* cache disable *)
+let pg = 31 (* paging *)
+
+let all_defined = [ pe; mp; em; ts; et; ne; wp; am; nw; cd; pg ]
+
+let defined_mask =
+  List.fold_left (fun m b -> Nf_stdext.Bits.set m b) 0L all_defined
+
+let name = function
+  | 0 -> "PE"
+  | 1 -> "MP"
+  | 2 -> "EM"
+  | 3 -> "TS"
+  | 4 -> "ET"
+  | 5 -> "NE"
+  | 16 -> "WP"
+  | 18 -> "AM"
+  | 29 -> "NW"
+  | 30 -> "CD"
+  | 31 -> "PG"
+  | n -> Printf.sprintf "CR0[%d]" n
+
+let pp ppf v =
+  let set = List.filter (Nf_stdext.Bits.is_set v) all_defined in
+  Format.fprintf ppf "CR0{%s}" (String.concat "," (List.map name set))

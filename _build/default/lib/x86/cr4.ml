@@ -1,0 +1,44 @@
+(** CR4 control register bits (Intel SDM Vol. 3A §2.5). *)
+
+let vme = 0
+let pvi = 1
+let tsd = 2
+let de = 3
+let pse = 4
+let pae = 5
+let mce = 6
+let pge = 7
+let pce = 8
+let osfxsr = 9
+let osxmmexcpt = 10
+let umip = 11
+let la57 = 12
+let vmxe = 13
+let smxe = 14
+let fsgsbase = 16
+let pcide = 17
+let osxsave = 18
+let smep = 20
+let smap = 21
+let pke = 22
+let cet = 23
+let pks = 24
+
+let all_defined =
+  [ vme; pvi; tsd; de; pse; pae; mce; pge; pce; osfxsr; osxmmexcpt; umip;
+    la57; vmxe; smxe; fsgsbase; pcide; osxsave; smep; smap; pke; cet; pks ]
+
+let defined_mask =
+  List.fold_left (fun m b -> Nf_stdext.Bits.set m b) 0L all_defined
+
+let name = function
+  | 0 -> "VME" | 1 -> "PVI" | 2 -> "TSD" | 3 -> "DE" | 4 -> "PSE"
+  | 5 -> "PAE" | 6 -> "MCE" | 7 -> "PGE" | 8 -> "PCE" | 9 -> "OSFXSR"
+  | 10 -> "OSXMMEXCPT" | 11 -> "UMIP" | 12 -> "LA57" | 13 -> "VMXE"
+  | 14 -> "SMXE" | 16 -> "FSGSBASE" | 17 -> "PCIDE" | 18 -> "OSXSAVE"
+  | 20 -> "SMEP" | 21 -> "SMAP" | 22 -> "PKE" | 23 -> "CET" | 24 -> "PKS"
+  | n -> Printf.sprintf "CR4[%d]" n
+
+let pp ppf v =
+  let set = List.filter (Nf_stdext.Bits.is_set v) all_defined in
+  Format.fprintf ppf "CR4{%s}" (String.concat "," (List.map name set))

@@ -1,0 +1,24 @@
+(** IA32_EFER / AMD EFER bits. *)
+
+let sce = 0 (* syscall enable *)
+let lme = 8 (* long mode enable *)
+let lma = 10 (* long mode active *)
+let nxe = 11 (* no-execute enable *)
+let svme = 12 (* AMD: secure virtual machine enable *)
+let lmsle = 13 (* AMD: long mode segment limit enable *)
+let ffxsr = 14 (* AMD: fast FXSAVE/FXRSTOR *)
+let tce = 15 (* AMD: translation cache extension *)
+
+let all_defined = [ sce; lme; lma; nxe; svme; lmsle; ffxsr; tce ]
+
+let defined_mask =
+  List.fold_left (fun m b -> Nf_stdext.Bits.set m b) 0L all_defined
+
+let name = function
+  | 0 -> "SCE" | 8 -> "LME" | 10 -> "LMA" | 11 -> "NXE" | 12 -> "SVME"
+  | 13 -> "LMSLE" | 14 -> "FFXSR" | 15 -> "TCE"
+  | n -> Printf.sprintf "EFER[%d]" n
+
+let pp ppf v =
+  let set = List.filter (Nf_stdext.Bits.is_set v) all_defined in
+  Format.fprintf ppf "EFER{%s}" (String.concat "," (List.map name set))

@@ -1,0 +1,59 @@
+(** x86 exception vectors and interruption-information helpers. *)
+
+let de = 0 (* divide error *)
+let db = 1
+let nmi = 2
+let bp = 3
+let of_ = 4
+let br = 5
+let ud = 6
+let nm = 7
+let df = 8 (* double fault *)
+let ts = 10
+let np = 11
+let ss = 12
+let gp = 13 (* general protection *)
+let pf = 14 (* page fault *)
+let mf = 16
+let ac = 17
+let mc = 18
+let xm = 19
+let ve = 20 (* virtualization exception *)
+
+let has_error_code = function
+  | 8 | 10 | 11 | 12 | 13 | 14 | 17 -> true
+  | _ -> false
+
+let name = function
+  | 0 -> "#DE" | 1 -> "#DB" | 2 -> "NMI" | 3 -> "#BP" | 4 -> "#OF"
+  | 5 -> "#BR" | 6 -> "#UD" | 7 -> "#NM" | 8 -> "#DF" | 10 -> "#TS"
+  | 11 -> "#NP" | 12 -> "#SS" | 13 -> "#GP" | 14 -> "#PF" | 16 -> "#MF"
+  | 17 -> "#AC" | 18 -> "#MC" | 19 -> "#XM" | 20 -> "#VE"
+  | n -> Printf.sprintf "vec%d" n
+
+(* VM-entry interruption-information field layout (SDM Vol. 3C §24.8.3). *)
+module Intr_info = struct
+  let vector v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:0 ~width:8)
+  let typ v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:8 ~width:3)
+  let deliver_error_code v = Nf_stdext.Bits.is_set v 11
+  let valid v = Nf_stdext.Bits.is_set v 31
+
+  let type_external = 0
+  let type_nmi = 2
+  let type_hw_exception = 3
+  let type_sw_interrupt = 4
+  let type_priv_sw_exception = 5
+  let type_sw_exception = 6
+  let type_other = 7
+
+  let reserved_mask =
+    (* bits 12..30 reserved. *)
+    Int64.shift_left (Nf_stdext.Bits.mask 19) 12
+
+  let make ?(valid = true) ?(deliver_ec = false) ~typ ~vector () =
+    let open Nf_stdext.Bits in
+    let v = Int64.of_int (vector land 0xFF) in
+    let v = insert v ~lo:8 ~width:3 (Int64.of_int typ) in
+    let v = assign v 11 deliver_ec in
+    assign v 31 valid
+end

@@ -1,0 +1,75 @@
+(** Model-specific register numbers used by the framework. *)
+
+let ia32_tsc = 0x10
+let ia32_apic_base = 0x1B
+let ia32_feature_control = 0x3A
+let ia32_spec_ctrl = 0x48
+let ia32_sysenter_cs = 0x174
+let ia32_sysenter_esp = 0x175
+let ia32_sysenter_eip = 0x176
+let ia32_debugctl = 0x1D9
+let ia32_pat = 0x277
+let ia32_perf_global_ctrl = 0x38F
+
+(* VMX capability MSRs (Intel SDM Vol. 3D App. A). *)
+let ia32_vmx_basic = 0x480
+let ia32_vmx_pinbased_ctls = 0x481
+let ia32_vmx_procbased_ctls = 0x482
+let ia32_vmx_exit_ctls = 0x483
+let ia32_vmx_entry_ctls = 0x484
+let ia32_vmx_misc = 0x485
+let ia32_vmx_cr0_fixed0 = 0x486
+let ia32_vmx_cr0_fixed1 = 0x487
+let ia32_vmx_cr4_fixed0 = 0x488
+let ia32_vmx_cr4_fixed1 = 0x489
+let ia32_vmx_vmcs_enum = 0x48A
+let ia32_vmx_procbased_ctls2 = 0x48B
+let ia32_vmx_ept_vpid_cap = 0x48C
+let ia32_vmx_true_pinbased_ctls = 0x48D
+let ia32_vmx_true_procbased_ctls = 0x48E
+let ia32_vmx_true_exit_ctls = 0x48F
+let ia32_vmx_true_entry_ctls = 0x490
+let ia32_vmx_vmfunc = 0x491
+
+let ia32_bndcfgs = 0xD90
+let ia32_xss = 0xDA0
+
+let ia32_efer = 0xC0000080
+let ia32_star = 0xC0000081
+let ia32_lstar = 0xC0000082
+let ia32_cstar = 0xC0000083
+let ia32_fmask = 0xC0000084
+let ia32_fs_base = 0xC0000100
+let ia32_gs_base = 0xC0000101
+let ia32_kernel_gs_base = 0xC0000102
+let ia32_tsc_aux = 0xC0000103
+
+(* AMD SVM. *)
+let amd_vm_cr = 0xC0010114
+let amd_vm_hsave_pa = 0xC0010117
+
+(** MSRs whose value must be a canonical linear address when loaded — the
+    class of MSR that CVE-2024-21106 concerns. *)
+let must_be_canonical =
+  [ ia32_sysenter_esp; ia32_sysenter_eip; ia32_fs_base; ia32_gs_base;
+    ia32_kernel_gs_base; ia32_lstar; ia32_cstar ]
+
+let name m =
+  if m = ia32_tsc then "IA32_TSC"
+  else if m = ia32_apic_base then "IA32_APIC_BASE"
+  else if m = ia32_feature_control then "IA32_FEATURE_CONTROL"
+  else if m = ia32_sysenter_cs then "IA32_SYSENTER_CS"
+  else if m = ia32_sysenter_esp then "IA32_SYSENTER_ESP"
+  else if m = ia32_sysenter_eip then "IA32_SYSENTER_EIP"
+  else if m = ia32_debugctl then "IA32_DEBUGCTL"
+  else if m = ia32_pat then "IA32_PAT"
+  else if m = ia32_efer then "IA32_EFER"
+  else if m = ia32_star then "IA32_STAR"
+  else if m = ia32_lstar then "IA32_LSTAR"
+  else if m = ia32_cstar then "IA32_CSTAR"
+  else if m = ia32_fs_base then "IA32_FS_BASE"
+  else if m = ia32_gs_base then "IA32_GS_BASE"
+  else if m = ia32_kernel_gs_base then "IA32_KERNEL_GS_BASE"
+  else if m = amd_vm_cr then "AMD_VM_CR"
+  else if m = amd_vm_hsave_pa then "AMD_VM_HSAVE_PA"
+  else Printf.sprintf "MSR(0x%X)" m

@@ -1,0 +1,32 @@
+(** RFLAGS bits.  Bit 1 is reserved and must always read 1; bits 3, 5 and
+    15 are reserved-zero — the VM-entry checks enforce both. *)
+
+let cf = 0
+let reserved_one = 1
+let pf = 2
+let af = 4
+let zf = 6
+let sf = 7
+let tf = 8
+let if_ = 9
+let df = 10
+let of_ = 11
+let iopl_lo = 12
+let iopl_hi = 13
+let nt = 14
+let rf = 16
+let vm = 17
+let ac = 18
+let vif = 19
+let vip = 20
+let id = 21
+
+let reserved_zero_mask =
+  (* bits 3, 5, 15 and 22..63 *)
+  let open Nf_stdext.Bits in
+  let m = set (set (set 0L 3) 5) 15 in
+  Int64.logor m (Int64.shift_left (-1L) 22)
+
+let valid v =
+  let open Nf_stdext.Bits in
+  is_set v reserved_one && Int64.logand v reserved_zero_mask = 0L

@@ -1,0 +1,76 @@
+(** Segment registers and their VMCS access-rights encoding.
+
+    The VMCS stores each segment's selector, base, limit and an
+    access-rights word whose layout mirrors bits 8..23 of a segment
+    descriptor plus an "unusable" bit (bit 16).  The VM-entry guest-state
+    checks (SDM Vol. 3C §26.3.1.2) place detailed constraints on these —
+    they are the part of the specification where the two Bochs bugs the
+    paper patched were found. *)
+
+type register = ES | CS | SS | DS | FS | GS | LDTR | TR
+
+let registers = [ ES; CS; SS; DS; FS; GS; LDTR; TR ]
+
+let register_name = function
+  | ES -> "ES" | CS -> "CS" | SS -> "SS" | DS -> "DS"
+  | FS -> "FS" | GS -> "GS" | LDTR -> "LDTR" | TR -> "TR"
+
+(* Access-rights word bit fields. *)
+module Ar = struct
+  let type_lo = 0 (* bits 0..3: segment type *)
+
+  let s = 4 (* descriptor type: 0 = system, 1 = code/data *)
+  let dpl_lo = 5 (* bits 5..6 *)
+
+  let p = 7 (* present *)
+  let avl = 12
+  let l = 13 (* 64-bit code segment *)
+  let db = 14 (* default operation size *)
+  let g = 15 (* granularity *)
+  let unusable = 16 (* VMX-only: segment unusable *)
+
+  let get_type v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:type_lo ~width:4)
+  let get_dpl v = Int64.to_int (Nf_stdext.Bits.extract v ~lo:dpl_lo ~width:2)
+  let is_code_data v = Nf_stdext.Bits.is_set v s
+  let is_present v = Nf_stdext.Bits.is_set v p
+  let is_unusable v = Nf_stdext.Bits.is_set v unusable
+  let is_long v = Nf_stdext.Bits.is_set v l
+  let is_db v = Nf_stdext.Bits.is_set v db
+  let is_granular v = Nf_stdext.Bits.is_set v g
+
+  let make ?(typ = 0xB) ?(code_data = true) ?(dpl = 0) ?(present = true)
+      ?(long = false) ?(db = false) ?(gran = true) ?(unusable = false) () =
+    let open Nf_stdext.Bits in
+    let v = Int64.of_int (typ land 0xF) in
+    let v = insert v ~lo:dpl_lo ~width:2 (Int64.of_int dpl) in
+    let v = assign v s code_data in
+    let v = assign v p present in
+    let v = assign v l long in
+    let v = assign v 14 db in
+    let v = assign v g gran in
+    assign v 16 unusable
+
+  (* Reserved bits of the access-rights word: 8..11 and 17..31 must be 0
+     when the segment is usable. *)
+  let reserved_mask =
+    let open Nf_stdext.Bits in
+    Int64.logor
+      (Int64.shift_left (mask 4) 8)
+      (Int64.shift_left (mask 15) 17)
+end
+
+(* Segment type values for code/data descriptors (SDM Vol. 3A §3.4.5.1). *)
+let type_data_rw_accessed = 0x3
+let type_data_rw_expand_down = 0x7
+let type_code_exec_read_accessed = 0xB
+let type_code_conforming = 0xF
+let type_tss_busy_16 = 0x3
+let type_tss_busy = 0xB (* 64-bit / 32-bit busy TSS *)
+let type_ldt = 0x2
+
+(** A fully populated canonical flat segment (64-bit code for CS,
+    read/write data otherwise). *)
+let flat_code_ar = Ar.make ~typ:type_code_exec_read_accessed ~long:true ()
+let flat_data_ar = Ar.make ~typ:type_data_rw_accessed ()
+let tr_ar = Ar.make ~typ:type_tss_busy ~code_data:false ~gran:false ()
+let ldtr_unusable_ar = Ar.make ~unusable:true ()

@@ -1,0 +1,1 @@
+lib/xen/svm_nested.ml: Hashtbl Int64 List Nf_coverage Nf_cpu Nf_hv Nf_sanitizer Nf_stdext Nf_validator Nf_vmcb Nf_x86 Printf Vmcb

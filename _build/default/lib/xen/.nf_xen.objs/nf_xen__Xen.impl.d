@@ -1,0 +1,1 @@
+lib/xen/xen.ml: Nf_cpu Nf_hv Svm_nested Vmx_nested

@@ -1,0 +1,384 @@
+(** Simulated Xen nested SVM: the xen/arch/x86/hvm/svm/nestedsvm.c model
+    (794 instrumented lines in the paper).
+
+    Two planted bugs (paper §5.5.2, Xen issues #215/#216):
+
+    - LMA && !PG: the L1 hypervisor sets CR0.PG=0 in VMCB12 after having
+      run a 64-bit L2.  The AMD manual permits the state but does not
+      define VMRUN's behaviour; Xen's merge corrupts its virtual
+      interrupt state and erroneously enables AVIC in VMCB02, producing
+      an AVIC_NOACCEL exit on a platform where AVIC is unsupported, and a
+      BUG() on the way.
+    - VGIF assertion: an invalid VMCB12 CR4 makes VMRUN fail (correctly
+      reflected as VMEXIT_INVALID), but nsvm_vcpu_vmexit_inject()
+      ASSERTs that the virtual GIF is set whenever vGIF is enabled — the
+      fuzz-harness VM can leave it at 0. *)
+
+open Nf_vmcb
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+let region = Cov.create_region "xen-svm-nested"
+let file = "xen/arch/x86/hvm/svm/nestedsvm.c"
+
+let guest_mem_limit = 0x4000_0000L
+
+let missing_checks : string list = []
+
+let probe name lines = Cov.probe region ~file ~lines name
+
+module P = struct
+  let handle_vmrun = probe "nsvm_vcpu_vmrun" 22
+  let vmrun_no_svme = probe "vmrun:efer-svme-clear" 8
+  let vmrun_bad_addr = probe "vmrun:bad-vmcb-address" 8
+  let copy_vmcb12 = probe "nsvm_vmcb_prepare4vmrun:fetch" 20
+  let reflect_invalid = probe "vmrun:reflect-VMEXIT_INVALID" 12
+  let vmexit_inject = probe "nsvm_vcpu_vmexit_inject" 24
+  let vgif_assert = probe "nsvm_vcpu_vmexit_inject:ASSERT-vgif" 4
+  let merge_controls = probe "nsvm_vmcb_prepare4vmrun:control" 52
+  let merge_save = probe "nsvm_vmcb_prepare4vmrun:save" 34
+  let merge_npt_on = probe "nestedhvm:hap-on-hap" 24
+  let merge_shadow = probe "nestedhvm:shadow" 26
+  let merge_nrips = probe "merge:nrips" 8
+  let merge_vgif = probe "merge:vgif" 12
+  let merge_lbr = probe "merge:lbr-virt" 8
+  let merge_pause = probe "merge:pause-filter" 8
+  let bug_lma_pg = probe "merge:lma-without-pg-avic-corruption" 6
+  let entry_success = probe "vmcb02-entry-success" 12
+  let entry_hw_fail = probe "vmcb02-entry-hw-failure" 8
+  let handle_vmload = probe "nsvm_vmcb_vmload" 14
+  let handle_vmsave = probe "nsvm_vmcb_vmsave" 14
+  let handle_stgi = probe "nsvm_vcpu_stgi" 10
+  let handle_clgi = probe "nsvm_vcpu_clgi" 10
+  let handle_invlpga = probe "nsvm_invlpga" 8
+  let svm_insn_no_svme = probe "svm-insn:#UD-without-svme" 8
+  let exit_dispatch = probe "nestedsvm_check_intercepts" 28
+  let sync_vmcb12 = probe "nsvm_vmcb_prepare4vmexit" 44
+  let l2_paging = probe "nested-npt/shadow:l2" 18
+  (* Toolstack-only / rare. *)
+  let domctl_paths = probe "domctl:nested-svm-save-restore" 60
+  let init_paths = probe "nsvm_vcpu_initialise" 34
+  let rare = probe "rare:assert-paths" 26
+end
+
+let replica =
+  Nf_hv.Replica.Svm.register region ~file ~eval_lines:3 ~fail_lines:3
+    ~missing:missing_checks ()
+
+let exit_codes_modelled =
+  [ Vmcb.Exit.cpuid; Vmcb.Exit.hlt; Vmcb.Exit.msr; Vmcb.Exit.ioio;
+    Vmcb.Exit.rdtsc; Vmcb.Exit.rdpmc; Vmcb.Exit.pause; Vmcb.Exit.invlpg;
+    Vmcb.Exit.vmrun; Vmcb.Exit.vmmcall; Vmcb.Exit.vmload; Vmcb.Exit.vmsave;
+    Vmcb.Exit.stgi; Vmcb.Exit.clgi; Vmcb.Exit.xsetbv; Vmcb.Exit.wbinvd;
+    Vmcb.Exit.monitor; Vmcb.Exit.mwait; Vmcb.Exit.npf;
+    Vmcb.Exit.avic_noaccel ]
+
+let l0_handled_codes = [ Vmcb.Exit.msr; Vmcb.Exit.ioio; Vmcb.Exit.npf ]
+
+let reflect_probes, l0_probes =
+  let reflect = Hashtbl.create 32 and l0 = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace reflect c
+        (probe (Printf.sprintf "reflect:%s" (Vmcb.Exit.name c)) 4))
+    exit_codes_modelled;
+  List.iter
+    (fun c ->
+      Hashtbl.replace l0 c
+        (probe (Printf.sprintf "l0-handle:%s" (Vmcb.Exit.name c)) 6))
+    l0_handled_codes;
+  (reflect, l0)
+
+type t = {
+  features : Nf_cpu.Features.t;
+  caps_l1 : Nf_cpu.Svm_caps.t;
+  caps_l0 : Nf_cpu.Svm_caps.t;
+  san : San.t;
+  cov : Cov.Map.t;
+  mutable l1_efer : int64;
+  mutable gif : bool;
+  vmcb_regions : (int64, Vmcb.t) Hashtbl.t;
+  mutable current_vmcb12 : Vmcb.t option;
+  mutable in_l2 : bool;
+  mutable vmcb02 : Vmcb.t;
+  mutable prev_l2_long_mode : bool;
+      (* did the previous successful VMRUN run a 64-bit L2? *)
+  mutable dead : bool;
+  golden02 : Vmcb.t;
+}
+
+let hit t p = Cov.Map.hit t.cov p
+
+let create ~features ~sanitizer =
+  let features = Nf_cpu.Features.normalize features in
+  let caps_l0 = Nf_cpu.Svm_caps.zen3 in
+  let t =
+    {
+      features;
+      caps_l1 = Nf_cpu.Svm_caps.apply_features caps_l0 features;
+      caps_l0;
+      san = sanitizer;
+      cov = Cov.Map.create region;
+      l1_efer = 0L;
+      gif = true;
+      vmcb_regions = Hashtbl.create 7;
+      current_vmcb12 = None;
+      in_l2 = false;
+      vmcb02 = Vmcb.create ();
+      prev_l2_long_mode = false;
+      dead = false;
+      golden02 = Nf_validator.Golden.vmcb caps_l0;
+    }
+  in
+  hit t P.init_paths;
+  t
+
+let reset t =
+  hit t P.init_paths;
+  t.l1_efer <- 0L;
+  t.gif <- true;
+  Hashtbl.reset t.vmcb_regions;
+  t.current_vmcb12 <- None;
+  t.in_l2 <- false;
+  t.prev_l2_long_mode <- false;
+  t.dead <- false
+
+let svme t = Nf_stdext.Bits.is_set t.l1_efer Nf_x86.Efer.svme
+
+open Nf_hv.Hypervisor
+
+(* Bug 6 companion: the VMEXIT injection path's VGIF assertion.  Returns
+   true when the ASSERT fires. *)
+let vmexit_inject_assert_vgif t vmcb12 =
+  hit t P.vmexit_inject;
+  let vintr = Vmcb.read vmcb12 Vmcb.vintr_ctl in
+  if
+    t.features.vgif
+    && Nf_stdext.Bits.is_set vintr Vmcb.Vintr.v_gif_enable
+    && not (Nf_stdext.Bits.is_set vintr Vmcb.Vintr.v_gif)
+  then begin
+    hit t P.vgif_assert;
+    San.assert_fail t.san
+      "Assertion 'vgif is set' failed at nestedsvm.c:nsvm_vcpu_vmexit_inject \
+       (vGIF enabled but virtual GIF clear)";
+    true
+  end
+  else false
+
+let sync_exit_to_vmcb12 ?(copy_save = false) t vmcb12 ~code ~info1 ~info2 =
+  hit t P.sync_vmcb12;
+  Vmcb.write vmcb12 Vmcb.exitcode code;
+  Vmcb.write vmcb12 Vmcb.exitinfo1 info1;
+  Vmcb.write vmcb12 Vmcb.exitinfo2 info2;
+  if copy_save then
+    List.iter
+      (fun f ->
+        if Vmcb.field_area f = Vmcb.Save then
+          Vmcb.write vmcb12 f (Vmcb.read t.vmcb02 f))
+      Vmcb.all_fields;
+  ignore (vmexit_inject_assert_vgif t vmcb12)
+
+let prepare_vmcb02 t vmcb12 =
+  hit t P.merge_controls;
+  let v02 = Vmcb.copy t.golden02 in
+  let c12 f = Vmcb.read vmcb12 f in
+  let w f v = Vmcb.write v02 f v in
+  w Vmcb.intercept_cr_read (Int64.logor (Vmcb.read v02 Vmcb.intercept_cr_read) (c12 Vmcb.intercept_cr_read));
+  w Vmcb.intercept_cr_write (Int64.logor (Vmcb.read v02 Vmcb.intercept_cr_write) (c12 Vmcb.intercept_cr_write));
+  w Vmcb.intercept_exceptions (Int64.logor (Vmcb.read v02 Vmcb.intercept_exceptions) (c12 Vmcb.intercept_exceptions));
+  w Vmcb.intercept_vec3 (Int64.logor (Vmcb.read v02 Vmcb.intercept_vec3) (c12 Vmcb.intercept_vec3));
+  w Vmcb.intercept_vec4 (Int64.logor (Vmcb.read v02 Vmcb.intercept_vec4) (c12 Vmcb.intercept_vec4));
+  w Vmcb.guest_asid 3L;
+  if t.features.npt then begin
+    hit t P.merge_npt_on;
+    w Vmcb.nested_ctl (Nf_stdext.Bits.set 0L Vmcb.Nested.np_enable);
+    w Vmcb.n_cr3 0xA000L
+  end
+  else begin
+    hit t P.merge_shadow;
+    w Vmcb.nested_ctl 0L;
+    w Vmcb.intercept_cr_write
+      (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.intercept_cr_write) 3)
+  end;
+  if t.features.nrips then begin
+    hit t P.merge_nrips;
+    w Vmcb.nrip (c12 Vmcb.rip)
+  end;
+  if t.features.vgif && Vmcb.read_bit vmcb12 Vmcb.vintr_ctl Vmcb.Vintr.v_gif_enable
+  then begin
+    hit t P.merge_vgif;
+    w Vmcb.vintr_ctl
+      (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.vintr_ctl) Vmcb.Vintr.v_gif_enable)
+  end;
+  if t.features.pause_filter then hit t P.merge_pause;
+  hit t P.merge_lbr;
+  (* THE BUG (issue #216): with EFER.LME set and CR0.PG clear after a
+     64-bit L2 ran, Xen's merge corrupts the virtual-interrupt control
+     word and turns AVIC on in VMCB02. *)
+  let lme = Nf_stdext.Bits.is_set (c12 Vmcb.efer) Nf_x86.Efer.lme in
+  let pg = Nf_stdext.Bits.is_set (c12 Vmcb.cr0) Nf_x86.Cr0.pg in
+  if lme && (not pg) && t.prev_l2_long_mode then begin
+    hit t P.bug_lma_pg;
+    w Vmcb.vintr_ctl
+      (Nf_stdext.Bits.set (Vmcb.read v02 Vmcb.vintr_ctl) Vmcb.Vintr.avic_enable)
+  end;
+  hit t P.merge_save;
+  List.iter
+    (fun f -> if Vmcb.field_area f = Vmcb.Save then w f (c12 f))
+    Vmcb.all_fields;
+  v02
+
+let nsvm_vcpu_vmrun t addr : step_result =
+  hit t P.handle_vmrun;
+  if not (svme t) then begin
+    hit t P.vmrun_no_svme;
+    Fault Nf_x86.Exn.ud
+  end
+  else if
+    not (Nf_stdext.Bits.is_aligned addr 12 && addr >= 0L && addr < guest_mem_limit)
+  then begin
+    hit t P.vmrun_bad_addr;
+    Fault Nf_x86.Exn.gp
+  end
+  else begin
+    let vmcb12 =
+      match Hashtbl.find_opt t.vmcb_regions addr with
+      | Some v -> v
+      | None ->
+          let v = Vmcb.create () in
+          Hashtbl.replace t.vmcb_regions addr v;
+          v
+    in
+    t.current_vmcb12 <- Some vmcb12;
+    hit t P.copy_vmcb12;
+    let ctx = { Nf_cpu.Svm_checks.caps = t.caps_l1; vmcb = vmcb12 } in
+    match Nf_hv.Replica.Svm.run replica t.cov ctx with
+    | Error _ ->
+        (* Correctly reflect VMEXIT_INVALID — but the injection path can
+           trip the VGIF assertion (planted bug). *)
+        hit t P.reflect_invalid;
+        sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.invalid ~info1:0L ~info2:0L;
+        L2_exit_to_l1 Vmcb.Exit.invalid
+    | Ok () -> (
+        let v02 = prepare_vmcb02 t vmcb12 in
+        match Nf_cpu.Svm_cpu.vmrun ~caps:t.caps_l0 v02 with
+        | Nf_cpu.Svm_cpu.Entered ->
+            if Vmcb.read_bit v02 Vmcb.vintr_ctl Vmcb.Vintr.avic_enable then begin
+              (* AVIC was never supposed to be on: the next event takes an
+                 AVIC_NOACCEL exit and Xen BUG()s. *)
+              San.assert_fail t.san
+                "BUG at nestedsvm.c: unexpected VMEXIT_AVIC_NOACCEL (AVIC \
+                 erroneously enabled in VMCB02 with LMA && !PG)";
+              (match Hashtbl.find_opt l0_probes Vmcb.Exit.avic_noaccel with
+              | Some p -> hit t p
+              | None -> ());
+              sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.avic_noaccel
+                ~info1:0L ~info2:0L;
+              L2_exit_to_l1 Vmcb.Exit.avic_noaccel
+            end
+            else begin
+              hit t P.entry_success;
+              t.vmcb02 <- v02;
+              t.in_l2 <- true;
+              t.prev_l2_long_mode <-
+                Nf_stdext.Bits.is_set (Vmcb.read v02 Vmcb.efer) Nf_x86.Efer.lma
+                || (Nf_stdext.Bits.is_set (Vmcb.read v02 Vmcb.efer) Nf_x86.Efer.lme
+                   && Nf_stdext.Bits.is_set (Vmcb.read v02 Vmcb.cr0) Nf_x86.Cr0.pg);
+              L2_entered
+            end
+        | Nf_cpu.Svm_cpu.Vmexit_invalid { msg; _ } ->
+            hit t P.entry_hw_fail;
+            San.log_warn t.san "Xen: vmcb02 rejected by hardware: %s" msg;
+            sync_exit_to_vmcb12 t vmcb12 ~code:Vmcb.Exit.invalid ~info1:0L
+              ~info2:0L;
+            L2_exit_to_l1 Vmcb.Exit.invalid)
+  end
+
+let exec_l1 t (op : Nf_hv.L1_op.t) : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else begin
+    match op with
+    | Set_efer_svme b ->
+        t.l1_efer <- Nf_stdext.Bits.assign t.l1_efer Nf_x86.Efer.svme b;
+        Ok_step
+    | Vmrun addr -> nsvm_vcpu_vmrun t addr
+    | Vmcb_state state -> (
+        match Hashtbl.find_opt t.vmcb_regions 0x1000L with
+        | Some v ->
+            List.iter (fun f -> Vmcb.write v f (Vmcb.read state f)) Vmcb.all_fields;
+            Ok_step
+        | None ->
+            Hashtbl.replace t.vmcb_regions 0x1000L (Vmcb.copy state);
+            Ok_step)
+    | Vmload ->
+        hit t P.handle_vmload;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Vmsave ->
+        hit t P.handle_vmsave;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Stgi ->
+        hit t P.handle_stgi;
+        if svme t then begin t.gif <- true; Ok_step end
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Clgi ->
+        hit t P.handle_clgi;
+        if svme t then begin t.gif <- false; Ok_step end
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | Invlpga ->
+        hit t P.handle_invlpga;
+        if svme t then Ok_step
+        else begin hit t P.svm_insn_no_svme; Fault Nf_x86.Exn.ud end
+    | L1_insn insn -> begin
+        match insn with
+        | Nf_cpu.Insn.Wrmsr (m, v) when m = Nf_x86.Msr.ia32_efer ->
+            t.l1_efer <- v;
+            Ok_step
+        | _ -> Ok_step
+      end
+    | Vmxon _ | Vmxoff | Vmclear _ | Vmptrld _ | Vmptrst | Vmread _
+    | Vmwrite _ | Vmwrite_state _ | Vmlaunch | Vmresume | Invept _ | Invvpid _
+    | Set_entry_msr_area _ ->
+        Fault Nf_x86.Exn.ud
+  end
+
+let exec_l2 t insn : step_result =
+  if t.dead then Vm_killed "vm already terminated"
+  else if not t.in_l2 then Fault Nf_x86.Exn.ud
+  else begin
+    hit t P.l2_paging;
+    (if t.features.npt then begin
+       match Hashtbl.find_opt l0_probes Vmcb.Exit.npf with
+       | Some p -> hit t p
+       | None -> ()
+     end);
+    (match t.current_vmcb12 with
+    | Some vmcb12 when Vmcb.read_bit vmcb12 Vmcb.nested_ctl Vmcb.Nested.np_enable
+      -> (
+        match Hashtbl.find_opt reflect_probes Vmcb.Exit.npf with
+        | Some p -> hit t p
+        | None -> ())
+    | _ -> ());
+    match Nf_cpu.Svm_exec.decide t.vmcb02 insn with
+    | Nf_cpu.Svm_exec.No_exit -> Ok_step
+    | Nf_cpu.Svm_exec.Exit e -> (
+        hit t P.exit_dispatch;
+        let vmcb12 =
+          match t.current_vmcb12 with Some v -> v | None -> assert false
+        in
+        match Nf_cpu.Svm_exec.decide vmcb12 insn with
+        | Nf_cpu.Svm_exec.Exit e12 ->
+            (match Hashtbl.find_opt reflect_probes e12.code with
+            | Some p -> hit t p
+            | None -> ());
+            sync_exit_to_vmcb12 ~copy_save:true t vmcb12 ~code:e12.code
+              ~info1:e12.info1 ~info2:e12.info2;
+            t.in_l2 <- false;
+            L2_exit_to_l1 e12.code
+        | Nf_cpu.Svm_exec.No_exit ->
+            (match Hashtbl.find_opt l0_probes e.code with
+            | Some p -> hit t p
+            | None -> ());
+            L2_resumed)
+  end

@@ -1,0 +1,528 @@
+(** Simulated Xen nested VT-x: the xen/arch/x86/hvm/vmx/vmx.c model
+    (nested pieces, as instrumented in the paper: 1,401 lines).
+
+    Planted bug (paper §5.5.2, first Xen bug / fix [11]): Xen's nested
+    logic blindly copies the guest activity state from VMCS12 into
+    VMCS02.  SHUTDOWN and WAIT-FOR-SIPI are architecturally valid
+    activity states (they pass every consistency check), but entering a
+    nested guest in them stalls the platform: WAIT-FOR-SIPI blocks all
+    interrupts except SIPIs, so not only the guest but the whole host
+    becomes unresponsive. *)
+
+open Nf_vmcs
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+let region = Cov.create_region "xen-vmx-nested"
+let file = "xen/arch/x86/hvm/vmx/vmx.c"
+
+let guest_mem_limit = 0x4000_0000L
+
+(* Xen checks IA-32e/PAE (it is not vulnerable to the KVM CVE), but it
+   does not sanitize the activity state — that gap is in the merge path,
+   not in the check list. *)
+let missing_checks : string list = []
+
+let probe name lines = Cov.probe region ~file ~lines name
+
+module P = struct
+  let handle_vmxon = probe "nvmx_handle_vmxon" 18
+  let vmxon_err = probe "vmxon:error-paths" 12
+  let handle_vmxoff = probe "nvmx_handle_vmxoff" 10
+  let handle_vmclear = probe "nvmx_handle_vmclear" 18
+  let vmclear_err = probe "vmclear:error-paths" 10
+  let handle_vmptrld = probe "nvmx_handle_vmptrld" 20
+  let vmptrld_err = probe "vmptrld:error-paths" 14
+  let handle_vmptrst = probe "nvmx_handle_vmptrst" 8
+  let handle_vmread = probe "nvmx_handle_vmread" 14
+  let vmread_err = probe "vmread:error-paths" 8
+  let handle_vmwrite = probe "nvmx_handle_vmwrite" 16
+  let vmwrite_err = probe "vmwrite:error-paths" 10
+  let handle_invept = probe "nvmx_handle_invept" 12
+  let handle_invvpid = probe "nvmx_handle_invvpid" 12
+  let vmx_insn_ud = probe "vmx-insn:#UD" 6
+  let nested_msr_read = probe "nvmx_msr_read_intercept" 36
+  let vmentry = probe "nvmx_vmentry" 24
+  let vmentry_err = probe "nvmx_vmentry:launch-state" 8
+  let prepare_controls = probe "load_shadow_control" 60
+  let prepare_guest = probe "load_shadow_guest_state" 44
+  let prepare_host = probe "load_host_state" 18
+  let copy_activity_blind = probe "load_shadow_guest_state:activity" 4
+  let merge_ept = probe "nept:merge" 16
+  let merge_shadow_paging = probe "shadow-on-shadow" 20
+  let merge_vpid = probe "vpid:merge" 10
+  let merge_apicv = probe "apicv:merge" 14
+  let merge_preemption = probe "preemption-timer:merge" 8
+  let merge_msr_bitmap = probe "msr-bitmap:merge" 16
+  let event_injection = probe "nvmx_intercepts_exception" 18
+  let msr_load_loop = probe "nvmx_msr_load" 12
+  let msr_load_fail = probe "nvmx_msr_load:fail" 8
+  let entry_success = probe "vmcs02-entry-success" 12
+  let entry_hw_fail = probe "vmcs02-entry-hw-failure" 8
+  let bug_wait_for_sipi = probe "host-stall:wait-for-sipi" 5
+  let reflect_entry_failure = probe "nvmx_entry_failure" 14
+  let exit_dispatch = probe "nvmx_n2_vmexit_handler" 34
+  let sync_vmcs12 = probe "sync_vvmcs_guest_state" 50
+  let load_vmcs01 = probe "virtual_vmexit:restore-l1" 26
+  let l2_paging = probe "nept/shadow:l2-paging" 16
+  (* Toolstack-only / rare paths (unreachable from guests). *)
+  let domctl_paths = probe "domctl:nested-save-restore" 78
+  let init_paths = probe "nvmx_vcpu_initialise" 40
+  let altp2m = probe "altp2m-nested" 24
+  let rare = probe "rare:assert-paths" 20
+end
+
+let replica =
+  Nf_hv.Replica.Vmx.register region ~file ~eval_lines:3 ~fail_lines:3
+    ~missing:missing_checks ()
+
+let exit_reasons_modelled =
+  [ 0; 2; 10; 12; 13; 14; 15; 16; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27;
+    28; 29; 30; 31; 32; 36; 39; 40; 48; 50; 51; 53; 54; 55; 57 ]
+
+let l0_handled_reasons = [ 0; 28; 30; 31; 32; 48 ]
+
+let reflect_probes, l0_probes =
+  let reflect = Hashtbl.create 64 and l0 = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace reflect r
+        (probe (Printf.sprintf "reflect:%s" (Nf_cpu.Exit_reason.name r)) 4))
+    exit_reasons_modelled;
+  List.iter
+    (fun r ->
+      Hashtbl.replace l0 r
+        (probe (Printf.sprintf "l0-handle:%s" (Nf_cpu.Exit_reason.name r)) 6))
+    l0_handled_reasons;
+  (reflect, l0)
+
+type t = {
+  features : Nf_cpu.Features.t;
+  caps_l1 : Nf_cpu.Vmx_caps.t;
+  caps_l0 : Nf_cpu.Vmx_caps.t;
+  san : San.t;
+  cov : Cov.Map.t;
+  mutable l1_cr4 : int64;
+  mutable vmxon : bool;
+  mutable vmxon_ptr : int64;
+  mutable current_vmptr : int64;
+  vmcs_regions : (int64, Vmcs.t) Hashtbl.t;
+  mutable msr_load_area : (int * int64) array;
+  mutable in_l2 : bool;
+  mutable vmcs02 : Vmcs.t;
+  mutable dead : bool;
+  mutable host_down : bool;
+  golden02 : Vmcs.t;
+}
+
+let hit t p = Cov.Map.hit t.cov p
+
+let create ~features ~sanitizer =
+  let features = Nf_cpu.Features.normalize features in
+  let caps_l0 = Nf_cpu.Vmx_caps.alder_lake in
+  let t =
+    {
+      features;
+      caps_l1 = Nf_cpu.Vmx_caps.apply_features caps_l0 features;
+      caps_l0;
+      san = sanitizer;
+      cov = Cov.Map.create region;
+      l1_cr4 = 0L;
+      vmxon = false;
+      vmxon_ptr = -1L;
+      current_vmptr = -1L;
+      vmcs_regions = Hashtbl.create 7;
+      msr_load_area = [||];
+      in_l2 = false;
+      vmcs02 = Vmcs.create ();
+      dead = false;
+      host_down = false;
+      golden02 = Nf_validator.Golden.vmcs caps_l0;
+    }
+  in
+  hit t P.init_paths;
+  t
+
+let reset t =
+  hit t P.init_paths;
+  t.l1_cr4 <- 0L;
+  t.vmxon <- false;
+  t.vmxon_ptr <- -1L;
+  t.current_vmptr <- -1L;
+  Hashtbl.reset t.vmcs_regions;
+  t.msr_load_area <- [||];
+  t.in_l2 <- false;
+  t.dead <- false;
+  t.host_down <- false
+
+let current_vmcs12 t =
+  if t.current_vmptr = -1L then None
+  else Hashtbl.find_opt t.vmcs_regions t.current_vmptr
+
+let good_addr a = Nf_stdext.Bits.is_aligned a 12 && a >= 0L && a < guest_mem_limit
+
+open Nf_hv.Hypervisor
+
+let prepare_vmcs02 t vmcs12 =
+  let open Controls in
+  hit t P.prepare_controls;
+  let v02 = Vmcs.copy t.golden02 in
+  let c12 f = Vmcs.read vmcs12 f in
+  let w f v = Vmcs.write v02 f v in
+  w Field.pin_based_ctls
+    (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.pin (c12 Field.pin_based_ctls));
+  w Field.proc_based_ctls
+    (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc
+       (Int64.logor (c12 Field.proc_based_ctls)
+          (Nf_stdext.Bits.set 0L Proc.activate_secondary_controls)));
+  w Field.entry_ctls (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.entry (c12 Field.entry_ctls));
+  w Field.exception_bitmap (c12 Field.exception_bitmap);
+  let proc2_02 =
+    ref (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc2 (c12 Field.proc_based_ctls2))
+  in
+  if t.features.ept then begin
+    hit t P.merge_ept;
+    proc2_02 := Nf_stdext.Bits.set !proc2_02 Proc2.enable_ept;
+    w Field.ept_pointer (Eptp.make ~ad:t.caps_l0.has_ept_ad ~pml4:0x40_0000L ())
+  end
+  else begin
+    hit t P.merge_shadow_paging;
+    proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_ept;
+    w Field.proc_based_ctls
+      (Int64.logor (Vmcs.read v02 Field.proc_based_ctls)
+         (List.fold_left Nf_stdext.Bits.set 0L
+            [ Proc.cr3_load_exiting; Proc.cr3_store_exiting ]))
+  end;
+  if t.features.vpid then begin
+    hit t P.merge_vpid;
+    proc2_02 := Nf_stdext.Bits.set !proc2_02 Proc2.enable_vpid;
+    w Field.vpid 3L
+  end
+  else begin
+    proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_vpid;
+    w Field.vpid 0L
+  end;
+  if
+    t.features.apicv
+    && Nf_stdext.Bits.is_set (c12 Field.proc_based_ctls2)
+         Proc2.virtual_interrupt_delivery
+  then hit t P.merge_apicv;
+  if
+    t.features.preemption_timer
+    && Nf_stdext.Bits.is_set (c12 Field.pin_based_ctls) Pin.preemption_timer
+  then hit t P.merge_preemption;
+  if Nf_stdext.Bits.is_set (c12 Field.proc_based_ctls) Proc.use_msr_bitmaps
+  then hit t P.merge_msr_bitmap;
+  proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.vmcs_shadowing;
+  proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_vmfunc;
+  proc2_02 := Nf_stdext.Bits.clear !proc2_02 Proc2.enable_pml;
+  w Field.proc_based_ctls2 (Nf_cpu.Vmx_caps.ctl_round t.caps_l0.proc2 !proc2_02);
+  w Field.cr0_guest_host_mask (c12 Field.cr0_guest_host_mask);
+  w Field.cr4_guest_host_mask (c12 Field.cr4_guest_host_mask);
+  w Field.cr0_read_shadow (c12 Field.cr0_read_shadow);
+  w Field.cr4_read_shadow (c12 Field.cr4_read_shadow);
+  hit t P.prepare_guest;
+  List.iter (fun f -> if Field.group f = Field.Guest then w f (c12 f)) Field.all;
+  (* THE BUG: the activity state is copied from VMCS12 verbatim — no
+     sanitization against SHUTDOWN / WAIT-FOR-SIPI. *)
+  hit t P.copy_activity_blind;
+  let ii = c12 Field.entry_intr_info in
+  if Nf_x86.Exn.Intr_info.valid ii then begin
+    hit t P.event_injection;
+    w Field.entry_intr_info ii;
+    w Field.entry_exception_error_code (c12 Field.entry_exception_error_code);
+    w Field.entry_instruction_len (c12 Field.entry_instruction_len)
+  end;
+  hit t P.prepare_host;
+  v02
+
+let sync_exit_to_vmcs12 ?(copy_guest = false) t vmcs12 ~reason ~qualification =
+  hit t P.sync_vmcs12;
+  Vmcs.write vmcs12 Field.exit_reason reason;
+  Vmcs.write vmcs12 Field.exit_qualification qualification;
+  if copy_guest then
+    List.iter
+      (fun f ->
+        if Field.group f = Field.Guest then
+          Vmcs.write vmcs12 f (Vmcs.read t.vmcs02 f))
+      Field.all;
+  hit t P.load_vmcs01
+
+let nvmx_vmentry t ~launch : step_result =
+  hit t P.vmentry;
+  match current_vmcs12 t with
+  | None ->
+      hit t P.vmentry_err;
+      Vmfail 0
+  | Some vmcs12 ->
+      let bad =
+        (launch && vmcs12.Vmcs.launch_state = Vmcs.Launched)
+        || ((not launch) && vmcs12.Vmcs.launch_state = Vmcs.Clear)
+      in
+      if bad then begin
+        hit t P.vmentry_err;
+        Vmfail
+          (if launch then Nf_cpu.Vmx_cpu.Insn_error.vmlaunch_not_clear
+           else Nf_cpu.Vmx_cpu.Insn_error.vmresume_not_launched)
+      end
+      else begin
+        let ctx =
+          {
+            Nf_cpu.Vmx_checks.caps = t.caps_l1;
+            vmcs = vmcs12;
+            entry_msr_load = t.msr_load_area;
+          }
+        in
+        match Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Ctl ctx with
+        | Error _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control
+        | Ok () -> (
+            match
+              Nf_hv.Replica.Vmx.run_group replica t.cov Nf_cpu.Vmx_checks.Host ctx
+            with
+            | Error _ -> Vmfail Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_host
+            | Ok () -> (
+                match
+                  Nf_hv.Replica.Vmx.run_group replica t.cov
+                    Nf_cpu.Vmx_checks.Guest ctx
+                with
+                | Error _ ->
+                    hit t P.reflect_entry_failure;
+                    let reason =
+                      Nf_cpu.Exit_reason.with_entry_failure
+                        Nf_cpu.Exit_reason.invalid_guest_state
+                    in
+                    sync_exit_to_vmcs12 t vmcs12 ~reason ~qualification:0L;
+                    L2_exit_to_l1 reason
+                | Ok () -> (
+                    (* MSR-load processing: Xen validates, like KVM. *)
+                    let msr_fail = ref None in
+                    if Array.length t.msr_load_area > 0 then begin
+                      hit t P.msr_load_loop;
+                      Array.iteri
+                        (fun i e ->
+                          if !msr_fail = None then begin
+                            match Nf_cpu.Vmx_cpu.check_msr_load_entry e with
+                            | Ok () -> ()
+                            | Error _ -> msr_fail := Some i
+                          end)
+                        t.msr_load_area
+                    end;
+                    match !msr_fail with
+                    | Some i ->
+                        hit t P.msr_load_fail;
+                        let reason =
+                          Nf_cpu.Exit_reason.with_entry_failure
+                            Nf_cpu.Exit_reason.msr_load_fail
+                        in
+                        sync_exit_to_vmcs12 t vmcs12 ~reason
+                          ~qualification:(Int64.of_int (i + 1));
+                        L2_exit_to_l1 reason
+                    | None -> (
+                        let v02 = prepare_vmcs02 t vmcs12 in
+                        match Nf_cpu.Vmx_cpu.enter ~caps:t.caps_l0 v02 with
+                        | Nf_cpu.Vmx_cpu.Entered _ ->
+                            let act = Vmcs.read v02 Field.guest_activity_state in
+                            if
+                              act = Field.Activity.wait_for_sipi
+                              || act = Field.Activity.shutdown
+                            then begin
+                              (* The planted bug fires: the host stalls. *)
+                              hit t P.bug_wait_for_sipi;
+                              t.host_down <- true;
+                              San.host_crash t.san
+                                "host unresponsive after VM entry with \
+                                 activity state %s copied into VMCS02"
+                                (Field.Activity.name act);
+                              Host_down "nested activity-state stall"
+                            end
+                            else begin
+                              hit t P.entry_success;
+                              t.vmcs02 <- v02;
+                              t.in_l2 <- true;
+                              vmcs12.Vmcs.launch_state <- Vmcs.Launched;
+                              L2_entered
+                            end
+                        | failure ->
+                            hit t P.entry_hw_fail;
+                            San.log_warn t.san
+                              "Xen: vmcs02 rejected by hardware: %s"
+                              (Format.asprintf "%a" Nf_cpu.Vmx_cpu.pp_outcome
+                                 failure);
+                            Vmfail
+                              Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control))))
+      end
+
+let exec_l1 t (op : Nf_hv.L1_op.t) : step_result =
+  if t.host_down then Host_down "host is down"
+  else if t.dead then Vm_killed "vm already terminated"
+  else begin
+    match op with
+    | Vmxon addr ->
+        hit t P.handle_vmxon;
+        if not (Nf_stdext.Bits.is_set t.l1_cr4 Nf_x86.Cr4.vmxe) then begin
+          hit t P.vmxon_err;
+          Fault Nf_x86.Exn.ud
+        end
+        else if not (good_addr addr) then begin
+          hit t P.vmxon_err;
+          Vmfail 0
+        end
+        else if t.vmxon then begin
+          hit t P.vmxon_err;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmxon_in_root
+        end
+        else begin
+          t.vmxon <- true;
+          t.vmxon_ptr <- addr;
+          Ok_step
+        end
+    | Vmxoff ->
+        hit t P.handle_vmxoff;
+        if not t.vmxon then Fault Nf_x86.Exn.ud
+        else begin
+          t.vmxon <- false;
+          t.current_vmptr <- -1L;
+          Ok_step
+        end
+    | Vmclear addr ->
+        hit t P.handle_vmclear;
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else if not (good_addr addr) || addr = t.vmxon_ptr then begin
+          hit t P.vmclear_err;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmclear_invalid_addr
+        end
+        else begin
+          let v =
+            match Hashtbl.find_opt t.vmcs_regions addr with
+            | Some v -> v
+            | None ->
+                let v = Vmcs.create () in
+                Hashtbl.replace t.vmcs_regions addr v;
+                v
+          in
+          v.Vmcs.launch_state <- Vmcs.Clear;
+          v.Vmcs.revision_id <- t.caps_l1.revision_id;
+          if t.current_vmptr = addr then t.current_vmptr <- -1L;
+          Ok_step
+        end
+    | Vmptrld addr ->
+        hit t P.handle_vmptrld;
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else begin
+          match Hashtbl.find_opt t.vmcs_regions addr with
+          | Some v when good_addr addr && v.Vmcs.revision_id = t.caps_l1.revision_id
+            ->
+              t.current_vmptr <- addr;
+              Ok_step
+          | _ ->
+              hit t P.vmptrld_err;
+              Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmptrld_invalid_addr
+        end
+    | Vmptrst ->
+        hit t P.handle_vmptrst;
+        if t.vmxon then Ok_step else Fault Nf_x86.Exn.ud
+    | Vmread enc ->
+        hit t P.handle_vmread;
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else if current_vmcs12 t = None || Field.of_encoding enc = None then begin
+          hit t P.vmread_err;
+          Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+        end
+        else Ok_step
+    | Vmwrite (enc, value) ->
+        hit t P.handle_vmwrite;
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else begin
+          match (current_vmcs12 t, Field.of_encoding enc) with
+          | Some vmcs12, Some f when Field.group f <> Field.Exit_info ->
+              Vmcs.write vmcs12 f value;
+              Ok_step
+          | _ ->
+              hit t P.vmwrite_err;
+              Vmfail Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported
+        end
+    | Vmwrite_state state -> (
+        hit t P.handle_vmwrite;
+        match current_vmcs12 t with
+        | None ->
+            hit t P.vmwrite_err;
+            Vmfail 0
+        | Some vmcs12 ->
+            List.iter
+              (fun f ->
+                if Field.group f <> Field.Exit_info then
+                  Vmcs.write vmcs12 f (Vmcs.read state f))
+              Field.all;
+            Ok_step)
+    | Vmlaunch ->
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else nvmx_vmentry t ~launch:true
+    | Vmresume ->
+        if not t.vmxon then begin hit t P.vmx_insn_ud; Fault Nf_x86.Exn.ud end
+        else nvmx_vmentry t ~launch:false
+    | Invept _ ->
+        hit t P.handle_invept;
+        if t.features.ept then Ok_step else Fault Nf_x86.Exn.ud
+    | Invvpid _ ->
+        hit t P.handle_invvpid;
+        if t.features.vpid then Ok_step else Fault Nf_x86.Exn.ud
+    | Set_entry_msr_area area ->
+        t.msr_load_area <- area;
+        Ok_step
+    | L1_insn insn -> begin
+        match insn with
+        | Nf_cpu.Insn.Mov_to_cr (4, v) ->
+            t.l1_cr4 <- v;
+            Ok_step
+        | Rdmsr m
+          when m >= Nf_x86.Msr.ia32_vmx_basic && m <= Nf_x86.Msr.ia32_vmx_vmfunc
+          ->
+            hit t P.nested_msr_read;
+            if t.features.nested then Ok_step else Fault Nf_x86.Exn.gp
+        | _ -> Ok_step
+      end
+    | Set_efer_svme _ | Vmrun _ | Vmcb_state _ | Vmload | Vmsave | Stgi | Clgi
+    | Invlpga ->
+        Fault Nf_x86.Exn.ud
+  end
+
+let exec_l2 t insn : step_result =
+  if t.host_down then Host_down "host is down"
+  else if t.dead then Vm_killed "vm already terminated"
+  else if not t.in_l2 then Fault Nf_x86.Exn.ud
+  else begin
+    hit t P.l2_paging;
+    (* Lazy mapping / L0-handled paging events. *)
+    (if t.features.ept then begin
+       match Hashtbl.find_opt l0_probes Nf_cpu.Exit_reason.ept_violation with
+       | Some p -> hit t p
+       | None -> ()
+     end
+     else begin
+       match Hashtbl.find_opt l0_probes Nf_cpu.Exit_reason.exception_nmi with
+       | Some p -> hit t p
+       | None -> ()
+     end);
+    match Nf_cpu.Vmx_exec.decide t.vmcs02 insn with
+    | Nf_cpu.Vmx_exec.No_exit -> Ok_step
+    | Nf_cpu.Vmx_exec.Exit e -> (
+        hit t P.exit_dispatch;
+        let vmcs12 =
+          match current_vmcs12 t with Some v -> v | None -> assert false
+        in
+        match Nf_cpu.Vmx_exec.decide vmcs12 insn with
+        | Nf_cpu.Vmx_exec.Exit e12 ->
+            (match Hashtbl.find_opt reflect_probes e12.reason with
+            | Some p -> hit t p
+            | None -> ());
+            sync_exit_to_vmcs12 ~copy_guest:true t vmcs12
+              ~reason:(Int64.of_int e12.reason)
+              ~qualification:e12.qualification;
+            t.in_l2 <- false;
+            L2_exit_to_l1 (Int64.of_int e12.reason)
+        | Nf_cpu.Vmx_exec.No_exit ->
+            (match Hashtbl.find_opt l0_probes e.reason with
+            | Some p -> hit t p
+            | None -> ());
+            L2_resumed)
+  end

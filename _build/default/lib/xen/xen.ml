@@ -1,0 +1,36 @@
+(** Simulated Xen 4.18 L0 hypervisor: [Nf_hv.Hypervisor.S] implementations
+    for the Intel and AMD nested-HVM code. *)
+
+module Intel = struct
+  type t = Vmx_nested.t
+
+  let name = "Xen (Intel VT-x)"
+  let arch = Nf_cpu.Cpu_model.Intel
+  let region = Vmx_nested.region
+  let create ~features ~sanitizer = Vmx_nested.create ~features ~sanitizer
+  let coverage t = Some t.Vmx_nested.cov
+  let exec_l1 = Vmx_nested.exec_l1
+  let exec_l2 = Vmx_nested.exec_l2
+  let in_l2 t = t.Vmx_nested.in_l2
+  let reset = Vmx_nested.reset
+end
+
+module Amd = struct
+  type t = Svm_nested.t
+
+  let name = "Xen (AMD-V)"
+  let arch = Nf_cpu.Cpu_model.Amd
+  let region = Svm_nested.region
+  let create ~features ~sanitizer = Svm_nested.create ~features ~sanitizer
+  let coverage t = Some t.Svm_nested.cov
+  let exec_l1 = Svm_nested.exec_l1
+  let exec_l2 = Svm_nested.exec_l2
+  let in_l2 t = t.Svm_nested.in_l2
+  let reset = Svm_nested.reset
+end
+
+let pack_intel ~features ~sanitizer : Nf_hv.Hypervisor.packed =
+  Nf_hv.Hypervisor.Packed ((module Intel), Intel.create ~features ~sanitizer)
+
+let pack_amd ~features ~sanitizer : Nf_hv.Hypervisor.packed =
+  Nf_hv.Hypervisor.Packed ((module Amd), Amd.create ~features ~sanitizer)

@@ -1,0 +1,1 @@
+test/test_agent.ml: Alcotest Bytes List Nf_agent Nf_coverage Nf_cpu Nf_fuzzer Nf_harness

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Nf_baselines Nf_coverage Nf_kvm Printf String

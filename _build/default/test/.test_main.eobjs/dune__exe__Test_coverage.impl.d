@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest List Nf_coverage Nf_kvm Nf_sanitizer Nf_xen

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Controls Field List Nf_cpu Nf_stdext Nf_validator Nf_vmcb Nf_vmcs Nf_x86 Vmcs

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Bytes Format List Nf_agent Nf_config Nf_coverage Nf_cpu Nf_fuzzer Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vbox Nf_vmcs Nf_x86 Nf_xen Printf String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Format List Necofuzz Nf_coverage Nf_fuzzer Nf_harness Nf_stdext Printf String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bytes Char List Nf_agent Nf_config Nf_coverage Nf_cpu Nf_fuzzer Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vbox Nf_vmcs Nf_xen String

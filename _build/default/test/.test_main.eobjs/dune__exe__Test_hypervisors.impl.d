@@ -1,0 +1,1 @@
+test/test_hypervisors.ml: Alcotest Controls Field Int64 List Nf_cpu Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vbox Nf_vmcb Nf_vmcs Nf_x86 Nf_xen String Vmcs

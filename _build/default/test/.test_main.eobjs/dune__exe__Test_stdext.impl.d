@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array Bits Buffer Format Fun List Nf_stdext QCheck QCheck_alcotest Rng Stats String Table Vclock

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Buffer Bytes Filename Format Int64 List Nf_agent Nf_cpu Nf_harness Nf_hv Nf_kvm Nf_sanitizer Nf_stdext Nf_validator Nf_vmcb Nf_vmcs Nf_x86 String Sys

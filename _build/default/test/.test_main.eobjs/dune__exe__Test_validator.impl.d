@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Bytes Char Controls Field Format List Nf_cpu Nf_stdext Nf_validator Nf_vmcb Nf_vmcs Nf_x86 Printf QCheck QCheck_alcotest String Vmcs

@@ -1,0 +1,1 @@
+test/test_vmcb.ml: Alcotest List Nf_stdext Nf_vmcb Nf_x86 QCheck QCheck_alcotest Vmcb

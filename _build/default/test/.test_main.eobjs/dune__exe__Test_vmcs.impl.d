@@ -1,0 +1,1 @@
+test/test_vmcs.ml: Alcotest Bytes Controls Field Int64 List Nf_stdext Nf_vmcs Nf_x86 QCheck QCheck_alcotest Vmcs

@@ -1,0 +1,124 @@
+(* Tests for the comparison-tool models: each baseline runs, lands in its
+   qualitative coverage band, and exhibits the structural property the
+   paper attributes to it. *)
+
+module Cov = Nf_coverage.Coverage
+
+let check = Alcotest.check
+let pct (r : Nf_baselines.Baseline.run_result) = Cov.Map.coverage_pct r.coverage
+
+let test_syzkaller_intel_band () =
+  let r = Nf_baselines.Syzkaller.run_intel ~seed:1 ~duration_hours:4.0 in
+  Alcotest.(check bool) "meaningful but bounded" true (pct r > 30.0 && pct r < 75.0)
+
+let test_syzkaller_amd_tiny () =
+  let r = Nf_baselines.Syzkaller.run_amd ~seed:1 ~duration_hours:4.0 in
+  Alcotest.(check bool) "no AMD harness: near zero" true (pct r < 15.0)
+
+let test_syzkaller_covers_ioctls () =
+  (* The Syzkaller-unique lines of Table 2 are the host-side ioctls. *)
+  let r = Nf_baselines.Syzkaller.run_intel ~seed:2 ~duration_hours:4.0 in
+  let covered_ioctl =
+    List.exists
+      (fun (p : Cov.probe) ->
+        p.name = "ioctl:get_nested_state" && Cov.Map.is_covered r.coverage p)
+      (Array.to_list (Cov.probes Nf_kvm.Vmx_nested.region))
+  in
+  Alcotest.(check bool) "get_nested_state covered" true covered_ioctl
+
+let test_iris_terminates_early () =
+  let r = Nf_baselines.Iris.run_intel ~seed:1 ~duration_hours:48.0 in
+  (* 3.5 virtual minutes at ~0.35s per replay. *)
+  Alcotest.(check bool) "crashed after a few minutes" true (r.execs < 1200);
+  Alcotest.(check bool) "still reached mainline" true (pct r > 30.0)
+
+let test_iris_no_failure_branches () =
+  let r = Nf_baselines.Iris.run_intel ~seed:1 ~duration_hours:1.0 in
+  (* Replay of valid traces never trips a consistency-check failure. *)
+  let any_fail =
+    List.exists
+      (fun (p : Cov.probe) ->
+        String.length p.name > 11
+        && String.sub p.name 0 11 = "check-fail:"
+        && Cov.Map.is_covered r.coverage p)
+      (Array.to_list (Cov.probes Nf_kvm.Vmx_nested.region))
+  in
+  Alcotest.(check bool) "no check-fail branches" false any_fail
+
+let test_selftests_counts () =
+  Alcotest.(check bool) "about 60 cases" true
+    (abs (Nf_baselines.Selftests.case_count - 60) <= 20)
+
+let test_selftests_bands () =
+  let i = Nf_baselines.Selftests.run_intel ~duration_hours:48.0 in
+  let a = Nf_baselines.Selftests.run_amd ~duration_hours:48.0 in
+  Alcotest.(check bool) "intel band" true (pct i > 45.0 && pct i < 70.0);
+  Alcotest.(check bool) "amd band" true (pct a > 60.0 && pct a < 85.0)
+
+let test_selftests_deterministic () =
+  let a = Nf_baselines.Selftests.run_intel ~duration_hours:1.0 in
+  let b = Nf_baselines.Selftests.run_intel ~duration_hours:1.0 in
+  check (Alcotest.float 0.001) "same coverage" (pct a) (pct b)
+
+let test_kut_counts () =
+  (* The real suite runs 84 cases, each bundling several sub-checks; our
+     model splits sub-checks into separate scenarios. *)
+  Alcotest.(check bool) "in the right ballpark" true
+    (Nf_baselines.Kvm_unit_tests.case_count >= 60
+    && Nf_baselines.Kvm_unit_tests.case_count <= 140)
+
+let test_kut_bands () =
+  let i = Nf_baselines.Kvm_unit_tests.run_intel ~duration_hours:48.0 in
+  Alcotest.(check bool) "intel band" true (pct i > 60.0 && pct i < 82.0)
+
+let test_kut_no_ioctls () =
+  (* Guest-only suite: never touches the host-side interface. *)
+  let r = Nf_baselines.Kvm_unit_tests.run_intel ~duration_hours:1.0 in
+  let any_ioctl =
+    List.exists
+      (fun (p : Cov.probe) ->
+        String.length p.name > 6
+        && String.sub p.name 0 6 = "ioctl:"
+        && Cov.Map.is_covered r.coverage p)
+      (Array.to_list (Cov.probes Nf_kvm.Vmx_nested.region))
+  in
+  Alcotest.(check bool) "no ioctl coverage" false any_ioctl
+
+let test_xtf_band () =
+  let i = Nf_baselines.Xtf.run_intel ~duration_hours:24.0 in
+  let a = Nf_baselines.Xtf.run_amd ~duration_hours:24.0 in
+  Alcotest.(check bool) "intel smoke level" true (pct i > 5.0 && pct i < 30.0);
+  Alcotest.(check bool) "amd smoke level" true (pct a > 5.0 && pct a < 25.0)
+
+let test_ordering_matches_paper_intel () =
+  (* IRIS < Selftests < Syzkaller < KVM-unit-tests (Table 2, Intel). *)
+  let iris = pct (Nf_baselines.Iris.run_intel ~seed:1 ~duration_hours:48.0) in
+  let self = pct (Nf_baselines.Selftests.run_intel ~duration_hours:48.0) in
+  let syz = pct (Nf_baselines.Syzkaller.run_intel ~seed:1 ~duration_hours:24.0) in
+  let kut = pct (Nf_baselines.Kvm_unit_tests.run_intel ~duration_hours:48.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "iris %.1f < selftests %.1f" iris self)
+    true (iris < self);
+  Alcotest.(check bool)
+    (Printf.sprintf "selftests %.1f < syzkaller %.1f" self syz)
+    true (self < syz);
+  Alcotest.(check bool)
+    (Printf.sprintf "syzkaller %.1f < kut %.1f" syz kut)
+    true (syz < kut)
+
+let tests =
+  [
+    ("syzkaller intel band", `Quick, test_syzkaller_intel_band);
+    ("syzkaller amd near zero", `Quick, test_syzkaller_amd_tiny);
+    ("syzkaller covers ioctls", `Quick, test_syzkaller_covers_ioctls);
+    ("iris terminates early", `Quick, test_iris_terminates_early);
+    ("iris hits no failure branches", `Quick, test_iris_no_failure_branches);
+    ("selftests case count", `Quick, test_selftests_counts);
+    ("selftests bands", `Quick, test_selftests_bands);
+    ("selftests deterministic", `Quick, test_selftests_deterministic);
+    ("kvm-unit-tests case count", `Quick, test_kut_counts);
+    ("kvm-unit-tests band", `Quick, test_kut_bands);
+    ("kvm-unit-tests guest-only", `Quick, test_kut_no_ioctls);
+    ("xtf bands", `Quick, test_xtf_band);
+    ("tool ordering matches Table 2", `Slow, test_ordering_matches_paper_intel);
+  ]

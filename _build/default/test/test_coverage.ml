@@ -1,0 +1,151 @@
+(* Tests for the coverage substrate and the sanitizer event stream. *)
+
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+let check = Alcotest.check
+
+let make_region () =
+  let r = Cov.create_region "test-region" in
+  let p1 = Cov.probe r ~file:"a.c" ~lines:10 "p1" in
+  let p2 = Cov.probe r ~file:"a.c" ~lines:5 "p2" in
+  let p3 = Cov.probe r ~file:"b.c" ~lines:7 "p3" in
+  (r, p1, p2, p3)
+
+let test_region_totals () =
+  let r, _, _, _ = make_region () in
+  check Alcotest.int "total" 22 (Cov.total_lines r);
+  check Alcotest.int "per-file" 15 (Cov.total_lines ~file:"a.c" r);
+  check Alcotest.(list string) "files" [ "a.c"; "b.c" ] (Cov.files r)
+
+let test_line_ranges_disjoint () =
+  let r, p1, p2, _ = make_region () in
+  ignore r;
+  check Alcotest.int "p1 starts at 1" 1 p1.Cov.line_start;
+  check Alcotest.int "p2 follows p1" 11 p2.Cov.line_start
+
+let test_map_hit_and_pct () =
+  let r, p1, p2, p3 = make_region () in
+  let m = Cov.Map.create r in
+  check (Alcotest.float 0.01) "empty" 0.0 (Cov.Map.coverage_pct m);
+  Cov.Map.hit m p1;
+  Cov.Map.hit m p1;
+  check Alcotest.int "hit count" 2 (Cov.Map.hit_count m p1);
+  check Alcotest.int "covered lines" 10 (Cov.Map.covered_lines m);
+  Cov.Map.hit m p2;
+  Cov.Map.hit m p3;
+  check (Alcotest.float 0.01) "full" 100.0 (Cov.Map.coverage_pct m)
+
+let test_map_reset () =
+  let r, p1, _, _ = make_region () in
+  let m = Cov.Map.create r in
+  Cov.Map.hit m p1;
+  Cov.Map.reset m;
+  check Alcotest.int "reset" 0 (Cov.Map.covered_lines m)
+
+let test_map_merge () =
+  let r, p1, p2, _ = make_region () in
+  let a = Cov.Map.create r and b = Cov.Map.create r in
+  Cov.Map.hit a p1;
+  Cov.Map.hit b p2;
+  Cov.Map.merge a b;
+  check Alcotest.int "merged lines" 15 (Cov.Map.covered_lines a);
+  check Alcotest.int "b untouched" 5 (Cov.Map.covered_lines b)
+
+let test_set_algebra () =
+  let r, p1, p2, p3 = make_region () in
+  let a = Cov.Map.create r and b = Cov.Map.create r in
+  Cov.Map.hit a p1;
+  Cov.Map.hit a p2;
+  Cov.Map.hit b p2;
+  Cov.Map.hit b p3;
+  check Alcotest.int "a-b" 10 (Cov.Map.minus_lines a b);
+  check Alcotest.int "b-a" 7 (Cov.Map.minus_lines b a);
+  check Alcotest.int "a∩b" 5 (Cov.Map.inter_lines a b)
+
+let test_uncovered () =
+  let r, p1, _, _ = make_region () in
+  let m = Cov.Map.create r in
+  Cov.Map.hit m p1;
+  check Alcotest.int "two uncovered" 2 (List.length (Cov.Map.uncovered m));
+  check Alcotest.int "one uncovered in a.c" 1
+    (List.length (Cov.Map.uncovered ~file:"a.c" m))
+
+(* --- AFL bitmap --- *)
+
+let test_bitmap_buckets () =
+  check Alcotest.int "0" 0 (Cov.Bitmap.bucket 0);
+  check Alcotest.int "1" 1 (Cov.Bitmap.bucket 1);
+  check Alcotest.int "3" 4 (Cov.Bitmap.bucket 3);
+  check Alcotest.int "100" 64 (Cov.Bitmap.bucket 100);
+  check Alcotest.int "1000" 128 (Cov.Bitmap.bucket 1000)
+
+let test_bitmap_new_bits () =
+  let virgin = Cov.Bitmap.create_virgin () in
+  let t = Cov.Bitmap.create () in
+  Cov.Bitmap.record t 7;
+  Alcotest.(check bool) "first sight is new" true (Cov.Bitmap.has_new_bits ~virgin t);
+  Alcotest.(check bool) "second sight is not" false (Cov.Bitmap.has_new_bits ~virgin t);
+  (* A different hit count bucket is novel again. *)
+  let t2 = Cov.Bitmap.create () in
+  for _ = 1 to 10 do
+    Cov.Bitmap.record t2 7
+  done;
+  Alcotest.(check bool) "new bucket is new" true (Cov.Bitmap.has_new_bits ~virgin t2)
+
+let test_bitmap_count_nonzero () =
+  let t = Cov.Bitmap.create () in
+  Cov.Bitmap.record t 1;
+  Cov.Bitmap.record t 2;
+  Alcotest.(check bool) "some edges" true (Cov.Bitmap.count_nonzero t >= 1)
+
+(* --- sanitizer --- *)
+
+let test_sanitizer_stream () =
+  let s = San.create () in
+  San.ubsan s "oob %d" 3;
+  San.log_warn s "note";
+  San.host_crash s "down";
+  let es = San.events s in
+  check Alcotest.int "three events" 3 (List.length es);
+  Alcotest.(check bool) "has fatal" true (San.has_fatal s);
+  Alcotest.(check bool) "has reportable" true (San.has_reportable s);
+  let drained = San.drain s in
+  check Alcotest.int "drained" 3 (List.length drained);
+  check Alcotest.int "empty after drain" 0 (List.length (San.events s))
+
+let test_sanitizer_classification () =
+  Alcotest.(check bool) "log not reportable" false (San.is_reportable (San.Log_warn "x"));
+  Alcotest.(check bool) "ubsan reportable" true (San.is_reportable (San.Ubsan "x"));
+  Alcotest.(check bool) "ubsan not fatal" false (San.is_fatal (San.Ubsan "x"));
+  Alcotest.(check bool) "gpf fatal" true (San.is_fatal (San.Gpf "x"));
+  check Alcotest.string "kind" "Host Crash" (San.event_kind (San.Host_crash "x"))
+
+(* --- instrumented hypervisor regions match the paper --- *)
+
+let test_region_totals_match_paper () =
+  check Alcotest.int "KVM Intel: 1,681 lines" 1681
+    (Cov.total_lines Nf_kvm.Vmx_nested.region);
+  check Alcotest.int "KVM AMD: 387 lines" 387
+    (Cov.total_lines Nf_kvm.Svm_nested.region);
+  check Alcotest.int "Xen Intel: 1,401 lines" 1401
+    (Cov.total_lines Nf_xen.Vmx_nested.region);
+  check Alcotest.int "Xen AMD: 794 lines" 794
+    (Cov.total_lines Nf_xen.Svm_nested.region)
+
+let tests =
+  [
+    ("region totals", `Quick, test_region_totals);
+    ("line ranges consecutive", `Quick, test_line_ranges_disjoint);
+    ("map hit and percentage", `Quick, test_map_hit_and_pct);
+    ("map reset", `Quick, test_map_reset);
+    ("map merge", `Quick, test_map_merge);
+    ("set algebra (Table 2 rows)", `Quick, test_set_algebra);
+    ("uncovered probes", `Quick, test_uncovered);
+    ("bitmap buckets", `Quick, test_bitmap_buckets);
+    ("bitmap new-bits", `Quick, test_bitmap_new_bits);
+    ("bitmap count", `Quick, test_bitmap_count_nonzero);
+    ("sanitizer stream", `Quick, test_sanitizer_stream);
+    ("sanitizer classification", `Quick, test_sanitizer_classification);
+    ("region totals match paper", `Quick, test_region_totals_match_paper);
+  ]

@@ -1,0 +1,358 @@
+(* Tests for the CPU oracle: capability model, VM-entry checks (every
+   witness must fail exactly its own check), hardware quirks, the L2
+   execution model, and the SVM side. *)
+
+open Nf_vmcs
+
+let check = Alcotest.check
+let caps = Nf_cpu.Vmx_caps.alder_lake
+let scaps = Nf_cpu.Svm_caps.zen3
+
+(* --- capability model --- *)
+
+let test_ctl_round_valid () =
+  let rng = Nf_stdext.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng) 32 in
+    List.iter
+      (fun c ->
+        if not (Nf_cpu.Vmx_caps.ctl_valid c (Nf_cpu.Vmx_caps.ctl_round c v)) then
+          Alcotest.failf "round produced invalid control %Lx" v)
+      [ caps.pin; caps.proc; caps.proc2; caps.exit; caps.entry ]
+  done
+
+let test_ctl_round_idempotent () =
+  let rng = Nf_stdext.Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng) 32 in
+    let r = Nf_cpu.Vmx_caps.ctl_round caps.pin v in
+    check Alcotest.int64 "idempotent" r (Nf_cpu.Vmx_caps.ctl_round caps.pin r)
+  done
+
+let test_cr_round_valid () =
+  let rng = Nf_stdext.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Nf_stdext.Rng.bits64 rng in
+    Alcotest.(check bool) "cr0 round valid" true
+      (Nf_cpu.Vmx_caps.cr0_valid caps (Nf_cpu.Vmx_caps.cr0_round caps v));
+    Alcotest.(check bool) "cr4 round valid" true
+      (Nf_cpu.Vmx_caps.cr4_valid caps (Nf_cpu.Vmx_caps.cr4_round caps v))
+  done
+
+let test_cr0_unrestricted_relax () =
+  (* PE/PG clear is invalid normally, valid for unrestricted guests. *)
+  let v = Nf_stdext.Bits.set 0L Nf_x86.Cr0.ne in
+  Alcotest.(check bool) "strict rejects" false (Nf_cpu.Vmx_caps.cr0_valid caps v);
+  Alcotest.(check bool) "unrestricted accepts" true
+    (Nf_cpu.Vmx_caps.cr0_valid ~unrestricted:true caps v)
+
+let test_apply_features_masks_ept () =
+  let f = { Nf_cpu.Features.default with ept = false } in
+  let masked = Nf_cpu.Vmx_caps.apply_features caps f in
+  Alcotest.(check bool) "EPT bit no longer allowed" false
+    (Nf_stdext.Bits.is_set masked.proc2.allowed1 Controls.Proc2.enable_ept)
+
+let test_apply_features_dependents () =
+  (* Disabling EPT silently disables unrestricted guest too. *)
+  let f =
+    Nf_cpu.Features.normalize { Nf_cpu.Features.default with ept = false }
+  in
+  Alcotest.(check bool) "unrestricted off" false f.unrestricted_guest;
+  Alcotest.(check bool) "pml off" false f.pml
+
+let test_features_flag_roundtrip () =
+  let f = Nf_cpu.Features.default in
+  for i = 0 to Nf_cpu.Features.flag_count - 1 do
+    let f' = Nf_cpu.Features.with_nth_flag f i false in
+    Alcotest.(check bool) (Nf_cpu.Features.flag_name i) false
+      (Nf_cpu.Features.nth_flag f' i)
+  done
+
+(* --- VM-entry checks: golden passes, witnesses fail their own check --- *)
+
+let test_golden_enters () =
+  match Nf_cpu.Vmx_cpu.enter ~caps (Nf_validator.Golden.vmcs caps) with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | o -> Alcotest.failf "golden rejected: %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let witness_case (w : Nf_validator.Witness.t) =
+  ( "witness fails own check: " ^ w.check_id,
+    `Quick,
+    fun () ->
+      let vmcs = w.build caps in
+      match
+        Nf_cpu.Vmx_checks.run_all
+          { Nf_cpu.Vmx_checks.caps; vmcs; entry_msr_load = [||] }
+      with
+      | Ok () -> Alcotest.failf "%s passed" w.check_id
+      | Error (c, _) ->
+          check Alcotest.string "first failure" w.check_id c.Nf_cpu.Vmx_checks.id )
+
+let svm_witness_case (w : Nf_validator.Witness.svm_t) =
+  ( "svm witness fails own check: " ^ w.svm_check_id,
+    `Quick,
+    fun () ->
+      let vmcb = w.svm_build scaps in
+      match Nf_cpu.Svm_checks.run_all { Nf_cpu.Svm_checks.caps = scaps; vmcb } with
+      | Ok () -> Alcotest.failf "%s passed" w.svm_check_id
+      | Error (c, _) ->
+          check Alcotest.string "first failure" w.svm_check_id c.Nf_cpu.Svm_checks.id )
+
+(* --- hardware quirks --- *)
+
+let test_quirk_ia32e_pae () =
+  (* The spec model rejects IA-32e without PAE; the silicon enters. *)
+  let vmcs = (Nf_validator.Witness.find_vmx "guest.ia32e_pae").build caps in
+  (match
+     Nf_cpu.Vmx_checks.run_all { Nf_cpu.Vmx_checks.caps; vmcs; entry_msr_load = [||] }
+   with
+  | Error (c, _) ->
+      check Alcotest.string "spec rejects" "guest.ia32e_pae" c.Nf_cpu.Vmx_checks.id
+  | Ok () -> Alcotest.fail "spec model should reject");
+  match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | o -> Alcotest.failf "hardware should enter: %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_silent_adjust_hlt_injection () =
+  let vmcs = Nf_validator.Golden.vmcs caps in
+  Vmcs.write vmcs Field.guest_activity_state Field.Activity.hlt;
+  Vmcs.write vmcs Field.entry_intr_info
+    (Nf_x86.Exn.Intr_info.make ~typ:Nf_x86.Exn.Intr_info.type_nmi ~vector:2 ());
+  match Nf_cpu.Vmx_cpu.enter_and_writeback ~caps vmcs with
+  | Nf_cpu.Vmx_cpu.Entered { adjustments } ->
+      Alcotest.(check bool) "activity silently rounded" true
+        (List.exists (fun (f, _, _) -> f = Field.guest_activity_state) adjustments);
+      check Alcotest.int64 "now ACTIVE" Field.Activity.active
+        (Vmcs.read vmcs Field.guest_activity_state)
+  | o -> Alcotest.failf "should enter: %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_vmfail_control_classified () =
+  let vmcs = (Nf_validator.Witness.find_vmx "ctl.pin_reserved").build caps in
+  match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+  | Nf_cpu.Vmx_cpu.Vmfail_control _ -> ()
+  | o -> Alcotest.failf "expected control VMfail, got %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_vmfail_host_classified () =
+  let vmcs = (Nf_validator.Witness.find_vmx "host.canonical").build caps in
+  match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+  | Nf_cpu.Vmx_cpu.Vmfail_host _ -> ()
+  | o -> Alcotest.failf "expected host VMfail, got %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_guest_fail_is_early_exit () =
+  let vmcs = (Nf_validator.Witness.find_vmx "guest.rflags").build caps in
+  match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+  | Nf_cpu.Vmx_cpu.Entry_fail_guest _ -> ()
+  | o -> Alcotest.failf "expected guest entry failure, got %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_msr_load_canonical () =
+  let vmcs = Nf_validator.Golden.vmcs caps in
+  match
+    Nf_cpu.Vmx_cpu.enter ~caps
+      ~msr_load:[| (Nf_x86.Msr.ia32_kernel_gs_base, 0x8000_0000_0000_0000L) |]
+      vmcs
+  with
+  | Nf_cpu.Vmx_cpu.Entry_fail_msr_load { index = 0; _ } -> ()
+  | o -> Alcotest.failf "expected MSR-load failure, got %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_msr_load_fs_base_rejected () =
+  match Nf_cpu.Vmx_cpu.check_msr_load_entry (Nf_x86.Msr.ia32_fs_base, 0L) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "FS_BASE must be rejected in the MSR-load area"
+
+let test_msr_load_ok () =
+  match Nf_cpu.Vmx_cpu.check_msr_load_entry (Nf_x86.Msr.ia32_pat, 0x0007040600070406L) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "PAT load should pass: %s" m
+
+(* --- L2 execution model (Intel) --- *)
+
+let golden = Nf_validator.Golden.vmcs caps
+
+let expect_exit insn reason =
+  match Nf_cpu.Vmx_exec.decide golden insn with
+  | Nf_cpu.Vmx_exec.Exit e -> check Alcotest.int "reason" reason e.reason
+  | No_exit -> Alcotest.failf "%s should exit" (Nf_cpu.Insn.name insn)
+
+let expect_no_exit insn =
+  match Nf_cpu.Vmx_exec.decide golden insn with
+  | Nf_cpu.Vmx_exec.No_exit -> ()
+  | Exit e -> Alcotest.failf "%s exited with %d" (Nf_cpu.Insn.name insn) e.reason
+
+let test_exec_cpuid_unconditional () = expect_exit (Cpuid 0) Nf_cpu.Exit_reason.cpuid
+let test_exec_invd_unconditional () = expect_exit Invd Nf_cpu.Exit_reason.invd
+let test_exec_vmcall_unconditional () = expect_exit Vmcall Nf_cpu.Exit_reason.vmcall
+let test_exec_xsetbv_unconditional () = expect_exit (Xsetbv 3L) Nf_cpu.Exit_reason.xsetbv
+
+let test_exec_hlt_gated () =
+  expect_exit Hlt Nf_cpu.Exit_reason.hlt;
+  let v = Vmcs.copy golden in
+  Vmcs.set_bit v Field.proc_based_ctls Controls.Proc.hlt_exiting false;
+  match Nf_cpu.Vmx_exec.decide v Hlt with
+  | Nf_cpu.Vmx_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "hlt should not exit without hlt_exiting"
+
+let test_exec_cr3_default1 () =
+  (* CR3-load exiting is a reserved-1 control: mov cr3 always exits under
+     the golden configuration. *)
+  expect_exit (Mov_to_cr (3, 0x9999L)) Nf_cpu.Exit_reason.cr_access
+
+let test_exec_cr3_target_list () =
+  let v = Vmcs.copy golden in
+  Vmcs.write v Field.cr3_target_count 1L;
+  Vmcs.write v (Field.find_exn "CR3_TARGET_VALUE0") 0x4000L;
+  (match Nf_cpu.Vmx_exec.decide v (Mov_to_cr (3, 0x4000L)) with
+  | Nf_cpu.Vmx_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "CR3 target value should not exit");
+  match Nf_cpu.Vmx_exec.decide v (Mov_to_cr (3, 0x5000L)) with
+  | Nf_cpu.Vmx_exec.Exit _ -> ()
+  | No_exit -> Alcotest.fail "non-target CR3 should exit"
+
+let test_exec_cr0_mask () =
+  let v = Vmcs.copy golden in
+  Vmcs.write v Field.cr0_guest_host_mask 1L;
+  Vmcs.write v Field.cr0_read_shadow 1L;
+  (match Nf_cpu.Vmx_exec.decide v (Mov_to_cr (0, 1L)) with
+  | Nf_cpu.Vmx_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "matching shadow should not exit");
+  match Nf_cpu.Vmx_exec.decide v (Mov_to_cr (0, 0L)) with
+  | Nf_cpu.Vmx_exec.Exit e -> check Alcotest.int "cr access" Nf_cpu.Exit_reason.cr_access e.reason
+  | No_exit -> Alcotest.fail "owned-bit change must exit"
+
+let test_exec_msr_bitmap_deterministic () =
+  (* Same VMCS, same MSR: the bitmap surrogate must be deterministic. *)
+  let a = Nf_cpu.Vmx_exec.decide golden (Rdmsr Nf_x86.Msr.ia32_tsc) in
+  let b = Nf_cpu.Vmx_exec.decide golden (Rdmsr Nf_x86.Msr.ia32_tsc) in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+let test_exec_msr_out_of_range_always_exits () =
+  expect_exit (Rdmsr 0x12345678) Nf_cpu.Exit_reason.msr_read
+
+let test_exec_io_unconditional_bit () =
+  let v = Vmcs.copy golden in
+  Vmcs.set_bit v Field.proc_based_ctls Controls.Proc.unconditional_io_exiting true;
+  match Nf_cpu.Vmx_exec.decide v (Io_in 0x60) with
+  | Nf_cpu.Vmx_exec.Exit e ->
+      check Alcotest.int "io reason" Nf_cpu.Exit_reason.io_instruction e.reason
+  | No_exit -> Alcotest.fail "unconditional io must exit"
+
+let test_exec_io_no_bitmaps () = expect_no_exit (Io_in 0x60)
+
+let test_exec_vmx_insns () =
+  List.iter
+    (fun (k, r) -> expect_exit (Vmx_in_guest k) r)
+    [ ("vmxon", Nf_cpu.Exit_reason.vmxon); ("vmclear", Nf_cpu.Exit_reason.vmclear);
+      ("vmlaunch", Nf_cpu.Exit_reason.vmlaunch); ("vmread", Nf_cpu.Exit_reason.vmread);
+      ("vmwrite", Nf_cpu.Exit_reason.vmwrite); ("vmresume", Nf_cpu.Exit_reason.vmresume);
+      ("vmxoff", Nf_cpu.Exit_reason.vmxoff); ("invept", Nf_cpu.Exit_reason.invept);
+      ("invvpid", Nf_cpu.Exit_reason.invvpid); ("invpcid", Nf_cpu.Exit_reason.invpcid) ]
+
+let test_exec_exception_bitmap () =
+  let v = Vmcs.copy golden in
+  Vmcs.write v Field.exception_bitmap (Nf_stdext.Bits.set 0L Nf_x86.Exn.ud);
+  (match Nf_cpu.Vmx_exec.decide v Ud2 with
+  | Nf_cpu.Vmx_exec.Exit e ->
+      check Alcotest.int "exception exit" Nf_cpu.Exit_reason.exception_nmi e.reason
+  | No_exit -> Alcotest.fail "#UD should exit with bitmap bit set");
+  expect_no_exit Ud2
+
+let test_exec_rdtscp_ud_without_feature () =
+  let v = Vmcs.copy golden in
+  Vmcs.set_bit v Field.proc_based_ctls2 Controls.Proc2.enable_rdtscp false;
+  Vmcs.write v Field.exception_bitmap (Nf_stdext.Bits.set 0L Nf_x86.Exn.ud);
+  match Nf_cpu.Vmx_exec.decide v Rdtscp with
+  | Nf_cpu.Vmx_exec.Exit e ->
+      check Alcotest.int "exception" Nf_cpu.Exit_reason.exception_nmi e.reason
+  | No_exit -> Alcotest.fail "rdtscp without feature should #UD"
+
+(* --- SVM --- *)
+
+let test_svm_golden_enters () =
+  match Nf_cpu.Svm_cpu.vmrun ~caps:scaps (Nf_validator.Golden.vmcb scaps) with
+  | Nf_cpu.Svm_cpu.Entered -> ()
+  | Vmexit_invalid { msg; _ } -> Alcotest.failf "golden VMCB rejected: %s" msg
+
+let test_svm_lme_without_pg_allowed () =
+  (* The architectural ambiguity Xen mishandles: hardware accepts it. *)
+  let vmcb = Nf_validator.Golden.vmcb scaps in
+  Nf_vmcb.Vmcb.set_bit vmcb Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg false;
+  Alcotest.(check bool) "is the LMA&&!PG corner" true
+    (Nf_cpu.Svm_cpu.lme_without_paging vmcb);
+  match Nf_cpu.Svm_cpu.vmrun ~caps:scaps vmcb with
+  | Nf_cpu.Svm_cpu.Entered -> ()
+  | Vmexit_invalid { msg; _ } -> Alcotest.failf "hardware must accept: %s" msg
+
+let test_svm_exec_cpuid () =
+  let vmcb = Nf_validator.Golden.vmcb scaps in
+  match Nf_cpu.Svm_exec.decide vmcb (Cpuid 0) with
+  | Nf_cpu.Svm_exec.Exit e -> check Alcotest.int64 "cpuid" Nf_vmcb.Vmcb.Exit.cpuid e.code
+  | No_exit -> Alcotest.fail "cpuid intercepted in golden"
+
+let test_svm_exec_vmrun_in_l2 () =
+  let vmcb = Nf_validator.Golden.vmcb scaps in
+  match Nf_cpu.Svm_exec.decide vmcb (Vmx_in_guest "vmrun") with
+  | Nf_cpu.Svm_exec.Exit e -> check Alcotest.int64 "vmrun" Nf_vmcb.Vmcb.Exit.vmrun e.code
+  | No_exit -> Alcotest.fail "vmrun always intercepted"
+
+let test_svm_exec_rdtsc_gated () =
+  let vmcb = Nf_validator.Golden.vmcb scaps in
+  (match Nf_cpu.Svm_exec.decide vmcb Rdtsc with
+  | Nf_cpu.Svm_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "rdtsc not intercepted in golden");
+  Nf_vmcb.Vmcb.set_bit vmcb Nf_vmcb.Vmcb.intercept_vec3 Nf_vmcb.Vmcb.Vec3.rdtsc true;
+  match Nf_cpu.Svm_exec.decide vmcb Rdtsc with
+  | Nf_cpu.Svm_exec.Exit _ -> ()
+  | No_exit -> Alcotest.fail "rdtsc intercept bit must exit"
+
+let test_exit_reason_names () =
+  check Alcotest.string "33" "INVALID_GUEST_STATE"
+    (Nf_cpu.Exit_reason.name Nf_cpu.Exit_reason.invalid_guest_state);
+  check Alcotest.int64 "entry-failure flag" 0x8000_0021L
+    (Nf_cpu.Exit_reason.with_entry_failure Nf_cpu.Exit_reason.invalid_guest_state)
+
+let test_insn_error_names () =
+  check Alcotest.string "7" "ENTRY_INVALID_CONTROL"
+    (Nf_cpu.Vmx_cpu.Insn_error.name Nf_cpu.Vmx_cpu.Insn_error.entry_invalid_control)
+
+let tests =
+  [
+    ("ctl_round produces valid controls", `Quick, test_ctl_round_valid);
+    ("ctl_round idempotent", `Quick, test_ctl_round_idempotent);
+    ("cr rounds valid", `Quick, test_cr_round_valid);
+    ("unrestricted relaxes CR0", `Quick, test_cr0_unrestricted_relax);
+    ("apply_features masks EPT", `Quick, test_apply_features_masks_ept);
+    ("feature dependencies normalize", `Quick, test_apply_features_dependents);
+    ("feature flag roundtrip", `Quick, test_features_flag_roundtrip);
+    ("golden state enters", `Quick, test_golden_enters);
+    ("quirk: IA-32e without PAE accepted by silicon", `Quick, test_quirk_ia32e_pae);
+    ("silent adjust: HLT + injection", `Quick, test_silent_adjust_hlt_injection);
+    ("control failures VMfail(7)", `Quick, test_vmfail_control_classified);
+    ("host failures VMfail(8)", `Quick, test_vmfail_host_classified);
+    ("guest failures early-exit", `Quick, test_guest_fail_is_early_exit);
+    ("MSR-load canonical enforcement", `Quick, test_msr_load_canonical);
+    ("MSR-load rejects FS_BASE", `Quick, test_msr_load_fs_base_rejected);
+    ("MSR-load accepts valid PAT", `Quick, test_msr_load_ok);
+    ("exec: cpuid unconditional", `Quick, test_exec_cpuid_unconditional);
+    ("exec: invd unconditional", `Quick, test_exec_invd_unconditional);
+    ("exec: vmcall unconditional", `Quick, test_exec_vmcall_unconditional);
+    ("exec: xsetbv unconditional", `Quick, test_exec_xsetbv_unconditional);
+    ("exec: hlt gated by control", `Quick, test_exec_hlt_gated);
+    ("exec: cr3 load default1", `Quick, test_exec_cr3_default1);
+    ("exec: cr3 target list", `Quick, test_exec_cr3_target_list);
+    ("exec: cr0 mask/shadow", `Quick, test_exec_cr0_mask);
+    ("exec: msr bitmap deterministic", `Quick, test_exec_msr_bitmap_deterministic);
+    ("exec: out-of-range msr exits", `Quick, test_exec_msr_out_of_range_always_exits);
+    ("exec: unconditional io", `Quick, test_exec_io_unconditional_bit);
+    ("exec: io without bitmaps", `Quick, test_exec_io_no_bitmaps);
+    ("exec: vmx instructions in L2", `Quick, test_exec_vmx_insns);
+    ("exec: exception bitmap", `Quick, test_exec_exception_bitmap);
+    ("exec: rdtscp #UD without feature", `Quick, test_exec_rdtscp_ud_without_feature);
+    ("svm: golden VMCB enters", `Quick, test_svm_golden_enters);
+    ("svm: LME without PG accepted", `Quick, test_svm_lme_without_pg_allowed);
+    ("svm exec: cpuid", `Quick, test_svm_exec_cpuid);
+    ("svm exec: vmrun in L2", `Quick, test_svm_exec_vmrun_in_l2);
+    ("svm exec: rdtsc gated", `Quick, test_svm_exec_rdtsc_gated);
+    ("exit reason names", `Quick, test_exit_reason_names);
+    ("instruction error names", `Quick, test_insn_error_names);
+  ]
+  @ List.map witness_case Nf_validator.Witness.vmx
+  @ List.map svm_witness_case Nf_validator.Witness.svm

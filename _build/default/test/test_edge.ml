@@ -1,0 +1,294 @@
+(* Edge-case tests across layers: printer totality, bitmap edge chaining,
+   statistics corner cases, Xen/VirtualBox instruction error paths, and
+   generation-strategy behaviour in the executor. *)
+
+module Hv = Nf_hv.Hypervisor
+module San = Nf_sanitizer.Sanitizer
+
+let check = Alcotest.check
+let features = Nf_cpu.Features.default
+let caps_l1 = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features
+
+(* --- printer totality --- *)
+
+let all_insns : Nf_cpu.Insn.t list =
+  [ Cpuid 0; Hlt; Pause; Mwait; Monitor; Invd; Wbinvd; Invlpg 0L; Rdtsc;
+    Rdtscp; Rdpmc; Rdrand; Rdseed; Xsetbv 0L; Vmcall; Mov_to_cr (0, 0L);
+    Mov_from_cr 3; Mov_dr 0; Io_in 0x60; Io_out (0x60, 0); Rdmsr 0x10;
+    Wrmsr (0x10, 0L); Vmx_in_guest "vmxon"; Soft_int 3; Ud2; Nop;
+    Ext_interrupt 0x20; Nmi_event ]
+
+let test_insn_names_total () =
+  List.iter
+    (fun i ->
+      if String.length (Nf_cpu.Insn.name i) = 0 then
+        Alcotest.fail "empty instruction name")
+    all_insns
+
+let test_l1_op_names_total () =
+  let golden = Nf_validator.Golden.vmcs caps_l1 in
+  let vmcb = Nf_validator.Golden.vmcb Nf_cpu.Svm_caps.zen3 in
+  List.iter
+    (fun (op : Nf_hv.L1_op.t) ->
+      if String.length (Nf_hv.L1_op.name op) = 0 then
+        Alcotest.fail "empty op name")
+    [ Vmxon 0L; Vmxoff; Vmclear 0L; Vmptrld 0L; Vmptrst; Vmread 0;
+      Vmwrite (0, 0L); Vmwrite_state golden; Vmlaunch; Vmresume;
+      Invept (1, 0L); Invvpid (1, 0L); Set_entry_msr_area [||];
+      Set_efer_svme true; Vmrun 0L; Vmcb_state vmcb; Vmload; Vmsave; Stgi;
+      Clgi; Invlpga; L1_insn Nf_cpu.Insn.Nop ]
+
+let test_exit_reason_names_known () =
+  List.iter
+    (fun r ->
+      let n = Nf_cpu.Exit_reason.name r in
+      if String.length n >= 5 && String.sub n 0 5 = "EXIT(" then
+        Alcotest.failf "reason %d has no symbolic name" r)
+    Nf_kvm.Vmx_nested.exit_reasons_modelled
+
+let test_step_names_total () =
+  List.iter
+    (fun s ->
+      if String.length (Hv.step_name s) = 0 then Alcotest.fail "empty step name")
+    [ Hv.Ok_step; Vmfail 7; Fault 6; L2_entered; L2_exit_to_l1 10L; L2_resumed;
+      Vm_killed "x"; Host_down "y" ]
+
+(* --- bitmap edge chaining --- *)
+
+let test_bitmap_edge_chaining () =
+  (* The same probe hit twice in a row lands in two different edge slots
+     (AFL's prev-location hashing), so loops are distinguishable from
+     straight-line hits. *)
+  let a = Nf_coverage.Coverage.Bitmap.create () in
+  Nf_coverage.Coverage.Bitmap.record a 5;
+  Nf_coverage.Coverage.Bitmap.record a 5;
+  Alcotest.(check bool) "two edges" true
+    (Nf_coverage.Coverage.Bitmap.count_nonzero a = 2)
+
+(* --- statistics corners --- *)
+
+let test_percentile_interpolation () =
+  let xs = [| 10.0; 20.0 |] in
+  check (Alcotest.float 1e-9) "p50 interpolates" 15.0
+    (Nf_stdext.Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p0 is min" 10.0 (Nf_stdext.Stats.percentile xs 0.0);
+  check (Alcotest.float 1e-9) "p100 is max" 20.0
+    (Nf_stdext.Stats.percentile xs 100.0)
+
+let test_mwu_with_ties () =
+  let _, p = Nf_stdext.Stats.mann_whitney_u [| 1.0; 1.0; 1.0 |] [| 1.0; 1.0 |] in
+  Alcotest.(check bool) "ties give p=1" true (p >= 0.99)
+
+let test_mwu_empty () =
+  let _, p = Nf_stdext.Stats.mann_whitney_u [||] [| 1.0 |] in
+  check (Alcotest.float 1e-9) "degenerate p" 1.0 p
+
+let test_bits_misc () =
+  Alcotest.(check bool) "fits" true (Nf_stdext.Bits.fits 0xFFL 8);
+  Alcotest.(check bool) "does not fit" false (Nf_stdext.Bits.fits 0x100L 8);
+  check Alcotest.string "hex" "0xff" (Nf_stdext.Bits.to_hex 0xFFL)
+
+let test_pick_list_empty () =
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick_list: empty list")
+    (fun () -> ignore (Nf_stdext.Rng.pick_list (Nf_stdext.Rng.create 1) []))
+
+let test_vclock_pp () =
+  let s = Format.asprintf "%a" Nf_stdext.Vclock.pp_duration 5_400_000_000L in
+  check Alcotest.string "90 minutes" "1.5h" s
+
+(* --- Xen instruction error paths --- *)
+
+let xen () =
+  Nf_xen.Vmx_nested.create ~features ~sanitizer:(San.create ())
+
+let test_xen_vmxon_requires_vmxe () =
+  let x = xen () in
+  match Nf_xen.Vmx_nested.exec_l1 x (Vmxon 0x3000L) with
+  | Hv.Fault v -> check Alcotest.int "#UD" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r)
+
+let xen_booted () =
+  let x = xen () in
+  let entered =
+    List.fold_left
+      (fun e op ->
+        match Nf_xen.Vmx_nested.exec_l1 x op with
+        | Hv.L2_entered -> true
+        | _ -> e)
+      false
+      (Nf_harness.Executor.vmx_init_template
+         ~vmcs12:(Nf_validator.Golden.vmcs caps_l1)
+         ~msr_area:[||])
+  in
+  Alcotest.(check bool) "xen golden boot" true entered;
+  x
+
+let test_xen_vmclear_bad_addr () =
+  let x = xen_booted () in
+  match Nf_xen.Vmx_nested.exec_l1 x (Vmclear 0x7L) with
+  | Hv.Vmfail _ -> ()
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_xen_vmwrite_bad_encoding () =
+  let x = xen_booted () in
+  match Nf_xen.Vmx_nested.exec_l1 x (Vmwrite (0xBEEF, 0L)) with
+  | Hv.Vmfail e ->
+      check Alcotest.int "unsupported field"
+        Nf_cpu.Vmx_cpu.Insn_error.vmread_vmwrite_unsupported e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_xen_invept_feature_gated () =
+  let x = xen_booted () in
+  (match Nf_xen.Vmx_nested.exec_l1 x (Invept (1, 0L)) with
+  | Hv.Ok_step -> ()
+  | r -> Alcotest.failf "invept with ept on: %s" (Hv.step_name r));
+  let features = Nf_cpu.Features.normalize { features with ept = false } in
+  let x2 = Nf_xen.Vmx_nested.create ~features ~sanitizer:(San.create ()) in
+  match Nf_xen.Vmx_nested.exec_l1 x2 (Invept (1, 0L)) with
+  | Hv.Fault v -> check Alcotest.int "#UD without ept" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r)
+
+(* --- VirtualBox error paths --- *)
+
+let test_vbox_vmptrld_wrong_revision () =
+  let vb = Nf_vbox.Vbox.create ~features ~sanitizer:(San.create ()) in
+  ignore
+    (Nf_vbox.Vbox.exec_l1 vb
+       (L1_insn (Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+  ignore (Nf_vbox.Vbox.exec_l1 vb (Vmxon 0x3000L));
+  match Nf_vbox.Vbox.exec_l1 vb (Vmptrld 0x2000L) with
+  | Hv.Vmfail e ->
+      check Alcotest.int "wrong revision"
+        Nf_cpu.Vmx_cpu.Insn_error.vmptrld_wrong_revision e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+(* --- generation strategies in the executor --- *)
+
+let run_gen generation seed =
+  let input = Nf_fuzzer.Input.random (Nf_stdext.Rng.create seed) in
+  let hv = Nf_kvm.Kvm.pack_intel ~features ~sanitizer:(San.create ()) in
+  Nf_harness.Executor.run ~hv
+    ~vmx_validator:(Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake)
+    ~svm_validator:(Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+    ~ablation:{ Nf_harness.Executor.full_ablation with generation }
+    ~features ~input
+
+let entry_count generation =
+  let n = ref 0 in
+  for seed = 1 to 40 do
+    n := !n + (run_gen generation seed).Nf_harness.Executor.entries
+  done;
+  !n
+
+let test_raw_rarely_enters () =
+  (* The core §5.6 observation at the executor level: raw states almost
+     never survive the consistency checks, rounded states mostly do. *)
+  let raw = entry_count Nf_harness.Executor.Raw in
+  let rounded = entry_count Nf_harness.Executor.Rounded_only in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounded (%d) enters far more than raw (%d)" rounded raw)
+    true
+    (rounded > 4 * (raw + 1))
+
+let test_generation_names () =
+  List.iter
+    (fun g ->
+      if String.length (Nf_harness.Executor.generation_name g) = 0 then
+        Alcotest.fail "empty name")
+    [ Nf_harness.Executor.Boundary; Rounded_only; Raw; Template ]
+
+let test_mutate_init_ops_bounds () =
+  let golden = Nf_validator.Golden.vmcs caps_l1 in
+  let base = Nf_harness.Executor.vmx_init_template ~vmcs12:golden ~msr_area:[||] in
+  let rng = Nf_stdext.Rng.create 3 in
+  for _ = 1 to 200 do
+    let next () = Nf_stdext.Rng.byte rng in
+    let ops = Nf_harness.Executor.mutate_init_ops next base in
+    let n = List.length ops in
+    if n < List.length base || n > 3 * List.length base then
+      Alcotest.failf "mutated sequence length out of bounds: %d" n
+  done
+
+(* --- vendor adapters --- *)
+
+let test_amd_adapter () =
+  let s =
+    Nf_config.Vcpu_config.Kvm_adapter.module_params ~vendor:Nf_cpu.Cpu_model.Amd
+      features
+  in
+  Alcotest.(check bool) "kvm-amd params" true
+    (String.length s > 10 && String.sub s 0 7 = "kvm-amd")
+
+let test_cpu_models () =
+  check Alcotest.string "intel name" "Intel"
+    (Nf_cpu.Cpu_model.vendor_name Nf_cpu.Cpu_model.intel_i9_12900k.vendor);
+  ignore (Nf_cpu.Cpu_model.vmx_caps_exn Nf_cpu.Cpu_model.intel_i9_12900k);
+  ignore (Nf_cpu.Cpu_model.svm_caps_exn Nf_cpu.Cpu_model.amd_ryzen_5950x);
+  Alcotest.check_raises "no VT-x on AMD"
+    (Invalid_argument "AMD Ryzen 9 5950X has no VT-x") (fun () ->
+      ignore (Nf_cpu.Cpu_model.vmx_caps_exn Nf_cpu.Cpu_model.amd_ryzen_5950x))
+
+let test_nehalem_golden_adapts () =
+  (* The golden template and validator must adapt to an older capability
+     envelope, not assume modern silicon. *)
+  let caps = Nf_cpu.Vmx_caps.nehalem in
+  (match Nf_cpu.Vmx_cpu.enter ~caps (Nf_validator.Golden.vmcs caps) with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | o -> Alcotest.failf "golden on Nehalem rejected: %s" (Nf_cpu.Vmx_cpu.outcome_name o));
+  let v = Nf_validator.Validator.create caps in
+  let rng = Nf_stdext.Rng.create 41 in
+  for _ = 1 to 100 do
+    let s = Nf_validator.Distribution.random_vmcs rng in
+    Nf_validator.Validator.round v s;
+    (match Nf_cpu.Vmx_cpu.enter ~caps s with
+    | Nf_cpu.Vmx_cpu.Entered _ -> ()
+    | o ->
+        Alcotest.failf "rounded state rejected on Nehalem: %s"
+          (Nf_cpu.Vmx_cpu.outcome_name o));
+    (* No rounded state may carry a feature the part does not have. *)
+    if
+      Nf_vmcs.Vmcs.read_bit s Nf_vmcs.Field.proc_based_ctls2
+        Nf_vmcs.Controls.Proc2.unrestricted_guest
+    then Alcotest.fail "unrestricted guest on a part without it"
+  done
+
+let test_nehalem_rejects_modern_state () =
+  (* An Alder-Lake golden state uses controls Nehalem does not have. *)
+  let modern = Nf_validator.Golden.vmcs Nf_cpu.Vmx_caps.alder_lake in
+  Nf_vmcs.Vmcs.set_bit modern Nf_vmcs.Field.pin_based_ctls
+    Nf_vmcs.Controls.Pin.preemption_timer true;
+  match Nf_cpu.Vmx_cpu.enter ~caps:Nf_cpu.Vmx_caps.nehalem modern with
+  | Nf_cpu.Vmx_cpu.Vmfail_control _ -> ()
+  | o -> Alcotest.failf "expected control VMfail, got %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+let test_minimize_zeroed_clamped () =
+  let b = Nf_agent.Minimize.zeroed (Bytes.of_string "abcd") ~off:2 ~len:10 in
+  check Alcotest.string "clamped" "ab\000\000" (Bytes.to_string b)
+
+let tests =
+  [
+    ("instruction names total", `Quick, test_insn_names_total);
+    ("L1 op names total", `Quick, test_l1_op_names_total);
+    ("modelled exit reasons have names", `Quick, test_exit_reason_names_known);
+    ("step names total", `Quick, test_step_names_total);
+    ("bitmap edge chaining", `Quick, test_bitmap_edge_chaining);
+    ("percentile interpolation", `Quick, test_percentile_interpolation);
+    ("mann-whitney with ties", `Quick, test_mwu_with_ties);
+    ("mann-whitney degenerate", `Quick, test_mwu_empty);
+    ("bits misc", `Quick, test_bits_misc);
+    ("pick_list empty raises", `Quick, test_pick_list_empty);
+    ("vclock duration printer", `Quick, test_vclock_pp);
+    ("xen vmxon requires CR4.VMXE", `Quick, test_xen_vmxon_requires_vmxe);
+    ("xen vmclear bad address", `Quick, test_xen_vmclear_bad_addr);
+    ("xen vmwrite bad encoding", `Quick, test_xen_vmwrite_bad_encoding);
+    ("xen invept feature-gated", `Quick, test_xen_invept_feature_gated);
+    ("vbox vmptrld wrong revision", `Quick, test_vbox_vmptrld_wrong_revision);
+    ("raw states rarely enter", `Quick, test_raw_rarely_enters);
+    ("generation names total", `Quick, test_generation_names);
+    ("init-sequence mutation bounds", `Quick, test_mutate_init_ops_bounds);
+    ("kvm-amd adapter", `Quick, test_amd_adapter);
+    ("cpu models", `Quick, test_cpu_models);
+    ("minimize zeroed clamps", `Quick, test_minimize_zeroed_clamped);
+    ("nehalem: golden and rounding adapt", `Quick, test_nehalem_golden_adapts);
+    ("nehalem rejects modern controls", `Quick, test_nehalem_rejects_modern_state);
+  ]

@@ -1,0 +1,274 @@
+(* Tests for the fuzz-harness VM: input layout, instruction templates,
+   the executor's phases and ablation switches, and the AFL++-style
+   fuzzing engine. *)
+
+module Hv = Nf_hv.Hypervisor
+module Exec = Nf_harness.Executor
+module Layout = Nf_harness.Layout
+
+let check = Alcotest.check
+let features = Nf_cpu.Features.default
+
+(* --- layout --- *)
+
+let test_layout_partition () =
+  (* Slices must not overlap and must fit the input. *)
+  let slices =
+    [ (Layout.init_off, Layout.init_len); (Layout.runtime_off, Layout.runtime_len);
+      (Layout.vmcs_raw_off, Layout.vmcs_raw_len); (Layout.flips_off, Layout.flips_len);
+      (Layout.msr_area_off, Layout.msr_area_len); (Layout.config_off, Layout.config_len) ]
+  in
+  let sorted = List.sort compare slices in
+  let rec no_overlap = function
+    | (o1, l1) :: ((o2, _) :: _ as rest) ->
+        if o1 + l1 > o2 then Alcotest.failf "slices overlap at %d" o2;
+        no_overlap rest
+    | _ -> ()
+  in
+  no_overlap sorted;
+  List.iter
+    (fun (o, l) -> if o + l > Layout.total then Alcotest.fail "slice beyond input")
+    slices
+
+let test_vmcs_slice_holds_state () =
+  check Alcotest.int "vmcs slice fits the 8000-bit state" Nf_vmcs.Vmcs.blob_bytes
+    Layout.vmcs_raw_len
+
+let test_cursor_cycles () =
+  let c = Layout.cursor (Bytes.of_string "ab") in
+  check Alcotest.int "a" (Char.code 'a') (c ());
+  check Alcotest.int "b" (Char.code 'b') (c ());
+  check Alcotest.int "wraps" (Char.code 'a') (c ())
+
+let test_cursor_empty () =
+  let c = Layout.cursor Bytes.empty in
+  check Alcotest.int "zero" 0 (c ())
+
+let test_config_of_input () =
+  let b = Nf_fuzzer.Input.zero () in
+  let f = Layout.config_of_input b in
+  Alcotest.(check bool) "all-zero config disables ept" false f.Nf_cpu.Features.ept;
+  Bytes.fill b Layout.config_off Layout.config_len '\xff';
+  let f = Layout.config_of_input b in
+  Alcotest.(check bool) "all-ones config enables ept" true f.Nf_cpu.Features.ept
+
+(* --- templates --- *)
+
+let test_templates_cover_classes () =
+  let classes =
+    List.sort_uniq compare
+      (Array.to_list
+         (Array.map (fun t -> t.Nf_harness.Templates.clazz) Nf_harness.Templates.l2_templates))
+  in
+  check Alcotest.int "all four Table 1 classes" 4 (List.length classes)
+
+let test_table1_rows () =
+  check Alcotest.int "four rows" 4 (List.length Nf_harness.Templates.table1)
+
+let test_pick_l2_total () =
+  (* Every template must build successfully from arbitrary byte input. *)
+  let rng = Nf_stdext.Rng.create 5 in
+  for _ = 1 to 2000 do
+    ignore (Nf_harness.Templates.pick_l2 (fun () -> Nf_stdext.Rng.byte rng))
+  done
+
+let test_value64_little_endian () =
+  let bytes = Bytes.of_string "\x01\x02\x03\x04\x05\x06\x07\x08" in
+  let v = Nf_harness.Templates.value64 (Layout.cursor bytes) in
+  check Alcotest.int64 "LE assembly" 0x0807060504030201L v
+
+(* --- executor --- *)
+
+let run_once ?(ablation = Exec.full_ablation) ?(input_seed = 1) target =
+  let input = Nf_fuzzer.Input.random (Nf_stdext.Rng.create input_seed) in
+  let san = Nf_sanitizer.Sanitizer.create () in
+  let hv =
+    match (target : Nf_agent.Agent.target) with
+    | Kvm_intel -> Nf_kvm.Kvm.pack_intel ~features ~sanitizer:san
+    | Kvm_amd -> Nf_kvm.Kvm.pack_amd ~features ~sanitizer:san
+    | Xen_intel -> Nf_xen.Xen.pack_intel ~features ~sanitizer:san
+    | Xen_amd -> Nf_xen.Xen.pack_amd ~features ~sanitizer:san
+    | Vbox -> Nf_vbox.Vbox.pack ~features ~sanitizer:san
+  in
+  Exec.run ~hv
+    ~vmx_validator:(Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake)
+    ~svm_validator:(Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+    ~ablation ~features ~input
+
+let test_executor_counts () =
+  let o = run_once Kvm_intel in
+  Alcotest.(check bool) "some L1 steps" true (o.Exec.l1_steps > 0);
+  Alcotest.(check bool) "cost at least boot" true
+    (o.Exec.cost_us >= Exec.boot_cost_us)
+
+let test_executor_deterministic () =
+  let a = run_once ~input_seed:7 Kvm_intel in
+  let b = run_once ~input_seed:7 Kvm_intel in
+  check Alcotest.int "same l1 steps" a.Exec.l1_steps b.Exec.l1_steps;
+  check Alcotest.int "same entries" a.Exec.entries b.Exec.entries;
+  check Alcotest.int64 "same cost" a.Exec.cost_us b.Exec.cost_us
+
+let test_executor_no_validator_uses_golden () =
+  (* Without the validator the template state is golden: entry always
+     succeeds unless the (also random) MSR-load area kills it, so the
+     area slice is zeroed here. *)
+  let entered = ref 0 in
+  for seed = 1 to 30 do
+    let input = Nf_fuzzer.Input.random (Nf_stdext.Rng.create seed) in
+    Bytes.fill input Layout.msr_area_off Layout.msr_area_len '\000';
+    let san = Nf_sanitizer.Sanitizer.create () in
+    let hv = Nf_kvm.Kvm.pack_intel ~features ~sanitizer:san in
+    let o =
+      Exec.run ~hv
+        ~vmx_validator:(Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake)
+        ~svm_validator:(Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+        ~ablation:
+          { Exec.full_ablation with generation = Exec.Template; use_exec_harness = false }
+        ~features ~input
+    in
+    if o.Exec.entries > 0 then incr entered
+  done;
+  check Alcotest.int "all golden runs enter" 30 !entered
+
+let test_executor_fixed_template_without_harness () =
+  let a =
+    run_once ~input_seed:3 ~ablation:{ Exec.full_ablation with use_exec_harness = false }
+      Kvm_intel
+  in
+  (* Fixed template: exactly the 8 canonical init ops. *)
+  Alcotest.(check bool) "init ops not mutated" true (a.Exec.l1_steps <= 8 + 2 * Exec.max_l2_insns)
+
+let test_executor_amd () =
+  let entered = ref false in
+  for seed = 1 to 20 do
+    let o = run_once ~input_seed:seed Kvm_amd in
+    if o.Exec.entries > 0 then entered := true
+  done;
+  Alcotest.(check bool) "AMD executor reaches L2" true !entered
+
+let test_executor_runtime_runs () =
+  let ran_l2 = ref false in
+  for seed = 1 to 20 do
+    let o = run_once ~input_seed:seed Kvm_intel in
+    if o.Exec.l2_steps > 0 then ran_l2 := true
+  done;
+  Alcotest.(check bool) "runtime phase executes L2 code" true !ran_l2
+
+let test_msr_area_generation () =
+  let rng = Nf_stdext.Rng.create 5 in
+  for _ = 1 to 100 do
+    let input = Nf_fuzzer.Input.random rng in
+    let area = Exec.generate_msr_area input in
+    Alcotest.(check bool) "0..3 entries" true (Array.length area <= 3)
+  done
+
+(* --- fuzzer engine --- *)
+
+let test_input_size () = check Alcotest.int "2KiB inputs" 2048 Nf_fuzzer.Input.size
+
+let test_havoc_changes_input () =
+  let rng = Nf_stdext.Rng.create 5 in
+  let parent = Nf_fuzzer.Input.zero () in
+  let child = Nf_fuzzer.Input.havoc rng parent in
+  Alcotest.(check bool) "parent untouched" true
+    (Bytes.equal parent (Nf_fuzzer.Input.zero ()));
+  Alcotest.(check bool) "child differs (almost surely)" true
+    (not (Bytes.equal child parent))
+
+let test_fuzzer_guided_queue_growth () =
+  let f = Nf_fuzzer.Fuzzer.create ~seed:1 () in
+  Nf_fuzzer.Fuzzer.seed_input f (Nf_fuzzer.Input.zero ());
+  let virgin_input = Nf_fuzzer.Fuzzer.next_input f in
+  let bitmap = Nf_coverage.Coverage.Bitmap.create () in
+  Nf_coverage.Coverage.Bitmap.record bitmap 42;
+  let novel =
+    Nf_fuzzer.Fuzzer.report f ~input:virgin_input ~bitmap ~now_us:0L ()
+  in
+  Alcotest.(check bool) "novel coverage queued" true novel;
+  check Alcotest.int "queue grew" 2 (Nf_fuzzer.Fuzzer.queue_size f)
+
+let test_fuzzer_crash_not_queued () =
+  let f = Nf_fuzzer.Fuzzer.create ~seed:1 () in
+  Nf_fuzzer.Fuzzer.seed_input f (Nf_fuzzer.Input.zero ());
+  let input = Nf_fuzzer.Fuzzer.next_input f in
+  let bitmap = Nf_coverage.Coverage.Bitmap.create () in
+  Nf_coverage.Coverage.Bitmap.record bitmap 7;
+  ignore (Nf_fuzzer.Fuzzer.report f ~input ~crashed:true ~bitmap ~now_us:0L ());
+  check Alcotest.int "crashing input not queued" 1 (Nf_fuzzer.Fuzzer.queue_size f)
+
+let test_fuzzer_blind_ignores_coverage () =
+  let f = Nf_fuzzer.Fuzzer.create ~mode:Nf_fuzzer.Fuzzer.Blind ~seed:1 () in
+  let bitmap = Nf_coverage.Coverage.Bitmap.create () in
+  Nf_coverage.Coverage.Bitmap.record bitmap 3;
+  let novel =
+    Nf_fuzzer.Fuzzer.report f ~input:(Nf_fuzzer.Input.zero ()) ~bitmap ~now_us:0L ()
+  in
+  Alcotest.(check bool) "blind never reports novelty" false novel
+
+let test_fuzzer_dedup_same_bitmap () =
+  let f = Nf_fuzzer.Fuzzer.create ~seed:1 () in
+  let bitmap = Nf_coverage.Coverage.Bitmap.create () in
+  Nf_coverage.Coverage.Bitmap.record bitmap 3;
+  let i = Nf_fuzzer.Input.zero () in
+  ignore (Nf_fuzzer.Fuzzer.report f ~input:i ~bitmap ~now_us:0L ());
+  Alcotest.(check bool) "same bitmap is not novel twice" false
+    (Nf_fuzzer.Fuzzer.report f ~input:i ~bitmap ~now_us:0L ())
+
+(* --- vCPU configurator --- *)
+
+let test_config_of_bits () =
+  let f = Nf_config.Vcpu_config.of_bits 0 in
+  Alcotest.(check bool) "ept off" false f.Nf_cpu.Features.ept;
+  let f = Nf_config.Vcpu_config.of_bits 0x3FFFF in
+  Alcotest.(check bool) "ept on" true f.Nf_cpu.Features.ept
+
+let test_config_normalized () =
+  (* unrestricted without ept must be normalized away. *)
+  let f = Nf_config.Vcpu_config.of_bits 0b10 in
+  Alcotest.(check bool) "dependent disabled" false f.Nf_cpu.Features.unrestricted_guest
+
+let test_config_flip_flag () =
+  let f = Nf_cpu.Features.default in
+  let f' = Nf_config.Vcpu_config.flip_flag f 0 in
+  Alcotest.(check bool) "flipped" false f'.Nf_cpu.Features.ept
+
+let test_adapters_render () =
+  let f = Nf_cpu.Features.default in
+  let s =
+    Nf_config.Vcpu_config.Kvm_adapter.module_params ~vendor:Nf_cpu.Cpu_model.Intel f
+  in
+  Alcotest.(check bool) "kvm-intel params" true (String.length s > 10);
+  let s = Nf_config.Vcpu_config.Xen_adapter.guest_cfg f in
+  Alcotest.(check bool) "xen cfg" true (String.length s > 10);
+  let s = Nf_config.Vcpu_config.Vbox_adapter.modifyvm f in
+  Alcotest.(check bool) "vbox cfg" true (String.length s > 10)
+
+let tests =
+  [
+    ("layout slices disjoint", `Quick, test_layout_partition);
+    ("vmcs slice size", `Quick, test_vmcs_slice_holds_state);
+    ("cursor cycles", `Quick, test_cursor_cycles);
+    ("cursor on empty slice", `Quick, test_cursor_empty);
+    ("config from input", `Quick, test_config_of_input);
+    ("templates cover Table 1 classes", `Quick, test_templates_cover_classes);
+    ("table1 rows", `Quick, test_table1_rows);
+    ("pick_l2 total over random input", `Quick, test_pick_l2_total);
+    ("value64 little-endian", `Quick, test_value64_little_endian);
+    ("executor counts and cost", `Quick, test_executor_counts);
+    ("executor deterministic per input", `Quick, test_executor_deterministic);
+    ("ablated validator uses golden", `Quick, test_executor_no_validator_uses_golden);
+    ("ablated harness keeps template", `Quick, test_executor_fixed_template_without_harness);
+    ("executor on AMD", `Quick, test_executor_amd);
+    ("runtime phase executes", `Quick, test_executor_runtime_runs);
+    ("msr area generation bounds", `Quick, test_msr_area_generation);
+    ("input size is 2KiB", `Quick, test_input_size);
+    ("havoc copies parent", `Quick, test_havoc_changes_input);
+    ("guided queue growth", `Quick, test_fuzzer_guided_queue_growth);
+    ("crashes stay out of the queue", `Quick, test_fuzzer_crash_not_queued);
+    ("blind mode ignores coverage", `Quick, test_fuzzer_blind_ignores_coverage);
+    ("bitmap dedup", `Quick, test_fuzzer_dedup_same_bitmap);
+    ("configurator bit array", `Quick, test_config_of_bits);
+    ("configurator normalizes deps", `Quick, test_config_normalized);
+    ("configurator flip", `Quick, test_config_flip_flag);
+    ("adapters render", `Quick, test_adapters_render);
+  ]

@@ -1,0 +1,476 @@
+(* Tests for the simulated L0 hypervisors: VMX/SVM instruction emulation,
+   nested entry and exit reflection, and — crucially — each of the six
+   planted vulnerabilities triggering under exactly its documented
+   conditions and staying silent otherwise. *)
+
+open Nf_vmcs
+module San = Nf_sanitizer.Sanitizer
+module Hv = Nf_hv.Hypervisor
+
+let check = Alcotest.check
+let features = Nf_cpu.Features.default
+
+let msg_contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let kvm_intel ?(features = features) () =
+  let san = San.create () in
+  (Nf_kvm.Vmx_nested.create ~features ~sanitizer:san, san)
+
+let kvm_amd ?(features = features) () =
+  let san = San.create () in
+  (Nf_kvm.Svm_nested.create ~features ~sanitizer:san, san)
+
+let xen_intel ?(features = features) () =
+  let san = San.create () in
+  (Nf_xen.Vmx_nested.create ~features ~sanitizer:san, san)
+
+let xen_amd ?(features = features) () =
+  let san = San.create () in
+  (Nf_xen.Svm_nested.create ~features ~sanitizer:san, san)
+
+let vbox () =
+  let san = San.create () in
+  (Nf_vbox.Vbox.create ~features ~sanitizer:san, san)
+
+let caps_l1 = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features
+let scaps_l1 = Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features
+
+let vmx_boot exec_l1 vmcs12 =
+  let ops = Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
+  List.fold_left
+    (fun entered op ->
+      match exec_l1 op with Hv.L2_entered -> true | _ -> entered)
+    false ops
+
+let svm_boot exec_l1 vmcb12 =
+  let ops = Nf_harness.Executor.svm_init_template ~vmcb12 in
+  List.fold_left
+    (fun entered op ->
+      match exec_l1 op with Hv.L2_entered -> true | _ -> entered)
+    false ops
+
+(* --- KVM VMX instruction emulation --- *)
+
+let test_vmxon_requires_cr4_vmxe () =
+  let kvm, _ = kvm_intel () in
+  match Nf_kvm.Vmx_nested.exec_l1 kvm (Vmxon 0x3000L) with
+  | Hv.Fault v -> check Alcotest.int "#UD" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r)
+
+let test_vmxon_feature_control () =
+  let kvm, _ = kvm_intel () in
+  ignore
+    (Nf_kvm.Vmx_nested.exec_l1 kvm
+       (L1_insn (Mov_to_cr (4, Nf_stdext.Bits.set 0L Nf_x86.Cr4.vmxe))));
+  ignore
+    (Nf_kvm.Vmx_nested.exec_l1 kvm
+       (L1_insn (Wrmsr (Nf_x86.Msr.ia32_feature_control, 0L))));
+  match Nf_kvm.Vmx_nested.exec_l1 kvm (Vmxon 0x3000L) with
+  | Hv.Fault v -> check Alcotest.int "#GP" Nf_x86.Exn.gp v
+  | r -> Alcotest.failf "expected #GP, got %s" (Hv.step_name r)
+
+let test_golden_boot_enters () =
+  let kvm, san = kvm_intel () in
+  Alcotest.(check bool) "entered" true
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  Alcotest.(check bool) "in L2" true kvm.in_l2;
+  Alcotest.(check bool) "no reports" false (San.has_reportable san)
+
+let test_vmclear_vmxon_ptr_error () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  match Nf_kvm.Vmx_nested.exec_l1 kvm (Vmclear 0x3000L) with
+  | Hv.Vmfail e ->
+      check Alcotest.int "VMCLEAR_VMXON_PTR"
+        Nf_cpu.Vmx_cpu.Insn_error.vmclear_vmxon_ptr e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_vmptrld_wrong_revision () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  (* 0x2000 was never vmcleared: stale revision. *)
+  match Nf_kvm.Vmx_nested.exec_l1 kvm (Vmptrld 0x2000L) with
+  | Hv.Vmfail e ->
+      check Alcotest.int "WRONG_REVISION"
+        Nf_cpu.Vmx_cpu.Insn_error.vmptrld_wrong_revision e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_vmwrite_readonly_field () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  match
+    Nf_kvm.Vmx_nested.exec_l1 kvm (Vmwrite (Field.encoding Field.exit_reason, 0L))
+  with
+  | Hv.Vmfail e ->
+      check Alcotest.int "VMWRITE_READONLY" Nf_cpu.Vmx_cpu.Insn_error.vmwrite_readonly e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_launch_twice_vmfail () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  match Nf_kvm.Vmx_nested.exec_l1 kvm Vmlaunch with
+  | Hv.Vmfail e ->
+      check Alcotest.int "NOT_CLEAR" Nf_cpu.Vmx_cpu.Insn_error.vmlaunch_not_clear e
+  | r -> Alcotest.failf "expected vmfail, got %s" (Hv.step_name r)
+
+let test_invalid_vmcs12_vmfails () =
+  let kvm, _ = kvm_intel () in
+  let w = (Nf_validator.Witness.find_vmx "ctl.pin_reserved").build caps_l1 in
+  Alcotest.(check bool) "not entered" false
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) w)
+
+let test_guest_state_failure_reflected () =
+  let kvm, _ = kvm_intel () in
+  let w = (Nf_validator.Witness.find_vmx "guest.rflags").build caps_l1 in
+  let saw_entry_failure = ref false in
+  let ops = Nf_harness.Executor.vmx_init_template ~vmcs12:w ~msr_area:[||] in
+  List.iter
+    (fun op ->
+      match Nf_kvm.Vmx_nested.exec_l1 kvm op with
+      | Hv.L2_exit_to_l1 r
+        when Int64.logand r Nf_cpu.Exit_reason.entry_failure_flag <> 0L ->
+          saw_entry_failure := true
+      | _ -> ())
+    ops;
+  Alcotest.(check bool) "entry failure reflected to L1" true !saw_entry_failure
+
+let test_cpuid_reflects_to_l1 () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  match Nf_kvm.Vmx_nested.exec_l2 kvm (Cpuid 0) with
+  | Hv.L2_exit_to_l1 r ->
+      check Alcotest.int64 "cpuid reason" (Int64.of_int Nf_cpu.Exit_reason.cpuid) r;
+      Alcotest.(check bool) "back in L1" false kvm.in_l2
+  | r -> Alcotest.failf "expected reflection, got %s" (Hv.step_name r)
+
+let test_vmresume_after_exit () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  ignore (Nf_kvm.Vmx_nested.exec_l2 kvm (Cpuid 0));
+  match Nf_kvm.Vmx_nested.exec_l1 kvm Vmresume with
+  | Hv.L2_entered -> ()
+  | r -> Alcotest.failf "vmresume should re-enter, got %s" (Hv.step_name r)
+
+let test_exit_syncs_vmcs12 () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  ignore (Nf_kvm.Vmx_nested.exec_l2 kvm Hlt);
+  match Nf_kvm.Vmx_nested.current_vmcs12 kvm with
+  | Some vmcs12 ->
+      check Alcotest.int64 "exit reason written"
+        (Int64.of_int Nf_cpu.Exit_reason.hlt)
+        (Vmcs.read vmcs12 Field.exit_reason)
+  | None -> Alcotest.fail "no current vmcs12"
+
+let test_msr_load_fail_reflected () =
+  let kvm, _ = kvm_intel () in
+  let saw = ref false in
+  List.iter
+    (fun op ->
+      match Nf_kvm.Vmx_nested.exec_l1 kvm op with
+      | Hv.L2_exit_to_l1 r
+        when Int64.logand r 0xFFFFL = Int64.of_int Nf_cpu.Exit_reason.msr_load_fail
+        ->
+          saw := true
+      | _ -> ())
+    (Nf_harness.Executor.vmx_init_template
+       ~vmcs12:(Nf_validator.Golden.vmcs caps_l1)
+       ~msr_area:[| (Nf_x86.Msr.ia32_lstar, 0x8000_0000_0000_0000L) |]);
+  Alcotest.(check bool) "exit 34 reflected (KVM validates, unlike VirtualBox)"
+    true !saw
+
+(* --- planted bug 1: CVE-2023-30456 --- *)
+
+let cve_witness features =
+  let caps = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features in
+  (Nf_validator.Witness.find_vmx "guest.ia32e_pae").build caps
+
+let test_cve_2023_30456_triggers () =
+  let features = { features with ept = false } in
+  let kvm, san = kvm_intel ~features () in
+  Alcotest.(check bool) "enters (hardware forgives)" true
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (cve_witness features));
+  Alcotest.(check bool) "UBSAN fired" true
+    (List.exists (function San.Ubsan _ -> true | _ -> false) (San.events san))
+
+let test_cve_requires_ept_off () =
+  (* With EPT on, the same state is harmless: no shadow page walk. *)
+  let kvm, san = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (cve_witness features));
+  Alcotest.(check bool) "no UBSAN with ept=1" false
+    (List.exists (function San.Ubsan _ -> true | _ -> false) (San.events san))
+
+let test_cve_requires_pae_clear () =
+  let features = { features with ept = false } in
+  let kvm, san = kvm_intel ~features () in
+  let caps = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps));
+  Alcotest.(check bool) "no UBSAN with PAE set" false
+    (List.exists (function San.Ubsan _ -> true | _ -> false) (San.events san))
+
+(* --- planted bug 3: invalid nested root --- *)
+
+let test_invalid_eptp_triple_fault () =
+  let kvm, san = kvm_intel () in
+  let vmcs12 = Nf_validator.Golden.vmcs caps_l1 in
+  (* Beyond guest memory but within the physical-address width: passes
+     the format checks, fails root visibility. *)
+  Vmcs.write vmcs12 Field.ept_pointer
+    (Controls.Eptp.make ~ad:true ~pml4:0x10_0000_0000L ());
+  let saw_triple = ref false in
+  List.iter
+    (fun op ->
+      match Nf_kvm.Vmx_nested.exec_l1 kvm op with
+      | Hv.L2_exit_to_l1 r when r = Int64.of_int Nf_cpu.Exit_reason.triple_fault ->
+          saw_triple := true
+      | _ -> ())
+    (Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||]);
+  Alcotest.(check bool) "spurious triple fault (L2 never ran)" true !saw_triple;
+  Alcotest.(check bool) "assertion reported" true
+    (List.exists (function San.Assert_fail _ -> true | _ -> false) (San.events san))
+
+let test_invalid_ncr3_shutdown () =
+  let kvm, san = kvm_amd () in
+  let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
+  Nf_vmcb.Vmcb.write vmcb12 Nf_vmcb.Vmcb.n_cr3 0x10_0000_0000L;
+  let saw = ref false in
+  List.iter
+    (fun op ->
+      match Nf_kvm.Svm_nested.exec_l1 kvm op with
+      | Hv.L2_exit_to_l1 r when r = Nf_vmcb.Vmcb.Exit.shutdown -> saw := true
+      | _ -> ())
+    (Nf_harness.Executor.svm_init_template ~vmcb12);
+  Alcotest.(check bool) "shutdown before L2 ran" true !saw;
+  Alcotest.(check bool) "assertion reported" true
+    (List.exists (function San.Assert_fail _ -> true | _ -> false) (San.events san))
+
+(* --- KVM sanitizes the activity state (the check Xen lacks) --- *)
+
+let test_kvm_sanitizes_activity () =
+  let kvm, san = kvm_intel () in
+  let vmcs12 = Nf_validator.Golden.vmcs caps_l1 in
+  Vmcs.write vmcs12 Field.guest_activity_state Field.Activity.wait_for_sipi;
+  Alcotest.(check bool) "enters normally" true
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) vmcs12);
+  Alcotest.(check bool) "no host crash" false (San.has_fatal san)
+
+(* --- planted bug 4: Xen activity-state host hang --- *)
+
+let test_xen_wait_for_sipi_hangs_host () =
+  let xen, san = xen_intel () in
+  let vmcs12 = Nf_validator.Golden.vmcs caps_l1 in
+  Vmcs.write vmcs12 Field.guest_activity_state Field.Activity.wait_for_sipi;
+  let saw_down = ref false in
+  List.iter
+    (fun op ->
+      match Nf_xen.Vmx_nested.exec_l1 xen op with
+      | Hv.Host_down _ -> saw_down := true
+      | _ -> ())
+    (Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||]);
+  Alcotest.(check bool) "host went down" true !saw_down;
+  Alcotest.(check bool) "host crash reported" true
+    (List.exists (function San.Host_crash _ -> true | _ -> false) (San.events san));
+  (* The watchdog restart brings it back. *)
+  Nf_xen.Vmx_nested.reset xen;
+  Alcotest.(check bool) "reboots clean" true
+    (vmx_boot (Nf_xen.Vmx_nested.exec_l1 xen) (Nf_validator.Golden.vmcs caps_l1))
+
+let test_xen_active_state_fine () =
+  let xen, san = xen_intel () in
+  Alcotest.(check bool) "golden enters" true
+    (vmx_boot (Nf_xen.Vmx_nested.exec_l1 xen) (Nf_validator.Golden.vmcs caps_l1));
+  Alcotest.(check bool) "no crash" false (San.has_fatal san)
+
+let test_xen_not_vulnerable_to_cve () =
+  (* Xen replicates the IA-32e/PAE check: the KVM CVE state just VMfails. *)
+  let features = { features with ept = false } in
+  let xen, san = xen_intel ~features () in
+  ignore (vmx_boot (Nf_xen.Vmx_nested.exec_l1 xen) (cve_witness features));
+  Alcotest.(check bool) "no UBSAN in Xen" false
+    (List.exists (function San.Ubsan _ -> true | _ -> false) (San.events san))
+
+(* --- planted bug 5: Xen AVIC corruption on LMA && !PG --- *)
+
+let test_xen_lma_nopg_avic_bug () =
+  let xen, san = xen_amd () in
+  (* First run a 64-bit L2 so prev_l2_long_mode is set. *)
+  Alcotest.(check bool) "64-bit L2 runs" true
+    (svm_boot (Nf_xen.Svm_nested.exec_l1 xen) (Nf_validator.Golden.vmcb scaps_l1));
+  (* Now VMRUN with CR0.PG clear and EFER.LME still set. *)
+  let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg false;
+  ignore (Nf_xen.Svm_nested.exec_l1 xen (Vmcb_state vmcb12));
+  let r = Nf_xen.Svm_nested.exec_l1 xen (Vmrun 0x1000L) in
+  (match r with
+  | Hv.L2_exit_to_l1 code ->
+      check Alcotest.int64 "AVIC_NOACCEL exit" Nf_vmcb.Vmcb.Exit.avic_noaccel code
+  | _ -> Alcotest.failf "expected AVIC_NOACCEL, got %s" (Hv.step_name r));
+  Alcotest.(check bool) "BUG reported" true
+    (List.exists
+       (function San.Assert_fail m -> msg_contains "AVIC" m | _ -> false)
+       (San.events san))
+
+and test_xen_lma_nopg_needs_history () =
+  (* Without a prior 64-bit L2, the same VMCB is handled fine. *)
+  let xen, san = xen_amd () in
+  let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg false;
+  Alcotest.(check bool) "enters" true
+    (svm_boot (Nf_xen.Svm_nested.exec_l1 xen) vmcb12);
+  Alcotest.(check bool) "no assertion" false
+    (List.exists (function San.Assert_fail _ -> true | _ -> false) (San.events san))
+
+(* --- planted bug 6: Xen VGIF assertion --- *)
+
+and test_xen_vgif_assertion () =
+  let xen, san = xen_amd () in
+  let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
+  (* vGIF enabled with the virtual GIF clear, plus an invalid CR4 so
+     VMRUN fails and the injection path runs. *)
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.vintr_ctl Nf_vmcb.Vmcb.Vintr.v_gif_enable true;
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.cr4 27 true;
+  ignore (svm_boot (Nf_xen.Svm_nested.exec_l1 xen) vmcb12);
+  Alcotest.(check bool) "VGIF assertion fired" true
+    (List.exists
+       (function San.Assert_fail m -> msg_contains "vgif" m | _ -> false)
+       (San.events san))
+
+and test_xen_vgif_set_no_assertion () =
+  let xen, san = xen_amd () in
+  let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.vintr_ctl Nf_vmcb.Vmcb.Vintr.v_gif_enable true;
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.vintr_ctl Nf_vmcb.Vmcb.Vintr.v_gif true;
+  Nf_vmcb.Vmcb.set_bit vmcb12 Nf_vmcb.Vmcb.cr4 27 true;
+  ignore (svm_boot (Nf_xen.Svm_nested.exec_l1 xen) vmcb12);
+  Alcotest.(check bool) "no assertion when vgif set" false
+    (List.exists (function San.Assert_fail _ -> true | _ -> false) (San.events san))
+
+(* --- planted bug 2: VirtualBox CVE-2024-21106 --- *)
+
+and test_vbox_msr_load_gpf () =
+  let vb, san = vbox () in
+  let killed = ref false in
+  List.iter
+    (fun op ->
+      match Nf_vbox.Vbox.exec_l1 vb op with
+      | Hv.Vm_killed _ -> killed := true
+      | _ -> ())
+    (Nf_harness.Executor.vmx_init_template
+       ~vmcs12:(Nf_validator.Golden.vmcs caps_l1)
+       ~msr_area:
+         [| (Nf_x86.Msr.ia32_kernel_gs_base, 0x8000_0000_0000_0000L) |]);
+  Alcotest.(check bool) "VM killed" true !killed;
+  Alcotest.(check bool) "GP fault logged" true
+    (List.exists (function San.Gpf _ -> true | _ -> false) (San.events san));
+  Alcotest.(check bool) "VM crash logged" true
+    (List.exists (function San.Vm_crash _ -> true | _ -> false) (San.events san))
+
+and test_vbox_canonical_msr_ok () =
+  let vb, san = vbox () in
+  let entered = ref false in
+  List.iter
+    (fun op ->
+      match Nf_vbox.Vbox.exec_l1 vb op with
+      | Hv.L2_entered -> entered := true
+      | _ -> ())
+    (Nf_harness.Executor.vmx_init_template
+       ~vmcs12:(Nf_validator.Golden.vmcs caps_l1)
+       ~msr_area:
+         [| (Nf_x86.Msr.ia32_kernel_gs_base, 0xFFFF_8000_0000_1000L) |]);
+  Alcotest.(check bool) "enters" true !entered;
+  Alcotest.(check bool) "no GP" false (San.has_fatal san)
+
+and test_vbox_no_coverage_interface () =
+  let vb, _ = vbox () in
+  Alcotest.(check bool) "closed source" true (Nf_vbox.Vbox.Hv.coverage vb = None)
+
+(* --- arch mismatch and reset --- *)
+
+and test_arch_mismatch_ud () =
+  let kvm, _ = kvm_intel () in
+  (match Nf_kvm.Vmx_nested.exec_l1 kvm (Vmrun 0x1000L) with
+  | Hv.Fault v -> check Alcotest.int "svm on intel #UD" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r));
+  let amd, _ = kvm_amd () in
+  match Nf_kvm.Svm_nested.exec_l1 amd Vmlaunch with
+  | Hv.Fault v -> check Alcotest.int "vmx on amd #UD" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r)
+
+and test_kvm_reset () =
+  let kvm, _ = kvm_intel () in
+  ignore (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  Nf_kvm.Vmx_nested.reset kvm;
+  Alcotest.(check bool) "not in L2 after reset" false kvm.in_l2;
+  Alcotest.(check bool) "boots again" true
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1))
+
+and test_svm_no_svme_ud () =
+  let kvm, _ = kvm_amd () in
+  match Nf_kvm.Svm_nested.exec_l1 kvm (Vmrun 0x1000L) with
+  | Hv.Fault v -> check Alcotest.int "#UD" Nf_x86.Exn.ud v
+  | r -> Alcotest.failf "expected #UD, got %s" (Hv.step_name r)
+
+and test_svm_golden_roundtrip () =
+  let kvm, _ = kvm_amd () in
+  Alcotest.(check bool) "enters" true
+    (svm_boot (Nf_kvm.Svm_nested.exec_l1 kvm) (Nf_validator.Golden.vmcb scaps_l1));
+  (match Nf_kvm.Svm_nested.exec_l2 kvm (Cpuid 0) with
+  | Hv.L2_exit_to_l1 code ->
+      check Alcotest.int64 "cpuid reflected" Nf_vmcb.Vmcb.Exit.cpuid code
+  | r -> Alcotest.failf "expected reflection, got %s" (Hv.step_name r));
+  match Nf_kvm.Svm_nested.exec_l1 kvm (Vmrun 0x1000L) with
+  | Hv.L2_entered -> ()
+  | r -> Alcotest.failf "vmrun should re-enter, got %s" (Hv.step_name r)
+
+and test_svm_invalid_vmcb_reflects_invalid () =
+  let kvm, _ = kvm_amd () in
+  let w = (Nf_validator.Witness.find_svm "svm.cr4_reserved").svm_build scaps_l1 in
+  let saw = ref false in
+  List.iter
+    (fun op ->
+      match Nf_kvm.Svm_nested.exec_l1 kvm op with
+      | Hv.L2_exit_to_l1 code when code = Nf_vmcb.Vmcb.Exit.invalid -> saw := true
+      | _ -> ())
+    (Nf_harness.Executor.svm_init_template ~vmcb12:w);
+  Alcotest.(check bool) "VMEXIT_INVALID reflected" true !saw
+
+let tests =
+  [
+    ("vmxon requires CR4.VMXE", `Quick, test_vmxon_requires_cr4_vmxe);
+    ("vmxon requires feature control", `Quick, test_vmxon_feature_control);
+    ("golden boot enters L2", `Quick, test_golden_boot_enters);
+    ("vmclear of vmxon pointer", `Quick, test_vmclear_vmxon_ptr_error);
+    ("vmptrld wrong revision", `Quick, test_vmptrld_wrong_revision);
+    ("vmwrite read-only field", `Quick, test_vmwrite_readonly_field);
+    ("vmlaunch of launched vmcs", `Quick, test_launch_twice_vmfail);
+    ("invalid controls vmfail", `Quick, test_invalid_vmcs12_vmfails);
+    ("guest-state failure reflected", `Quick, test_guest_state_failure_reflected);
+    ("cpuid reflects to L1", `Quick, test_cpuid_reflects_to_l1);
+    ("vmresume re-enters", `Quick, test_vmresume_after_exit);
+    ("exit syncs vmcs12", `Quick, test_exit_syncs_vmcs12);
+    ("msr-load failure reflected (KVM validates)", `Quick, test_msr_load_fail_reflected);
+    ("CVE-2023-30456 triggers", `Quick, test_cve_2023_30456_triggers);
+    ("CVE needs ept=0", `Quick, test_cve_requires_ept_off);
+    ("CVE needs PAE clear", `Quick, test_cve_requires_pae_clear);
+    ("bug3: invalid EPTP triple fault", `Quick, test_invalid_eptp_triple_fault);
+    ("bug3/AMD: invalid nCR3 shutdown", `Quick, test_invalid_ncr3_shutdown);
+    ("KVM sanitizes activity state", `Quick, test_kvm_sanitizes_activity);
+    ("bug4: Xen wait-for-SIPI host hang", `Quick, test_xen_wait_for_sipi_hangs_host);
+    ("Xen: active state fine", `Quick, test_xen_active_state_fine);
+    ("Xen not vulnerable to the KVM CVE", `Quick, test_xen_not_vulnerable_to_cve);
+    ("bug5: Xen AVIC corruption", `Quick, test_xen_lma_nopg_avic_bug);
+    ("bug5 needs 64-bit history", `Quick, test_xen_lma_nopg_needs_history);
+    ("bug6: Xen VGIF assertion", `Quick, test_xen_vgif_assertion);
+    ("bug6 silent with vgif set", `Quick, test_xen_vgif_set_no_assertion);
+    ("bug2: VirtualBox MSR-load GP", `Quick, test_vbox_msr_load_gpf);
+    ("VirtualBox canonical MSR fine", `Quick, test_vbox_canonical_msr_ok);
+    ("VirtualBox exposes no coverage", `Quick, test_vbox_no_coverage_interface);
+    ("arch mismatch #UD", `Quick, test_arch_mismatch_ud);
+    ("KVM reset", `Quick, test_kvm_reset);
+    ("SVM without SVME #UD", `Quick, test_svm_no_svme_ud);
+    ("SVM golden roundtrip", `Quick, test_svm_golden_roundtrip);
+    ("SVM invalid VMCB reflects VMEXIT_INVALID", `Quick, test_svm_invalid_vmcb_reflects_invalid);
+  ]

@@ -1,0 +1,19 @@
+(* Test entry point: one alcotest binary over all module suites. *)
+
+let () =
+  Alcotest.run "necofuzz"
+    [
+      ("stdext", Test_stdext.tests);
+      ("vmcs", Test_vmcs.tests);
+      ("vmcb", Test_vmcb.tests);
+      ("cpu", Test_cpu.tests);
+      ("validator", Test_validator.tests);
+      ("coverage", Test_coverage.tests);
+      ("hypervisors", Test_hypervisors.tests);
+      ("harness", Test_harness.tests);
+      ("agent", Test_agent.tests);
+      ("baselines", Test_baselines.tests);
+      ("tools", Test_tools.tests);
+      ("edge", Test_edge.tests);
+      ("experiments", Test_experiments.tests);
+    ]

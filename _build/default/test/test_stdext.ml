@@ -1,0 +1,216 @@
+(* Unit and property tests for the nf_stdext utility layer. *)
+
+open Nf_stdext
+
+let check = Alcotest.check
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_byte_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.byte r in
+    if v < 0 || v > 255 then Alcotest.failf "byte out of bounds: %d" v
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1" true (Rng.chance r ~num:10 ~den:10);
+    Alcotest.(check bool) "p=0" false (Rng.chance r ~num:0 ~den:10)
+  done
+
+let test_rng_small_count () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.small_count r ~max:8 in
+    if v < 1 || v > 8 then Alcotest.failf "small_count out of range: %d" v
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 13 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_float_range () =
+  let r = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of range: %f" v
+  done
+
+(* --- Bits --- *)
+
+let test_bits_mask () =
+  check Alcotest.int64 "mask 0" 0L (Bits.mask 0);
+  check Alcotest.int64 "mask 1" 1L (Bits.mask 1);
+  check Alcotest.int64 "mask 16" 0xFFFFL (Bits.mask 16);
+  check Alcotest.int64 "mask 64" (-1L) (Bits.mask 64)
+
+let test_bits_set_clear_flip () =
+  let v = Bits.set 0L 5 in
+  Alcotest.(check bool) "set" true (Bits.is_set v 5);
+  let v = Bits.clear v 5 in
+  Alcotest.(check bool) "clear" false (Bits.is_set v 5);
+  let v = Bits.flip v 63 in
+  Alcotest.(check bool) "flip on" true (Bits.is_set v 63);
+  let v = Bits.flip v 63 in
+  Alcotest.(check bool) "flip off" false (Bits.is_set v 63)
+
+let test_bits_popcount () =
+  check Alcotest.int "popcount 0" 0 (Bits.popcount 0L);
+  check Alcotest.int "popcount -1" 64 (Bits.popcount (-1L));
+  check Alcotest.int "popcount 0xF0" 4 (Bits.popcount 0xF0L)
+
+let test_bits_hamming () =
+  check Alcotest.int "same" 0 (Bits.hamming 5L 5L);
+  check Alcotest.int "one bit" 1 (Bits.hamming 4L 5L);
+  check Alcotest.int "width-restricted" 1 (Bits.hamming ~width:8 0x1FFL 0xFEL)
+
+let test_bits_canonical () =
+  Alcotest.(check bool) "zero" true (Bits.is_canonical 0L);
+  Alcotest.(check bool) "kernel addr" true (Bits.is_canonical 0xFFFF_8000_0000_0000L);
+  Alcotest.(check bool) "user addr" true (Bits.is_canonical 0x0000_7FFF_FFFF_FFFFL);
+  Alcotest.(check bool) "non-canonical" false (Bits.is_canonical 0x8000_0000_0000_0000L);
+  Alcotest.(check bool) "hole" false (Bits.is_canonical 0x0001_0000_0000_0000L)
+
+let test_bits_aligned () =
+  Alcotest.(check bool) "4K aligned" true (Bits.is_aligned 0x1000L 12);
+  Alcotest.(check bool) "unaligned" false (Bits.is_aligned 0x1001L 12)
+
+let prop_insert_extract =
+  QCheck.Test.make ~name:"bits: extract after insert" ~count:500
+    QCheck.(triple int64 (int_bound 47) (int_bound 15))
+    (fun (v, lo, w) ->
+      let w = w + 1 in
+      let field = Nf_stdext.Bits.truncate v w in
+      let out = Nf_stdext.Bits.insert 0L ~lo ~width:w field in
+      Nf_stdext.Bits.extract out ~lo ~width:w = field)
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~name:"bits: truncate idempotent" ~count:500
+    QCheck.(pair int64 (int_bound 63))
+    (fun (v, w) ->
+      let w = w + 1 in
+      Nf_stdext.Bits.truncate (Nf_stdext.Bits.truncate v w) w
+      = Nf_stdext.Bits.truncate v w)
+
+let prop_hamming_symmetric =
+  QCheck.Test.make ~name:"bits: hamming symmetric" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) -> Nf_stdext.Bits.hamming a b = Nf_stdext.Bits.hamming b a)
+
+(* --- Stats --- *)
+
+let test_stats_mean_median () =
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.mean [| 1.; 2.; 3.; 4.; 5. |]);
+  check (Alcotest.float 1e-9) "median odd" 3.0 (Stats.median [| 5.; 1.; 3.; 2.; 4. |]);
+  check (Alcotest.float 1e-9) "median even" 2.5 (Stats.median [| 1.; 2.; 3.; 4. |])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "stddev" (sqrt 2.5) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_stats_ci_small () =
+  let lo, hi = Stats.ci95_median [| 3.; 1.; 2. |] in
+  check (Alcotest.float 1e-9) "lo" 1.0 lo;
+  check (Alcotest.float 1e-9) "hi" 3.0 hi
+
+let test_stats_mwu_identical () =
+  let _, p = Stats.mann_whitney_u [| 1.; 2.; 3. |] [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "p near 1 for identical" true (p > 0.5)
+
+let test_stats_mwu_separated () =
+  let _, p =
+    Stats.mann_whitney_u [| 10.; 11.; 12.; 13.; 14. |] [| 1.; 2.; 3.; 4.; 5. |]
+  in
+  Alcotest.(check bool) "p small for separated" true (p < 0.05)
+
+let test_stats_cohens_d () =
+  let d = Stats.cohens_d [| 10.; 11.; 12. |] [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "large effect" true (d > 2.0)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 9.9; 100.0; -5.0 ];
+  check Alcotest.int "count" 5 h.Stats.Histogram.count;
+  check Alcotest.int "clamped high" 2 h.Stats.Histogram.bins.(9)
+
+(* --- Vclock --- *)
+
+let test_vclock () =
+  let c = Vclock.create () in
+  Vclock.advance_ms c 1500;
+  check (Alcotest.float 1e-9) "1.5s" 1.5 (Vclock.now_s c);
+  Vclock.advance_s c 3600;
+  Alcotest.(check bool) "about an hour" true (Vclock.now_hours c > 1.0);
+  Alcotest.(check bool) "deadline" true
+    (Vclock.reached c ~deadline_us:(Vclock.of_hours 1.0))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_row t [ "xx"; "y" ];
+  Table.add_sep t;
+  Table.add_row t [ "1"; "22" ];
+  let buf = Buffer.create 64 in
+  Table.render t (Format.formatter_of_buffer buf);
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None)
+
+let tests =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng byte bounds", `Quick, test_rng_byte_bounds);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng chance extremes", `Quick, test_rng_chance_extremes);
+    ("rng small_count range", `Quick, test_rng_small_count);
+    ("rng shuffle is permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("bits mask", `Quick, test_bits_mask);
+    ("bits set/clear/flip", `Quick, test_bits_set_clear_flip);
+    ("bits popcount", `Quick, test_bits_popcount);
+    ("bits hamming", `Quick, test_bits_hamming);
+    ("bits canonical", `Quick, test_bits_canonical);
+    ("bits aligned", `Quick, test_bits_aligned);
+    ("stats mean/median", `Quick, test_stats_mean_median);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats ci small-sample", `Quick, test_stats_ci_small);
+    ("stats mwu identical", `Quick, test_stats_mwu_identical);
+    ("stats mwu separated", `Quick, test_stats_mwu_separated);
+    ("stats cohen's d", `Quick, test_stats_cohens_d);
+    ("stats histogram", `Quick, test_histogram);
+    ("vclock", `Quick, test_vclock);
+    ("table render", `Quick, test_table_render);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_insert_extract; prop_truncate_idempotent; prop_hamming_symmetric ]

@@ -1,0 +1,228 @@
+(* Tests for the tooling extensions: corpus persistence, reproducer
+   minimization, the oracle differential-testing campaign, asynchronous
+   events (§6.3), and the ASCII chart renderer. *)
+
+module Agent = Nf_agent.Agent
+module Corpus = Nf_agent.Corpus
+module Minimize = Nf_agent.Minimize
+
+let check = Alcotest.check
+
+let tmpdir () = Filename.temp_dir "nf-test-corpus" ""
+
+(* --- corpus persistence --- *)
+
+let xen_amd_result () =
+  Agent.run
+    { (Agent.default_cfg Agent.Xen_amd) with duration_hours = 1.0; seed = 3 }
+
+let test_corpus_roundtrip () =
+  let dir = tmpdir () in
+  let c = Corpus.create ~dir in
+  let input = Bytes.of_string (String.make 2048 'x') in
+  let path = Corpus.save_input c ~at_us:123L input in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  match Corpus.load_inputs c with
+  | [ loaded ] -> Alcotest.(check bool) "content intact" true (Bytes.equal loaded input)
+  | l -> Alcotest.failf "expected 1 input, got %d" (List.length l)
+
+let test_corpus_persist_campaign () =
+  let dir = tmpdir () in
+  let c = Corpus.create ~dir in
+  let r = xen_amd_result () in
+  Alcotest.(check bool) "campaign crashed" true (List.length r.crashes > 0);
+  let paths = Corpus.persist_result c r in
+  check Alcotest.int "one reproducer per crash" (List.length r.crashes)
+    (List.length paths);
+  check Alcotest.int "crash files listed" (List.length r.crashes)
+    (List.length (Corpus.crash_files c));
+  Alcotest.(check bool) "summary written" true
+    (Sys.file_exists (Filename.concat dir "summary.txt"));
+  (* Every reproducer has a sibling .txt report naming the detection. *)
+  List.iter
+    (fun bin ->
+      let txt = Filename.chop_suffix bin ".bin" ^ ".txt" in
+      Alcotest.(check bool) "report exists" true (Sys.file_exists txt))
+    paths
+
+let test_corpus_create_idempotent () =
+  let dir = tmpdir () in
+  let _ = Corpus.create ~dir in
+  let _ = Corpus.create ~dir in
+  Alcotest.(check bool) "still a directory" true (Sys.is_directory dir)
+
+let test_corpus_hash_stable () =
+  let a = Bytes.of_string "abc" and b = Bytes.of_string "abc" in
+  check Alcotest.string "equal content, equal hash" (Corpus.content_hash a)
+    (Corpus.content_hash b);
+  Alcotest.(check bool) "different content, different hash" true
+    (Corpus.content_hash a <> Corpus.content_hash (Bytes.of_string "abd"))
+
+(* --- minimization --- *)
+
+let test_minimize_synthetic () =
+  (* Crash iff byte 100 = 'A' and byte 1700 = 'B': minimization must keep
+     exactly those two bytes. *)
+  let crashes b = Bytes.get b 100 = 'A' && Bytes.get b 1700 = 'B' in
+  let input = Bytes.make 2048 'z' in
+  Bytes.set input 100 'A';
+  Bytes.set input 1700 'B';
+  let minimal, calls = Minimize.minimize ~crashes input in
+  Alcotest.(check bool) "still crashes" true (crashes minimal);
+  check Alcotest.int "two load-bearing bytes" 2 (Minimize.nonzero_bytes minimal);
+  Alcotest.(check bool) "reasonable call count" true (calls < 2048)
+
+let test_minimize_rejects_non_crash () =
+  Alcotest.check_raises "non-reproducing input"
+    (Invalid_argument "Minimize.minimize: input does not reproduce the crash")
+    (fun () -> ignore (Minimize.minimize ~crashes:(fun _ -> false) (Bytes.make 8 'x')))
+
+let test_minimize_real_crash () =
+  let r = xen_amd_result () in
+  match
+    List.find_opt
+      (fun (c : Agent.crash_report) ->
+        String.length c.message > 3 && String.sub c.message 0 3 = "BUG")
+      r.crashes
+  with
+  | None -> Alcotest.fail "expected the AVIC crash in 1h"
+  | Some c ->
+      let crashes =
+        Minimize.crash_predicate ~target:Agent.Xen_amd
+          ~ablation:Nf_harness.Executor.full_ablation ~marker:"AVIC"
+      in
+      let minimal, _ = Minimize.minimize ~crashes c.reproducer in
+      Alcotest.(check bool) "minimal still reproduces" true (crashes minimal);
+      Alcotest.(check bool) "got smaller" true
+        (Minimize.nonzero_bytes minimal <= Minimize.nonzero_bytes c.reproducer)
+
+(* --- oracle campaign --- *)
+
+let test_oracle_campaign_learns_quirk () =
+  let r =
+    Nf_validator.Oracle_campaign.run ~samples:30000
+      ~caps:Nf_cpu.Vmx_caps.alder_lake ~seed:7 ()
+  in
+  check Alcotest.int "no model bugs in the shipped validator" 0
+    (List.length r.model_bugs);
+  Alcotest.(check bool) "the PAE quirk is learned from hardware" true
+    (List.mem "guest.ia32e_pae" r.quirks_learned);
+  Alcotest.(check bool) "overwhelming agreement" true
+    (r.agreements * 100 / r.samples >= 99)
+
+let test_oracle_exposes_legacy_bochs_bugs () =
+  List.iter
+    (fun (name, exposed) ->
+      Alcotest.(check bool) name true exposed)
+    (Nf_validator.Oracle_campaign.run_with_legacy_bochs_checks
+       ~caps:Nf_cpu.Vmx_caps.alder_lake ())
+
+(* --- asynchronous events (§6.3) --- *)
+
+let test_async_external_interrupt_exit () =
+  let caps = Nf_cpu.Vmx_caps.alder_lake in
+  let vmcs = Nf_validator.Golden.vmcs caps in
+  Nf_vmcs.Vmcs.set_bit vmcs Nf_vmcs.Field.pin_based_ctls
+    Nf_vmcs.Controls.Pin.external_interrupt_exiting true;
+  (match Nf_cpu.Vmx_exec.decide vmcs (Ext_interrupt 0x30) with
+  | Nf_cpu.Vmx_exec.Exit e ->
+      check Alcotest.int "reason 1" Nf_cpu.Exit_reason.external_interrupt e.reason
+  | No_exit -> Alcotest.fail "interrupt should exit");
+  Nf_vmcs.Vmcs.set_bit vmcs Nf_vmcs.Field.pin_based_ctls
+    Nf_vmcs.Controls.Pin.external_interrupt_exiting false;
+  match Nf_cpu.Vmx_exec.decide vmcs (Ext_interrupt 0x30) with
+  | Nf_cpu.Vmx_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "delivered through the guest IDT instead"
+
+let test_async_nmi_exit () =
+  let caps = Nf_cpu.Vmx_caps.alder_lake in
+  let vmcs = Nf_validator.Golden.vmcs caps in
+  Nf_vmcs.Vmcs.set_bit vmcs Nf_vmcs.Field.pin_based_ctls
+    Nf_vmcs.Controls.Pin.nmi_exiting true;
+  match Nf_cpu.Vmx_exec.decide vmcs Nmi_event with
+  | Nf_cpu.Vmx_exec.Exit e ->
+      check Alcotest.int "reason 0" Nf_cpu.Exit_reason.exception_nmi e.reason;
+      check Alcotest.int "NMI vector" 2 (Nf_x86.Exn.Intr_info.vector e.intr_info)
+  | No_exit -> Alcotest.fail "NMI should exit with nmi_exiting"
+
+let test_async_svm_intr () =
+  let vmcb = Nf_validator.Golden.vmcb Nf_cpu.Svm_caps.zen3 in
+  Nf_vmcb.Vmcb.set_bit vmcb Nf_vmcb.Vmcb.intercept_vec3 Nf_vmcb.Vmcb.Vec3.intr true;
+  (match Nf_cpu.Svm_exec.decide vmcb (Ext_interrupt 0x40) with
+  | Nf_cpu.Svm_exec.Exit e -> check Alcotest.int64 "INTR" Nf_vmcb.Vmcb.Exit.intr e.code
+  | No_exit -> Alcotest.fail "INTR intercept set");
+  Nf_vmcb.Vmcb.set_bit vmcb Nf_vmcb.Vmcb.intercept_vec3 Nf_vmcb.Vmcb.Vec3.intr false;
+  match Nf_cpu.Svm_exec.decide vmcb (Ext_interrupt 0x40) with
+  | Nf_cpu.Svm_exec.No_exit -> ()
+  | Exit _ -> Alcotest.fail "INTR intercept clear"
+
+let test_async_reflects_to_l1 () =
+  (* End-to-end: an NMI arriving in L2 reflects to L1 when VMCS12 asks
+     for NMI exiting. *)
+  let features = Nf_cpu.Features.default in
+  let caps_l1 = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features in
+  let kvm =
+    Nf_kvm.Vmx_nested.create ~features ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+  in
+  let vmcs12 = Nf_validator.Golden.vmcs caps_l1 in
+  Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.pin_based_ctls
+    Nf_vmcs.Controls.Pin.nmi_exiting true;
+  let entered =
+    List.fold_left
+      (fun e op ->
+        match Nf_kvm.Vmx_nested.exec_l1 kvm op with
+        | Nf_hv.Hypervisor.L2_entered -> true
+        | _ -> e)
+      false
+      (Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||])
+  in
+  Alcotest.(check bool) "entered" true entered;
+  match Nf_kvm.Vmx_nested.exec_l2 kvm Nmi_event with
+  | Nf_hv.Hypervisor.L2_exit_to_l1 r ->
+      check Alcotest.int64 "NMI reflected"
+        (Int64.of_int Nf_cpu.Exit_reason.exception_nmi)
+        r
+  | o -> Alcotest.failf "expected reflection, got %s" (Nf_hv.Hypervisor.step_name o)
+
+(* --- chart rendering --- *)
+
+let test_chart_renders () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Nf_stdext.Chart.render
+    [
+      { Nf_stdext.Chart.label = "a"; points = [ (0.0, 0.0); (10.0, 80.0) ] };
+      { Nf_stdext.Chart.label = "b"; points = [ (0.0, 0.0); (10.0, 40.0) ] };
+    ]
+    ppf;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "axis drawn" true
+    (String.length s > 100 && String.contains s '%');
+  Alcotest.(check bool) "legend drawn" true (String.contains s 'b')
+
+let test_chart_empty_series () =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Nf_stdext.Chart.render [ { Nf_stdext.Chart.label = "e"; points = [] } ] ppf;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "no crash on empty" true (Buffer.length buf > 0)
+
+let tests =
+  [
+    ("corpus: save/load roundtrip", `Quick, test_corpus_roundtrip);
+    ("corpus: persist a campaign", `Quick, test_corpus_persist_campaign);
+    ("corpus: create idempotent", `Quick, test_corpus_create_idempotent);
+    ("corpus: content hash stable", `Quick, test_corpus_hash_stable);
+    ("minimize: synthetic two-byte crash", `Quick, test_minimize_synthetic);
+    ("minimize: rejects non-crashing input", `Quick, test_minimize_rejects_non_crash);
+    ("minimize: real Xen reproducer", `Quick, test_minimize_real_crash);
+    ("oracle campaign learns the PAE quirk", `Slow, test_oracle_campaign_learns_quirk);
+    ("oracle exposes legacy Bochs bugs", `Quick, test_oracle_exposes_legacy_bochs_bugs);
+    ("async: external interrupt exiting", `Quick, test_async_external_interrupt_exit);
+    ("async: NMI exiting", `Quick, test_async_nmi_exit);
+    ("async: SVM INTR intercept", `Quick, test_async_svm_intr);
+    ("async: NMI reflects to L1", `Quick, test_async_reflects_to_l1);
+    ("chart renders", `Quick, test_chart_renders);
+    ("chart empty series", `Quick, test_chart_empty_series);
+  ]

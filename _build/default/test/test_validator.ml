@@ -1,0 +1,332 @@
+(* Tests for the VM state validator: rounding soundness (the central
+   property — every rounded state passes the physical CPU's checks),
+   idempotence, boundary mutation, the hardware-oracle self-correction
+   loop, the Bochs regression bugs, and the Fig. 5 distributions. *)
+
+open Nf_vmcs
+
+let check = Alcotest.check
+let caps = Nf_cpu.Vmx_caps.alder_lake
+let scaps = Nf_cpu.Svm_caps.zen3
+
+let random_vmcs seed =
+  let rng = Nf_stdext.Rng.create seed in
+  Nf_validator.Distribution.random_vmcs rng
+
+(* --- rounding --- *)
+
+let test_round_makes_enterable () =
+  let v = Nf_validator.Validator.create caps in
+  for seed = 1 to 300 do
+    let s = random_vmcs seed in
+    Nf_validator.Validator.round v s;
+    match Nf_cpu.Vmx_cpu.enter ~caps s with
+    | Nf_cpu.Vmx_cpu.Entered _ -> ()
+    | o ->
+        Alcotest.failf "rounded state %d rejected: %s" seed
+          (Format.asprintf "%a" Nf_cpu.Vmx_cpu.pp_outcome o)
+  done
+
+let prop_round_enterable =
+  QCheck.Test.make ~name:"validator: round => hardware enters" ~count:200
+    QCheck.int (fun seed ->
+      let v = Nf_validator.Validator.create caps in
+      let s = random_vmcs seed in
+      Nf_validator.Validator.round v s;
+      match Nf_cpu.Vmx_cpu.enter ~caps s with
+      | Nf_cpu.Vmx_cpu.Entered _ -> true
+      | _ -> false)
+
+let prop_round_idempotent =
+  QCheck.Test.make ~name:"validator: round idempotent" ~count:200 QCheck.int
+    (fun seed ->
+      let v = Nf_validator.Validator.create caps in
+      let s = random_vmcs seed in
+      Nf_validator.Validator.round v s;
+      let s2 = Vmcs.copy s in
+      Nf_validator.Validator.round v s2;
+      Vmcs.equal s s2)
+
+let test_round_masked_caps () =
+  (* Rounding into ept=0 capabilities must clear the EPT control. *)
+  let features = { Nf_cpu.Features.default with ept = false } in
+  let mcaps = Nf_cpu.Vmx_caps.apply_features caps features in
+  let v = Nf_validator.Validator.create mcaps in
+  for seed = 1 to 50 do
+    let s = random_vmcs seed in
+    Nf_validator.Validator.round v s;
+    if Vmcs.read_bit s Field.proc_based_ctls2 Controls.Proc2.enable_ept then
+      Alcotest.fail "EPT control survived masked rounding"
+  done
+
+let test_round_golden_still_enters () =
+  let v = Nf_validator.Validator.create caps in
+  let g = Nf_validator.Golden.vmcs caps in
+  Nf_validator.Validator.round v g;
+  match Nf_cpu.Vmx_cpu.enter ~caps g with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | _ -> Alcotest.fail "rounded golden rejected"
+
+let test_group_checks_pass_after_round () =
+  let v = Nf_validator.Validator.create caps in
+  let s = random_vmcs 42 in
+  Nf_validator.Validator.round v s;
+  (match Nf_validator.Validator.vmenter_load_check_vm_controls v s with
+  | Ok () -> ()
+  | Error (c, m) -> Alcotest.failf "controls: %s %s" c.Nf_cpu.Vmx_checks.id m);
+  (match Nf_validator.Validator.vmenter_load_check_host_state v s with
+  | Ok () -> ()
+  | Error (c, m) -> Alcotest.failf "host: %s %s" c.Nf_cpu.Vmx_checks.id m);
+  match Nf_validator.Validator.vmenter_load_check_guest_state v s with
+  | Ok () -> ()
+  | Error (c, m) -> Alcotest.failf "guest: %s %s" c.Nf_cpu.Vmx_checks.id m
+
+(* --- boundary mutation --- *)
+
+let test_mutation_flip_count () =
+  let rng = Nf_stdext.Rng.create 7 in
+  for _ = 1 to 200 do
+    let s = random_vmcs (Nf_stdext.Rng.int rng 1000) in
+    let flips = Nf_validator.Mutation.mutate (Nf_validator.Mutation.of_rng rng) s in
+    let n = List.length flips in
+    if n < 1 || n > 24 then Alcotest.failf "flip count out of range: %d" n
+  done
+
+let test_mutation_never_touches_exit_info () =
+  let rng = Nf_stdext.Rng.create 8 in
+  for _ = 1 to 500 do
+    let s = random_vmcs 1 in
+    let flips = Nf_validator.Mutation.mutate (Nf_validator.Mutation.of_rng rng) s in
+    List.iter
+      (fun (f : Nf_validator.Mutation.flip) ->
+        if Field.group f.field = Field.Exit_info then
+          Alcotest.failf "mutated read-only field %s" (Field.name f.field))
+      flips
+  done
+
+let test_mutation_respects_bit_domain () =
+  let rng = Nf_stdext.Rng.create 9 in
+  for _ = 1 to 500 do
+    let s = random_vmcs 1 in
+    let flips = Nf_validator.Mutation.mutate (Nf_validator.Mutation.of_rng rng) s in
+    List.iter
+      (fun (f : Nf_validator.Mutation.flip) ->
+        if Field.name f.field = "GUEST_ACTIVITY_STATE" && f.bit > 1 then
+          Alcotest.fail "activity flip outside domain";
+        if f.bit >= Field.bits f.field then Alcotest.fail "flip beyond width")
+      flips
+  done
+
+let test_mutation_deterministic_from_bytes () =
+  let bytes = Bytes.of_string (String.init 64 (fun i -> Char.chr (i * 3 land 0xFF))) in
+  let s1 = random_vmcs 1 and s2 = random_vmcs 1 in
+  ignore (Nf_validator.Mutation.mutate (Nf_validator.Mutation.of_bytes bytes) s1);
+  ignore (Nf_validator.Mutation.mutate (Nf_validator.Mutation.of_bytes bytes) s2);
+  Alcotest.(check bool) "same input, same flips" true (Vmcs.equal s1 s2)
+
+let test_generate_pipeline () =
+  let v = Nf_validator.Validator.create caps in
+  let rng = Nf_stdext.Rng.create 10 in
+  let raw = Nf_stdext.Rng.bytes rng Vmcs.blob_bytes in
+  let state, flips =
+    Nf_validator.Mutation.generate v ~raw (Nf_validator.Mutation.of_rng rng)
+  in
+  Alcotest.(check bool) "some flips applied" true (List.length flips >= 1);
+  (* The state is near-boundary: un-flipping every flip restores a fully
+     valid state. *)
+  List.iter
+    (fun (f : Nf_validator.Mutation.flip) -> Vmcs.flip_bit state f.field f.bit)
+    (List.rev flips);
+  match Nf_cpu.Vmx_cpu.enter ~caps state with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | _ -> Alcotest.fail "un-flipped state should be valid"
+
+(* --- oracle self-correction (§3.4) --- *)
+
+let test_self_check_agrees_on_golden () =
+  let v = Nf_validator.Validator.create caps in
+  match Nf_validator.Validator.self_check v (Nf_validator.Golden.vmcs caps) with
+  | Nf_validator.Validator.Agree -> ()
+  | _ -> Alcotest.fail "golden should agree"
+
+let test_self_check_learns_quirk () =
+  let v = Nf_validator.Validator.create caps in
+  let w = (Nf_validator.Witness.find_vmx "guest.ia32e_pae").build caps in
+  (match Nf_validator.Validator.self_check v w with
+  | Nf_validator.Validator.Model_too_strict id ->
+      check Alcotest.string "learned the PAE quirk" "guest.ia32e_pae" id
+  | _ -> Alcotest.fail "expected Model_too_strict");
+  check Alcotest.int "one correction" 1 v.Nf_validator.Validator.corrections;
+  (* Second encounter: the model now agrees with hardware. *)
+  match Nf_validator.Validator.self_check v w with
+  | Nf_validator.Validator.Agree -> ()
+  | _ -> Alcotest.fail "quirk should be learned"
+
+let test_self_check_rejects_agree () =
+  let v = Nf_validator.Validator.create caps in
+  let w = (Nf_validator.Witness.find_vmx "guest.rflags").build caps in
+  match Nf_validator.Validator.self_check v w with
+  | Nf_validator.Validator.Agree -> ()
+  | _ -> Alcotest.fail "both model and hardware reject: agree"
+
+(* --- Bochs regression bugs --- *)
+
+let test_bochs_bug1_too_strict () =
+  let w = Nf_validator.Bochs_bugs.witness_bug1 caps in
+  (* Legacy (pre-patch) model rejects... *)
+  (match Nf_validator.Bochs_bugs.check_ss_rpl Nf_validator.Bochs_bugs.Legacy w with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "legacy model should reject");
+  (* ...patched model and hardware accept. *)
+  (match Nf_validator.Bochs_bugs.check_ss_rpl Nf_validator.Bochs_bugs.Patched w with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "patched model should accept: %s" m);
+  match Nf_cpu.Vmx_cpu.enter ~caps w with
+  | Nf_cpu.Vmx_cpu.Entered _ -> ()
+  | _ -> Alcotest.fail "hardware accepts an unusable SS with odd RPL"
+
+let test_bochs_bug2_too_lax () =
+  let w = Nf_validator.Bochs_bugs.witness_bug2 caps in
+  (* Legacy model accepts the inconsistent expand-down limit... *)
+  (match
+     Nf_validator.Bochs_bugs.check_data_limit Nf_validator.Bochs_bugs.Legacy w
+       Nf_x86.Seg.DS
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "legacy model should accept (the bug)");
+  (* ...patched model rejects, like hardware. *)
+  (match
+     Nf_validator.Bochs_bugs.check_data_limit Nf_validator.Bochs_bugs.Patched w
+       Nf_x86.Seg.DS
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "patched model should reject");
+  match Nf_cpu.Vmx_cpu.enter ~caps w with
+  | Nf_cpu.Vmx_cpu.Entry_fail_guest _ -> ()
+  | o -> Alcotest.failf "hardware should reject: %s" (Nf_cpu.Vmx_cpu.outcome_name o)
+
+(* --- SVM validator --- *)
+
+let random_vmcb seed =
+  let rng = Nf_stdext.Rng.create seed in
+  let v = Nf_vmcb.Vmcb.create () in
+  List.iter
+    (fun f ->
+      Nf_vmcb.Vmcb.write v f
+        (Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng)
+           (Nf_vmcb.Vmcb.field_bits f)))
+    Nf_vmcb.Vmcb.all_fields;
+  v
+
+let prop_svm_round_enterable =
+  QCheck.Test.make ~name:"svm validator: round => vmrun enters" ~count:200
+    QCheck.int (fun seed ->
+      let v = Nf_validator.Svm_validator.create scaps in
+      let b = random_vmcb seed in
+      Nf_validator.Svm_validator.round v b;
+      match Nf_cpu.Svm_cpu.vmrun ~caps:scaps b with
+      | Nf_cpu.Svm_cpu.Entered -> true
+      | _ -> false)
+
+let test_svm_round_preserves_lme_nopg () =
+  (* The validator must NOT round away the EFER.LME && !CR0.PG ambiguity
+     — the boundary state behind the Xen bug. *)
+  let v = Nf_validator.Svm_validator.create scaps in
+  let b = Nf_validator.Golden.vmcb scaps in
+  Nf_vmcb.Vmcb.set_bit b Nf_vmcb.Vmcb.cr0 Nf_x86.Cr0.pg false;
+  Nf_validator.Svm_validator.round v b;
+  Alcotest.(check bool) "still LME && !PG" true (Nf_cpu.Svm_cpu.lme_without_paging b)
+
+let test_svm_self_check () =
+  let v = Nf_validator.Svm_validator.create scaps in
+  match Nf_validator.Svm_validator.self_check v (Nf_validator.Golden.vmcb scaps) with
+  | Nf_validator.Svm_validator.Agree -> ()
+  | _ -> Alcotest.fail "golden vmcb should agree"
+
+(* --- distributions (Fig. 5 shape) --- *)
+
+let test_distribution_shapes () =
+  let samples = 300 in
+  let d1 = Nf_validator.Distribution.random_vs_validated ~caps ~samples ~seed:1 in
+  let d2 = Nf_validator.Distribution.default_vs_validated ~caps ~samples ~seed:2 in
+  let d3 = Nf_validator.Distribution.pairwise ~caps ~samples ~seed:3 in
+  Alcotest.(check bool) "random->valid furthest" true (d1.mean > d3.mean);
+  Alcotest.(check bool) "default->valid closest" true (d2.mean < d3.mean);
+  Alcotest.(check bool) "all positive" true (d2.mean > 0.0);
+  check Alcotest.int "sample counts" samples d1.samples
+
+let test_golden_is_valid_per_checks () =
+  let g = Nf_validator.Golden.vmcs caps in
+  match
+    Nf_cpu.Vmx_checks.run_all { Nf_cpu.Vmx_checks.caps; vmcs = g; entry_msr_load = [||] }
+  with
+  | Ok () -> ()
+  | Error (c, m) -> Alcotest.failf "golden fails %s: %s" c.Nf_cpu.Vmx_checks.id m
+
+let test_witness_table_covers_most_checks () =
+  (* Every check id referenced by a witness exists, and most checks have
+     a witness. *)
+  List.iter
+    (fun (w : Nf_validator.Witness.t) -> ignore (Nf_cpu.Vmx_checks.by_id w.check_id))
+    Nf_validator.Witness.vmx;
+  let covered = List.length Nf_validator.Witness.vmx in
+  let total = List.length Nf_cpu.Vmx_checks.all in
+  Alcotest.(check bool)
+    (Printf.sprintf "witnesses cover most checks (%d/%d)" covered total)
+    true
+    (covered * 100 / total >= 90)
+
+(* Rounding must repair every targeted violation: for each witness
+   (a golden state with exactly one rule broken), round restores an
+   enterable state. *)
+let witness_round_case (w : Nf_validator.Witness.t) =
+  ( "round repairs " ^ w.check_id,
+    `Quick,
+    fun () ->
+      let vmcs = w.build caps in
+      let v = Nf_validator.Validator.create caps in
+      Nf_validator.Validator.round v vmcs;
+      match Nf_cpu.Vmx_cpu.enter ~caps vmcs with
+      | Nf_cpu.Vmx_cpu.Entered _ -> ()
+      | o ->
+          Alcotest.failf "round failed to repair %s: %s" w.check_id
+            (Nf_cpu.Vmx_cpu.outcome_name o) )
+
+let svm_witness_round_case (w : Nf_validator.Witness.svm_t) =
+  ( "svm round repairs " ^ w.svm_check_id,
+    `Quick,
+    fun () ->
+      let vmcb = w.svm_build scaps in
+      let v = Nf_validator.Svm_validator.create scaps in
+      Nf_validator.Svm_validator.round v vmcb;
+      match Nf_cpu.Svm_cpu.vmrun ~caps:scaps vmcb with
+      | Nf_cpu.Svm_cpu.Entered -> ()
+      | Vmexit_invalid { msg; _ } ->
+          Alcotest.failf "svm round failed to repair %s: %s" w.svm_check_id msg )
+
+let tests =
+  [
+    ("round makes states enterable", `Quick, test_round_makes_enterable);
+    ("round into masked caps", `Quick, test_round_masked_caps);
+    ("round keeps golden enterable", `Quick, test_round_golden_still_enters);
+    ("group check functions pass after round", `Quick, test_group_checks_pass_after_round);
+    ("mutation: 1..24 flips", `Quick, test_mutation_flip_count);
+    ("mutation: read-only fields untouched", `Quick, test_mutation_never_touches_exit_info);
+    ("mutation: respects bit domains", `Quick, test_mutation_respects_bit_domain);
+    ("mutation: deterministic from input", `Quick, test_mutation_deterministic_from_bytes);
+    ("generate: boundary pipeline", `Quick, test_generate_pipeline);
+    ("self-check: agrees on golden", `Quick, test_self_check_agrees_on_golden);
+    ("self-check: learns the PAE quirk", `Quick, test_self_check_learns_quirk);
+    ("self-check: agree on common rejects", `Quick, test_self_check_rejects_agree);
+    ("bochs bug 1 (too strict)", `Quick, test_bochs_bug1_too_strict);
+    ("bochs bug 2 (too lax)", `Quick, test_bochs_bug2_too_lax);
+    ("svm round preserves LME&&!PG", `Quick, test_svm_round_preserves_lme_nopg);
+    ("svm self-check golden", `Quick, test_svm_self_check);
+    ("fig5 distribution shapes", `Quick, test_distribution_shapes);
+    ("golden valid per spec checks", `Quick, test_golden_is_valid_per_checks);
+    ("witness table coverage", `Quick, test_witness_table_covers_most_checks);
+  ]
+  @ List.map witness_round_case Nf_validator.Witness.vmx
+  @ List.map svm_witness_round_case Nf_validator.Witness.svm
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_round_enterable; prop_round_idempotent; prop_svm_round_enterable ]

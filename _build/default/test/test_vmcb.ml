@@ -1,0 +1,97 @@
+(* Tests for the AMD VMCB layout and store. *)
+
+open Nf_vmcb
+
+let check = Alcotest.check
+
+let test_unique_names () =
+  let names = List.map Vmcb.field_name Vmcb.all_fields in
+  check Alcotest.int "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_areas_partition () =
+  let count a =
+    List.length (List.filter (fun f -> Vmcb.field_area f = a) Vmcb.all_fields)
+  in
+  check Alcotest.int "areas partition" Vmcb.field_count
+    (count Vmcb.Control + count Vmcb.Save)
+
+let test_control_before_save () =
+  (* Control-area fields live below offset 0x400, save-area fields above:
+     the real VMCB layout. *)
+  List.iter
+    (fun f ->
+      let { Vmcb.offset; area; _ } = Vmcb.info f in
+      match area with
+      | Vmcb.Control ->
+          if offset >= 0x400 then Alcotest.failf "control field beyond 0x400"
+      | Vmcb.Save -> if offset < 0x400 then Alcotest.failf "save field below 0x400")
+    Vmcb.all_fields
+
+let test_write_truncates () =
+  let v = Vmcb.create () in
+  Vmcb.write v Vmcb.tlb_control 0x1FFL;
+  check Alcotest.int64 "8-bit field truncated" 0xFFL (Vmcb.read v Vmcb.tlb_control)
+
+let test_seg_fields () =
+  List.iter
+    (fun r ->
+      ignore (Vmcb.seg_selector r);
+      ignore (Vmcb.seg_attrib r);
+      ignore (Vmcb.seg_limit r);
+      ignore (Vmcb.seg_base r))
+    [ Nf_x86.Seg.ES; CS; SS; DS; FS; GS; TR ]
+
+let test_copy_independent () =
+  let a = Vmcb.create () in
+  Vmcb.write a Vmcb.rax 7L;
+  let b = Vmcb.copy a in
+  Vmcb.write b Vmcb.rax 9L;
+  check Alcotest.int64 "original untouched" 7L (Vmcb.read a Vmcb.rax)
+
+let test_hamming () =
+  let a = Vmcb.create () and b = Vmcb.create () in
+  check Alcotest.int "zero" 0 (Vmcb.hamming a b);
+  Vmcb.set_bit b Vmcb.efer Nf_x86.Efer.svme true;
+  check Alcotest.int "one" 1 (Vmcb.hamming a b)
+
+let test_exit_names () =
+  check Alcotest.string "invalid" "VMEXIT_INVALID" (Vmcb.Exit.name Vmcb.Exit.invalid);
+  check Alcotest.string "avic" "VMEXIT_AVIC_NOACCEL"
+    (Vmcb.Exit.name Vmcb.Exit.avic_noaccel)
+
+let test_vintr_bits_distinct () =
+  let bits =
+    [ Vmcb.Vintr.v_irq; Vmcb.Vintr.v_gif; Vmcb.Vintr.v_ign_tpr;
+      Vmcb.Vintr.v_intr_masking; Vmcb.Vintr.v_gif_enable; Vmcb.Vintr.avic_enable ]
+  in
+  check Alcotest.int "distinct" (List.length bits)
+    (List.length (List.sort_uniq compare bits))
+
+let test_find_exn () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Vmcb field \"NOPE\" not defined")
+    (fun () -> ignore (Vmcb.find_exn "NOPE"))
+
+let prop_roundtrip_bits =
+  QCheck.Test.make ~name:"vmcb: write/read roundtrip within width" ~count:200
+    QCheck.(pair small_int int64)
+    (fun (i, v) ->
+      let f = List.nth Vmcb.all_fields (abs i mod Vmcb.field_count) in
+      let vm = Vmcb.create () in
+      Vmcb.write vm f v;
+      Vmcb.read vm f = Nf_stdext.Bits.truncate v (Vmcb.field_bits f))
+
+let tests =
+  [
+    ("field names unique", `Quick, test_unique_names);
+    ("areas partition", `Quick, test_areas_partition);
+    ("layout: control below save", `Quick, test_control_before_save);
+    ("write truncates", `Quick, test_write_truncates);
+    ("segment field lookup", `Quick, test_seg_fields);
+    ("copy independent", `Quick, test_copy_independent);
+    ("hamming", `Quick, test_hamming);
+    ("exit code names", `Quick, test_exit_names);
+    ("vintr bits distinct", `Quick, test_vintr_bits_distinct);
+    ("find_exn unknown raises", `Quick, test_find_exn);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_bits ]

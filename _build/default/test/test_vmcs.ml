@@ -1,0 +1,205 @@
+(* Tests for the VMCS layout, store and serialisation. *)
+
+open Nf_vmcs
+
+let check = Alcotest.check
+
+(* --- layout invariants --- *)
+
+let test_field_count () =
+  check Alcotest.int "165 fields (the paper's layout)" 165 Field.count
+
+let test_total_bits () =
+  check Alcotest.int "8,000-bit VM state" 8000 Field.total_bits
+
+let test_unique_names () =
+  let names = List.map Field.name Field.all in
+  check Alcotest.int "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_unique_encodings () =
+  let encs = List.map Field.encoding Field.all in
+  check Alcotest.int "encodings unique" (List.length encs)
+    (List.length (List.sort_uniq compare encs))
+
+let test_group_partition () =
+  let count g = List.length (Field.in_group g) in
+  check Alcotest.int "groups partition the table" Field.count
+    (count Field.Control + count Field.Exit_info + count Field.Guest
+   + count Field.Host)
+
+let test_encoding_lookup () =
+  List.iter
+    (fun f ->
+      match Field.of_encoding (Field.encoding f) with
+      | Some f' -> check Alcotest.int "roundtrip" f f'
+      | None -> Alcotest.failf "lost field %s" (Field.name f))
+    Field.all
+
+let test_find_exn_unknown () =
+  Alcotest.check_raises "unknown field" (Invalid_argument "Vmcs field \"NOPE\" not defined")
+    (fun () -> ignore (Field.find_exn "NOPE"))
+
+let test_width_classes () =
+  check Alcotest.int "16-bit fields" 20
+    (List.length (List.filter (fun f -> Field.width f = Field.W16) Field.all));
+  List.iter
+    (fun f ->
+      let b = Field.bits f in
+      if b <> 16 && b <> 32 && b <> 64 then
+        Alcotest.failf "odd width for %s" (Field.name f))
+    Field.all
+
+let test_segment_field_lookup () =
+  List.iter
+    (fun r ->
+      ignore (Field.guest_selector r);
+      ignore (Field.guest_base r);
+      ignore (Field.guest_limit r);
+      ignore (Field.guest_ar r))
+    Nf_x86.Seg.registers
+
+let test_host_selector_no_ldtr () =
+  Alcotest.check_raises "no host LDTR"
+    (Invalid_argument "host has no LDTR selector field") (fun () ->
+      ignore (Field.host_selector Nf_x86.Seg.LDTR))
+
+(* --- store --- *)
+
+let test_write_truncates () =
+  let v = Vmcs.create () in
+  Vmcs.write v Field.vpid 0x1234_5678L;
+  check Alcotest.int64 "16-bit field truncated" 0x5678L (Vmcs.read v Field.vpid)
+
+let test_bit_ops () =
+  let v = Vmcs.create () in
+  Vmcs.set_bit v Field.guest_cr0 31 true;
+  Alcotest.(check bool) "bit set" true (Vmcs.read_bit v Field.guest_cr0 31);
+  Vmcs.flip_bit v Field.guest_cr0 31;
+  Alcotest.(check bool) "bit flipped off" false (Vmcs.read_bit v Field.guest_cr0 31)
+
+let test_copy_independent () =
+  let a = Vmcs.create () in
+  Vmcs.write a Field.guest_rip 5L;
+  let b = Vmcs.copy a in
+  Vmcs.write b Field.guest_rip 9L;
+  check Alcotest.int64 "original untouched" 5L (Vmcs.read a Field.guest_rip)
+
+let test_clear_all () =
+  let v = Vmcs.create () in
+  Vmcs.write v Field.guest_rip 5L;
+  v.Vmcs.launch_state <- Vmcs.Launched;
+  Vmcs.clear_all v;
+  check Alcotest.int64 "zeroed" 0L (Vmcs.read v Field.guest_rip);
+  Alcotest.(check bool) "launch state clear" true (v.Vmcs.launch_state = Vmcs.Clear)
+
+(* --- serialisation --- *)
+
+let test_blob_size () =
+  check Alcotest.int "1000-byte blob" 1000 Vmcs.blob_bytes
+
+let random_vmcs seed =
+  let rng = Nf_stdext.Rng.create seed in
+  let v = Vmcs.create () in
+  List.iter
+    (fun f ->
+      Vmcs.write v f
+        (Nf_stdext.Bits.truncate (Nf_stdext.Rng.bits64 rng) (Field.bits f)))
+    Field.all;
+  v
+
+let test_blob_roundtrip () =
+  for seed = 1 to 20 do
+    let v = random_vmcs seed in
+    let v' = Vmcs.of_blob (Vmcs.to_blob v) in
+    if not (Vmcs.equal v v') then Alcotest.failf "roundtrip failed at seed %d" seed
+  done
+
+let test_of_blob_short () =
+  (* A short blob zero-fills the tail instead of failing. *)
+  let v = Vmcs.of_blob (Bytes.make 10 '\xFF') in
+  check Alcotest.int64 "tail zero" 0L (Vmcs.read v Field.host_rip)
+
+let prop_blob_roundtrip =
+  QCheck.Test.make ~name:"vmcs: blob roundtrip" ~count:100 QCheck.int
+    (fun seed ->
+      let v = random_vmcs seed in
+      Vmcs.equal v (Vmcs.of_blob (Vmcs.to_blob v)))
+
+(* --- hamming / diff --- *)
+
+let test_hamming_zero_self () =
+  let v = random_vmcs 3 in
+  check Alcotest.int "self distance 0" 0 (Vmcs.hamming v v)
+
+let test_hamming_single_bit () =
+  let a = random_vmcs 4 in
+  let b = Vmcs.copy a in
+  Vmcs.flip_bit b Field.guest_cr4 5;
+  check Alcotest.int "one bit" 1 (Vmcs.hamming a b)
+
+let prop_hamming_symmetric =
+  QCheck.Test.make ~name:"vmcs: hamming symmetric" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a = random_vmcs s1 and b = random_vmcs s2 in
+      Vmcs.hamming a b = Vmcs.hamming b a)
+
+let test_diff () =
+  let a = random_vmcs 5 in
+  let b = Vmcs.copy a in
+  Vmcs.write b Field.guest_rip (Int64.lognot (Vmcs.read a Field.guest_rip));
+  let d = Vmcs.diff a b in
+  check Alcotest.int "one differing field" 1 (List.length d);
+  check Alcotest.int "it is RIP" Field.guest_rip (List.hd d)
+
+(* --- controls bit definitions --- *)
+
+let test_eptp_make () =
+  let e = Controls.Eptp.make ~memtype:6 ~walk_length:3 ~ad:true ~pml4:0x12345000L () in
+  check Alcotest.int "memtype" 6 (Controls.Eptp.memtype e);
+  check Alcotest.int "walk" 3 (Controls.Eptp.walk_length e);
+  Alcotest.(check bool) "ad" true (Controls.Eptp.access_dirty e);
+  check Alcotest.int64 "pml4" 0x12345000L (Controls.Eptp.pml4_addr e)
+
+let test_default1_disjoint_from_defined () =
+  (* Reserved-1 bits must not overlap the configurable bit lists. *)
+  let overlap default1 defined =
+    List.exists (fun b -> Nf_stdext.Bits.is_set default1 b) defined
+  in
+  Alcotest.(check bool) "pin" false Controls.Pin.(overlap default1 defined);
+  Alcotest.(check bool) "entry" false Controls.Entry.(overlap default1 defined);
+  Alcotest.(check bool) "exit" false Controls.Exit.(overlap default1 defined)
+
+let test_activity_names () =
+  check Alcotest.string "wait-for-sipi" "WAIT_FOR_SIPI"
+    (Field.Activity.name Field.Activity.wait_for_sipi)
+
+let tests =
+  [
+    ("field count is 165", `Quick, test_field_count);
+    ("total bits is 8000", `Quick, test_total_bits);
+    ("field names unique", `Quick, test_unique_names);
+    ("field encodings unique", `Quick, test_unique_encodings);
+    ("groups partition table", `Quick, test_group_partition);
+    ("encoding lookup roundtrip", `Quick, test_encoding_lookup);
+    ("find_exn unknown raises", `Quick, test_find_exn_unknown);
+    ("width classes", `Quick, test_width_classes);
+    ("segment field lookup", `Quick, test_segment_field_lookup);
+    ("host has no LDTR selector", `Quick, test_host_selector_no_ldtr);
+    ("write truncates to width", `Quick, test_write_truncates);
+    ("bit operations", `Quick, test_bit_ops);
+      ("copy is independent", `Quick, test_copy_independent);
+      ("clear_all", `Quick, test_clear_all);
+      ("blob is 1000 bytes", `Quick, test_blob_size);
+      ("blob roundtrip", `Quick, test_blob_roundtrip);
+      ("short blob zero-fills", `Quick, test_of_blob_short);
+      ("hamming self is zero", `Quick, test_hamming_zero_self);
+      ("hamming single bit", `Quick, test_hamming_single_bit);
+      ("diff finds the field", `Quick, test_diff);
+      ("eptp make/accessors", `Quick, test_eptp_make);
+      ("default1 disjoint from defined", `Quick, test_default1_disjoint_from_defined);
+      ("activity names", `Quick, test_activity_names);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_blob_roundtrip; prop_hamming_symmetric ]
