@@ -6,10 +6,46 @@
      dune exec bench/main.exe -- --full       -- paper scale (5 runs, 24-48 vh)
      dune exec bench/main.exe -- --exp t2     -- a single experiment
      dune exec bench/main.exe -- --exp micro  -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
 
-   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro. *)
+   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel. *)
 
 let ppf = Format.std_formatter
+
+(* Domain-parallel campaign scaling (the AFL++ -M/-S topology of the
+   paper's multi-machine setup).  Each worker fuzzes the same virtual
+   campaign window, so fleet throughput — executions per virtual hour,
+   the simulated bare-metal wall-clock — should scale near-linearly with
+   --jobs; real wall seconds are reported alongside for this machine. *)
+let parallel () =
+  let hours = 2.0 in
+  let cfg = Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~seed:1 ~hours () in
+  Format.fprintf ppf
+    "@.== Parallel campaign scaling (KVM/Intel, %.0f virtual hours) ==@."
+    hours;
+  Format.fprintf ppf "%6s %9s %14s %9s %8s %9s %8s@." "jobs" "execs"
+    "execs/vhour" "scaling" "wall(s)" "coverage" "corpus";
+  let base = ref None in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        if jobs = 1 then Necofuzz.run cfg else Necofuzz.run_parallel ~jobs cfg
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let per_vh = float_of_int r.execs /. hours in
+      let scale =
+        match !base with
+        | None ->
+            base := Some per_vh;
+            1.0
+        | Some b -> per_vh /. b
+      in
+      Format.fprintf ppf "%6d %9d %14.0f %8.2fx %8.2f %8.1f%% %8d@." jobs
+        r.execs per_vh scale wall
+        (Necofuzz.coverage_pct r)
+        r.corpus_size)
+    [ 1; 2; 4 ]
 
 let micro () =
   let open Bechamel in
@@ -92,7 +128,9 @@ let () =
     (if scale == E.full then "full" else "quick")
     scale.E.runs scale.E.kvm_hours;
   (match exp with
-  | None -> E.run_all ~scale ppf
+  | None ->
+      E.run_all ~scale ppf;
+      parallel ()
   | Some "t1" -> E.print_t1 ppf
   | Some "t2" ->
       let t2 = E.run_t2 scale in
@@ -108,5 +146,6 @@ let () =
   | Some "t6" -> E.print_t6 ppf (E.run_t6 scale)
   | Some "lessons" -> E.print_lessons ppf (E.run_lessons scale)
   | Some "micro" -> micro ()
+  | Some "parallel" -> parallel ()
   | Some other -> Format.fprintf ppf "unknown experiment %S@." other);
   Format.pp_print_flush ppf ()

@@ -1,6 +1,7 @@
 (* Command-line front end.
 
      necofuzz fuzz --target kvm-intel --hours 12 --seed 3
+     necofuzz fuzz --target kvm-intel --hours 48 --jobs 4  (parallel workers)
      necofuzz fuzz --target vbox --hours 4          (black-box)
      necofuzz fuzz --target kvm-amd --no-validator  (ablation)
      necofuzz experiment t2 --full
@@ -9,13 +10,10 @@
 open Cmdliner
 
 let target_conv =
-  let parse = function
-    | "kvm-intel" -> Ok Necofuzz.Kvm_intel
-    | "kvm-amd" -> Ok Necofuzz.Kvm_amd
-    | "xen-intel" -> Ok Necofuzz.Xen_intel
-    | "xen-amd" -> Ok Necofuzz.Xen_amd
-    | "vbox" -> Ok Necofuzz.Vbox
-    | s -> Error (`Msg (Printf.sprintf "unknown target %S" s))
+  let parse s =
+    match Necofuzz.target_of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf t = Format.fprintf ppf "%s" (Necofuzz.Agent.target_name t) in
   Arg.conv (parse, print)
@@ -70,8 +68,36 @@ let fuzz_cmd =
       & info [ "minimize" ]
           ~doc:"Minimize each crash reproducer before reporting (afl-tmin style).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Parallel fuzzing workers (AFL++ -M/-S topology on OCaml \
+             domains).  Workers sync corpus and coverage periodically; \
+             results merge deterministically, and --jobs 1 is identical to \
+             the sequential engine.")
+  in
+  let sync_hours =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sync-hours" ] ~docv:"H"
+          ~doc:
+            "Virtual hours between worker sync barriers (default: the \
+             checkpoint interval).  Only meaningful with --jobs > 1.")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
-      corpus_dir minimize =
+      corpus_dir minimize jobs sync_hours =
+    if jobs < 1 then begin
+      Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
+      exit 2
+    end;
+    (match sync_hours with
+    | Some h when h <= 0.0 ->
+        Format.eprintf "necofuzz: --sync-hours must be positive (got %g)@." h;
+        exit 2
+    | _ -> ());
     let ablation =
       {
         Necofuzz.Executor.use_exec_harness = not no_harness;
@@ -84,10 +110,21 @@ let fuzz_cmd =
     let cfg =
       Necofuzz.campaign ~guided:(not blind) ~seed ~ablation ~target ~hours ()
     in
-    Format.printf "fuzzing %s for %.1f virtual hours (seed %d)...@."
+    Format.printf "fuzzing %s for %.1f virtual hours (seed %d%s)...@."
       (Necofuzz.Agent.target_name target)
-      hours seed;
-    let r = Necofuzz.run cfg in
+      hours seed
+      (if jobs > 1 then Printf.sprintf ", %d workers" jobs else "");
+    let r =
+      if jobs > 1 then
+        let on_sync (s : Necofuzz.Engine.snapshot) =
+          Format.printf
+            "  sync @@ %5.1f vh: %d execs, %d queued, %.1f%% coverage, %d \
+             crash(es)@."
+            s.virtual_hours s.snap_execs s.queue s.coverage_pct s.snap_crashes
+        in
+        Necofuzz.run_parallel ?sync_hours ~on_sync ~jobs cfg
+      else Necofuzz.run cfg
+    in
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
       r.execs r.corpus_size r.restarts (Necofuzz.coverage_pct r);
@@ -117,7 +154,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against a simulated L0 hypervisor.")
     Term.(
       const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
-      $ no_configurator $ corpus_dir $ minimize)
+      $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours)
 
 let experiment_cmd =
   let which =

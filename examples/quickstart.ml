@@ -1,20 +1,29 @@
-(* Quickstart: fuzz the simulated KVM/Intel hypervisor for a short
-   campaign and report what happened.
+(* Quickstart: fuzz a simulated hypervisor for a short campaign and
+   report what happened.
 
-     dune exec examples/quickstart.exe *)
+     dune exec examples/quickstart.exe              (KVM/Intel)
+     dune exec examples/quickstart.exe -- xen-amd   (any CLI target name) *)
 
 let () =
+  let target =
+    if Array.length Sys.argv > 1 then
+      match Necofuzz.target_of_string Sys.argv.(1) with
+      | Ok t -> t
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 1
+    else Necofuzz.Kvm_intel
+  in
   Format.printf "NecoFuzz quickstart: fuzzing %s for 4 virtual hours...@."
-    (Necofuzz.Agent.target_name Necofuzz.Kvm_intel);
-  let cfg = Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~hours:4.0 () in
+    (Necofuzz.Agent.target_name target);
+  let cfg = Necofuzz.campaign ~target ~hours:4.0 () in
   let result = Necofuzz.run cfg in
   Format.printf "executions:        %d@." result.execs;
   Format.printf "corpus entries:    %d@." result.corpus_size;
   Format.printf "watchdog restarts: %d@." result.restarts;
   Format.printf "coverage:          %.1f%% of %d instrumented lines@."
     (Necofuzz.coverage_pct result)
-    (Necofuzz.Coverage.total_lines
-       (Necofuzz.Agent.target_region Necofuzz.Kvm_intel));
+    (Necofuzz.Coverage.total_lines (Necofuzz.Agent.target_region target));
   Format.printf "coverage over time:@.";
   List.iter
     (fun (h, c) ->

@@ -1,45 +1,24 @@
 (** The agent program (§4.5): central coordinator of a fuzzing campaign.
 
-    The agent connects AFL++ ([Nf_fuzzer]), the fuzz-harness VM
-    ([Nf_harness.Executor]) and the target L0 hypervisor.  Per test case
-    it: derives the vCPU configuration from the input and boots the
-    hypervisor through the adapter, embeds the input into the UEFI
-    executor and launches it, collects coverage into the shared bitmap,
-    triages sanitizer output into crash reports, and drives the watchdog
-    when the host goes down. *)
+    Since the campaign-engine decomposition this module is a thin driver
+    over {!Nf_engine.Engine}: the engine owns the step-wise fuzzing loop
+    (propose → boot → execute → collect → triage) and the Domain-based
+    parallel runner; the agent re-exports the campaign vocabulary
+    ([cfg], [result], [crash_report]) with type equalities so existing
+    callers are unchanged. *)
 
-module Cov = Nf_coverage.Coverage
-module San = Nf_sanitizer.Sanitizer
+module Engine = Nf_engine.Engine
 
-type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
+type target = Engine.target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
 
-let target_name = function
-  | Kvm_intel -> "KVM/Intel"
-  | Kvm_amd -> "KVM/AMD"
-  | Xen_intel -> "Xen/Intel"
-  | Xen_amd -> "Xen/AMD"
-  | Vbox -> "VirtualBox"
+let target_name = Engine.target_name
+let target_of_string = Engine.target_of_string
+let all_targets = Engine.all_targets
+let target_region = Engine.target_region
+let target_vendor = Engine.target_vendor
+let boot_target = Engine.boot_target
 
-let target_region = function
-  | Kvm_intel -> Nf_kvm.Vmx_nested.region
-  | Kvm_amd -> Nf_kvm.Svm_nested.region
-  | Xen_intel -> Nf_xen.Vmx_nested.region
-  | Xen_amd -> Nf_xen.Svm_nested.region
-  | Vbox -> Nf_vbox.Vbox.region
-
-let target_vendor = function
-  | Kvm_intel | Xen_intel | Vbox -> Nf_cpu.Cpu_model.Intel
-  | Kvm_amd | Xen_amd -> Nf_cpu.Cpu_model.Amd
-
-let boot_target target ~features ~sanitizer : Nf_hv.Hypervisor.packed =
-  match target with
-  | Kvm_intel -> Nf_kvm.Kvm.pack_intel ~features ~sanitizer
-  | Kvm_amd -> Nf_kvm.Kvm.pack_amd ~features ~sanitizer
-  | Xen_intel -> Nf_xen.Xen.pack_intel ~features ~sanitizer
-  | Xen_amd -> Nf_xen.Xen.pack_amd ~features ~sanitizer
-  | Vbox -> Nf_vbox.Vbox.pack ~features ~sanitizer
-
-type cfg = {
+type cfg = Engine.cfg = {
   target : target;
   mode : Nf_fuzzer.Fuzzer.mode;
   ablation : Nf_harness.Executor.ablation;
@@ -48,176 +27,29 @@ type cfg = {
   checkpoint_hours : float;
 }
 
-let default_cfg target =
-  {
-    target;
-    mode = Nf_fuzzer.Fuzzer.Guided;
-    ablation = Nf_harness.Executor.full_ablation;
-    seed = 1;
-    duration_hours = 48.0;
-    checkpoint_hours = 1.0;
-  }
+let default_cfg = Engine.default_cfg
 
-type crash_report = {
-  detection : string; (* the "Detection Method" column of Table 6 *)
+type crash_report = Engine.crash_report = {
+  detection : string;
   message : string;
   reproducer : Bytes.t;
   found_at_hours : float;
   config : Nf_cpu.Features.t;
 }
 
-type result = {
+type result = Engine.result = {
   cfg : cfg;
-  coverage : Cov.Map.t; (* accumulated over the whole campaign *)
-  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  coverage : Nf_coverage.Coverage.Map.t;
+  timeline : (float * float) list;
   crashes : crash_report list;
   execs : int;
   restarts : int;
   corpus_size : int;
 }
 
-(* Restarting a crashed/hung host costs real time on bare metal. *)
-let watchdog_restart_cost_us = 180_000_000L
+let run = Engine.run
 
-(* A golden-blob seed plus the empty input: the corpus AFL++ starts
-   from. *)
-let initial_seeds target =
-  let zero = Nf_fuzzer.Input.zero () in
-  let golden = Nf_fuzzer.Input.zero () in
-  (match target_vendor target with
-  | Nf_cpu.Cpu_model.Intel ->
-      let blob =
-        Nf_vmcs.Vmcs.to_blob (Nf_validator.Golden.vmcs Nf_cpu.Vmx_caps.alder_lake)
-      in
-      Bytes.blit blob 0 golden Nf_harness.Layout.vmcs_raw_off
-        (min (Bytes.length blob) Nf_harness.Layout.vmcs_raw_len)
-  | Nf_cpu.Cpu_model.Amd -> ());
-  (* Default configuration bits: all features on. *)
-  Bytes.fill golden Nf_harness.Layout.config_off Nf_harness.Layout.config_len
-    '\xff';
-  (* The directive slices (boundary flips, MSR area, phases) start with
-     entropy so the very first corpus already explores diverse plans;
-     AFL++ seeds are routinely non-empty protocol samples. *)
-  let seeded = Nf_stdext.Rng.create 0x5eed in
-  List.iter
-    (fun (off, len) ->
-      for i = off to off + len - 1 do
-        Bytes.set golden i (Char.chr (Nf_stdext.Rng.byte seeded))
-      done)
-    [
-      (Nf_harness.Layout.init_off, Nf_harness.Layout.init_len);
-      (Nf_harness.Layout.runtime_off, Nf_harness.Layout.runtime_len);
-      (Nf_harness.Layout.flips_off, Nf_harness.Layout.flips_len);
-      (Nf_harness.Layout.msr_area_off, Nf_harness.Layout.msr_area_len);
-    ];
-  [ zero; golden ]
+let run_parallel ?sync_hours ?on_sync ~jobs cfg =
+  (Engine.run_parallel ?sync_hours ?on_sync ~jobs cfg).Engine.merged
 
-(** Fold a per-execution coverage map into the fuzzer's edge bitmap. *)
-let fold_bitmap (bitmap : Cov.Bitmap.t) (map : Cov.Map.t) region =
-  Array.iter
-    (fun p ->
-      let c = Cov.Map.hit_count map p in
-      if c > 0 then begin
-        let idx = p.Cov.id * 2654435761 land (Cov.Bitmap.size - 1) in
-        bitmap.Cov.Bitmap.counts.(idx) <- bitmap.Cov.Bitmap.counts.(idx) + c
-      end)
-    (Cov.probes region)
-
-let dedup_key message = String.sub message 0 (min 48 (String.length message))
-
-let run (cfg : cfg) : result =
-  let region = target_region cfg.target in
-  let campaign_cov = Cov.Map.create region in
-  let clock = Nf_stdext.Vclock.create () in
-  let deadline = Nf_stdext.Vclock.of_hours cfg.duration_hours in
-  let fuzzer = Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~seed:cfg.seed () in
-  List.iter (Nf_fuzzer.Fuzzer.seed_input fuzzer) (initial_seeds cfg.target);
-  let crashes = ref [] in
-  let seen_crashes = Hashtbl.create 17 in
-  let restarts = ref 0 in
-  let execs = ref 0 in
-  let timeline = ref [ (0.0, 0.0) ] in
-  let next_checkpoint = ref cfg.checkpoint_hours in
-  let vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake in
-  let svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3 in
-  while not (Nf_stdext.Vclock.reached clock ~deadline_us:deadline) do
-    let input = Nf_fuzzer.Fuzzer.next_input fuzzer in
-    incr execs;
-    (* vCPU configuration: from the input (through the adapter) or the
-       default when the configurator is ablated. *)
-    let features =
-      if cfg.ablation.Nf_harness.Executor.use_configurator then
-        Nf_harness.Layout.config_of_input input
-      else Nf_cpu.Features.default
-    in
-    let sanitizer = San.create () in
-    let hv = boot_target cfg.target ~features ~sanitizer in
-    let outcome =
-      Nf_harness.Executor.run ~hv ~vmx_validator ~svm_validator
-        ~ablation:cfg.ablation ~features ~input
-    in
-    Nf_stdext.Vclock.advance_us clock outcome.cost_us;
-    (* Coverage collection (KCOV/gcov -> shared-memory bitmap). *)
-    let bitmap = Cov.Bitmap.create () in
-    (match Nf_hv.Hypervisor.packed_coverage hv with
-    | Some map ->
-        Cov.Map.merge campaign_cov map;
-        fold_bitmap bitmap map region
-    | None -> () (* closed-source target: black-box *));
-    let crashed =
-      match outcome.termination with
-      | Nf_harness.Executor.Completed -> San.has_reportable sanitizer
-      | Vm_died _ | Host_crashed _ -> true
-    in
-    ignore
-      (Nf_fuzzer.Fuzzer.report fuzzer ~input ~crashed ~bitmap
-         ~now_us:(Nf_stdext.Vclock.now_us clock) ());
-    (* Vulnerability detection: sanitizers and log monitoring. *)
-    List.iter
-      (fun event ->
-        if San.is_reportable event then begin
-          let msg = San.event_message event in
-          let key = dedup_key msg in
-          if not (Hashtbl.mem seen_crashes key) then begin
-            Hashtbl.add seen_crashes key ();
-            crashes :=
-              {
-                detection = San.event_kind event;
-                message = msg;
-                reproducer = Bytes.copy input;
-                found_at_hours = Nf_stdext.Vclock.now_hours clock;
-                config = features;
-              }
-              :: !crashes
-          end
-        end)
-      (San.events sanitizer);
-    (* Watchdog: a host crash costs a reboot. *)
-    (match outcome.termination with
-    | Nf_harness.Executor.Host_crashed _ ->
-        incr restarts;
-        Nf_stdext.Vclock.advance_us clock watchdog_restart_cost_us
-    | Completed | Vm_died _ -> ());
-    (* Timeline checkpoints. *)
-    while
-      !next_checkpoint <= cfg.duration_hours
-      && Nf_stdext.Vclock.now_hours clock >= !next_checkpoint
-    do
-      timeline := (!next_checkpoint, Cov.Map.coverage_pct campaign_cov) :: !timeline;
-      next_checkpoint := !next_checkpoint +. cfg.checkpoint_hours
-    done
-  done;
-  timeline := (cfg.duration_hours, Cov.Map.coverage_pct campaign_cov) :: !timeline;
-  {
-    cfg;
-    coverage = campaign_cov;
-    timeline = List.rev !timeline;
-    crashes = List.rev !crashes;
-    execs = !execs;
-    restarts = !restarts;
-    corpus_size = Nf_fuzzer.Fuzzer.queue_size fuzzer;
-  }
-
-let pp_crash ppf (c : crash_report) =
-  Format.fprintf ppf "[%s] %s (found at %.1fh, config %a)" c.detection
-    c.message c.found_at_hours Nf_cpu.Features.pp c.config
+let pp_crash = Engine.pp_crash

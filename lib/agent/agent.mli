@@ -1,0 +1,85 @@
+(** The agent program (§4.5): campaign configuration and entry points.
+
+    The fuzzing loop itself lives in {!Nf_engine.Engine} as a public
+    step-wise state machine ([create] / [step] / [snapshot] / [finish]);
+    this module is the stable façade the rest of the framework and the
+    experiment reproductions use.  Loop internals (bitmap folding, crash
+    dedup keys, seed synthesis) are deliberately not exported. *)
+
+(** The L0 hypervisor under test. *)
+type target = Nf_engine.Engine.target =
+  | Kvm_intel
+  | Kvm_amd
+  | Xen_intel
+  | Xen_amd
+  | Vbox
+
+val target_name : target -> string
+
+(** Parse the CLI spelling of a target ("kvm-intel", "kvm-amd",
+    "xen-intel", "xen-amd", "vbox").  The single source of truth for
+    target names: the CLI and the examples both use it, so adding a
+    target is a one-file change (in the engine). *)
+val target_of_string : string -> (target, string) result
+
+(** All targets with their CLI spellings, in presentation order. *)
+val all_targets : (string * target) list
+
+val target_region : target -> Nf_coverage.Coverage.region
+val target_vendor : target -> Nf_cpu.Cpu_model.vendor
+
+(** Boot a fresh instance of the target through its adapter (also used
+    by {!Minimize} to replay candidate reproducers). *)
+val boot_target :
+  target ->
+  features:Nf_cpu.Features.t ->
+  sanitizer:Nf_sanitizer.Sanitizer.t ->
+  Nf_hv.Hypervisor.packed
+
+(** Campaign configuration. *)
+type cfg = Nf_engine.Engine.cfg = {
+  target : target;
+  mode : Nf_fuzzer.Fuzzer.mode;
+  ablation : Nf_harness.Executor.ablation;
+  seed : int;
+  duration_hours : float;
+  checkpoint_hours : float;
+}
+
+(** 48 guided virtual hours, full ablation, seed 1. *)
+val default_cfg : target -> cfg
+
+type crash_report = Nf_engine.Engine.crash_report = {
+  detection : string; (* the "Detection Method" column of Table 6 *)
+  message : string;
+  reproducer : Bytes.t;
+  found_at_hours : float;
+  config : Nf_cpu.Features.t;
+}
+
+type result = Nf_engine.Engine.result = {
+  cfg : cfg;
+  coverage : Nf_coverage.Coverage.Map.t;
+  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  crashes : crash_report list;
+  execs : int;
+  restarts : int;
+  corpus_size : int;
+}
+
+(** Run a sequential campaign to completion: a thin driver over
+    {!Nf_engine.Engine.run} ([create], [step] to [Deadline],
+    [finish]). *)
+val run : cfg -> result
+
+(** Run a Domain-parallel campaign ({!Nf_engine.Engine.run_parallel})
+    and return the deterministically merged result.  [jobs:1] is
+    bit-identical to {!run}. *)
+val run_parallel :
+  ?sync_hours:float ->
+  ?on_sync:(Nf_engine.Engine.snapshot -> unit) ->
+  jobs:int ->
+  cfg ->
+  result
+
+val pp_crash : Format.formatter -> crash_report -> unit

@@ -14,6 +14,9 @@
     depend on a single library:
 
     - {!Agent} — campaign orchestration (the agent program of §4.5)
+    - {!Engine} — the step-wise campaign engine underneath it
+      ([create] / [step] / [snapshot] / [finish]) and the Domain-parallel
+      runner ([run_parallel])
     - {!Executor} — the fuzz-harness VM (§4.2)
     - {!Validator} / {!Svm_validator} — the VM state validator (§4.3)
     - {!Vcpu_config} — the vCPU configurator (§4.4)
@@ -21,6 +24,7 @@
     - {!Experiments} — reproduction of every table and figure of §5 *)
 
 module Agent = Nf_agent.Agent
+module Engine = Nf_engine.Engine
 module Executor = Nf_harness.Executor
 module Templates = Nf_harness.Templates
 module Layout = Nf_harness.Layout
@@ -65,6 +69,14 @@ let campaign ?(guided = true) ?(seed = 1)
   }
 
 let run = Nf_agent.Agent.run
+
+(** Run the campaign with [jobs] Domain-parallel workers in AFL++'s
+    main/secondary topology (periodic corpus sync, shared crash dedup);
+    the merged result is deterministic and [jobs:1] is bit-identical to
+    {!run}. *)
+let run_parallel = Nf_agent.Agent.run_parallel
+
+let target_of_string = Nf_agent.Agent.target_of_string
 
 let coverage_pct (r : result) = Nf_coverage.Coverage.Map.coverage_pct r.coverage
 

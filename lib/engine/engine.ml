@@ -1,0 +1,535 @@
+(** Step-wise campaign engine (§4.5, decomposed).  See engine.mli. *)
+
+module Cov = Nf_coverage.Coverage
+module San = Nf_sanitizer.Sanitizer
+
+type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
+
+let target_name = function
+  | Kvm_intel -> "KVM/Intel"
+  | Kvm_amd -> "KVM/AMD"
+  | Xen_intel -> "Xen/Intel"
+  | Xen_amd -> "Xen/AMD"
+  | Vbox -> "VirtualBox"
+
+let all_targets =
+  [
+    ("kvm-intel", Kvm_intel);
+    ("kvm-amd", Kvm_amd);
+    ("xen-intel", Xen_intel);
+    ("xen-amd", Xen_amd);
+    ("vbox", Vbox);
+  ]
+
+let target_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) all_targets with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown target %S (expected one of: %s)" s
+           (String.concat ", " (List.map fst all_targets)))
+
+let target_region = function
+  | Kvm_intel -> Nf_kvm.Vmx_nested.region
+  | Kvm_amd -> Nf_kvm.Svm_nested.region
+  | Xen_intel -> Nf_xen.Vmx_nested.region
+  | Xen_amd -> Nf_xen.Svm_nested.region
+  | Vbox -> Nf_vbox.Vbox.region
+
+let target_vendor = function
+  | Kvm_intel | Xen_intel | Vbox -> Nf_cpu.Cpu_model.Intel
+  | Kvm_amd | Xen_amd -> Nf_cpu.Cpu_model.Amd
+
+let boot_target target ~features ~sanitizer : Nf_hv.Hypervisor.packed =
+  match target with
+  | Kvm_intel -> Nf_kvm.Kvm.pack_intel ~features ~sanitizer
+  | Kvm_amd -> Nf_kvm.Kvm.pack_amd ~features ~sanitizer
+  | Xen_intel -> Nf_xen.Xen.pack_intel ~features ~sanitizer
+  | Xen_amd -> Nf_xen.Xen.pack_amd ~features ~sanitizer
+  | Vbox -> Nf_vbox.Vbox.pack ~features ~sanitizer
+
+type cfg = {
+  target : target;
+  mode : Nf_fuzzer.Fuzzer.mode;
+  ablation : Nf_harness.Executor.ablation;
+  seed : int;
+  duration_hours : float;
+  checkpoint_hours : float;
+}
+
+let default_cfg target =
+  {
+    target;
+    mode = Nf_fuzzer.Fuzzer.Guided;
+    ablation = Nf_harness.Executor.full_ablation;
+    seed = 1;
+    duration_hours = 48.0;
+    checkpoint_hours = 1.0;
+  }
+
+type crash_report = {
+  detection : string; (* the "Detection Method" column of Table 6 *)
+  message : string;
+  reproducer : Bytes.t;
+  found_at_hours : float;
+  config : Nf_cpu.Features.t;
+}
+
+type result = {
+  cfg : cfg;
+  coverage : Cov.Map.t; (* accumulated over the whole campaign *)
+  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  crashes : crash_report list;
+  execs : int;
+  restarts : int;
+  corpus_size : int;
+}
+
+let pp_crash ppf (c : crash_report) =
+  Format.fprintf ppf "[%s] %s (found at %.1fh, config %a)" c.detection
+    c.message c.found_at_hours Nf_cpu.Features.pp c.config
+
+(* Restarting a crashed/hung host costs real time on bare metal. *)
+let watchdog_restart_cost_us = 180_000_000L
+
+(* A golden-blob seed plus the empty input: the corpus AFL++ starts
+   from. *)
+let initial_seeds target =
+  let zero = Nf_fuzzer.Input.zero () in
+  let golden = Nf_fuzzer.Input.zero () in
+  (match target_vendor target with
+  | Nf_cpu.Cpu_model.Intel ->
+      let blob =
+        Nf_vmcs.Vmcs.to_blob (Nf_validator.Golden.vmcs Nf_cpu.Vmx_caps.alder_lake)
+      in
+      Bytes.blit blob 0 golden Nf_harness.Layout.vmcs_raw_off
+        (min (Bytes.length blob) Nf_harness.Layout.vmcs_raw_len)
+  | Nf_cpu.Cpu_model.Amd -> ());
+  (* Default configuration bits: all features on. *)
+  Bytes.fill golden Nf_harness.Layout.config_off Nf_harness.Layout.config_len
+    '\xff';
+  (* The directive slices (boundary flips, MSR area, phases) start with
+     entropy so the very first corpus already explores diverse plans;
+     AFL++ seeds are routinely non-empty protocol samples. *)
+  let seeded = Nf_stdext.Rng.create 0x5eed in
+  List.iter
+    (fun (off, len) ->
+      for i = off to off + len - 1 do
+        Bytes.set golden i (Char.chr (Nf_stdext.Rng.byte seeded))
+      done)
+    [
+      (Nf_harness.Layout.init_off, Nf_harness.Layout.init_len);
+      (Nf_harness.Layout.runtime_off, Nf_harness.Layout.runtime_len);
+      (Nf_harness.Layout.flips_off, Nf_harness.Layout.flips_len);
+      (Nf_harness.Layout.msr_area_off, Nf_harness.Layout.msr_area_len);
+    ];
+  [ zero; golden ]
+
+(** Fold a per-execution coverage map into the fuzzer's edge bitmap. *)
+let fold_bitmap (bitmap : Cov.Bitmap.t) (map : Cov.Map.t) region =
+  Array.iter
+    (fun p ->
+      let c = Cov.Map.hit_count map p in
+      if c > 0 then begin
+        let idx = p.Cov.id * 2654435761 land (Cov.Bitmap.size - 1) in
+        bitmap.Cov.Bitmap.counts.(idx) <- bitmap.Cov.Bitmap.counts.(idx) + c
+      end)
+    (Cov.probes region)
+
+let dedup_key message = String.sub message 0 (min 48 (String.length message))
+
+type t = {
+  cfg : cfg;
+  region : Cov.region;
+  campaign_cov : Cov.Map.t;
+  clock : Nf_stdext.Vclock.t;
+  deadline_us : int64;
+  fuzzer : Nf_fuzzer.Fuzzer.t;
+  vmx_validator : Nf_validator.Validator.t;
+  svm_validator : Nf_validator.Svm_validator.t;
+  seen_crashes : (string, unit) Hashtbl.t;
+  mutable crashes : crash_report list; (* newest first *)
+  mutable restarts : int;
+  mutable execs : int;
+  mutable timeline : (float * float) list; (* newest first *)
+  mutable next_checkpoint : float;
+  mutable sealed : result option;
+}
+
+type step_outcome =
+  | Stepped of { novel : bool; crashed : bool; cost_us : int64 }
+  | Deadline
+
+type snapshot = {
+  virtual_hours : float;
+  coverage_pct : float;
+  snap_execs : int;
+  queue : int;
+  snap_crashes : int;
+  snap_restarts : int;
+}
+
+let create (cfg : cfg) : t =
+  let fuzzer = Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~seed:cfg.seed () in
+  List.iter (Nf_fuzzer.Fuzzer.seed_input fuzzer) (initial_seeds cfg.target);
+  let region = target_region cfg.target in
+  {
+    cfg;
+    region;
+    campaign_cov = Cov.Map.create region;
+    clock = Nf_stdext.Vclock.create ();
+    deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
+    fuzzer;
+    vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake;
+    svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3;
+    seen_crashes = Hashtbl.create 17;
+    crashes = [];
+    restarts = 0;
+    execs = 0;
+    timeline = [ (0.0, 0.0) ];
+    next_checkpoint = cfg.checkpoint_hours;
+    sealed = None;
+  }
+
+let step (t : t) : step_outcome =
+  if
+    t.sealed <> None
+    || Nf_stdext.Vclock.reached t.clock ~deadline_us:t.deadline_us
+  then Deadline
+  else begin
+    let cfg = t.cfg in
+    let input = Nf_fuzzer.Fuzzer.next_input t.fuzzer in
+    t.execs <- t.execs + 1;
+    (* vCPU configuration: from the input (through the adapter) or the
+       default when the configurator is ablated. *)
+    let features =
+      if cfg.ablation.Nf_harness.Executor.use_configurator then
+        Nf_harness.Layout.config_of_input input
+      else Nf_cpu.Features.default
+    in
+    let sanitizer = San.create () in
+    let hv = boot_target cfg.target ~features ~sanitizer in
+    let outcome =
+      Nf_harness.Executor.run ~hv ~vmx_validator:t.vmx_validator
+        ~svm_validator:t.svm_validator ~ablation:cfg.ablation ~features ~input
+    in
+    Nf_stdext.Vclock.advance_us t.clock outcome.cost_us;
+    (* Coverage collection (KCOV/gcov -> shared-memory bitmap). *)
+    let bitmap = Cov.Bitmap.create () in
+    (match Nf_hv.Hypervisor.packed_coverage hv with
+    | Some map ->
+        Cov.Map.merge t.campaign_cov map;
+        fold_bitmap bitmap map t.region
+    | None -> () (* closed-source target: black-box *));
+    let crashed =
+      match outcome.termination with
+      | Nf_harness.Executor.Completed -> San.has_reportable sanitizer
+      | Vm_died _ | Host_crashed _ -> true
+    in
+    let novel =
+      Nf_fuzzer.Fuzzer.report t.fuzzer ~input ~crashed ~bitmap
+        ~now_us:(Nf_stdext.Vclock.now_us t.clock) ()
+    in
+    (* Vulnerability detection: sanitizers and log monitoring. *)
+    List.iter
+      (fun event ->
+        if San.is_reportable event then begin
+          let msg = San.event_message event in
+          let key = dedup_key msg in
+          if not (Hashtbl.mem t.seen_crashes key) then begin
+            Hashtbl.add t.seen_crashes key ();
+            t.crashes <-
+              {
+                detection = San.event_kind event;
+                message = msg;
+                reproducer = Bytes.copy input;
+                found_at_hours = Nf_stdext.Vclock.now_hours t.clock;
+                config = features;
+              }
+              :: t.crashes
+          end
+        end)
+      (San.events sanitizer);
+    (* Watchdog: a host crash costs a reboot. *)
+    (match outcome.termination with
+    | Nf_harness.Executor.Host_crashed _ ->
+        t.restarts <- t.restarts + 1;
+        Nf_stdext.Vclock.advance_us t.clock watchdog_restart_cost_us
+    | Completed | Vm_died _ -> ());
+    (* Timeline checkpoints. *)
+    while
+      t.next_checkpoint <= cfg.duration_hours
+      && Nf_stdext.Vclock.now_hours t.clock >= t.next_checkpoint
+    do
+      t.timeline <-
+        (t.next_checkpoint, Cov.Map.coverage_pct t.campaign_cov) :: t.timeline;
+      t.next_checkpoint <- t.next_checkpoint +. cfg.checkpoint_hours
+    done;
+    Stepped { novel; crashed; cost_us = outcome.cost_us }
+  end
+
+let snapshot (t : t) : snapshot =
+  {
+    virtual_hours = Nf_stdext.Vclock.now_hours t.clock;
+    coverage_pct = Cov.Map.coverage_pct t.campaign_cov;
+    snap_execs = t.execs;
+    queue = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
+    snap_crashes = List.length t.crashes;
+    snap_restarts = t.restarts;
+  }
+
+let finish (t : t) : result =
+  match t.sealed with
+  | Some r -> r
+  | None ->
+      let timeline =
+        List.rev
+          ((t.cfg.duration_hours, Cov.Map.coverage_pct t.campaign_cov)
+          :: t.timeline)
+      in
+      let r =
+        {
+          cfg = t.cfg;
+          coverage = t.campaign_cov;
+          timeline;
+          crashes = List.rev t.crashes;
+          execs = t.execs;
+          restarts = t.restarts;
+          corpus_size = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
+        }
+      in
+      t.sealed <- Some r;
+      r
+
+let run (cfg : cfg) : result =
+  let t = create cfg in
+  let rec drive () = match step t with Stepped _ -> drive () | Deadline -> () in
+  drive ();
+  finish t
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel campaigns (AFL++ -M/-S topology).                   *)
+
+type parallel_outcome = { merged : result; workers : result array }
+
+(* Shared campaign state.  Workers only touch it under [mutex], and only
+   at sync barriers, so the fuzzing rounds themselves run lock-free. *)
+type shared = {
+  mutex : Mutex.t;
+  mutable shared_cov : Cov.Map.t; (* union of worker maps at last sync *)
+  crash_table : (string, unit) Hashtbl.t; (* cross-worker dedup *)
+  mutable merged_crashes : (int * crash_report) list; (* (worker, crash) *)
+  distributed : (Bytes.t, unit) Hashtbl.t; (* inputs already broadcast *)
+}
+
+(* Drive [e] until its virtual clock crosses [bound_us] (a sync barrier)
+   or the campaign deadline.  A step may overshoot the bound; the worker
+   then waits at the barrier. *)
+let run_until (e : t) ~bound_us =
+  let rec loop () =
+    if e.sealed <> None then ()
+    else if Nf_stdext.Vclock.now_us e.clock >= bound_us then
+      (* Crossing the final bound means crossing the deadline; one more
+         step call observes it (runs nothing) so the worker is Done. *)
+      if bound_us >= e.deadline_us then ignore (step e) else ()
+    else match step e with Deadline -> () | Stepped _ -> loop ()
+  in
+  loop ()
+
+let engine_finished (e : t) =
+  Nf_stdext.Vclock.reached e.clock ~deadline_us:e.deadline_us
+
+(* One sync barrier, run single-threaded between rounds; workers are
+   visited in worker-id order, which is what makes the merged campaign
+   deterministic under any Domain scheduling. *)
+let sync_phase shared (engines : t array) (last_export : int array)
+    (crash_export : int array) =
+  (* 1. Collect queue entries discovered since the previous sync; the
+     [distributed] table ensures an input is broadcast at most once
+     campaign-wide (and never re-broadcast after being imported). *)
+  let broadcast = ref [] in
+  Array.iteri
+    (fun w e ->
+      let entries = Nf_fuzzer.Fuzzer.queue_entries e.fuzzer in
+      List.iteri
+        (fun i data ->
+          if i >= last_export.(w) && not (Hashtbl.mem shared.distributed data)
+          then begin
+            Hashtbl.add shared.distributed data ();
+            broadcast := (w, data) :: !broadcast
+          end)
+        entries)
+    engines;
+  let broadcast = List.rev !broadcast in
+  (* 2. Import every broadcast entry into every other worker. *)
+  Array.iteri
+    (fun w e ->
+      List.iter
+        (fun (origin, data) ->
+          if origin <> w then Nf_fuzzer.Fuzzer.import e.fuzzer data)
+        broadcast;
+      last_export.(w) <- Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
+    engines;
+  (* 3. Crash dedup through the shared table: the first worker (in id
+     order) to have found a signature claims the report. *)
+  Array.iteri
+    (fun w e ->
+      let crashes = List.rev e.crashes in
+      List.iteri
+        (fun i c ->
+          if i >= crash_export.(w) then begin
+            let key = dedup_key c.message in
+            if not (Hashtbl.mem shared.crash_table key) then begin
+              Hashtbl.add shared.crash_table key ();
+              shared.merged_crashes <- (w, c) :: shared.merged_crashes
+            end
+          end)
+        crashes;
+      crash_export.(w) <- List.length crashes)
+    engines;
+  (* 4. Merge coverage maps under the mutex (the shared map feeds the
+     [on_sync] observer and any concurrent snapshot reader). *)
+  Mutex.protect shared.mutex (fun () ->
+      let u = Cov.Map.create (engines.(0)).region in
+      Array.iter (fun e -> Cov.Map.merge u e.campaign_cov) engines;
+      shared.shared_cov <- u)
+
+let campaign_snapshot shared (engines : t array) : snapshot =
+  Mutex.protect shared.mutex (fun () ->
+      {
+        virtual_hours =
+          Array.fold_left
+            (fun acc e -> max acc (Nf_stdext.Vclock.now_hours e.clock))
+            0.0 engines;
+        coverage_pct = Cov.Map.coverage_pct shared.shared_cov;
+        snap_execs = Array.fold_left (fun acc e -> acc + e.execs) 0 engines;
+        queue =
+          Array.fold_left
+            (fun acc e -> acc + Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
+            0 engines;
+        snap_crashes = List.length shared.merged_crashes;
+        snap_restarts = Array.fold_left (fun acc e -> acc + e.restarts) 0 engines;
+      })
+
+(* Merge worker timelines pointwise: every worker checkpoints on the
+   same hour grid, so take the best coverage seen at each checkpoint
+   (a deterministic lower bound on the union coverage at that time). *)
+let merge_timelines (results : result array) =
+  let others = Array.sub results 1 (Array.length results - 1) in
+  List.map
+    (fun (h, c) ->
+      let best =
+        Array.fold_left
+          (fun acc (r : result) ->
+            match List.assoc_opt h r.timeline with
+            | Some c' -> max acc c'
+            | None -> acc)
+          c others
+      in
+      (h, best))
+    results.(0).timeline
+
+let run_parallel ?sync_hours ?on_sync ~jobs (cfg : cfg) : parallel_outcome =
+  if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
+  let sync_hours =
+    match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
+  in
+  if sync_hours <= 0.0 then
+    invalid_arg "Engine.run_parallel: sync_hours must be positive";
+  let engines =
+    Array.init jobs (fun w -> create { cfg with seed = cfg.seed + w })
+  in
+  let shared =
+    {
+      mutex = Mutex.create ();
+      shared_cov = Cov.Map.create (engines.(0)).region;
+      crash_table = Hashtbl.create 17;
+      merged_crashes = [];
+      distributed = Hashtbl.create 64;
+    }
+  in
+  (* The initial seeds are identical in every worker: mark them as
+     already distributed so sync never re-broadcasts them. *)
+  let last_export = Array.make jobs 0 in
+  let crash_export = Array.make jobs 0 in
+  Array.iteri
+    (fun w e ->
+      let seeds = Nf_fuzzer.Fuzzer.queue_entries e.fuzzer in
+      if w = 0 then
+        List.iter (fun s -> Hashtbl.replace shared.distributed s ()) seeds;
+      last_export.(w) <- List.length seeds)
+    engines;
+  let deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours in
+  let sync_us = Nf_stdext.Vclock.of_hours sync_hours in
+  (* Barrier-synced rounds: every worker fuzzes [sync_hours] of virtual
+     time on its own Domain, then all meet to exchange corpus entries,
+     coverage and crash signatures.  Determinism comes from the barrier:
+     each worker's step sequence depends only on its own seed and the
+     entries imported at (virtually timed) sync points, never on how the
+     OS interleaved the Domains. *)
+  (* Workers whose virtual windows overlap run on their own Domains, at
+     most [recommended_domain_count] at a time: oversubscribing cores
+     only adds stop-the-world GC synchronization, and the barrier makes
+     the result independent of how many run concurrently. *)
+  let max_live = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  let run_round ~bound_us =
+    if max_live = 1 then Array.iter (fun e -> run_until e ~bound_us) engines
+    else begin
+      let i = ref 0 in
+      while !i < jobs do
+        let base = !i in
+        let n = min max_live (jobs - base) in
+        let domains =
+          Array.init n (fun k ->
+              let e = engines.(base + k) in
+              Domain.spawn (fun () -> run_until e ~bound_us))
+        in
+        Array.iter Domain.join domains;
+        i := base + n
+      done
+    end
+  in
+  let round = ref 0 in
+  let finished () = Array.for_all engine_finished engines in
+  while not (finished ()) do
+    incr round;
+    let bound_us =
+      let b = Int64.mul (Int64.of_int !round) sync_us in
+      if b > deadline_us || b <= 0L then deadline_us else b
+    in
+    run_round ~bound_us;
+    sync_phase shared engines last_export crash_export;
+    match on_sync with
+    | Some f -> f (campaign_snapshot shared engines)
+    | None -> ()
+  done;
+  let results = Array.map finish engines in
+  if jobs = 1 then { merged = results.(0); workers = results }
+  else begin
+    let coverage = Cov.Map.create (engines.(0)).region in
+    Array.iter (fun (r : result) -> Cov.Map.merge coverage r.coverage) results;
+    let crashes =
+      List.stable_sort
+        (fun (w1, (c1 : crash_report)) (w2, (c2 : crash_report)) ->
+          match compare w1 w2 with
+          | 0 -> compare c1.found_at_hours c2.found_at_hours
+          | n -> n)
+        (List.rev shared.merged_crashes)
+      |> List.map snd
+    in
+    let merged =
+      {
+        cfg;
+        coverage;
+        timeline = merge_timelines results;
+        crashes;
+        execs = Array.fold_left (fun acc (r : result) -> acc + r.execs) 0 results;
+        restarts =
+          Array.fold_left (fun acc (r : result) -> acc + r.restarts) 0 results;
+        (* Unique inputs across the union corpus: the seeds plus every
+           entry any worker discovered (deduplicated at broadcast). *)
+        corpus_size = Hashtbl.length shared.distributed;
+      }
+    in
+    { merged; workers = results }
+  end

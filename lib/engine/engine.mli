@@ -1,0 +1,156 @@
+(** Step-wise campaign engine (the agent program of §4.5, decomposed).
+
+    The original reproduction ran a whole campaign behind one opaque
+    [run : cfg -> result] loop.  This module breaks that loop into a
+    public state machine so campaigns can be observed mid-run,
+    checkpointed, and parallelized:
+
+    - {!create} builds the campaign state (fuzzer, validators, virtual
+      clock, coverage map) from a configuration;
+    - {!step} performs exactly one fuzz iteration — propose an input,
+      boot the target, execute the fuzz-harness VM, collect coverage,
+      triage sanitizer output;
+    - {!snapshot} reads campaign progress at any point without
+      disturbing it;
+    - {!finish} seals the campaign and produces the final {!result}.
+
+    [Nf_agent.Agent.run] is a thin driver over this API, so the
+    sequential behaviour (and every experiment reproduction) is
+    unchanged: [run cfg] is [create], {!step} until [Deadline],
+    {!finish}.
+
+    On top of the step API, {!run_parallel} reproduces AFL++'s [-M]/[-S]
+    parallel topology with OCaml 5 [Domain]s: [jobs] workers each own a
+    full engine (own fuzzer, RNG stream seeded [cfg.seed + worker_id],
+    validators and virtual clock) and fuzz the same virtual campaign
+    window concurrently; at every sync interval the workers exchange
+    newly discovered queue entries and merge coverage under a mutex, and
+    crash deduplication moves to a shared table so a bug found by two
+    workers is reported once. *)
+
+(** The L0 hypervisor under test. *)
+type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
+
+val target_name : target -> string
+
+(** [target_of_string s] parses the CLI spelling of a target
+    ("kvm-intel", "kvm-amd", "xen-intel", "xen-amd", "vbox").  This is
+    the single place target names are parsed — the CLI and the examples
+    both go through it, so adding a target is a one-file change. *)
+val target_of_string : string -> (target, string) result
+
+(** All targets with their CLI spellings, in presentation order. *)
+val all_targets : (string * target) list
+
+val target_region : target -> Nf_coverage.Coverage.region
+val target_vendor : target -> Nf_cpu.Cpu_model.vendor
+
+(** Boot a fresh instance of the target through its adapter. *)
+val boot_target :
+  target ->
+  features:Nf_cpu.Features.t ->
+  sanitizer:Nf_sanitizer.Sanitizer.t ->
+  Nf_hv.Hypervisor.packed
+
+type cfg = {
+  target : target;
+  mode : Nf_fuzzer.Fuzzer.mode;
+  ablation : Nf_harness.Executor.ablation;
+  seed : int;
+  duration_hours : float;
+  checkpoint_hours : float;
+}
+
+val default_cfg : target -> cfg
+
+type crash_report = {
+  detection : string; (* the "Detection Method" column of Table 6 *)
+  message : string;
+  reproducer : Bytes.t;
+  found_at_hours : float;
+  config : Nf_cpu.Features.t;
+}
+
+type result = {
+  cfg : cfg;
+  coverage : Nf_coverage.Coverage.Map.t; (* accumulated over the campaign *)
+  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  crashes : crash_report list;
+  execs : int;
+  restarts : int;
+  corpus_size : int;
+}
+
+val pp_crash : Format.formatter -> crash_report -> unit
+
+(** {1 The step-wise engine} *)
+
+type t
+
+(** What one {!step} did. *)
+type step_outcome =
+  | Stepped of {
+      novel : bool; (** the input exposed new edge-bitmap behaviour *)
+      crashed : bool; (** sanitizer report, VM death or host crash *)
+      cost_us : int64; (** virtual time charged for the execution *)
+    }
+  | Deadline  (** the virtual campaign window is over; nothing ran *)
+
+(** Read-only view of campaign progress. *)
+type snapshot = {
+  virtual_hours : float;
+  coverage_pct : float;
+  snap_execs : int;
+  queue : int;
+  snap_crashes : int;
+  snap_restarts : int;
+}
+
+val create : cfg -> t
+
+(** One fuzz iteration: propose → boot → execute → collect → triage.
+    Returns [Deadline] (and performs nothing) once the virtual clock has
+    reached the configured duration. *)
+val step : t -> step_outcome
+
+val snapshot : t -> snapshot
+
+(** Seal the campaign: records the final timeline checkpoint and builds
+    the result.  Idempotent; {!step} returns [Deadline] afterwards. *)
+val finish : t -> result
+
+(** [run cfg] drives {!step} to [Deadline]: the sequential campaign,
+    bit-identical to the pre-decomposition loop. *)
+val run : cfg -> result
+
+(** {1 Domain-parallel campaigns} *)
+
+(** A finished parallel campaign: the deterministically merged result
+    plus each worker's own (worker [i] ran with seed [cfg.seed + i]). *)
+type parallel_outcome = {
+  merged : result;
+  workers : result array;
+}
+
+(** [run_parallel ~jobs cfg] fuzzes the campaign window with [jobs]
+    Domain-backed workers in barrier-synced rounds of [sync_hours]
+    virtual hours (default [cfg.checkpoint_hours]).  At every sync the
+    workers exchange queue entries discovered since the previous sync
+    (via {!Nf_fuzzer.Fuzzer.import}), merge coverage maps under the
+    campaign mutex, and dedup crashes through a shared table.
+
+    Merging is deterministic: workers are combined in worker-id order
+    and crashes sorted by (worker id, discovery time), so two
+    invocations with the same [cfg] produce the same result regardless
+    of Domain scheduling — and [~jobs:1] is bit-identical to {!run}.
+
+    [on_sync], if given, observes the campaign-wide snapshot at every
+    sync barrier (coverage %, total execs, merged queue, crashes).
+
+    @raise Invalid_argument if [jobs < 1]. *)
+val run_parallel :
+  ?sync_hours:float ->
+  ?on_sync:(snapshot -> unit) ->
+  jobs:int ->
+  cfg ->
+  parallel_outcome

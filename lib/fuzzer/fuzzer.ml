@@ -55,6 +55,16 @@ let queue_push t e =
 let seed_input t data =
   queue_push t { data = Input.copy data; fuzz_count = 0; discovered_at_us = 0L }
 
+(* Cross-worker corpus sync (AFL++ -M/-S import): the entry was already
+   judged interesting by another instance, so it joins the queue without
+   consulting this instance's virgin bits.  Imports do not count as
+   [finds] — they are not this worker's discoveries. *)
+let import t data =
+  queue_push t { data = Input.copy data; fuzz_count = 0; discovered_at_us = 0L }
+
+let queue_entries t =
+  List.init t.queue_len (fun i -> Input.copy t.queue.(i).data)
+
 let queue_size t = t.queue_len
 
 (** Propose the next input to execute. *)

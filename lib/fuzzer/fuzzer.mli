@@ -19,6 +19,20 @@ val create : ?mode:mode -> seed:int -> unit -> t
 (** Add an initial corpus entry. *)
 val seed_input : t -> Bytes.t -> unit
 
+(** [import t data] adds a queue entry that another fuzzer instance
+    already judged interesting, bypassing the bitmap-novelty gate.  This
+    is the AFL++ [-M]/[-S] corpus-sync primitive: the parallel campaign
+    runner calls it to propagate discoveries between workers.  Imported
+    entries are scheduled like native ones but do not count as
+    {!finds}. *)
+val import : t -> Bytes.t -> unit
+
+(** Current queue contents in discovery order (copies; imported entries
+    included).  The parallel runner snapshots this at every sync interval
+    to exchange new entries between workers without reaching into the
+    queue representation. *)
+val queue_entries : t -> Bytes.t list
+
 val queue_size : t -> int
 
 (** Propose the next input to execute.  Guided mode interleaves a short

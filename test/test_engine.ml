@@ -1,0 +1,168 @@
+(* Tests for the step-wise campaign engine and the Domain-parallel
+   runner: step/finish equivalence with the sequential driver,
+   jobs:1 == sequential, parallel determinism, coverage-union merging
+   and cross-worker crash dedup. *)
+
+module Engine = Nf_engine.Engine
+module Cov = Nf_coverage.Coverage
+
+let check = Alcotest.check
+
+let short_cfg ?(hours = 0.4) ?(seed = 1) target =
+  { (Engine.default_cfg target) with seed; duration_hours = hours }
+
+let crash_key (c : Engine.crash_report) =
+  (c.detection, String.sub c.message 0 (min 48 (String.length c.message)))
+
+(* Structural equality over results, with piecewise messages so a
+   regression names the field that diverged. *)
+let check_results_equal msg (a : Engine.result) (b : Engine.result) =
+  check Alcotest.int (msg ^ ": execs") a.execs b.execs;
+  check Alcotest.int (msg ^ ": restarts") a.restarts b.restarts;
+  check Alcotest.int (msg ^ ": corpus") a.corpus_size b.corpus_size;
+  check
+    Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+    (msg ^ ": timeline") a.timeline b.timeline;
+  check
+    Alcotest.(list (pair string string))
+    (msg ^ ": crashes")
+    (List.map crash_key a.crashes)
+    (List.map crash_key b.crashes)
+  ;
+  List.iter2
+    (fun (x : Engine.crash_report) (y : Engine.crash_report) ->
+      check Alcotest.bool (msg ^ ": reproducer bytes") true
+        (Bytes.equal x.reproducer y.reproducer);
+      check (Alcotest.float 1e-9) (msg ^ ": found_at") x.found_at_hours
+        y.found_at_hours)
+    a.crashes b.crashes;
+  check Alcotest.int (msg ^ ": coverage a-b") 0
+    (Cov.Map.minus_lines a.coverage b.coverage);
+  check Alcotest.int (msg ^ ": coverage b-a") 0
+    (Cov.Map.minus_lines b.coverage a.coverage)
+
+(* (a) Driving the step API by hand produces the same result as the
+   one-shot sequential driver (Agent.run, the pre-refactor behaviour). *)
+let test_step_equals_run () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let t = Engine.create cfg in
+  let steps = ref 0 in
+  let rec drive () =
+    match Engine.step t with
+    | Engine.Stepped _ ->
+        incr steps;
+        drive ()
+    | Engine.Deadline -> ()
+  in
+  drive ();
+  let stepped = Engine.finish t in
+  let sequential = Nf_agent.Agent.run cfg in
+  check Alcotest.int "one step per execution" stepped.execs !steps;
+  check_results_equal "step vs run" stepped sequential
+
+(* Snapshots observe progress mid-run without disturbing it, and finish
+   seals the engine. *)
+let test_snapshot_and_seal () =
+  let t = Engine.create (short_cfg Engine.Kvm_intel) in
+  let s0 = Engine.snapshot t in
+  check Alcotest.int "no execs yet" 0 s0.snap_execs;
+  check (Alcotest.float 1e-9) "clock at zero" 0.0 s0.virtual_hours;
+  for _ = 1 to 25 do
+    ignore (Engine.step t)
+  done;
+  let s1 = Engine.snapshot t in
+  check Alcotest.int "25 execs" 25 s1.snap_execs;
+  Alcotest.(check bool) "clock advanced" true (s1.virtual_hours > 0.0);
+  Alcotest.(check bool) "queue seeded" true (s1.queue >= 2);
+  let r = Engine.finish t in
+  check Alcotest.int "finish keeps execs" 25 r.execs;
+  (match Engine.step t with
+  | Engine.Deadline -> ()
+  | Engine.Stepped _ -> Alcotest.fail "sealed engine still steps");
+  check Alcotest.int "finish idempotent" r.execs (Engine.finish t).execs
+
+(* (b) A one-worker parallel campaign is the sequential campaign. *)
+let test_parallel_one_worker_equals_sequential () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let seq = Engine.run cfg in
+  let par = Engine.run_parallel ~jobs:1 cfg in
+  check Alcotest.int "one worker result" 1 (Array.length par.workers);
+  check_results_equal "jobs:1 vs sequential" par.merged seq
+
+(* (c) A four-worker campaign is deterministic across invocations, and
+   the merged coverage contains every worker's own coverage. *)
+let test_parallel_deterministic_and_superset () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let a = Engine.run_parallel ~jobs:4 cfg in
+  let b = Engine.run_parallel ~jobs:4 cfg in
+  check_results_equal "two jobs:4 invocations" a.merged b.merged;
+  Array.iteri
+    (fun w (r : Engine.result) ->
+      check Alcotest.int
+        (Printf.sprintf "worker %d coverage within merged" w)
+        0
+        (Cov.Map.minus_lines r.coverage a.merged.coverage))
+    a.workers;
+  Alcotest.(check bool) "merged execs is the fleet total" true
+    (a.merged.execs
+    = Array.fold_left (fun acc (r : Engine.result) -> acc + r.execs) 0 a.workers)
+
+(* Workers see each other's discoveries: with corpus sync the fleet's
+   merged corpus contains entries beyond any single worker's finds, and
+   every worker's queue ends up larger than its own native finds (it
+   imported entries). *)
+let test_parallel_sync_imports () =
+  let cfg = short_cfg ~hours:0.6 Engine.Kvm_intel in
+  let seq = Engine.run cfg in
+  let par = Engine.run_parallel ~jobs:3 ~sync_hours:0.2 cfg in
+  Alcotest.(check bool) "merged corpus beyond sequential" true
+    (par.merged.corpus_size > seq.corpus_size);
+  Array.iter
+    (fun (r : Engine.result) ->
+      Alcotest.(check bool) "worker queue includes imports" true
+        (r.corpus_size >= seq.corpus_size))
+    par.workers
+
+(* (d) A bug found by several workers is reported once. *)
+let test_parallel_crash_dedup () =
+  let cfg = short_cfg ~hours:1.5 Engine.Xen_amd in
+  let par = Engine.run_parallel ~jobs:3 cfg in
+  let merged_keys = List.map crash_key par.merged.crashes in
+  check Alcotest.int "merged reports are unique"
+    (List.length merged_keys)
+    (List.length (List.sort_uniq compare merged_keys));
+  let per_worker =
+    Array.to_list
+      (Array.map
+         (fun (r : Engine.result) -> List.map crash_key r.crashes)
+         par.workers)
+  in
+  let total = List.length (List.concat per_worker) in
+  Alcotest.(check bool) "somebody crashed" true (total > 0);
+  (* The planted Xen/AMD assertion failures fire for every worker, so
+     the fleet finds strictly more raw reports than the deduped set. *)
+  Alcotest.(check bool) "same bug found by several workers" true
+    (total > List.length merged_keys);
+  (* Everything any worker found is represented in the merged report. *)
+  List.iter
+    (fun keys ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "worker crash represented" true
+            (List.mem k merged_keys))
+        keys)
+    per_worker
+
+let tests =
+  [
+    ("step-wise engine equals sequential run", `Quick, test_step_equals_run);
+    ("snapshot observes, finish seals", `Quick, test_snapshot_and_seal);
+    ( "jobs:1 equals sequential",
+      `Quick,
+      test_parallel_one_worker_equals_sequential );
+    ( "jobs:4 deterministic, coverage superset",
+      `Quick,
+      test_parallel_deterministic_and_superset );
+    ("sync propagates corpus entries", `Quick, test_parallel_sync_imports);
+    ("cross-worker crash dedup", `Quick, test_parallel_crash_dedup);
+  ]

@@ -12,6 +12,7 @@ let () =
       ("hypervisors", Test_hypervisors.tests);
       ("harness", Test_harness.tests);
       ("agent", Test_agent.tests);
+      ("engine", Test_engine.tests);
       ("baselines", Test_baselines.tests);
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);
