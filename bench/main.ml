@@ -87,6 +87,45 @@ let micro () =
     Test.make ~name:"vmcs-hamming"
       (Staged.stage (fun () -> ignore (Nf_vmcs.Vmcs.hamming golden golden)))
   in
+  (* Checkpoint cost: how expensive the durability layer makes a
+     checkpoint interval.  The engine carries a realistic mid-campaign
+     state (populated queue, virgin map, coverage, validators). *)
+  let ckpt_engine =
+    let cfg =
+      {
+        (Necofuzz.Engine.default_cfg Necofuzz.Kvm_intel) with
+        duration_hours = 0.2;
+        seed = 99;
+      }
+    in
+    let t = Necofuzz.Engine.create cfg in
+    let rec drive () =
+      match Necofuzz.Engine.step t with
+      | Necofuzz.Engine.Stepped _ -> drive ()
+      | Necofuzz.Engine.Deadline -> ()
+    in
+    drive ();
+    t
+  in
+  let ckpt_blob = Necofuzz.Engine.to_string ckpt_engine in
+  let test_ckpt_save =
+    Test.make ~name:"engine-checkpoint-save"
+      (Staged.stage (fun () ->
+           ignore (Necofuzz.Engine.to_string ckpt_engine)))
+  in
+  let test_ckpt_load =
+    Test.make ~name:"engine-checkpoint-load"
+      (Staged.stage (fun () ->
+           match Necofuzz.Engine.of_string ckpt_blob with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let test_crc =
+    Test.make ~name:"crc32-64KiB"
+      (Staged.stage
+         (let buf = String.make 65536 '\x5a' in
+          fun () -> ignore (Necofuzz.Persist.crc32 buf)))
+  in
   let benchmark test =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -106,7 +145,10 @@ let micro () =
   Format.fprintf ppf "@.== Micro-benchmarks (Bechamel) ==@.";
   List.iter
     (fun t -> benchmark (Test.make_grouped ~name:"necofuzz" [ t ]))
-    [ test_round; test_enter; test_exec; test_blob; test_hamming ]
+    [
+      test_round; test_enter; test_exec; test_blob; test_hamming;
+      test_ckpt_save; test_ckpt_load; test_crc;
+    ]
 
 let () =
   let args = Array.to_list Sys.argv in

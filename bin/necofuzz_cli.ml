@@ -87,10 +87,61 @@ let fuzz_cmd =
             "Virtual hours between worker sync barriers (default: the \
              checkpoint interval).  Only meaningful with --jobs > 1.")
   in
+  let checkpoint_hours =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "checkpoint-hours" ] ~docv:"H"
+          ~doc:
+            "Virtual hours between campaign checkpoints (timeline samples \
+             and, with --checkpoint-dir, on-disk saves).")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Save the full campaign state to DIR/checkpoint.bin (atomically) \
+             at every checkpoint interval; resume later with --resume.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a campaign from a checkpoint file.  The campaign \
+             configuration (target, seed, duration, faults) comes from the \
+             checkpoint; the resumed run is bit-identical to one that was \
+             never interrupted.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Deterministic fault injection: fault each hypervisor \
+             interaction independently with probability P (host crashes, VM \
+             kills, hangs, coverage-read failures).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the fault-injection stream (independent of --seed); \
+             same seeds, same faults.")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
-      corpus_dir minimize jobs sync_hours =
+      corpus_dir minimize jobs sync_hours checkpoint_hours checkpoint_dir
+      resume fault_rate fault_seed =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
+      exit 2
+    end;
+    if hours <= 0.0 then begin
+      Format.eprintf "necofuzz: --hours must be positive (got %g)@." hours;
       exit 2
     end;
     (match sync_hours with
@@ -98,6 +149,31 @@ let fuzz_cmd =
         Format.eprintf "necofuzz: --sync-hours must be positive (got %g)@." h;
         exit 2
     | _ -> ());
+    (match checkpoint_hours with
+    | Some h when h <= 0.0 ->
+        Format.eprintf "necofuzz: --checkpoint-hours must be positive (got %g)@."
+          h;
+        exit 2
+    | _ -> ());
+    if not (fault_rate >= 0.0 && fault_rate <= 1.0) then begin
+      Format.eprintf "necofuzz: --fault-rate must be within [0, 1] (got %g)@."
+        fault_rate;
+      exit 2
+    end;
+    if jobs > 1 && (checkpoint_dir <> None || resume <> None) then begin
+      Format.eprintf
+        "necofuzz: --checkpoint-dir/--resume require --jobs 1 (parallel \
+         campaigns checkpoint per worker at sync barriers)@.";
+      exit 2
+    end;
+    (match checkpoint_dir with
+    | Some dir -> (
+        match Necofuzz.Persist.mkdir_p dir with
+        | Ok () -> ()
+        | Error msg ->
+            Format.eprintf "necofuzz: --checkpoint-dir: %s@." msg;
+            exit 1)
+    | None -> ());
     let ablation =
       {
         Necofuzz.Executor.use_exec_harness = not no_harness;
@@ -108,22 +184,46 @@ let fuzz_cmd =
       }
     in
     let cfg =
-      Necofuzz.campaign ~guided:(not blind) ~seed ~ablation ~target ~hours ()
+      Necofuzz.campaign ~guided:(not blind) ~seed ~ablation ~fault_rate
+        ~fault_seed ~target ~hours ()
     in
-    Format.printf "fuzzing %s for %.1f virtual hours (seed %d%s)...@."
-      (Necofuzz.Agent.target_name target)
-      hours seed
-      (if jobs > 1 then Printf.sprintf ", %d workers" jobs else "");
+    let cfg =
+      match checkpoint_hours with
+      | Some h -> { cfg with Necofuzz.Engine.checkpoint_hours = h }
+      | None -> cfg
+    in
     let r =
-      if jobs > 1 then
-        let on_sync (s : Necofuzz.Engine.snapshot) =
-          Format.printf
-            "  sync @@ %5.1f vh: %d execs, %d queued, %.1f%% coverage, %d \
-             crash(es)@."
-            s.virtual_hours s.snap_execs s.queue s.coverage_pct s.snap_crashes
-        in
-        Necofuzz.run_parallel ?sync_hours ~on_sync ~jobs cfg
-      else Necofuzz.run cfg
+      match resume with
+      | Some file -> (
+          match Necofuzz.Engine.restore file with
+          | Error msg ->
+              Format.eprintf "necofuzz: cannot resume from %s: %s@." file msg;
+              exit 1
+          | Ok engine ->
+              let snap = Necofuzz.Engine.snapshot engine in
+              Format.printf
+                "resuming campaign from %s (%.1f virtual hours, %d execs)...@."
+                file snap.virtual_hours snap.snap_execs;
+              Necofuzz.Engine.run_from ?checkpoint_dir engine)
+      | None ->
+          Format.printf "fuzzing %s for %.1f virtual hours (seed %d%s%s)...@."
+            (Necofuzz.Agent.target_name target)
+            hours seed
+            (if jobs > 1 then Printf.sprintf ", %d workers" jobs else "")
+            (if fault_rate > 0.0 then
+               Printf.sprintf ", fault rate %g" fault_rate
+             else "");
+          if jobs > 1 then
+            let on_sync (s : Necofuzz.Engine.snapshot) =
+              Format.printf
+                "  sync @@ %5.1f vh: %d execs, %d queued, %.1f%% coverage, %d \
+                 crash(es)@."
+                s.virtual_hours s.snap_execs s.queue s.coverage_pct
+                s.snap_crashes
+            in
+            Necofuzz.run_parallel ?sync_hours ~on_sync ~jobs cfg
+          else Necofuzz.Engine.run_from ?checkpoint_dir
+              (Necofuzz.Engine.create cfg)
     in
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
@@ -154,7 +254,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against a simulated L0 hypervisor.")
     Term.(
       const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
-      $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours)
+      $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours
+      $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate $ fault_seed)
 
 let experiment_cmd =
   let which =
@@ -184,7 +285,12 @@ let experiment_cmd =
     | "t5" -> E.print_t5 ppf (E.run_t5 scale)
     | "t6" -> E.print_t6 ppf (E.run_t6 scale)
     | "lessons" -> E.print_lessons ppf (E.run_lessons scale)
-    | other -> Format.fprintf ppf "unknown experiment %S@." other);
+    | other ->
+        Format.eprintf
+          "necofuzz: unknown experiment %S (expected one of: t1 t2 f3 t3 f4 \
+           f5 t4 t5 t6 lessons all)@."
+          other;
+        exit 2);
     Format.pp_print_flush ppf ()
   in
   Cmd.v

@@ -25,6 +25,7 @@ type cfg = Engine.cfg = {
   seed : int;
   duration_hours : float;
   checkpoint_hours : float;
+  faults : Engine.fault_cfg option;
 }
 
 let default_cfg = Engine.default_cfg

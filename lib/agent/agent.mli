@@ -44,6 +44,7 @@ type cfg = Nf_engine.Engine.cfg = {
   seed : int;
   duration_hours : float;
   checkpoint_hours : float;
+  faults : Nf_engine.Engine.fault_cfg option;
 }
 
 (** 48 guided virtual hours, full ablation, seed 1. *)

@@ -9,10 +9,13 @@
 
 type t = { dir : string }
 
+(* Corpus directories may be nested ("results/run-3/corpus"): create the
+   whole chain, and turn any filesystem failure into a clear error
+   naming the offending path rather than a bare Sys_error. *)
 let ensure_dir path =
-  if not (Sys.file_exists path) then Sys.mkdir path 0o755
-  else if not (Sys.is_directory path) then
-    invalid_arg (Printf.sprintf "Corpus: %s exists and is not a directory" path)
+  match Nf_persist.Persist.mkdir_p path with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Corpus: %s" msg)
 
 let create ~dir =
   ensure_dir dir;
@@ -30,10 +33,13 @@ let content_hash b =
     b;
   Printf.sprintf "%08Lx" (Int64.logand !h 0xFFFF_FFFFL)
 
+(* All corpus writes are atomic (temp file + rename): a crash — or a
+   fault-injection campaign dying — mid-write never leaves a truncated
+   reproducer or report behind. *)
 let write_file path (b : Bytes.t) =
-  let oc = open_out_bin path in
-  output_bytes oc b;
-  close_out oc
+  Nf_persist.Persist.write_file_atomic ~path (Bytes.to_string b)
+
+let write_text path (s : string) = Nf_persist.Persist.write_file_atomic ~path s
 
 let read_file path =
   let ic = open_in_bin path in
@@ -59,17 +65,17 @@ let save_crash t (c : Agent.crash_report) =
   let bin = Filename.concat crashes (stem ^ ".bin") in
   write_file bin c.reproducer;
   let report = Filename.concat crashes (stem ^ ".txt") in
-  let oc = open_out report in
-  Printf.fprintf oc "detection: %s\n" c.detection;
-  Printf.fprintf oc "message:   %s\n" c.message;
-  Printf.fprintf oc "found at:  %.2f virtual hours\n" c.found_at_hours;
-  Printf.fprintf oc "config:    %s\n"
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "detection: %s\n" c.detection;
+  Printf.bprintf buf "message:   %s\n" c.message;
+  Printf.bprintf buf "found at:  %.2f virtual hours\n" c.found_at_hours;
+  Printf.bprintf buf "config:    %s\n"
     (Format.asprintf "%a" Nf_cpu.Features.pp c.config);
-  Printf.fprintf oc "kvm-intel params: %s\n"
+  Printf.bprintf buf "kvm-intel params: %s\n"
     (Nf_config.Vcpu_config.Kvm_adapter.module_params
        ~vendor:Nf_cpu.Cpu_model.Intel c.config);
-  Printf.fprintf oc "reproducer: %s\n" (Filename.basename bin);
-  close_out oc;
+  Printf.bprintf buf "reproducer: %s\n" (Filename.basename bin);
+  write_text report (Buffer.contents buf);
   bin
 
 let list_dir t sub =
@@ -88,20 +94,20 @@ let crash_files t =
 
 (** Write a campaign summary next to the corpus. *)
 let write_summary t (r : Agent.result) =
-  let oc = open_out (Filename.concat t.dir "summary.txt") in
-  Printf.fprintf oc "target:     %s\n" (Agent.target_name r.cfg.target);
-  Printf.fprintf oc "duration:   %.1f virtual hours\n" r.cfg.duration_hours;
-  Printf.fprintf oc "executions: %d\n" r.execs;
-  Printf.fprintf oc "corpus:     %d entries\n" r.corpus_size;
-  Printf.fprintf oc "restarts:   %d\n" r.restarts;
-  Printf.fprintf oc "coverage:   %.1f%%\n"
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "target:     %s\n" (Agent.target_name r.cfg.target);
+  Printf.bprintf buf "duration:   %.1f virtual hours\n" r.cfg.duration_hours;
+  Printf.bprintf buf "executions: %d\n" r.execs;
+  Printf.bprintf buf "corpus:     %d entries\n" r.corpus_size;
+  Printf.bprintf buf "restarts:   %d\n" r.restarts;
+  Printf.bprintf buf "coverage:   %.1f%%\n"
     (Nf_coverage.Coverage.Map.coverage_pct r.coverage);
-  Printf.fprintf oc "crashes:    %d\n" (List.length r.crashes);
+  Printf.bprintf buf "crashes:    %d\n" (List.length r.crashes);
   List.iter
     (fun (c : Agent.crash_report) ->
-      Printf.fprintf oc "  [%s] %s\n" c.detection c.message)
+      Printf.bprintf buf "  [%s] %s\n" c.detection c.message)
     r.crashes;
-  close_out oc
+  write_text (Filename.concat t.dir "summary.txt") (Buffer.contents buf)
 
 (** Persist a finished campaign: all crashes plus the summary.  Returns
     the saved reproducer paths. *)

@@ -7,8 +7,12 @@
 
 type t
 
-(** Create (or reopen) a corpus directory.
-    @raise Invalid_argument if the path exists and is not a directory. *)
+(** Create (or reopen) a corpus directory, building the whole parent
+    chain if needed.  Every file this module writes is written
+    atomically (temp file + rename), so an interrupted campaign never
+    leaves truncated reproducers or reports behind.
+    @raise Invalid_argument if the path (or a parent) exists and is not
+    a directory, or cannot be created. *)
 val create : dir:string -> t
 
 (** FNV-1a content hash used in stable file names. *)

@@ -40,6 +40,8 @@ module Minimize = Nf_agent.Minimize
 module Vcpu_config = Nf_config.Vcpu_config
 module Fuzzer = Nf_fuzzer.Fuzzer
 module Coverage = Nf_coverage.Coverage
+module Persist = Nf_persist.Persist
+module Faulty = Nf_hv.Faulty
 module Sanitizer = Nf_sanitizer.Sanitizer
 module Features = Nf_cpu.Features
 module Experiments = Experiments
@@ -56,16 +58,22 @@ type result = Nf_agent.Agent.result
 type crash = Nf_agent.Agent.crash_report
 
 (** Build a campaign configuration.  [guided:false] runs the black-box
-    mode of §5.4 (automatic for VirtualBox, which exposes no coverage). *)
+    mode of §5.4 (automatic for VirtualBox, which exposes no coverage).
+    [fault_rate], when positive, turns on deterministic fault injection
+    ({!Engine.fault_cfg}) driven by [fault_seed]. *)
 let campaign ?(guided = true) ?(seed = 1)
-    ?(ablation = Nf_harness.Executor.full_ablation) ~target ~hours () :
-    campaign =
+    ?(ablation = Nf_harness.Executor.full_ablation) ?(fault_rate = 0.0)
+    ?(fault_seed = 0) ~target ~hours () : campaign =
   {
     (Nf_agent.Agent.default_cfg target) with
     mode = (if guided && target <> Vbox then Guided else Blind);
     seed;
     ablation;
     duration_hours = hours;
+    faults =
+      (if fault_rate > 0.0 then
+         Some { Nf_engine.Engine.fault_rate; fault_seed }
+       else None);
   }
 
 let run = Nf_agent.Agent.run

@@ -86,6 +86,20 @@ module Map = struct
 
   let copy t = { region = t.region; hits = Array.copy t.hits }
 
+  (** Raw per-probe hit counts, for checkpoint serialization. *)
+  let raw_hits t = Array.copy t.hits
+
+  (** Rebuild a map from serialized hit counts.  The count array must
+      match the region's probe count — a mismatch means the checkpoint
+      was taken against a different build of the region. *)
+  let of_hits region hits =
+    if Array.length hits <> max 1 region.n then
+      Error
+        (Printf.sprintf
+           "coverage map for region %s has %d counters, expected %d"
+           region.region_name (Array.length hits) (max 1 region.n))
+    else Ok { region; hits = Array.copy hits }
+
   let covered_lines ?file t =
     Array.fold_left
       (fun acc p ->

@@ -38,6 +38,15 @@ module Map : sig
   val is_covered : t -> probe -> bool
   val reset : t -> unit
   val copy : t -> t
+
+  (** Raw per-probe hit counts (a copy), for checkpoint serialization. *)
+  val raw_hits : t -> int array
+
+  (** Rebuild a map from {!raw_hits} output.  [Error] when the counter
+      array does not match the region's probe count (a checkpoint taken
+      against a different build of the region). *)
+  val of_hits : region -> int array -> (t, string) result
+
   val covered_lines : ?file:string -> t -> int
   val coverage_pct : ?file:string -> t -> float
 

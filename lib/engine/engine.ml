@@ -48,6 +48,8 @@ let boot_target target ~features ~sanitizer : Nf_hv.Hypervisor.packed =
   | Xen_amd -> Nf_xen.Xen.pack_amd ~features ~sanitizer
   | Vbox -> Nf_vbox.Vbox.pack ~features ~sanitizer
 
+type fault_cfg = { fault_rate : float; fault_seed : int }
+
 type cfg = {
   target : target;
   mode : Nf_fuzzer.Fuzzer.mode;
@@ -55,6 +57,7 @@ type cfg = {
   seed : int;
   duration_hours : float;
   checkpoint_hours : float;
+  faults : fault_cfg option;
 }
 
 let default_cfg target =
@@ -65,6 +68,7 @@ let default_cfg target =
     seed = 1;
     duration_hours = 48.0;
     checkpoint_hours = 1.0;
+    faults = None;
   }
 
 type crash_report = {
@@ -147,6 +151,7 @@ type t = {
   fuzzer : Nf_fuzzer.Fuzzer.t;
   vmx_validator : Nf_validator.Validator.t;
   svm_validator : Nf_validator.Svm_validator.t;
+  injector : Nf_hv.Faulty.injector option;
   seen_crashes : (string, unit) Hashtbl.t;
   mutable crashes : crash_report list; (* newest first *)
   mutable restarts : int;
@@ -182,6 +187,10 @@ let create (cfg : cfg) : t =
     fuzzer;
     vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake;
     svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3;
+    injector =
+      Option.map
+        (fun f -> Nf_hv.Faulty.create ~rate:f.fault_rate ~seed:f.fault_seed)
+        cfg.faults;
     seen_crashes = Hashtbl.create 17;
     crashes = [];
     restarts = 0;
@@ -208,19 +217,57 @@ let step (t : t) : step_outcome =
       else Nf_cpu.Features.default
     in
     let sanitizer = San.create () in
-    let hv = boot_target cfg.target ~features ~sanitizer in
-    let outcome =
-      Nf_harness.Executor.run ~hv ~vmx_validator:t.vmx_validator
-        ~svm_validator:t.svm_validator ~ablation:cfg.ablation ~features ~input
+    (* An adapter that *raises* is indistinguishable on bare metal from
+       a host that died mid-execution: convert the exception into the
+       [Host_crashed] watchdog path instead of tearing the campaign
+       down.  The boot cost was already paid by the time a real host
+       dies, so the synthesized outcome charges it. *)
+    let hv, outcome =
+      match
+        let hv = boot_target cfg.target ~features ~sanitizer in
+        let hv =
+          match t.injector with
+          | Some inj -> Nf_hv.Faulty.wrap inj hv
+          | None -> hv
+        in
+        ( hv,
+          Nf_harness.Executor.run ~hv ~vmx_validator:t.vmx_validator
+            ~svm_validator:t.svm_validator ~ablation:cfg.ablation ~features
+            ~input )
+      with
+      | hv, outcome -> (Some hv, outcome)
+      | exception exn ->
+          ( None,
+            {
+              Nf_harness.Executor.l1_steps = 0;
+              l2_steps = 0;
+              entries = 0;
+              reflected_exits = 0;
+              vmfails = 0;
+              termination =
+                Nf_harness.Executor.Host_crashed
+                  ("adapter exception: " ^ Printexc.to_string exn);
+              cost_us = Nf_harness.Executor.boot_cost_us;
+            } )
     in
     Nf_stdext.Vclock.advance_us t.clock outcome.cost_us;
-    (* Coverage collection (KCOV/gcov -> shared-memory bitmap). *)
+    (* Injected hangs are only noticed when the watchdog timeout fires;
+       charge the lost window. *)
+    (match t.injector with
+    | Some inj ->
+        Nf_stdext.Vclock.advance_us t.clock
+          (Nf_hv.Faulty.take_pending_hang_us inj)
+    | None -> ());
+    (* Coverage collection (KCOV/gcov -> shared-memory bitmap).  A
+       failed read (or a dead host) degrades to black-box for this one
+       execution. *)
     let bitmap = Cov.Bitmap.create () in
-    (match Nf_hv.Hypervisor.packed_coverage hv with
+    (match Option.bind hv Nf_hv.Hypervisor.packed_coverage with
     | Some map ->
         Cov.Map.merge t.campaign_cov map;
         fold_bitmap bitmap map t.region
-    | None -> () (* closed-source target: black-box *));
+    | None -> () (* closed-source target: black-box *)
+    | exception _ -> ());
     let crashed =
       match outcome.termination with
       | Nf_harness.Executor.Completed -> San.has_reportable sanitizer
@@ -301,16 +348,328 @@ let finish (t : t) : result =
       t.sealed <- Some r;
       r
 
-let run (cfg : cfg) : result =
-  let t = create cfg in
-  let rec drive () = match step t with Stepped _ -> drive () | Deadline -> () in
+(* ------------------------------------------------------------------ *)
+(* Checkpoint serialization (the durability layer).                     *)
+
+module Persist = Nf_persist.Persist
+
+let checkpoint_magic = "NECOFUZZ-CKPT"
+let checkpoint_version = 1
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Persist.Reader.Corrupt m)) fmt
+
+let target_code = function
+  | Kvm_intel -> 0
+  | Kvm_amd -> 1
+  | Xen_intel -> 2
+  | Xen_amd -> 3
+  | Vbox -> 4
+
+let target_of_code = function
+  | 0 -> Kvm_intel
+  | 1 -> Kvm_amd
+  | 2 -> Xen_intel
+  | 3 -> Xen_amd
+  | 4 -> Vbox
+  | n -> corrupt "unknown target code %d" n
+
+let mode_code = function Nf_fuzzer.Fuzzer.Guided -> 0 | Blind -> 1
+
+let mode_of_code = function
+  | 0 -> Nf_fuzzer.Fuzzer.Guided
+  | 1 -> Nf_fuzzer.Fuzzer.Blind
+  | n -> corrupt "unknown fuzzer mode code %d" n
+
+let generation_code = function
+  | Nf_harness.Executor.Boundary -> 0
+  | Rounded_only -> 1
+  | Raw -> 2
+  | Template -> 3
+
+let generation_of_code = function
+  | 0 -> Nf_harness.Executor.Boundary
+  | 1 -> Rounded_only
+  | 2 -> Raw
+  | 3 -> Template
+  | n -> corrupt "unknown state-generation code %d" n
+
+(* vCPU features travel as [nested] plus the configurator's bit array —
+   the same encoding the fuzzing input uses (§4.4). *)
+let write_features w (f : Nf_cpu.Features.t) =
+  Persist.Writer.bool w f.Nf_cpu.Features.nested;
+  let mask = ref 0 in
+  for i = 0 to Nf_cpu.Features.flag_count - 1 do
+    if Nf_cpu.Features.nth_flag f i then mask := !mask lor (1 lsl i)
+  done;
+  Persist.Writer.int w !mask
+
+let read_features r : Nf_cpu.Features.t =
+  let nested = Persist.Reader.bool r in
+  let mask = Persist.Reader.int r in
+  let f = ref { Nf_cpu.Features.default with nested } in
+  for i = 0 to Nf_cpu.Features.flag_count - 1 do
+    f := Nf_cpu.Features.with_nth_flag !f i (mask land (1 lsl i) <> 0)
+  done;
+  !f
+
+let write_cfg w (cfg : cfg) =
+  let open Persist.Writer in
+  u8 w (target_code cfg.target);
+  u8 w (mode_code cfg.mode);
+  bool w cfg.ablation.Nf_harness.Executor.use_exec_harness;
+  u8 w (generation_code cfg.ablation.Nf_harness.Executor.generation);
+  bool w cfg.ablation.Nf_harness.Executor.use_configurator;
+  int w cfg.seed;
+  float w cfg.duration_hours;
+  float w cfg.checkpoint_hours;
+  option w
+    (fun w f ->
+      float w f.fault_rate;
+      int w f.fault_seed)
+    cfg.faults
+
+let read_cfg r : cfg =
+  let open Persist.Reader in
+  let target = target_of_code (u8 r) in
+  let mode = mode_of_code (u8 r) in
+  let use_exec_harness = bool r in
+  let generation = generation_of_code (u8 r) in
+  let use_configurator = bool r in
+  let seed = int r in
+  let duration_hours = float r in
+  let checkpoint_hours = float r in
+  let faults =
+    option r (fun r ->
+        let fault_rate = float r in
+        let fault_seed = int r in
+        { fault_rate; fault_seed })
+  in
+  {
+    target;
+    mode;
+    ablation =
+      { Nf_harness.Executor.use_exec_harness; generation; use_configurator };
+    seed;
+    duration_hours;
+    checkpoint_hours;
+    faults;
+  }
+
+let write_crash w (c : crash_report) =
+  let open Persist.Writer in
+  string w c.detection;
+  string w c.message;
+  bytes w c.reproducer;
+  float w c.found_at_hours;
+  write_features w c.config
+
+let read_crash r : crash_report =
+  let open Persist.Reader in
+  let detection = string r in
+  let message = string r in
+  let reproducer = bytes r in
+  let found_at_hours = float r in
+  let config = read_features r in
+  { detection; message; reproducer; found_at_hours; config }
+
+(** Serialize the full campaign state as one framed, checksummed blob.
+    Everything mutable goes in — fuzzer queue and virgin bits, RNG
+    stream positions, virtual clock, coverage map, crash list, timeline,
+    validator corrections, fault-injector state — so a restored engine
+    continues bit-identically. *)
+let to_string (t : t) : string =
+  let w = Persist.Writer.create () in
+  let open Persist.Writer in
+  write_cfg w t.cfg;
+  i64 w (Nf_stdext.Vclock.now_us t.clock);
+  int_array w (Cov.Map.raw_hits t.campaign_cov);
+  (let p = Nf_fuzzer.Fuzzer.persist t.fuzzer in
+   u8 w (mode_code p.p_mode);
+   i64 w p.p_rng_state;
+   list w
+     (fun w (data, fuzz_count, at_us) ->
+       bytes w data;
+       int w fuzz_count;
+       i64 w at_us)
+     p.p_queue;
+   int w p.p_cursor;
+   int_array w p.p_virgin;
+   int w p.p_execs;
+   int w p.p_finds);
+  list w string t.vmx_validator.Nf_validator.Validator.learned_skips;
+  int w t.vmx_validator.Nf_validator.Validator.corrections;
+  list w string t.svm_validator.Nf_validator.Svm_validator.learned_skips;
+  int w t.svm_validator.Nf_validator.Svm_validator.corrections;
+  (* Sorted so that save -> restore -> save is byte-stable regardless of
+     hash-table iteration order. *)
+  list w string
+    (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.seen_crashes []));
+  list w write_crash t.crashes;
+  int w t.restarts;
+  int w t.execs;
+  list w
+    (fun w (h, c) ->
+      float w h;
+      float w c)
+    t.timeline;
+  float w t.next_checkpoint;
+  option w
+    (fun w inj ->
+      let rng_state, injected, pending = Nf_hv.Faulty.state inj in
+      i64 w rng_state;
+      int w injected;
+      i64 w pending)
+    t.injector;
+  Persist.frame ~magic:checkpoint_magic ~version:checkpoint_version
+    (contents w)
+
+let read_engine r : t =
+  let open Persist.Reader in
+  let cfg = read_cfg r in
+  let now_us = i64 r in
+  let hits = int_array r in
+  let fuzzer =
+    let p_mode = mode_of_code (u8 r) in
+    let p_rng_state = i64 r in
+    let p_queue =
+      list r (fun r ->
+          let data = bytes r in
+          let fuzz_count = int r in
+          let at_us = i64 r in
+          (data, fuzz_count, at_us))
+    in
+    let p_cursor = int r in
+    let p_virgin = int_array r in
+    let p_execs = int r in
+    let p_finds = int r in
+    match
+      Nf_fuzzer.Fuzzer.of_persisted
+        { p_mode; p_rng_state; p_queue; p_cursor; p_virgin; p_execs; p_finds }
+    with
+    | f -> f
+    | exception Invalid_argument msg -> corrupt "%s" msg
+  in
+  let vmx_skips = list r string in
+  let vmx_corrections = int r in
+  let svm_skips = list r string in
+  let svm_corrections = int r in
+  let seen = list r string in
+  let crashes = list r read_crash in
+  let restarts = int r in
+  let execs = int r in
+  let timeline =
+    list r (fun r ->
+        let h = float r in
+        let c = float r in
+        (h, c))
+  in
+  let next_checkpoint = float r in
+  let injector_state =
+    option r (fun r ->
+        let rng_state = i64 r in
+        let injected = int r in
+        let pending = i64 r in
+        (rng_state, injected, pending))
+  in
+  let region = target_region cfg.target in
+  let campaign_cov =
+    match Cov.Map.of_hits region hits with
+    | Ok m -> m
+    | Error msg -> corrupt "%s" msg
+  in
+  let clock = Nf_stdext.Vclock.create () in
+  Nf_stdext.Vclock.set_us clock now_us;
+  let vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake in
+  vmx_validator.Nf_validator.Validator.learned_skips <- vmx_skips;
+  vmx_validator.Nf_validator.Validator.corrections <- vmx_corrections;
+  let svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3 in
+  svm_validator.Nf_validator.Svm_validator.learned_skips <- svm_skips;
+  svm_validator.Nf_validator.Svm_validator.corrections <- svm_corrections;
+  let seen_crashes = Hashtbl.create 17 in
+  List.iter (fun k -> Hashtbl.replace seen_crashes k ()) seen;
+  let injector =
+    match (cfg.faults, injector_state) with
+    | None, None -> None
+    | Some f, Some (rng_state, injected, pending_hang_us) ->
+        Some
+          (Nf_hv.Faulty.restore ~rate:f.fault_rate ~seed:f.fault_seed
+             ~rng_state ~injected ~pending_hang_us)
+    | Some _, None | None, Some _ ->
+        corrupt "fault-injector state inconsistent with the campaign config"
+  in
+  {
+    cfg;
+    region;
+    campaign_cov;
+    clock;
+    deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
+    fuzzer;
+    vmx_validator;
+    svm_validator;
+    injector;
+    seen_crashes;
+    crashes;
+    restarts;
+    execs;
+    timeline;
+    next_checkpoint;
+    sealed = None;
+  }
+
+let of_string (blob : string) : (t, string) Stdlib.result =
+  Persist.decode ~magic:checkpoint_magic ~version:checkpoint_version blob
+    read_engine
+
+let save (t : t) (path : string) = Persist.write_file_atomic ~path (to_string t)
+
+let restore (path : string) : (t, string) Stdlib.result =
+  match Persist.read_file ~path with
+  | Error msg -> Error msg
+  | Ok blob -> of_string blob
+
+let checkpoint_file = "checkpoint.bin"
+
+let run_from ?checkpoint_dir (t : t) : result =
+  let last_timeline = ref (List.length t.timeline) in
+  let maybe_checkpoint () =
+    match checkpoint_dir with
+    | None -> ()
+    | Some dir ->
+        (* The timeline grows exactly once per checkpoint interval, so
+           it doubles as the save schedule. *)
+        let n = List.length t.timeline in
+        if n <> !last_timeline then begin
+          last_timeline := n;
+          save t (Filename.concat dir checkpoint_file)
+        end
+  in
+  let rec drive () =
+    match step t with
+    | Stepped _ ->
+        maybe_checkpoint ();
+        drive ()
+    | Deadline -> ()
+  in
   drive ();
   finish t
+
+let run (cfg : cfg) : result = run_from (create cfg)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel campaigns (AFL++ -M/-S topology).                   *)
 
-type parallel_outcome = { merged : result; workers : result array }
+(** Per-worker supervision verdict: did the supervisor have to restart
+    the worker, and did it survive the campaign? *)
+type worker_status =
+  | Healthy
+  | Recovered of int (* supervisor restarts consumed *)
+  | Abandoned of { attempts : int; error : string }
+
+type parallel_outcome = {
+  merged : result;
+  workers : result array;
+  supervision : worker_status array;
+}
 
 (* Shared campaign state.  Workers only touch it under [mutex], and only
    at sync barriers, so the fuzzing rounds themselves run lock-free. *)
@@ -343,7 +702,7 @@ let engine_finished (e : t) =
    visited in worker-id order, which is what makes the merged campaign
    deterministic under any Domain scheduling. *)
 let sync_phase shared (engines : t array) (last_export : int array)
-    (crash_export : int array) =
+    (crash_export : int array) ~(may_import : int -> bool) =
   (* 1. Collect queue entries discovered since the previous sync; the
      [distributed] table ensures an input is broadcast at most once
      campaign-wide (and never re-broadcast after being imported). *)
@@ -361,12 +720,14 @@ let sync_phase shared (engines : t array) (last_export : int array)
         entries)
     engines;
   let broadcast = List.rev !broadcast in
-  (* 2. Import every broadcast entry into every other worker. *)
+  (* 2. Import every broadcast entry into every other worker (abandoned
+     workers are frozen at their last barrier and import nothing). *)
   Array.iteri
     (fun w e ->
       List.iter
         (fun (origin, data) ->
-          if origin <> w then Nf_fuzzer.Fuzzer.import e.fuzzer data)
+          if origin <> w && may_import w then
+            Nf_fuzzer.Fuzzer.import e.fuzzer data)
         broadcast;
       last_export.(w) <- Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
     engines;
@@ -413,9 +774,11 @@ let campaign_snapshot shared (engines : t array) : snapshot =
 
 (* Merge worker timelines pointwise: every worker checkpoints on the
    same hour grid, so take the best coverage seen at each checkpoint
-   (a deterministic lower bound on the union coverage at that time). *)
-let merge_timelines (results : result array) =
-  let others = Array.sub results 1 (Array.length results - 1) in
+   (a deterministic lower bound on the union coverage at that time).
+   [grid] names the worker whose timeline supplies the hour grid — the
+   first one that survived the whole campaign, so an abandoned worker's
+   truncated timeline never shortens the merged one. *)
+let merge_timelines (results : result array) ~grid =
   List.map
     (fun (h, c) ->
       let best =
@@ -424,12 +787,22 @@ let merge_timelines (results : result array) =
             match List.assoc_opt h r.timeline with
             | Some c' -> max acc c'
             | None -> acc)
-          c others
+          c results
       in
       (h, best))
-    results.(0).timeline
+    results.(grid).timeline
 
-let run_parallel ?sync_hours ?on_sync ~jobs (cfg : cfg) : parallel_outcome =
+(* Supervision policy: a worker Domain that raises is restored from its
+   last sync-barrier snapshot and retried, up to [supervisor_retry_budget]
+   restarts per worker; each restart also charges an exponentially
+   growing virtual-time penalty (the rebooted machine is gone for a
+   while).  Past the budget the worker is abandoned — frozen at its last
+   barrier — and the campaign degrades to the survivors. *)
+let supervisor_retry_budget = 3
+let supervisor_backoff_base_us = 60_000_000L
+
+let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
+    parallel_outcome =
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
@@ -472,39 +845,126 @@ let run_parallel ?sync_hours ?on_sync ~jobs (cfg : cfg) : parallel_outcome =
      only adds stop-the-world GC synchronization, and the barrier makes
      the result independent of how many run concurrently. *)
   let max_live = max 1 (min jobs (Domain.recommended_domain_count ())) in
-  let run_round ~bound_us =
-    if max_live = 1 then Array.iter (fun e -> run_until e ~bound_us) engines
+  (* --- supervision state --- *)
+  let attempts = Array.make jobs 0 in
+  let abandoned = Array.make jobs false in
+  let last_error = Array.make jobs "" in
+  (* Serialized engine state at the last sync barrier: what a crashed
+     worker is rebuilt from.  The initial barrier is the seeded state. *)
+  let barrier_state = Array.map to_string engines in
+  let round = ref 0 in
+  (* Run one worker's round on the calling Domain; [chaos], if given,
+     may raise to simulate a worker death (the supervision tests use
+     it).  Reads [engines.(w)] at call time so a supervisor restore is
+     picked up on retry. *)
+  let run_worker w ~bound_us =
+    (match chaos with
+    | Some f -> f ~worker:w ~round:!round ~attempt:attempts.(w)
+    | None -> ());
+    run_until engines.(w) ~bound_us
+  in
+  (* Run [ids] (in worker order) for one round; returns the workers
+     whose Domain raised, with the exception, ordered by worker id so
+     supervision is independent of Domain scheduling. *)
+  let attempt_workers ids ~bound_us : (int * exn) list =
+    let attempt1 w =
+      match run_worker w ~bound_us with
+      | () -> None
+      | exception exn -> Some (w, exn)
+    in
+    if max_live = 1 then List.filter_map attempt1 ids
     else begin
-      let i = ref 0 in
-      while !i < jobs do
-        let base = !i in
-        let n = min max_live (jobs - base) in
-        let domains =
-          Array.init n (fun k ->
-              let e = engines.(base + k) in
-              Domain.spawn (fun () -> run_until e ~bound_us))
-        in
-        Array.iter Domain.join domains;
-        i := base + n
-      done
+      let failures = ref [] in
+      let rec chunks = function
+        | [] -> ()
+        | ids ->
+            let batch = List.filteri (fun i _ -> i < max_live) ids in
+            let rest = List.filteri (fun i _ -> i >= max_live) ids in
+            let domains =
+              List.map (fun w -> Domain.spawn (fun () -> attempt1 w)) batch
+            in
+            List.iter
+              (fun d ->
+                match Domain.join d with
+                | None -> ()
+                | Some f -> failures := f :: !failures)
+              domains;
+            chunks rest
+      in
+      chunks ids;
+      List.sort (fun (a, _) (b, _) -> compare a b) !failures
     end
   in
-  let round = ref 0 in
-  let finished () = Array.for_all engine_finished engines in
+  (* The supervisor: restore each failed worker to its last barrier,
+     charge a restart plus an exponential virtual-time backoff penalty,
+     and retry — until the retry budget is spent, at which point the
+     worker is abandoned and the campaign continues without it. *)
+  let rec supervise ids ~bound_us =
+    let failures = attempt_workers ids ~bound_us in
+    let retry =
+      List.filter_map
+        (fun (w, exn) ->
+          attempts.(w) <- attempts.(w) + 1;
+          last_error.(w) <- Printexc.to_string exn;
+          (match of_string barrier_state.(w) with
+          | Ok e -> engines.(w) <- e
+          | Error msg ->
+              (* The barrier blob never left memory; failing to decode
+                 it means the serializer itself is broken. *)
+              invalid_arg ("Engine.run_parallel: barrier state: " ^ msg));
+          if attempts.(w) > supervisor_retry_budget then begin
+            abandoned.(w) <- true;
+            None
+          end
+          else begin
+            let e = engines.(w) in
+            e.restarts <- e.restarts + 1;
+            Nf_stdext.Vclock.advance_us e.clock
+              (Int64.mul supervisor_backoff_base_us
+                 (Int64.shift_left 1L (attempts.(w) - 1)));
+            Some w
+          end)
+        failures
+    in
+    if retry <> [] then supervise retry ~bound_us
+  in
+  let finished () =
+    let done_ = ref true in
+    Array.iteri
+      (fun w e -> if not (abandoned.(w) || engine_finished e) then done_ := false)
+      engines;
+    !done_
+  in
   while not (finished ()) do
     incr round;
     let bound_us =
       let b = Int64.mul (Int64.of_int !round) sync_us in
       if b > deadline_us || b <= 0L then deadline_us else b
     in
-    run_round ~bound_us;
-    sync_phase shared engines last_export crash_export;
+    let runnable =
+      List.filter
+        (fun w -> not (abandoned.(w) || engine_finished engines.(w)))
+        (List.init jobs Fun.id)
+    in
+    supervise runnable ~bound_us;
+    sync_phase shared engines last_export crash_export
+      ~may_import:(fun w -> not abandoned.(w));
+    Array.iteri
+      (fun w e -> if not abandoned.(w) then barrier_state.(w) <- to_string e)
+      engines;
     match on_sync with
     | Some f -> f (campaign_snapshot shared engines)
     | None -> ()
   done;
+  let supervision =
+    Array.init jobs (fun w ->
+        if abandoned.(w) then
+          Abandoned { attempts = attempts.(w); error = last_error.(w) }
+        else if attempts.(w) > 0 then Recovered attempts.(w)
+        else Healthy)
+  in
   let results = Array.map finish engines in
-  if jobs = 1 then { merged = results.(0); workers = results }
+  if jobs = 1 then { merged = results.(0); workers = results; supervision }
   else begin
     let coverage = Cov.Map.create (engines.(0)).region in
     Array.iter (fun (r : result) -> Cov.Map.merge coverage r.coverage) results;
@@ -517,11 +977,26 @@ let run_parallel ?sync_hours ?on_sync ~jobs (cfg : cfg) : parallel_outcome =
         (List.rev shared.merged_crashes)
       |> List.map snd
     in
+    let grid =
+      (* The first worker that survived the whole campaign; if every
+         worker was abandoned, fall back to worker 0's truncated grid. *)
+      let g = ref 0 in
+      (try
+         Array.iteri
+           (fun w ab ->
+             if not ab then begin
+               g := w;
+               raise Exit
+             end)
+           abandoned
+       with Exit -> ());
+      !g
+    in
     let merged =
       {
         cfg;
         coverage;
-        timeline = merge_timelines results;
+        timeline = merge_timelines results ~grid;
         crashes;
         execs = Array.fold_left (fun acc (r : result) -> acc + r.execs) 0 results;
         restarts =
@@ -531,5 +1006,5 @@ let run_parallel ?sync_hours ?on_sync ~jobs (cfg : cfg) : parallel_outcome =
         corpus_size = Hashtbl.length shared.distributed;
       }
     in
-    { merged; workers = results }
+    { merged; workers = results; supervision }
   end

@@ -52,6 +52,14 @@ val boot_target :
   sanitizer:Nf_sanitizer.Sanitizer.t ->
   Nf_hv.Hypervisor.packed
 
+(** Deterministic fault injection (see {!Nf_hv.Faulty}): every
+    hypervisor interaction faults independently with probability
+    [fault_rate], driven by a SplitMix64 stream seeded with
+    [fault_seed] — separate from the fuzzer's randomness, so the same
+    (seed, fault_seed) pair reproduces the same campaign, faults
+    included. *)
+type fault_cfg = { fault_rate : float; fault_seed : int }
+
 type cfg = {
   target : target;
   mode : Nf_fuzzer.Fuzzer.mode;
@@ -59,6 +67,7 @@ type cfg = {
   seed : int;
   duration_hours : float;
   checkpoint_hours : float;
+  faults : fault_cfg option;  (** [None]: no fault injection *)
 }
 
 val default_cfg : target -> cfg
@@ -123,13 +132,64 @@ val finish : t -> result
     bit-identical to the pre-decomposition loop. *)
 val run : cfg -> result
 
+(** {1 Checkpoint / resume}
+
+    The durability layer: the full campaign state — fuzzer queue and
+    virgin bitmap, RNG stream positions, virtual clock, coverage map,
+    crash list, timeline, restart count, validator corrections and
+    fault-injector state — serializes to a single framed blob (magic,
+    format version, CRC32; see {!Nf_persist.Persist}).  The invariant,
+    enforced by the test suite: a campaign checkpointed at hour H and
+    resumed produces a result {e bit-identical} to the uninterrupted
+    run.  Corrupt or truncated checkpoints are rejected with a
+    descriptive [Error], never a crash. *)
+
+(** In-memory checkpoint of the engine (framed and checksummed like the
+    on-disk form; the parallel supervisor uses these as sync-barrier
+    snapshots). *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) Stdlib.result
+
+(** [save t path] checkpoints [t] to [path] atomically (temp file +
+    rename), so a crash mid-save never corrupts the previous
+    checkpoint.
+    @raise Sys_error when the directory is missing or unwritable. *)
+val save : t -> string -> unit
+
+(** [restore path] rebuilds an engine from a checkpoint file; all
+    failure modes (missing file, truncation, checksum mismatch, wrong
+    version) are [Error]. *)
+val restore : string -> (t, string) Stdlib.result
+
+(** File name used by {!run_from} inside a checkpoint directory. *)
+val checkpoint_file : string
+
+(** [run_from ?checkpoint_dir t] drives [t] (fresh or restored) to
+    [Deadline].  With [checkpoint_dir], the engine is saved atomically
+    to [checkpoint_dir/checkpoint_file] at every checkpoint interval
+    ([cfg.checkpoint_hours]). *)
+val run_from : ?checkpoint_dir:string -> t -> result
+
 (** {1 Domain-parallel campaigns} *)
 
+(** Per-worker supervision verdict of a parallel campaign. *)
+type worker_status =
+  | Healthy  (** never failed *)
+  | Recovered of int
+      (** failed, was restored from its last sync barrier and completed
+          the campaign; the payload counts supervisor restarts *)
+  | Abandoned of { attempts : int; error : string }
+      (** kept failing past the retry budget; frozen at its last sync
+          barrier and the campaign degraded to the survivors *)
+
 (** A finished parallel campaign: the deterministically merged result
-    plus each worker's own (worker [i] ran with seed [cfg.seed + i]). *)
+    plus each worker's own (worker [i] ran with seed [cfg.seed + i])
+    and the supervisor's per-worker verdicts. *)
 type parallel_outcome = {
   merged : result;
   workers : result array;
+  supervision : worker_status array;
 }
 
 (** [run_parallel ~jobs cfg] fuzzes the campaign window with [jobs]
@@ -147,10 +207,22 @@ type parallel_outcome = {
     [on_sync], if given, observes the campaign-wide snapshot at every
     sync barrier (coverage %, total execs, merged queue, crashes).
 
-    @raise Invalid_argument if [jobs < 1]. *)
+    {b Supervision.}  A worker Domain that raises (adapter bug, injected
+    chaos) no longer sinks the campaign: the supervisor catches the
+    failure, rebuilds the worker from its last sync-barrier checkpoint,
+    charges an exponential virtual-time backoff, and retries — up to a
+    bounded per-worker budget.  A worker that exhausts the budget is
+    abandoned (frozen at its last barrier, excluded from further
+    imports) and the campaign degrades gracefully to the survivors.
+    The per-worker verdicts land in [supervision].
+
+    [chaos], a test hook, runs at the start of every worker attempt
+    (worker id, barrier round, attempt number for this worker's current
+    round) and may raise to simulate a worker death. *)
 val run_parallel :
   ?sync_hours:float ->
   ?on_sync:(snapshot -> unit) ->
+  ?chaos:(worker:int -> round:int -> attempt:int -> unit) ->
   jobs:int ->
   cfg ->
   parallel_outcome

@@ -129,3 +129,52 @@ let report t ~input ?(crashed = false) ~(bitmap : Bitmap.t) ~now_us () =
 
 let execs t = t.execs
 let finds t = t.finds
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing.  The fuzzer is the heart of the campaign's dynamic
+   state; [persisted] is a transparent snapshot of everything that
+   matters — RNG stream position, queue (with per-entry energy
+   accounting), virgin bits, scheduling cursor and counters — so a
+   restored instance proposes exactly the inputs the original would
+   have. *)
+
+type persisted = {
+  p_mode : mode;
+  p_rng_state : int64;
+  p_queue : (Bytes.t * int * int64) list; (* data, fuzz_count, discovered_at *)
+  p_cursor : int;
+  p_virgin : int array;
+  p_execs : int;
+  p_finds : int;
+}
+
+let persist t =
+  {
+    p_mode = t.mode;
+    p_rng_state = Nf_stdext.Rng.state t.rng;
+    p_queue =
+      List.init t.queue_len (fun i ->
+          let e = t.queue.(i) in
+          (Bytes.copy e.data, e.fuzz_count, e.discovered_at_us));
+    p_cursor = t.cursor;
+    p_virgin = Array.copy t.virgin;
+    p_execs = t.execs;
+    p_finds = t.finds;
+  }
+
+let of_persisted (p : persisted) =
+  if Array.length p.p_virgin <> Bitmap.size then
+    invalid_arg
+      (Printf.sprintf "Fuzzer.of_persisted: virgin map has %d buckets, expected %d"
+         (Array.length p.p_virgin) Bitmap.size);
+  let t = create ~mode:p.p_mode ~seed:0 () in
+  Nf_stdext.Rng.restore t.rng p.p_rng_state;
+  List.iter
+    (fun (data, fuzz_count, discovered_at_us) ->
+      queue_push t { data = Input.copy data; fuzz_count; discovered_at_us })
+    p.p_queue;
+  t.cursor <- p.p_cursor;
+  Array.blit p.p_virgin 0 t.virgin 0 Bitmap.size;
+  t.execs <- p.p_execs;
+  t.finds <- p.p_finds;
+  t

@@ -56,3 +56,28 @@ val execs : t -> int
 
 (** Queue entries discovered through coverage feedback. *)
 val finds : t -> int
+
+(** {1 Checkpointing}
+
+    A transparent snapshot of the fuzzer's full dynamic state: RNG
+    stream position, queue with per-entry energy accounting, virgin
+    bits, scheduling cursor and counters.  [of_persisted (persist t)]
+    is an instance whose future proposals are bit-identical to [t]'s —
+    the property the campaign checkpoint/resume invariant rests on. *)
+
+type persisted = {
+  p_mode : mode;
+  p_rng_state : int64;
+  p_queue : (Bytes.t * int * int64) list;
+      (** (data, fuzz_count, discovered_at_us), in queue order *)
+  p_cursor : int;
+  p_virgin : int array;
+  p_execs : int;
+  p_finds : int;
+}
+
+val persist : t -> persisted
+
+(** @raise Invalid_argument when the virgin map has the wrong size
+    (a snapshot from an incompatible build). *)
+val of_persisted : persisted -> t

@@ -1,0 +1,85 @@
+(** Deterministic fault injection over the hypervisor interface.
+    See faulty.mli. *)
+
+type injector = {
+  rate : float;
+  rng : Nf_stdext.Rng.t;
+  mutable injected : int;
+  mutable pending_hang_us : int64;
+}
+
+let create ~rate ~seed =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Faulty.create: rate must be within [0, 1]";
+  {
+    rate;
+    rng = Nf_stdext.Rng.create seed;
+    injected = 0;
+    pending_hang_us = 0L;
+  }
+
+let injected t = t.injected
+
+let take_pending_hang_us t =
+  let v = t.pending_hang_us in
+  t.pending_hang_us <- 0L;
+  v
+
+let state t = (Nf_stdext.Rng.state t.rng, t.injected, t.pending_hang_us)
+
+let restore ~rate ~seed ~rng_state ~injected ~pending_hang_us =
+  let t = create ~rate ~seed in
+  Nf_stdext.Rng.restore t.rng rng_state;
+  t.injected <- injected;
+  t.pending_hang_us <- pending_hang_us;
+  t
+
+(* A hung execution is only noticed when the watchdog timeout expires;
+   that whole window is lost campaign time. *)
+let hang_timeout_us = 60_000_000L
+
+(* One decision per hypervisor interaction.  A hang surfaces as
+   [Host_down] (the watchdog cannot tell a hang from a crash) but also
+   charges the timeout window through [pending_hang_us]. *)
+let exec_fault t : Hypervisor.step_result option =
+  if t.rate > 0.0 && Nf_stdext.Rng.float t.rng < t.rate then begin
+    t.injected <- t.injected + 1;
+    match Nf_stdext.Rng.int t.rng 3 with
+    | 0 -> Some (Hypervisor.Host_down "fault injection: host crash")
+    | 1 -> Some (Hypervisor.Vm_killed "fault injection: fuzz-harness VM killed")
+    | _ ->
+        t.pending_hang_us <- Int64.add t.pending_hang_us hang_timeout_us;
+        Some (Hypervisor.Host_down "fault injection: execution hung (watchdog timeout)")
+  end
+  else None
+
+let coverage_fault t =
+  t.rate > 0.0
+  &&
+  if Nf_stdext.Rng.float t.rng < t.rate then begin
+    t.injected <- t.injected + 1;
+    true
+  end
+  else false
+
+let wrap (inj : injector) (Hypervisor.Packed ((module H), vm)) :
+    Hypervisor.packed =
+  let module F = struct
+    type t = H.t
+
+    let name = H.name
+    let arch = H.arch
+    let region = H.region
+    let create = H.create
+    let coverage vm = if coverage_fault inj then None else H.coverage vm
+
+    let exec_l1 vm op =
+      match exec_fault inj with Some r -> r | None -> H.exec_l1 vm op
+
+    let exec_l2 vm insn =
+      match exec_fault inj with Some r -> r | None -> H.exec_l2 vm insn
+
+    let in_l2 = H.in_l2
+    let reset = H.reset
+  end in
+  Hypervisor.Packed ((module F), vm)

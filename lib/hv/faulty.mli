@@ -1,0 +1,56 @@
+(** Deterministic fault injection over the hypervisor interface.
+
+    The paper's campaigns lean on a watchdog that reboots the host when
+    a fuzz input crashes or hangs it; FuzzBox likewise treats target
+    crash/hang recovery as a first-class part of the fuzzing loop.  This
+    module makes those recovery paths *testable*: an {!injector} wraps
+    any {!Hypervisor.packed} and, driven by its own SplitMix64 stream
+    (independent of the fuzzer's randomness), randomly injects
+
+    - host crashes ([Host_down]) — the watchdog/restart path;
+    - fuzz-harness VM kills ([Vm_killed]);
+    - hung executions — [Host_down] plus a virtual-time cost spike
+      (the watchdog timeout) charged by the engine through
+      {!take_pending_hang_us};
+    - coverage-read failures ([coverage] returning [None]) — the
+      black-box fallback path.
+
+    Because the stream is seeded separately, two campaigns with the same
+    fuzz seed and the same fault seed inject identical fault sequences —
+    fault-injected runs stay reproducible and checkpointable (the
+    injector's state is part of the engine checkpoint). *)
+
+type injector
+
+(** [create ~rate ~seed] builds an injector that faults each hypervisor
+    interaction (L1 op, L2 instruction, coverage read) independently
+    with probability [rate].
+    @raise Invalid_argument unless [0 <= rate <= 1]. *)
+val create : rate:float -> seed:int -> injector
+
+(** Total faults injected so far. *)
+val injected : injector -> int
+
+(** Virtual microseconds of hang time accumulated since the last call
+    (the watchdog-timeout cost spike of injected hangs); reading clears
+    the accumulator.  The engine charges this to the campaign clock. *)
+val take_pending_hang_us : injector -> int64
+
+(** Checkpointing: the injector's dynamic state. *)
+val state : injector -> int64 * int * int64
+(** (RNG state, injected count, pending hang cost). *)
+
+val restore :
+  rate:float -> seed:int -> rng_state:int64 -> injected:int ->
+  pending_hang_us:int64 -> injector
+
+(** One coverage-read fault draw (true: the read is dropped).  [wrap]
+    calls this on every [coverage]; exposed so tests can drive the fault
+    stream directly. *)
+val coverage_fault : injector -> bool
+
+(** [wrap inj hv] is [hv] with fault injection interposed on [exec_l1],
+    [exec_l2] and [coverage].  The same injector (and so the same fault
+    stream) is meant to be threaded through every execution of a
+    campaign. *)
+val wrap : injector -> Hypervisor.packed -> Hypervisor.packed

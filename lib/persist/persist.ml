@@ -1,0 +1,263 @@
+(** Durable, versioned, checksummed serialization.  See persist.mli. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3), table-driven                                     *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor (Int32.shift_right_logical !c 1) 0xEDB88320l
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Persist.Writer.u8: out of range";
+    Buffer.add_uint8 b v
+
+  let i64 b v = Buffer.add_int64_le b v
+  let int b v = i64 b (Int64.of_int v)
+  let bool b v = u8 b (if v then 1 else 0)
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let bytes b v = string b (Bytes.to_string v)
+
+  let int_array b a =
+    int b (Array.length a);
+    Array.iter (int b) a
+
+  let list b f l =
+    int b (List.length l);
+    List.iter (f b) l
+
+  let option b f = function
+    | None -> bool b false
+    | Some v ->
+        bool b true;
+        f b v
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+  let of_string data = { data; pos = 0 }
+  let remaining t = String.length t.data - t.pos
+
+  let need t n what =
+    if n < 0 || remaining t < n then
+      corrupt "truncated payload: %s needs %d bytes, %d left" what n
+        (remaining t)
+
+  let u8 t =
+    need t 1 "u8";
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let i64 t =
+    need t 8 "int64";
+    let v = String.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t =
+    let v = i64 t in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then corrupt "int out of native range: %Ld" v;
+    i
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> corrupt "invalid bool byte %d" n
+
+  let float t = Int64.float_of_bits (i64 t)
+
+  let length t what =
+    let n = int t in
+    (* Each element occupies at least one payload byte, so a length
+       beyond the remaining byte count is structurally impossible. *)
+    if n < 0 || n > remaining t then
+      corrupt "implausible %s length %d (%d payload bytes left)" what n
+        (remaining t);
+    n
+
+  let string t =
+    let n = length t "string" in
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t = Bytes.of_string (string t)
+
+  let int_array t =
+    let n = int t in
+    if n < 0 || n > remaining t / 8 then
+      corrupt "implausible array length %d (%d payload bytes left)" n
+        (remaining t);
+    Array.init n (fun _ -> int t)
+
+  let list t f =
+    let n = length t "list" in
+    List.init n (fun _ -> f t)
+
+  let option t f = if bool t then Some (f t) else None
+
+  let expect_end t =
+    if remaining t <> 0 then
+      corrupt "%d trailing bytes after payload" (remaining t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* magic | version u16 LE | payload length u32 LE | crc32 LE | payload *)
+
+let frame ~magic ~version payload =
+  let b = Buffer.create (String.length payload + String.length magic + 10) in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_le b version;
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_int32_le b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let unframe ~magic ~version blob =
+  let mlen = String.length magic in
+  let header = mlen + 10 in
+  if String.length blob < header then
+    Error
+      (Printf.sprintf "truncated file: %d bytes is too short even for the %d-byte header"
+         (String.length blob) header)
+  else if String.sub blob 0 mlen <> magic then
+    Error
+      (Printf.sprintf "bad magic: not a %s file (found %S)" magic
+         (String.sub blob 0 (min mlen (String.length blob))))
+  else
+    let v = String.get_uint16_le blob mlen in
+    if v <> version then
+      Error
+        (Printf.sprintf "unsupported format version %d (this build reads version %d)"
+           v version)
+    else
+      let len =
+        Int32.to_int (Int32.logand (String.get_int32_le blob (mlen + 2)) 0xFFFFFFFFl)
+      in
+      let crc = String.get_int32_le blob (mlen + 6) in
+      let avail = String.length blob - header in
+      if len < 0 || len <> avail then
+        Error
+          (Printf.sprintf
+             "truncated file: header promises %d payload bytes, file carries %d"
+             len avail)
+      else
+        let payload = String.sub blob header len in
+        if crc32 payload <> crc then
+          Error "checksum mismatch: the file is corrupt (or was tampered with)"
+        else Ok payload
+
+let decode ~magic ~version blob read =
+  match unframe ~magic ~version blob with
+  | Error _ as e -> e
+  | Ok payload -> (
+      let r = Reader.of_string payload in
+      match
+        let v = read r in
+        Reader.expect_end r;
+        v
+      with
+      | v -> Ok v
+      | exception Reader.Corrupt msg -> Error ("corrupt payload: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (Printf.sprintf "%s exists and is not a directory" dir)
+  else
+    let parent = Filename.dirname dir in
+    match if parent = dir then Ok () else mkdir_p parent with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Sys.mkdir dir 0o755 with
+        | () -> Ok ()
+        | exception Sys_error msg ->
+            (* Lost race with a concurrent creator is fine. *)
+            if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+            else Error (Printf.sprintf "cannot create directory %s: %s" dir msg))
+
+let write_file_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc data with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  Sys.rename tmp path
+
+let read_file ~path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic -> (
+      match
+        let n = in_channel_length ic in
+        really_input_string ic n
+      with
+      | s ->
+          close_in_noerr ic;
+          Ok s
+      | exception e ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "cannot read %s: %s" path (Printexc.to_string e)))
+
+let save ~magic ~version ~path write =
+  let w = Writer.create () in
+  write w;
+  write_file_atomic ~path (frame ~magic ~version (Writer.contents w))
+
+let load ~magic ~version ~path read =
+  match read_file ~path with
+  | Error msg -> Error msg
+  | Ok blob -> decode ~magic ~version blob read

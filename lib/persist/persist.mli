@@ -1,0 +1,107 @@
+(** Durable, versioned, checksummed serialization.
+
+    Campaign checkpoints must survive the exact failures the paper's
+    watchdog deals with — a host that dies mid-write, a disk that fills,
+    a file truncated by a crash.  Every on-disk artifact produced through
+    this module is therefore framed as
+
+    {v magic | format version (u16) | payload length (u32) | CRC32 | payload v}
+
+    and written atomically (temp file + rename), so readers either see a
+    complete, checksum-verified blob or a clean [Error] — never a crash
+    and never a half-written state.
+
+    The {!Writer}/{!Reader} pair is a small binary codec over that
+    payload: fixed-width little-endian integers, IEEE-754 floats by bit
+    pattern (so serialization is exact and resume can be bit-identical),
+    and length-prefixed bytes/strings/containers.  {!Reader} never reads
+    out of bounds; a malformed payload raises {!Reader.Corrupt}, which
+    {!load} and {!decode} turn into [Error]. *)
+
+(** CRC32 (IEEE 802.3 polynomial) of a string. *)
+val crc32 : string -> int32
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument unless the value fits a byte. *)
+
+  val i64 : t -> int64 -> unit
+  val int : t -> int -> unit
+  val bool : t -> bool -> unit
+
+  (** Exact: the IEEE-754 bit pattern is stored. *)
+  val float : t -> float -> unit
+
+  val string : t -> string -> unit
+  val bytes : t -> Bytes.t -> unit
+  val int_array : t -> int array -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  (** A structurally malformed payload (truncation, impossible length,
+      trailing garbage).  {!load} and {!decode} catch it. *)
+  exception Corrupt of string
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val i64 : t -> int64
+  val int : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val bytes : t -> Bytes.t
+  val int_array : t -> int array
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+
+  (** @raise Corrupt when payload bytes remain unconsumed. *)
+  val expect_end : t -> unit
+end
+
+(** [frame ~magic ~version payload] prepends the header and checksum. *)
+val frame : magic:string -> version:int -> string -> string
+
+(** [unframe ~magic ~version blob] validates magic, version, length and
+    CRC32 and returns the payload.  Every failure mode is a descriptive
+    [Error]: wrong magic, unsupported version, truncation, checksum
+    mismatch. *)
+val unframe : magic:string -> version:int -> string -> (string, string) result
+
+(** [decode ~magic ~version blob read] unframes then runs [read] over a
+    {!Reader}, converting {!Reader.Corrupt} into [Error] and enforcing
+    that the payload is fully consumed. *)
+val decode :
+  magic:string -> version:int -> string -> (Reader.t -> 'a) -> ('a, string) result
+
+(** [mkdir_p dir] creates [dir] and any missing parents.  Returns a
+    descriptive [Error] (not an exception) when creation fails, e.g. a
+    path component exists and is not a directory. *)
+val mkdir_p : string -> (unit, string) result
+
+(** [write_file_atomic ~path data] writes [data] to a temporary sibling
+    of [path] and renames it into place, so [path] never holds a
+    half-written blob.
+    @raise Sys_error when the directory is missing or unwritable. *)
+val write_file_atomic : path:string -> string -> unit
+
+(** Read a whole file; I/O failures become [Error]. *)
+val read_file : path:string -> (string, string) result
+
+(** [save ~magic ~version ~path write] builds the payload with [write],
+    frames it and writes it atomically. *)
+val save : magic:string -> version:int -> path:string -> (Writer.t -> unit) -> unit
+
+(** [load ~magic ~version ~path read] reads, unframes and decodes the
+    file; all failure modes (missing file, bad frame, malformed payload)
+    are [Error]. *)
+val load :
+  magic:string -> version:int -> path:string -> (Reader.t -> 'a) -> ('a, string) result

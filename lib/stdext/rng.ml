@@ -16,6 +16,12 @@ let of_int64 seed = { state = seed }
 
 let copy t = { state = t.state }
 
+(* Checkpointing: the whole generator IS its 64-bit state, so exposing
+   it makes any consumer's random stream resumable bit-for-bit. *)
+let state t = t.state
+
+let restore t s = t.state <- s
+
 (* Core SplitMix64 step: advance the state by the golden gamma and mix. *)
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -18,6 +18,13 @@ val copy : t -> t
     each component its own generator. *)
 val split : t -> t
 
+(** [state t] is the full 64-bit generator state, for checkpointing.
+    [restore t (state t')] makes [t] continue exactly as [t'] would. *)
+val state : t -> int64
+
+(** [restore t s] rewinds/forwards [t] to a previously captured state. *)
+val restore : t -> int64 -> unit
+
 (** 64 fresh pseudo-random bits. *)
 val bits64 : t -> int64
 

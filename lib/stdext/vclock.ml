@@ -18,6 +18,9 @@ let now_s t = Int64.to_float t.now_us /. 1.0e6
 let now_hours t = now_s t /. 3600.0
 
 let advance_us t us = t.now_us <- Int64.add t.now_us us
+
+(* Checkpoint restore: jump the clock to a previously captured instant. *)
+let set_us t us = t.now_us <- us
 let advance_ms t ms = advance_us t (Int64.mul (Int64.of_int ms) us_per_ms)
 let advance_s t s = advance_us t (Int64.mul (Int64.of_int s) us_per_s)
 

@@ -17,6 +17,10 @@ val now_s : t -> float
 val now_hours : t -> float
 
 val advance_us : t -> int64 -> unit
+
+(** [set_us t us] jumps the clock to an absolute instant (checkpoint
+    restore). *)
+val set_us : t -> int64 -> unit
 val advance_ms : t -> int -> unit
 val advance_s : t -> int -> unit
 

@@ -13,6 +13,7 @@ let () =
       ("harness", Test_harness.tests);
       ("agent", Test_agent.tests);
       ("engine", Test_engine.tests);
+      ("persist", Test_persist.tests);
       ("baselines", Test_baselines.tests);
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);

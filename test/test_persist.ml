@@ -1,0 +1,399 @@
+(* Tests for the durability layer: the framed/checksummed codec
+   (Nf_persist.Persist), engine checkpoint/resume (the bit-identical
+   invariant), deterministic fault injection, and supervised recovery of
+   parallel workers. *)
+
+module Persist = Nf_persist.Persist
+module Engine = Nf_engine.Engine
+module Faulty = Nf_hv.Faulty
+
+let check = Alcotest.check
+let tmpdir () = Filename.temp_dir "nf-test-persist" ""
+let short_cfg = Test_engine.short_cfg
+let check_results_equal = Test_engine.check_results_equal
+
+let faulty_cfg ?(hours = 0.4) ?(rate = 0.02) ?(fault_seed = 7) target =
+  {
+    (short_cfg ~hours target) with
+    Engine.faults = Some { Engine.fault_rate = rate; fault_seed };
+  }
+
+(* --- the codec ------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let w = Persist.Writer.create () in
+  Persist.Writer.u8 w 0;
+  Persist.Writer.u8 w 255;
+  Persist.Writer.i64 w Int64.min_int;
+  Persist.Writer.int w (-42);
+  Persist.Writer.bool w true;
+  Persist.Writer.bool w false;
+  Persist.Writer.float w 0.1;
+  Persist.Writer.float w nan;
+  Persist.Writer.string w "";
+  Persist.Writer.string w "nested virtualization";
+  Persist.Writer.bytes w (Bytes.of_string "\x00\xff\x00");
+  Persist.Writer.int_array w [| 1; 2; 3 |];
+  Persist.Writer.list w Persist.Writer.int [ 7; 8 ];
+  Persist.Writer.option w Persist.Writer.string None;
+  Persist.Writer.option w Persist.Writer.string (Some "x");
+  let r = Persist.Reader.of_string (Persist.Writer.contents w) in
+  check Alcotest.int "u8 lo" 0 (Persist.Reader.u8 r);
+  check Alcotest.int "u8 hi" 255 (Persist.Reader.u8 r);
+  check Alcotest.int64 "i64" Int64.min_int (Persist.Reader.i64 r);
+  check Alcotest.int "int" (-42) (Persist.Reader.int r);
+  check Alcotest.bool "bool t" true (Persist.Reader.bool r);
+  check Alcotest.bool "bool f" false (Persist.Reader.bool r);
+  (* bit-exact, not approximate: the resume invariant rests on it *)
+  check Alcotest.int64 "float bits"
+    (Int64.bits_of_float 0.1)
+    (Int64.bits_of_float (Persist.Reader.float r));
+  check Alcotest.bool "nan survives" true
+    (Float.is_nan (Persist.Reader.float r));
+  check Alcotest.string "empty string" "" (Persist.Reader.string r);
+  check Alcotest.string "string" "nested virtualization"
+    (Persist.Reader.string r);
+  check Alcotest.string "bytes" "\x00\xff\x00"
+    (Bytes.to_string (Persist.Reader.bytes r));
+  check Alcotest.(array int) "int_array" [| 1; 2; 3 |]
+    (Persist.Reader.int_array r);
+  check Alcotest.(list int) "list" [ 7; 8 ]
+    (Persist.Reader.list r Persist.Reader.int);
+  check Alcotest.(option string) "option none" None
+    (Persist.Reader.option r Persist.Reader.string);
+  check Alcotest.(option string) "option some" (Some "x")
+    (Persist.Reader.option r Persist.Reader.string);
+  Persist.Reader.expect_end r
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+let test_frame_rejects_corruption () =
+  let magic = "NF-TEST" and version = 3 in
+  let blob = Persist.frame ~magic ~version "payload bytes" in
+  check Alcotest.(result string string) "roundtrip" (Ok "payload bytes")
+    (Persist.unframe ~magic ~version blob);
+  (* every corruption is a clean Error, never an exception *)
+  check Alcotest.bool "empty" true (is_error (Persist.unframe ~magic ~version ""));
+  check Alcotest.bool "bad magic" true
+    (is_error (Persist.unframe ~magic:"NF-OTHER" ~version blob));
+  check Alcotest.bool "future version" true
+    (is_error (Persist.unframe ~magic ~version:(version + 1) blob));
+  check Alcotest.bool "truncated header" true
+    (is_error (Persist.unframe ~magic ~version (String.sub blob 0 5)));
+  check Alcotest.bool "truncated payload" true
+    (is_error
+       (Persist.unframe ~magic ~version (String.sub blob 0 (String.length blob - 2))));
+  (* flip one bit anywhere in the payload: the CRC32 must catch it *)
+  let flipped = Bytes.of_string blob in
+  let i = String.length blob - 3 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x10));
+  check Alcotest.bool "bit flip" true
+    (is_error (Persist.unframe ~magic ~version (Bytes.to_string flipped)));
+  (* trailing garbage after a valid frame *)
+  check Alcotest.bool "trailing garbage" true
+    (is_error (Persist.unframe ~magic ~version (blob ^ "x")))
+
+let test_decode_rejects_malformed_payload () =
+  let magic = "NF-TEST" and version = 1 in
+  (* a valid frame whose payload lies about an inner length *)
+  let w = Persist.Writer.create () in
+  Persist.Writer.int w max_int;
+  let blob = Persist.frame ~magic ~version (Persist.Writer.contents w) in
+  check Alcotest.bool "absurd inner length" true
+    (is_error (Persist.decode ~magic ~version blob Persist.Reader.string));
+  (* unconsumed payload bytes are corruption, not silence *)
+  let w = Persist.Writer.create () in
+  Persist.Writer.int w 1;
+  Persist.Writer.int w 2;
+  let blob = Persist.frame ~magic ~version (Persist.Writer.contents w) in
+  check Alcotest.bool "trailing payload" true
+    (is_error (Persist.decode ~magic ~version blob Persist.Reader.int))
+
+let test_atomic_files () =
+  let dir = tmpdir () in
+  (* mkdir_p builds the whole chain and is idempotent *)
+  let deep = Filename.concat (Filename.concat dir "a") "b" in
+  check Alcotest.(result unit string) "mkdir_p" (Ok ()) (Persist.mkdir_p deep);
+  check Alcotest.(result unit string) "mkdir_p twice" (Ok ())
+    (Persist.mkdir_p deep);
+  check Alcotest.bool "created" true (Sys.is_directory deep);
+  (* a file in the path is a clean Error *)
+  let file = Filename.concat dir "plain" in
+  Persist.write_file_atomic ~path:file "data";
+  check Alcotest.bool "file in path" true
+    (is_error (Persist.mkdir_p (Filename.concat file "sub")));
+  (* atomic writes replace and leave no temp droppings *)
+  Persist.write_file_atomic ~path:file "data2";
+  check Alcotest.(result string string) "overwrite" (Ok "data2")
+    (Persist.read_file ~path:file);
+  check Alcotest.(list string) "no temp files left" [ "a"; "plain" ]
+    (Sys.readdir dir |> Array.to_list |> List.sort compare);
+  check Alcotest.bool "missing file is Error" true
+    (is_error (Persist.read_file ~path:(Filename.concat dir "absent")))
+
+(* --- checkpoint / resume -------------------------------------------- *)
+
+let drive_to_deadline t =
+  let rec go () =
+    match Engine.step t with Engine.Stepped _ -> go () | Engine.Deadline -> ()
+  in
+  go ()
+
+(* Step [t] until its virtual clock crosses [h] hours (or the deadline). *)
+let drive_until_hours t h =
+  let rec go () =
+    if (Engine.snapshot t).virtual_hours < h then
+      match Engine.step t with Engine.Stepped _ -> go () | Engine.Deadline -> ()
+  in
+  go ()
+
+(* The central invariant: a campaign checkpointed at hour H and resumed
+   is bit-identical to one that never stopped — for any H. *)
+let resume_equals_uninterrupted cfg =
+  let reference = Engine.run cfg in
+  List.iter
+    (fun h ->
+      let t = Engine.create cfg in
+      drive_until_hours t h;
+      let blob = Engine.to_string t in
+      let resumed =
+        match Engine.of_string blob with
+        | Ok t' -> t'
+        | Error msg -> Alcotest.failf "of_string at %g h: %s" h msg
+      in
+      drive_to_deadline resumed;
+      check_results_equal
+        (Printf.sprintf "resume at %g h" h)
+        reference (Engine.finish resumed))
+    [ 0.0; 0.1; 0.25; 0.35 ]
+
+let test_resume_bit_identical () =
+  resume_equals_uninterrupted (short_cfg Engine.Kvm_intel)
+
+let test_resume_bit_identical_svm_blind () =
+  (* the AMD validator and Blind mode serialize different state *)
+  resume_equals_uninterrupted
+    { (short_cfg Engine.Kvm_amd) with mode = Nf_fuzzer.Fuzzer.Blind }
+
+let test_resume_with_faults_bit_identical () =
+  (* fault-injector state (RNG position, pending hang cost) is part of
+     the checkpoint: resumed faulty campaigns replay the same faults *)
+  resume_equals_uninterrupted (faulty_cfg Engine.Kvm_intel)
+
+let test_save_restore_file () =
+  let cfg = short_cfg Engine.Xen_intel in
+  let reference = Engine.run cfg in
+  let t = Engine.create cfg in
+  drive_until_hours t 0.2;
+  let dir = tmpdir () in
+  let path = Filename.concat dir "ckpt.bin" in
+  Engine.save t path;
+  (match Engine.restore path with
+  | Error msg -> Alcotest.failf "restore: %s" msg
+  | Ok resumed ->
+      drive_to_deadline resumed;
+      check_results_equal "file resume" reference (Engine.finish resumed));
+  (* corruption on disk: every failure mode is a descriptive Error *)
+  let blob =
+    match Persist.read_file ~path with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let write s = Persist.write_file_atomic ~path s in
+  write (String.sub blob 0 (String.length blob / 2));
+  check Alcotest.bool "truncated checkpoint" true (is_error (Engine.restore path));
+  let flipped = Bytes.of_string blob in
+  let i = String.length blob / 2 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x01));
+  write (Bytes.to_string flipped);
+  check Alcotest.bool "bit-flipped checkpoint" true
+    (is_error (Engine.restore path));
+  write "";
+  check Alcotest.bool "empty checkpoint" true (is_error (Engine.restore path));
+  check Alcotest.bool "missing checkpoint" true
+    (is_error (Engine.restore (Filename.concat dir "nope.bin")));
+  check Alcotest.bool "garbage" true
+    (is_error (Engine.of_string "NECOFUZZ-CKPT but not really"))
+
+let test_run_from_writes_checkpoints () =
+  let cfg =
+    { (short_cfg ~hours:0.4 Engine.Kvm_intel) with checkpoint_hours = 0.1 }
+  in
+  let dir = tmpdir () in
+  let r = Engine.run_from ~checkpoint_dir:dir (Engine.create cfg) in
+  let path = Filename.concat dir Engine.checkpoint_file in
+  check Alcotest.bool "checkpoint written" true (Sys.file_exists path);
+  (match Engine.restore path with
+  | Error msg -> Alcotest.failf "final checkpoint decodes: %s" msg
+  | Ok t ->
+      (* the last checkpoint is at (or past) the deadline: resuming it
+         finishes immediately with the same result *)
+      drive_to_deadline t;
+      check_results_equal "resume final checkpoint" r (Engine.finish t));
+  check_results_equal "checkpointing does not perturb the campaign" r
+    (Engine.run cfg)
+
+(* --- deterministic fault injection ---------------------------------- *)
+
+let test_fault_determinism () =
+  let cfg = faulty_cfg Engine.Kvm_intel in
+  let a = Engine.run cfg in
+  let b = Engine.run cfg in
+  check_results_equal "same fault seed, same campaign" a b;
+  check Alcotest.bool "faults force watchdog restarts" true (a.restarts > 0);
+  let clean = Engine.run { cfg with faults = None } in
+  check Alcotest.int "no faults, no restarts" 0 clean.restarts;
+  (* a different fault stream perturbs the campaign *)
+  let c =
+    Engine.run
+      { cfg with faults = Some { Engine.fault_rate = 0.02; fault_seed = 8 } }
+  in
+  check Alcotest.bool "different fault seed diverges" true
+    (c.execs <> a.execs || c.restarts <> a.restarts)
+
+let test_injector_unit () =
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Faulty.create: rate must be within [0, 1]") (fun () ->
+      ignore (Faulty.create ~rate:1.5 ~seed:1));
+  (* rate 0: transparent wrapper *)
+  let inj = Faulty.create ~rate:0.0 ~seed:1 in
+  let sanitizer = Nf_sanitizer.Sanitizer.create () in
+  let hv =
+    Faulty.wrap inj
+      (Engine.boot_target Engine.Kvm_intel ~features:Nf_cpu.Features.default
+         ~sanitizer)
+  in
+  let (Nf_hv.Hypervisor.Packed ((module H), vm)) = hv in
+  check Alcotest.bool "coverage still read" true (H.coverage vm <> None);
+  check Alcotest.int "nothing injected" 0 (Faulty.injected inj);
+  (* rate 1: every interaction faults, deterministically *)
+  let run_faulty seed =
+    let inj = Faulty.create ~rate:1.0 ~seed in
+    let (Nf_hv.Hypervisor.Packed ((module H), vm)) =
+      Faulty.wrap inj
+        (Engine.boot_target Engine.Kvm_intel ~features:Nf_cpu.Features.default
+           ~sanitizer)
+    in
+    let outcomes =
+      List.init 8 (fun _ ->
+          match H.exec_l2 vm Nf_cpu.Insn.Pause with
+          | Nf_hv.Hypervisor.Host_down m -> "down:" ^ m
+          | Nf_hv.Hypervisor.Vm_killed m -> "killed:" ^ m
+          | _ -> "ran")
+    in
+    (outcomes, H.coverage vm, Faulty.injected inj, Faulty.take_pending_hang_us inj)
+  in
+  let o1, cov1, n1, hang1 = run_faulty 42 in
+  let o2, cov2, n2, hang2 = run_faulty 42 in
+  check Alcotest.(list string) "same seed, same faults" o1 o2;
+  check Alcotest.bool "rate 1 faults every exec" true
+    (List.for_all (fun o -> o <> "ran") o1);
+  check Alcotest.bool "coverage read fails" true (cov1 = None && cov2 = None);
+  check Alcotest.int "injected counts match" n1 n2;
+  check Alcotest.int64 "hang cost matches" hang1 hang2;
+  (* state/restore: the restored injector continues the same stream *)
+  let inj = Faulty.create ~rate:0.5 ~seed:3 in
+  for _ = 1 to 5 do
+    ignore (Faulty.coverage_fault inj)
+  done;
+  let rng_state, injected, pending_hang_us = Faulty.state inj in
+  let copy =
+    Faulty.restore ~rate:0.5 ~seed:3 ~rng_state ~injected ~pending_hang_us
+  in
+  let tail t = List.init 16 (fun _ -> Faulty.coverage_fault t) in
+  check Alcotest.(list bool) "restored stream continues" (tail inj) (tail copy)
+
+(* --- supervised parallel workers ------------------------------------ *)
+
+exception Chaos of string
+
+let test_worker_death_recovered () =
+  let cfg = short_cfg ~hours:0.6 Engine.Kvm_intel in
+  (* kill worker 1's first attempt of round 2; the supervisor restores
+     it from the round-1 barrier and the campaign completes *)
+  let chaos ~worker ~round ~attempt =
+    if worker = 1 && round = 2 && attempt = 0 then
+      raise (Chaos "injected worker death")
+  in
+  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  check Alcotest.int "both workers reported" 2 (Array.length o.supervision);
+  (match o.supervision.(0) with
+  | Engine.Healthy -> ()
+  | _ -> Alcotest.fail "worker 0 should be Healthy");
+  (match o.supervision.(1) with
+  | Engine.Recovered 1 -> ()
+  | _ -> Alcotest.fail "worker 1 should be Recovered 1");
+  check Alcotest.bool "supervisor restart recorded" true (o.merged.restarts > 0);
+  check Alcotest.bool "campaign completed" true (o.merged.execs > 0);
+  (* recovery is deterministic: same chaos, same merged result *)
+  let o' = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  check_results_equal "deterministic recovery" o.merged o'.merged
+
+let test_worker_abandoned_graceful () =
+  let cfg = short_cfg ~hours:0.6 Engine.Kvm_intel in
+  (* worker 1 dies on every attempt: the budget is spent, the worker is
+     abandoned, and the campaign degrades to worker 0 *)
+  let chaos ~worker ~round:_ ~attempt:_ =
+    if worker = 1 then raise (Chaos "persistent worker death")
+  in
+  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  (match o.supervision.(1) with
+  | Engine.Abandoned { attempts; error } ->
+      check Alcotest.int "budget spent" 4 attempts;
+      check Alcotest.bool "error recorded" true
+        (String.length error > 0)
+  | _ -> Alcotest.fail "worker 1 should be Abandoned");
+  (match o.supervision.(0) with
+  | Engine.Healthy -> ()
+  | _ -> Alcotest.fail "worker 0 should be Healthy");
+  check Alcotest.bool "survivor carried the campaign" true (o.merged.execs > 0);
+  check Alcotest.bool "abandoned worker frozen at its barrier" true
+    (o.workers.(1).execs < o.workers.(0).execs);
+  (* degradation is deterministic too *)
+  let o' = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  check_results_equal "deterministic degradation" o.merged o'.merged
+
+let test_jobs1_supervision_unaffected () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let o = Engine.run_parallel ~jobs:1 cfg in
+  (match o.supervision.(0) with
+  | Engine.Healthy -> ()
+  | _ -> Alcotest.fail "healthy jobs:1 worker");
+  check_results_equal "jobs:1 still bit-identical to run" (Engine.run cfg)
+    o.merged;
+  (* a dying jobs:1 worker recovers through the same supervisor *)
+  let chaos ~worker:_ ~round ~attempt =
+    if round = 1 && attempt = 0 then raise (Chaos "solo death")
+  in
+  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:1 cfg in
+  (match o.supervision.(0) with
+  | Engine.Recovered 1 -> ()
+  | _ -> Alcotest.fail "solo worker should be Recovered 1");
+  check Alcotest.bool "solo campaign completed" true (o.merged.execs > 0)
+
+let tests =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "frame rejects corruption" `Quick
+      test_frame_rejects_corruption;
+    Alcotest.test_case "decode rejects malformed payload" `Quick
+      test_decode_rejects_malformed_payload;
+    Alcotest.test_case "atomic files and mkdir_p" `Quick test_atomic_files;
+    Alcotest.test_case "resume is bit-identical" `Quick
+      test_resume_bit_identical;
+    Alcotest.test_case "resume: svm + blind state" `Quick
+      test_resume_bit_identical_svm_blind;
+    Alcotest.test_case "resume replays injected faults" `Quick
+      test_resume_with_faults_bit_identical;
+    Alcotest.test_case "save/restore through a file" `Quick
+      test_save_restore_file;
+    Alcotest.test_case "run_from writes usable checkpoints" `Quick
+      test_run_from_writes_checkpoints;
+    Alcotest.test_case "fault injection is deterministic" `Quick
+      test_fault_determinism;
+    Alcotest.test_case "injector unit behaviour" `Quick test_injector_unit;
+    Alcotest.test_case "worker death: recovered" `Quick
+      test_worker_death_recovered;
+    Alcotest.test_case "worker death: abandoned gracefully" `Quick
+      test_worker_abandoned_graceful;
+    Alcotest.test_case "jobs:1 supervision unaffected" `Quick
+      test_jobs1_supervision_unaffected;
+  ]
