@@ -8,9 +8,24 @@
      dune exec bench/main.exe -- --exp micro  -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
 
-   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel. *)
+   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel.
+
+   Besides the human-readable tables, every experiment drops a
+   machine-readable BENCH_<exp>.json next to the cwd (or --out-dir DIR)
+   so CI can archive and diff runs. *)
 
 let ppf = Format.std_formatter
+
+module Json = Nf_stdext.Json
+
+let out_dir = ref Filename.current_dir_name
+
+let bench_json name fields =
+  let path = Filename.concat !out_dir ("BENCH_" ^ name ^ ".json") in
+  Necofuzz.Persist.write_file_atomic ~path
+    (Json.to_string (Json.Obj (("experiment", Json.String name) :: fields))
+    ^ "\n");
+  Format.fprintf ppf "[bench] wrote %s@." path
 
 (* Domain-parallel campaign scaling (the AFL++ -M/-S topology of the
    paper's multi-machine setup).  Each worker fuzzes the same virtual
@@ -26,26 +41,45 @@ let parallel () =
   Format.fprintf ppf "%6s %9s %14s %9s %8s %9s %8s@." "jobs" "execs"
     "execs/vhour" "scaling" "wall(s)" "coverage" "corpus";
   let base = ref None in
-  List.iter
-    (fun jobs ->
-      let t0 = Unix.gettimeofday () in
-      let r =
-        if jobs = 1 then Necofuzz.run cfg else Necofuzz.run_parallel ~jobs cfg
-      in
-      let wall = Unix.gettimeofday () -. t0 in
-      let per_vh = float_of_int r.execs /. hours in
-      let scale =
-        match !base with
-        | None ->
-            base := Some per_vh;
-            1.0
-        | Some b -> per_vh /. b
-      in
-      Format.fprintf ppf "%6d %9d %14.0f %8.2fx %8.2f %8.1f%% %8d@." jobs
-        r.execs per_vh scale wall
-        (Necofuzz.coverage_pct r)
-        r.corpus_size)
-    [ 1; 2; 4 ]
+  let scenarios =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          if jobs = 1 then Necofuzz.run cfg else Necofuzz.run_parallel ~jobs cfg
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let per_vh = float_of_int r.execs /. hours in
+        let scale =
+          match !base with
+          | None ->
+              base := Some per_vh;
+              1.0
+          | Some b -> per_vh /. b
+        in
+        Format.fprintf ppf "%6d %9d %14.0f %8.2fx %8.2f %8.1f%% %8d@." jobs
+          r.execs per_vh scale wall
+          (Necofuzz.coverage_pct r)
+          r.corpus_size;
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("execs", Json.Int r.execs);
+            ("execs_per_vhour", Json.Float per_vh);
+            ("scaling", Json.Float scale);
+            ("wall_s", Json.Float wall);
+            ("coverage_pct", Json.Float (Necofuzz.coverage_pct r));
+            ("corpus", Json.Int r.corpus_size);
+            ("restarts", Json.Int r.restarts);
+          ])
+      [ 1; 2; 4 ]
+  in
+  bench_json "parallel"
+    [
+      ("target", Json.String "kvm-intel");
+      ("virtual_hours", Json.Float hours);
+      ("scenarios", Json.Arr scenarios);
+    ]
 
 let micro () =
   let open Bechamel in
@@ -126,6 +160,7 @@ let micro () =
          (let buf = String.make 65536 '\x5a' in
           fun () -> ignore (Necofuzz.Persist.crc32 buf)))
   in
+  let estimates = ref [] in
   let benchmark test =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -138,7 +173,9 @@ let micro () =
     Hashtbl.iter
       (fun name result ->
         match Bechamel.Analyze.OLS.estimates result with
-        | Some [ est ] -> Format.fprintf ppf "%-24s %12.1f ns/run@." name est
+        | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Format.fprintf ppf "%-24s %12.1f ns/run@." name est
         | _ -> Format.fprintf ppf "%-24s (no estimate)@." name)
       results
   in
@@ -148,6 +185,14 @@ let micro () =
     [
       test_round; test_enter; test_exec; test_blob; test_hamming;
       test_ckpt_save; test_ckpt_load; test_crc;
+    ];
+  bench_json "micro"
+    [
+      ( "ns_per_run",
+        Json.Obj
+          (List.map
+             (fun (name, est) -> (name, Json.Float est))
+             (List.sort compare !estimates)) );
     ]
 
 let () =
@@ -156,37 +201,58 @@ let () =
     if List.mem "--full" args then Necofuzz.Experiments.full
     else Necofuzz.Experiments.quick
   in
-  let exp =
+  let find_opt key =
     let rec find = function
-      | "--exp" :: v :: _ -> Some v
+      | k :: v :: _ when k = key -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let exp = find_opt "--exp" in
+  (match find_opt "--out-dir" with
+  | Some dir -> (
+      out_dir := dir;
+      match Necofuzz.Persist.mkdir_p dir with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "bench: --out-dir: %s@." msg;
+          exit 1)
+  | None -> ());
   let module E = Necofuzz.Experiments in
   Format.fprintf ppf
     "NecoFuzz reproduction bench (%s scale: %d runs, %.0f vh KVM)@."
     (if scale == E.full then "full" else "quick")
     scale.E.runs scale.E.kvm_hours;
+  (* Table/figure experiments share one machine-readable shape: the
+     scale knobs plus this machine's wall time.  [parallel]/[micro]
+     emit richer per-scenario payloads of their own. *)
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    bench_json name
+      [
+        ("scale", Json.String (if scale == E.full then "full" else "quick"));
+        ("runs", Json.Int scale.E.runs);
+        ("kvm_hours", Json.Float scale.E.kvm_hours);
+        ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
+      ]
+  in
   (match exp with
   | None ->
-      E.run_all ~scale ppf;
+      timed "all" (fun () -> E.run_all ~scale ppf);
       parallel ()
-  | Some "t1" -> E.print_t1 ppf
-  | Some "t2" ->
-      let t2 = E.run_t2 scale in
-      E.print_t2 ppf t2
-  | Some "f3" ->
-      let t2 = E.run_t2 scale in
-      E.print_f3 ppf t2
-  | Some "t3" -> E.print_t3 ppf (E.run_t3 scale)
-  | Some "f4" -> E.print_f4 ppf (E.run_t3 scale)
-  | Some "f5" -> E.print_f5 ppf (E.run_f5 scale)
-  | Some "t4" -> E.print_t4 ppf (E.run_t4 scale)
-  | Some "t5" -> E.print_t5 ppf (E.run_t5 scale)
-  | Some "t6" -> E.print_t6 ppf (E.run_t6 scale)
-  | Some "lessons" -> E.print_lessons ppf (E.run_lessons scale)
+  | Some "t1" -> timed "t1" (fun () -> E.print_t1 ppf)
+  | Some "t2" -> timed "t2" (fun () -> E.print_t2 ppf (E.run_t2 scale))
+  | Some "f3" -> timed "f3" (fun () -> E.print_f3 ppf (E.run_t2 scale))
+  | Some "t3" -> timed "t3" (fun () -> E.print_t3 ppf (E.run_t3 scale))
+  | Some "f4" -> timed "f4" (fun () -> E.print_f4 ppf (E.run_t3 scale))
+  | Some "f5" -> timed "f5" (fun () -> E.print_f5 ppf (E.run_f5 scale))
+  | Some "t4" -> timed "t4" (fun () -> E.print_t4 ppf (E.run_t4 scale))
+  | Some "t5" -> timed "t5" (fun () -> E.print_t5 ppf (E.run_t5 scale))
+  | Some "t6" -> timed "t6" (fun () -> E.print_t6 ppf (E.run_t6 scale))
+  | Some "lessons" ->
+      timed "lessons" (fun () -> E.print_lessons ppf (E.run_lessons scale))
   | Some "micro" -> micro ()
   | Some "parallel" -> parallel ()
   | Some other -> Format.fprintf ppf "unknown experiment %S@." other);

@@ -133,9 +133,51 @@ let fuzz_cmd =
             "Seed of the fault-injection stream (independent of --seed); \
              same seeds, same faults.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign's typed event stream as a Chrome trace-event \
+             JSON file, loadable in chrome://tracing and Perfetto.  \
+             Timestamps are virtual microseconds; tracing is inert (a traced \
+             campaign is bit-identical to an untraced one).  With --jobs > 1 \
+             only supervisor-level events (worker sync, recovery, \
+             abandonment) are traced.")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Stream the typed event stream as one JSON object per line \
+             (machine-readable; same inertness guarantees as --trace).")
+  in
+  let stats_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-interval" ] ~docv:"H"
+          ~doc:
+            "Virtual hours between stats refreshes: print a progress line \
+             and refresh the AFL++-style fuzzer_stats / plot_data files in \
+             the stats directory.  With --jobs > 1 stats follow the sync \
+             barriers instead.")
+  in
+  let stats_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the fuzzer_stats and plot_data files (default: \
+             the current directory when --stats-interval is given).")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
       corpus_dir minimize jobs sync_hours checkpoint_hours checkpoint_dir
-      resume fault_rate fault_seed =
+      resume fault_rate fault_seed trace trace_jsonl stats_interval stats_dir =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -160,6 +202,12 @@ let fuzz_cmd =
         fault_rate;
       exit 2
     end;
+    (match stats_interval with
+    | Some h when h <= 0.0 ->
+        Format.eprintf "necofuzz: --stats-interval must be positive (got %g)@."
+          h;
+        exit 2
+    | _ -> ());
     if jobs > 1 && (checkpoint_dir <> None || resume <> None) then begin
       Format.eprintf
         "necofuzz: --checkpoint-dir/--resume require --jobs 1 (parallel \
@@ -174,6 +222,37 @@ let fuzz_cmd =
             Format.eprintf "necofuzz: --checkpoint-dir: %s@." msg;
             exit 1)
     | None -> ());
+    (* --stats-interval without --stats-dir lands the stats files in the
+       current directory, AFL++-style. *)
+    let stats_dir =
+      match (stats_dir, stats_interval) with
+      | (Some _ as d), _ -> d
+      | None, Some _ -> Some Filename.current_dir_name
+      | None, None -> None
+    in
+    (match stats_dir with
+    | Some dir -> (
+        match Necofuzz.Persist.mkdir_p dir with
+        | Ok () -> ()
+        | Error msg ->
+            Format.eprintf "necofuzz: --stats-dir: %s@." msg;
+            exit 1)
+    | None -> ());
+    let sink =
+      let sinks =
+        (match trace with
+        | Some path -> [ Necofuzz.Obs.Sink.chrome_trace ~path ]
+        | None -> [])
+        @
+        match trace_jsonl with
+        | Some path -> [ Necofuzz.Obs.Sink.jsonl ~path ]
+        | None -> []
+      in
+      match sinks with
+      | [] -> Necofuzz.Obs.Sink.null
+      | [ s ] -> s
+      | ss -> Necofuzz.Obs.Sink.tee ss
+    in
     let ablation =
       {
         Necofuzz.Executor.use_exec_harness = not no_harness;
@@ -192,6 +271,21 @@ let fuzz_cmd =
       | Some h -> { cfg with Necofuzz.Engine.checkpoint_hours = h }
       | None -> cfg
     in
+    (* Periodic human-readable progress (the --stats-interval grid for
+       sequential campaigns, the sync barriers for parallel ones). *)
+    let on_progress =
+      match stats_interval with
+      | Some _ ->
+          Some
+            (fun (s : Necofuzz.Engine.snapshot) ->
+              Format.printf "%a@." Necofuzz.Engine.pp_snapshot s)
+      | None -> None
+    in
+    let run_sequential engine =
+      Necofuzz.Engine.set_sink engine sink;
+      Necofuzz.Engine.run_from ?checkpoint_dir ?stats_dir
+        ?stats_hours:stats_interval ?on_progress engine
+    in
     let r =
       match resume with
       | Some file -> (
@@ -204,7 +298,7 @@ let fuzz_cmd =
               Format.printf
                 "resuming campaign from %s (%.1f virtual hours, %d execs)...@."
                 file snap.virtual_hours snap.snap_execs;
-              Necofuzz.Engine.run_from ?checkpoint_dir engine)
+              run_sequential engine)
       | None ->
           Format.printf "fuzzing %s for %.1f virtual hours (seed %d%s%s)...@."
             (Necofuzz.Agent.target_name target)
@@ -215,16 +309,27 @@ let fuzz_cmd =
              else "");
           if jobs > 1 then
             let on_sync (s : Necofuzz.Engine.snapshot) =
-              Format.printf
-                "  sync @@ %5.1f vh: %d execs, %d queued, %.1f%% coverage, %d \
-                 crash(es)@."
-                s.virtual_hours s.snap_execs s.queue s.coverage_pct
-                s.snap_crashes
+              Format.printf "  sync %a@." Necofuzz.Engine.pp_snapshot s;
+              match stats_dir with
+              | Some dir ->
+                  Necofuzz.Engine.write_stats ~dir
+                    ~target:(Necofuzz.Engine.target_slug target)
+                    ~mode:(Necofuzz.Engine.mode_name cfg.Necofuzz.Engine.mode)
+                    {
+                      Necofuzz.Obs.Stats.run_time_vs = s.virtual_hours *. 3600.0;
+                      execs = s.snap_execs;
+                      execs_per_sec = s.execs_per_sec;
+                      paths_total = s.queue;
+                      saved_crashes = s.snap_crashes;
+                      restarts = s.snap_restarts;
+                      coverage_pct = s.coverage_pct;
+                    }
+              | None -> ()
             in
-            Necofuzz.run_parallel ?sync_hours ~on_sync ~jobs cfg
-          else Necofuzz.Engine.run_from ?checkpoint_dir
-              (Necofuzz.Engine.create cfg)
+            Necofuzz.run_parallel ?sync_hours ~on_sync ~obs:sink ~jobs cfg
+          else run_sequential (Necofuzz.Engine.create cfg)
     in
+    Necofuzz.Obs.Sink.close sink;
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
       r.execs r.corpus_size r.restarts (Necofuzz.coverage_pct r);
@@ -255,7 +360,8 @@ let fuzz_cmd =
     Term.(
       const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
       $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours
-      $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate $ fault_seed)
+      $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate $ fault_seed
+      $ trace $ trace_jsonl $ stats_interval $ stats_dir)
 
 let experiment_cmd =
   let which =

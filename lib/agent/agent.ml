@@ -46,11 +46,12 @@ type result = Engine.result = {
   execs : int;
   restarts : int;
   corpus_size : int;
+  metrics : Nf_obs.Obs.Metrics.t;
 }
 
 let run = Engine.run
 
-let run_parallel ?sync_hours ?on_sync ~jobs cfg =
-  (Engine.run_parallel ?sync_hours ?on_sync ~jobs cfg).Engine.merged
+let run_parallel ?sync_hours ?on_sync ?obs ~jobs cfg =
+  (Engine.run_parallel ?sync_hours ?on_sync ?obs ~jobs cfg).Engine.merged
 
 let pp_crash = Engine.pp_crash

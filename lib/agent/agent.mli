@@ -66,6 +66,7 @@ type result = Nf_engine.Engine.result = {
   execs : int;
   restarts : int;
   corpus_size : int;
+  metrics : Nf_obs.Obs.Metrics.t; (* the campaign's telemetry registry *)
 }
 
 (** Run a sequential campaign to completion: a thin driver over
@@ -79,6 +80,7 @@ val run : cfg -> result
 val run_parallel :
   ?sync_hours:float ->
   ?on_sync:(Nf_engine.Engine.snapshot -> unit) ->
+  ?obs:Nf_obs.Obs.Sink.t ->
   jobs:int ->
   cfg ->
   result

@@ -21,6 +21,8 @@
     - {!Validator} / {!Svm_validator} — the VM state validator (§4.3)
     - {!Vcpu_config} — the vCPU configurator (§4.4)
     - {!Fuzzer} — the AFL++-style engine (§4.1)
+    - {!Obs} — campaign observability: typed trace events, metrics,
+      AFL++-style stats formatting
     - {!Experiments} — reproduction of every table and figure of §5 *)
 
 module Agent = Nf_agent.Agent
@@ -42,6 +44,7 @@ module Fuzzer = Nf_fuzzer.Fuzzer
 module Coverage = Nf_coverage.Coverage
 module Persist = Nf_persist.Persist
 module Faulty = Nf_hv.Faulty
+module Obs = Nf_obs.Obs
 module Sanitizer = Nf_sanitizer.Sanitizer
 module Features = Nf_cpu.Features
 module Experiments = Experiments

@@ -2,6 +2,7 @@
 
 module Cov = Nf_coverage.Coverage
 module San = Nf_sanitizer.Sanitizer
+module Obs = Nf_obs.Obs
 
 type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
 
@@ -22,7 +23,14 @@ let all_targets =
   ]
 
 let target_of_string s =
-  match List.assoc_opt (String.lowercase_ascii s) all_targets with
+  (* Case-insensitive, and tolerant of the underscore spelling
+     ("KVM-Intel", "xen_amd", …): target names come from shell command
+     lines, and rejecting a casing variant of a valid target is pure
+     friction. *)
+  let canonical =
+    String.map (function '_' -> '-' | c -> c) (String.lowercase_ascii s)
+  in
+  match List.assoc_opt canonical all_targets with
   | Some t -> Ok t
   | None ->
       Error
@@ -87,6 +95,7 @@ type result = {
   execs : int;
   restarts : int;
   corpus_size : int;
+  metrics : Obs.Metrics.t; (* the campaign's telemetry registry *)
 }
 
 let pp_crash ppf (c : crash_report) =
@@ -153,6 +162,8 @@ type t = {
   svm_validator : Nf_validator.Svm_validator.t;
   injector : Nf_hv.Faulty.injector option;
   seen_crashes : (string, unit) Hashtbl.t;
+  metrics : Obs.Metrics.t; (* checkpointed; survives resume *)
+  mutable sink : Obs.Sink.t; (* NOT checkpointed; re-attach after restore *)
   mutable crashes : crash_report list; (* newest first *)
   mutable restarts : int;
   mutable execs : int;
@@ -160,6 +171,28 @@ type t = {
   mutable next_checkpoint : float;
   mutable sealed : result option;
 }
+
+(* Emit one trace event at the engine's current virtual instant.  The
+   [is_null] guard means an untraced campaign never even constructs the
+   event payload — tracing is pay-for-use as well as inert. *)
+let emit (t : t) (ev : Obs.Event.t) =
+  if not (Obs.Sink.is_null t.sink) then
+    Obs.Sink.emit t.sink ~ts_us:(Nf_stdext.Vclock.now_us t.clock) ev
+
+let set_sink (t : t) sink = t.sink <- sink
+let metrics (t : t) = t.metrics
+
+(* Telemetry wiring for the fault injector: every injected fault counts
+   into the registry and, when a sink is attached, lands in the event
+   stream.  Inert — the injector's fault stream itself is untouched. *)
+let wire_observers (t : t) =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+      Nf_hv.Faulty.set_on_fault inj (fun kind ->
+          Obs.Metrics.incr t.metrics ("faults/" ^ kind);
+          Obs.Metrics.incr t.metrics "faults/total";
+          emit t (Obs.Event.Fault_injected { kind }))
 
 type step_outcome =
   | Stepped of { novel : bool; crashed : bool; cost_us : int64 }
@@ -172,33 +205,41 @@ type snapshot = {
   queue : int;
   snap_crashes : int;
   snap_restarts : int;
+  execs_per_sec : float; (* executions per *virtual* second *)
+  stage_cost_us : (string * int64) list; (* cumulative cost per stage *)
 }
 
 let create (cfg : cfg) : t =
   let fuzzer = Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~seed:cfg.seed () in
   List.iter (Nf_fuzzer.Fuzzer.seed_input fuzzer) (initial_seeds cfg.target);
   let region = target_region cfg.target in
-  {
-    cfg;
-    region;
-    campaign_cov = Cov.Map.create region;
-    clock = Nf_stdext.Vclock.create ();
-    deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
-    fuzzer;
-    vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake;
-    svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3;
-    injector =
-      Option.map
-        (fun f -> Nf_hv.Faulty.create ~rate:f.fault_rate ~seed:f.fault_seed)
-        cfg.faults;
-    seen_crashes = Hashtbl.create 17;
-    crashes = [];
-    restarts = 0;
-    execs = 0;
-    timeline = [ (0.0, 0.0) ];
-    next_checkpoint = cfg.checkpoint_hours;
-    sealed = None;
-  }
+  let t =
+    {
+      cfg;
+      region;
+      campaign_cov = Cov.Map.create region;
+      clock = Nf_stdext.Vclock.create ();
+      deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
+      fuzzer;
+      vmx_validator = Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake;
+      svm_validator = Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3;
+      injector =
+        Option.map
+          (fun f -> Nf_hv.Faulty.create ~rate:f.fault_rate ~seed:f.fault_seed)
+          cfg.faults;
+      seen_crashes = Hashtbl.create 17;
+      metrics = Obs.Metrics.create ();
+      sink = Obs.Sink.null;
+      crashes = [];
+      restarts = 0;
+      execs = 0;
+      timeline = [ (0.0, 0.0) ];
+      next_checkpoint = cfg.checkpoint_hours;
+      sealed = None;
+    }
+  in
+  wire_observers t;
+  t
 
 let step (t : t) : step_outcome =
   if
@@ -207,8 +248,18 @@ let step (t : t) : step_outcome =
   then Deadline
   else begin
     let cfg = t.cfg in
+    let exec_no = t.execs + 1 in
+    emit t (Obs.Event.Step_begin { exec = exec_no });
     let input = Nf_fuzzer.Fuzzer.next_input t.fuzzer in
     t.execs <- t.execs + 1;
+    Obs.Metrics.incr t.metrics "execs";
+    emit t
+      (Obs.Event.Input_proposed
+         {
+           exec = exec_no;
+           bytes = Bytes.length input;
+           queue = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
+         });
     (* vCPU configuration: from the input (through the adapter) or the
        default when the configurator is ablated. *)
     let features =
@@ -251,12 +302,44 @@ let step (t : t) : step_outcome =
             } )
     in
     Nf_stdext.Vclock.advance_us t.clock outcome.cost_us;
+    (* Per-stage virtual-cost accounting (propose/boot/execute/collect/
+       triage), plus the VM-entry verdict of the validator-generated
+       state at the L0 hypervisor's entry checks. *)
+    List.iter
+      (fun (stage, c) ->
+        Obs.Metrics.observe t.metrics
+          ("cost_us/" ^ Nf_harness.Executor.stage_name stage)
+          c)
+      (Nf_harness.Executor.cost_breakdown outcome);
+    Obs.Metrics.incr ~by:outcome.entries t.metrics "vm/entries";
+    Obs.Metrics.incr ~by:outcome.vmfails t.metrics "vm/vmfails";
+    let verdict : Obs.Event.verdict =
+      match outcome.termination with
+      | Nf_harness.Executor.Host_crashed _ -> Obs.Event.Host_crashed
+      | Vm_died _ ->
+          Obs.Metrics.incr t.metrics "vm/died";
+          Obs.Event.Vm_died
+      | Completed ->
+          if outcome.entries > 0 then Obs.Event.Entered
+          else if outcome.vmfails > 0 then Obs.Event.Vmfail
+          else Obs.Event.No_entry
+    in
+    emit t
+      (Obs.Event.Vm_entry_checked
+         {
+           exec = exec_no;
+           verdict;
+           entries = outcome.entries;
+           vmfails = outcome.vmfails;
+         });
     (* Injected hangs are only noticed when the watchdog timeout fires;
        charge the lost window. *)
     (match t.injector with
     | Some inj ->
-        Nf_stdext.Vclock.advance_us t.clock
-          (Nf_hv.Faulty.take_pending_hang_us inj)
+        let hang_us = Nf_hv.Faulty.take_pending_hang_us inj in
+        if hang_us > 0L then
+          Obs.Metrics.observe t.metrics "cost_us/hang" hang_us;
+        Nf_stdext.Vclock.advance_us t.clock hang_us
     | None -> ());
     (* Coverage collection (KCOV/gcov -> shared-memory bitmap).  A
        failed read (or a dead host) degrades to black-box for this one
@@ -268,6 +351,15 @@ let step (t : t) : step_outcome =
         fold_bitmap bitmap map t.region
     | None -> () (* closed-source target: black-box *)
     | exception _ -> ());
+    (* Per-region coverage gauges: campaign totals plus one gauge per
+       instrumented source file of the target region. *)
+    Obs.Metrics.set_gauge t.metrics "coverage/total"
+      (Cov.Map.coverage_pct t.campaign_cov);
+    List.iter
+      (fun file ->
+        Obs.Metrics.set_gauge t.metrics ("coverage/" ^ file)
+          (Cov.Map.coverage_pct ~file t.campaign_cov))
+      (Cov.files t.region);
     let crashed =
       match outcome.termination with
       | Nf_harness.Executor.Completed -> San.has_reportable sanitizer
@@ -277,14 +369,21 @@ let step (t : t) : step_outcome =
       Nf_fuzzer.Fuzzer.report t.fuzzer ~input ~crashed ~bitmap
         ~now_us:(Nf_stdext.Vclock.now_us t.clock) ()
     in
+    if novel then Obs.Metrics.incr t.metrics "fuzz/novel";
+    if crashed then Obs.Metrics.incr t.metrics "crashes/observed";
     (* Vulnerability detection: sanitizers and log monitoring. *)
     List.iter
       (fun event ->
         if San.is_reportable event then begin
           let msg = San.event_message event in
+          Obs.Metrics.incr t.metrics "sanitizer/reports";
+          emit t
+            (Obs.Event.Sanitizer_report
+               { exec = exec_no; kind = San.event_kind event; message = msg });
           let key = dedup_key msg in
           if not (Hashtbl.mem t.seen_crashes key) then begin
             Hashtbl.add t.seen_crashes key ();
+            Obs.Metrics.incr t.metrics "crashes/unique";
             t.crashes <-
               {
                 detection = San.event_kind event;
@@ -301,6 +400,9 @@ let step (t : t) : step_outcome =
     (match outcome.termination with
     | Nf_harness.Executor.Host_crashed _ ->
         t.restarts <- t.restarts + 1;
+        Obs.Metrics.incr t.metrics "restarts/watchdog";
+        Obs.Metrics.observe t.metrics "cost_us/watchdog"
+          watchdog_restart_cost_us;
         Nf_stdext.Vclock.advance_us t.clock watchdog_restart_cost_us
     | Completed | Vm_died _ -> ());
     (* Timeline checkpoints. *)
@@ -312,18 +414,44 @@ let step (t : t) : step_outcome =
         (t.next_checkpoint, Cov.Map.coverage_pct t.campaign_cov) :: t.timeline;
       t.next_checkpoint <- t.next_checkpoint +. cfg.checkpoint_hours
     done;
+    emit t
+      (Obs.Event.Step_end
+         { exec = exec_no; novel; crashed; cost_us = outcome.cost_us });
     Stepped { novel; crashed; cost_us = outcome.cost_us }
   end
 
+(* The stage-cost breakdown a snapshot reports: cumulative virtual
+   microseconds per stage, straight from the metrics histograms. *)
+let stage_totals (metrics : Obs.Metrics.t) : (string * int64) list =
+  List.map
+    (fun stage ->
+      let name = Nf_harness.Executor.stage_name stage in
+      (name, Obs.Metrics.histogram_sum metrics ("cost_us/" ^ name)))
+    Nf_harness.Executor.all_stages
+
+let execs_per_vsec ~execs ~virtual_hours =
+  if virtual_hours > 0.0 then float_of_int execs /. (virtual_hours *. 3600.0)
+  else 0.0
+
 let snapshot (t : t) : snapshot =
+  let virtual_hours = Nf_stdext.Vclock.now_hours t.clock in
   {
-    virtual_hours = Nf_stdext.Vclock.now_hours t.clock;
+    virtual_hours;
     coverage_pct = Cov.Map.coverage_pct t.campaign_cov;
     snap_execs = t.execs;
     queue = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
     snap_crashes = List.length t.crashes;
     snap_restarts = t.restarts;
+    execs_per_sec = execs_per_vsec ~execs:t.execs ~virtual_hours;
+    stage_cost_us = stage_totals t.metrics;
   }
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf
+    "[%6.1f vh] %d execs (%.1f/vs), cov %.1f%%, queue %d, %d crash(es), %d \
+     restart(s)"
+    s.virtual_hours s.snap_execs s.execs_per_sec s.coverage_pct s.queue
+    s.snap_crashes s.snap_restarts
 
 let finish (t : t) : result =
   match t.sealed with
@@ -343,6 +471,7 @@ let finish (t : t) : result =
           execs = t.execs;
           restarts = t.restarts;
           corpus_size = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
+          metrics = t.metrics;
         }
       in
       t.sealed <- Some r;
@@ -354,7 +483,9 @@ let finish (t : t) : result =
 module Persist = Nf_persist.Persist
 
 let checkpoint_magic = "NECOFUZZ-CKPT"
-let checkpoint_version = 1
+
+(* v2: appended the telemetry registry (metrics survive resume). *)
+let checkpoint_version = 2
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Persist.Reader.Corrupt m)) fmt
 
@@ -520,6 +651,7 @@ let to_string (t : t) : string =
       int w injected;
       i64 w pending)
     t.injector;
+  Obs.Metrics.write w t.metrics;
   Persist.frame ~magic:checkpoint_magic ~version:checkpoint_version
     (contents w)
 
@@ -571,6 +703,7 @@ let read_engine r : t =
         let pending = i64 r in
         (rng_state, injected, pending))
   in
+  let metrics = Obs.Metrics.read r in
   let region = target_region cfg.target in
   let campaign_cov =
     match Cov.Map.of_hits region hits with
@@ -597,24 +730,32 @@ let read_engine r : t =
     | Some _, None | None, Some _ ->
         corrupt "fault-injector state inconsistent with the campaign config"
   in
-  {
-    cfg;
-    region;
-    campaign_cov;
-    clock;
-    deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
-    fuzzer;
-    vmx_validator;
-    svm_validator;
-    injector;
-    seen_crashes;
-    crashes;
-    restarts;
-    execs;
-    timeline;
-    next_checkpoint;
-    sealed = None;
-  }
+  let t =
+    {
+      cfg;
+      region;
+      campaign_cov;
+      clock;
+      deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours;
+      fuzzer;
+      vmx_validator;
+      svm_validator;
+      injector;
+      seen_crashes;
+      metrics;
+      (* Sinks are deliberately not checkpointed: a resumed campaign
+         re-attaches its own with [set_sink]. *)
+      sink = Obs.Sink.null;
+      crashes;
+      restarts;
+      execs;
+      timeline;
+      next_checkpoint;
+      sealed = None;
+    }
+  in
+  wire_observers t;
+  t
 
 let of_string (blob : string) : (t, string) Stdlib.result =
   Persist.decode ~magic:checkpoint_magic ~version:checkpoint_version blob
@@ -629,7 +770,58 @@ let restore (path : string) : (t, string) Stdlib.result =
 
 let checkpoint_file = "checkpoint.bin"
 
-let run_from ?checkpoint_dir (t : t) : result =
+(* ------------------------------------------------------------------ *)
+(* AFL++-style stats outputs.                                          *)
+
+let fuzzer_stats_file = "fuzzer_stats"
+let plot_data_file = "plot_data"
+
+let mode_name = function
+  | Nf_fuzzer.Fuzzer.Guided -> "guided"
+  | Blind -> "blind"
+
+(* The CLI spelling of a target ("kvm-intel", …), as [fuzzer_stats]
+   reports it. *)
+let target_slug target = fst (List.find (fun (_, t) -> t = target) all_targets)
+
+(* The campaign's current stats row; [run_time_vs], when given, pins the
+   row to a stats-grid instant (so [plot_data] is golden-testable)
+   instead of the clock's step-granular position. *)
+let stats_row ?run_time_vs (t : t) : Obs.Stats.row =
+  let virtual_hours = Nf_stdext.Vclock.now_hours t.clock in
+  let run_time_vs =
+    match run_time_vs with Some s -> s | None -> virtual_hours *. 3600.0
+  in
+  {
+    Obs.Stats.run_time_vs;
+    execs = t.execs;
+    execs_per_sec = execs_per_vsec ~execs:t.execs ~virtual_hours;
+    paths_total = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
+    saved_crashes = List.length t.crashes;
+    restarts = t.restarts;
+    coverage_pct = Cov.Map.coverage_pct t.campaign_cov;
+  }
+
+(* [fuzzer_stats] is rewritten atomically (AFL++ semantics: a monitor
+   may read it at any time); [plot_data] is append-only with a one-off
+   header. *)
+let write_fuzzer_stats ~dir ~target ~mode (row : Obs.Stats.row) =
+  Persist.write_file_atomic
+    ~path:(Filename.concat dir fuzzer_stats_file)
+    (Obs.Stats.fuzzer_stats ~target ~mode row)
+
+let append_plot_data ~dir (row : Obs.Stats.row) =
+  let plot = Filename.concat dir plot_data_file in
+  if not (Sys.file_exists plot) then
+    Persist.append_line ~path:plot Obs.Stats.plot_data_header;
+  Persist.append_line ~path:plot (Obs.Stats.plot_data_line row)
+
+let write_stats ~dir ~target ~mode (row : Obs.Stats.row) =
+  write_fuzzer_stats ~dir ~target ~mode row;
+  append_plot_data ~dir row
+
+let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
+    result =
   let last_timeline = ref (List.length t.timeline) in
   let maybe_checkpoint () =
     match checkpoint_dir with
@@ -640,17 +832,69 @@ let run_from ?checkpoint_dir (t : t) : result =
         let n = List.length t.timeline in
         if n <> !last_timeline then begin
           last_timeline := n;
-          save t (Filename.concat dir checkpoint_file)
+          let path = Filename.concat dir checkpoint_file in
+          let blob = to_string t in
+          Persist.write_file_atomic ~path blob;
+          emit t
+            (Obs.Event.Checkpoint_saved { path; bytes = String.length blob })
         end
+  in
+  let stats_hours =
+    match (stats_hours, stats_dir, on_progress) with
+    | Some h, _, _ ->
+        if h <= 0.0 then
+          invalid_arg "Engine.run_from: stats_hours must be positive";
+        Some h
+    | None, None, None -> None
+    | None, _, _ -> Some t.cfg.checkpoint_hours
+  in
+  (* The stats grid is derived from the *clock*, not from engine state:
+     a resumed campaign picks up the schedule exactly where the original
+     left off, never duplicating a plot_data row.  The grid index is an
+     integer (point k sits at [k *. stats_hours]) so the schedule never
+     drifts from accumulated float error. *)
+  let stats_k =
+    ref
+      (match stats_hours with
+      | None -> 0
+      | Some h ->
+          int_of_float (Nf_stdext.Vclock.now_hours t.clock /. h) + 1)
+  in
+  let target = target_slug t.cfg.target in
+  let mode = mode_name t.cfg.mode in
+  let maybe_stats () =
+    match stats_hours with
+    | None -> ()
+    | Some h ->
+        let grid () = h *. float_of_int !stats_k in
+        while
+          grid () <= t.cfg.duration_hours
+          && Nf_stdext.Vclock.now_hours t.clock >= grid ()
+        do
+          let row = stats_row ~run_time_vs:(grid () *. 3600.0) t in
+          (match stats_dir with
+          | Some dir -> write_stats ~dir ~target ~mode row
+          | None -> ());
+          (match on_progress with Some f -> f (snapshot t) | None -> ());
+          incr stats_k
+        done
   in
   let rec drive () =
     match step t with
     | Stepped _ ->
         maybe_checkpoint ();
+        maybe_stats ();
         drive ()
     | Deadline -> ()
   in
   drive ();
+  (* Final refresh so [fuzzer_stats] reflects the completed campaign
+     (no plot row: the grid already emitted one at the deadline). *)
+  (match stats_dir with
+  | Some dir ->
+      write_fuzzer_stats ~dir ~target ~mode
+        (stats_row ~run_time_vs:(t.cfg.duration_hours *. 3600.0) t)
+  | None -> ());
   finish t
 
 let run (cfg : cfg) : result = run_from (create cfg)
@@ -757,19 +1001,36 @@ let sync_phase shared (engines : t array) (last_export : int array)
 
 let campaign_snapshot shared (engines : t array) : snapshot =
   Mutex.protect shared.mutex (fun () ->
+      let virtual_hours =
+        Array.fold_left
+          (fun acc e -> max acc (Nf_stdext.Vclock.now_hours e.clock))
+          0.0 engines
+      in
+      let snap_execs = Array.fold_left (fun acc e -> acc + e.execs) 0 engines in
       {
-        virtual_hours =
-          Array.fold_left
-            (fun acc e -> max acc (Nf_stdext.Vclock.now_hours e.clock))
-            0.0 engines;
+        virtual_hours;
         coverage_pct = Cov.Map.coverage_pct shared.shared_cov;
-        snap_execs = Array.fold_left (fun acc e -> acc + e.execs) 0 engines;
+        snap_execs;
         queue =
           Array.fold_left
             (fun acc e -> acc + Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
             0 engines;
         snap_crashes = List.length shared.merged_crashes;
         snap_restarts = Array.fold_left (fun acc e -> acc + e.restarts) 0 engines;
+        execs_per_sec = execs_per_vsec ~execs:snap_execs ~virtual_hours;
+        stage_cost_us =
+          (* Fleet-wide stage costs: histogram sums added across the
+             per-worker registries. *)
+          List.map
+            (fun stage ->
+              let name = Nf_harness.Executor.stage_name stage in
+              ( name,
+                Array.fold_left
+                  (fun acc e ->
+                    Int64.add acc
+                      (Obs.Metrics.histogram_sum e.metrics ("cost_us/" ^ name)))
+                  0L engines ))
+            Nf_harness.Executor.all_stages;
       })
 
 (* Merge worker timelines pointwise: every worker checkpoints on the
@@ -801,8 +1062,8 @@ let merge_timelines (results : result array) ~grid =
 let supervisor_retry_budget = 3
 let supervisor_backoff_base_us = 60_000_000L
 
-let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
-    parallel_outcome =
+let run_parallel ?sync_hours ?on_sync ?chaos ?(obs = Obs.Sink.null) ~jobs
+    (cfg : cfg) : parallel_outcome =
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
@@ -895,6 +1156,14 @@ let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
       List.sort (fun (a, _) (b, _) -> compare a b) !failures
     end
   in
+  (* Supervisor-level trace events.  Worker Domains never touch [obs]
+     (a sink need not be thread-safe): only the supervisor — which runs
+     single-threaded between rounds — emits, so a parallel campaign
+     traces fleet lifecycle (sync/recovery/abandonment), not per-step
+     detail. *)
+  let emit_sup ~worker ~ts_us ev =
+    if not (Obs.Sink.is_null obs) then Obs.Sink.emit obs ~ts_us ~worker ev
+  in
   (* The supervisor: restore each failed worker to its last barrier,
      charge a restart plus an exponential virtual-time backoff penalty,
      and retry — until the retry budget is spent, at which point the
@@ -914,14 +1183,25 @@ let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
               invalid_arg ("Engine.run_parallel: barrier state: " ^ msg));
           if attempts.(w) > supervisor_retry_budget then begin
             abandoned.(w) <- true;
+            emit_sup ~worker:w
+              ~ts_us:(Nf_stdext.Vclock.now_us (engines.(w)).clock)
+              (Obs.Event.Worker_abandoned
+                 { worker = w; attempts = attempts.(w); error = last_error.(w) });
             None
           end
           else begin
             let e = engines.(w) in
             e.restarts <- e.restarts + 1;
+            (* Counted into the worker's own registry — deterministic
+               (same chaos, same recoveries), so it survives the barrier
+               round-trip without breaking bit-identity. *)
+            Obs.Metrics.incr e.metrics "recovery/supervisor_restarts";
             Nf_stdext.Vclock.advance_us e.clock
               (Int64.mul supervisor_backoff_base_us
                  (Int64.shift_left 1L (attempts.(w) - 1)));
+            emit_sup ~worker:w ~ts_us:(Nf_stdext.Vclock.now_us e.clock)
+              (Obs.Event.Worker_recovered
+                 { worker = w; attempt = attempts.(w); error = last_error.(w) });
             Some w
           end)
         failures
@@ -952,9 +1232,22 @@ let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
     Array.iteri
       (fun w e -> if not abandoned.(w) then barrier_state.(w) <- to_string e)
       engines;
-    match on_sync with
-    | Some f -> f (campaign_snapshot shared engines)
-    | None -> ()
+    if Option.is_some on_sync || not (Obs.Sink.is_null obs) then begin
+      let snap = campaign_snapshot shared engines in
+      emit_sup ~worker:0
+        ~ts_us:(Nf_stdext.Vclock.of_hours snap.virtual_hours)
+        (Obs.Event.Worker_sync
+           {
+             round = !round;
+             workers =
+               Array.fold_left
+                 (fun acc ab -> if ab then acc else acc + 1)
+                 0 abandoned;
+             execs = snap.snap_execs;
+             coverage_pct = snap.coverage_pct;
+           });
+      match on_sync with Some f -> f snap | None -> ()
+    end
   done;
   let supervision =
     Array.init jobs (fun w ->
@@ -992,6 +1285,30 @@ let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
        with Exit -> ());
       !g
     in
+    (* Fleet registry: per-worker registries merged in worker-id order
+       (deterministic under any Domain scheduling), coverage gauges
+       overwritten from the union map (gauges merge as max — the best
+       single worker, not the union), plus fleet-level accounting. *)
+    let merged_metrics = Obs.Metrics.create () in
+    Array.iter
+      (fun (r : result) -> Obs.Metrics.merge ~into:merged_metrics r.metrics)
+      results;
+    Obs.Metrics.set_gauge merged_metrics "coverage/total"
+      (Cov.Map.coverage_pct coverage);
+    List.iter
+      (fun file ->
+        Obs.Metrics.set_gauge merged_metrics ("coverage/" ^ file)
+          (Cov.Map.coverage_pct ~file coverage))
+      (Cov.files (engines.(0)).region);
+    Array.iter
+      (fun status ->
+        Obs.Metrics.incr merged_metrics
+          (match status with
+          | Healthy -> "workers/healthy"
+          | Recovered _ -> "workers/recovered"
+          | Abandoned _ -> "workers/abandoned"))
+      supervision;
+    Obs.Metrics.incr ~by:!round merged_metrics "sync/rounds";
     let merged =
       {
         cfg;
@@ -1004,6 +1321,7 @@ let run_parallel ?sync_hours ?on_sync ?chaos ~jobs (cfg : cfg) :
         (* Unique inputs across the union corpus: the seeds plus every
            entry any worker discovered (deduplicated at broadcast). *)
         corpus_size = Hashtbl.length shared.distributed;
+        metrics = merged_metrics;
       }
     in
     { merged; workers = results; supervision }

@@ -26,7 +26,16 @@
     window concurrently; at every sync interval the workers exchange
     newly discovered queue entries and merge coverage under a mutex, and
     crash deduplication moves to a shared table so a bug found by two
-    workers is reported once. *)
+    workers is reported once.
+
+    {b Observability.}  Every campaign carries an {!Nf_obs.Obs.Metrics}
+    registry (counters, gauges, per-stage virtual-cost histograms) and
+    can stream typed {!Nf_obs.Obs.Event}s into a pluggable sink
+    ({!set_sink}).  The invariant: observability is {e inert} — it draws
+    no RNG, charges no virtual time, and the registry round-trips
+    through {!save}/{!restore} — so a traced campaign is bit-identical
+    ({!to_string} equality) to an untraced one and to its own resumed
+    self.  Sinks are {e not} checkpointed; re-attach after restore. *)
 
 (** The L0 hypervisor under test. *)
 type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
@@ -34,13 +43,19 @@ type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
 val target_name : target -> string
 
 (** [target_of_string s] parses the CLI spelling of a target
-    ("kvm-intel", "kvm-amd", "xen-intel", "xen-amd", "vbox").  This is
-    the single place target names are parsed — the CLI and the examples
-    both go through it, so adding a target is a one-file change. *)
+    ("kvm-intel", "kvm-amd", "xen-intel", "xen-amd", "vbox"),
+    case-insensitively and accepting ['_'] for ['-'] ("KVM-Intel",
+    "xen_amd", …).  This is the single place target names are parsed —
+    the CLI and the examples both go through it, so adding a target is
+    a one-file change. *)
 val target_of_string : string -> (target, string) result
 
 (** All targets with their CLI spellings, in presentation order. *)
 val all_targets : (string * target) list
+
+(** The CLI spelling of a target ("kvm-intel", …) — the inverse of
+    {!target_of_string}; [fuzzer_stats] reports it. *)
+val target_slug : target -> string
 
 val target_region : target -> Nf_coverage.Coverage.region
 val target_vendor : target -> Nf_cpu.Cpu_model.vendor
@@ -88,6 +103,10 @@ type result = {
   execs : int;
   restarts : int;
   corpus_size : int;
+  metrics : Nf_obs.Obs.Metrics.t;
+      (** the campaign's telemetry registry; for a parallel campaign's
+          [merged] result, the per-worker registries deterministically
+          merged plus fleet accounting *)
 }
 
 val pp_crash : Format.formatter -> crash_report -> unit
@@ -113,6 +132,11 @@ type snapshot = {
   queue : int;
   snap_crashes : int;
   snap_restarts : int;
+  execs_per_sec : float;  (** executions per {e virtual} second *)
+  stage_cost_us : (string * int64) list;
+      (** cumulative virtual cost per stage
+          (propose/boot/execute/collect/triage), from the metrics
+          histograms *)
 }
 
 val create : cfg -> t
@@ -123,6 +147,25 @@ val create : cfg -> t
 val step : t -> step_outcome
 
 val snapshot : t -> snapshot
+
+(** One-line human-readable progress rendering of a snapshot (the CLI's
+    periodic status line). *)
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 Observability}
+
+    See {!Nf_obs.Obs}.  All of this is inert: attaching a sink (or not)
+    never changes campaign behaviour or checkpoint bytes. *)
+
+(** Attach an event sink; events from {!step} (and {!run_from}'s
+    checkpoint saves) stream into it, stamped with the campaign's
+    virtual clock.  The default is {!Nf_obs.Obs.Sink.null}; sinks are
+    not checkpointed, so re-attach after {!restore}. *)
+val set_sink : t -> Nf_obs.Obs.Sink.t -> unit
+
+(** The campaign's metrics registry (live; also lands in
+    [result.metrics]). *)
+val metrics : t -> Nf_obs.Obs.Metrics.t
 
 (** Seal the campaign: records the final timeline checkpoint and builds
     the result.  Idempotent; {!step} returns [Deadline] afterwards. *)
@@ -165,11 +208,54 @@ val restore : string -> (t, string) Stdlib.result
 (** File name used by {!run_from} inside a checkpoint directory. *)
 val checkpoint_file : string
 
+(** {1 AFL++-style stats outputs}
+
+    [fuzzer_stats] (a key/value snapshot, atomically rewritten) and
+    [plot_data] (an append-only CSV time series) — the artifacts
+    afl-plot and campaign monitors consume.  All times are {e virtual},
+    so the files are deterministic and golden-file testable. *)
+
+val fuzzer_stats_file : string
+(** ["fuzzer_stats"] *)
+
+val plot_data_file : string
+(** ["plot_data"] *)
+
+(** ["guided"] / ["blind"], as [fuzzer_stats] reports it. *)
+val mode_name : Nf_fuzzer.Fuzzer.mode -> string
+
+(** The campaign's current stats row.  [run_time_vs] (virtual seconds)
+    pins the row to a stats-grid instant; it defaults to the clock's
+    current position. *)
+val stats_row : ?run_time_vs:float -> t -> Nf_obs.Obs.Stats.row
+
+(** [write_stats ~dir ~target ~mode row] refreshes both artifacts in
+    [dir]: rewrites [fuzzer_stats] atomically and appends one
+    [plot_data] line (writing the header first when the file is new).
+    @raise Sys_error when [dir] is missing or unwritable. *)
+val write_stats :
+  dir:string -> target:string -> mode:string -> Nf_obs.Obs.Stats.row -> unit
+
 (** [run_from ?checkpoint_dir t] drives [t] (fresh or restored) to
     [Deadline].  With [checkpoint_dir], the engine is saved atomically
     to [checkpoint_dir/checkpoint_file] at every checkpoint interval
-    ([cfg.checkpoint_hours]). *)
-val run_from : ?checkpoint_dir:string -> t -> result
+    ([cfg.checkpoint_hours]), emitting [Checkpoint_saved] to the
+    attached sink.
+
+    [stats_hours] sets the stats grid (virtual hours; default
+    [cfg.checkpoint_hours]); at every grid point [stats_dir] (if given)
+    receives a {!write_stats} refresh and [on_progress] (if given)
+    observes a {!snapshot}.  The grid is derived from the virtual
+    clock, so a resumed campaign continues the schedule without
+    duplicating [plot_data] rows.
+    @raise Invalid_argument when [stats_hours <= 0]. *)
+val run_from :
+  ?checkpoint_dir:string ->
+  ?stats_dir:string ->
+  ?stats_hours:float ->
+  ?on_progress:(snapshot -> unit) ->
+  t ->
+  result
 
 (** {1 Domain-parallel campaigns} *)
 
@@ -218,11 +304,19 @@ type parallel_outcome = {
 
     [chaos], a test hook, runs at the start of every worker attempt
     (worker id, barrier round, attempt number for this worker's current
-    round) and may raise to simulate a worker death. *)
+    round) and may raise to simulate a worker death.
+
+    [obs], if given, receives supervisor-level trace events —
+    [Worker_sync] after every barrier, [Worker_recovered] /
+    [Worker_abandoned] from supervision.  Worker Domains never touch
+    the sink (it need not be thread-safe), so a parallel campaign
+    traces fleet lifecycle rather than per-step detail.  Inert like all
+    observability: passing [obs] changes no campaign bytes. *)
 val run_parallel :
   ?sync_hours:float ->
   ?on_sync:(snapshot -> unit) ->
   ?chaos:(worker:int -> round:int -> attempt:int -> unit) ->
+  ?obs:Nf_obs.Obs.Sink.t ->
   jobs:int ->
   cfg ->
   parallel_outcome

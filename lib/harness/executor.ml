@@ -69,6 +69,33 @@ let l2_insn_cost_us = 800L
 
 let max_l2_insns = 48
 
+(* The five stages of one engine step.  The virtual-time model charges
+   only Boot (fixed) and Execute (per emulated op); Propose, Collect and
+   Triage are free — the breakdown states that explicitly so the
+   telemetry's per-stage histograms document the model rather than
+   invent numbers. *)
+type stage = Propose | Boot | Execute | Collect | Triage
+
+let all_stages = [ Propose; Boot; Execute; Collect; Triage ]
+
+let stage_name = function
+  | Propose -> "propose"
+  | Boot -> "boot"
+  | Execute -> "execute"
+  | Collect -> "collect"
+  | Triage -> "triage"
+
+let cost_breakdown (o : outcome) =
+  (* [cost_us] is boot plus the per-op charges; a synthesized
+     host-crash outcome carries exactly the boot cost, so clamping keeps
+     the decomposition robust to any cost model. *)
+  let execute = Int64.sub o.cost_us boot_cost_us in
+  let execute = if execute < 0L then 0L else execute in
+  [
+    (Propose, 0L); (Boot, Int64.sub o.cost_us execute); (Execute, execute);
+    (Collect, 0L); (Triage, 0L);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* VM state generation                                                  *)
 (* ------------------------------------------------------------------ *)

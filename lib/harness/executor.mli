@@ -57,6 +57,22 @@ val l2_insn_cost_us : int64
 (** Runtime-phase iteration limit. *)
 val max_l2_insns : int
 
+(** {1 Stage decomposition (telemetry)}
+
+    One engine step is propose → boot → execute → collect → triage; the
+    campaign telemetry histograms virtual cost per stage. *)
+
+type stage = Propose | Boot | Execute | Collect | Triage
+
+val all_stages : stage list
+val stage_name : stage -> string
+
+(** Decompose an outcome's [cost_us] over the stages.  The virtual-time
+    model charges only [Boot] (fixed) and [Execute] (per emulated op);
+    [Propose]/[Collect]/[Triage] are 0 by construction, and the sum
+    always equals [cost_us]. *)
+val cost_breakdown : outcome -> (stage * int64) list
+
 (** Generate the VM-entry MSR-load area from the input's MSR slice. *)
 val generate_msr_area : Bytes.t -> (int * int64) array
 

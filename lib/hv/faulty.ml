@@ -6,6 +6,7 @@ type injector = {
   rng : Nf_stdext.Rng.t;
   mutable injected : int;
   mutable pending_hang_us : int64;
+  mutable on_fault : string -> unit;
 }
 
 let create ~rate ~seed =
@@ -16,9 +17,11 @@ let create ~rate ~seed =
     rng = Nf_stdext.Rng.create seed;
     injected = 0;
     pending_hang_us = 0L;
+    on_fault = ignore;
   }
 
 let injected t = t.injected
+let set_on_fault t f = t.on_fault <- f
 
 let take_pending_hang_us t =
   let v = t.pending_hang_us in
@@ -45,10 +48,15 @@ let exec_fault t : Hypervisor.step_result option =
   if t.rate > 0.0 && Nf_stdext.Rng.float t.rng < t.rate then begin
     t.injected <- t.injected + 1;
     match Nf_stdext.Rng.int t.rng 3 with
-    | 0 -> Some (Hypervisor.Host_down "fault injection: host crash")
-    | 1 -> Some (Hypervisor.Vm_killed "fault injection: fuzz-harness VM killed")
+    | 0 ->
+        t.on_fault "host_crash";
+        Some (Hypervisor.Host_down "fault injection: host crash")
+    | 1 ->
+        t.on_fault "vm_kill";
+        Some (Hypervisor.Vm_killed "fault injection: fuzz-harness VM killed")
     | _ ->
         t.pending_hang_us <- Int64.add t.pending_hang_us hang_timeout_us;
+        t.on_fault "hang";
         Some (Hypervisor.Host_down "fault injection: execution hung (watchdog timeout)")
   end
   else None
@@ -58,6 +66,7 @@ let coverage_fault t =
   &&
   if Nf_stdext.Rng.float t.rng < t.rate then begin
     t.injected <- t.injected + 1;
+    t.on_fault "coverage_drop";
     true
   end
   else false

@@ -31,6 +31,14 @@ val create : rate:float -> seed:int -> injector
 (** Total faults injected so far. *)
 val injected : injector -> int
 
+(** [set_on_fault inj f] registers a fault observer: [f kind] runs at
+    every injected fault with [kind] one of ["host_crash"],
+    ["vm_kill"], ["hang"] or ["coverage_drop"].  The observer is
+    telemetry only — it must be inert (the engine wires it to the
+    {!Nf_obs} event stream and metrics registry); it is not part of the
+    injector's checkpointed state and defaults to a no-op. *)
+val set_on_fault : injector -> (string -> unit) -> unit
+
 (** Virtual microseconds of hang time accumulated since the last call
     (the watchdog-timeout cost spike of injected hangs); reading clears
     the accumulator.  The engine charges this to the campaign clock. *)

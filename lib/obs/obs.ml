@@ -1,0 +1,457 @@
+(** Campaign-wide observability: tracing, metrics, stats formatting.
+    See obs.mli — in particular the inertness invariant: nothing here
+    draws fuzzing RNG or charges virtual time. *)
+
+module Json = Nf_stdext.Json
+module Persist = Nf_persist.Persist
+
+module Event = struct
+  type verdict = Entered | Vmfail | No_entry | Vm_died | Host_crashed
+
+  let verdict_name = function
+    | Entered -> "entered"
+    | Vmfail -> "vmfail"
+    | No_entry -> "no_entry"
+    | Vm_died -> "vm_died"
+    | Host_crashed -> "host_crashed"
+
+  type t =
+    | Step_begin of { exec : int }
+    | Input_proposed of { exec : int; bytes : int; queue : int }
+    | Vm_entry_checked of {
+        exec : int;
+        verdict : verdict;
+        entries : int;
+        vmfails : int;
+      }
+    | Sanitizer_report of { exec : int; kind : string; message : string }
+    | Fault_injected of { kind : string }
+    | Step_end of {
+        exec : int;
+        novel : bool;
+        crashed : bool;
+        cost_us : int64;
+      }
+    | Worker_sync of {
+        round : int;
+        workers : int;
+        execs : int;
+        coverage_pct : float;
+      }
+    | Checkpoint_saved of { path : string; bytes : int }
+    | Worker_recovered of { worker : int; attempt : int; error : string }
+    | Worker_abandoned of { worker : int; attempts : int; error : string }
+
+  let name = function
+    | Step_begin _ -> "step_begin"
+    | Input_proposed _ -> "input_proposed"
+    | Vm_entry_checked _ -> "vm_entry_checked"
+    | Sanitizer_report _ -> "sanitizer_report"
+    | Fault_injected _ -> "fault_injected"
+    | Step_end _ -> "step_end"
+    | Worker_sync _ -> "worker_sync"
+    | Checkpoint_saved _ -> "checkpoint_saved"
+    | Worker_recovered _ -> "worker_recovered"
+    | Worker_abandoned _ -> "worker_abandoned"
+
+  (* The event-specific payload fields of the JSONL schema. *)
+  let payload = function
+    | Step_begin { exec } -> [ ("exec", Json.Int exec) ]
+    | Input_proposed { exec; bytes; queue } ->
+        [ ("exec", Json.Int exec); ("bytes", Json.Int bytes);
+          ("queue", Json.Int queue) ]
+    | Vm_entry_checked { exec; verdict; entries; vmfails } ->
+        [ ("exec", Json.Int exec);
+          ("verdict", Json.String (verdict_name verdict));
+          ("entries", Json.Int entries); ("vmfails", Json.Int vmfails) ]
+    | Sanitizer_report { exec; kind; message } ->
+        [ ("exec", Json.Int exec); ("kind", Json.String kind);
+          ("message", Json.String message) ]
+    | Fault_injected { kind } -> [ ("kind", Json.String kind) ]
+    | Step_end { exec; novel; crashed; cost_us } ->
+        [ ("exec", Json.Int exec); ("novel", Json.Bool novel);
+          ("crashed", Json.Bool crashed); ("cost_us", Json.I64 cost_us) ]
+    | Worker_sync { round; workers; execs; coverage_pct } ->
+        [ ("round", Json.Int round); ("workers", Json.Int workers);
+          ("execs", Json.Int execs);
+          ("coverage_pct", Json.Float coverage_pct) ]
+    | Checkpoint_saved { path; bytes } ->
+        [ ("path", Json.String path); ("bytes", Json.Int bytes) ]
+    | Worker_recovered { worker; attempt; error } ->
+        [ ("worker", Json.Int worker); ("attempt", Json.Int attempt);
+          ("error", Json.String error) ]
+    | Worker_abandoned { worker; attempts; error } ->
+        [ ("worker", Json.Int worker); ("attempts", Json.Int attempts);
+          ("error", Json.String error) ]
+
+  let to_json ~ts_us ~worker ev =
+    Json.Obj
+      (("ts_us", Json.I64 ts_us)
+      :: ("worker", Json.Int worker)
+      :: ("ev", Json.String (name ev))
+      :: payload ev)
+
+  (* Chrome trace-event format (the JSON array flavour).  [Step_end]
+     carries its own duration, so it maps onto a complete ("X") slice
+     ending at [ts_us]; everything else is an instant ("i") event on the
+     same per-worker track. *)
+  let to_trace_json ~ts_us ~worker ev =
+    let common ph ts =
+      [ ("name", Json.String (name ev)); ("ph", Json.String ph);
+        ("ts", Json.I64 ts); ("pid", Json.Int 0); ("tid", Json.Int worker);
+        ("cat", Json.String "necofuzz");
+        ("args", Json.Obj (payload ev)) ]
+    in
+    match ev with
+    | Step_end { cost_us; _ } ->
+        let start = Int64.sub ts_us (max 0L cost_us) in
+        Json.Obj (common "X" start @ [ ("dur", Json.I64 (max 0L cost_us)) ])
+    | _ -> Json.Obj (common "i" ts_us @ [ ("s", Json.String "t") ])
+end
+
+module Sink = struct
+  type t = {
+    emit : ts_us:int64 -> worker:int -> Event.t -> unit;
+    close : unit -> unit;
+    mutable closed : bool;
+  }
+
+  let null = { emit = (fun ~ts_us:_ ~worker:_ _ -> ()); close = ignore;
+               closed = false }
+
+  let is_null s = s == null
+
+  let emit s ~ts_us ?(worker = 0) ev =
+    if not s.closed then s.emit ~ts_us ~worker ev
+
+  let close s =
+    if not s.closed then begin
+      s.closed <- true;
+      s.close ()
+    end
+
+  let jsonl ~path =
+    let oc = open_out_bin path in
+    {
+      emit =
+        (fun ~ts_us ~worker ev ->
+          output_string oc (Json.to_string (Event.to_json ~ts_us ~worker ev));
+          output_char oc '\n');
+      close = (fun () -> close_out_noerr oc);
+      closed = false;
+    }
+
+  let chrome_trace ~path =
+    let oc = open_out_bin path in
+    output_string oc "[";
+    let first = ref true in
+    {
+      emit =
+        (fun ~ts_us ~worker ev ->
+          if !first then first := false else output_string oc ",";
+          output_string oc "\n";
+          output_string oc
+            (Json.to_string (Event.to_trace_json ~ts_us ~worker ev)));
+      close =
+        (fun () ->
+          output_string oc "\n]\n";
+          close_out_noerr oc);
+      closed = false;
+    }
+
+  let memory () =
+    let events = ref [] in
+    let sink =
+      {
+        emit = (fun ~ts_us ~worker ev -> events := (ts_us, worker, ev) :: !events);
+        close = ignore;
+        closed = false;
+      }
+    in
+    (sink, fun () -> List.rev !events)
+
+  let tee sinks =
+    match List.filter (fun s -> not (is_null s)) sinks with
+    | [] -> null
+    | sinks ->
+        {
+          emit =
+            (fun ~ts_us ~worker ev ->
+              List.iter (fun s -> emit s ~ts_us ~worker ev) sinks);
+          close = (fun () -> List.iter close sinks);
+          closed = false;
+        }
+end
+
+module Metrics = struct
+  type hist = {
+    bounds : int64 array;
+    counts : int array; (* length bounds + 1; last is +inf overflow *)
+    mutable n : int;
+    mutable sum : int64;
+  }
+
+  type cell =
+    | C_counter of int ref
+    | C_gauge of float ref
+    | C_hist of hist
+
+  type t = (string, cell) Hashtbl.t
+
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of {
+        bounds : int64 array;
+        counts : int array;
+        n : int;
+        sum : int64;
+      }
+
+  let create () : t = Hashtbl.create 32
+
+  let clash name =
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %S already registered with another type"
+         name)
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some (C_counter r) -> r := !r + by
+    | Some _ -> clash name
+    | None -> Hashtbl.replace t name (C_counter (ref by))
+
+  let counter t name =
+    match Hashtbl.find_opt t name with
+    | Some (C_counter r) -> !r
+    | Some _ | None -> 0
+
+  let set_gauge t name v =
+    match Hashtbl.find_opt t name with
+    | Some (C_gauge r) -> r := v
+    | Some _ -> clash name
+    | None -> Hashtbl.replace t name (C_gauge (ref v))
+
+  let gauge t name =
+    match Hashtbl.find_opt t name with
+    | Some (C_gauge r) -> Some !r
+    | Some _ | None -> None
+
+  (* Exponential µs buckets: 100µs … 5 virtual minutes, +inf overflow.
+     Wide enough for every stage cost of the virtual-time model (boot
+     1.8s, watchdog reboot 3 min, injected hang 1 min). *)
+  let cost_buckets_us =
+    [| 100L; 1_000L; 10_000L; 100_000L; 1_000_000L; 10_000_000L;
+       60_000_000L; 300_000_000L |]
+
+  let bucket_index bounds v =
+    let n = Array.length bounds in
+    let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe ?(buckets = cost_buckets_us) t name v =
+    let h =
+      match Hashtbl.find_opt t name with
+      | Some (C_hist h) ->
+          if h.bounds <> buckets then
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: histogram %S re-registered with different \
+                  buckets"
+                 name);
+          h
+      | Some _ -> clash name
+      | None ->
+          let h =
+            {
+              bounds = Array.copy buckets;
+              counts = Array.make (Array.length buckets + 1) 0;
+              n = 0;
+              sum = 0L;
+            }
+          in
+          Hashtbl.replace t name (C_hist h);
+          h
+    in
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.n <- h.n + 1;
+    h.sum <- Int64.add h.sum v
+
+  let histogram_sum t name =
+    match Hashtbl.find_opt t name with
+    | Some (C_hist h) -> h.sum
+    | Some _ | None -> 0L
+
+  let view = function
+    | C_counter r -> Counter !r
+    | C_gauge r -> Gauge !r
+    | C_hist h ->
+        Histogram
+          {
+            bounds = Array.copy h.bounds;
+            counts = Array.copy h.counts;
+            n = h.n;
+            sum = h.sum;
+          }
+
+  let find t name = Option.map view (Hashtbl.find_opt t name)
+
+  let to_list t =
+    Hashtbl.fold (fun name cell acc -> (name, view cell) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let merge ~into src =
+    (* Deterministic regardless of hash-table iteration order: visit the
+       source metrics sorted by name. *)
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n -> incr ~by:n into name
+        | Gauge g -> (
+            match gauge into name with
+            | Some g' -> set_gauge into name (Float.max g g')
+            | None ->
+                (match Hashtbl.find_opt into name with
+                | Some _ -> clash name
+                | None -> ());
+                set_gauge into name g)
+        | Histogram { bounds; counts; n; sum } -> (
+            match Hashtbl.find_opt into name with
+            | Some (C_hist h) ->
+                if h.bounds <> bounds then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Obs.Metrics: merging histogram %S with different \
+                        buckets"
+                       name);
+                Array.iteri
+                  (fun i c -> h.counts.(i) <- h.counts.(i) + c)
+                  counts;
+                h.n <- h.n + n;
+                h.sum <- Int64.add h.sum sum
+            | Some _ -> clash name
+            | None ->
+                Hashtbl.replace into name
+                  (C_hist
+                     {
+                       bounds = Array.copy bounds;
+                       counts = Array.copy counts;
+                       n;
+                       sum;
+                     })))
+      (to_list src)
+
+  let pp ppf t =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n -> Format.fprintf ppf "%-32s %d@." name n
+        | Gauge g -> Format.fprintf ppf "%-32s %.3f@." name g
+        | Histogram { n; sum; _ } ->
+            Format.fprintf ppf "%-32s n=%d sum=%Ld@." name n sum)
+      (to_list t)
+
+  (* Checkpoint codec: the sorted (name, value) list, tagged per kind. *)
+  let write w t =
+    let open Persist.Writer in
+    list w
+      (fun w (name, v) ->
+        string w name;
+        match v with
+        | Counter n ->
+            u8 w 0;
+            int w n
+        | Gauge g ->
+            u8 w 1;
+            float w g
+        | Histogram { bounds; counts; n; sum } ->
+            u8 w 2;
+            list w i64 (Array.to_list bounds);
+            int_array w counts;
+            int w n;
+            i64 w sum)
+      (to_list t)
+
+  let read r : t =
+    let open Persist.Reader in
+    let t = create () in
+    let entries =
+      list r (fun r ->
+          let name = string r in
+          let v =
+            match u8 r with
+            | 0 -> Counter (int r)
+            | 1 -> Gauge (float r)
+            | 2 ->
+                let bounds = Array.of_list (list r i64) in
+                let counts = int_array r in
+                let n = int r in
+                let sum = i64 r in
+                if Array.length counts <> Array.length bounds + 1 then
+                  raise
+                    (Corrupt
+                       (Printf.sprintf
+                          "metrics histogram %S: %d bounds but %d buckets"
+                          name (Array.length bounds) (Array.length counts)));
+                Histogram { bounds; counts; n; sum }
+            | k ->
+                raise
+                  (Corrupt (Printf.sprintf "unknown metric kind tag %d" k))
+          in
+          (name, v))
+    in
+    List.iter
+      (fun (name, v) ->
+        if Hashtbl.mem t name then
+          raise (Corrupt (Printf.sprintf "duplicate metric %S" name));
+        Hashtbl.replace t name
+          (match v with
+          | Counter n -> C_counter (ref n)
+          | Gauge g -> C_gauge (ref g)
+          | Histogram { bounds; counts; n; sum } ->
+              C_hist { bounds; counts; n; sum }))
+      entries;
+    t
+end
+
+module Stats = struct
+  type row = {
+    run_time_vs : float;
+    execs : int;
+    execs_per_sec : float;
+    paths_total : int;
+    saved_crashes : int;
+    restarts : int;
+    coverage_pct : float;
+  }
+
+  (* AFL++ writes "key : value" lines; tools that scrape fuzzer_stats
+     split on the first ':'.  Times are virtual, so the file is
+     deterministic (no unix start_time / wall clock). *)
+  let fuzzer_stats ~target ~mode row =
+    let lines =
+      [
+        ("fuzzer", "necofuzz");
+        ("target", target);
+        ("fuzzer_mode", mode);
+        ("run_time", Printf.sprintf "%.0f" row.run_time_vs);
+        ("execs_done", string_of_int row.execs);
+        ("execs_per_sec", Printf.sprintf "%.2f" row.execs_per_sec);
+        ("paths_total", string_of_int row.paths_total);
+        ("saved_crashes", string_of_int row.saved_crashes);
+        ("restarts", string_of_int row.restarts);
+        ("coverage_pct", Printf.sprintf "%.2f" row.coverage_pct);
+      ]
+    in
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%-18s: %s\n" k v) lines)
+
+  let plot_data_header =
+    "# relative_time, execs_done, paths_total, saved_crashes, coverage_pct, \
+     execs_per_sec"
+
+  let plot_data_line row =
+    Printf.sprintf "%.0f, %d, %d, %d, %.2f, %.2f" row.run_time_vs row.execs
+      row.paths_total row.saved_crashes row.coverage_pct row.execs_per_sec
+end

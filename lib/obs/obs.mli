@@ -1,0 +1,209 @@
+(** Campaign-wide observability: structured tracing, a metrics
+    registry, and AFL++-style stats formatting.
+
+    The paper's evaluation lives on observability artifacts — coverage
+    curves (Fig. 6), exec/restart counts, per-bug discovery times
+    (Table 6) — and AFL++ itself ships [fuzzer_stats]/[plot_data]
+    because campaigns are debugged from telemetry.  This module is the
+    substrate: the engine, the fault injector and the parallel
+    supervisor emit typed {!Event.t}s into a pluggable {!Sink.t} and
+    account campaign counters/gauges/histograms in a {!Metrics.t}
+    registry that merges deterministically across workers.
+
+    {b The inertness invariant.}  Observability must never perturb the
+    campaign: nothing in this module draws fuzzing RNG or charges
+    virtual time, and the metrics registry is updated from
+    deterministic campaign values only — so a traced campaign is
+    bit-identical ([Engine.to_string] equality) to an untraced one and
+    to its own checkpoint/resume.  Sinks are deliberately {e not} part
+    of the engine checkpoint (a resumed campaign re-attaches its own);
+    metrics {e are}, so counters survive resume. *)
+
+module Event : sig
+  (** VM-entry verdict of one fuzz-harness execution: what the
+      validator-generated state did at the L0 hypervisor's entry
+      checks. *)
+  type verdict =
+    | Entered  (** at least one successful L2 entry *)
+    | Vmfail  (** every entry attempt failed consistency checks *)
+    | No_entry  (** the init phase never reached an entry attempt *)
+    | Vm_died  (** the fuzz-harness VM was killed mid-execution *)
+    | Host_crashed  (** the L0 host went down (watchdog path) *)
+
+  val verdict_name : verdict -> string
+
+  (** The typed event stream of a campaign.  [exec] is the 1-based
+      execution ordinal; all payloads are deterministic campaign
+      values. *)
+  type t =
+    | Step_begin of { exec : int }
+    | Input_proposed of { exec : int; bytes : int; queue : int }
+    | Vm_entry_checked of {
+        exec : int;
+        verdict : verdict;
+        entries : int;  (** successful L2 entries this execution *)
+        vmfails : int;  (** failed VM-entry attempts this execution *)
+      }
+    | Sanitizer_report of { exec : int; kind : string; message : string }
+    | Fault_injected of { kind : string }
+        (** [kind]: ["host_crash"], ["vm_kill"], ["hang"] or
+            ["coverage_drop"] (see {!Nf_hv.Faulty}) *)
+    | Step_end of {
+        exec : int;
+        novel : bool;
+        crashed : bool;
+        cost_us : int64;
+      }
+    | Worker_sync of {
+        round : int;
+        workers : int;  (** live (non-abandoned) workers *)
+        execs : int;
+        coverage_pct : float;
+      }
+    | Checkpoint_saved of { path : string; bytes : int }
+    | Worker_recovered of { worker : int; attempt : int; error : string }
+    | Worker_abandoned of { worker : int; attempts : int; error : string }
+
+  (** Stable snake_case event name (the ["ev"] field of the JSONL
+      schema). *)
+  val name : t -> string
+
+  (** One JSONL record: [{"ts_us":…,"worker":…,"ev":…,…payload}]. *)
+  val to_json : ts_us:int64 -> worker:int -> t -> Nf_stdext.Json.t
+
+  (** One Chrome trace-event object (the [chrome://tracing]/Perfetto
+      JSON array format): [Step_end] becomes a complete ("X") slice of
+      [cost_us] duration ending at [ts_us]; everything else an instant
+      ("i") event.  Virtual microseconds map directly onto the trace
+      [ts] clock. *)
+  val to_trace_json : ts_us:int64 -> worker:int -> t -> Nf_stdext.Json.t
+end
+
+module Sink : sig
+  (** An event consumer.  Sinks must be inert: they observe, they never
+      influence (no RNG, no virtual time, no exceptions leaking into the
+      campaign on the emit path). *)
+  type t
+
+  (** Drops everything (the default sink). *)
+  val null : t
+
+  (** [is_null s] lets emitters skip payload construction entirely when
+      nobody is listening. *)
+  val is_null : t -> bool
+
+  val emit : t -> ts_us:int64 -> ?worker:int -> Event.t -> unit
+
+  (** Flush and release the sink's resources.  Idempotent.  Required
+      for {!chrome_trace}, which closes its JSON array here. *)
+  val close : t -> unit
+
+  (** One JSON object per line, written incrementally.
+      @raise Sys_error when the file cannot be created. *)
+  val jsonl : path:string -> t
+
+  (** Chrome trace-event format: a JSON array of trace events, loadable
+      in [chrome://tracing] and Perfetto.
+      @raise Sys_error when the file cannot be created. *)
+  val chrome_trace : path:string -> t
+
+  (** In-memory sink for tests: returns the sink and a function reading
+      the events captured so far (in emission order). *)
+  val memory : unit -> t * (unit -> (int64 * int * Event.t) list)
+
+  (** Fan out to several sinks. *)
+  val tee : t list -> t
+end
+
+module Metrics : sig
+  (** A per-worker metrics registry: counters, gauges and fixed-bucket
+      histograms, keyed by name.  All operations are deterministic;
+      {!merge} combines registries in a fixed order so parallel
+      campaigns report identical merged metrics under any Domain
+      scheduling. *)
+  type t
+
+  (** Read-only view of one metric. *)
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of {
+        bounds : int64 array;  (** inclusive bucket upper bounds *)
+        counts : int array;  (** length [Array.length bounds + 1]; the
+                                 last bucket is the +inf overflow *)
+        n : int;  (** total observations *)
+        sum : int64;  (** sum of observed values *)
+      }
+
+  val create : unit -> t
+
+  (** [incr t name] bumps counter [name] (created at 0 on first use).
+      @raise Invalid_argument if [name] is already a gauge/histogram. *)
+  val incr : ?by:int -> t -> string -> unit
+
+  (** Current counter value; 0 when the counter does not exist. *)
+  val counter : t -> string -> int
+
+  val set_gauge : t -> string -> float -> unit
+  val gauge : t -> string -> float option
+
+  (** Exponential virtual-cost buckets (µs), the default for the
+      per-stage cost histograms. *)
+  val cost_buckets_us : int64 array
+
+  (** [observe t name v] adds [v] to histogram [name], creating it with
+      [buckets] (default {!cost_buckets_us}) on first use.
+      @raise Invalid_argument on a type clash or, for an existing
+      histogram, a different [buckets]. *)
+  val observe : ?buckets:int64 array -> t -> string -> int64 -> unit
+
+  (** Sum of all values observed by histogram [name]; 0L when absent. *)
+  val histogram_sum : t -> string -> int64
+
+  val find : t -> string -> value option
+
+  (** Every metric, sorted by name — the canonical (deterministic)
+      order used by {!pp}, {!write} and the test suite. *)
+  val to_list : t -> (string * value) list
+
+  (** [merge ~into src] accumulates [src]: counters add, gauges keep the
+      maximum, histograms add bucket-wise (bounds must agree).  Merging
+      workers in worker-id order yields a deterministic fleet registry.
+      @raise Invalid_argument on type or bucket-layout clashes. *)
+  val merge : into:t -> t -> unit
+
+  val pp : Format.formatter -> t -> unit
+
+  (** Checkpoint codec: registries round-trip through the engine
+      checkpoint so metrics survive resume. *)
+  val write : Nf_persist.Persist.Writer.t -> t -> unit
+
+  val read : Nf_persist.Persist.Reader.t -> t
+end
+
+module Stats : sig
+  (** AFL++-style stats outputs: [fuzzer_stats] (a key/value snapshot,
+      rewritten atomically at every stats interval) and [plot_data]
+      (an append-only CSV time series).  All times are {e virtual} —
+      the artifacts are deterministic and golden-file testable. *)
+
+  type row = {
+    run_time_vs : float;  (** virtual seconds since campaign start *)
+    execs : int;
+    execs_per_sec : float;  (** per virtual second *)
+    paths_total : int;  (** fuzzer queue size *)
+    saved_crashes : int;
+    restarts : int;
+    coverage_pct : float;
+  }
+
+  (** The [fuzzer_stats] file body. *)
+  val fuzzer_stats : target:string -> mode:string -> row -> string
+
+  val plot_data_header : string
+
+  (** One [plot_data] CSV line:
+      [relative_time, execs_done, paths_total, saved_crashes,
+       coverage_pct, execs_per_sec]. *)
+  val plot_data_line : row -> string
+end

@@ -237,6 +237,16 @@ let write_file_atomic ~path data =
       raise e);
   Sys.rename tmp path
 
+let append_line ~path line =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  (match (output_string oc line; output_char oc '\n') with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e)
+
 let read_file ~path =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg

@@ -93,6 +93,12 @@ val mkdir_p : string -> (unit, string) result
     @raise Sys_error when the directory is missing or unwritable. *)
 val write_file_atomic : path:string -> string -> unit
 
+(** [append_line ~path line] appends [line] plus a newline to [path],
+    creating the file when missing.  Used for append-only telemetry
+    artifacts ([plot_data]), where atomic replacement would lose history.
+    @raise Sys_error when the directory is missing or unwritable. *)
+val append_line : path:string -> string -> unit
+
 (** Read a whole file; I/O failures become [Error]. *)
 val read_file : path:string -> (string, string) result
 

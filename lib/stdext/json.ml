@@ -1,0 +1,67 @@
+(** Minimal JSON emitter.  See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | I64 of int64
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
+  Buffer.contents buf
+
+let add_float buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_string buf "null"
+
+let rec add_to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | I64 n -> Buffer.add_string buf (Int64.to_string n)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add_to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  add_to_buffer buf j;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Minimal JSON emitter for observability artifacts.
+
+    The telemetry layer writes three machine-readable formats — JSONL
+    event streams, Chrome trace-event files (chrome://tracing /
+    Perfetto) and [BENCH_*.json] benchmark reports.  All three need
+    exactly one thing: deterministic, correctly escaped JSON output.
+    This module provides that and nothing else (no parser, no
+    streaming); it keeps the repository free of a JSON dependency.
+
+    Determinism matters because telemetry artifacts are golden-file
+    tested: object fields are emitted in the order given, floats are
+    formatted with a fixed ["%.12g"] (non-finite floats degrade to
+    [null], which JSON cannot represent). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | I64 of int64
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no whitespace). *)
+val to_string : t -> string
+
+(** Append the compact rendering to [buf]. *)
+val add_to_buffer : Buffer.t -> t -> unit
+
+(** [escape s] is [s] as a quoted JSON string literal. *)
+val escape : string -> string

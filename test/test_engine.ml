@@ -153,6 +153,56 @@ let test_parallel_crash_dedup () =
         keys)
     per_worker
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* target_of_string is the single place CLI target names are parsed:
+   case-insensitive, underscore-tolerant, total over all_targets, and
+   helpful on garbage. *)
+let test_target_of_string () =
+  let ok s = function
+    | expected -> (
+        match Engine.target_of_string s with
+        | Ok t ->
+            check Alcotest.string
+              (Printf.sprintf "parse %S" s)
+              (Engine.target_name expected) (Engine.target_name t)
+        | Error msg -> Alcotest.failf "parse %S: unexpected error %s" s msg)
+  in
+  (* Every canonical spelling round-trips, as does its slug. *)
+  List.iter
+    (fun (slug, t) ->
+      ok slug t;
+      check Alcotest.string "slug inverse" slug (Engine.target_slug t))
+    Engine.all_targets;
+  (* Case variants and underscore spellings. *)
+  ok "KVM-Intel" Engine.Kvm_intel;
+  ok "KVM-INTEL" Engine.Kvm_intel;
+  ok "kvm_intel" Engine.Kvm_intel;
+  ok "Xen_AMD" Engine.Xen_amd;
+  ok "VBox" Engine.Vbox;
+  ok "VBOX" Engine.Vbox;
+  (* Garbage is a descriptive Error naming the valid spellings, never an
+     exception. *)
+  List.iter
+    (fun s ->
+      match Engine.target_of_string s with
+      | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S names the input" s)
+            true
+            (contains
+               ~sub:(String.lowercase_ascii s)
+               (String.lowercase_ascii msg));
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S lists the targets" s)
+            true
+            (contains ~sub:"kvm-intel" msg))
+    [ ""; "kvm"; "qemu"; "kvm intel"; "kvm--intel" ]
+
 let tests =
   [
     ("step-wise engine equals sequential run", `Quick, test_step_equals_run);
@@ -165,4 +215,5 @@ let tests =
       test_parallel_deterministic_and_superset );
     ("sync propagates corpus entries", `Quick, test_parallel_sync_imports);
     ("cross-worker crash dedup", `Quick, test_parallel_crash_dedup);
+    ("target_of_string case-insensitive", `Quick, test_target_of_string);
   ]

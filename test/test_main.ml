@@ -14,6 +14,7 @@ let () =
       ("agent", Test_agent.tests);
       ("engine", Test_engine.tests);
       ("persist", Test_persist.tests);
+      ("obs", Test_obs.tests);
       ("baselines", Test_baselines.tests);
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);

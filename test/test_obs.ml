@@ -1,0 +1,614 @@
+(* Tests for the observability layer (Nf_obs) and its engine wiring:
+   the inertness invariant (traced == untraced, bit for bit), metrics
+   semantics and checkpoint round-trip, deterministic parallel merge,
+   and the stats/trace output schemas. *)
+
+module Engine = Nf_engine.Engine
+module Obs = Nf_obs.Obs
+module Json = Nf_stdext.Json
+module Persist = Nf_persist.Persist
+
+let check = Alcotest.check
+let tmpdir () = Filename.temp_dir "nf-test-obs" ""
+
+let short_cfg ?(hours = 0.4) ?(seed = 1) target =
+  { (Engine.default_cfg target) with seed; duration_hours = hours }
+
+let drive (t : Engine.t) =
+  let rec loop () =
+    match Engine.step t with Engine.Stepped _ -> loop () | Engine.Deadline -> ()
+  in
+  loop ()
+
+let read_file path =
+  match Persist.read_file ~path with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "read %s: %s" path msg
+
+let expect_invalid_arg name f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry semantics.                                         *)
+
+let test_metrics_basics () =
+  let m = Obs.Metrics.create () in
+  check Alcotest.int "absent counter reads 0" 0 (Obs.Metrics.counter m "x");
+  Obs.Metrics.incr m "x";
+  Obs.Metrics.incr ~by:4 m "x";
+  check Alcotest.int "counter accumulates" 5 (Obs.Metrics.counter m "x");
+  Alcotest.(check (option (float 1e-9)))
+    "absent gauge" None (Obs.Metrics.gauge m "g");
+  Obs.Metrics.set_gauge m "g" 1.5;
+  Obs.Metrics.set_gauge m "g" 0.25;
+  Alcotest.(check (option (float 1e-9)))
+    "gauge keeps last write" (Some 0.25) (Obs.Metrics.gauge m "g");
+  check Alcotest.int64 "absent histogram sums 0" 0L
+    (Obs.Metrics.histogram_sum m "h");
+  Obs.Metrics.observe m "h" 50L;
+  Obs.Metrics.observe m "h" 2_000L;
+  Obs.Metrics.observe m "h" 999_000_000L (* overflow bucket *);
+  check Alcotest.int64 "histogram sum" 999_002_050L
+    (Obs.Metrics.histogram_sum m "h");
+  (match Obs.Metrics.find m "h" with
+  | Some (Obs.Metrics.Histogram { bounds; counts; n; sum }) ->
+      check Alcotest.int "observation count" 3 n;
+      check Alcotest.int64 "sum field" 999_002_050L sum;
+      check Alcotest.int "one bucket per bound plus overflow"
+        (Array.length bounds + 1)
+        (Array.length counts);
+      check Alcotest.int "overflow bucket counted" 1
+        counts.(Array.length counts - 1);
+      check Alcotest.int "all observations bucketed" 3
+        (Array.fold_left ( + ) 0 counts)
+  | _ -> Alcotest.fail "histogram not found");
+  (* The canonical listing is name-sorted. *)
+  let names = List.map fst (Obs.Metrics.to_list m) in
+  Alcotest.(check (list string)) "sorted listing" [ "g"; "h"; "x" ] names;
+  (* Kind clashes are programming errors, not silent coercions. *)
+  List.iter
+    (fun f -> expect_invalid_arg "kind clash" f)
+    [
+      (fun () -> Obs.Metrics.set_gauge m "x" 1.0);
+      (fun () -> Obs.Metrics.incr m "g");
+      (fun () -> Obs.Metrics.observe m "x" 1L);
+      (fun () -> Obs.Metrics.observe ~buckets:[| 1L |] m "h" 1L);
+    ]
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:3 a "c";
+  Obs.Metrics.incr ~by:4 b "c";
+  Obs.Metrics.incr b "only-b";
+  Obs.Metrics.set_gauge a "g" 2.0;
+  Obs.Metrics.set_gauge b "g" 5.0;
+  Obs.Metrics.observe a "h" 10L;
+  Obs.Metrics.observe b "h" 20L;
+  Obs.Metrics.merge ~into:a b;
+  check Alcotest.int "counters add" 7 (Obs.Metrics.counter a "c");
+  check Alcotest.int "missing counters appear" 1 (Obs.Metrics.counter a "only-b");
+  Alcotest.(check (option (float 1e-9)))
+    "gauges keep the max" (Some 5.0) (Obs.Metrics.gauge a "g");
+  check Alcotest.int64 "histograms add" 30L (Obs.Metrics.histogram_sum a "h");
+  (* Merging histograms with different bucket layouts must refuse. *)
+  let c = Obs.Metrics.create () in
+  Obs.Metrics.observe ~buckets:[| 1L; 2L |] c "h" 1L;
+  expect_invalid_arg "bucket layout clash" (fun () ->
+      Obs.Metrics.merge ~into:a c)
+
+let test_metrics_roundtrip () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:42 m "execs";
+  Obs.Metrics.set_gauge m "coverage/total" 61.25;
+  Obs.Metrics.observe m "cost_us/boot" 1_800_000L;
+  Obs.Metrics.observe m "cost_us/boot" 1_800_000L;
+  let w = Persist.Writer.create () in
+  Obs.Metrics.write w m;
+  let blob = Persist.Writer.contents w in
+  let r = Persist.Reader.of_string blob in
+  let m' = Obs.Metrics.read r in
+  check Alcotest.bool "codec round-trips the listing" true
+    (Obs.Metrics.to_list m = Obs.Metrics.to_list m');
+  (* A second encode of the decoded registry is byte-identical: the
+     codec is canonical, which the checkpoint bit-identity tests rely
+     on. *)
+  let w2 = Persist.Writer.create () in
+  Obs.Metrics.write w2 m';
+  check Alcotest.string "canonical encoding" blob (Persist.Writer.contents w2)
+
+(* ------------------------------------------------------------------ *)
+(* The inertness invariant.                                            *)
+
+(* A traced campaign is bit-identical to an untraced one: same steps,
+   same checkpoint bytes, same results. *)
+let test_traced_equals_untraced () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let plain = Engine.create cfg in
+  let traced = Engine.create cfg in
+  let sink, events = Obs.Sink.memory () in
+  Engine.set_sink traced sink;
+  drive plain;
+  drive traced;
+  check Alcotest.string "checkpoint bytes identical"
+    (Engine.to_string plain) (Engine.to_string traced);
+  Alcotest.(check bool) "the sink did observe the campaign" true
+    (List.length (events ()) > 0);
+  check Alcotest.bool "metrics identical" true
+    (Obs.Metrics.to_list (Engine.metrics plain)
+    = Obs.Metrics.to_list (Engine.metrics traced))
+
+(* Same, with fault injection in the loop (the injector's observer hook
+   must not perturb its fault stream). *)
+let test_traced_equals_untraced_with_faults () =
+  let cfg =
+    {
+      (short_cfg Engine.Kvm_intel) with
+      faults = Some { Engine.fault_rate = 0.05; fault_seed = 7 };
+    }
+  in
+  let plain = Engine.create cfg in
+  let traced = Engine.create cfg in
+  let sink, events = Obs.Sink.memory () in
+  Engine.set_sink traced sink;
+  drive plain;
+  drive traced;
+  check Alcotest.string "checkpoint bytes identical under faults"
+    (Engine.to_string plain) (Engine.to_string traced);
+  let faults =
+    List.filter_map
+      (fun (_, _, ev) ->
+        match ev with
+        | Obs.Event.Fault_injected { kind } -> Some kind
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check bool) "faults were traced" true (List.length faults > 0);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "known fault kind %S" kind)
+        true
+        (List.mem kind [ "host_crash"; "vm_kill"; "hang"; "coverage_drop" ]))
+    faults;
+  (* The event stream, the metrics registry and the injector agree on
+     the fault count. *)
+  check Alcotest.int "faults/total matches the event stream"
+    (List.length faults)
+    (Obs.Metrics.counter (Engine.metrics traced) "faults/total")
+
+(* Metrics survive checkpoint/resume, and a traced resumed campaign
+   stays bit-identical to the uninterrupted untraced one. *)
+let test_metrics_survive_resume () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let full = Engine.create cfg in
+  drive full;
+  let interrupted = Engine.create cfg in
+  for _ = 1 to 200 do
+    ignore (Engine.step interrupted)
+  done;
+  let mid_execs = Obs.Metrics.counter (Engine.metrics interrupted) "execs" in
+  check Alcotest.int "metrics counted the first half" 200 mid_execs;
+  let resumed =
+    match Engine.of_string (Engine.to_string interrupted) with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "restore: %s" msg
+  in
+  check Alcotest.int "metrics survived the checkpoint" mid_execs
+    (Obs.Metrics.counter (Engine.metrics resumed) "execs");
+  (* Resume under tracing; the sink sees only the second half, the
+     state stays bit-identical to the uninterrupted run. *)
+  let sink, events = Obs.Sink.memory () in
+  Engine.set_sink resumed sink;
+  drive resumed;
+  check Alcotest.string "resumed+traced equals uninterrupted"
+    (Engine.to_string full) (Engine.to_string resumed);
+  (match events () with
+  | (_, _, Obs.Event.Step_begin { exec }) :: _ ->
+      check Alcotest.int "events resume at the next exec" 201 exec
+  | _ -> Alcotest.fail "expected Step_begin first");
+  check Alcotest.bool "final metrics identical" true
+    (Obs.Metrics.to_list (Engine.metrics full)
+    = Obs.Metrics.to_list (Engine.metrics resumed))
+
+(* ------------------------------------------------------------------ *)
+(* The per-step event stream and stage accounting.                     *)
+
+let test_event_stream_shape () =
+  let cfg = short_cfg ~hours:0.05 Engine.Kvm_intel in
+  let t = Engine.create cfg in
+  let sink, events = Obs.Sink.memory () in
+  Engine.set_sink t sink;
+  drive t;
+  let r = Engine.finish t in
+  let evs = events () in
+  let count p = List.length (List.filter p evs) in
+  let begins =
+    count (fun (_, _, e) ->
+        match e with Obs.Event.Step_begin _ -> true | _ -> false)
+  in
+  let ends =
+    count (fun (_, _, e) ->
+        match e with Obs.Event.Step_end _ -> true | _ -> false)
+  in
+  let proposed =
+    count (fun (_, _, e) ->
+        match e with Obs.Event.Input_proposed _ -> true | _ -> false)
+  in
+  let checked =
+    count (fun (_, _, e) ->
+        match e with Obs.Event.Vm_entry_checked _ -> true | _ -> false)
+  in
+  check Alcotest.int "one Step_begin per exec" r.execs begins;
+  check Alcotest.int "one Step_end per exec" r.execs ends;
+  check Alcotest.int "one Input_proposed per exec" r.execs proposed;
+  check Alcotest.int "one Vm_entry_checked per exec" r.execs checked;
+  (* Timestamps are the virtual clock: monotone non-decreasing. *)
+  let rec monotone = function
+    | (a, _, _) :: ((b, _, _) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "virtual timestamps monotone" true (monotone evs);
+  (* Stage decomposition: boot + execute histograms account for every
+     charged execution microsecond, and the stage list is total. *)
+  let m = Engine.metrics t in
+  let stage_sum =
+    List.fold_left
+      (fun acc (_, v) -> Int64.add acc v)
+      0L (Engine.snapshot t).stage_cost_us
+  in
+  let step_cost =
+    List.fold_left
+      (fun acc (_, _, e) ->
+        match e with
+        | Obs.Event.Step_end { cost_us; _ } -> Int64.add acc cost_us
+        | _ -> acc)
+      0L evs
+  in
+  check Alcotest.int64 "stages account for all execution cost" step_cost
+    stage_sum;
+  check Alcotest.int "propose charged zero by construction" 0
+    (Int64.to_int (Obs.Metrics.histogram_sum m "cost_us/propose"))
+
+let test_checkpoint_saved_event () =
+  let dir = tmpdir () in
+  (* 0.35 vh with 0.1 vh checkpoints: the additive checkpoint grid lands
+     at 0.1 / 0.2 / ~0.3, i.e. three saves within the deadline. *)
+  let cfg =
+    { (short_cfg ~hours:0.35 Engine.Kvm_intel) with checkpoint_hours = 0.1 }
+  in
+  let t = Engine.create cfg in
+  let sink, events = Obs.Sink.memory () in
+  Engine.set_sink t sink;
+  ignore (Engine.run_from ~checkpoint_dir:dir t);
+  let saves =
+    List.filter_map
+      (fun (_, _, e) ->
+        match e with
+        | Obs.Event.Checkpoint_saved { path; bytes } -> Some (path, bytes)
+        | _ -> None)
+      (events ())
+  in
+  check Alcotest.int "one save per checkpoint interval" 3 (List.length saves);
+  List.iter
+    (fun (path, bytes) ->
+      check Alcotest.string "save path" (Filename.concat dir "checkpoint.bin")
+        path;
+      Alcotest.(check bool) "non-trivial blob" true (bytes > 0))
+    saves;
+  (* The last event's byte count matches the file on disk. *)
+  let _, last_bytes = List.nth saves (List.length saves - 1) in
+  check Alcotest.int "trace matches the artifact"
+    (String.length (read_file (Filename.concat dir "checkpoint.bin")))
+    last_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaigns: deterministic merge, supervisor events.         *)
+
+let test_parallel_metrics_merge_deterministic () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let a = Engine.run_parallel ~jobs:4 cfg in
+  let b = Engine.run_parallel ~jobs:4 cfg in
+  check Alcotest.bool "two jobs:4 merges identical" true
+    (Obs.Metrics.to_list a.merged.metrics = Obs.Metrics.to_list b.merged.metrics);
+  (* Counters add across workers. *)
+  let worker_execs =
+    Array.fold_left
+      (fun acc (r : Engine.result) -> acc + Obs.Metrics.counter r.metrics "execs")
+      0 a.workers
+  in
+  check Alcotest.int "merged execs counter is the fleet sum" worker_execs
+    (Obs.Metrics.counter a.merged.metrics "execs");
+  check Alcotest.int "counter agrees with the result field" a.merged.execs
+    (Obs.Metrics.counter a.merged.metrics "execs");
+  (* Per-worker results carry per-worker registries. *)
+  Array.iter
+    (fun (r : Engine.result) ->
+      check Alcotest.int "worker registry is its own" r.execs
+        (Obs.Metrics.counter r.metrics "execs"))
+    a.workers;
+  (* Fleet accounting and union coverage gauge. *)
+  check Alcotest.int "all workers healthy" 4
+    (Obs.Metrics.counter a.merged.metrics "workers/healthy");
+  Alcotest.(check (option (float 1e-6)))
+    "coverage gauge is the union map"
+    (Some (Nf_coverage.Coverage.Map.coverage_pct a.merged.coverage))
+    (Obs.Metrics.gauge a.merged.metrics "coverage/total")
+
+(* jobs:1 must stay bit-identical to the sequential engine: no fleet
+   counters sneak into a single-worker registry. *)
+let test_parallel_one_worker_metrics_equal_sequential () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let seq = Engine.run cfg in
+  let par = Engine.run_parallel ~jobs:1 cfg in
+  check Alcotest.bool "jobs:1 metrics equal sequential" true
+    (Obs.Metrics.to_list seq.metrics = Obs.Metrics.to_list par.merged.metrics);
+  check Alcotest.int "no fleet counters at jobs:1" 0
+    (Obs.Metrics.counter par.merged.metrics "workers/healthy")
+
+let test_parallel_supervisor_events () =
+  let cfg = short_cfg ~hours:0.4 Engine.Kvm_intel in
+  let sink, events = Obs.Sink.memory () in
+  (* Kill worker 1's first attempt of round 1; the supervisor restores
+     and retries it. *)
+  let chaos ~worker ~round ~attempt =
+    if worker = 1 && round = 1 && attempt = 0 then failwith "chaos"
+  in
+  let out =
+    Engine.run_parallel ~jobs:2 ~sync_hours:0.2 ~chaos ~obs:sink cfg
+  in
+  (match out.supervision.(1) with
+  | Engine.Recovered 1 -> ()
+  | _ -> Alcotest.fail "worker 1 should have recovered once");
+  let recovered =
+    List.filter_map
+      (fun (_, w, e) ->
+        match e with
+        | Obs.Event.Worker_recovered { worker; attempt; error } ->
+            Some (w, worker, attempt, error)
+        | _ -> None)
+      (events ())
+  in
+  (match recovered with
+  | [ (w, worker, attempt, error) ] ->
+      check Alcotest.int "event stamped with the worker" 1 w;
+      check Alcotest.int "payload worker" 1 worker;
+      check Alcotest.int "first recovery attempt" 1 attempt;
+      Alcotest.(check bool) "error captured" true
+        (String.length error > 0)
+  | l -> Alcotest.failf "expected 1 Worker_recovered, got %d" (List.length l));
+  check Alcotest.int "recovery counted in the worker registry" 1
+    (Obs.Metrics.counter out.workers.(1).metrics "recovery/supervisor_restarts");
+  let syncs =
+    List.filter_map
+      (fun (_, _, e) ->
+        match e with
+        | Obs.Event.Worker_sync { round; workers; execs; _ } ->
+            Some (round, workers, execs)
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check bool) "one Worker_sync per barrier" true
+    (List.length syncs >= 2);
+  List.iteri
+    (fun i (round, workers, _) ->
+      check Alcotest.int "rounds numbered from 1" (i + 1) round;
+      check Alcotest.int "both workers live" 2 workers)
+    syncs;
+  (* Tracing the supervisor is inert too: same campaign without the
+     sink produces identical merged metrics. *)
+  let plain = Engine.run_parallel ~jobs:2 ~sync_hours:0.2 ~chaos cfg in
+  check Alcotest.bool "supervisor tracing inert" true
+    (Obs.Metrics.to_list plain.merged.metrics
+    = Obs.Metrics.to_list out.merged.metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Output schemas: fuzzer_stats, plot_data, JSONL, Chrome trace.        *)
+
+let test_fuzzer_stats_schema () =
+  let row =
+    {
+      Obs.Stats.run_time_vs = 900.0;
+      execs = 491;
+      execs_per_sec = 0.546;
+      paths_total = 34;
+      saved_crashes = 0;
+      restarts = 2;
+      coverage_pct = 52.71;
+    }
+  in
+  let body = Obs.Stats.fuzzer_stats ~target:"kvm-intel" ~mode:"guided" row in
+  (* Golden: the body is fully deterministic. *)
+  let expected =
+    "fuzzer            : necofuzz\n\
+     target            : kvm-intel\n\
+     fuzzer_mode       : guided\n\
+     run_time          : 900\n\
+     execs_done        : 491\n\
+     execs_per_sec     : 0.55\n\
+     paths_total       : 34\n\
+     saved_crashes     : 0\n\
+     restarts          : 2\n\
+     coverage_pct      : 52.71\n"
+  in
+  check Alcotest.string "fuzzer_stats golden" expected body;
+  check Alcotest.string "plot_data header golden"
+    "# relative_time, execs_done, paths_total, saved_crashes, coverage_pct, \
+     execs_per_sec"
+    Obs.Stats.plot_data_header;
+  check Alcotest.string "plot_data line golden" "900, 491, 34, 0, 52.71, 0.55"
+    (Obs.Stats.plot_data_line row)
+
+(* run_from writes the stats artifacts on the virtual grid; two
+   identical campaigns produce byte-identical files (virtual time only,
+   no wall clock). *)
+let test_stats_outputs_deterministic () =
+  let run_once () =
+    let dir = tmpdir () in
+    let cfg = short_cfg ~hours:0.4 Engine.Kvm_intel in
+    ignore (Engine.run_from ~stats_dir:dir ~stats_hours:0.1 (Engine.create cfg));
+    ( read_file (Filename.concat dir Engine.fuzzer_stats_file),
+      read_file (Filename.concat dir Engine.plot_data_file) )
+  in
+  let stats_a, plot_a = run_once () in
+  let stats_b, plot_b = run_once () in
+  check Alcotest.string "fuzzer_stats deterministic" stats_a stats_b;
+  check Alcotest.string "plot_data deterministic" plot_a plot_b;
+  (* Schema: a header line plus one CSV row of 6 fields per grid
+     point. *)
+  (match String.split_on_char '\n' plot_a with
+  | header :: rows ->
+      check Alcotest.string "header" Obs.Stats.plot_data_header header;
+      let rows = List.filter (fun l -> l <> "") rows in
+      check Alcotest.int "one row per grid point" 4 (List.length rows);
+      List.iter
+        (fun row ->
+          check Alcotest.int "6 CSV fields" 6
+            (List.length (String.split_on_char ',' row)))
+        rows
+  | [] -> Alcotest.fail "empty plot_data");
+  Alcotest.(check bool) "stats mention the target" true
+    (let rec contains i =
+       i + 9 <= String.length stats_a
+       && (String.sub stats_a i 9 = "kvm-intel" || contains (i + 1))
+     in
+     contains 0)
+
+(* The stats grid is clock-derived: a resumed campaign appends exactly
+   the missing plot rows, never duplicating one. *)
+let test_stats_resume_continues_grid () =
+  let cfg = short_cfg ~hours:0.4 Engine.Kvm_intel in
+  (* Uninterrupted reference. *)
+  let dir_full = tmpdir () in
+  ignore
+    (Engine.run_from ~stats_dir:dir_full ~stats_hours:0.1 (Engine.create cfg));
+  (* Interrupted: drive past 0.22 vh by hand, checkpoint, restore, and
+     resume with run_from into a dir that already holds the first two
+     grid rows (what run_from would have written before the cut). *)
+  let dir2 = tmpdir () in
+  let a = Engine.create cfg in
+  let blob =
+    let rec go () =
+      if (Engine.snapshot a).virtual_hours >= 0.22 then Engine.to_string a
+      else
+        match Engine.step a with
+        | Engine.Stepped _ -> go ()
+        | Engine.Deadline -> Alcotest.fail "deadline before halfway"
+    in
+    go ()
+  in
+  (* First half writes its grid rows... *)
+  let b =
+    match Engine.of_string blob with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "restore: %s" m
+  in
+  (* Replay rows 0.1/0.2 the way run_from would have: *)
+  let target = "kvm-intel" and mode = "guided" in
+  List.iter
+    (fun h ->
+      Engine.write_stats ~dir:dir2 ~target ~mode
+        (Engine.stats_row ~run_time_vs:(h *. 3600.0) b))
+    [ 0.1; 0.2 ];
+  ignore (Engine.run_from ~stats_dir:dir2 ~stats_hours:0.1 b);
+  let rows path =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let full_rows = rows (Filename.concat dir_full Engine.plot_data_file) in
+  let split_rows = rows (Filename.concat dir2 Engine.plot_data_file) in
+  check Alcotest.int "same number of rows, none duplicated"
+    (List.length full_rows) (List.length split_rows);
+  (* The resumed half (grid points > 0.22 vh) is identical to the
+     uninterrupted run's. *)
+  let tail l = List.filteri (fun i _ -> i >= 2) l in
+  Alcotest.(check (list string))
+    "resumed grid rows identical" (tail full_rows) (tail split_rows)
+
+let test_jsonl_and_chrome_schemas () =
+  let dir = tmpdir () in
+  let jsonl_path = Filename.concat dir "events.jsonl" in
+  let trace_path = Filename.concat dir "trace.json" in
+  let cfg = short_cfg ~hours:0.05 Engine.Kvm_intel in
+  let t = Engine.create cfg in
+  let jsonl = Obs.Sink.jsonl ~path:jsonl_path in
+  let chrome = Obs.Sink.chrome_trace ~path:trace_path in
+  Engine.set_sink t (Obs.Sink.tee [ jsonl; chrome ]);
+  drive t;
+  Obs.Sink.close jsonl;
+  Obs.Sink.close chrome;
+  Obs.Sink.close chrome (* close is idempotent *);
+  let lines =
+    String.split_on_char '\n' (read_file jsonl_path)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "jsonl non-empty" true (List.length lines > 0);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "jsonl record shape" true
+        (String.length l > 2
+        && String.sub l 0 9 = {|{"ts_us":|}
+        && l.[String.length l - 1] = '}'))
+    lines;
+  let trace = read_file trace_path in
+  Alcotest.(check bool) "chrome trace is a JSON array" true
+    (String.length trace > 2
+    && trace.[0] = '['
+    && String.sub trace (String.length trace - 2) 2 = "]\n");
+  (* Step_end events render as complete slices with a duration. *)
+  let slice =
+    Obs.Event.to_trace_json ~ts_us:2_000L ~worker:3
+      (Obs.Event.Step_end
+         { exec = 1; novel = true; crashed = false; cost_us = 1_500L })
+  in
+  let s = Json.to_string slice in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slice has %s" sub)
+        true
+        (let n = String.length sub and m = String.length s in
+         let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+         go 0))
+    [ {|"ph":"X"|}; {|"dur":1500|}; {|"ts":500|}; {|"tid":3|} ];
+  (* Instant events carry the scope field Perfetto expects. *)
+  let inst =
+    Json.to_string
+      (Obs.Event.to_trace_json ~ts_us:7L ~worker:0
+         (Obs.Event.Fault_injected { kind = "hang" }))
+  in
+  Alcotest.(check bool) "instant event shape" true
+    (let sub = {|"ph":"i"|} in
+     let n = String.length sub and m = String.length inst in
+     let rec go i = i + n <= m && (String.sub inst i n = sub || go (i + 1)) in
+     go 0)
+
+let tests =
+  [
+    ("metrics: counters, gauges, histograms", `Quick, test_metrics_basics);
+    ("metrics: deterministic merge", `Quick, test_metrics_merge);
+    ("metrics: persist codec round-trip", `Quick, test_metrics_roundtrip);
+    ("inertness: traced equals untraced", `Quick, test_traced_equals_untraced);
+    ( "inertness: traced equals untraced under faults",
+      `Quick,
+      test_traced_equals_untraced_with_faults );
+    ("metrics survive checkpoint/resume", `Quick, test_metrics_survive_resume);
+    ("event stream shape and stage costs", `Quick, test_event_stream_shape);
+    ("checkpoint_saved events", `Quick, test_checkpoint_saved_event);
+    ( "parallel: deterministic metrics merge",
+      `Quick,
+      test_parallel_metrics_merge_deterministic );
+    ( "parallel: jobs:1 metrics equal sequential",
+      `Quick,
+      test_parallel_one_worker_metrics_equal_sequential );
+    ("parallel: supervisor events", `Quick, test_parallel_supervisor_events);
+    ("fuzzer_stats/plot_data golden", `Quick, test_fuzzer_stats_schema);
+    ( "stats outputs deterministic",
+      `Quick,
+      test_stats_outputs_deterministic );
+    ( "stats grid survives resume",
+      `Quick,
+      test_stats_resume_continues_grid );
+    ("jsonl and chrome trace schemas", `Quick, test_jsonl_and_chrome_schemas);
+  ]
