@@ -7,8 +7,9 @@
      dune exec bench/main.exe -- --exp t2     -- a single experiment
      dune exec bench/main.exe -- --exp micro  -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
+     dune exec bench/main.exe -- --exp throughput -- wall-clock execs/sec
 
-   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel.
+   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel throughput.
 
    Besides the human-readable tables, every experiment drops a
    machine-readable BENCH_<exp>.json next to the cwd (or --out-dir DIR)
@@ -81,6 +82,107 @@ let parallel () =
       ("scenarios", Json.Arr scenarios);
     ]
 
+(* End-to-end throughput: *wall-clock* executions per second, the number
+   the whole hot-path discipline defends (the paper's premise is that a
+   fuzz-harness VM execution is cheap; AFL++ lives or dies by bitmap-scan
+   speed).  Unlike [parallel], which reports executions per *virtual*
+   hour (a simulation-model constant), this scenario times the real
+   machine.  The JSON lands in BENCH_throughput.json so CI can archive a
+   trajectory, and --baseline FILE turns it into a regression gate. *)
+let throughput_regression_tolerance = 0.30
+
+let read_baseline path =
+  (* "key value" lines, same shape as fuzzer_stats: trivially
+     hand-editable and diffable, no JSON parser needed. *)
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ key; v ] -> (
+            match float_of_string_opt v with
+            | Some f -> go ((key, f) :: acc)
+            | None -> go acc)
+        | _ -> go acc)
+    | exception End_of_file ->
+        close_in ic;
+        acc
+  in
+  go []
+
+let throughput ~jobs ~baseline () =
+  let hours = 4.0 in
+  let seed = 1 in
+  let cfg = Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~seed ~hours () in
+  Format.fprintf ppf
+    "@.== End-to-end throughput (KVM/Intel, %.0f virtual hours, wall \
+     clock) ==@."
+    hours;
+  Format.fprintf ppf "%6s %9s %9s %14s %9s@." "jobs" "execs" "wall(s)"
+    "execs/sec" "coverage";
+  let measure jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      if jobs = 1 then Necofuzz.run cfg else Necofuzz.run_parallel ~jobs cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let eps = float_of_int r.execs /. wall in
+    Format.fprintf ppf "%6d %9d %9.2f %14.0f %8.1f%%@." jobs r.execs wall eps
+      (Necofuzz.coverage_pct r);
+    (r, wall, eps)
+  in
+  let _, seq_wall, seq_eps = measure 1 in
+  let par_r, par_wall, par_eps = measure jobs in
+  bench_json "throughput"
+    [
+      ("target", Json.String "kvm-intel");
+      ("virtual_hours", Json.Float hours);
+      ("seed", Json.Int seed);
+      ( "sequential",
+        Json.Obj
+          [
+            ("jobs", Json.Int 1);
+            ("wall_s", Json.Float seq_wall);
+            ("execs_per_sec", Json.Float seq_eps);
+          ] );
+      ( "parallel",
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("execs", Json.Int par_r.execs);
+            ("wall_s", Json.Float par_wall);
+            ("execs_per_sec", Json.Float par_eps);
+          ] );
+    ];
+  match baseline with
+  | None -> ()
+  | Some path ->
+      let floor_of key current =
+        match List.assoc_opt key (read_baseline path) with
+        | None ->
+            Format.fprintf ppf "[bench] baseline %s: no %s entry, skipped@."
+              path key;
+            true
+        | Some b ->
+            let floor = b *. (1.0 -. throughput_regression_tolerance) in
+            let ok = current >= floor in
+            Format.fprintf ppf
+              "[bench] %s: %.0f execs/sec vs baseline %.0f (floor %.0f) %s@."
+              key current b floor
+              (if ok then "OK" else "REGRESSION");
+            ok
+      in
+      let seq_ok = floor_of "sequential_execs_per_sec" seq_eps in
+      let par_ok = floor_of "parallel_execs_per_sec" par_eps in
+      if not (seq_ok && par_ok) then begin
+        Format.fprintf ppf
+          "[bench] throughput regressed more than %.0f%% against %s@."
+          (throughput_regression_tolerance *. 100.0)
+          path;
+        Format.pp_print_flush ppf ();
+        exit 1
+      end
+
 let micro () =
   let open Bechamel in
   let caps = Nf_cpu.Vmx_caps.alder_lake in
@@ -120,6 +222,31 @@ let micro () =
   let test_hamming =
     Test.make ~name:"vmcs-hamming"
       (Staged.stage (fun () -> ignore (Nf_vmcs.Vmcs.hamming golden golden)))
+  in
+  let golden_vmcb = Nf_validator.Golden.vmcb Nf_cpu.Svm_caps.zen3 in
+  let test_vmcb_blob =
+    Test.make ~name:"vmcb-blob-roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Nf_vmcb.Vmcb.of_blob (Nf_vmcb.Vmcb.to_blob golden_vmcb))))
+  in
+  let test_vmcb_hamming =
+    Test.make ~name:"vmcb-hamming"
+      (Staged.stage (fun () ->
+           ignore (Nf_vmcb.Vmcb.hamming golden_vmcb golden_vmcb)))
+  in
+  (* Steady-state bitmap scan: a populated trace map against a virgin
+     map that has already absorbed it (the no-novelty common case). *)
+  let test_has_new_bits =
+    let bitmap = Nf_coverage.Coverage.Bitmap.create () in
+    let trng = Nf_stdext.Rng.create 7 in
+    for _ = 1 to 500 do
+      Nf_coverage.Coverage.Bitmap.record bitmap (Nf_stdext.Rng.int trng 5000)
+    done;
+    let virgin = Nf_coverage.Coverage.Bitmap.create_virgin () in
+    ignore (Nf_coverage.Coverage.Bitmap.has_new_bits ~virgin bitmap);
+    Test.make ~name:"bitmap-has-new-bits"
+      (Staged.stage (fun () ->
+           ignore (Nf_coverage.Coverage.Bitmap.has_new_bits ~virgin bitmap)))
   in
   (* Checkpoint cost: how expensive the durability layer makes a
      checkpoint interval.  The engine carries a realistic mid-campaign
@@ -184,6 +311,7 @@ let micro () =
     (fun t -> benchmark (Test.make_grouped ~name:"necofuzz" [ t ]))
     [
       test_round; test_enter; test_exec; test_blob; test_hamming;
+      test_vmcb_blob; test_vmcb_hamming; test_has_new_bits;
       test_ckpt_save; test_ckpt_load; test_crc;
     ];
   bench_json "micro"
@@ -255,5 +383,12 @@ let () =
       timed "lessons" (fun () -> E.print_lessons ppf (E.run_lessons scale))
   | Some "micro" -> micro ()
   | Some "parallel" -> parallel ()
+  | Some "throughput" ->
+      let jobs =
+        match Option.bind (find_opt "--jobs") int_of_string_opt with
+        | Some j when j >= 2 -> j
+        | _ -> 2
+      in
+      throughput ~jobs ~baseline:(find_opt "--baseline") ()
   | Some other -> Format.fprintf ppf "unknown experiment %S@." other);
   Format.pp_print_flush ppf ()

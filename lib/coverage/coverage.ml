@@ -70,12 +70,24 @@ let total_lines ?file region =
 
 (** A coverage map over one region: per-probe hit counts. *)
 module Map = struct
-  type t = { region : region; hits : int array }
+  type t = { region : region; mutable hits : int array }
 
   let create region = { region; hits = Array.make (max 1 region.n) 0 }
 
+  (* Probes can be registered after the map was created (a late-loaded
+     hypervisor module, say); silently dropping their hits would hide
+     real coverage, so grow the counter array on demand instead. *)
+  let ensure t id =
+    let len = Array.length t.hits in
+    if id >= len then begin
+      let bigger = Array.make (max (id + 1) (2 * len)) 0 in
+      Array.blit t.hits 0 bigger 0 len;
+      t.hits <- bigger
+    end
+
   let hit t (p : probe) =
-    if p.id < Array.length t.hits then t.hits.(p.id) <- t.hits.(p.id) + 1
+    ensure t p.id;
+    t.hits.(p.id) <- t.hits.(p.id) + 1
 
   let hit_count t (p : probe) =
     if p.id < Array.length t.hits then t.hits.(p.id) else 0
@@ -89,16 +101,22 @@ module Map = struct
   (** Raw per-probe hit counts, for checkpoint serialization. *)
   let raw_hits t = Array.copy t.hits
 
-  (** Rebuild a map from serialized hit counts.  The count array must
-      match the region's probe count — a mismatch means the checkpoint
-      was taken against a different build of the region. *)
+  (** Rebuild a map from serialized hit counts.  Counter arrays shorter
+      than the region's probe count are zero-extended (a checkpoint taken
+      before later probes were registered); longer ones mean the
+      checkpoint was taken against a different build of the region. *)
   let of_hits region hits =
-    if Array.length hits <> max 1 region.n then
+    let want = max 1 region.n in
+    if Array.length hits > want then
       Error
         (Printf.sprintf
-           "coverage map for region %s has %d counters, expected %d"
-           region.region_name (Array.length hits) (max 1 region.n))
-    else Ok { region; hits = Array.copy hits }
+           "coverage map for region %s has %d counters, expected at most %d"
+           region.region_name (Array.length hits) want)
+    else begin
+      let full = Array.make want 0 in
+      Array.blit hits 0 full 0 (Array.length hits);
+      Ok { region; hits = full }
+    end
 
   let covered_lines ?file t =
     Array.fold_left
@@ -116,6 +134,7 @@ module Map = struct
   (** [merge a b] accumulates [b]'s hits into [a]. *)
   let merge a b =
     assert (a.region == b.region);
+    ensure a (Array.length b.hits - 1);
     Array.iteri (fun i h -> a.hits.(i) <- a.hits.(i) + h) b.hits
 
   let union a b =
@@ -154,22 +173,35 @@ end
 
 (** AFL-style edge bitmap: what the agent shares with the fuzzer.  Probe
     hits are folded into 64 KiB of edge counters with the classic
-    prev-location hashing, then bucketed. *)
+    prev-location hashing, then bucketed.
+
+    The counters are one byte each, exactly like AFL++'s shared-memory
+    trace map.  Saturating at 255 is invisible to the count-class
+    machinery: every true count >= 128 classifies as bucket 128, so a
+    capped counter and an unbounded one always land in the same class. *)
 module Bitmap = struct
   let size = 65536
 
-  type t = { counts : int array; mutable prev_loc : int }
+  type t = { counts : Bytes.t; mutable prev_loc : int }
 
-  let create () = { counts = Array.make size 0; prev_loc = 0 }
+  let create () = { counts = Bytes.make size '\000'; prev_loc = 0 }
 
   let reset t =
-    Array.fill t.counts 0 size 0;
+    Bytes.fill t.counts 0 size '\000';
     t.prev_loc <- 0
+
+  let get t i = Char.code (Bytes.get t.counts i)
+
+  (** Saturating accumulate: fold [c] extra hits into counter [i]. *)
+  let add t i c =
+    let v = Char.code (Bytes.get t.counts i) + c in
+    Bytes.set t.counts i (Char.chr (if v > 255 then 255 else v))
 
   let record t probe_id =
     let cur = (probe_id * 2654435761) land (size - 1) in
     let edge = cur lxor t.prev_loc in
-    t.counts.(edge) <- t.counts.(edge) + 1;
+    let v = Char.code (Bytes.unsafe_get t.counts edge) in
+    if v < 255 then Bytes.unsafe_set t.counts edge (Char.unsafe_chr (v + 1));
     t.prev_loc <- cur lsr 1
 
   (* AFL++ count classes. *)
@@ -184,21 +216,62 @@ module Bitmap = struct
     | n when n <= 127 -> 64
     | _ -> 128
 
+  (* [bucket] precomputed for every value a one-byte counter can take,
+     so the scan classifies with a single string index. *)
+  let bucket_lut = String.init 256 (fun i -> Char.chr (bucket i))
+
+  type virgin = Bytes.t
+
+  let create_virgin () : virgin = Bytes.make size '\000'
+
+  (* Virgin bytes are ORed bucket masks, so they always fit in a byte;
+     the [int array] view exists only for checkpoint compatibility. *)
+  let virgin_to_array (v : virgin) =
+    Array.init size (fun i -> Char.code (Bytes.unsafe_get v i))
+
+  let virgin_of_array a : virgin =
+    if Array.length a <> size then
+      invalid_arg
+        (Printf.sprintf "Coverage.Bitmap.virgin_of_array: %d buckets, expected %d"
+           (Array.length a) size);
+    let v = Bytes.create size in
+    Array.iteri (fun i x -> Bytes.set v i (Char.chr (x land 0xff))) a;
+    v
+
   (** [has_new_bits virgin t] — does [t] touch any bucket not yet seen in
-      [virgin]?  Updates [virgin] in place and reports the discovery. *)
-  let has_new_bits ~virgin t =
+      [virgin]?  Updates [virgin] in place and reports the discovery.
+      AFL++'s u64-skim: words of the trace map that are entirely zero are
+      skipped eight counters at a time; only live words fall back to the
+      per-byte classify-and-OR. *)
+  let has_new_bits ~(virgin : virgin) t =
     let novel = ref false in
-    for i = 0 to size - 1 do
-      let b = bucket t.counts.(i) in
-      if b <> 0 && virgin.(i) land b = 0 then begin
-        virgin.(i) <- virgin.(i) lor b;
-        novel := true
-      end
+    let counts = t.counts in
+    for w = 0 to (size / 8) - 1 do
+      let off = w lsl 3 in
+      if Bytes.get_int64_le counts off <> 0L then
+        for i = off to off + 7 do
+          let c = Char.code (Bytes.unsafe_get counts i) in
+          if c <> 0 then begin
+            let b = Char.code (String.unsafe_get bucket_lut c) in
+            let v = Char.code (Bytes.unsafe_get virgin i) in
+            if v land b = 0 then begin
+              Bytes.unsafe_set virgin i (Char.unsafe_chr (v lor b));
+              novel := true
+            end
+          end
+        done
     done;
     !novel
 
-  let create_virgin () = Array.make size 0
-
   let count_nonzero t =
-    Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+    let counts = t.counts in
+    let n = ref 0 in
+    for w = 0 to (size / 8) - 1 do
+      let off = w lsl 3 in
+      if Bytes.get_int64_le counts off <> 0L then
+        for i = off to off + 7 do
+          if Bytes.unsafe_get counts i <> '\000' then incr n
+        done
+    done;
+    !n
 end

@@ -42,9 +42,10 @@ module Map : sig
   (** Raw per-probe hit counts (a copy), for checkpoint serialization. *)
   val raw_hits : t -> int array
 
-  (** Rebuild a map from {!raw_hits} output.  [Error] when the counter
-      array does not match the region's probe count (a checkpoint taken
-      against a different build of the region). *)
+  (** Rebuild a map from {!raw_hits} output.  Arrays shorter than the
+      region's probe count are zero-extended (checkpoints predating
+      late-registered probes); [Error] when the array is longer than the
+      region (a checkpoint taken against a different build). *)
   val of_hits : region -> int array -> (t, string) result
 
   val covered_lines : ?file:string -> t -> int
@@ -64,11 +65,15 @@ module Map : sig
   val uncovered : ?file:string -> t -> probe list
 end
 
-(** AFL-style edge bitmap: 64 KiB of bucketed counters. *)
+(** AFL-style edge bitmap: 64 KiB of one-byte saturating counters, laid
+    out exactly like AFL++'s shared-memory trace map.  Saturation at 255
+    is invisible to the count-class machinery (every true count >= 128
+    classifies as bucket 128), and [has_new_bits] skims the map eight
+    counters at a time, skipping all-zero words. *)
 module Bitmap : sig
   val size : int
 
-  type t = { counts : int array; mutable prev_loc : int }
+  type t
 
   val create : unit -> t
   val reset : t -> unit
@@ -76,13 +81,28 @@ module Bitmap : sig
   (** Fold one probe hit into the edge map (prev-location hashing). *)
   val record : t -> int -> unit
 
+  (** Counter value at index [i] (0..255). *)
+  val get : t -> int -> int
+
+  (** [add t i c] folds [c] extra hits into counter [i], saturating. *)
+  val add : t -> int -> int -> unit
+
   (** AFL++ hit-count classes. *)
   val bucket : int -> int
 
+  (** The per-edge already-seen-buckets map. *)
+  type virgin
+
+  val create_virgin : unit -> virgin
+
   (** [has_new_bits ~virgin t] — does [t] touch any bucket not yet seen?
       Updates [virgin] in place. *)
-  val has_new_bits : virgin:int array -> t -> bool
+  val has_new_bits : virgin:virgin -> t -> bool
 
-  val create_virgin : unit -> int array
+  (** Checkpoint views of the virgin map.  {!virgin_of_array} raises
+      [Invalid_argument] when the array is not exactly {!size} long. *)
+  val virgin_to_array : virgin -> int array
+
+  val virgin_of_array : int array -> virgin
   val count_nonzero : t -> int
 end

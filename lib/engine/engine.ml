@@ -145,7 +145,7 @@ let fold_bitmap (bitmap : Cov.Bitmap.t) (map : Cov.Map.t) region =
       let c = Cov.Map.hit_count map p in
       if c > 0 then begin
         let idx = p.Cov.id * 2654435761 land (Cov.Bitmap.size - 1) in
-        bitmap.Cov.Bitmap.counts.(idx) <- bitmap.Cov.Bitmap.counts.(idx) + c
+        Cov.Bitmap.add bitmap idx c
       end)
     (Cov.probes region)
 

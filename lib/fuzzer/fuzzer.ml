@@ -25,7 +25,7 @@ type t = {
   mode : mode;
   mutable queue : entry array;
   mutable queue_len : int;
-  virgin : int array;
+  mutable virgin : Bitmap.virgin;
   mutable cursor : int;
   mutable execs : int;
   mutable finds : int;
@@ -157,7 +157,7 @@ let persist t =
           let e = t.queue.(i) in
           (Bytes.copy e.data, e.fuzz_count, e.discovered_at_us));
     p_cursor = t.cursor;
-    p_virgin = Array.copy t.virgin;
+    p_virgin = Bitmap.virgin_to_array t.virgin;
     p_execs = t.execs;
     p_finds = t.finds;
   }
@@ -174,7 +174,7 @@ let of_persisted (p : persisted) =
       queue_push t { data = Input.copy data; fuzz_count; discovered_at_us })
     p.p_queue;
   t.cursor <- p.p_cursor;
-  Array.blit p.p_virgin 0 t.virgin 0 Bitmap.size;
+  t.virgin <- Bitmap.virgin_of_array p.p_virgin;
   t.execs <- p.p_execs;
   t.finds <- p.p_finds;
   t

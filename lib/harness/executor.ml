@@ -108,12 +108,16 @@ let cost_breakdown (o : outcome) =
    of the VMCS state space" (§4.3). *)
 let directive_source input : unit -> int =
   let h = ref 0xcbf29ce484222325L in
-  let mix b =
-    h := Int64.logxor !h (Int64.of_int b);
-    h := Int64.mul !h 0x100000001b3L
+  (* FNV-1a over the two slices in place — no Bytes.sub per execution. *)
+  let mix ~off ~len =
+    let stop = min (off + len) (Bytes.length input) - 1 in
+    for i = off to stop do
+      h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get input i)));
+      h := Int64.mul !h 0x100000001b3L
+    done
   in
-  Bytes.iter (fun c -> mix (Char.code c)) (Layout.flips_bytes input);
-  Bytes.iter (fun c -> mix (Char.code c)) (Layout.vmcs_raw_bytes input);
+  mix ~off:Layout.flips_off ~len:Layout.flips_len;
+  mix ~off:Layout.vmcs_raw_off ~len:Layout.vmcs_raw_len;
   let rng = Nf_stdext.Rng.of_int64 !h in
   fun () -> Nf_stdext.Rng.byte rng
 
@@ -138,26 +142,38 @@ let bias_svm_root next vmcb =
   if next () land 0x0F <> 0 then
     Nf_vmcb.Vmcb.write vmcb Nf_vmcb.Vmcb.n_cr3 0x8000L
 
+(* The executor reads the vCPU's own capability MSRs, so the validator
+   rounds into the *masked* envelope — the state must be plausible for
+   the configuration under test, while modelling corrections learned
+   from hardware carry over from the campaign validator.  [round] only
+   reads [caps] and [learned_skips], so instead of allocating a fresh
+   validator per execution we retarget a per-domain scratch one
+   (campaign workers run in parallel Domains, hence DLS). *)
+let scratch_vmx_validator =
+  Domain.DLS.new_key (fun () ->
+      Nf_validator.Validator.create Nf_cpu.Vmx_caps.alder_lake)
+
+let scratch_svm_validator =
+  Domain.DLS.new_key (fun () ->
+      Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
+
+(* Decode the VMCS-slice region in place (no Bytes.sub per execution). *)
+let vmcs_of_input input =
+  Nf_vmcs.Vmcs.of_blob_sub input ~pos:Layout.vmcs_raw_off
+    ~len:(min Layout.vmcs_raw_len (Bytes.length input - Layout.vmcs_raw_off))
+
 let generate_vmcs12 ~(ablation : ablation) ~(validator : Nf_validator.Validator.t)
     ~(caps_l1 : Nf_cpu.Vmx_caps.t) input =
   match ablation.generation with
   | Template -> Nf_validator.Golden.vmcs caps_l1
-  | Raw -> Nf_vmcs.Vmcs.of_blob (Layout.vmcs_raw_bytes input)
+  | Raw -> vmcs_of_input input
   | Rounded_only | Boundary ->
-      (* The executor reads the vCPU's own capability MSRs, so the
-         validator rounds into the *masked* envelope — the state must be
-         plausible for the configuration under test.  Modelling
-         corrections learned from hardware carry over from the campaign
-         validator. *)
-      let validator =
-        let v = Nf_validator.Validator.create caps_l1 in
-        v.Nf_validator.Validator.learned_skips <-
-          validator.Nf_validator.Validator.learned_skips;
-        v
-      in
-      let raw = Layout.vmcs_raw_bytes input in
-      let vmcs = Nf_vmcs.Vmcs.of_blob raw in
-      Nf_validator.Validator.round validator vmcs;
+      let scratch = Domain.DLS.get scratch_vmx_validator in
+      scratch.Nf_validator.Validator.caps <- caps_l1;
+      scratch.Nf_validator.Validator.learned_skips <-
+        validator.Nf_validator.Validator.learned_skips;
+      let vmcs = vmcs_of_input input in
+      Nf_validator.Validator.round scratch vmcs;
       let next = directive_source input in
       bias_vmx_root next vmcs;
       if ablation.generation = Boundary then
@@ -165,18 +181,27 @@ let generate_vmcs12 ~(ablation : ablation) ~(validator : Nf_validator.Validator.
       vmcs
 
 let raw_vmcb input =
-  (* Reuse the VMCS slice: consume its prefix as raw VMCB content. *)
-  let vmcb = Nf_vmcb.Vmcb.create () in
-  let cur = Layout.cursor (Layout.vmcs_raw_bytes input) in
-  List.iter
-    (fun f ->
-      let v = ref 0L in
-      for k = 0 to (Nf_vmcb.Vmcb.field_bits f / 8) - 1 do
-        v := Int64.logor !v (Int64.shift_left (Int64.of_int (cur ())) (8 * k))
-      done;
-      Nf_vmcb.Vmcb.write vmcb f !v)
-    Nf_vmcb.Vmcb.all_fields;
-  vmcb
+  (* Reuse the VMCS slice: consume its prefix as raw VMCB content.  The
+     packed VMCB (567 bytes) fits well inside the slice (1,000 bytes),
+     so for full-size inputs the sequential consumption is exactly the
+     packed-blob decoding; only truncated inputs need the wrapping
+     cursor the byte source originally used. *)
+  let len = min Layout.vmcs_raw_len (Bytes.length input - Layout.vmcs_raw_off) in
+  if len >= Nf_vmcb.Vmcb.blob_bytes then
+    Nf_vmcb.Vmcb.of_blob_sub input ~pos:Layout.vmcs_raw_off ~len
+  else begin
+    let vmcb = Nf_vmcb.Vmcb.create () in
+    let cur = Layout.cursor (Layout.vmcs_raw_bytes input) in
+    List.iter
+      (fun f ->
+        let v = ref 0L in
+        for k = 0 to (Nf_vmcb.Vmcb.field_bits f / 8) - 1 do
+          v := Int64.logor !v (Int64.shift_left (Int64.of_int (cur ())) (8 * k))
+        done;
+        Nf_vmcb.Vmcb.write vmcb f !v)
+      Nf_vmcb.Vmcb.all_fields;
+    vmcb
+  end
 
 let generate_vmcb12 ~(ablation : ablation)
     ~(svm_validator : Nf_validator.Svm_validator.t)
@@ -186,30 +211,30 @@ let generate_vmcb12 ~(ablation : ablation)
   | Raw -> raw_vmcb input
   | Rounded_only | Boundary ->
       let vmcb = raw_vmcb input in
-      let svm_validator =
-        let v = Nf_validator.Svm_validator.create caps_l1 in
-        v.Nf_validator.Svm_validator.learned_skips <-
-          svm_validator.Nf_validator.Svm_validator.learned_skips;
-        v
-      in
-      Nf_validator.Svm_validator.round svm_validator vmcb;
+      let scratch = Domain.DLS.get scratch_svm_validator in
+      scratch.Nf_validator.Svm_validator.caps <- caps_l1;
+      scratch.Nf_validator.Svm_validator.learned_skips <-
+        svm_validator.Nf_validator.Svm_validator.learned_skips;
+      Nf_validator.Svm_validator.round scratch vmcb;
       let next = directive_source input in
       bias_svm_root next vmcb;
       if ablation.generation = Boundary then
         Nf_validator.Svm_validator.mutate next vmcb;
       vmcb
 
+(* The MSR candidate pool is constant — hoisted so [generate_msr_area]
+   does not rebuild the array (once per pool draw) on every execution. *)
+let msr_pool =
+  [| Nf_x86.Msr.ia32_kernel_gs_base; Nf_x86.Msr.ia32_lstar;
+     Nf_x86.Msr.ia32_pat; Nf_x86.Msr.ia32_efer;
+     Nf_x86.Msr.ia32_sysenter_esp; Nf_x86.Msr.ia32_tsc_aux;
+     Nf_x86.Msr.ia32_fs_base |]
+
 let generate_msr_area input =
   let next = Layout.cursor (Layout.msr_area_bytes input) in
   let count = next () land 0x3 in
   Array.init count (fun _ ->
-      let msrs =
-        [| Nf_x86.Msr.ia32_kernel_gs_base; Nf_x86.Msr.ia32_lstar;
-           Nf_x86.Msr.ia32_pat; Nf_x86.Msr.ia32_efer;
-           Nf_x86.Msr.ia32_sysenter_esp; Nf_x86.Msr.ia32_tsc_aux;
-           Nf_x86.Msr.ia32_fs_base |]
-      in
-      let msr = msrs.(next () mod Array.length msrs) in
+      let msr = msr_pool.(next () mod Array.length msr_pool) in
       (msr, Templates.value64 next))
 
 (* ------------------------------------------------------------------ *)
@@ -248,6 +273,32 @@ let fuzz_addresses =
   [| 0x1000L; 0x1000L; 0x3000L; 0x1008L (* unaligned *); 0x7FFF_F000L;
      0xFFFF_FFFF_F000L (* beyond guest memory *); 0L |]
 
+(* Constant insertion pool — hoisted out of [mutate_init_ops] so it is
+   built once, not on every execution. *)
+let extra_pool =
+  [|
+    L1_op.Vmptrst;
+    L1_op.Vmread Nf_vmcs.Field.(encoding exit_reason);
+    L1_op.Vmread 0xDEAD (* unsupported encoding *);
+    L1_op.Vmwrite (Nf_vmcs.Field.(encoding guest_rip), 0x20_0000L);
+    L1_op.Vmwrite (Nf_vmcs.Field.(encoding vm_instruction_error), 1L)
+    (* read-only: error path *);
+    L1_op.Vmclear 0x1000L;
+    L1_op.Vmresume (* resume before launch: error path *);
+    L1_op.Invept (1, 0x10_0000L);
+    L1_op.Invept (7, 0L) (* invalid type: error path *);
+    L1_op.Invvpid (1, 1L);
+    L1_op.Invvpid (9, 0L) (* invalid type: error path *);
+    L1_op.Vmxon 0x3000L (* vmxon while on: error path *);
+    L1_op.Vmwrite (0xDEAD, 0L) (* unsupported encoding *);
+    L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 0L));
+    L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_basic);
+    L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_procbased_ctls);
+    L1_op.Vmxoff;
+    L1_op.Stgi;
+    L1_op.Vmload;
+  |]
+
 (** Mutate the initialization sequence: instruction ordering, argument
     values and repetition counts (§4.2), all drawn from the init slice. *)
 let mutate_init_ops next (ops : L1_op.t list) : L1_op.t list =
@@ -278,30 +329,6 @@ let mutate_init_ops next (ops : L1_op.t list) : L1_op.t list =
   in
   (* Repetition / insertion: sprinkle extra VMX housekeeping ops. *)
   let extras = next () land 0x3 in
-  let extra_pool =
-    [|
-      L1_op.Vmptrst;
-      L1_op.Vmread Nf_vmcs.Field.(encoding exit_reason);
-      L1_op.Vmread 0xDEAD (* unsupported encoding *);
-      L1_op.Vmwrite (Nf_vmcs.Field.(encoding guest_rip), 0x20_0000L);
-      L1_op.Vmwrite (Nf_vmcs.Field.(encoding vm_instruction_error), 1L)
-      (* read-only: error path *);
-      L1_op.Vmclear 0x1000L;
-      L1_op.Vmresume (* resume before launch: error path *);
-      L1_op.Invept (1, 0x10_0000L);
-      L1_op.Invept (7, 0L) (* invalid type: error path *);
-      L1_op.Invvpid (1, 1L);
-      L1_op.Invvpid (9, 0L) (* invalid type: error path *);
-      L1_op.Vmxon 0x3000L (* vmxon while on: error path *);
-      L1_op.Vmwrite (0xDEAD, 0L) (* unsupported encoding *);
-      L1_op.L1_insn (Nf_cpu.Insn.Wrmsr (Nf_x86.Msr.ia32_feature_control, 0L));
-      L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_basic);
-      L1_op.L1_insn (Nf_cpu.Insn.Rdmsr Nf_x86.Msr.ia32_vmx_procbased_ctls);
-      L1_op.Vmxoff;
-      L1_op.Stgi;
-      L1_op.Vmload;
-    |]
-  in
   let out = ref [] in
   Array.iter
     (fun op ->

@@ -36,12 +36,18 @@ let insert v ~lo ~width field =
     (Int64.logand v (Int64.lognot m))
     (Int64.logand (Int64.shift_left field lo) m)
 
+(* Branch-free SWAR popcount: constant time regardless of how many bits
+   are set, unlike the clear-lowest-bit loop it replaces. *)
 let popcount v =
-  let rec go v acc =
-    if v = 0L then acc
-    else go (Int64.logand v (Int64.sub v 1L)) (acc + 1)
+  let open Int64 in
+  let v = sub v (logand (shift_right_logical v 1) 0x5555_5555_5555_5555L) in
+  let v =
+    add
+      (logand v 0x3333_3333_3333_3333L)
+      (logand (shift_right_logical v 2) 0x3333_3333_3333_3333L)
   in
-  go v 0
+  let v = logand (add v (shift_right_logical v 4)) 0x0F0F_0F0F_0F0F_0F0FL in
+  to_int (shift_right_logical (mul v 0x0101_0101_0101_0101L) 56)
 
 (** Number of differing bits between two values, restricted to [width]. *)
 let hamming ?(width = 64) a b =

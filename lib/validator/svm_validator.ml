@@ -6,7 +6,9 @@
 open Nf_vmcb
 
 type t = {
-  caps : Nf_cpu.Svm_caps.t;
+  mutable caps : Nf_cpu.Svm_caps.t;
+      (* mutable so hot paths can retarget a scratch validator instead of
+         allocating one per execution *)
   mutable learned_skips : string list;
   mutable corrections : int;
 }

@@ -18,7 +18,9 @@
 open Nf_vmcs
 
 type t = {
-  caps : Nf_cpu.Vmx_caps.t;
+  mutable caps : Nf_cpu.Vmx_caps.t;
+      (* mutable so hot paths can retarget a scratch validator instead of
+         allocating one per execution *)
   mutable learned_skips : string list;
       (* spec checks observed to be unenforced by hardware *)
   mutable corrections : int; (* how many modeling inaccuracies were fixed *)

@@ -155,13 +155,107 @@ let read_bit t f n = Nf_stdext.Bits.is_set (read t f) n
 let set_bit t f n b = write t f (Nf_stdext.Bits.assign (read t f) n b)
 let flip_bit t f n = write t f (Nf_stdext.Bits.flip (read t f) n)
 
+(* Values are stored truncated to their width, so per-field XOR carries
+   no high garbage and a plain popcount suffices. *)
 let hamming a b =
-  List.fold_left
-    (fun acc f ->
-      acc + Nf_stdext.Bits.hamming ~width:(field_bits f) a.values.(f) b.values.(f))
-    0 all_fields
+  let av = a.values and bv = b.values in
+  let acc = ref 0 in
+  for f = 0 to field_count - 1 do
+    acc :=
+      !acc
+      + Nf_stdext.Bits.popcount
+          (Int64.logxor (Array.unsafe_get av f) (Array.unsafe_get bv f))
+  done;
+  !acc
 
 let equal a b = Array.for_all2 Int64.equal a.values b.values
+
+(** Fields that differ between two states, for triage output. *)
+let diff a b =
+  let out = ref [] in
+  for f = field_count - 1 downto 0 do
+    if a.values.(f) <> b.values.(f) then out := f :: !out
+  done;
+  !out
+
+(* --- packed-blob codec ---
+
+   Byte-level serialisation in table order, little-endian per field —
+   the VMCB twin of [Vmcs.to_blob]/[of_blob].  This is the packed fuzz
+   representation ([total_bits / 8] bytes), not the sparse 4 KiB
+   hardware layout. *)
+
+let blob_bytes = total_bits / 8
+
+let field_byte_offsets, field_byte_widths =
+  let offs = Array.make field_count 0 in
+  let widths = Array.make field_count 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun i ->
+      offs.(i.index) <- !pos;
+      widths.(i.index) <- bits_of_width i.width / 8;
+      pos := !pos + widths.(i.index))
+    table;
+  assert (!pos = blob_bytes);
+  (offs, widths)
+
+(** Serialise into a caller-owned buffer of at least {!blob_bytes}
+    bytes; every blob byte is overwritten. *)
+let blit_to_blob t b =
+  if Bytes.length b < blob_bytes then
+    invalid_arg
+      (Printf.sprintf "Vmcb.blit_to_blob: buffer has %d bytes, need %d"
+         (Bytes.length b) blob_bytes);
+  let values = t.values in
+  for f = 0 to field_count - 1 do
+    let off = Array.unsafe_get field_byte_offsets f in
+    let v = Array.unsafe_get values f in
+    match Array.unsafe_get field_byte_widths f with
+    | 1 -> Bytes.set_uint8 b off (Int64.to_int v land 0xFF)
+    | 2 -> Bytes.set_uint16_le b off (Int64.to_int v)
+    | 4 -> Bytes.set_int32_le b off (Int64.to_int32 v)
+    | _ -> Bytes.set_int64_le b off v
+  done
+
+let to_blob t =
+  let b = Bytes.create blob_bytes in
+  blit_to_blob t b;
+  b
+
+(** [of_blob_sub b ~pos ~len] decodes a region of a larger buffer; short
+    regions zero-fill the tail, oversized ones ignore the excess. *)
+let of_blob_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Vmcb.of_blob_sub";
+  let t = create () in
+  let values = t.values in
+  let len = min len blob_bytes in
+  if len = blob_bytes then
+    for f = 0 to field_count - 1 do
+      let off = pos + Array.unsafe_get field_byte_offsets f in
+      Array.unsafe_set values f
+        (match Array.unsafe_get field_byte_widths f with
+        | 1 -> Int64.of_int (Bytes.get_uint8 b off)
+        | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
+        | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xFFFF_FFFFL
+        | _ -> Bytes.get_int64_le b off)
+    done
+  else
+    for f = 0 to field_count - 1 do
+      let off = field_byte_offsets.(f) in
+      let v = ref 0L in
+      for k = 0 to field_byte_widths.(f) - 1 do
+        let byte =
+          if off + k < len then Char.code (Bytes.get b (pos + off + k)) else 0
+        in
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int byte) (8 * k))
+      done;
+      values.(f) <- !v
+    done;
+  t
+
+let of_blob b = of_blob_sub b ~pos:0 ~len:(Bytes.length b)
 
 (* --- named fields --- *)
 

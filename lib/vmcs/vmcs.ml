@@ -49,60 +49,109 @@ let clear_all t =
 let blob_bytes = (Field.total_bits + 7) / 8
 
 (* Every field width is a byte multiple, so the packing is byte-aligned:
-   (de)serialisation works in whole bytes. *)
-let field_byte_offsets =
+   (de)serialisation works in whole bytes.  Offsets and byte widths are
+   precomputed so the codecs run exact-width loads/stores instead of
+   per-byte loops over [Field.all]. *)
+let field_byte_offsets, field_byte_widths =
   let offs = Array.make Field.count 0 in
+  let widths = Array.make Field.count 0 in
   let pos = ref 0 in
   List.iter
     (fun f ->
       offs.(f) <- !pos;
       assert (Field.bits f mod 8 = 0);
-      pos := !pos + (Field.bits f / 8))
+      widths.(f) <- Field.bits f / 8;
+      pos := !pos + widths.(f))
     Field.all;
-  offs
+  (* The packing is gapless: every blob byte belongs to exactly one
+     field, which lets [blit_to_blob] skip the zero-fill. *)
+  assert (!pos = blob_bytes);
+  (offs, widths)
+
+(** Serialise into a caller-owned buffer (a reusable scratch buffer in
+    the hot path); every byte of [b.[0..blob_bytes-1]] is overwritten. *)
+let blit_to_blob t b =
+  if Bytes.length b < blob_bytes then
+    invalid_arg
+      (Printf.sprintf "Vmcs.blit_to_blob: buffer has %d bytes, need %d"
+         (Bytes.length b) blob_bytes);
+  let values = t.values in
+  for f = 0 to Field.count - 1 do
+    let off = Array.unsafe_get field_byte_offsets f in
+    let v = Array.unsafe_get values f in
+    match Array.unsafe_get field_byte_widths f with
+    | 2 -> Bytes.set_uint16_le b off (Int64.to_int v)
+    | 4 -> Bytes.set_int32_le b off (Int64.to_int32 v)
+    | _ -> Bytes.set_int64_le b off v
+  done
 
 let to_blob t =
-  let b = Bytes.make blob_bytes '\000' in
-  List.iter
-    (fun f ->
-      let off = field_byte_offsets.(f) in
-      let v = t.values.(f) in
-      for k = 0 to (Field.bits f / 8) - 1 do
-        Bytes.set b (off + k)
-          (Char.chr
-             (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xFF))
-      done)
-    Field.all;
+  let b = Bytes.create blob_bytes in
+  blit_to_blob t b;
   b
 
-let of_blob b =
+(** [of_blob_sub b ~pos ~len] decodes the [len] bytes of [b] starting at
+    [pos] without copying them out first.  Short regions zero-fill the
+    tail; oversized ones ignore the excess — both codecs share
+    [blob_bytes] as the one authoritative length. *)
+let of_blob_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Vmcs.of_blob_sub";
   let t = create () in
-  let len = Bytes.length b in
-  List.iter
-    (fun f ->
+  let values = t.values in
+  let len = min len blob_bytes in
+  if len = blob_bytes then
+    (* Full-size region: every field is in range, exact-width loads. *)
+    for f = 0 to Field.count - 1 do
+      let off = pos + Array.unsafe_get field_byte_offsets f in
+      Array.unsafe_set values f
+        (match Array.unsafe_get field_byte_widths f with
+        | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
+        | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xFFFF_FFFFL
+        | _ -> Bytes.get_int64_le b off)
+    done
+  else
+    (* Truncated blob (an old checkpoint, a hand-written seed): per-byte
+       with zero-fill past the end. *)
+    for f = 0 to Field.count - 1 do
       let off = field_byte_offsets.(f) in
       let v = ref 0L in
-      for k = 0 to (Field.bits f / 8) - 1 do
-        let byte = if off + k < len then Char.code (Bytes.get b (off + k)) else 0 in
+      for k = 0 to field_byte_widths.(f) - 1 do
+        let byte =
+          if off + k < len then Char.code (Bytes.get b (pos + off + k)) else 0
+        in
         v := Int64.logor !v (Int64.shift_left (Int64.of_int byte) (8 * k))
       done;
-      t.values.(f) <- !v)
-    Field.all;
+      values.(f) <- !v
+    done;
   t
 
+let of_blob b = of_blob_sub b ~pos:0 ~len:(Bytes.length b)
+
 (** Number of differing bits between two VM states, per-field widths
-    respected — the metric of the paper's Fig. 5. *)
+    respected — the metric of the paper's Fig. 5.  Values are stored
+    truncated to their width, so the XOR carries no high garbage and a
+    plain popcount per field suffices. *)
 let hamming a b =
-  List.fold_left
-    (fun acc f ->
-      acc + Nf_stdext.Bits.hamming ~width:(Field.bits f) a.values.(f) b.values.(f))
-    0 Field.all
+  let av = a.values and bv = b.values in
+  let acc = ref 0 in
+  for f = 0 to Field.count - 1 do
+    acc :=
+      !acc
+      + Nf_stdext.Bits.popcount
+          (Int64.logxor (Array.unsafe_get av f) (Array.unsafe_get bv f))
+  done;
+  !acc
 
 let equal a b = Array.for_all2 Int64.equal a.values b.values
 
 (** Fields that differ between two states, for debugging/triage output. *)
 let diff a b =
-  List.filter (fun f -> a.values.(f) <> b.values.(f)) Field.all
+  let out = ref [] in
+  for f = Field.count - 1 downto 0 do
+    if a.values.(f) <> b.values.(f) then out := f :: !out
+  done;
+  !out
 
 let pp_diff ppf (a, b) =
   List.iter

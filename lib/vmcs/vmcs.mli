@@ -38,8 +38,18 @@ val blob_bytes : int
 (** Byte-level serialisation in table order, little-endian per field. *)
 val to_blob : t -> Bytes.t
 
-(** Inverse of {!to_blob}; short blobs zero-fill the tail. *)
+(** Serialise into a caller-owned scratch buffer of at least
+    {!blob_bytes} bytes; every blob byte is overwritten.
+    @raise Invalid_argument when the buffer is too small. *)
+val blit_to_blob : t -> Bytes.t -> unit
+
+(** Inverse of {!to_blob}; short blobs zero-fill the tail, oversized
+    blobs ignore the excess bytes. *)
 val of_blob : Bytes.t -> t
+
+(** [of_blob_sub b ~pos ~len] decodes a region of a larger buffer
+    without copying it out first (same tolerance as {!of_blob}). *)
+val of_blob_sub : Bytes.t -> pos:int -> len:int -> t
 
 (** Number of differing bits between two VM states (per-field widths
     respected) — the metric of the paper's Fig. 5. *)

@@ -18,5 +18,6 @@ let () =
       ("baselines", Test_baselines.tests);
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);
+      ("perf-golden", Test_perf_golden.tests);
       ("experiments", Test_experiments.tests);
     ]

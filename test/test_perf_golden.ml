@@ -1,0 +1,354 @@
+(* Behaviour-preservation goldens for the hot-path overhaul.
+
+   The digests below were captured from the pre-optimisation
+   implementation (per-byte blob codecs, int-array edge bitmap,
+   per-execution validator allocation).  The optimised code must keep
+   fixed-seed campaigns bit-identical: same corpus, coverage counters,
+   crash list and checkpoint blob — sequentially, under --jobs 2, and
+   across a checkpoint/resume round-trip.
+
+   The property tests pin the optimised primitives to reference
+   implementations written the way the old code was. *)
+
+module Engine = Nf_engine.Engine
+module Cov = Nf_coverage.Coverage
+module Vmcs = Nf_vmcs.Vmcs
+module Field = Nf_vmcs.Field
+module Vmcb = Nf_vmcb.Vmcb
+module Bits = Nf_stdext.Bits
+module Rng = Nf_stdext.Rng
+
+let check = Alcotest.check
+
+let hex s = Digest.to_hex (Digest.string s)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign goldens                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cfg_intel =
+  { (Engine.default_cfg Engine.Kvm_intel) with duration_hours = 1.0; seed = 1 }
+
+let cfg_amd =
+  { (Engine.default_cfg Engine.Kvm_amd) with duration_hours = 1.0; seed = 1 }
+
+let drive t =
+  let rec go () =
+    match Engine.step t with Engine.Stepped _ -> go () | Engine.Deadline -> ()
+  in
+  go ()
+
+let crash_digest (r : Engine.result) =
+  hex
+    (String.concat "|"
+       (List.map
+          (fun (c : Engine.crash_report) -> c.detection ^ ":" ^ c.message)
+          r.crashes))
+
+let coverage_digest (r : Engine.result) =
+  hex
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Cov.Map.raw_hits r.coverage))))
+
+let check_result label ~execs ~corpus ~crashes ~covered ~crash_d ~cov_d
+    (r : Engine.result) =
+  check Alcotest.int (label ^ " execs") execs r.execs;
+  check Alcotest.int (label ^ " corpus") corpus r.corpus_size;
+  check Alcotest.int (label ^ " crashes") crashes (List.length r.crashes);
+  check Alcotest.int (label ^ " covered lines") covered
+    (Cov.Map.covered_lines r.coverage);
+  check Alcotest.string (label ^ " crash digest") crash_d (crash_digest r);
+  check Alcotest.string (label ^ " coverage digest") cov_d (coverage_digest r)
+
+let test_golden_seq_intel () =
+  let t = Engine.create cfg_intel in
+  drive t;
+  check Alcotest.string "checkpoint digest"
+    "04844a6fcbe6e32b62a09c1f410042fc"
+    (hex (Engine.to_string t));
+  check_result "seq intel" ~execs:1963 ~corpus:46 ~crashes:1 ~covered:985
+    ~crash_d:"9d0f56a292f40d44507066d421ecd582"
+    ~cov_d:"0bf0a35526c470d2ada62450e52575f9" (Engine.finish t)
+
+let test_golden_seq_amd () =
+  let t = Engine.create cfg_amd in
+  drive t;
+  check Alcotest.string "checkpoint digest"
+    "c2622427646ac146332f598083c658c4"
+    (hex (Engine.to_string t));
+  check_result "seq amd" ~execs:1944 ~corpus:51 ~crashes:1 ~covered:291
+    ~crash_d:"7dbc83d13a529380e0e5a656a53d0158"
+    ~cov_d:"efdf507719941ad2e3242d781f8c4929" (Engine.finish t)
+
+let test_golden_resume () =
+  (* Step half-way, round-trip through the checkpoint codec, drive to the
+     deadline: the final checkpoint must equal the uninterrupted run's. *)
+  let t = Engine.create cfg_intel in
+  for _ = 1 to 900 do
+    ignore (Engine.step t)
+  done;
+  match Engine.of_string (Engine.to_string t) with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok t' ->
+      drive t';
+      check Alcotest.string "resumed checkpoint digest"
+        "04844a6fcbe6e32b62a09c1f410042fc"
+        (hex (Engine.to_string t'))
+
+let test_golden_parallel () =
+  let out = Engine.run_parallel ~jobs:2 cfg_intel in
+  check_result "par2 intel" ~execs:3926 ~corpus:50 ~crashes:1 ~covered:993
+    ~crash_d:"9d0f56a292f40d44507066d421ecd582"
+    ~cov_d:"d635c70d34a0ac230b2aefc2902745d3" out.Engine.merged
+
+let test_golden_vmcs_blob () =
+  let golden = Nf_validator.Golden.vmcs Nf_cpu.Vmx_caps.alder_lake in
+  check Alcotest.string "golden VMCS blob digest"
+    "78abaaecd1250766159d17f8363daa6e"
+    (hex (Bytes.to_string (Vmcs.to_blob golden)))
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap vs int-array reference                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-optimisation bitmap, verbatim: unbounded int counters, scalar
+   has_new_bits/count_nonzero. *)
+module Ref_bitmap = struct
+  type t = { counts : int array; mutable prev_loc : int }
+
+  let create () = { counts = Array.make Cov.Bitmap.size 0; prev_loc = 0 }
+
+  let record t probe_id =
+    let cur = (probe_id * 2654435761) land (Cov.Bitmap.size - 1) in
+    let edge = cur lxor t.prev_loc in
+    t.counts.(edge) <- t.counts.(edge) + 1;
+    t.prev_loc <- cur lsr 1
+
+  let has_new_bits ~virgin t =
+    let novel = ref false in
+    for i = 0 to Cov.Bitmap.size - 1 do
+      let b = Cov.Bitmap.bucket t.counts.(i) in
+      if b <> 0 && virgin.(i) land b = 0 then begin
+        virgin.(i) <- virgin.(i) lor b;
+        novel := true
+      end
+    done;
+    !novel
+
+  let count_nonzero t =
+    Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+end
+
+let prop_bitmap_matches_reference =
+  QCheck.Test.make ~name:"bitmap: agrees with int-array reference" ~count:20
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let virgin = Cov.Bitmap.create_virgin () in
+      let ref_virgin = Array.make Cov.Bitmap.size 0 in
+      let ok = ref true in
+      (* Several traces against one shared virgin map, like a campaign. *)
+      for _trace = 1 to 5 do
+        let t = Cov.Bitmap.create () in
+        let rt = Ref_bitmap.create () in
+        let n = 1 + Rng.int rng 400 in
+        for _ = 1 to n do
+          let p = Rng.int rng 5000 in
+          Cov.Bitmap.record t p;
+          Ref_bitmap.record rt p
+        done;
+        if Cov.Bitmap.count_nonzero t <> Ref_bitmap.count_nonzero rt then
+          ok := false;
+        let a = Cov.Bitmap.has_new_bits ~virgin t in
+        let b = Ref_bitmap.has_new_bits ~virgin:ref_virgin rt in
+        if a <> b then ok := false
+      done;
+      !ok && Cov.Bitmap.virgin_to_array virgin = ref_virgin)
+
+let prop_saturation_invisible_to_bucket =
+  (* One-byte counters saturate at 255; the count class cannot tell. *)
+  QCheck.Test.make ~name:"bitmap: saturation preserves count class"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun c -> Cov.Bitmap.bucket (min c 255) = Cov.Bitmap.bucket c)
+
+let test_bitmap_virgin_array_roundtrip () =
+  let virgin = Cov.Bitmap.create_virgin () in
+  let t = Cov.Bitmap.create () in
+  for p = 0 to 99 do
+    Cov.Bitmap.record t p
+  done;
+  ignore (Cov.Bitmap.has_new_bits ~virgin t);
+  let a = Cov.Bitmap.virgin_to_array virgin in
+  let virgin' = Cov.Bitmap.virgin_of_array a in
+  check
+    Alcotest.(array int)
+    "virgin array roundtrip" a
+    (Cov.Bitmap.virgin_to_array virgin');
+  Alcotest.check_raises "wrong size rejected"
+    (Invalid_argument
+       (Printf.sprintf
+          "Coverage.Bitmap.virgin_of_array: 3 buckets, expected %d"
+          Cov.Bitmap.size))
+    (fun () -> ignore (Cov.Bitmap.virgin_of_array [| 1; 2; 3 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Codec properties                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let random_vmcs seed =
+  let rng = Rng.create seed in
+  let v = Vmcs.create () in
+  List.iter (fun f -> Vmcs.write v f (Rng.bits64 rng)) Field.all;
+  v
+
+let random_vmcb seed =
+  let rng = Rng.create seed in
+  let v = Vmcb.create () in
+  List.iter (fun f -> Vmcb.write v f (Rng.bits64 rng)) Vmcb.all_fields;
+  v
+
+let prop_vmcb_blob_roundtrip =
+  QCheck.Test.make ~name:"vmcb: blob roundtrip" ~count:100 QCheck.int
+    (fun seed ->
+      let v = random_vmcb seed in
+      Vmcb.equal v (Vmcb.of_blob (Vmcb.to_blob v)))
+
+let prop_vmcb_hamming_self =
+  QCheck.Test.make ~name:"vmcb: hamming self is zero" ~count:50 QCheck.int
+    (fun seed ->
+      let v = random_vmcb seed in
+      Vmcb.hamming v v = 0)
+
+let prop_vmcb_hamming_symmetric =
+  QCheck.Test.make ~name:"vmcb: hamming symmetric" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a = random_vmcb s1 and b = random_vmcb s2 in
+      Vmcb.hamming a b = Vmcb.hamming b a)
+
+let prop_vmcs_hamming_self =
+  QCheck.Test.make ~name:"vmcs: hamming self is zero" ~count:50 QCheck.int
+    (fun seed ->
+      let v = random_vmcs seed in
+      Vmcs.hamming v v = 0)
+
+let prop_popcount_matches_reference =
+  let kernighan v =
+    let rec go v acc =
+      if v = 0L then acc else go (Int64.logand v (Int64.sub v 1L)) (acc + 1)
+    in
+    go v 0
+  in
+  QCheck.Test.make ~name:"bits: SWAR popcount matches reference" ~count:500
+    QCheck.int64 (fun v -> Bits.popcount v = kernighan v)
+
+let test_vmcs_oversized_blob () =
+  (* Trailing garbage beyond [blob_bytes] is ignored, mirroring the
+     zero-fill tolerance for short blobs. *)
+  let v = random_vmcs 6 in
+  let big = Bytes.cat (Vmcs.to_blob v) (Bytes.make 64 '\xAB') in
+  check Alcotest.bool "oversized blob tolerated" true
+    (Vmcs.equal v (Vmcs.of_blob big))
+
+let test_vmcb_oversized_blob () =
+  let v = random_vmcb 7 in
+  let big = Bytes.cat (Vmcb.to_blob v) (Bytes.make 64 '\xCD') in
+  check Alcotest.bool "oversized blob tolerated" true
+    (Vmcb.equal v (Vmcb.of_blob big))
+
+let test_vmcb_short_blob () =
+  let v = random_vmcb 8 in
+  let blob = Vmcs.to_blob (Vmcs.create ()) in
+  ignore blob;
+  let short = Bytes.sub (Vmcb.to_blob v) 0 10 in
+  let v' = Vmcb.of_blob short in
+  (* The first field survives; a field past the cut reads zero. *)
+  check Alcotest.int64 "head field intact"
+    (Vmcb.read v Vmcb.intercept_cr_read)
+    (Vmcb.read v' Vmcb.intercept_cr_read);
+  check Alcotest.int64 "tail zero-filled" 0L (Vmcb.read v' Vmcb.rip)
+
+let test_blit_to_blob_scratch () =
+  let v = random_vmcs 9 in
+  let scratch = Bytes.make (Vmcs.blob_bytes + 8) '\xEE' in
+  Vmcs.blit_to_blob v scratch;
+  check Alcotest.string "scratch blit equals to_blob"
+    (Bytes.to_string (Vmcs.to_blob v))
+    (Bytes.sub_string scratch 0 Vmcs.blob_bytes);
+  Alcotest.check_raises "undersized scratch rejected"
+    (Invalid_argument
+       (Printf.sprintf "Vmcs.blit_to_blob: buffer has 4 bytes, need %d"
+          Vmcs.blob_bytes))
+    (fun () -> Vmcs.blit_to_blob v (Bytes.create 4))
+
+(* ------------------------------------------------------------------ *)
+(* Late-registered probes (Map growth)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_late_probe () =
+  let region = Cov.create_region "late" in
+  let p1 = Cov.probe region ~file:"a.c" ~lines:3 "early" in
+  let map = Cov.Map.create region in
+  (* Registered after the map was created: must not be dropped. *)
+  let p2 = Cov.probe region ~file:"a.c" ~lines:5 "late" in
+  Cov.Map.hit map p2;
+  Cov.Map.hit map p2;
+  check Alcotest.int "late probe counted" 2 (Cov.Map.hit_count map p2);
+  check Alcotest.bool "late probe covered" true (Cov.Map.is_covered map p2);
+  check Alcotest.int "early probe untouched" 0 (Cov.Map.hit_count map p1);
+  Cov.Map.hit map p1;
+  check Alcotest.int "covered lines counts both" 8
+    (Cov.Map.covered_lines map)
+
+let test_map_of_hits_zero_extend () =
+  let region = Cov.create_region "extend" in
+  let p1 = Cov.probe region ~file:"a.c" ~lines:1 "p1" in
+  let p2 = Cov.probe region ~file:"a.c" ~lines:1 "p2" in
+  (* A shorter array (an older checkpoint) zero-extends. *)
+  (match Cov.Map.of_hits region [| 7 |] with
+  | Ok m ->
+      check Alcotest.int "known counter restored" 7 (Cov.Map.hit_count m p1);
+      check Alcotest.int "missing counter zero" 0 (Cov.Map.hit_count m p2)
+  | Error e -> Alcotest.failf "short array rejected: %s" e);
+  (* A longer array still means a different build: rejected. *)
+  match Cov.Map.of_hits region [| 1; 2; 3 |] with
+  | Ok _ -> Alcotest.fail "oversized array accepted"
+  | Error _ -> ()
+
+let test_map_merge_grown () =
+  let region = Cov.create_region "merge-grow" in
+  let _p1 = Cov.probe region ~file:"a.c" ~lines:1 "p1" in
+  let a = Cov.Map.create region in
+  let p2 = Cov.probe region ~file:"a.c" ~lines:1 "p2" in
+  let b = Cov.Map.create region in
+  Cov.Map.hit b p2;
+  (* [a] predates [p2]; merging a grown map into it must not trip. *)
+  Cov.Map.merge a b;
+  check Alcotest.int "merged late hit" 1 (Cov.Map.hit_count a p2)
+
+let tests =
+  [
+    ("golden: sequential kvm-intel campaign", `Quick, test_golden_seq_intel);
+    ("golden: sequential kvm-amd campaign", `Quick, test_golden_seq_amd);
+    ("golden: checkpoint/resume round-trip", `Quick, test_golden_resume);
+    ("golden: --jobs 2 campaign", `Quick, test_golden_parallel);
+    ("golden: VMCS blob digest", `Quick, test_golden_vmcs_blob);
+    ("bitmap: virgin array roundtrip", `Quick, test_bitmap_virgin_array_roundtrip);
+    ("vmcs: oversized blob tolerated", `Quick, test_vmcs_oversized_blob);
+    ("vmcb: oversized blob tolerated", `Quick, test_vmcb_oversized_blob);
+    ("vmcb: short blob zero-fills", `Quick, test_vmcb_short_blob);
+    ("vmcs: blit_to_blob scratch reuse", `Quick, test_blit_to_blob_scratch);
+    ("map: late-registered probe counted", `Quick, test_map_late_probe);
+    ("map: of_hits zero-extends", `Quick, test_map_of_hits_zero_extend);
+    ("map: merge after growth", `Quick, test_map_merge_grown);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_bitmap_matches_reference;
+        prop_saturation_invisible_to_bucket;
+        prop_vmcb_blob_roundtrip;
+        prop_vmcb_hamming_self;
+        prop_vmcb_hamming_symmetric;
+        prop_vmcs_hamming_self;
+        prop_popcount_matches_reference;
+      ]
