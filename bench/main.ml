@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
      dune exec bench/main.exe -- --exp throughput -- wall-clock execs/sec
 
-   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons micro parallel throughput.
+   Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons differential micro
+   parallel throughput.
 
    Besides the human-readable tables, every experiment drops a
    machine-readable BENCH_<exp>.json next to the cwd (or --out-dir DIR)
@@ -381,6 +382,25 @@ let () =
   | Some "t6" -> timed "t6" (fun () -> E.print_t6 ppf (E.run_t6 scale))
   | Some "lessons" ->
       timed "lessons" (fun () -> E.print_lessons ppf (E.run_lessons scale))
+  | Some "differential" ->
+      let t0 = Unix.gettimeofday () in
+      let r = E.run_differential scale in
+      E.print_differential ppf r;
+      bench_json "differential"
+        [
+          ("scale", Json.String (if scale == E.full then "full" else "quick"));
+          ("diff_hours", Json.Float scale.E.diff_hours);
+          ("campaign_execs", Json.Int r.E.diff_campaign_execs);
+          ("divergences", Json.Int (List.length r.E.diff_divergences));
+          ( "expected_found",
+            Json.Int (List.length r.E.diff_found) );
+          ( "expected_missed",
+            Json.Arr
+              (List.map
+                 (fun (e : E.diff_expectation) -> Json.String e.E.dwhat)
+                 r.E.diff_missed) );
+          ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
+        ]
   | Some "micro" -> micro ()
   | Some "parallel" -> parallel ()
   | Some "throughput" ->

@@ -175,9 +175,21 @@ let fuzz_cmd =
             "Directory for the fuzzer_stats and plot_data files (default: \
              the current directory when --stats-interval is given).")
   in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Replay every execution's VM state through the cross-hypervisor \
+             differential oracle (silicon model, legacy Bochs checks, every \
+             same-vendor L0 model) and report classified divergences \
+             (too-strict / too-lax / exit-mismatch).  Inert: the fuzzing \
+             trajectory is identical with or without the flag.")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
       corpus_dir minimize jobs sync_hours checkpoint_hours checkpoint_dir
-      resume fault_rate fault_seed trace trace_jsonl stats_interval stats_dir =
+      resume fault_rate fault_seed trace trace_jsonl stats_interval stats_dir
+      differential =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -326,14 +338,24 @@ let fuzz_cmd =
                     }
               | None -> ()
             in
-            Necofuzz.run_parallel ?sync_hours ~on_sync ~obs:sink ~jobs cfg
-          else run_sequential (Necofuzz.Engine.create cfg)
+            Necofuzz.run_parallel ~differential ?sync_hours ~on_sync ~obs:sink
+              ~jobs cfg
+          else run_sequential (Necofuzz.Engine.create ~differential cfg)
     in
     Necofuzz.Obs.Sink.close sink;
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
       r.execs r.corpus_size r.restarts (Necofuzz.coverage_pct r);
     List.iter (fun c -> Format.printf "%a@." Necofuzz.pp_crash c) r.crashes;
+    (* A resumed differential campaign (v3 checkpoint) carries its store
+       even when --differential was not repeated on the command line. *)
+    if differential || r.divergences <> [] then begin
+      Format.printf "%d differential divergence(s):@."
+        (List.length r.divergences);
+      List.iter
+        (fun d -> Format.printf "  %a@." Necofuzz.Diff.pp_divergence d)
+        r.divergences
+    end;
     if minimize then
       List.iter
         (fun (c : Necofuzz.crash) ->
@@ -361,14 +383,16 @@ let fuzz_cmd =
       const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
       $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours
       $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate $ fault_seed
-      $ trace $ trace_jsonl $ stats_interval $ stats_dir)
+      $ trace $ trace_jsonl $ stats_interval $ stats_dir $ differential)
 
 let experiment_cmd =
   let which =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"EXPERIMENT" ~doc:"One of: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons all.")
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons differential all.")
   in
   let full_scale =
     Arg.(value & flag & info [ "full" ] ~doc:"Paper scale (5 runs, 24-48 vh).")
@@ -391,10 +415,11 @@ let experiment_cmd =
     | "t5" -> E.print_t5 ppf (E.run_t5 scale)
     | "t6" -> E.print_t6 ppf (E.run_t6 scale)
     | "lessons" -> E.print_lessons ppf (E.run_lessons scale)
+    | "differential" -> E.print_differential ppf (E.run_differential scale)
     | other ->
         Format.eprintf
           "necofuzz: unknown experiment %S (expected one of: t1 t2 f3 t3 f4 \
-           f5 t4 t5 t6 lessons all)@."
+           f5 t4 t5 t6 lessons differential all)@."
           other;
         exit 2);
     Format.pp_print_flush ppf ()

@@ -47,11 +47,13 @@ type result = Engine.result = {
   restarts : int;
   corpus_size : int;
   metrics : Nf_obs.Obs.Metrics.t;
+  divergences : Nf_diff.Diff.divergence list;
 }
 
 let run = Engine.run
 
-let run_parallel ?sync_hours ?on_sync ?obs ~jobs cfg =
-  (Engine.run_parallel ?sync_hours ?on_sync ?obs ~jobs cfg).Engine.merged
+let run_parallel ?differential ?sync_hours ?on_sync ?obs ~jobs cfg =
+  (Engine.run_parallel ?differential ?sync_hours ?on_sync ?obs ~jobs cfg)
+    .Engine.merged
 
 let pp_crash = Engine.pp_crash

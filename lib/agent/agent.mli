@@ -25,7 +25,11 @@ val target_of_string : string -> (target, string) result
 (** All targets with their CLI spellings, in presentation order. *)
 val all_targets : (string * target) list
 
+(** The coverage-map region the target's adapter instruments. *)
 val target_region : target -> Nf_coverage.Coverage.region
+
+(** CPU vendor implied by the target ([Intel] for VMX, [Amd] for
+    SVM). *)
 val target_vendor : target -> Nf_cpu.Cpu_model.vendor
 
 (** Boot a fresh instance of the target through its adapter (also used
@@ -50,34 +54,42 @@ type cfg = Nf_engine.Engine.cfg = {
 (** 48 guided virtual hours, full ablation, seed 1. *)
 val default_cfg : target -> cfg
 
+(** One deduplicated bug found by the campaign. *)
 type crash_report = Nf_engine.Engine.crash_report = {
-  detection : string; (* the "Detection Method" column of Table 6 *)
+  detection : string;  (** the "Detection Method" column of Table 6 *)
   message : string;
   reproducer : Bytes.t;
   found_at_hours : float;
   config : Nf_cpu.Features.t;
 }
 
+(** A finished campaign (see {!Nf_engine.Engine.result}). *)
 type result = Nf_engine.Engine.result = {
   cfg : cfg;
   coverage : Nf_coverage.Coverage.Map.t;
-  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  timeline : (float * float) list;  (** (virtual hours, coverage %) *)
   crashes : crash_report list;
   execs : int;
   restarts : int;
   corpus_size : int;
-  metrics : Nf_obs.Obs.Metrics.t; (* the campaign's telemetry registry *)
+  metrics : Nf_obs.Obs.Metrics.t;  (** the campaign's telemetry registry *)
+  divergences : Nf_diff.Diff.divergence list;
+      (** [[]] unless the campaign ran with [~differential:true] *)
 }
 
 (** Run a sequential campaign to completion: a thin driver over
     {!Nf_engine.Engine.run} ([create], [step] to [Deadline],
-    [finish]). *)
-val run : cfg -> result
+    [finish]).  [?differential] enables the cross-hypervisor
+    differential oracle (default [false]). *)
+val run : ?differential:bool -> cfg -> result
 
 (** Run a Domain-parallel campaign ({!Nf_engine.Engine.run_parallel})
     and return the deterministically merged result.  [jobs:1] is
-    bit-identical to {!run}. *)
+    bit-identical to {!run}.  [?differential] enables the differential
+    oracle on every worker; stores are unioned deterministically at
+    sync barriers and into the merged result. *)
 val run_parallel :
+  ?differential:bool ->
   ?sync_hours:float ->
   ?on_sync:(Nf_engine.Engine.snapshot -> unit) ->
   ?obs:Nf_obs.Obs.Sink.t ->
@@ -85,4 +97,5 @@ val run_parallel :
   cfg ->
   result
 
+(** Render a crash report for the CLI / experiment tables. *)
 val pp_crash : Format.formatter -> crash_report -> unit

@@ -20,6 +20,7 @@ type scale = {
   guidance_hours : float;
   fig5_samples : int;
   vuln_hours : float;
+  diff_hours : float;
 }
 
 let quick =
@@ -31,6 +32,7 @@ let quick =
     guidance_hours = 12.0;
     fig5_samples = 2000;
     vuln_hours = 48.0;
+    diff_hours = 1.0;
   }
 
 let full =
@@ -42,6 +44,7 @@ let full =
     guidance_hours = 48.0;
     fig5_samples = 10000;
     vuln_hours = 48.0;
+    diff_hours = 4.0;
   }
 
 let pct = Cov.Map.coverage_pct
@@ -632,6 +635,186 @@ let print_t6 ppf (r : t6_result) =
     r.found
 
 (* ------------------------------------------------------------------ *)
+(* Differential divergences — the cross-hypervisor oracle              *)
+(* ------------------------------------------------------------------ *)
+
+module Diff = Nf_diff.Diff
+
+type diff_expectation = {
+  dwhat : string; (* what the divergence witnesses *)
+  dimpl : string;
+  dclass : Diff.cls;
+  dcheck : string; (* the divergence's check id / behaviour tag *)
+}
+
+let expected_divergences =
+  let exit_tag c = Printf.sprintf "exit:%Ld" c in
+  [
+    { dwhat = "Bochs bug #1: SS RPL applied to unusable SS";
+      dimpl = "bochs-legacy"; dclass = Diff.Too_strict;
+      dcheck = "guest.seg.ss" };
+    { dwhat = "Bochs bug #2: expand-down data limit rule skipped";
+      dimpl = "bochs-legacy"; dclass = Diff.Too_lax; dcheck = "guest.seg.ds" };
+    { dwhat = "Table 6 #1: KVM CVE-2023-30456 (IA-32e without PAE)";
+      dimpl = "kvm-intel"; dclass = Diff.Exit_mismatch;
+      dcheck = "report:UBSAN" };
+    { dwhat = "Table 6 #2: VirtualBox CVE-2024-21106 (MSR-load #GP)";
+      dimpl = "vbox"; dclass = Diff.Too_lax; dcheck = "entry.msr_load" };
+    { dwhat = "Table 6 #3: KVM invalid nested root, Intel (triple fault)";
+      dimpl = "kvm-intel"; dclass = Diff.Exit_mismatch;
+      dcheck = exit_tag (Int64.of_int Nf_cpu.Exit_reason.triple_fault) };
+    { dwhat = "Table 6 #3: KVM invalid nested root, AMD (shutdown)";
+      dimpl = "kvm-amd"; dclass = Diff.Exit_mismatch;
+      dcheck = exit_tag Nf_vmcb.Vmcb.Exit.shutdown };
+    { dwhat = "Table 6 #4: Xen activity-state host hang";
+      dimpl = "xen-intel"; dclass = Diff.Exit_mismatch; dcheck = "killed" };
+    { dwhat = "Table 6 #5: Xen AVIC corruption (LMA && !PG)";
+      dimpl = "xen-amd"; dclass = Diff.Exit_mismatch;
+      dcheck = exit_tag Nf_vmcb.Vmcb.Exit.avic_noaccel };
+    { dwhat = "Table 6 #6: Xen VGIF assertion on the injection path";
+      dimpl = "xen-amd"; dclass = Diff.Exit_mismatch;
+      dcheck = "report:Assertion" };
+  ]
+
+(* Directed probes: the documented trigger state of each planted bug,
+   replayed straight through the oracle.  Campaigns can rediscover these
+   organically; the probes make the report deterministic at any scale. *)
+
+let diff_probe_vmx store =
+  let obs ?(features = Nf_cpu.Features.default) ?(msr_area = [||]) vmcs =
+    ignore (Diff.observe_vmcs store ~exec:0 ~hours:0.0 ~features ~msr_area vmcs)
+  in
+  let caps =
+    Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake
+      Nf_cpu.Features.default
+  in
+  (* #1 CVE-2023-30456: IA-32e guest without CR4.PAE, shadow paging. *)
+  let f_noept = { Nf_cpu.Features.default with ept = false } in
+  let caps_noept =
+    Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake f_noept
+  in
+  obs ~features:f_noept
+    ((Nf_validator.Witness.find_vmx "guest.ia32e_pae").build caps_noept);
+  (* #3 invalid nested root: beyond guest memory, within MAXPHYADDR. *)
+  let v = Nf_validator.Golden.vmcs caps in
+  Nf_vmcs.Vmcs.write v Nf_vmcs.Field.ept_pointer
+    (Nf_vmcs.Controls.Eptp.make ~ad:true ~pml4:0x10_0000_0000L ());
+  obs v;
+  (* #4 activity state Xen never sanitizes. *)
+  let v = Nf_validator.Golden.vmcs caps in
+  Nf_vmcs.Vmcs.write v Nf_vmcs.Field.guest_activity_state
+    Nf_vmcs.Field.Activity.wait_for_sipi;
+  obs v;
+  (* #2 non-canonical value in the VM-entry MSR-load area. *)
+  obs
+    ~msr_area:[| (Nf_x86.Msr.ia32_kernel_gs_base, 0x8000_0000_0000_0000L) |]
+    (Nf_validator.Golden.vmcs caps)
+
+let diff_probe_svm store =
+  let module Vmcb = Nf_vmcb.Vmcb in
+  let scaps =
+    Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 Nf_cpu.Features.default
+  in
+  let obs vmcb =
+    ignore
+      (Diff.observe_vmcb store ~exec:0 ~hours:0.0
+         ~features:Nf_cpu.Features.default vmcb)
+  in
+  (* #3 invalid nested root (AMD): nCR3 beyond guest memory. *)
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.write b Vmcb.n_cr3 0x10_0000_0000L;
+  obs b;
+  (* #5 EFER.LME with CR0.PG clear; the oracle's golden warm-up run has
+     already armed the stale 64-bit-L2 history the bug needs. *)
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.set_bit b Vmcb.cr0 Nf_x86.Cr0.pg false;
+  obs b;
+  (* #6 vGIF enabled, virtual GIF clear, rejected VMRUN. *)
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.set_bit b Vmcb.vintr_ctl Vmcb.Vintr.v_gif_enable true;
+  Vmcb.set_bit b Vmcb.cr4 27 true;
+  obs b
+
+type differential_result = {
+  diff_divergences : Diff.divergence list; (* probes ∪ campaigns, sorted *)
+  diff_found : (diff_expectation * Diff.divergence) list;
+  diff_missed : diff_expectation list;
+  diff_campaign_execs : int;
+}
+
+let run_differential (s : scale) : differential_result =
+  (* Witness seeding plus directed probes are deterministic; the short
+     differential campaigns exercise the engine-integrated path and can
+     only add divergences. *)
+  let vmx = Diff.create Diff.Vmx and svm = Diff.create Diff.Svm in
+  ignore (Diff.seed_witnesses vmx);
+  diff_probe_vmx vmx;
+  diff_probe_svm svm;
+  let execs = ref 0 in
+  List.iter
+    (fun target ->
+      let r =
+        Agent.run ~differential:true
+          {
+            (Agent.default_cfg target) with
+            seed = 1;
+            duration_hours = s.diff_hours;
+          }
+      in
+      execs := !execs + r.Agent.execs;
+      let store =
+        match Agent.target_vendor target with
+        | Nf_cpu.Cpu_model.Intel -> vmx
+        | Nf_cpu.Cpu_model.Amd -> svm
+      in
+      List.iter (fun d -> ignore (Diff.record store d)) r.Agent.divergences)
+    [ Agent.Kvm_intel; Agent.Kvm_amd ];
+  let all = Diff.divergences vmx @ Diff.divergences svm in
+  let found, missed =
+    List.partition_map
+      (fun e ->
+        match
+          List.find_opt
+            (fun (d : Diff.divergence) ->
+              d.Diff.impl = e.dimpl && d.Diff.cls = e.dclass
+              && d.Diff.check = e.dcheck)
+            all
+        with
+        | Some d -> Left (e, d)
+        | None -> Right e)
+      expected_divergences
+  in
+  {
+    diff_divergences = all;
+    diff_found = found;
+    diff_missed = missed;
+    diff_campaign_execs = !execs;
+  }
+
+let print_differential ppf (r : differential_result) =
+  Format.fprintf ppf
+    "@.== Differential divergences: silicon oracle vs hypervisor models ==@.";
+  let t =
+    Table.create [ "Expected divergence"; "Impl"; "Class"; "Check"; "Found" ]
+  in
+  List.iter
+    (fun e ->
+      let found =
+        if List.exists (fun (e', _) -> e' == e) r.diff_found then "yes"
+        else "NOT FOUND"
+      in
+      Table.add_row t
+        [ e.dwhat; e.dimpl; Diff.cls_name e.dclass; e.dcheck; found ])
+    expected_divergences;
+  Table.render t ppf;
+  Format.fprintf ppf "%d divergence(s) recorded (%d campaign execs):@."
+    (List.length r.diff_divergences)
+    r.diff_campaign_execs;
+  List.iter
+    (fun d -> Format.fprintf ppf "  %a@." Diff.pp_divergence d)
+    r.diff_divergences
+
+(* ------------------------------------------------------------------ *)
 (* Everything                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -647,4 +830,5 @@ let run_all ?(scale = quick) ppf =
   print_t4 ppf (run_t4 scale);
   print_t5 ppf (run_t5 scale);
   print_lessons ppf (run_lessons scale);
-  print_t6 ppf (run_t6 scale)
+  print_t6 ppf (run_t6 scale);
+  print_differential ppf (run_differential scale)

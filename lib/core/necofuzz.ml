@@ -23,6 +23,8 @@
     - {!Fuzzer} — the AFL++-style engine (§4.1)
     - {!Obs} — campaign observability: typed trace events, metrics,
       AFL++-style stats formatting
+    - {!Diff} — the cross-hypervisor differential oracle
+      ([run ~differential:true] turns it on for a campaign)
     - {!Experiments} — reproduction of every table and figure of §5 *)
 
 module Agent = Nf_agent.Agent
@@ -45,6 +47,7 @@ module Coverage = Nf_coverage.Coverage
 module Persist = Nf_persist.Persist
 module Faulty = Nf_hv.Faulty
 module Obs = Nf_obs.Obs
+module Diff = Nf_diff.Diff
 module Sanitizer = Nf_sanitizer.Sanitizer
 module Features = Nf_cpu.Features
 module Experiments = Experiments

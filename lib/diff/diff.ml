@@ -1,0 +1,472 @@
+(* Cross-hypervisor differential oracle.  See diff.mli. *)
+
+module Vmcs = Nf_vmcs.Vmcs
+module Field = Nf_vmcs.Field
+module Vmcb = Nf_vmcb.Vmcb
+module San = Nf_sanitizer.Sanitizer
+module Hv = Nf_hv.Hypervisor
+module Executor = Nf_harness.Executor
+module P = Nf_persist.Persist
+
+type arch = Vmx | Svm
+
+let arch_name = function Vmx -> "vmx" | Svm -> "svm"
+
+type cls = Too_strict | Too_lax | Exit_mismatch
+
+let cls_name = function
+  | Too_strict -> "too-strict"
+  | Too_lax -> "too-lax"
+  | Exit_mismatch -> "exit-mismatch"
+
+let cls_code = function Too_strict -> 0 | Too_lax -> 1 | Exit_mismatch -> 2
+
+let cls_of_code = function
+  | 0 -> Too_strict
+  | 1 -> Too_lax
+  | 2 -> Exit_mismatch
+  | n -> raise (P.Reader.Corrupt (Printf.sprintf "bad divergence class %d" n))
+
+type divergence = {
+  cls : cls;
+  impl : string;
+  check : string;
+  fields : string list;
+  detail : string;
+  first_exec : int;
+  first_hours : float;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "[%s] %s: %s — %s (fields: %s; first at exec %d, %.2fh)"
+    (cls_name d.cls) d.impl d.check d.detail
+    (match d.fields with [] -> "-" | fs -> String.concat "," fs)
+    d.first_exec d.first_hours
+
+let capacity = 256
+let field_cap = 8
+
+(* The dedup key: everything but the witness metadata. *)
+let key_of d = String.concat "\x00" (cls_name d.cls :: d.impl :: d.check :: d.fields)
+
+(* Earliest witness wins; detail breaks exact-time ties so the winner is
+   a pure function of the observation *set*. *)
+let earlier a b =
+  compare (a.first_hours, a.first_exec, a.detail)
+    (b.first_hours, b.first_exec, b.detail)
+  < 0
+
+type t = {
+  store_arch : arch;
+  table : (string, divergence) Hashtbl.t;
+  mutable n_dropped : int;
+}
+
+let create a = { store_arch = a; table = Hashtbl.create 31; n_dropped = 0 }
+let arch t = t.store_arch
+let size t = Hashtbl.length t.table
+let dropped t = t.n_dropped
+
+let divergences t =
+  Hashtbl.fold (fun k d acc -> (k, d) :: acc) t.table []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.map snd
+
+let record t d =
+  let k = key_of d in
+  match Hashtbl.find_opt t.table k with
+  | Some cur ->
+      if earlier d cur then Hashtbl.replace t.table k d;
+      false
+  | None ->
+      if Hashtbl.length t.table < capacity then begin
+        Hashtbl.add t.table k d;
+        true
+      end
+      else begin
+        (* Keep the lexicographically-smallest [capacity] keys so the
+           retained set does not depend on observation order. *)
+        let max_key =
+          Hashtbl.fold (fun k' _ acc -> if k' > acc then k' else acc) t.table ""
+        in
+        t.n_dropped <- t.n_dropped + 1;
+        if k < max_key then begin
+          Hashtbl.remove t.table max_key;
+          Hashtbl.add t.table k d;
+          true
+        end
+        else false
+      end
+
+let merge ~into src =
+  List.iter (fun d -> ignore (record into d)) (divergences src);
+  into.n_dropped <- into.n_dropped + src.n_dropped
+
+let assign t ~from =
+  Hashtbl.reset t.table;
+  Hashtbl.iter (Hashtbl.add t.table) from.table;
+  t.n_dropped <- from.n_dropped
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
+let write_divergence w d =
+  P.Writer.u8 w (cls_code d.cls);
+  P.Writer.string w d.impl;
+  P.Writer.string w d.check;
+  P.Writer.list w P.Writer.string d.fields;
+  P.Writer.string w d.detail;
+  P.Writer.int w d.first_exec;
+  P.Writer.float w d.first_hours
+
+let read_divergence r =
+  let cls = cls_of_code (P.Reader.u8 r) in
+  let impl = P.Reader.string r in
+  let check = P.Reader.string r in
+  let fields = P.Reader.list r P.Reader.string in
+  let detail = P.Reader.string r in
+  let first_exec = P.Reader.int r in
+  let first_hours = P.Reader.float r in
+  { cls; impl; check; fields; detail; first_exec; first_hours }
+
+let write w t =
+  P.Writer.u8 w (match t.store_arch with Vmx -> 0 | Svm -> 1);
+  P.Writer.int w t.n_dropped;
+  P.Writer.list w write_divergence (divergences t)
+
+let read r =
+  let a =
+    match P.Reader.u8 r with
+    | 0 -> Vmx
+    | 1 -> Svm
+    | n -> raise (P.Reader.Corrupt (Printf.sprintf "bad diff arch %d" n))
+  in
+  let n_dropped = P.Reader.int r in
+  let ds = P.Reader.list r read_divergence in
+  let t = create a in
+  List.iter (fun d -> ignore (record t d)) ds;
+  t.n_dropped <- n_dropped;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Silicon verdicts                                                    *)
+
+type silicon = Accepts | Rejects of string * string (* check id, message *)
+
+let silicon_vmx ~caps ~msr_area vmcs =
+  match Nf_cpu.Vmx_cpu.enter ~caps ~msr_load:msr_area (Vmcs.copy vmcs) with
+  | Nf_cpu.Vmx_cpu.Entered _ -> Accepts
+  | Vmfail_control { check; msg }
+  | Vmfail_host { check; msg }
+  | Entry_fail_guest { check; msg } ->
+      Rejects (check.Nf_cpu.Vmx_checks.id, msg)
+  | Entry_fail_msr_load { index; msr; msg } ->
+      Rejects
+        ( "entry.msr_load",
+          Printf.sprintf "MSR-load entry %d (MSR %#x): %s" index msr msg )
+
+let silicon_svm ~caps vmcb =
+  match Nf_cpu.Svm_cpu.vmrun ~caps (Vmcb.copy vmcb) with
+  | Nf_cpu.Svm_cpu.Entered -> Accepts
+  | Vmexit_invalid { check; msg } -> Rejects (check.Nf_cpu.Svm_checks.id, msg)
+
+(* ------------------------------------------------------------------ *)
+(* The legacy Bochs validator, as one more implementation under test   *)
+
+let data_seg_of_check = function
+  | "guest.seg.ss" -> Some Nf_x86.Seg.SS
+  | "guest.seg.ds" -> Some Nf_x86.Seg.DS
+  | "guest.seg.es" -> Some Nf_x86.Seg.ES
+  | "guest.seg.fs" -> Some Nf_x86.Seg.FS
+  | "guest.seg.gs" -> Some Nf_x86.Seg.GS
+  | _ -> None
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* The pre-patch Bochs check set: the patched architectural table with
+   the two planted deviations of Bochs PR #51 — the expand-down data
+   limit rule skipped (too lax) and the SS RPL rule applied to unusable
+   SS (too strict).  Hardware-unenforced checks are skipped so the only
+   possible disagreements with silicon are the two bugs. *)
+let bochs_legacy ~caps ~msr_area vmcs : (unit, string * string) result =
+  let ctx = { Nf_cpu.Vmx_checks.caps; vmcs; entry_msr_load = msr_area } in
+  let hw_skip id = List.mem id Nf_cpu.Vmx_cpu.hardware_skips in
+  let rec go skips =
+    match
+      Nf_cpu.Vmx_checks.run_all
+        ~skip:(fun id -> hw_skip id || List.mem id skips)
+        ctx
+    with
+    | Ok () -> Ok ()
+    | Error (check, msg) -> (
+        let id = check.Nf_cpu.Vmx_checks.id in
+        match data_seg_of_check id with
+        | Some r
+          when contains ~needle:"limit/granularity" msg
+               && Nf_validator.Bochs_bugs.check_data_limit Legacy vmcs r = Ok ()
+          ->
+            go (id :: skips)
+        | _ -> Error (id, msg))
+  in
+  match go [] with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Nf_validator.Bochs_bugs.check_ss_rpl Legacy vmcs with
+      | Ok () -> Ok ()
+      | Error msg -> Error ("guest.seg.ss", msg))
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural replay through the L0 models                            *)
+
+type behavior = {
+  entered : bool;
+  rejected : string option; (* how the model refused the entry *)
+  exits : int64 list; (* synthesized L2 exits (no entry-failure flag) *)
+  killed : string option; (* VM/host died *)
+  faulted : int option; (* an init-template instruction faulted *)
+  reports : (string * string) list; (* reportable sanitizer events *)
+}
+
+let interpret a san (results : Hv.step_result list) =
+  let entered = ref false
+  and rejected = ref None
+  and exits = ref []
+  and killed = ref None
+  and faulted = ref None in
+  let first r v = if !r = None then r := Some v in
+  List.iter
+    (fun (res : Hv.step_result) ->
+      match res with
+      | Hv.Ok_step | Hv.L2_resumed -> ()
+      | Hv.L2_entered -> entered := true
+      | Hv.Vmfail code ->
+          first rejected
+            (Printf.sprintf "VMfail(%s)" (Nf_cpu.Vmx_cpu.Insn_error.name code))
+      | Hv.L2_exit_to_l1 reason -> (
+          match a with
+          | Vmx ->
+              let flag = Nf_cpu.Exit_reason.entry_failure_flag in
+              if Int64.logand reason flag <> 0L then
+                first rejected
+                  (Printf.sprintf "entry failure, basic reason %Ld"
+                     (Int64.logand reason (Int64.lognot flag)))
+              else exits := reason :: !exits
+          | Svm ->
+              if reason = Vmcb.Exit.invalid then first rejected "VMEXIT_INVALID"
+              else exits := reason :: !exits)
+      | Hv.Vm_killed msg -> first killed msg
+      | Hv.Host_down msg -> first killed ("host down: " ^ msg)
+      | Hv.Fault vec -> first faulted vec)
+    results;
+  let reports =
+    List.filter_map
+      (fun e ->
+        if San.is_reportable e then
+          Some (San.event_kind e, San.event_message e)
+        else None)
+      (San.events san)
+  in
+  {
+    entered = !entered;
+    rejected = !rejected;
+    exits = List.rev !exits;
+    killed = !killed;
+    faulted = !faulted;
+    reports;
+  }
+
+type verdict = Accept | Reject of string | Other
+
+let verdict_of b =
+  match b.rejected with
+  | Some d -> Reject d
+  | None -> if b.entered then Accept else Other
+
+(* The behaviour tag used as the pseudo-check of an exit-mismatch, in
+   decreasing priority: a dead VM/host, an unexpected synthesized exit,
+   a faulting init instruction, a sanitizer report. *)
+let behavior_tag b =
+  match b.killed with
+  | Some msg -> Some ("killed", msg)
+  | None -> (
+      match b.exits with
+      | code :: _ -> Some (Printf.sprintf "exit:%Ld" code, "unexpected synthesized L2 exit")
+      | [] -> (
+          match b.faulted with
+          | Some vec -> Some (Printf.sprintf "fault:%d" vec, "init instruction faulted")
+          | None -> (
+              match b.reports with
+              | (kind, msg) :: _ -> Some ("report:" ^ kind, msg)
+              | [] -> None)))
+
+let with_report_detail b detail =
+  match b.reports with
+  | (_, msg) :: _ when not (contains ~needle:msg detail) -> detail ^ "; " ^ msg
+  | _ -> detail
+
+(* Attribute the model's rejection to a check id by re-running the
+   architectural table minus the checks this model does not replicate
+   (first failure wins, same order as the replica). *)
+let model_check_vmx ~caps ~msr_area ~missing vmcs =
+  let ctx = { Nf_cpu.Vmx_checks.caps; vmcs; entry_msr_load = msr_area } in
+  match Nf_cpu.Vmx_checks.run_all ~skip:(fun id -> List.mem id missing) ctx with
+  | Error (c, msg) -> (c.Nf_cpu.Vmx_checks.id, msg)
+  | Ok () -> ("(model)", "rejected outside the replicated check table")
+
+let model_check_svm ~caps ~missing vmcb =
+  let ctx = { Nf_cpu.Svm_checks.caps; vmcb } in
+  match Nf_cpu.Svm_checks.run_all ~skip:(fun id -> List.mem id missing) ctx with
+  | Error (c, msg) -> (c.Nf_cpu.Svm_checks.id, msg)
+  | Ok () -> ("(model)", "rejected outside the replicated check table")
+
+(* Compare the silicon verdict with one model's behaviour. *)
+let classify ~silicon ~model_check (b : behavior) =
+  match (silicon, verdict_of b) with
+  | Accepts, Reject detail ->
+      let check, msg = model_check () in
+      Some (Too_strict, check, Printf.sprintf "%s (%s)" msg detail)
+  | Accepts, Accept -> (
+      (* Same verdict; any report, kill or synthesized exit on a state
+         silicon enters cleanly is a behavioural divergence. *)
+      match behavior_tag b with
+      | Some (tag, detail) -> Some (Exit_mismatch, tag, with_report_detail b detail)
+      | None -> None)
+  | Accepts, Other -> (
+      match behavior_tag b with
+      | Some (tag, detail) -> Some (Exit_mismatch, tag, with_report_detail b detail)
+      | None -> None)
+  | Rejects (check, msg), Accept -> Some (Too_lax, check, msg)
+  | Rejects (check, msg), Other ->
+      let how =
+        match behavior_tag b with
+        | Some (tag, d) -> Printf.sprintf "%s: %s" tag d
+        | None -> "no entry, no rejection"
+      in
+      Some (Too_lax, check, Printf.sprintf "%s; model: %s" msg how)
+  | Rejects _, Reject _ -> (
+      (* Agreeing rejections can still blow up on the injection path
+         (Xen's vGIF assertion). *)
+      match b.reports with
+      | (kind, msg) :: _ -> Some (Exit_mismatch, "report:" ^ kind, msg)
+      | [] -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Field attribution: where does the witness differ from golden?       *)
+
+let cap_fields names =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take field_cap (List.sort compare names)
+
+let vmx_fields ~caps vmcs =
+  cap_fields (List.map Field.name (Vmcs.diff (Nf_validator.Golden.vmcs caps) vmcs))
+
+let svm_fields ~caps vmcb =
+  cap_fields
+    (List.map Vmcb.field_name (Vmcb.diff (Nf_validator.Golden.vmcb caps) vmcb))
+
+(* ------------------------------------------------------------------ *)
+(* The implementations under test                                      *)
+
+let vmx_impls :
+    (string
+    * (features:Nf_cpu.Features.t -> sanitizer:San.t -> Hv.packed)
+    * string list)
+    list =
+  [
+    ("kvm-intel", Nf_kvm.Kvm.pack_intel, Nf_kvm.Vmx_nested.missing_checks);
+    ("xen-intel", Nf_xen.Xen.pack_intel, Nf_xen.Vmx_nested.missing_checks);
+    ("vbox", Nf_vbox.Vbox.pack, Nf_vbox.Vbox.missing_checks);
+  ]
+
+let svm_impls :
+    (string
+    * (features:Nf_cpu.Features.t -> sanitizer:San.t -> Hv.packed)
+    * string list)
+    list =
+  [
+    ("kvm-amd", Nf_kvm.Kvm.pack_amd, Nf_kvm.Svm_nested.missing_checks);
+    ("xen-amd", Nf_xen.Xen.pack_amd, Nf_xen.Svm_nested.missing_checks);
+  ]
+
+let replay ~a ~features ~pack ~warmup ops =
+  let san = San.create () in
+  let hv = pack ~features ~sanitizer:san in
+  List.iter (fun op -> ignore (Hv.packed_exec_l1 hv op)) warmup;
+  ignore (San.drain san);
+  let results = List.map (Hv.packed_exec_l1 hv) ops in
+  interpret a san results
+
+let observe_vmcs t ~exec ~hours ~features ~msr_area vmcs =
+  if t.store_arch <> Vmx then invalid_arg "Diff.observe_vmcs: SVM store";
+  let caps = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features in
+  let silicon = silicon_vmx ~caps ~msr_area vmcs in
+  let fields = vmx_fields ~caps vmcs in
+  let fresh = ref [] in
+  let add impl (cls, check, detail) =
+    let d = { cls; impl; check; fields; detail; first_exec = exec; first_hours = hours } in
+    if record t d then fresh := d :: !fresh
+  in
+  (* Verdict-only implementation: the pre-patch Bochs validator. *)
+  (match (silicon, bochs_legacy ~caps ~msr_area vmcs) with
+  | Accepts, Error (check, msg) -> add "bochs-legacy" (Too_strict, check, msg)
+  | Rejects (check, msg), Ok () -> add "bochs-legacy" (Too_lax, check, msg)
+  | Accepts, Ok () | Rejects _, Error _ -> ());
+  (* Behavioural implementations: fresh instance each, driven through
+     the canonical (un-mutated) initialization template. *)
+  let ops =
+    Executor.vmx_init_template ~vmcs12:(Vmcs.copy vmcs) ~msr_area
+  in
+  List.iter
+    (fun (impl, pack, missing) ->
+      let b = replay ~a:Vmx ~features ~pack ~warmup:[] ops in
+      let model_check () = model_check_vmx ~caps ~msr_area ~missing vmcs in
+      match classify ~silicon ~model_check b with
+      | Some res -> add impl res
+      | None -> ())
+    vmx_impls;
+  List.rev !fresh
+
+let observe_vmcb t ~exec ~hours ~features vmcb =
+  if t.store_arch <> Svm then invalid_arg "Diff.observe_vmcb: VMX store";
+  let caps = Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features in
+  let silicon = silicon_svm ~caps vmcb in
+  let fields = svm_fields ~caps vmcb in
+  let fresh = ref [] in
+  let add impl (cls, check, detail) =
+    let d = { cls; impl; check; fields; detail; first_exec = exec; first_hours = hours } in
+    if record t d then fresh := d :: !fresh
+  in
+  let warmup =
+    Executor.svm_init_template ~vmcb12:(Nf_validator.Golden.vmcb caps)
+  in
+  let ops = Executor.svm_init_template ~vmcb12:(Vmcb.copy vmcb) in
+  List.iter
+    (fun (impl, pack, missing) ->
+      let b = replay ~a:Svm ~features ~pack ~warmup ops in
+      let model_check () = model_check_svm ~caps ~missing vmcb in
+      match classify ~silicon ~model_check b with
+      | Some res -> add impl res
+      | None -> ())
+    svm_impls;
+  List.rev !fresh
+
+let seed_witnesses t =
+  match t.store_arch with
+  | Svm -> []
+  | Vmx ->
+      let features = Nf_cpu.Features.default in
+      let caps =
+        Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features
+      in
+      let obs vmcs =
+        observe_vmcs t ~exec:0 ~hours:0.0 ~features ~msr_area:[||] vmcs
+      in
+      obs (Nf_validator.Bochs_bugs.witness_bug1 caps)
+      @ obs (Nf_validator.Bochs_bugs.witness_bug2 caps)

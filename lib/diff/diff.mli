@@ -1,0 +1,173 @@
+(** Cross-hypervisor differential oracle.
+
+    The paper's validator bugs were found differentially: a software
+    re-implementation of the VM-entry consistency checks disagreed with
+    the hardware oracle on states the fuzzer generated (§1/§4.3), and
+    IRIS generalizes the idea — replay one vCPU state through several
+    implementations and flag the disagreements.  This module is that
+    subsystem: each fuzz-harness input's validated VMCS/VMCB state is
+    decoded once and replayed through
+
+    - the physical-CPU oracle ({!Nf_cpu.Vmx_cpu} / {!Nf_cpu.Svm_cpu}),
+      which is ground truth;
+    - the pre-patch Bochs check variants ({!Nf_validator.Bochs_bugs}),
+      a verdict-only validator implementation; and
+    - every L0 hypervisor model of the matching vendor
+      ([lib/kvm], [lib/xen], [lib/vbox]), driven behaviourally through
+      the canonical initialization template on a freshly booted
+      instance with its own sanitizer.
+
+    Divergences are classified ({!cls}), deduplicated by
+    [(class, check, field set)] into a bounded store, and surfaced to
+    the engine, which forwards them to [Nf_obs] events/counters and the
+    campaign checkpoint.
+
+    {b Determinism.}  Replay derives everything from the decoded state,
+    the vCPU feature configuration and fixed golden templates: no
+    campaign RNG is consumed, no virtual time is charged, and the
+    bounded store is order-independent (see {!val-record}), so a
+    differential campaign is reproducible and checkpoint/resume-safe,
+    and merging per-worker stores at sync barriers commutes. *)
+
+(** Which state format this store replays.  One campaign targets one
+    vendor, so one store handles one architecture. *)
+type arch = Vmx  (** Intel: VMCS + VM-entry MSR-load area *)
+          | Svm  (** AMD: VMCB *)
+
+val arch_name : arch -> string
+(** ["vmx"] / ["svm"]. *)
+
+(** Divergence classification (the tentpole taxonomy). *)
+type cls =
+  | Too_strict
+      (** The implementation rejects a state silicon accepts — the
+          silent-fix/quirk shape (Bochs bug 1, manual-faithful
+          [guest.ia32e_pae] replications). *)
+  | Too_lax
+      (** The implementation accepts (or blows up on) a state silicon
+          rejects — the planted-bug shape (Bochs bug 2, VirtualBox's
+          missing MSR-load canonicality check). *)
+  | Exit_mismatch
+      (** Verdicts agree but behaviour does not: unexpected synthesized
+          exits, sanitizer reports, or a dead VM/host on a state both
+          sides agree about. *)
+
+val cls_name : cls -> string
+(** ["too-strict"] / ["too-lax"] / ["exit-mismatch"]. *)
+
+(** One deduplicated divergence, with its earliest witness. *)
+type divergence = {
+  cls : cls;
+  impl : string;
+      (** implementation name: ["bochs-legacy"], ["kvm-intel"],
+          ["xen-intel"], ["vbox"], ["kvm-amd"] or ["xen-amd"] *)
+  check : string;
+      (** the failing consistency-check identifier when one is
+          attributable; otherwise a behaviour tag such as ["killed"],
+          ["exit:2"] or ["report:ubsan"] *)
+  fields : string list;
+      (** sorted names of the (at most {!field_cap}) VMCS/VMCB fields
+          where the witness state differs from the golden state — the
+          dedup key's state component *)
+  detail : string;  (** human-readable one-line explanation *)
+  first_exec : int;  (** execution index of the earliest witness *)
+  first_hours : float;  (** virtual campaign time of that witness *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+(** One line: class, implementation, check, detail, discovery time. *)
+
+val capacity : int
+(** Maximum number of distinct divergences the store retains (256). *)
+
+val field_cap : int
+(** Maximum number of field names kept in {!divergence.fields} (8). *)
+
+(** A bounded, deterministic divergence store. *)
+type t
+
+val create : arch -> t
+(** Fresh empty store for one campaign. *)
+
+val arch : t -> arch
+(** The architecture this store was created for. *)
+
+val size : t -> int
+(** Number of distinct divergences currently retained. *)
+
+val dropped : t -> int
+(** Divergences discarded because the store was at {!capacity} — an
+    upper-bound indicator, 0 in any realistic campaign. *)
+
+val divergences : t -> divergence list
+(** All retained divergences in a canonical deterministic order
+    (sorted by dedup key), independent of insertion order. *)
+
+val record : t -> divergence -> bool
+(** Insert one divergence; returns [true] iff it is newly retained.
+    Dedup key is [(cls, impl, check, fields)]; for an existing key the
+    earliest witness wins (ordered by [(first_hours, first_exec,
+    detail)]).  At capacity the store keeps the smallest {!capacity}
+    keys, so the retained set and every witness are independent of
+    observation order — the property that makes worker merges and
+    resume deterministic. *)
+
+val merge : into:t -> t -> unit
+(** Fold every divergence of the second store into [into] (same
+    dedup/eviction rules as {!record}; [dropped] counters add).
+    Commutative and associative on the retained set below capacity. *)
+
+val assign : t -> from:t -> unit
+(** Replace the contents of a store with a copy of [from]'s — used to
+    broadcast the merged union back to workers at a sync barrier. *)
+
+(** {1 Replay} *)
+
+val observe_vmcs :
+  t ->
+  exec:int ->
+  hours:float ->
+  features:Nf_cpu.Features.t ->
+  msr_area:(int * int64) array ->
+  Nf_vmcs.Vmcs.t ->
+  divergence list
+(** Replay one decoded VMCS (plus its VM-entry MSR-load area) through
+    the Intel silicon oracle, the legacy Bochs checks and each VMX L0
+    model under the capabilities implied by [features]; classify,
+    record, and return the {e newly retained} divergences.  Pure with
+    respect to campaign state: fresh hypervisor instances and
+    sanitizers are used and discarded.  Raises [Invalid_argument] on an
+    {!Svm} store. *)
+
+val observe_vmcb :
+  t ->
+  exec:int ->
+  hours:float ->
+  features:Nf_cpu.Features.t ->
+  Nf_vmcb.Vmcb.t ->
+  divergence list
+(** SVM counterpart of {!observe_vmcs}.  Each L0 model is warmed up
+    with one golden-VMCB entry first so mode-tracking state (Xen's
+    [prev_l2_long_mode]) is armed exactly as in a long-running host.
+    Raises [Invalid_argument] on a {!Vmx} store. *)
+
+val seed_witnesses : t -> divergence list
+(** Replay the two committed Bochs-bug witness states
+    ({!Nf_validator.Bochs_bugs.witness_bug1} / [witness_bug2]) under
+    the default vCPU configuration, guaranteeing a differential
+    campaign rediscovers both bugs at execution 0 regardless of fuzzing
+    luck.  No-op (returns [[]]) on an {!Svm} store.  Idempotent on the
+    store contents, so re-seeding after a resume cannot skew it. *)
+
+(** {1 Persistence}
+
+    The store is persisted inside the engine's checkpoint blob
+    (checkpoint format v3); the codec round-trips exactly:
+    [read (write t) = t]. *)
+
+val write : Nf_persist.Persist.Writer.t -> t -> unit
+(** Serialise the store (arch, drop counter, retained divergences). *)
+
+val read : Nf_persist.Persist.Reader.t -> t
+(** May raise {!Nf_persist.Persist.Reader.Corrupt} on malformed
+    input. *)

@@ -3,6 +3,7 @@
 module Cov = Nf_coverage.Coverage
 module San = Nf_sanitizer.Sanitizer
 module Obs = Nf_obs.Obs
+module Diff = Nf_diff.Diff
 
 type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
 
@@ -96,6 +97,7 @@ type result = {
   restarts : int;
   corpus_size : int;
   metrics : Obs.Metrics.t; (* the campaign's telemetry registry *)
+  divergences : Diff.divergence list; (* [] unless differential mode *)
 }
 
 let pp_crash ppf (c : crash_report) =
@@ -162,6 +164,7 @@ type t = {
   svm_validator : Nf_validator.Svm_validator.t;
   injector : Nf_hv.Faulty.injector option;
   seen_crashes : (string, unit) Hashtbl.t;
+  diff : Diff.t option; (* the differential-oracle divergence store *)
   metrics : Obs.Metrics.t; (* checkpointed; survives resume *)
   mutable sink : Obs.Sink.t; (* NOT checkpointed; re-attach after restore *)
   mutable crashes : crash_report list; (* newest first *)
@@ -209,7 +212,18 @@ type snapshot = {
   stage_cost_us : (string * int64) list; (* cumulative cost per stage *)
 }
 
-let create (cfg : cfg) : t =
+(* Count one freshly retained divergence into the telemetry registry.
+   The trace event is emitted by the caller when a sink is attached. *)
+let count_divergence (metrics : Obs.Metrics.t) (d : Diff.divergence) =
+  Obs.Metrics.incr metrics ("diff/" ^ Diff.cls_name d.Diff.cls);
+  Obs.Metrics.incr metrics "diff/divergences"
+
+let diff_arch target =
+  match target_vendor target with
+  | Nf_cpu.Cpu_model.Intel -> Diff.Vmx
+  | Nf_cpu.Cpu_model.Amd -> Diff.Svm
+
+let create ?(differential = false) (cfg : cfg) : t =
   let fuzzer = Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~seed:cfg.seed () in
   List.iter (Nf_fuzzer.Fuzzer.seed_input fuzzer) (initial_seeds cfg.target);
   let region = target_region cfg.target in
@@ -228,6 +242,7 @@ let create (cfg : cfg) : t =
           (fun f -> Nf_hv.Faulty.create ~rate:f.fault_rate ~seed:f.fault_seed)
           cfg.faults;
       seen_crashes = Hashtbl.create 17;
+      diff = (if differential then Some (Diff.create (diff_arch cfg.target)) else None);
       metrics = Obs.Metrics.create ();
       sink = Obs.Sink.null;
       crashes = [];
@@ -239,6 +254,15 @@ let create (cfg : cfg) : t =
     }
   in
   wire_observers t;
+  (* Differential campaigns start by replaying the two committed Bochs
+     witness states, so both validator bugs are on record at exec 0
+     regardless of fuzzing luck.  (A restored campaign skips this — its
+     store already contains them, and the metrics already counted them.) *)
+  (match t.diff with
+  | None -> ()
+  | Some d ->
+      List.iter (count_divergence t.metrics) (Diff.seed_witnesses d);
+      Obs.Metrics.set_gauge t.metrics "diff/unique" (float_of_int (Diff.size d)));
   t
 
 let step (t : t) : step_outcome =
@@ -396,6 +420,55 @@ let step (t : t) : step_outcome =
           end
         end)
       (San.events sanitizer);
+    (* Differential oracle: replay this input's validated state through
+       the silicon oracle, the legacy Bochs checks and every same-vendor
+       L0 model.  State generation is a pure function of the input (the
+       scratch validators leave campaign state untouched), no campaign
+       randomness is consumed and no virtual time is charged, so the
+       campaign trajectory is bit-identical with the mode off. *)
+    (match t.diff with
+    | None -> ()
+    | Some d ->
+        let hours = Nf_stdext.Vclock.now_hours t.clock in
+        let fresh =
+          match target_vendor cfg.target with
+          | Nf_cpu.Cpu_model.Intel ->
+              let caps_l1 =
+                Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake
+                  features
+              in
+              let vmcs12 =
+                Nf_harness.Executor.generate_vmcs12 ~ablation:cfg.ablation
+                  ~validator:t.vmx_validator ~caps_l1 input
+              in
+              let msr_area = Nf_harness.Executor.generate_msr_area input in
+              Diff.observe_vmcs d ~exec:exec_no ~hours ~features ~msr_area
+                vmcs12
+          | Nf_cpu.Cpu_model.Amd ->
+              let caps_l1 =
+                Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features
+              in
+              let vmcb12 =
+                Nf_harness.Executor.generate_vmcb12 ~ablation:cfg.ablation
+                  ~svm_validator:t.svm_validator ~caps_l1 input
+              in
+              Diff.observe_vmcb d ~exec:exec_no ~hours ~features vmcb12
+        in
+        List.iter
+          (fun (dv : Diff.divergence) ->
+            count_divergence t.metrics dv;
+            emit t
+              (Obs.Event.Divergence_found
+                 {
+                   exec = exec_no;
+                   cls = Diff.cls_name dv.Diff.cls;
+                   impl = dv.Diff.impl;
+                   check = dv.Diff.check;
+                 }))
+          fresh;
+        if fresh <> [] then
+          Obs.Metrics.set_gauge t.metrics "diff/unique"
+            (float_of_int (Diff.size d)));
     (* Watchdog: a host crash costs a reboot. *)
     (match outcome.termination with
     | Nf_harness.Executor.Host_crashed _ ->
@@ -472,6 +545,8 @@ let finish (t : t) : result =
           restarts = t.restarts;
           corpus_size = Nf_fuzzer.Fuzzer.queue_size t.fuzzer;
           metrics = t.metrics;
+          divergences =
+            (match t.diff with Some d -> Diff.divergences d | None -> []);
         }
       in
       t.sealed <- Some r;
@@ -484,8 +559,12 @@ module Persist = Nf_persist.Persist
 
 let checkpoint_magic = "NECOFUZZ-CKPT"
 
-(* v2: appended the telemetry registry (metrics survive resume). *)
+(* v2: appended the telemetry registry (metrics survive resume).
+   v3: v2 plus the differential-oracle divergence store; written only by
+   differential campaigns, so a campaign with the mode off still
+   produces bit-identical v2 blobs. *)
 let checkpoint_version = 2
+let checkpoint_version_differential = 3
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Persist.Reader.Corrupt m)) fmt
 
@@ -652,10 +731,15 @@ let to_string (t : t) : string =
       i64 w pending)
     t.injector;
   Obs.Metrics.write w t.metrics;
-  Persist.frame ~magic:checkpoint_magic ~version:checkpoint_version
+  (match t.diff with None -> () | Some d -> Nf_diff.Diff.write w d);
+  Persist.frame ~magic:checkpoint_magic
+    ~version:
+      (match t.diff with
+      | None -> checkpoint_version
+      | Some _ -> checkpoint_version_differential)
     (contents w)
 
-let read_engine r : t =
+let read_engine ~differential r : t =
   let open Persist.Reader in
   let cfg = read_cfg r in
   let now_us = i64 r in
@@ -704,6 +788,7 @@ let read_engine r : t =
         (rng_state, injected, pending))
   in
   let metrics = Obs.Metrics.read r in
+  let diff = if differential then Some (Nf_diff.Diff.read r) else None in
   let region = target_region cfg.target in
   let campaign_cov =
     match Cov.Map.of_hits region hits with
@@ -742,6 +827,7 @@ let read_engine r : t =
       svm_validator;
       injector;
       seen_crashes;
+      diff;
       metrics;
       (* Sinks are deliberately not checkpointed: a resumed campaign
          re-attaches its own with [set_sink]. *)
@@ -757,9 +843,19 @@ let read_engine r : t =
   wire_observers t;
   t
 
+(* Accept both checkpoint formats: v3 blobs carry a divergence store
+   (and imply the campaign ran differentially), v2 blobs do not. *)
 let of_string (blob : string) : (t, string) Stdlib.result =
-  Persist.decode ~magic:checkpoint_magic ~version:checkpoint_version blob
-    read_engine
+  let differential =
+    Persist.peek_version ~magic:checkpoint_magic blob
+    = Some checkpoint_version_differential
+  in
+  let version =
+    if differential then checkpoint_version_differential
+    else checkpoint_version
+  in
+  Persist.decode ~magic:checkpoint_magic ~version blob
+    (read_engine ~differential)
 
 let save (t : t) (path : string) = Persist.write_file_atomic ~path (to_string t)
 
@@ -897,7 +993,8 @@ let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
   | None -> ());
   finish t
 
-let run (cfg : cfg) : result = run_from (create cfg)
+let run ?differential (cfg : cfg) : result =
+  run_from (create ?differential cfg)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel campaigns (AFL++ -M/-S topology).                   *)
@@ -997,7 +1094,25 @@ let sync_phase shared (engines : t array) (last_export : int array)
   Mutex.protect shared.mutex (fun () ->
       let u = Cov.Map.create (engines.(0)).region in
       Array.iter (fun e -> Cov.Map.merge u e.campaign_cov) engines;
-      shared.shared_cov <- u)
+      shared.shared_cov <- u);
+  (* 5. Differential campaigns: union the divergence stores in worker-id
+     order (the union is order-independent anyway — see Nf_diff) and
+     broadcast it back to every live worker, so the merged store is what
+     each worker checkpoints at this barrier. *)
+  match (engines.(0)).diff with
+  | None -> ()
+  | Some d0 ->
+      let u = Diff.create (Diff.arch d0) in
+      Array.iter
+        (fun e ->
+          match e.diff with Some d -> Diff.merge ~into:u d | None -> ())
+        engines;
+      Array.iteri
+        (fun w e ->
+          match e.diff with
+          | Some d when may_import w -> Diff.assign d ~from:u
+          | Some _ | None -> ())
+        engines
 
 let campaign_snapshot shared (engines : t array) : snapshot =
   Mutex.protect shared.mutex (fun () ->
@@ -1062,8 +1177,8 @@ let merge_timelines (results : result array) ~grid =
 let supervisor_retry_budget = 3
 let supervisor_backoff_base_us = 60_000_000L
 
-let run_parallel ?sync_hours ?on_sync ?chaos ?(obs = Obs.Sink.null) ~jobs
-    (cfg : cfg) : parallel_outcome =
+let run_parallel ?differential ?sync_hours ?on_sync ?chaos
+    ?(obs = Obs.Sink.null) ~jobs (cfg : cfg) : parallel_outcome =
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
@@ -1071,7 +1186,8 @@ let run_parallel ?sync_hours ?on_sync ?chaos ?(obs = Obs.Sink.null) ~jobs
   if sync_hours <= 0.0 then
     invalid_arg "Engine.run_parallel: sync_hours must be positive";
   let engines =
-    Array.init jobs (fun w -> create { cfg with seed = cfg.seed + w })
+    Array.init jobs (fun w ->
+        create ?differential { cfg with seed = cfg.seed + w })
   in
   let shared =
     {
@@ -1309,6 +1425,21 @@ let run_parallel ?sync_hours ?on_sync ?chaos ?(obs = Obs.Sink.null) ~jobs
           | Abandoned _ -> "workers/abandoned"))
       supervision;
     Obs.Metrics.incr ~by:!round merged_metrics "sync/rounds";
+    (* Divergence union across workers; order-independent, so it does
+       not matter that abandoned workers froze at different barriers. *)
+    let divergences =
+      match (engines.(0)).diff with
+      | None -> []
+      | Some d0 ->
+          let u = Diff.create (Diff.arch d0) in
+          Array.iter
+            (fun e ->
+              match e.diff with Some d -> Diff.merge ~into:u d | None -> ())
+            engines;
+          Obs.Metrics.set_gauge merged_metrics "diff/unique"
+            (float_of_int (Diff.size u));
+          Diff.divergences u
+    in
     let merged =
       {
         cfg;
@@ -1322,6 +1453,7 @@ let run_parallel ?sync_hours ?on_sync ?chaos ?(obs = Obs.Sink.null) ~jobs
            entry any worker discovered (deduplicated at broadcast). *)
         corpus_size = Hashtbl.length shared.distributed;
         metrics = merged_metrics;
+        divergences;
       }
     in
     { merged; workers = results; supervision }

@@ -35,11 +35,24 @@
     no RNG, charges no virtual time, and the registry round-trips
     through {!save}/{!restore} — so a traced campaign is bit-identical
     ({!to_string} equality) to an untraced one and to its own resumed
-    self.  Sinks are {e not} checkpointed; re-attach after restore. *)
+    self.  Sinks are {e not} checkpointed; re-attach after restore.
+
+    {b Differential mode.}  [create ~differential:true] additionally
+    replays every execution's validated VM state through the
+    cross-hypervisor differential oracle ([Nf_diff.Diff]): the silicon
+    oracle, the legacy Bochs checks and every same-vendor L0 model,
+    recording classified divergences.  The mode obeys the same inertness
+    contract as observability — it draws no campaign RNG and charges no
+    virtual time, so enabling it never perturbs the fuzzing trajectory,
+    and a campaign with the mode {e off} produces checkpoints
+    bit-identical to pre-differential builds (format v2).  Differential
+    campaigns checkpoint as format v3, persisting the divergence store;
+    {!of_string} accepts both. *)
 
 (** The L0 hypervisor under test. *)
 type target = Kvm_intel | Kvm_amd | Xen_intel | Xen_amd | Vbox
 
+(** Display name ("KVM/Intel", …), as reports and tables print it. *)
 val target_name : target -> string
 
 (** [target_of_string s] parses the CLI spelling of a target
@@ -57,7 +70,11 @@ val all_targets : (string * target) list
     {!target_of_string}; [fuzzer_stats] reports it. *)
 val target_slug : target -> string
 
+(** The coverage-map region the target's adapter instruments. *)
 val target_region : target -> Nf_coverage.Coverage.region
+
+(** CPU vendor implied by the target ([Intel] for VMX targets, [Amd]
+    for SVM targets) — selects VMCS vs VMCB state generation. *)
 val target_vendor : target -> Nf_cpu.Cpu_model.vendor
 
 (** Boot a fresh instance of the target through its adapter. *)
@@ -85,20 +102,25 @@ type cfg = {
   faults : fault_cfg option;  (** [None]: no fault injection *)
 }
 
+(** Paper-default configuration for a target: guided mode, no ablation,
+    seed 0, the 72-hour campaign window, hourly checkpoints, no fault
+    injection. *)
 val default_cfg : target -> cfg
 
+(** One deduplicated bug found by the campaign. *)
 type crash_report = {
-  detection : string; (* the "Detection Method" column of Table 6 *)
-  message : string;
-  reproducer : Bytes.t;
-  found_at_hours : float;
-  config : Nf_cpu.Features.t;
+  detection : string;  (** the "Detection Method" column of Table 6 *)
+  message : string;  (** sanitizer / crash message, the dedup key *)
+  reproducer : Bytes.t;  (** the harness input that triggered it *)
+  found_at_hours : float;  (** virtual campaign time of first discovery *)
+  config : Nf_cpu.Features.t;  (** CPU feature configuration in effect *)
 }
 
+(** A finished campaign. *)
 type result = {
   cfg : cfg;
-  coverage : Nf_coverage.Coverage.Map.t; (* accumulated over the campaign *)
-  timeline : (float * float) list; (* (virtual hours, coverage %) *)
+  coverage : Nf_coverage.Coverage.Map.t;  (** accumulated over the campaign *)
+  timeline : (float * float) list;  (** (virtual hours, coverage %) *)
   crashes : crash_report list;
   execs : int;
   restarts : int;
@@ -107,8 +129,12 @@ type result = {
       (** the campaign's telemetry registry; for a parallel campaign's
           [merged] result, the per-worker registries deterministically
           merged plus fleet accounting *)
+  divergences : Nf_diff.Diff.divergence list;
+      (** classified cross-hypervisor divergences, sorted by dedup key;
+          [[]] unless the campaign ran with [~differential:true] *)
 }
 
+(** Render a crash report for the CLI / experiment tables. *)
 val pp_crash : Format.formatter -> crash_report -> unit
 
 (** {1 The step-wise engine} *)
@@ -139,13 +165,23 @@ type snapshot = {
           histograms *)
 }
 
-val create : cfg -> t
+(** [create cfg] builds a fresh campaign.  With [~differential:true]
+    the engine also carries a divergence store: at exec 0 the two known
+    Bochs validator-bug witnesses are replayed into it, and every
+    subsequent {!step} replays its generated VM state through the
+    differential oracle, emitting [Divergence_found] events and
+    [diff/*] metrics for each fresh divergence.  Differential replay is
+    inert with respect to fuzzing: it draws no campaign RNG and charges
+    no virtual time, so the trajectory is identical with the mode on or
+    off.  Default: [false]. *)
+val create : ?differential:bool -> cfg -> t
 
 (** One fuzz iteration: propose → boot → execute → collect → triage.
     Returns [Deadline] (and performs nothing) once the virtual clock has
     reached the configured duration. *)
 val step : t -> step_outcome
 
+(** Cheap observable progress summary of a live campaign. *)
 val snapshot : t -> snapshot
 
 (** One-line human-readable progress rendering of a snapshot (the CLI's
@@ -172,8 +208,9 @@ val metrics : t -> Nf_obs.Obs.Metrics.t
 val finish : t -> result
 
 (** [run cfg] drives {!step} to [Deadline]: the sequential campaign,
-    bit-identical to the pre-decomposition loop. *)
-val run : cfg -> result
+    bit-identical to the pre-decomposition loop.  [?differential] is
+    passed to {!create}. *)
+val run : ?differential:bool -> cfg -> result
 
 (** {1 Checkpoint / resume}
 
@@ -185,13 +222,24 @@ val run : cfg -> result
     enforced by the test suite: a campaign checkpointed at hour H and
     resumed produces a result {e bit-identical} to the uninterrupted
     run.  Corrupt or truncated checkpoints are rejected with a
-    descriptive [Error], never a crash. *)
+    descriptive [Error], never a crash.
+
+    Two format versions coexist: v2 (no differential store — byte-for-
+    byte the pre-differential format) and v3 (v2 plus the serialized
+    divergence store appended).  An engine writes v3 exactly when it was
+    created with [~differential:true]; {!of_string} reads the header
+    version and restores either, so a resumed differential campaign
+    keeps its accumulated divergences. *)
 
 (** In-memory checkpoint of the engine (framed and checksummed like the
     on-disk form; the parallel supervisor uses these as sync-barrier
     snapshots). *)
 val to_string : t -> string
 
+(** Rebuild an engine from a {!to_string} blob.  Dispatches on the
+    header's format version (v2 plain, v3 differential); every failure
+    mode — bad magic, unknown version, truncation, checksum mismatch,
+    malformed payload — is a descriptive [Error]. *)
 val of_string : string -> (t, string) Stdlib.result
 
 (** [save t path] checkpoints [t] to [path] atomically (temp file +
@@ -311,8 +359,16 @@ type parallel_outcome = {
     [Worker_abandoned] from supervision.  Worker Domains never touch
     the sink (it need not be thread-safe), so a parallel campaign
     traces fleet lifecycle rather than per-step detail.  Inert like all
-    observability: passing [obs] changes no campaign bytes. *)
+    observability: passing [obs] changes no campaign bytes.
+
+    [differential], if [true], enables the differential oracle on every
+    worker.  Divergence stores are unioned deterministically (workers
+    combined in worker-id order, earliest witness wins) at every sync
+    barrier — so supervision restores never lose fleet-wide divergences
+    — and once more into [merged.divergences] at the end; the merged
+    store is independent of Domain scheduling. *)
 val run_parallel :
+  ?differential:bool ->
   ?sync_hours:float ->
   ?on_sync:(snapshot -> unit) ->
   ?chaos:(worker:int -> round:int -> attempt:int -> unit) ->

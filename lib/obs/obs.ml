@@ -41,6 +41,12 @@ module Event = struct
     | Checkpoint_saved of { path : string; bytes : int }
     | Worker_recovered of { worker : int; attempt : int; error : string }
     | Worker_abandoned of { worker : int; attempts : int; error : string }
+    | Divergence_found of {
+        exec : int;
+        cls : string;
+        impl : string;
+        check : string;
+      }
 
   let name = function
     | Step_begin _ -> "step_begin"
@@ -53,6 +59,7 @@ module Event = struct
     | Checkpoint_saved _ -> "checkpoint_saved"
     | Worker_recovered _ -> "worker_recovered"
     | Worker_abandoned _ -> "worker_abandoned"
+    | Divergence_found _ -> "divergence_found"
 
   (* The event-specific payload fields of the JSONL schema. *)
   let payload = function
@@ -83,6 +90,9 @@ module Event = struct
     | Worker_abandoned { worker; attempts; error } ->
         [ ("worker", Json.Int worker); ("attempts", Json.Int attempts);
           ("error", Json.String error) ]
+    | Divergence_found { exec; cls; impl; check } ->
+        [ ("exec", Json.Int exec); ("class", Json.String cls);
+          ("impl", Json.String impl); ("check", Json.String check) ]
 
   let to_json ~ts_us ~worker ev =
     Json.Obj

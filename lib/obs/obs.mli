@@ -30,6 +30,8 @@ module Event : sig
     | Vm_died  (** the fuzz-harness VM was killed mid-execution *)
     | Host_crashed  (** the L0 host went down (watchdog path) *)
 
+  (** Stable lower-case name of a verdict (["entered"], ["vmfail"],
+      …) — the value used in JSONL payloads. *)
   val verdict_name : verdict -> string
 
   (** The typed event stream of a campaign.  [exec] is the 1-based
@@ -63,6 +65,16 @@ module Event : sig
     | Checkpoint_saved of { path : string; bytes : int }
     | Worker_recovered of { worker : int; attempt : int; error : string }
     | Worker_abandoned of { worker : int; attempts : int; error : string }
+    | Divergence_found of {
+        exec : int;
+        cls : string;  (** ["too-strict"], ["too-lax"] or ["exit-mismatch"] *)
+        impl : string;  (** implementation that diverged from silicon *)
+        check : string;  (** failing check id, or a behaviour tag *)
+      }
+        (** A differential campaign recorded a {e new} divergence
+            between the hardware oracle and one implementation (see
+            [Nf_diff.Diff]); payload strings rather than [Nf_diff]
+            types keep this library dependency-free. *)
 
   (** Stable snake_case event name (the ["ev"] field of the JSONL
       schema). *)
@@ -92,6 +104,8 @@ module Sink : sig
       nobody is listening. *)
   val is_null : t -> bool
 
+  (** [emit s ~ts_us ?worker ev] delivers one event.  [ts_us] is the
+      virtual-microsecond timestamp; [worker] defaults to [0]. *)
   val emit : t -> ts_us:int64 -> ?worker:int -> Event.t -> unit
 
   (** Flush and release the sink's resources.  Idempotent.  Required
@@ -135,6 +149,7 @@ module Metrics : sig
         sum : int64;  (** sum of observed values *)
       }
 
+  (** A fresh, empty registry. *)
   val create : unit -> t
 
   (** [incr t name] bumps counter [name] (created at 0 on first use).
@@ -144,7 +159,12 @@ module Metrics : sig
   (** Current counter value; 0 when the counter does not exist. *)
   val counter : t -> string -> int
 
+  (** [set_gauge t name v] records the latest value of gauge [name]
+      (created on first use).
+      @raise Invalid_argument if [name] is already a counter/histogram. *)
   val set_gauge : t -> string -> float -> unit
+
+  (** Current gauge value; [None] when the gauge does not exist. *)
   val gauge : t -> string -> float option
 
   (** Exponential virtual-cost buckets (µs), the default for the
@@ -160,6 +180,7 @@ module Metrics : sig
   (** Sum of all values observed by histogram [name]; 0L when absent. *)
   val histogram_sum : t -> string -> int64
 
+  (** Read-only lookup of one metric by name. *)
   val find : t -> string -> value option
 
   (** Every metric, sorted by name — the canonical (deterministic)
@@ -172,12 +193,15 @@ module Metrics : sig
       @raise Invalid_argument on type or bucket-layout clashes. *)
   val merge : into:t -> t -> unit
 
+  (** Human-readable dump in {!to_list} order, one metric per line. *)
   val pp : Format.formatter -> t -> unit
 
   (** Checkpoint codec: registries round-trip through the engine
       checkpoint so metrics survive resume. *)
   val write : Nf_persist.Persist.Writer.t -> t -> unit
 
+  (** Inverse of {!write}.
+      @raise Nf_persist.Persist.Reader.Corrupt on a malformed blob. *)
   val read : Nf_persist.Persist.Reader.t -> t
 end
 
@@ -200,6 +224,7 @@ module Stats : sig
   (** The [fuzzer_stats] file body. *)
   val fuzzer_stats : target:string -> mode:string -> row -> string
 
+  (** The CSV header line of [plot_data]. *)
   val plot_data_header : string
 
   (** One [plot_data] CSV line:

@@ -160,6 +160,11 @@ let frame ~magic ~version payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
+let peek_version ~magic blob =
+  let mlen = String.length magic in
+  if String.length blob < mlen + 2 || String.sub blob 0 mlen <> magic then None
+  else Some (String.get_uint16_le blob mlen)
+
 let unframe ~magic ~version blob =
   let mlen = String.length magic in
   let header = mlen + 10 in

@@ -22,25 +22,43 @@
 val crc32 : string -> int32
 
 module Writer : sig
+  (** An append-only serialisation buffer. *)
   type t
 
+  (** A fresh empty buffer. *)
   val create : unit -> t
 
   val u8 : t -> int -> unit
   (** @raise Invalid_argument unless the value fits a byte. *)
 
+  (** Little-endian 64-bit integer. *)
   val i64 : t -> int64 -> unit
+
+  (** OCaml [int], stored as its 64-bit sign-extension. *)
   val int : t -> int -> unit
+
+  (** One byte: 0 or 1. *)
   val bool : t -> bool -> unit
 
   (** Exact: the IEEE-754 bit pattern is stored. *)
   val float : t -> float -> unit
 
+  (** Length-prefixed byte string. *)
   val string : t -> string -> unit
+
+  (** Length-prefixed byte buffer (same wire format as {!string}). *)
   val bytes : t -> Bytes.t -> unit
+
+  (** Length-prefixed sequence of {!int}s. *)
   val int_array : t -> int array -> unit
+
+  (** [list w elt xs]: length prefix, then each element via [elt]. *)
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+
+  (** Presence byte, then the payload via the element writer if any. *)
   val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  (** Everything written so far, as a string. *)
   val contents : t -> string
 end
 
@@ -51,16 +69,41 @@ module Reader : sig
       trailing garbage).  {!load} and {!decode} catch it. *)
   exception Corrupt of string
 
+  (** A reader positioned at the start of [s].  Each accessor below
+      consumes its encoding and raises {!Corrupt} on truncation or a
+      malformed prefix; they are the exact inverses of the {!Writer}
+      functions of the same name. *)
   val of_string : string -> t
+
+  (** One unsigned byte. *)
   val u8 : t -> int
+
+  (** Little-endian 64-bit integer. *)
   val i64 : t -> int64
+
+  (** OCaml [int] (inverse of {!Writer.int}). *)
   val int : t -> int
+
+  (** One byte interpreted as a boolean.
+      @raise Corrupt unless it is 0 or 1. *)
   val bool : t -> bool
+
+  (** IEEE-754 bit pattern, exactly as written. *)
   val float : t -> float
+
+  (** Length-prefixed byte string. *)
   val string : t -> string
+
+  (** Length-prefixed byte buffer. *)
   val bytes : t -> Bytes.t
+
+  (** Length-prefixed sequence of {!int}s. *)
   val int_array : t -> int array
+
+  (** [list r elt]: length prefix, then that many elements via [elt]. *)
   val list : t -> (t -> 'a) -> 'a list
+
+  (** Presence byte, then the payload via the element reader if any. *)
   val option : t -> (t -> 'a) -> 'a option
 
   (** @raise Corrupt when payload bytes remain unconsumed. *)
@@ -69,6 +112,13 @@ end
 
 (** [frame ~magic ~version payload] prepends the header and checksum. *)
 val frame : magic:string -> version:int -> string -> string
+
+(** [peek_version ~magic blob] reads the header's format version without
+    validating length or checksum — how a reader that accepts several
+    versions (e.g. the engine's v2/v3 checkpoints) dispatches before
+    calling {!unframe} with the right [~version].  [None] when the blob
+    is too short or the magic does not match. *)
+val peek_version : magic:string -> string -> int option
 
 (** [unframe ~magic ~version blob] validates magic, version, length and
     CRC32 and returns the payload.  Every failure mode is a descriptive

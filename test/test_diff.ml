@@ -1,0 +1,409 @@
+(* Tests for the cross-hypervisor differential oracle: witness seeding
+   golden behaviour, directed rediscovery of every planted Table 6 bug,
+   order-independence of the bounded store, persistence, and the engine
+   integration (checkpoint v3, resume, parallel merge). *)
+
+module Diff = Nf_diff.Diff
+module Engine = Nf_engine.Engine
+module Vmcs = Nf_vmcs.Vmcs
+module Field = Nf_vmcs.Field
+module Vmcb = Nf_vmcb.Vmcb
+
+let features = Nf_cpu.Features.default
+let caps = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake features
+let scaps = Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features
+
+let has ds ~cls ~impl ~check =
+  List.exists
+    (fun (d : Diff.divergence) ->
+      d.Diff.cls = cls && d.Diff.impl = impl && d.Diff.check = check)
+    ds
+
+let cls_pp = Alcotest.testable Fmt.(of_to_string Diff.cls_name) ( = )
+
+(* --- witness seeding: exactly the two Bochs validator bugs --- *)
+
+let test_seed_witnesses_golden () =
+  let t = Diff.create Diff.Vmx in
+  let fresh = Diff.seed_witnesses t in
+  let bochs =
+    List.filter (fun (d : Diff.divergence) -> d.Diff.impl = "bochs-legacy") fresh
+  in
+  Alcotest.(check int) "two bochs-legacy divergences" 2 (List.length bochs);
+  (match
+     List.sort
+       (fun (a : Diff.divergence) b -> compare a.Diff.check b.Diff.check)
+       bochs
+   with
+  | [ ds; ss ] ->
+      Alcotest.check cls_pp "bug 2 class" Diff.Too_lax ds.Diff.cls;
+      Alcotest.(check string) "bug 2 check" "guest.seg.ds" ds.Diff.check;
+      Alcotest.check cls_pp "bug 1 class" Diff.Too_strict ss.Diff.cls;
+      Alcotest.(check string) "bug 1 check" "guest.seg.ss" ss.Diff.check;
+      Alcotest.(check int) "witnessed at exec 0" 0 ss.Diff.first_exec
+  | _ -> Alcotest.fail "expected exactly the two Bochs bugs");
+  (* Idempotent: re-seeding reports nothing fresh and grows nothing. *)
+  let size = Diff.size t in
+  Alcotest.(check int) "re-seed is a no-op" 0
+    (List.length (Diff.seed_witnesses t));
+  Alcotest.(check int) "size unchanged" size (Diff.size t)
+
+let test_seed_svm_empty () =
+  let t = Diff.create Diff.Svm in
+  Alcotest.(check int) "no VMX witnesses in an SVM store" 0
+    (List.length (Diff.seed_witnesses t));
+  Alcotest.(check int) "store empty" 0 (Diff.size t)
+
+let test_arch_mismatch_rejected () =
+  let t = Diff.create Diff.Svm in
+  Alcotest.check_raises "observe_vmcs on SVM store"
+    (Invalid_argument "Diff.observe_vmcs: SVM store") (fun () ->
+      ignore
+        (Diff.observe_vmcs t ~exec:0 ~hours:0.0 ~features ~msr_area:[||]
+           (Nf_validator.Golden.vmcs caps)))
+
+(* --- directed replays of the planted Table 6 bugs --- *)
+
+let observe_vmx ?(features = features) ?(msr_area = [||]) vmcs =
+  let t = Diff.create Diff.Vmx in
+  ignore (Diff.observe_vmcs t ~exec:7 ~hours:0.5 ~features ~msr_area vmcs);
+  Diff.divergences t
+
+let observe_svm vmcb =
+  let t = Diff.create Diff.Svm in
+  ignore (Diff.observe_vmcb t ~exec:7 ~hours:0.5 ~features vmcb);
+  Diff.divergences t
+
+let test_cve_2023_30456 () =
+  (* IA-32e guest without CR4.PAE under shadow paging: silicon forgives,
+     KVM's page-table walk trips UBSAN. *)
+  let f = { features with ept = false } in
+  let caps = Nf_cpu.Vmx_caps.apply_features Nf_cpu.Vmx_caps.alder_lake f in
+  let ds =
+    observe_vmx ~features:f
+      ((Nf_validator.Witness.find_vmx "guest.ia32e_pae").build caps)
+  in
+  Alcotest.(check bool) "kvm-intel UBSAN exit-mismatch" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"kvm-intel" ~check:"report:UBSAN");
+  (* Xen and VirtualBox replicate the check silicon skips: too strict. *)
+  Alcotest.(check bool) "xen-intel too-strict" true
+    (has ds ~cls:Diff.Too_strict ~impl:"xen-intel" ~check:"guest.ia32e_pae");
+  Alcotest.(check bool) "vbox too-strict" true
+    (has ds ~cls:Diff.Too_strict ~impl:"vbox" ~check:"guest.ia32e_pae")
+
+let test_invalid_nested_root_intel () =
+  let v = Nf_validator.Golden.vmcs caps in
+  Vmcs.write v Field.ept_pointer
+    (Nf_vmcs.Controls.Eptp.make ~ad:true ~pml4:0x10_0000_0000L ());
+  let ds = observe_vmx v in
+  Alcotest.(check bool) "kvm-intel spurious triple fault" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"kvm-intel"
+       ~check:
+         (Printf.sprintf "exit:%d" Nf_cpu.Exit_reason.triple_fault))
+
+let test_xen_activity_state () =
+  let v = Nf_validator.Golden.vmcs caps in
+  Vmcs.write v Field.guest_activity_state Field.Activity.wait_for_sipi;
+  let ds = observe_vmx v in
+  Alcotest.(check bool) "xen-intel host killed" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"xen-intel" ~check:"killed");
+  (* KVM sanitizes the same state: no kvm-intel divergence. *)
+  Alcotest.(check bool) "kvm-intel clean" false
+    (List.exists (fun (d : Diff.divergence) -> d.Diff.impl = "kvm-intel") ds)
+
+let test_vbox_msr_load () =
+  let ds =
+    observe_vmx
+      ~msr_area:[| (Nf_x86.Msr.ia32_kernel_gs_base, 0x8000_0000_0000_0000L) |]
+      (Nf_validator.Golden.vmcs caps)
+  in
+  Alcotest.(check bool) "vbox too-lax on the MSR-load area" true
+    (has ds ~cls:Diff.Too_lax ~impl:"vbox" ~check:"entry.msr_load");
+  (* KVM validates the area and rejects like silicon: no divergence. *)
+  Alcotest.(check bool) "kvm-intel agrees with silicon" false
+    (List.exists (fun (d : Diff.divergence) -> d.Diff.impl = "kvm-intel") ds)
+
+let test_invalid_nested_root_amd () =
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.write b Vmcb.n_cr3 0x10_0000_0000L;
+  let ds = observe_svm b in
+  Alcotest.(check bool) "kvm-amd shutdown before L2 ran" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"kvm-amd"
+       ~check:(Printf.sprintf "exit:%Ld" Vmcb.Exit.shutdown))
+
+let test_xen_avic () =
+  (* The oracle's golden warm-up run arms the stale 64-bit-L2 history
+     the bug needs; CR0.PG clear with EFER.LME then corrupts AVIC. *)
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.set_bit b Vmcb.cr0 Nf_x86.Cr0.pg false;
+  let ds = observe_svm b in
+  Alcotest.(check bool) "xen-amd AVIC_NOACCEL exit" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"xen-amd"
+       ~check:(Printf.sprintf "exit:%Ld" Vmcb.Exit.avic_noaccel))
+
+let test_xen_vgif () =
+  (* vGIF enabled with virtual GIF clear on a VMRUN both silicon and the
+     model reject: the assertion fires on Xen's injection path. *)
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.set_bit b Vmcb.vintr_ctl Vmcb.Vintr.v_gif_enable true;
+  Vmcb.set_bit b Vmcb.cr4 27 true;
+  let ds = observe_svm b in
+  Alcotest.(check bool) "xen-amd assertion on agreeing rejections" true
+    (has ds ~cls:Diff.Exit_mismatch ~impl:"xen-amd" ~check:"report:Assertion");
+  Alcotest.(check bool) "kvm-amd rejects silently" false
+    (List.exists (fun (d : Diff.divergence) -> d.Diff.impl = "kvm-amd") ds)
+
+let test_golden_states_clean () =
+  Alcotest.(check int) "golden VMCS: no divergences" 0
+    (List.length (observe_vmx (Nf_validator.Golden.vmcs caps)));
+  Alcotest.(check int) "golden VMCB: no divergences" 0
+    (List.length (observe_svm (Nf_validator.Golden.vmcb scaps)))
+
+(* --- store properties: order-independence, bounded capacity, merge --- *)
+
+let arb_divergence =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun (cls, impl, check, nfields, exec) ->
+        {
+          Diff.cls =
+            (match cls with
+            | 0 -> Diff.Too_strict
+            | 1 -> Diff.Too_lax
+            | _ -> Diff.Exit_mismatch);
+          impl = Printf.sprintf "impl%d" impl;
+          check = Printf.sprintf "check%d" check;
+          fields = List.init nfields (Printf.sprintf "F%d");
+          detail = Printf.sprintf "detail %d %d" check exec;
+          first_exec = exec;
+          first_hours = float_of_int exec /. 100.0;
+        })
+      Gen.(
+        tup5 (int_bound 2) (int_bound 3) (int_bound 40) (int_bound 3)
+          (int_bound 1000))
+  in
+  make ~print:(Format.asprintf "%a" Diff.pp_divergence) gen
+
+let record_all t ds = List.iter (fun d -> ignore (Diff.record t d)) ds
+
+let prop_order_independent =
+  QCheck.Test.make ~name:"diff: retained set is order-independent" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_bound 600) arb_divergence) int)
+    (fun (ds, seed) ->
+      let shuffled =
+        let rng = Nf_stdext.Rng.create seed in
+        let a = Array.of_list ds in
+        for i = Array.length a - 1 downto 1 do
+          let j = Nf_stdext.Rng.int rng (i + 1) in
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        Array.to_list a
+      in
+      let t1 = Diff.create Diff.Vmx and t2 = Diff.create Diff.Vmx in
+      record_all t1 ds;
+      record_all t2 shuffled;
+      Diff.divergences t1 = Diff.divergences t2)
+
+let prop_merge_matches_sequential =
+  QCheck.Test.make
+    ~name:"diff: worker-partitioned merge equals sequential record" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_bound 300) arb_divergence)
+        (int_range 1 4))
+    (fun (ds, workers) ->
+      let seq = Diff.create Diff.Vmx in
+      record_all seq ds;
+      let shards = Array.init workers (fun _ -> Diff.create Diff.Vmx) in
+      List.iteri
+        (fun i d -> ignore (Diff.record shards.(i mod workers) d))
+        ds;
+      let merged = Diff.create Diff.Vmx in
+      Array.iter (fun s -> Diff.merge ~into:merged s) shards;
+      Diff.divergences merged = Diff.divergences seq)
+
+let test_capacity_bounded () =
+  let t = Diff.create Diff.Vmx in
+  for i = 0 to 2 * Diff.capacity do
+    ignore
+      (Diff.record t
+         {
+           Diff.cls = Diff.Exit_mismatch;
+           impl = "impl";
+           check = Printf.sprintf "check%05d" i;
+           fields = [];
+           detail = "d";
+           first_exec = i;
+           first_hours = 0.0;
+         })
+  done;
+  Alcotest.(check int) "size capped" Diff.capacity (Diff.size t);
+  Alcotest.(check bool) "drops counted" true (Diff.dropped t > 0)
+
+let test_earliest_witness_wins () =
+  let d exec =
+    {
+      Diff.cls = Diff.Too_lax;
+      impl = "i";
+      check = "c";
+      fields = [ "F" ];
+      detail = "d";
+      first_exec = exec;
+      first_hours = float_of_int exec;
+    }
+  in
+  let t = Diff.create Diff.Vmx in
+  ignore (Diff.record t (d 50));
+  Alcotest.(check bool) "duplicate key is not fresh" false
+    (Diff.record t (d 3));
+  match Diff.divergences t with
+  | [ kept ] -> Alcotest.(check int) "earlier witness kept" 3 kept.Diff.first_exec
+  | ds -> Alcotest.failf "expected one divergence, got %d" (List.length ds)
+
+(* --- persistence --- *)
+
+let test_persist_roundtrip () =
+  let t = Diff.create Diff.Svm in
+  ignore (Diff.seed_witnesses t);
+  let b = Nf_validator.Golden.vmcb scaps in
+  Vmcb.write b Vmcb.n_cr3 0x10_0000_0000L;
+  ignore (Diff.observe_vmcb t ~exec:3 ~hours:0.25 ~features b);
+  let w = Nf_persist.Persist.Writer.create () in
+  Diff.write w t;
+  let r =
+    Nf_persist.Persist.Reader.of_string (Nf_persist.Persist.Writer.contents w)
+  in
+  let t' = Diff.read r in
+  Nf_persist.Persist.Reader.expect_end r;
+  Alcotest.(check bool) "arch preserved" true (Diff.arch t' = Diff.Svm);
+  Alcotest.(check int) "dropped preserved" (Diff.dropped t) (Diff.dropped t');
+  Alcotest.(check bool) "divergences preserved" true
+    (Diff.divergences t = Diff.divergences t')
+
+(* --- engine integration --- *)
+
+let short_cfg target =
+  {
+    (Engine.default_cfg target) with
+    duration_hours = 0.3;
+    checkpoint_hours = 0.1;
+    seed = 5;
+  }
+
+let test_campaign_reports_bochs_bugs () =
+  let r = Engine.run ~differential:true (short_cfg Engine.Kvm_intel) in
+  let bochs =
+    List.filter
+      (fun (d : Diff.divergence) -> d.Diff.impl = "bochs-legacy")
+      r.Engine.divergences
+  in
+  Alcotest.(check bool) "bug 1 (too-strict guest.seg.ss)" true
+    (has bochs ~cls:Diff.Too_strict ~impl:"bochs-legacy" ~check:"guest.seg.ss");
+  Alcotest.(check bool) "bug 2 (too-lax guest.seg.ds)" true
+    (has bochs ~cls:Diff.Too_lax ~impl:"bochs-legacy" ~check:"guest.seg.ds");
+  (* Metrics follow the store. *)
+  Alcotest.(check bool) "diff/divergences counter" true
+    (Nf_obs.Obs.Metrics.counter r.Engine.metrics "diff/divergences" > 0);
+  Alcotest.(check (option int)) "diff/unique gauge matches"
+    (Some (List.length r.Engine.divergences))
+    (Option.map int_of_float
+       (Nf_obs.Obs.Metrics.gauge r.Engine.metrics "diff/unique"))
+
+let test_disabled_mode_empty_and_inert () =
+  (* Same cfg with the oracle off: no divergences, identical trajectory
+     and checkpoint bytes as ever (v2). *)
+  let cfg = short_cfg Engine.Kvm_intel in
+  let off = Engine.run cfg and on_ = Engine.run ~differential:true cfg in
+  Alcotest.(check int) "off: no divergences" 0
+    (List.length off.Engine.divergences);
+  Alcotest.(check int) "same execs" off.Engine.execs on_.Engine.execs;
+  Alcotest.(check int) "same corpus" off.Engine.corpus_size
+    on_.Engine.corpus_size;
+  Alcotest.(check int) "same crashes" (List.length off.Engine.crashes)
+    (List.length on_.Engine.crashes)
+
+let drive_steps t n =
+  let rec go i =
+    if i < n then
+      match Engine.step t with
+      | Engine.Stepped _ -> go (i + 1)
+      | Engine.Deadline -> ()
+  in
+  go 0
+
+let test_checkpoint_v3_roundtrip () =
+  let t = Engine.create ~differential:true (short_cfg Engine.Kvm_intel) in
+  drive_steps t 40;
+  let blob = Engine.to_string t in
+  Alcotest.(check (option int)) "framed as v3" (Some 3)
+    (Nf_persist.Persist.peek_version ~magic:"NECOFUZZ-CKPT" blob);
+  match Engine.of_string blob with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok t' ->
+      Alcotest.(check bool) "divergences survive the blob" true
+        ((Engine.finish t).Engine.divergences
+        = (Engine.finish t').Engine.divergences)
+
+let test_resume_bit_identical () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let whole = Engine.create ~differential:true cfg in
+  let r_whole = Engine.run_from whole in
+  let part = Engine.create ~differential:true cfg in
+  drive_steps part 60;
+  match Engine.of_string (Engine.to_string part) with
+  | Error e -> Alcotest.failf "mid-campaign restore failed: %s" e
+  | Ok resumed ->
+      let r_res = Engine.run_from resumed in
+      Alcotest.(check int) "same execs" r_whole.Engine.execs r_res.Engine.execs;
+      Alcotest.(check bool) "same divergences" true
+        (r_whole.Engine.divergences = r_res.Engine.divergences);
+      Alcotest.(check bool) "final checkpoints bit-identical" true
+        (Engine.to_string whole = Engine.to_string resumed)
+
+let test_parallel_merge_deterministic () =
+  let cfg = short_cfg Engine.Kvm_intel in
+  let go () = Engine.run_parallel ~differential:true ~jobs:2 cfg in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "two runs agree" true
+    (a.Engine.merged.Engine.divergences = b.Engine.merged.Engine.divergences);
+  (* The merged store is the union of the workers'. *)
+  Array.iter
+    (fun (w : Engine.result) ->
+      List.iter
+        (fun (d : Diff.divergence) ->
+          Alcotest.(check bool) "worker divergence in merged" true
+            (has a.Engine.merged.Engine.divergences ~cls:d.Diff.cls
+               ~impl:d.Diff.impl ~check:d.Diff.check))
+        w.Engine.divergences)
+    a.Engine.workers;
+  Alcotest.(check bool) "merged reports the Bochs witnesses" true
+    (has a.Engine.merged.Engine.divergences ~cls:Diff.Too_strict
+       ~impl:"bochs-legacy" ~check:"guest.seg.ss")
+
+let tests =
+  [
+    ("witness seeding golden", `Quick, test_seed_witnesses_golden);
+    ("SVM store has no VMX witnesses", `Quick, test_seed_svm_empty);
+    ("arch mismatch rejected", `Quick, test_arch_mismatch_rejected);
+    ("bug1: CVE-2023-30456 divergences", `Quick, test_cve_2023_30456);
+    ("bug3: invalid nested root (Intel)", `Quick, test_invalid_nested_root_intel);
+    ("bug4: Xen activity state", `Quick, test_xen_activity_state);
+    ("bug2: VirtualBox MSR load", `Quick, test_vbox_msr_load);
+    ("bug3: invalid nested root (AMD)", `Quick, test_invalid_nested_root_amd);
+    ("bug5: Xen AVIC", `Quick, test_xen_avic);
+    ("bug6: Xen VGIF", `Quick, test_xen_vgif);
+    ("golden states are divergence-free", `Quick, test_golden_states_clean);
+    ("capacity bounded with drop count", `Quick, test_capacity_bounded);
+    ("earliest witness wins", `Quick, test_earliest_witness_wins);
+    ("persist roundtrip", `Quick, test_persist_roundtrip);
+    ("campaign reports both Bochs bugs", `Quick, test_campaign_reports_bochs_bugs);
+    ("disabled mode is empty and inert", `Quick, test_disabled_mode_empty_and_inert);
+    ("checkpoint v3 roundtrip", `Quick, test_checkpoint_v3_roundtrip);
+    ("resume is bit-identical", `Quick, test_resume_bit_identical);
+    ("parallel merge deterministic", `Quick, test_parallel_merge_deterministic);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_order_independent; prop_merge_matches_sequential ]

@@ -14,6 +14,7 @@ let tiny : E.scale =
     guidance_hours = 1.5;
     fig5_samples = 300;
     vuln_hours = 4.0;
+    diff_hours = 0.2;
   }
 
 let check = Alcotest.check
@@ -120,6 +121,25 @@ let test_expected_vulns_table () =
   check Alcotest.string "VBox via VM crash" "VM Crash" (det 2);
   check Alcotest.string "Xen via host crash" "Host Crash" (det 4)
 
+let test_differential_checklist () =
+  (* The directed probes make the differential report deterministic even
+     at miniature scale: every expected divergence — both Bochs validator
+     bugs and all planted Table 6 shapes — must be found and classified. *)
+  let r = E.run_differential tiny in
+  check Alcotest.int "nine expected divergences" 9
+    (List.length E.expected_divergences);
+  List.iter
+    (fun (e : E.diff_expectation) ->
+      Alcotest.(check bool) e.dwhat true
+        (List.exists (fun (e', _) -> e' == e) r.diff_found))
+    E.expected_divergences;
+  check Alcotest.int "nothing missed" 0 (List.length r.diff_missed);
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  E.print_differential ppf r;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "rendered" true (Buffer.length buf > 100)
+
 let test_table1_renders () =
   let buf = Buffer.create 128 in
   let ppf = Format.formatter_of_buffer buf in
@@ -153,6 +173,7 @@ let tests =
     ("t6 finds the fast bugs", `Slow, test_t6_fast_bugs);
     ("5.6 generation-strategy ordering", `Slow, test_lessons_ordering);
     ("expected vulnerability table", `Quick, test_expected_vulns_table);
+    ("differential divergence checklist", `Slow, test_differential_checklist);
     ("table 1 renders", `Quick, test_table1_renders);
     ("public campaign API", `Quick, test_campaign_api);
     ("vbox campaigns forced blind", `Quick, test_vbox_campaign_forced_blind);

@@ -15,6 +15,7 @@ let () =
       ("engine", Test_engine.tests);
       ("persist", Test_persist.tests);
       ("obs", Test_obs.tests);
+      ("diff", Test_diff.tests);
       ("baselines", Test_baselines.tests);
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);
