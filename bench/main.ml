@@ -8,9 +8,10 @@
      dune exec bench/main.exe -- --exp micro  -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
      dune exec bench/main.exe -- --exp throughput -- wall-clock execs/sec
+     dune exec bench/main.exe -- --exp corpus     -- corpus-scheduler shoot-out
 
    Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons differential micro
-   parallel throughput.
+   parallel throughput corpus.
 
    Besides the human-readable tables, every experiment drops a
    machine-readable BENCH_<exp>.json next to the cwd (or --out-dir DIR)
@@ -183,6 +184,240 @@ let throughput ~jobs ~baseline () =
         Format.pp_print_flush ppf ();
         exit 1
       end
+
+(* Corpus-scheduler shoot-out: coverage at a fixed execution budget for
+   each pluggable corpus implementation, plus a direct measurement of
+   the packed-module indirection the redesign put in front of the
+   default queue.  Emits BENCH_corpus.json; with --gate it exits 1
+   unless (a) Markov and MAB each reach at least the flat queue's final
+   coverage in every scenario, (b) one of them strictly dominates the
+   queue in at least one scenario, and (c) the indirection overhead is
+   under [indirection_budget_pct]. *)
+let corpus_samples = [ 400; 800; 1200; 1600; 2000; 2200 ]
+let indirection_budget_pct = 5.0
+
+(* Packed-vs-direct A/B on identical queue corpora: the per-call cost
+   this API added is exactly the [Packed] unpack in the delegating ops,
+   so time [Corpus.next_input packed] against [M.next_input st] with the
+   module unpacked once outside the loop.  Same seeds, same RNG streams,
+   so both loops do byte-identical mutation work. *)
+let corpus_indirection () =
+  let mk () =
+    let rng = Nf_stdext.Rng.create 7 in
+    let c =
+      Necofuzz.Corpus.make Necofuzz.Corpus.default_spec
+        ~mode:Necofuzz.Corpus.Guided ~rng
+    in
+    let srng = Nf_stdext.Rng.create 11 in
+    for _ = 1 to 32 do
+      Necofuzz.Corpus.seed_input c (Nf_fuzzer.Input.random srng)
+    done;
+    c
+  in
+  let n = 100_000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm-up pass so neither branch pays one-time costs. *)
+  (let w = mk () in
+   for _ = 1 to 1_000 do
+     ignore (Necofuzz.Corpus.next_input w)
+   done);
+  (* Best of three reps per side: the overhead under measurement is a
+     few ns on a ~1 us operation, so a single rep is at the mercy of
+     scheduler noise; the minimum is the honest dispatch cost. *)
+  let best f = min (min (f ()) (f ())) (f ()) in
+  let t_packed =
+    best (fun () ->
+        let packed = mk () in
+        time (fun () ->
+            for _ = 1 to n do
+              ignore (Necofuzz.Corpus.next_input packed)
+            done))
+  in
+  let t_direct =
+    best (fun () ->
+        match mk () with
+        | Necofuzz.Corpus.Packed ((module M), st) ->
+            time (fun () ->
+                for _ = 1 to n do
+                  ignore (M.next_input st)
+                done))
+  in
+  let ns t = t /. float_of_int n *. 1e9 in
+  let overhead_pct = max 0.0 ((t_packed -. t_direct) /. t_direct *. 100.0) in
+  Format.fprintf ppf
+    "@.== Corpus indirection (packed dispatch vs direct module) ==@.";
+  Format.fprintf ppf
+    "  packed %8.1f ns/next_input, direct %8.1f ns/next_input, overhead \
+     %.2f%% (budget %.0f%%)@."
+    (ns t_packed) (ns t_direct) overhead_pct indirection_budget_pct;
+  ( Json.Obj
+      [
+        ("ops", Json.Int n);
+        ("packed_ns_per_op", Json.Float (ns t_packed));
+        ("direct_ns_per_op", Json.Float (ns t_direct));
+        ("overhead_pct", Json.Float overhead_pct);
+        ("budget_pct", Json.Float indirection_budget_pct);
+      ],
+    overhead_pct )
+
+let corpus_bench ~gate () =
+  let budget = List.fold_left max 0 corpus_samples in
+  let store_dir = Filename.concat !out_dir "corpus-bench-store" in
+  (match Necofuzz.Persist.mkdir_p store_dir with
+  | Ok () ->
+      (* A stale store would pre-seed the durable scenario and skew its
+         curve; start every bench run from an empty directory. *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".bin" then
+            Sys.remove (Filename.concat store_dir f))
+        (Sys.readdir store_dir)
+  | Error msg ->
+      Format.eprintf "bench: corpus store %s: %s@." store_dir msg;
+      exit 1);
+  let impls =
+    [
+      ("queue", { Necofuzz.Corpus.kind = Necofuzz.Corpus.Queue; dir = None });
+      ("markov", { Necofuzz.Corpus.kind = Necofuzz.Corpus.Markov; dir = None });
+      ("mab", { Necofuzz.Corpus.kind = Necofuzz.Corpus.Mab; dir = None });
+      ( "durable",
+        { Necofuzz.Corpus.kind = Necofuzz.Corpus.Durable; dir = Some store_dir }
+      );
+    ]
+  in
+  (* Scenarios share one durable store and run in order, so the durable
+     scenario of a later target replays the corpus accumulated by the
+     earlier ones — the cross-campaign reuse the store exists for, and
+     visible as its head start on the later targets' curves. *)
+  let scenario (name, target) =
+    Format.fprintf ppf "@.== Corpus schedulers (%s, coverage %% at N execs) ==@."
+      name;
+    Format.fprintf ppf "%8s" "execs";
+    List.iter (fun (n, _) -> Format.fprintf ppf " %9s" n) impls;
+    Format.fprintf ppf "@.";
+    let curves =
+      List.map
+        (fun (iname, spec) ->
+          let cfg =
+            {
+              (Necofuzz.Engine.default_cfg target) with
+              seed = 1;
+              duration_hours = 8.0;
+            }
+          in
+          let t = Necofuzz.Engine.create ~corpus:spec cfg in
+          let executed = ref 0 in
+          let t0 = Unix.gettimeofday () in
+          let points =
+            List.map
+              (fun upto ->
+                let rec drive () =
+                  if !executed < upto then
+                    match Necofuzz.Engine.step t with
+                    | Necofuzz.Engine.Stepped _ ->
+                        incr executed;
+                        drive ()
+                    | Necofuzz.Engine.Deadline -> executed := max_int
+                in
+                drive ();
+                (Necofuzz.Engine.snapshot t).coverage_pct)
+              corpus_samples
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          (iname, points, float_of_int budget /. wall))
+        impls
+    in
+    List.iteri
+      (fun i upto ->
+        Format.fprintf ppf "%8d" upto;
+        List.iter
+          (fun (_, pts, _) -> Format.fprintf ppf " %8.1f%%" (List.nth pts i))
+          curves;
+        Format.fprintf ppf "@.")
+      corpus_samples;
+    let curve n =
+      let _, pts, _ = List.find (fun (i, _, _) -> i = n) curves in
+      pts
+    in
+    let final pts = List.nth pts (List.length pts - 1) in
+    let queue = curve "queue" in
+    let dominates n =
+      let pts = curve n in
+      List.for_all2 (fun a b -> a >= b) pts queue && final pts > final queue
+    in
+    let reaches n = final (curve n) >= final queue in
+    List.iter
+      (fun n ->
+        Format.fprintf ppf "  %-6s final %.1f%% vs queue %.1f%% — %s@." n
+          (final (curve n)) (final queue)
+          (if dominates n then "dominates"
+           else if reaches n then "matches"
+           else "BELOW QUEUE"))
+      [ "markov"; "mab" ];
+    let json =
+      Json.Obj
+        [
+          ("target", Json.String name);
+          ( "curves",
+            Json.Obj
+              (List.map
+                 (fun (i, pts, _) ->
+                   (i, Json.Arr (List.map (fun p -> Json.Float p) pts)))
+                 curves) );
+          ( "execs_per_sec",
+            Json.Obj
+              (List.map (fun (i, _, eps) -> (i, Json.Float eps)) curves) );
+          ( "dominates",
+            Json.Obj
+              [
+                ("markov", Json.Bool (dominates "markov"));
+                ("mab", Json.Bool (dominates "mab"));
+              ] );
+        ]
+    in
+    (json, reaches "markov" && reaches "mab", dominates "markov" || dominates "mab")
+  in
+  let results =
+    List.map scenario
+      [
+        ("kvm-intel", Necofuzz.Kvm_intel);
+        ("xen-intel", Necofuzz.Xen_intel);
+        ("xen-amd", Necofuzz.Xen_amd);
+      ]
+  in
+  let indirection_json, overhead_pct = corpus_indirection () in
+  bench_json "corpus"
+    [
+      ("budget", Json.Int budget);
+      ("samples", Json.Arr (List.map (fun s -> Json.Int s) corpus_samples));
+      ("scenarios", Json.Arr (List.map (fun (j, _, _) -> j) results));
+      ("indirection", indirection_json);
+    ];
+  if gate then begin
+    let all_reach = List.for_all (fun (_, r, _) -> r) results in
+    let any_dominates = List.exists (fun (_, _, d) -> d) results in
+    let indirection_ok = overhead_pct < indirection_budget_pct in
+    if not all_reach then
+      Format.fprintf ppf
+        "[bench] corpus gate: a scheduler fell below the flat queue@.";
+    if not any_dominates then
+      Format.fprintf ppf
+        "[bench] corpus gate: neither markov nor mab strictly dominates the \
+         queue in any scenario@.";
+    if not indirection_ok then
+      Format.fprintf ppf
+        "[bench] corpus gate: packed-dispatch overhead %.2f%% exceeds %.0f%%@."
+        overhead_pct indirection_budget_pct;
+    if not (all_reach && any_dominates && indirection_ok) then begin
+      Format.pp_print_flush ppf ();
+      exit 1
+    end;
+    Format.fprintf ppf "[bench] corpus gate: OK@."
+  end
 
 let micro () =
   let open Bechamel in
@@ -402,6 +637,7 @@ let () =
           ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
         ]
   | Some "micro" -> micro ()
+  | Some "corpus" -> corpus_bench ~gate:(List.mem "--gate" args) ()
   | Some "parallel" -> parallel ()
   | Some "throughput" ->
       let jobs =

@@ -60,7 +60,21 @@ let fuzz_cmd =
       value
       & opt (some string) None
       & info [ "corpus-dir"; "o" ] ~docv:"DIR"
-          ~doc:"Persist crash reproducers and a campaign summary to DIR.")
+          ~doc:
+            "Persist crash reproducers and a campaign summary to DIR.  With \
+             --corpus durable, also hosts the durable input store \
+             (DIR/store).")
+  in
+  let corpus_kind =
+    Arg.(
+      value & opt string "queue"
+      & info [ "corpus" ] ~docv:"KIND"
+          ~doc:
+            "Corpus implementation: queue (default AFL-style round-robin), \
+             markov (edge-rarity scheduling), mab (UCB1 bandit energy), or \
+             durable (queue plus an on-disk store under --corpus-dir/store, \
+             replayed by later campaigns).  Ignored with --resume: the \
+             checkpoint carries its own corpus.")
   in
   let minimize =
     Arg.(
@@ -187,9 +201,9 @@ let fuzz_cmd =
              trajectory is identical with or without the flag.")
   in
   let run target hours seed blind no_harness no_validator no_configurator
-      corpus_dir minimize jobs sync_hours checkpoint_hours checkpoint_dir
-      resume fault_rate fault_seed trace trace_jsonl stats_interval stats_dir
-      differential =
+      corpus_dir corpus_kind minimize jobs sync_hours checkpoint_hours
+      checkpoint_dir resume fault_rate fault_seed trace trace_jsonl
+      stats_interval stats_dir differential =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -220,6 +234,21 @@ let fuzz_cmd =
           h;
         exit 2
     | _ -> ());
+    (* --corpus validation mirrors the --exp convention: unknown values
+       (and durable without a store directory) are usage errors, exit 2. *)
+    let corpus =
+      let store_dir =
+        Option.map (fun d -> Filename.concat d "store") corpus_dir
+      in
+      match Necofuzz.Corpus.spec_of_string ?dir:store_dir corpus_kind with
+      | Ok spec -> spec
+      | Error msg ->
+          Format.eprintf "necofuzz: --corpus: %s%s@." msg
+            (if corpus_kind = "durable" && corpus_dir = None then
+               " (pass --corpus-dir)"
+             else "");
+          exit 2
+    in
     if jobs > 1 && (checkpoint_dir <> None || resume <> None) then begin
       Format.eprintf
         "necofuzz: --checkpoint-dir/--resume require --jobs 1 (parallel \
@@ -339,8 +368,8 @@ let fuzz_cmd =
               | None -> ()
             in
             Necofuzz.run_parallel ~differential ?sync_hours ~on_sync ~obs:sink
-              ~jobs cfg
-          else run_sequential (Necofuzz.Engine.create ~differential cfg)
+              ~corpus ~jobs cfg
+          else run_sequential (Necofuzz.Engine.create ~differential ~corpus cfg)
     in
     Necofuzz.Obs.Sink.close sink;
     Format.printf
@@ -381,9 +410,10 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against a simulated L0 hypervisor.")
     Term.(
       const run $ target $ hours $ seed $ blind $ no_harness $ no_validator
-      $ no_configurator $ corpus_dir $ minimize $ jobs $ sync_hours
-      $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate $ fault_seed
-      $ trace $ trace_jsonl $ stats_interval $ stats_dir $ differential)
+      $ no_configurator $ corpus_dir $ corpus_kind $ minimize $ jobs
+      $ sync_hours $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate
+      $ fault_seed $ trace $ trace_jsonl $ stats_interval $ stats_dir
+      $ differential)
 
 let experiment_cmd =
   let which =

@@ -40,8 +40,8 @@ let () =
     (Necofuzz.coverage_pct result)
     (List.length result.crashes);
   (* 2. Persist reproducers + reports + summary. *)
-  let corpus = Necofuzz.Corpus.create ~dir in
-  let saved = Necofuzz.Corpus.persist_result corpus result in
+  let corpus = Necofuzz.Crash_store.create ~dir in
+  let saved = Necofuzz.Crash_store.persist_result corpus result in
   List.iter (Format.printf "saved %s@.") saved;
   (* 3. Minimize each reproducer, then 4. replay it. *)
   List.iter

@@ -50,10 +50,26 @@ type result = Engine.result = {
   divergences : Nf_diff.Diff.divergence list;
 }
 
-let run = Engine.run
+(* Legacy keyword spellings of the engine's unified options API: kept as
+   thin wrappers (deprecated in favour of [Engine.run ?options]) so
+   existing callers compile with at most a [?corpus] addition. *)
 
-let run_parallel ?differential ?sync_hours ?on_sync ?obs ~jobs cfg =
-  (Engine.run_parallel ?differential ?sync_hours ?on_sync ?obs ~jobs cfg)
-    .Engine.merged
+let run ?(differential = false) ?(corpus = Nf_corpus.Corpus.default_spec) cfg =
+  Engine.run ~options:{ Engine.default_options with differential; corpus } cfg
+
+let run_parallel ?(differential = false) ?sync_hours ?on_sync
+    ?(obs = Nf_obs.Obs.Sink.null) ?(corpus = Nf_corpus.Corpus.default_spec)
+    ~jobs cfg =
+  let options =
+    {
+      Engine.default_options with
+      differential;
+      corpus;
+      sync_hours;
+      on_sync;
+      obs;
+    }
+  in
+  (Engine.run_parallel ~options ~jobs cfg).Engine.merged
 
 let pp_crash = Engine.pp_crash

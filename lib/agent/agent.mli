@@ -80,19 +80,31 @@ type result = Nf_engine.Engine.result = {
 (** Run a sequential campaign to completion: a thin driver over
     {!Nf_engine.Engine.run} ([create], [step] to [Deadline],
     [finish]).  [?differential] enables the cross-hypervisor
-    differential oracle (default [false]). *)
-val run : ?differential:bool -> cfg -> result
+    differential oracle (default [false]); [?corpus] selects the corpus
+    implementation (default: the AFL-style queue).
+
+    Deprecated spelling: this wrapper keeps the pre-options keyword API
+    alive; new code should call {!Nf_engine.Engine.run} with an
+    {!Nf_engine.Engine.options} record. *)
+val run :
+  ?differential:bool -> ?corpus:Nf_corpus.Corpus.spec -> cfg -> result
 
 (** Run a Domain-parallel campaign ({!Nf_engine.Engine.run_parallel})
     and return the deterministically merged result.  [jobs:1] is
     bit-identical to {!run}.  [?differential] enables the differential
     oracle on every worker; stores are unioned deterministically at
-    sync barriers and into the merged result. *)
+    sync barriers and into the merged result.  [?corpus] selects every
+    worker's corpus implementation.
+
+    Deprecated spelling: this wrapper keeps the pre-options keyword API
+    alive; new code should call {!Nf_engine.Engine.run_parallel} with
+    an {!Nf_engine.Engine.options} record. *)
 val run_parallel :
   ?differential:bool ->
   ?sync_hours:float ->
   ?on_sync:(Nf_engine.Engine.snapshot -> unit) ->
   ?obs:Nf_obs.Obs.Sink.t ->
+  ?corpus:Nf_corpus.Corpus.spec ->
   jobs:int ->
   cfg ->
   result

@@ -21,6 +21,8 @@
     - {!Validator} / {!Svm_validator} — the VM state validator (§4.3)
     - {!Vcpu_config} — the vCPU configurator (§4.4)
     - {!Fuzzer} — the AFL++-style engine (§4.1)
+    - {!Corpus} — the pluggable corpus subsystem (queue / Markov / MAB /
+      durable schedulers behind one module type)
     - {!Obs} — campaign observability: typed trace events, metrics,
       AFL++-style stats formatting
     - {!Diff} — the cross-hypervisor differential oracle
@@ -39,7 +41,13 @@ module Witness = Nf_validator.Witness
 module Distribution = Nf_validator.Distribution
 module Mutation = Nf_validator.Mutation
 module Oracle_campaign = Nf_validator.Oracle_campaign
-module Corpus = Nf_agent.Corpus
+module Corpus = Nf_corpus.Corpus
+
+(** On-disk crash persistence (one directory per campaign, reproducer +
+    report per crash).  This was previously exported as [Corpus]; that
+    name now denotes the corpus/scheduling subsystem above. *)
+module Crash_store = Nf_agent.Corpus
+
 module Minimize = Nf_agent.Minimize
 module Vcpu_config = Nf_config.Vcpu_config
 module Fuzzer = Nf_fuzzer.Fuzzer

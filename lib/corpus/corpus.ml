@@ -1,0 +1,718 @@
+(** Pluggable corpus subsystem.  See corpus.mli.
+
+    Four implementations of one [CORPUS] module type ({!S}), mirroring
+    Fuzzilli's corpus protocol: the default AFL-style queue (a verbatim
+    port of the pre-extraction [Nf_fuzzer.Fuzzer] scheduling, kept
+    bit-identical so the golden campaign digests pin it), a Markov
+    edge-rarity scheduler, a UCB1 multi-armed-bandit energy scheduler,
+    and a durable file-backed store layered on the queue.
+
+    Everything here is deterministic: all randomness flows through the
+    campaign {!Nf_stdext.Rng} handed in at construction, so every
+    scheduler checkpoints/resumes bit-identically. *)
+
+module Rng = Nf_stdext.Rng
+module Bitmap = Nf_coverage.Coverage.Bitmap
+module Persist = Nf_persist.Persist
+
+type mode = Guided | Blind
+
+let mode_code = function Guided -> 0 | Blind -> 1
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Persist.Reader.Corrupt m)) fmt
+
+let mode_of_code = function
+  | 0 -> Guided
+  | 1 -> Blind
+  | n -> corrupt "unknown fuzzer mode code %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Kinds and specs.                                                    *)
+
+type kind = Queue | Markov | Mab | Durable
+
+let all_kinds =
+  [ ("queue", Queue); ("markov", Markov); ("mab", Mab); ("durable", Durable) ]
+
+let kind_name = function
+  | Queue -> "queue"
+  | Markov -> "markov"
+  | Mab -> "mab"
+  | Durable -> "durable"
+
+let kind_code = function Queue -> 0 | Markov -> 1 | Mab -> 2 | Durable -> 3
+
+let kind_of_code = function
+  | 0 -> Queue
+  | 1 -> Markov
+  | 2 -> Mab
+  | 3 -> Durable
+  | n -> corrupt "unknown corpus kind code %d" n
+
+type spec = { kind : kind; dir : string option }
+
+let default_spec = { kind = Queue; dir = None }
+
+let spec_of_string ?dir s =
+  match List.assoc_opt (String.lowercase_ascii s) all_kinds with
+  | None ->
+      Error
+        (Printf.sprintf "unknown corpus %S (expected one of: %s)" s
+           (String.concat ", " (List.map fst all_kinds)))
+  | Some Durable when dir = None ->
+      Error "corpus \"durable\" requires a store directory"
+  | Some kind -> Ok { kind; dir }
+
+(* ------------------------------------------------------------------ *)
+(* Shared substrate.  Every scheduler keeps the same queue-of-entries
+   core (discovery-ordered array, virgin-bits novelty gate, exec/find
+   counters) and the same mutation policy; they differ only in *which*
+   entry gets the next fuzz cycle.  The queue implementation below is a
+   verbatim port of the pre-extraction fuzzer — draw-for-draw on the
+   campaign RNG — which is what keeps [--corpus queue] bit-identical. *)
+
+type entry = {
+  data : Bytes.t;
+  mutable fuzz_count : int;
+  discovered_at_us : int64;
+  mutable edges : int array; (* Markov: bitmap buckets first touched *)
+  mutable plays : int; (* MAB: times scheduled *)
+  mutable rewards : int; (* MAB: novel finds credited *)
+}
+
+let mk_entry data discovered_at_us =
+  { data; fuzz_count = 0; discovered_at_us; edges = [||]; plays = 0; rewards = 0 }
+
+type base = {
+  rng : Rng.t;
+  mode : mode;
+  mutable q : entry array;
+  mutable len : int;
+  mutable virgin : Bitmap.virgin;
+  mutable execs : int;
+  mutable finds : int;
+}
+
+let create_base ~mode ~rng =
+  {
+    rng;
+    mode;
+    q = Array.make 64 (mk_entry (Input.zero ()) 0L);
+    len = 0;
+    virgin = Bitmap.create_virgin ();
+    execs = 0;
+    finds = 0;
+  }
+
+let push (b : base) (e : entry) =
+  if b.len = Array.length b.q then begin
+    let bigger = Array.make (2 * b.len) e in
+    Array.blit b.q 0 bigger 0 b.len;
+    b.q <- bigger
+  end;
+  b.q.(b.len) <- e;
+  b.len <- b.len + 1
+
+(* Blind mode (coverage-guidance ablation / black-box targets): random
+   inputs, or havoc over a random previous one.  Shared verbatim by all
+   schedulers — with no feedback there is nothing to schedule on. *)
+let blind_next (b : base) : Bytes.t =
+  if b.len > 0 && Rng.chance b.rng ~num:1 ~den:2 then begin
+    let e = b.q.(Rng.int b.rng b.len) in
+    Input.havoc b.rng e.data
+  end
+  else Input.random b.rng
+
+let blind_report (b : base) ~input ~crashed =
+  (* Keep a small reservoir for splicing but ignore coverage. *)
+  if (not crashed) && b.len < 32 then push b (mk_entry (Input.copy input) 0L);
+  false
+
+(* The shared mutation policy: a short deterministic bit-flip stage per
+   entry (AFL++'s bitflip 1/1, walked with a coprime stride), then
+   havoc/splice with a random donor.  RNG draw order matches the
+   pre-extraction fuzzer exactly. *)
+let deterministic_stage = 48
+
+let mutate (b : base) (e : entry) : Bytes.t =
+  e.fuzz_count <- e.fuzz_count + 1;
+  if e.fuzz_count <= deterministic_stage then begin
+    let x = Input.copy e.data in
+    let pos = e.fuzz_count * 12289 mod (Input.size * 8) in
+    Input.set x (pos / 8) (Input.get x (pos / 8) lxor (1 lsl (pos mod 8)));
+    x
+  end
+  else begin
+    let donor =
+      if b.len > 1 then Some b.q.(Rng.int b.rng b.len).data else None
+    in
+    Input.havoc b.rng ?donor e.data
+  end
+
+(* Guided-mode report: gate on the virgin map, queue novel non-crashing
+   inputs, and let the scheduler account for the new entry via
+   [on_new]. *)
+let guided_report (b : base) ~input ~crashed ~bitmap ~now_us ~on_new =
+  let novel = Bitmap.has_new_bits ~virgin:b.virgin bitmap in
+  if novel && not crashed then begin
+    b.finds <- b.finds + 1;
+    let e = mk_entry (Input.copy input) now_us in
+    push b e;
+    on_new e bitmap
+  end;
+  novel
+
+let entries_of (b : base) = List.init b.len (fun i -> Input.copy b.q.(i).data)
+
+(* Serialization helpers.  The queue payload below reproduces the legacy
+   engine checkpoint field sequence byte-for-byte (list of
+   (data, fuzz_count, discovered_at); cursor; virgin; execs; finds). *)
+
+let write_base_counters w (b : base) =
+  Persist.Writer.int w b.execs;
+  Persist.Writer.int w b.finds
+
+let read_base_counters r (b : base) =
+  b.execs <- Persist.Reader.int r;
+  b.finds <- Persist.Reader.int r
+
+let write_virgin w (b : base) =
+  Persist.Writer.int_array w (Bitmap.virgin_to_array b.virgin)
+
+let read_virgin r (b : base) =
+  let a = Persist.Reader.int_array r in
+  match Bitmap.virgin_of_array a with
+  | v -> b.virgin <- v
+  | exception Invalid_argument msg -> corrupt "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* CORPUS module type.                                                 *)
+
+module type S = sig
+  type t
+
+  val kind : kind
+  val spec : t -> spec
+  val seed_input : t -> Bytes.t -> unit
+  val import : t -> Bytes.t -> unit
+  val entries : t -> Bytes.t list
+  val size : t -> int
+  val next_input : t -> Bytes.t
+
+  val report :
+    t -> input:Bytes.t -> crashed:bool -> bitmap:Bitmap.t -> now_us:int64 -> bool
+
+  val execs : t -> int
+  val finds : t -> int
+  val energy : t -> float array
+  val write_state : Persist.Writer.t -> t -> unit
+end
+
+(* ------------------------------------------------------------------ *)
+(* 1. The default AFL-style queue: round-robin over discovery order.
+   Verbatim port of the pre-extraction fuzzer — the golden digests of
+   the perf-golden suite pin its RNG draw sequence and serialized
+   bytes. *)
+
+module Queue_impl = struct
+  type t = { base : base; mutable cursor : int }
+
+  let kind = Queue
+  let spec _ = { kind = Queue; dir = None }
+  let create ~mode ~rng = { base = create_base ~mode ~rng; cursor = 0 }
+  let seed_input t data = push t.base (mk_entry (Input.copy data) 0L)
+
+  (* Cross-worker corpus sync (AFL++ -M/-S import): already judged
+     interesting by another instance, so no virgin-bits gate and no
+     [finds] credit. *)
+  let import = seed_input
+  let entries t = entries_of t.base
+  let size t = t.base.len
+
+  let next_input t : Bytes.t =
+    let b = t.base in
+    b.execs <- b.execs + 1;
+    match b.mode with
+    | Blind -> blind_next b
+    | Guided ->
+        if b.len = 0 then Input.random b.rng
+        else begin
+          (* Round-robin with energy: entries found recently get more
+             attention (simplified AFL++ scheduling). *)
+          t.cursor <- (t.cursor + 1) mod b.len;
+          mutate b b.q.(t.cursor)
+        end
+
+  let report t ~input ~crashed ~bitmap ~now_us =
+    match t.base.mode with
+    | Blind -> blind_report t.base ~input ~crashed
+    | Guided ->
+        guided_report t.base ~input ~crashed ~bitmap ~now_us
+          ~on_new:(fun _ _ -> ())
+
+  let execs t = t.base.execs
+  let finds t = t.base.finds
+
+  (* Round-robin gives every entry the same energy. *)
+  let energy t = Array.make t.base.len 1.0
+
+  let write_state w (t : t) =
+    let open Persist.Writer in
+    list w
+      (fun w (e : entry) ->
+        bytes w e.data;
+        int w e.fuzz_count;
+        i64 w e.discovered_at_us)
+      (List.init t.base.len (fun i -> t.base.q.(i)));
+    int w t.cursor;
+    write_virgin w t.base;
+    write_base_counters w t.base
+
+  let read_state ~mode ~rng r : t =
+    let open Persist.Reader in
+    let entries =
+      list r (fun r ->
+          let data = bytes r in
+          let fuzz_count = int r in
+          let at_us = i64 r in
+          (data, fuzz_count, at_us))
+    in
+    let cursor = int r in
+    let t = create ~mode ~rng in
+    List.iter
+      (fun (data, fuzz_count, at_us) ->
+        let e = mk_entry data at_us in
+        e.fuzz_count <- fuzz_count;
+        push t.base e)
+      entries;
+    t.cursor <- cursor;
+    read_virgin r t.base;
+    read_base_counters r t.base;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* 2. Markov / edge-rarity scheduler (Fuzzilli's MarkovCorpus): weight
+   every entry by the rarity of the bitmap buckets it first touched, so
+   fuzzing energy concentrates on the entries holding the rarest
+   behaviour.  An entry's weight decays with its fuzz count, moving
+   attention to the freshest frontier once the deterministic stage is
+   spent. *)
+
+module Markov_impl = struct
+  type t = { base : base; edge_hits : int array }
+
+  let kind = Markov
+  let spec _ = { kind = Markov; dir = None }
+
+  (* Cap the recorded buckets per entry: rarity needs the rare edges,
+     not the whole 64 KiB map. *)
+  let edge_cap = 64
+
+  let create ~mode ~rng =
+    { base = create_base ~mode ~rng; edge_hits = Array.make Bitmap.size 0 }
+
+  let account t (e : entry) =
+    Array.iter (fun i -> t.edge_hits.(i) <- t.edge_hits.(i) + 1) e.edges
+
+  (* Record the (first [edge_cap]) buckets the entry's execution
+     touched, in bucket order, and count them into the global rarity
+     table. *)
+  let record_edges t (e : entry) (bitmap : Bitmap.t) =
+    let acc = ref [] in
+    let n = ref 0 in
+    (try
+       for i = 0 to Bitmap.size - 1 do
+         if Bitmap.get bitmap i <> 0 then begin
+           acc := i :: !acc;
+           incr n;
+           if !n >= edge_cap then raise Exit
+         end
+       done
+     with Exit -> ());
+    e.edges <- Array.of_list (List.rev !acc);
+    account t e
+
+  (* Rarity weight: sum of 1/hits over the entry's buckets (a bucket
+     touched by this entry alone contributes a full unit), decayed by
+     accumulated fuzz count.  Seeds and imports carry no edge record and
+     keep a baseline weight so they are never starved. *)
+  let weight t (e : entry) =
+    let rarity =
+      if Array.length e.edges = 0 then 1.0
+      else
+        Array.fold_left
+          (fun acc i -> acc +. (1.0 /. float_of_int (max 1 t.edge_hits.(i))))
+          0.0 e.edges
+    in
+    rarity /. (1.0 +. (float_of_int e.fuzz_count /. 32.0))
+
+  let seed_input t data = push t.base (mk_entry (Input.copy data) 0L)
+  let import = seed_input
+  let entries t = entries_of t.base
+  let size t = t.base.len
+
+  let next_input t : Bytes.t =
+    let b = t.base in
+    b.execs <- b.execs + 1;
+    match b.mode with
+    | Blind -> blind_next b
+    | Guided ->
+        if b.len = 0 then Input.random b.rng
+        else begin
+          (* Weighted sampling over rarity, one RNG draw. *)
+          let total = ref 0.0 in
+          for i = 0 to b.len - 1 do
+            total := !total +. weight t b.q.(i)
+          done;
+          let x = Rng.float b.rng *. !total in
+          let idx = ref (b.len - 1) in
+          let acc = ref 0.0 in
+          (try
+             for i = 0 to b.len - 1 do
+               acc := !acc +. weight t b.q.(i);
+               if x < !acc then begin
+                 idx := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          mutate b b.q.(!idx)
+        end
+
+  let report t ~input ~crashed ~bitmap ~now_us =
+    match t.base.mode with
+    | Blind -> blind_report t.base ~input ~crashed
+    | Guided ->
+        guided_report t.base ~input ~crashed ~bitmap ~now_us
+          ~on_new:(record_edges t)
+
+  let execs t = t.base.execs
+  let finds t = t.base.finds
+  let energy t = Array.init t.base.len (fun i -> weight t t.base.q.(i))
+
+  let write_state w (t : t) =
+    let open Persist.Writer in
+    list w
+      (fun w (e : entry) ->
+        bytes w e.data;
+        int w e.fuzz_count;
+        i64 w e.discovered_at_us;
+        int_array w e.edges)
+      (List.init t.base.len (fun i -> t.base.q.(i)));
+    write_virgin w t.base;
+    write_base_counters w t.base
+
+  let read_state ~mode ~rng r : t =
+    let open Persist.Reader in
+    let entries =
+      list r (fun r ->
+          let data = bytes r in
+          let fuzz_count = int r in
+          let at_us = i64 r in
+          let edges = int_array r in
+          (data, fuzz_count, at_us, edges))
+    in
+    let t = create ~mode ~rng in
+    List.iter
+      (fun (data, fuzz_count, at_us, edges) ->
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= Bitmap.size then
+              corrupt "corpus edge index %d out of range" i)
+          edges;
+        let e = mk_entry data at_us in
+        e.fuzz_count <- fuzz_count;
+        e.edges <- edges;
+        push t.base e;
+        (* The rarity table is derived state: rebuild it from the
+           entries instead of persisting 64 Ki counters. *)
+        account t e)
+      entries;
+    read_virgin r t.base;
+    read_base_counters r t.base;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* 3. Multi-armed-bandit energy scheduler: UCB1 over per-entry find
+   rates.  Each queue entry is an arm; scheduling it is a play; a novel
+   find attributed to the scheduled entry is a reward.  Deterministic —
+   ties break toward the lowest index, and the only randomness is the
+   shared mutation policy on the campaign RNG. *)
+
+module Mab_impl = struct
+  type t = { base : base; mutable total_plays : int; mutable last : int }
+
+  let kind = Mab
+  let spec _ = { kind = Mab; dir = None }
+
+  (* Exploration constant.  Rewards (novel finds per play) are sparse,
+     so a full sqrt-2 would drown exploitation entirely; 0.25 keeps the
+     bonus comparable to observed find rates. *)
+  let ucb_c = 0.25
+
+  let create ~mode ~rng =
+    { base = create_base ~mode ~rng; total_plays = 0; last = -1 }
+
+  let seed_input t data = push t.base (mk_entry (Input.copy data) 0L)
+  let import = seed_input
+  let entries t = entries_of t.base
+  let size t = t.base.len
+
+  let ucb t (e : entry) =
+    if e.plays = 0 then infinity
+    else
+      let mean = float_of_int e.rewards /. float_of_int e.plays in
+      mean
+      +. ucb_c
+         *. sqrt (log (float_of_int (max 2 t.total_plays)) /. float_of_int e.plays)
+
+  (* Argmax over UCB scores; unplayed arms score infinity, so every new
+     entry is explored promptly.  Lowest index wins ties — selection is
+     a pure function of the accounted state. *)
+  let select t =
+    let b = t.base in
+    let best = ref 0 in
+    let best_score = ref (ucb t b.q.(0)) in
+    for i = 1 to b.len - 1 do
+      let s = ucb t b.q.(i) in
+      if s > !best_score then begin
+        best := i;
+        best_score := s
+      end
+    done;
+    !best
+
+  let next_input t : Bytes.t =
+    let b = t.base in
+    b.execs <- b.execs + 1;
+    match b.mode with
+    | Blind -> blind_next b
+    | Guided ->
+        if b.len = 0 then Input.random b.rng
+        else begin
+          let idx = select t in
+          let e = b.q.(idx) in
+          t.last <- idx;
+          e.plays <- e.plays + 1;
+          t.total_plays <- t.total_plays + 1;
+          mutate b e
+        end
+
+  let report t ~input ~crashed ~bitmap ~now_us =
+    match t.base.mode with
+    | Blind -> blind_report t.base ~input ~crashed
+    | Guided ->
+        guided_report t.base ~input ~crashed ~bitmap ~now_us
+          ~on_new:(fun _ _ ->
+            (* Credit the arm whose mutation produced the find. *)
+            if t.last >= 0 && t.last < t.base.len then begin
+              let e = t.base.q.(t.last) in
+              e.rewards <- e.rewards + 1
+            end)
+
+  let execs t = t.base.execs
+  let finds t = t.base.finds
+  let energy t = Array.init t.base.len (fun i -> ucb t t.base.q.(i))
+
+  let write_state w (t : t) =
+    let open Persist.Writer in
+    list w
+      (fun w (e : entry) ->
+        bytes w e.data;
+        int w e.fuzz_count;
+        i64 w e.discovered_at_us;
+        int w e.plays;
+        int w e.rewards)
+      (List.init t.base.len (fun i -> t.base.q.(i)));
+    int w t.total_plays;
+    int w t.last;
+    write_virgin w t.base;
+    write_base_counters w t.base
+
+  let read_state ~mode ~rng r : t =
+    let open Persist.Reader in
+    let entries =
+      list r (fun r ->
+          let data = bytes r in
+          let fuzz_count = int r in
+          let at_us = i64 r in
+          let plays = int r in
+          let rewards = int r in
+          (data, fuzz_count, at_us, plays, rewards))
+    in
+    let total_plays = int r in
+    let last = int r in
+    let t = create ~mode ~rng in
+    List.iter
+      (fun (data, fuzz_count, at_us, plays, rewards) ->
+        let e = mk_entry data at_us in
+        e.fuzz_count <- fuzz_count;
+        e.plays <- plays;
+        e.rewards <- rewards;
+        push t.base e)
+      entries;
+    t.total_plays <- total_plays;
+    t.last <- last;
+    read_virgin r t.base;
+    read_base_counters r t.base;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* 4. Durable file-backed store: queue scheduling plus one framed,
+   checksummed, atomically written file per corpus entry, so a corpus
+   survives across campaigns (and several workers can share a store —
+   entry files are content-addressed, so concurrent writers converge).
+   [create] replays the store in file-name order; checkpoints embed the
+   full queue state, so restore never re-reads the directory. *)
+
+module Durable_impl = struct
+  type t = { q : Queue_impl.t; dir : string }
+
+  let kind = Durable
+  let spec t = { kind = Durable; dir = Some t.dir }
+  let file_magic = "NECOFUZZ-CORP"
+  let file_version = 1
+
+  (* FNV-1a 64-bit content hash: the file name.  Idempotent — saving the
+     same entry twice (or from two workers) writes the same file. *)
+  let entry_file data =
+    let h = ref 0xcbf29ce484222325L in
+    Bytes.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      data;
+    Printf.sprintf "%016Lx.bin" !h
+
+  let store t data =
+    let path = Filename.concat t.dir (entry_file data) in
+    if not (Sys.file_exists path) then
+      Persist.save ~magic:file_magic ~version:file_version ~path (fun w ->
+          Persist.Writer.bytes w data)
+
+  let create ~mode ~rng ~dir : t =
+    (match Persist.mkdir_p dir with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Corpus: durable store: " ^ msg));
+    let q = Queue_impl.create ~mode ~rng in
+    let files = Sys.readdir dir in
+    Array.sort compare files;
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".bin" then
+          match
+            Persist.load ~magic:file_magic ~version:file_version
+              ~path:(Filename.concat dir f) Persist.Reader.bytes
+          with
+          | Ok data when Bytes.length data = Input.size -> Queue_impl.import q data
+          | Ok _ | Error _ -> () (* foreign or corrupt file: skip *))
+      files;
+    { q; dir }
+
+  let seed_input t data =
+    Queue_impl.seed_input t.q data;
+    store t data
+
+  let import t data =
+    Queue_impl.import t.q data;
+    store t data
+
+  let entries t = Queue_impl.entries t.q
+  let size t = Queue_impl.size t.q
+  let next_input t = Queue_impl.next_input t.q
+
+  let report t ~input ~crashed ~bitmap ~now_us =
+    let before = Queue_impl.size t.q in
+    let novel = Queue_impl.report t.q ~input ~crashed ~bitmap ~now_us in
+    if Queue_impl.size t.q > before then store t input;
+    novel
+
+  let execs t = Queue_impl.execs t.q
+  let finds t = Queue_impl.finds t.q
+  let energy t = Queue_impl.energy t.q
+
+  let write_state w (t : t) =
+    Persist.Writer.string w t.dir;
+    Queue_impl.write_state w t.q
+
+  let read_state ~mode ~rng r : t =
+    let dir = Persist.Reader.string r in
+    let q = Queue_impl.read_state ~mode ~rng r in
+    (* Restore trusts the checkpoint, not the directory — but make sure
+       the store exists again so post-restore finds can be persisted. *)
+    (match Persist.mkdir_p dir with Ok () | Error _ -> ());
+    { q; dir }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Packed (first-class-module) dispatch.                               *)
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let make (s : spec) ~mode ~rng : packed =
+  match s.kind with
+  | Queue -> Packed ((module Queue_impl), Queue_impl.create ~mode ~rng)
+  | Markov -> Packed ((module Markov_impl), Markov_impl.create ~mode ~rng)
+  | Mab -> Packed ((module Mab_impl), Mab_impl.create ~mode ~rng)
+  | Durable -> (
+      match s.dir with
+      | None -> invalid_arg "Corpus.make: durable corpus requires a directory"
+      | Some dir -> Packed ((module Durable_impl), Durable_impl.create ~mode ~rng ~dir))
+
+let kind (Packed ((module M), _)) = M.kind
+let spec (Packed ((module M), st)) = M.spec st
+let seed_input (Packed ((module M), st)) data = M.seed_input st data
+let import (Packed ((module M), st)) data = M.import st data
+let entries (Packed ((module M), st)) = M.entries st
+let size (Packed ((module M), st)) = M.size st
+let next_input (Packed ((module M), st)) = M.next_input st
+
+let report (Packed ((module M), st)) ~input ~crashed ~bitmap ~now_us =
+  M.report st ~input ~crashed ~bitmap ~now_us
+
+let execs (Packed ((module M), st)) = M.execs st
+let finds (Packed ((module M), st)) = M.finds st
+let energy (Packed ((module M), st)) = M.energy st
+
+(* Self-describing codec: a kind byte, then the implementation's own
+   payload.  The checkpoint format version dispatches to this for v4+
+   blobs. *)
+
+let write w (Packed ((module M), st)) =
+  Persist.Writer.u8 w (kind_code M.kind);
+  M.write_state w st
+
+let read ~mode ~rng r : packed =
+  match kind_of_code (Persist.Reader.u8 r) with
+  | Queue -> Packed ((module Queue_impl), Queue_impl.read_state ~mode ~rng r)
+  | Markov -> Packed ((module Markov_impl), Markov_impl.read_state ~mode ~rng r)
+  | Mab -> Packed ((module Mab_impl), Mab_impl.read_state ~mode ~rng r)
+  | Durable -> Packed ((module Durable_impl), Durable_impl.read_state ~mode ~rng r)
+
+(* Legacy codec: the bare queue payload with no kind byte — exactly the
+   fuzzer section of v2/v3 engine checkpoints, which predate pluggable
+   corpora.  Only the default queue can be written this way. *)
+
+let write_legacy w (Packed ((module M), st)) =
+  match M.kind with
+  | Queue ->
+      let w' = Persist.Writer.create () in
+      M.write_state w' st;
+      (* Re-encode through the queue writer so the payload is the queue
+         shape regardless of how the packed value was built. *)
+      let q =
+        Queue_impl.read_state ~mode:Guided ~rng:(Rng.create 0)
+          (Persist.Reader.of_string (Persist.Writer.contents w'))
+      in
+      Queue_impl.write_state w q
+  | k ->
+      invalid_arg
+        (Printf.sprintf
+           "Corpus.write_legacy: only the default queue has a legacy encoding \
+            (got %s)"
+           (kind_name k))
+
+let read_legacy ~mode ~rng r : packed =
+  Packed ((module Queue_impl), Queue_impl.read_state ~mode ~rng r)

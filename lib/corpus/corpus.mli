@@ -1,0 +1,198 @@
+(** Pluggable corpus subsystem: the [CORPUS] module type and its four
+    implementations.
+
+    The fuzz-harness VM loop (paper §4.1) consumes inputs from a corpus
+    and reports execution feedback back into it.  This module makes that
+    contract a first-class OCaml module type, {!S} — mirroring Fuzzilli's
+    corpus protocol — with four interchangeable implementations selected
+    by {!spec}:
+
+    - [queue] — the default AFL-style round-robin queue, a verbatim port
+      of the original in-fuzzer scheduler.  Bit-identical to the
+      pre-extraction behaviour (same RNG draw order, same checkpoint
+      bytes), which the golden-digest tests pin.
+    - [markov] — Markov / edge-rarity scheduling: each entry is weighted
+      by the rarity of the coverage-bitmap buckets it first touched, so
+      energy concentrates on entries exercising rare behaviour.
+    - [mab] — a multi-armed-bandit energy scheduler: UCB1 over per-entry
+      novel-find rates, fully deterministic (ties break to the lowest
+      queue index; the only randomness is the shared mutation policy on
+      the campaign RNG).
+    - [durable] — queue scheduling plus a durable on-disk store: one
+      atomically written, CRC-framed file per entry (content-addressed
+      names), replayed on construction so corpora survive across
+      campaigns and can be shared between workers.
+
+    All scheduling randomness flows through the campaign
+    {!Nf_stdext.Rng}, so every implementation checkpoints and resumes
+    bit-identically — the property the engine's determinism tests
+    exercise per implementation. *)
+
+(** {1 Modes} *)
+
+(** Scheduling mode, shared by all implementations.  [Guided] gates
+    queue admission on coverage novelty; [Blind] (the coverage ablation)
+    keeps only a small splicing reservoir and random-walks it. *)
+type mode = Guided | Blind
+
+(** Stable wire code for a {!mode} ([Guided] = 0, [Blind] = 1), as used
+    in engine checkpoints since format v2. *)
+val mode_code : mode -> int
+
+(** Inverse of {!mode_code}.
+    @raise Nf_persist.Persist.Reader.Corrupt on an unknown code. *)
+val mode_of_code : int -> mode
+
+(** {1 Kinds and specs} *)
+
+(** The four built-in corpus implementations. *)
+type kind = Queue | Markov | Mab | Durable
+
+(** CLI-name/kind pairs, in canonical order — the vocabulary accepted by
+    {!spec_of_string} and the [--corpus] flag. *)
+val all_kinds : (string * kind) list
+
+(** Canonical CLI name of a kind ([Queue] is ["queue"], etc.). *)
+val kind_name : kind -> string
+
+(** Stable wire code for a {!kind} (checkpoint formats v4+). *)
+val kind_code : kind -> int
+
+(** Inverse of {!kind_code}.
+    @raise Nf_persist.Persist.Reader.Corrupt on an unknown code. *)
+val kind_of_code : int -> kind
+
+(** A corpus selection: which implementation, and (for [Durable]) the
+    store directory. *)
+type spec = { kind : kind; dir : string option }
+
+(** The default selection: the AFL-style [queue], no directory. *)
+val default_spec : spec
+
+(** [spec_of_string ?dir s] parses a CLI corpus name against
+    {!all_kinds} (case-insensitive).  [dir] supplies the store directory
+    for [durable]; selecting [durable] without one is an [Error], as is
+    an unknown name (the message lists the valid names). *)
+val spec_of_string : ?dir:string -> string -> (spec, string) result
+
+(** {1 The CORPUS module type} *)
+
+(** The corpus contract.  One value of type [t] holds a scheduler's
+    entire mutable state; all operations are single-domain (the engine
+    gives each parallel worker its own corpus and merges explicitly). *)
+module type S = sig
+  (** Scheduler state. *)
+  type t
+
+  (** Which implementation this is. *)
+  val kind : kind
+
+  (** The {!type-spec} that (up to store directory) reconstructs this
+      corpus via {!make}. *)
+  val spec : t -> spec
+
+  (** [seed_input t data] enqueues a copy of [data] as an initial seed,
+      bypassing the novelty gate. *)
+  val seed_input : t -> Bytes.t -> unit
+
+  (** [import t data] enqueues a copy of [data] arriving from another
+      worker during corpus sync.  Like {!seed_input} it bypasses the
+      novelty gate and does not count as a find (the exporting worker
+      already took credit). *)
+  val import : t -> Bytes.t -> unit
+
+  (** Copies of all queue entries in discovery order — the engine's
+      corpus-sync export and merge surface. *)
+  val entries : t -> Bytes.t list
+
+  (** Number of queue entries. *)
+  val size : t -> int
+
+  (** Propose the next input to execute: pick an entry by this
+      scheduler's policy and mutate it (or generate a random input while
+      the queue is empty).  Counts one execution. *)
+  val next_input : t -> Bytes.t
+
+  (** [report t ~input ~crashed ~bitmap ~now_us] feeds back the coverage
+      bitmap of executing [input].  Returns [true] when the execution
+      touched virgin coverage; novel non-crashing inputs are copied into
+      the queue and credited to the scheduler's accounting. *)
+  val report :
+    t -> input:Bytes.t -> crashed:bool -> bitmap:Nf_coverage.Coverage.Bitmap.t ->
+    now_us:int64 -> bool
+
+  (** Total executions proposed so far. *)
+  val execs : t -> int
+
+  (** Total novel queue admissions (excluding seeds and imports). *)
+  val finds : t -> int
+
+  (** Current per-entry energy, index-aligned with {!entries}: the
+      relative weight the scheduler would give each entry right now
+      (uniform for the queue; rarity weights for Markov; UCB scores for
+      the bandit).  Exposed for metrics and the corpus bench. *)
+  val energy : t -> float array
+
+  (** Serialize the full scheduler state (implementation-private
+      layout).  Paired with the implementation's reader via {!read}'s
+      kind dispatch. *)
+  val write_state : Nf_persist.Persist.Writer.t -> t -> unit
+end
+
+(** {1 Packed corpora} *)
+
+(** A corpus implementation packed with its state — what the fuzzer and
+    engine actually carry around. *)
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+(** [make spec ~mode ~rng] constructs a fresh corpus.  [rng] is the
+    campaign RNG the scheduler will draw from (shared with the caller —
+    draws interleave deterministically).  A [Durable] spec replays any
+    existing store under [spec.dir].
+    @raise Invalid_argument on a [Durable] spec with no directory, or
+    when its store directory cannot be created. *)
+val make : spec -> mode:mode -> rng:Nf_stdext.Rng.t -> packed
+
+(** {2 Delegating operations} — each forwards to the packed
+    implementation; see {!S} for semantics. *)
+
+val kind : packed -> kind
+val spec : packed -> spec
+val seed_input : packed -> Bytes.t -> unit
+val import : packed -> Bytes.t -> unit
+val entries : packed -> Bytes.t list
+val size : packed -> int
+val next_input : packed -> Bytes.t
+
+val report :
+  packed -> input:Bytes.t -> crashed:bool -> bitmap:Nf_coverage.Coverage.Bitmap.t ->
+  now_us:int64 -> bool
+
+val execs : packed -> int
+val finds : packed -> int
+val energy : packed -> float array
+
+(** {1 Codecs} *)
+
+(** [write w packed] writes the self-describing encoding: a {!kind_code}
+    byte, then the implementation's {!S.write_state} payload.  Engine
+    checkpoint formats v4+ embed this. *)
+val write : Nf_persist.Persist.Writer.t -> packed -> unit
+
+(** [read ~mode ~rng r] decodes {!write}'s encoding, dispatching on the
+    kind byte.  [rng] becomes the restored scheduler's RNG handle.
+    @raise Nf_persist.Persist.Reader.Corrupt on an unknown kind or a
+    malformed payload. *)
+val read :
+  mode:mode -> rng:Nf_stdext.Rng.t -> Nf_persist.Persist.Reader.t -> packed
+
+(** [write_legacy w packed] writes the bare queue payload with no kind
+    byte — byte-identical to the fuzzer section of v2/v3 engine
+    checkpoints, which predate pluggable corpora.
+    @raise Invalid_argument unless [kind packed = Queue]. *)
+val write_legacy : Nf_persist.Persist.Writer.t -> packed -> unit
+
+(** [read_legacy ~mode ~rng r] decodes {!write_legacy}'s encoding into a
+    default queue corpus — how v2/v3 checkpoints keep restoring. *)
+val read_legacy :
+  mode:mode -> rng:Nf_stdext.Rng.t -> Nf_persist.Persist.Reader.t -> packed

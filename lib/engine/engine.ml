@@ -184,6 +184,7 @@ let emit (t : t) (ev : Obs.Event.t) =
 
 let set_sink (t : t) sink = t.sink <- sink
 let metrics (t : t) = t.metrics
+let corpus_kind (t : t) = Nf_fuzzer.Fuzzer.kind t.fuzzer
 
 (* Telemetry wiring for the fault injector: every injected fault counts
    into the registry and, when a sink is attached, lands in the event
@@ -223,8 +224,11 @@ let diff_arch target =
   | Nf_cpu.Cpu_model.Intel -> Diff.Vmx
   | Nf_cpu.Cpu_model.Amd -> Diff.Svm
 
-let create ?(differential = false) (cfg : cfg) : t =
-  let fuzzer = Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~seed:cfg.seed () in
+let create ?(differential = false) ?(corpus = Nf_corpus.Corpus.default_spec)
+    (cfg : cfg) : t =
+  let fuzzer =
+    Nf_fuzzer.Fuzzer.create ~mode:cfg.mode ~corpus ~seed:cfg.seed ()
+  in
   List.iter (Nf_fuzzer.Fuzzer.seed_input fuzzer) (initial_seeds cfg.target);
   let region = target_region cfg.target in
   let t =
@@ -394,6 +398,25 @@ let step (t : t) : step_outcome =
         ~now_us:(Nf_stdext.Vclock.now_us t.clock) ()
     in
     if novel then Obs.Metrics.incr t.metrics "fuzz/novel";
+    (* Corpus-scheduler gauges.  Only for non-default corpora: the
+       metrics registry is checkpointed, so adding gauges to a default
+       queue campaign would change its v2 blob bytes and break the
+       golden-digest guarantee. *)
+    if Nf_fuzzer.Fuzzer.kind t.fuzzer <> Nf_corpus.Corpus.Queue then begin
+      Obs.Metrics.set_gauge t.metrics "corpus/size"
+        (float_of_int (Nf_fuzzer.Fuzzer.queue_size t.fuzzer));
+      Obs.Metrics.set_gauge t.metrics "corpus/finds"
+        (float_of_int (Nf_fuzzer.Fuzzer.finds t.fuzzer));
+      if novel then begin
+        let energy = Nf_fuzzer.Fuzzer.energy t.fuzzer in
+        let finite_max =
+          Array.fold_left
+            (fun acc e -> if Float.is_finite e && e > acc then e else acc)
+            0.0 energy
+        in
+        Obs.Metrics.set_gauge t.metrics "corpus/energy_max" finite_max
+      end
+    end;
     if crashed then Obs.Metrics.incr t.metrics "crashes/observed";
     (* Vulnerability detection: sanitizers and log monitoring. *)
     List.iter
@@ -562,9 +585,16 @@ let checkpoint_magic = "NECOFUZZ-CKPT"
 (* v2: appended the telemetry registry (metrics survive resume).
    v3: v2 plus the differential-oracle divergence store; written only by
    differential campaigns, so a campaign with the mode off still
-   produces bit-identical v2 blobs. *)
+   produces bit-identical v2 blobs.
+   v4/v5: the v2/v3 layouts with the fuzzer section replaced by the
+   self-describing corpus encoding (kind byte + implementation payload);
+   written only by campaigns on a non-default corpus, so default-queue
+   campaigns still produce bit-identical v2/v3 blobs and old v2/v3
+   checkpoints keep restoring into the default queue. *)
 let checkpoint_version = 2
 let checkpoint_version_differential = 3
+let checkpoint_version_corpus = 4
+let checkpoint_version_corpus_differential = 5
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Persist.Reader.Corrupt m)) fmt
 
@@ -694,18 +724,9 @@ let to_string (t : t) : string =
   i64 w (Nf_stdext.Vclock.now_us t.clock);
   int_array w (Cov.Map.raw_hits t.campaign_cov);
   (let p = Nf_fuzzer.Fuzzer.persist t.fuzzer in
-   u8 w (mode_code p.p_mode);
-   i64 w p.p_rng_state;
-   list w
-     (fun w (data, fuzz_count, at_us) ->
-       bytes w data;
-       int w fuzz_count;
-       i64 w at_us)
-     p.p_queue;
-   int w p.p_cursor;
-   int_array w p.p_virgin;
-   int w p.p_execs;
-   int w p.p_finds);
+   if Nf_fuzzer.Fuzzer.kind t.fuzzer = Nf_corpus.Corpus.Queue then
+     Nf_fuzzer.Fuzzer.write_persisted_legacy w p
+   else Nf_fuzzer.Fuzzer.write_persisted w p);
   list w string t.vmx_validator.Nf_validator.Validator.learned_skips;
   int w t.vmx_validator.Nf_validator.Validator.corrections;
   list w string t.svm_validator.Nf_validator.Svm_validator.learned_skips;
@@ -734,33 +755,27 @@ let to_string (t : t) : string =
   (match t.diff with None -> () | Some d -> Nf_diff.Diff.write w d);
   Persist.frame ~magic:checkpoint_magic
     ~version:
-      (match t.diff with
-      | None -> checkpoint_version
-      | Some _ -> checkpoint_version_differential)
+      (match (Nf_fuzzer.Fuzzer.kind t.fuzzer = Nf_corpus.Corpus.Queue, t.diff) with
+      | true, None -> checkpoint_version
+      | true, Some _ -> checkpoint_version_differential
+      | false, None -> checkpoint_version_corpus
+      | false, Some _ -> checkpoint_version_corpus_differential)
     (contents w)
 
-let read_engine ~differential r : t =
+let read_engine ~differential ~legacy r : t =
   let open Persist.Reader in
   let cfg = read_cfg r in
   let now_us = i64 r in
   let hits = int_array r in
   let fuzzer =
-    let p_mode = mode_of_code (u8 r) in
-    let p_rng_state = i64 r in
-    let p_queue =
-      list r (fun r ->
-          let data = bytes r in
-          let fuzz_count = int r in
-          let at_us = i64 r in
-          (data, fuzz_count, at_us))
-    in
-    let p_cursor = int r in
-    let p_virgin = int_array r in
-    let p_execs = int r in
-    let p_finds = int r in
+    (* v2/v3 blobs carry the bare queue layout; v4/v5 the self-describing
+       corpus encoding.  A durable store whose directory can no longer be
+       created surfaces as Invalid_argument — a corrupt checkpoint, not a
+       crash. *)
     match
       Nf_fuzzer.Fuzzer.of_persisted
-        { p_mode; p_rng_state; p_queue; p_cursor; p_virgin; p_execs; p_finds }
+        (if legacy then Nf_fuzzer.Fuzzer.read_persisted_legacy r
+         else Nf_fuzzer.Fuzzer.read_persisted r)
     with
     | f -> f
     | exception Invalid_argument msg -> corrupt "%s" msg
@@ -843,19 +858,29 @@ let read_engine ~differential r : t =
   wire_observers t;
   t
 
-(* Accept both checkpoint formats: v3 blobs carry a divergence store
-   (and imply the campaign ran differentially), v2 blobs do not. *)
+(* Accept all four checkpoint formats: odd versions (3/5) carry a
+   divergence store and imply the campaign ran differentially; v4+
+   carry the self-describing corpus section, v2/v3 the legacy queue
+   layout. *)
 let of_string (blob : string) : (t, string) Stdlib.result =
-  let differential =
-    Persist.peek_version ~magic:checkpoint_magic blob
-    = Some checkpoint_version_differential
-  in
   let version =
-    if differential then checkpoint_version_differential
-    else checkpoint_version
+    match Persist.peek_version ~magic:checkpoint_magic blob with
+    | Some v
+      when v >= checkpoint_version && v <= checkpoint_version_corpus_differential
+      ->
+        v
+    | _ ->
+        (* Unknown or unreadable: let [decode] produce the standard
+           descriptive Error against the base version. *)
+        checkpoint_version
   in
+  let differential =
+    version = checkpoint_version_differential
+    || version = checkpoint_version_corpus_differential
+  in
+  let legacy = version <= checkpoint_version_differential in
   Persist.decode ~magic:checkpoint_magic ~version blob
-    (read_engine ~differential)
+    (read_engine ~differential ~legacy)
 
 let save (t : t) (path : string) = Persist.write_file_atomic ~path (to_string t)
 
@@ -915,6 +940,38 @@ let append_plot_data ~dir (row : Obs.Stats.row) =
 let write_stats ~dir ~target ~mode (row : Obs.Stats.row) =
   write_fuzzer_stats ~dir ~target ~mode row;
   append_plot_data ~dir row
+
+(* The unified entry-point options: everything that used to travel as
+   scattered optional arguments across [run]/[run_from]/[run_parallel],
+   plus the corpus selection.  One record drives both the sequential and
+   the parallel runner; fields a runner does not use are ignored (e.g.
+   [sync_hours] sequentially, [checkpoint_dir] in parallel). *)
+type options = {
+  differential : bool;
+  corpus : Nf_corpus.Corpus.spec;
+  checkpoint_dir : string option;
+  stats_dir : string option;
+  stats_hours : float option;
+  on_progress : (snapshot -> unit) option;
+  sync_hours : float option;
+  on_sync : (snapshot -> unit) option;
+  chaos : (worker:int -> round:int -> attempt:int -> unit) option;
+  obs : Obs.Sink.t;
+}
+
+let default_options =
+  {
+    differential = false;
+    corpus = Nf_corpus.Corpus.default_spec;
+    checkpoint_dir = None;
+    stats_dir = None;
+    stats_hours = None;
+    on_progress = None;
+    sync_hours = None;
+    on_sync = None;
+    chaos = None;
+    obs = Obs.Sink.null;
+  }
 
 let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
     result =
@@ -993,8 +1050,11 @@ let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
   | None -> ());
   finish t
 
-let run ?differential (cfg : cfg) : result =
-  run_from (create ?differential cfg)
+let run ?(options = default_options) (cfg : cfg) : result =
+  let t = create ~differential:options.differential ~corpus:options.corpus cfg in
+  if not (Obs.Sink.is_null options.obs) then set_sink t options.obs;
+  run_from ?checkpoint_dir:options.checkpoint_dir ?stats_dir:options.stats_dir
+    ?stats_hours:options.stats_hours ?on_progress:options.on_progress t
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel campaigns (AFL++ -M/-S topology).                   *)
@@ -1177,8 +1237,9 @@ let merge_timelines (results : result array) ~grid =
 let supervisor_retry_budget = 3
 let supervisor_backoff_base_us = 60_000_000L
 
-let run_parallel ?differential ?sync_hours ?on_sync ?chaos
-    ?(obs = Obs.Sink.null) ~jobs (cfg : cfg) : parallel_outcome =
+let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
+    parallel_outcome =
+  let { differential; corpus; sync_hours; on_sync; chaos; obs; _ } = options in
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
@@ -1187,7 +1248,7 @@ let run_parallel ?differential ?sync_hours ?on_sync ?chaos
     invalid_arg "Engine.run_parallel: sync_hours must be positive";
   let engines =
     Array.init jobs (fun w ->
-        create ?differential { cfg with seed = cfg.seed + w })
+        create ~differential ~corpus { cfg with seed = cfg.seed + w })
   in
   let shared =
     {

@@ -173,8 +173,17 @@ type snapshot = {
     [diff/*] metrics for each fresh divergence.  Differential replay is
     inert with respect to fuzzing: it draws no campaign RNG and charges
     no virtual time, so the trajectory is identical with the mode on or
-    off.  Default: [false]. *)
-val create : ?differential:bool -> cfg -> t
+    off.  Default: [false].
+
+    [corpus] selects the corpus implementation the campaign schedules
+    from (see {!Nf_corpus.Corpus}); the default is the AFL-style queue,
+    bit-identical to the pre-extraction scheduler.  Campaigns on a
+    non-default corpus additionally export [corpus/*] gauges
+    ([corpus/size], [corpus/finds], [corpus/energy_max]) into the
+    metrics registry.
+    @raise Invalid_argument on a durable corpus spec with no store
+    directory, or when its store directory cannot be created. *)
+val create : ?differential:bool -> ?corpus:Nf_corpus.Corpus.spec -> cfg -> t
 
 (** One fuzz iteration: propose → boot → execute → collect → triage.
     Returns [Deadline] (and performs nothing) once the virtual clock has
@@ -203,14 +212,60 @@ val set_sink : t -> Nf_obs.Obs.Sink.t -> unit
     [result.metrics]). *)
 val metrics : t -> Nf_obs.Obs.Metrics.t
 
+(** Which corpus implementation this campaign schedules from. *)
+val corpus_kind : t -> Nf_corpus.Corpus.kind
+
 (** Seal the campaign: records the final timeline checkpoint and builds
     the result.  Idempotent; {!step} returns [Deadline] afterwards. *)
 val finish : t -> result
 
+(** {1 The unified run API}
+
+    The options record collapses what used to be scattered optional
+    arguments across [run ?differential],
+    [run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress] and
+    [run_parallel ?differential ?sync_hours ?on_sync ?chaos ?obs] into
+    one value that both runners accept — and it carries the corpus
+    choice.  Build one with [{ default_options with ... }].  The legacy
+    keyword spellings survive as thin wrappers on
+    [Nf_agent.Agent.run]/[run_parallel] (deprecated; new code should
+    pass an options record). *)
+type options = {
+  differential : bool;  (** enable the differential oracle *)
+  corpus : Nf_corpus.Corpus.spec;  (** corpus implementation to schedule from *)
+  checkpoint_dir : string option;
+      (** sequential: save a checkpoint here every checkpoint interval *)
+  stats_dir : string option;
+      (** sequential: refresh [fuzzer_stats]/[plot_data] here on the
+          stats grid *)
+  stats_hours : float option;
+      (** sequential: stats-grid pitch in virtual hours (default
+          [cfg.checkpoint_hours]) *)
+  on_progress : (snapshot -> unit) option;
+      (** sequential: observer called at every stats-grid point *)
+  sync_hours : float option;
+      (** parallel: barrier pitch in virtual hours (default
+          [cfg.checkpoint_hours]) *)
+  on_sync : (snapshot -> unit) option;
+      (** parallel: observer of the campaign-wide snapshot at every
+          barrier *)
+  chaos : (worker:int -> round:int -> attempt:int -> unit) option;
+      (** parallel: test hook run at the start of every worker attempt;
+          may raise to simulate a worker death *)
+  obs : Nf_obs.Obs.Sink.t;
+      (** event sink — the engine sink sequentially, the supervisor
+          sink in parallel (default {!Nf_obs.Obs.Sink.null}) *)
+}
+
+(** [default_options]: no differential oracle, the default queue corpus,
+    no checkpointing, no stats, no observers, the null sink. *)
+val default_options : options
+
 (** [run cfg] drives {!step} to [Deadline]: the sequential campaign,
-    bit-identical to the pre-decomposition loop.  [?differential] is
-    passed to {!create}. *)
-val run : ?differential:bool -> cfg -> result
+    bit-identical to the pre-decomposition loop under
+    {!default_options}.  Fields of [options] that only concern the
+    parallel runner ([sync_hours], [on_sync], [chaos]) are ignored. *)
+val run : ?options:options -> cfg -> result
 
 (** {1 Checkpoint / resume}
 
@@ -224,12 +279,17 @@ val run : ?differential:bool -> cfg -> result
     run.  Corrupt or truncated checkpoints are rejected with a
     descriptive [Error], never a crash.
 
-    Two format versions coexist: v2 (no differential store — byte-for-
+    Four format versions coexist.  v2 (no differential store — byte-for-
     byte the pre-differential format) and v3 (v2 plus the serialized
-    divergence store appended).  An engine writes v3 exactly when it was
-    created with [~differential:true]; {!of_string} reads the header
-    version and restores either, so a resumed differential campaign
-    keeps its accumulated divergences. *)
+    divergence store appended) carry the legacy queue-corpus layout; v4
+    and v5 are their counterparts with the fuzzer section replaced by
+    the self-describing corpus encoding ({!Nf_corpus.Corpus.write}).
+    An engine writes v3/v5 exactly when it was created with
+    [~differential:true], and v4/v5 exactly when it schedules from a
+    non-default corpus — so default-queue campaigns still produce
+    blobs bit-identical to pre-corpus builds.  {!of_string} reads the
+    header version and restores any of the four, so old v2/v3
+    checkpoints keep restoring into the default queue. *)
 
 (** In-memory checkpoint of the engine (framed and checksummed like the
     on-disk form; the parallel supervisor uses these as sync-barrier
@@ -237,9 +297,10 @@ val run : ?differential:bool -> cfg -> result
 val to_string : t -> string
 
 (** Rebuild an engine from a {!to_string} blob.  Dispatches on the
-    header's format version (v2 plain, v3 differential); every failure
-    mode — bad magic, unknown version, truncation, checksum mismatch,
-    malformed payload — is a descriptive [Error]. *)
+    header's format version (v2 plain, v3 differential, v4/v5 their
+    non-default-corpus counterparts); every failure mode — bad magic,
+    unknown version, truncation, checksum mismatch, malformed payload —
+    is a descriptive [Error]. *)
 val of_string : string -> (t, string) Stdlib.result
 
 (** [save t path] checkpoints [t] to [path] atomically (temp file +
@@ -350,29 +411,28 @@ type parallel_outcome = {
     imports) and the campaign degrades gracefully to the survivors.
     The per-worker verdicts land in [supervision].
 
-    [chaos], a test hook, runs at the start of every worker attempt
-    (worker id, barrier round, attempt number for this worker's current
-    round) and may raise to simulate a worker death.
+    [options.chaos], a test hook, runs at the start of every worker
+    attempt (worker id, barrier round, attempt number for this worker's
+    current round) and may raise to simulate a worker death.
 
-    [obs], if given, receives supervisor-level trace events —
+    [options.obs], if given, receives supervisor-level trace events —
     [Worker_sync] after every barrier, [Worker_recovered] /
     [Worker_abandoned] from supervision.  Worker Domains never touch
     the sink (it need not be thread-safe), so a parallel campaign
     traces fleet lifecycle rather than per-step detail.  Inert like all
     observability: passing [obs] changes no campaign bytes.
 
-    [differential], if [true], enables the differential oracle on every
-    worker.  Divergence stores are unioned deterministically (workers
-    combined in worker-id order, earliest witness wins) at every sync
-    barrier — so supervision restores never lose fleet-wide divergences
-    — and once more into [merged.divergences] at the end; the merged
-    store is independent of Domain scheduling. *)
-val run_parallel :
-  ?differential:bool ->
-  ?sync_hours:float ->
-  ?on_sync:(snapshot -> unit) ->
-  ?chaos:(worker:int -> round:int -> attempt:int -> unit) ->
-  ?obs:Nf_obs.Obs.Sink.t ->
-  jobs:int ->
-  cfg ->
-  parallel_outcome
+    [options.differential], if [true], enables the differential oracle
+    on every worker.  Divergence stores are unioned deterministically
+    (workers combined in worker-id order, earliest witness wins) at
+    every sync barrier — so supervision restores never lose fleet-wide
+    divergences — and once more into [merged.divergences] at the end;
+    the merged store is independent of Domain scheduling.
+
+    [options.corpus] selects every worker's corpus implementation (all
+    workers share one spec; a durable spec points every worker at the
+    same content-addressed store, which is safe — entry files are
+    idempotent).  Fields that only concern the sequential runner
+    ([checkpoint_dir], [stats_dir], [stats_hours], [on_progress]) are
+    ignored. *)
+val run_parallel : ?options:options -> jobs:int -> cfg -> parallel_outcome

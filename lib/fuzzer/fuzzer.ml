@@ -1,180 +1,81 @@
 (** Coverage-guided fuzzing core (the AFL++ extension of §4.1).
 
-    The engine owns the queue of interesting inputs and the virgin-bits
-    map.  Each cycle it proposes an input ([next_input]); the agent runs
-    the fuzz-harness VM with it, folds the hypervisor's coverage trace
-    into an edge bitmap and reports back ([report]).  Inputs that touch
-    new bitmap buckets join the queue.
+    Since the corpus extraction this module is a thin facade: the queue,
+    virgin bits and scheduling policy live behind the pluggable
+    {!Nf_corpus.Corpus} module type, and the fuzzer owns just the
+    campaign RNG, the mode and the packed corpus.  The default corpus is
+    the AFL-style queue, a verbatim port of the scheduler that used to
+    live here — same RNG draw order, same checkpoint bytes. *)
 
-    [Blind] mode never consults coverage: every input is random or a
-    havoc of a random earlier input.  It models both the coverage-guidance
-    ablation (Table 5) and the closed-source black-box setting (§5.4). *)
+module Corpus = Nf_corpus.Corpus
+module Persist = Nf_persist.Persist
+module Rng = Nf_stdext.Rng
 
-module Bitmap = Nf_coverage.Coverage.Bitmap
+type mode = Corpus.mode = Guided | Blind
 
-type mode = Guided | Blind
+type t = { rng : Rng.t; mode : mode; corpus : Corpus.packed }
 
-type entry = {
-  data : Bytes.t;
-  mutable fuzz_count : int;
-  discovered_at_us : int64;
-}
+let create ?(mode = Guided) ?(corpus = Corpus.default_spec) ~seed () =
+  let rng = Rng.create seed in
+  { rng; mode; corpus = Corpus.make corpus ~mode ~rng }
 
-type t = {
-  rng : Nf_stdext.Rng.t;
-  mode : mode;
-  mutable queue : entry array;
-  mutable queue_len : int;
-  mutable virgin : Bitmap.virgin;
-  mutable cursor : int;
-  mutable execs : int;
-  mutable finds : int;
-}
+let kind t = Corpus.kind t.corpus
+let spec t = Corpus.spec t.corpus
+let seed_input t data = Corpus.seed_input t.corpus data
+let import t data = Corpus.import t.corpus data
+let queue_entries t = Corpus.entries t.corpus
+let queue_size t = Corpus.size t.corpus
+let next_input t = Corpus.next_input t.corpus
 
-let create ?(mode = Guided) ~seed () =
-  {
-    rng = Nf_stdext.Rng.create seed;
-    mode;
-    queue = Array.make 64 { data = Input.zero (); fuzz_count = 0; discovered_at_us = 0L };
-    queue_len = 0;
-    virgin = Bitmap.create_virgin ();
-    cursor = 0;
-    execs = 0;
-    finds = 0;
-  }
+let report t ~input ?(crashed = false) ~bitmap ~now_us () =
+  Corpus.report t.corpus ~input ~crashed ~bitmap ~now_us
 
-let queue_push t e =
-  if t.queue_len = Array.length t.queue then begin
-    let bigger = Array.make (2 * t.queue_len) e in
-    Array.blit t.queue 0 bigger 0 t.queue_len;
-    t.queue <- bigger
-  end;
-  t.queue.(t.queue_len) <- e;
-  t.queue_len <- t.queue_len + 1
-
-let seed_input t data =
-  queue_push t { data = Input.copy data; fuzz_count = 0; discovered_at_us = 0L }
-
-(* Cross-worker corpus sync (AFL++ -M/-S import): the entry was already
-   judged interesting by another instance, so it joins the queue without
-   consulting this instance's virgin bits.  Imports do not count as
-   [finds] — they are not this worker's discoveries. *)
-let import t data =
-  queue_push t { data = Input.copy data; fuzz_count = 0; discovered_at_us = 0L }
-
-let queue_entries t =
-  List.init t.queue_len (fun i -> Input.copy t.queue.(i).data)
-
-let queue_size t = t.queue_len
-
-(** Propose the next input to execute. *)
-let next_input t : Bytes.t =
-  t.execs <- t.execs + 1;
-  match t.mode with
-  | Blind ->
-      (* No feedback: random inputs, or havoc over a random previous one
-         so the harness still sees structured bytes occasionally. *)
-      if t.queue_len > 0 && Nf_stdext.Rng.chance t.rng ~num:1 ~den:2 then begin
-        let e = t.queue.(Nf_stdext.Rng.int t.rng t.queue_len) in
-        Input.havoc t.rng e.data
-      end
-      else Input.random t.rng
-  | Guided ->
-      if t.queue_len = 0 then Input.random t.rng
-      else begin
-        (* Round-robin with energy: entries found recently get more
-           attention (simplified AFL++ scheduling). *)
-        t.cursor <- (t.cursor + 1) mod t.queue_len;
-        let e = t.queue.(t.cursor) in
-        e.fuzz_count <- e.fuzz_count + 1;
-        if e.fuzz_count <= 48 then begin
-          (* Deterministic stage: walk single-bit flips across the whole
-             input with a coprime stride, AFL++'s bitflip 1/1.  This is
-             what systematically exposes every harness directive byte. *)
-          let b = Input.copy e.data in
-          let pos = e.fuzz_count * 12289 mod (Input.size * 8) in
-          Input.set b (pos / 8) (Input.get b (pos / 8) lxor (1 lsl (pos mod 8)));
-          b
-        end
-        else begin
-          let donor =
-            if t.queue_len > 1 then
-              Some t.queue.(Nf_stdext.Rng.int t.rng t.queue_len).data
-            else None
-          in
-          Input.havoc t.rng ?donor e.data
-        end
-      end
-
-(** Report the bitmap observed for [input]; returns true when the input
-    exposed new behaviour (and, in guided mode, joined the queue).
-    Crashing inputs are never queued — AFL++ saves them to the crash
-    directory instead, or re-fuzzing them would turn the queue into a
-    crash loop. *)
-let report t ~input ?(crashed = false) ~(bitmap : Bitmap.t) ~now_us () =
-  match t.mode with
-  | Blind ->
-      (* Blind mode keeps a small reservoir for splicing but ignores
-         coverage. *)
-      if (not crashed) && t.queue_len < 32 then seed_input t input;
-      false
-  | Guided ->
-      let novel = Bitmap.has_new_bits ~virgin:t.virgin bitmap in
-      if novel && not crashed then begin
-        t.finds <- t.finds + 1;
-        queue_push t
-          { data = Input.copy input; fuzz_count = 0; discovered_at_us = now_us }
-      end;
-      novel
-
-let execs t = t.execs
-let finds t = t.finds
+let execs t = Corpus.execs t.corpus
+let finds t = Corpus.finds t.corpus
+let energy t = Corpus.energy t.corpus
 
 (* ------------------------------------------------------------------ *)
-(* Checkpointing.  The fuzzer is the heart of the campaign's dynamic
-   state; [persisted] is a transparent snapshot of everything that
-   matters — RNG stream position, queue (with per-entry energy
-   accounting), virgin bits, scheduling cursor and counters — so a
-   restored instance proposes exactly the inputs the original would
-   have. *)
+(* Checkpointing.  [persisted] is abstract: the corpus implementations
+   own their serialized shapes, and callers move snapshots around only
+   through the codec functions below.  Internally a snapshot is just an
+   independent fuzzer built by round-tripping through the codec — which
+   also makes [of_persisted (persist t)] trivially bit-identical to
+   [t]. *)
 
-type persisted = {
-  p_mode : mode;
-  p_rng_state : int64;
-  p_queue : (Bytes.t * int * int64) list; (* data, fuzz_count, discovered_at *)
-  p_cursor : int;
-  p_virgin : int array;
-  p_execs : int;
-  p_finds : int;
-}
+type persisted = t
 
-let persist t =
-  {
-    p_mode = t.mode;
-    p_rng_state = Nf_stdext.Rng.state t.rng;
-    p_queue =
-      List.init t.queue_len (fun i ->
-          let e = t.queue.(i) in
-          (Bytes.copy e.data, e.fuzz_count, e.discovered_at_us));
-    p_cursor = t.cursor;
-    p_virgin = Bitmap.virgin_to_array t.virgin;
-    p_execs = t.execs;
-    p_finds = t.finds;
-  }
+let write_persisted w (p : persisted) =
+  Persist.Writer.u8 w (Corpus.mode_code p.mode);
+  Persist.Writer.i64 w (Rng.state p.rng);
+  Corpus.write w p.corpus
 
-let of_persisted (p : persisted) =
-  if Array.length p.p_virgin <> Bitmap.size then
-    invalid_arg
-      (Printf.sprintf "Fuzzer.of_persisted: virgin map has %d buckets, expected %d"
-         (Array.length p.p_virgin) Bitmap.size);
-  let t = create ~mode:p.p_mode ~seed:0 () in
-  Nf_stdext.Rng.restore t.rng p.p_rng_state;
-  List.iter
-    (fun (data, fuzz_count, discovered_at_us) ->
-      queue_push t { data = Input.copy data; fuzz_count; discovered_at_us })
-    p.p_queue;
-  t.cursor <- p.p_cursor;
-  t.virgin <- Bitmap.virgin_of_array p.p_virgin;
-  t.execs <- p.p_execs;
-  t.finds <- p.p_finds;
-  t
+let read_persisted r : persisted =
+  let mode = Corpus.mode_of_code (Persist.Reader.u8 r) in
+  let rng_state = Persist.Reader.i64 r in
+  let rng = Rng.create 0 in
+  Rng.restore rng rng_state;
+  { rng; mode; corpus = Corpus.read ~mode ~rng r }
+
+(* The v2/v3 engine-checkpoint encoding: same header, then the bare
+   queue payload with no kind byte.  Only the default queue corpus can
+   round-trip through it. *)
+
+let write_persisted_legacy w (p : persisted) =
+  Persist.Writer.u8 w (Corpus.mode_code p.mode);
+  Persist.Writer.i64 w (Rng.state p.rng);
+  Corpus.write_legacy w p.corpus
+
+let read_persisted_legacy r : persisted =
+  let mode = Corpus.mode_of_code (Persist.Reader.u8 r) in
+  let rng_state = Persist.Reader.i64 r in
+  let rng = Rng.create 0 in
+  Rng.restore rng rng_state;
+  { rng; mode; corpus = Corpus.read_legacy ~mode ~rng r }
+
+let snapshot (t : t) : t =
+  let w = Persist.Writer.create () in
+  write_persisted w t;
+  read_persisted (Persist.Reader.of_string (Persist.Writer.contents w))
+
+let persist = snapshot
+let of_persisted = snapshot

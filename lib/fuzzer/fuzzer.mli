@@ -1,20 +1,36 @@
 (** Coverage-guided fuzzing core (the AFL++ extension of §4.1).
 
-    The engine owns the queue of interesting inputs and the virgin-bits
+    The engine owns a corpus of interesting inputs and the virgin-bits
     map.  Each cycle it proposes an input ({!next_input}); the agent runs
     the fuzz-harness VM with it, folds the coverage trace into an edge
     bitmap and reports back ({!report}).  Inputs that touch new bitmap
-    buckets join the queue; crashing inputs never do.
+    buckets join the corpus; crashing inputs never do.
+
+    Scheduling is pluggable: {!create} takes an {!Nf_corpus.Corpus.spec}
+    selecting one of the corpus implementations (AFL-style queue,
+    Markov/edge-rarity, UCB1 bandit, durable file-backed store); the
+    default queue is bit-identical to the pre-extraction scheduler.
 
     [Blind] mode never consults coverage — it models both the
     coverage-guidance ablation (Table 5) and the closed-source black-box
     setting (§5.4). *)
 
-type mode = Guided | Blind
+type mode = Nf_corpus.Corpus.mode = Guided | Blind
 
 type t
 
-val create : ?mode:mode -> seed:int -> unit -> t
+(** [create ?mode ?corpus ~seed ()] builds a fuzzer whose randomness is
+    fully determined by [seed].  [corpus] defaults to the AFL-style
+    queue ({!Nf_corpus.Corpus.default_spec}).
+    @raise Invalid_argument on a durable corpus spec with no store
+    directory. *)
+val create : ?mode:mode -> ?corpus:Nf_corpus.Corpus.spec -> seed:int -> unit -> t
+
+(** Which corpus implementation this fuzzer schedules from. *)
+val kind : t -> Nf_corpus.Corpus.kind
+
+(** The corpus spec this fuzzer was built with. *)
+val spec : t -> Nf_corpus.Corpus.spec
 
 (** Add an initial corpus entry. *)
 val seed_input : t -> Bytes.t -> unit
@@ -30,13 +46,13 @@ val import : t -> Bytes.t -> unit
 (** Current queue contents in discovery order (copies; imported entries
     included).  The parallel runner snapshots this at every sync interval
     to exchange new entries between workers without reaching into the
-    queue representation. *)
+    corpus representation. *)
 val queue_entries : t -> Bytes.t list
 
 val queue_size : t -> int
 
-(** Propose the next input to execute.  Guided mode interleaves a short
-    deterministic bit-flip stage per queue entry with havoc/splice. *)
+(** Propose the next input to execute, per the selected corpus
+    implementation's scheduling policy. *)
 val next_input : t -> Bytes.t
 
 (** Report the observed bitmap; returns true when the input exposed new
@@ -57,27 +73,49 @@ val execs : t -> int
 (** Queue entries discovered through coverage feedback. *)
 val finds : t -> int
 
+(** Current per-entry scheduling energy, index-aligned with
+    {!queue_entries} (see {!Nf_corpus.Corpus.S.energy}). *)
+val energy : t -> float array
+
 (** {1 Checkpointing}
 
-    A transparent snapshot of the fuzzer's full dynamic state: RNG
-    stream position, queue with per-entry energy accounting, virgin
-    bits, scheduling cursor and counters.  [of_persisted (persist t)]
-    is an instance whose future proposals are bit-identical to [t]'s —
-    the property the campaign checkpoint/resume invariant rests on. *)
+    A snapshot of the fuzzer's full dynamic state: RNG stream position,
+    corpus with per-entry scheduler accounting, virgin bits and
+    counters.  [of_persisted (persist t)] is an instance whose future
+    proposals are bit-identical to [t]'s — the property the campaign
+    checkpoint/resume invariant rests on.
 
-type persisted = {
-  p_mode : mode;
-  p_rng_state : int64;
-  p_queue : (Bytes.t * int * int64) list;
-      (** (data, fuzz_count, discovered_at_us), in queue order *)
-  p_cursor : int;
-  p_virgin : int array;
-  p_execs : int;
-  p_finds : int;
-}
+    [persisted] is abstract: each corpus implementation owns its
+    serialized shape, and snapshots only move through the codec
+    functions below (previously the record leaked representation details
+    like the raw virgin [int array]). *)
 
+type persisted
+
+(** An independent snapshot of [t] (shares no mutable state with it). *)
 val persist : t -> persisted
 
-(** @raise Invalid_argument when the virgin map has the wrong size
-    (a snapshot from an incompatible build). *)
+(** An independent fuzzer restored from a snapshot; future proposals are
+    bit-identical to the snapshotted instance's. *)
 val of_persisted : persisted -> t
+
+(** Serialize a snapshot: mode byte, RNG state, then the corpus's
+    self-describing encoding ({!Nf_corpus.Corpus.write}).  Used by
+    engine checkpoint formats v4+. *)
+val write_persisted : Nf_persist.Persist.Writer.t -> persisted -> unit
+
+(** Inverse of {!write_persisted}.
+    @raise Nf_persist.Persist.Reader.Corrupt on malformed input. *)
+val read_persisted : Nf_persist.Persist.Reader.t -> persisted
+
+(** Serialize a snapshot in the v2/v3 engine-checkpoint layout (bare
+    queue payload, no corpus kind byte) — byte-identical to the
+    pre-extraction format, which the golden digests pin.
+    @raise Invalid_argument unless the snapshot holds the default queue
+    corpus. *)
+val write_persisted_legacy : Nf_persist.Persist.Writer.t -> persisted -> unit
+
+(** Inverse of {!write_persisted_legacy}; always restores into the
+    default queue corpus.
+    @raise Nf_persist.Persist.Reader.Corrupt on malformed input. *)
+val read_persisted_legacy : Nf_persist.Persist.Reader.t -> persisted

@@ -1,86 +1,7 @@
-(** Fuzzing inputs and mutation operators.
+(** Compatibility shim: the input representation and mutators moved to
+    {!Nf_corpus.Input} when the corpus subsystem was extracted (the
+    schedulers need the mutators, and the fuzzer depends on the corpus,
+    so the types had to live below both).  Existing callers keep using
+    [Nf_fuzzer.Input] unchanged. *)
 
-    NecoFuzz extends AFL++: the unit of fuzzing is a fixed-size 2 KiB
-    binary blob (§4.1) that the agent embeds into the UEFI executor.  The
-    mutators are the AFL++ havoc repertoire restricted to fixed-size
-    inputs (no trimming/insertion — the harness parses fixed offsets). *)
-
-let size = 2048
-
-let zero () = Bytes.make size '\000'
-
-let random rng =
-  let b = Bytes.create size in
-  Nf_stdext.Rng.fill_bytes rng b;
-  b
-
-let copy = Bytes.copy
-
-(* Interesting values, per AFL. *)
-let interesting8 = [| 0; 1; 16; 32; 64; 100; 127; 128; 255 |]
-let interesting64 =
-  [| 0L; 1L; -1L; 0x7FFF_FFFF_FFFF_FFFFL; 0x8000_0000_0000_0000L;
-     0xFFFF_FFFFL; 0x1_0000_0000L; 0xFFFF_8000_0000_0000L |]
-
-let get b i = Char.code (Bytes.get b (i mod size))
-let set b i v = Bytes.set b (i mod size) (Char.chr (v land 0xFF))
-
-type mutator =
-  | Bit_flip
-  | Byte_set
-  | Byte_arith
-  | Interesting_byte
-  | Interesting_word
-  | Block_copy
-  | Block_constant
-  | Splice
-
-let mutators =
-  [| Bit_flip; Byte_set; Byte_arith; Interesting_byte; Interesting_word;
-     Block_copy; Block_constant; Splice |]
-
-let apply_one rng ?donor b =
-  match Nf_stdext.Rng.pick rng mutators with
-  | Bit_flip ->
-      let i = Nf_stdext.Rng.int rng size in
-      set b i (get b i lxor (1 lsl Nf_stdext.Rng.int rng 8))
-  | Byte_set -> set b (Nf_stdext.Rng.int rng size) (Nf_stdext.Rng.byte rng)
-  | Byte_arith ->
-      let i = Nf_stdext.Rng.int rng size in
-      let delta = 1 + Nf_stdext.Rng.int rng 35 in
-      let delta = if Nf_stdext.Rng.bool rng then delta else -delta in
-      set b i (get b i + delta)
-  | Interesting_byte ->
-      set b (Nf_stdext.Rng.int rng size) (Nf_stdext.Rng.pick rng interesting8)
-  | Interesting_word ->
-      let i = Nf_stdext.Rng.int rng (size - 8) in
-      let v = Nf_stdext.Rng.pick rng interesting64 in
-      for k = 0 to 7 do
-        set b (i + k) (Int64.to_int (Int64.shift_right_logical v (8 * k)))
-      done
-  | Block_copy ->
-      let len = 1 + Nf_stdext.Rng.int rng 64 in
-      let src = Nf_stdext.Rng.int rng (size - len) in
-      let dst = Nf_stdext.Rng.int rng (size - len) in
-      Bytes.blit b src b dst len
-  | Block_constant ->
-      let len = 1 + Nf_stdext.Rng.int rng 64 in
-      let dst = Nf_stdext.Rng.int rng (size - len) in
-      Bytes.fill b dst len (Char.chr (Nf_stdext.Rng.byte rng))
-  | Splice -> (
-      match donor with
-      | None -> set b (Nf_stdext.Rng.int rng size) (Nf_stdext.Rng.byte rng)
-      | Some d ->
-          let len = 16 + Nf_stdext.Rng.int rng 256 in
-          let len = min len size in
-          let off = Nf_stdext.Rng.int rng (size - len + 1) in
-          Bytes.blit d off b off len)
-
-(** AFL++-style havoc: stack 1..n mutations. *)
-let havoc rng ?donor parent =
-  let b = copy parent in
-  let n = 1 lsl Nf_stdext.Rng.int rng 6 (* 1..32 *) in
-  for _ = 1 to n do
-    apply_one rng ?donor b
-  done;
-  b
+include Nf_corpus.Input

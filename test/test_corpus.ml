@@ -1,0 +1,393 @@
+(* Tests for the pluggable corpus subsystem: spec parsing, the golden
+   pin that the default queue stayed bit-identical to the pre-extraction
+   scheduler, per-implementation checkpoint/resume determinism (the
+   restored instance proposes the same input stream), checkpoint format
+   versioning (v2/v3 legacy queue vs v4/v5 self-describing corpus),
+   parallel-merge determinism per implementation, and the durable
+   store's on-disk behaviour. *)
+
+module Corpus = Nf_corpus.Corpus
+module Fuzzer = Nf_fuzzer.Fuzzer
+module Input = Nf_fuzzer.Input
+module Engine = Nf_engine.Engine
+module Bitmap = Nf_coverage.Coverage.Bitmap
+module Persist = Nf_persist.Persist
+module Rng = Nf_stdext.Rng
+
+let check = Alcotest.check
+let tmpdir () = Filename.temp_dir "nf-test-corpus" ""
+let hex s = Digest.to_hex (Digest.string s)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Every corpus selection under test.  Durable needs a directory, so
+   specs are generated per call site (fresh store per test). *)
+let all_specs () =
+  List.map
+    (fun (name, kind) ->
+      let dir =
+        if kind = Corpus.Durable then Some (tmpdir ()) else None
+      in
+      (name, { Corpus.kind; dir }))
+    Corpus.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_of_string () =
+  List.iter
+    (fun (name, kind) ->
+      match Corpus.spec_of_string ~dir:"/tmp/x" name with
+      | Ok s ->
+          check Alcotest.string ("parse " ^ name) (Corpus.kind_name kind)
+            (Corpus.kind_name s.Corpus.kind)
+      | Error e -> Alcotest.failf "parse %s: %s" name e)
+    Corpus.all_kinds;
+  (* Case-insensitive, like --target. *)
+  (match Corpus.spec_of_string "MARKOV" with
+  | Ok s -> check Alcotest.bool "MARKOV" true (s.Corpus.kind = Corpus.Markov)
+  | Error e -> Alcotest.failf "MARKOV: %s" e);
+  (* Durable without a directory is a descriptive error, not a crash. *)
+  (match Corpus.spec_of_string "durable" with
+  | Ok _ -> Alcotest.fail "durable without dir accepted"
+  | Error e ->
+      check Alcotest.bool "names the problem" true (contains ~sub:"directory" e));
+  (* Unknown names list the vocabulary. *)
+  match Corpus.spec_of_string "afl" with
+  | Ok _ -> Alcotest.fail "unknown corpus accepted"
+  | Error e ->
+      List.iter
+        (fun (name, _) ->
+          check Alcotest.bool ("error lists " ^ name) true (contains ~sub:name e))
+        Corpus.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Golden pin: --corpus queue is the pre-extraction scheduler           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same fixed-seed campaign as test_perf_golden, but with the corpus
+   selection passed explicitly: extracting the scheduler behind the
+   CORPUS module type must not have moved a single byte of the v2
+   checkpoint. *)
+let test_golden_explicit_queue () =
+  let cfg =
+    { (Engine.default_cfg Engine.Kvm_intel) with duration_hours = 1.0; seed = 1 }
+  in
+  let t = Engine.create ~corpus:Corpus.default_spec cfg in
+  let rec drive () =
+    match Engine.step t with Engine.Stepped _ -> drive () | Engine.Deadline -> ()
+  in
+  drive ();
+  let blob = Engine.to_string t in
+  check Alcotest.string "explicit queue reproduces the golden digest"
+    "04844a6fcbe6e32b62a09c1f410042fc" (hex blob);
+  check
+    Alcotest.(option int)
+    "still the legacy v2 frame" (Some 2)
+    (Persist.peek_version ~magic:"NECOFUZZ-CKPT" blob)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format versioning                                         *)
+(* ------------------------------------------------------------------ *)
+
+let short_cfg ?(seed = 7) target =
+  { (Engine.default_cfg target) with duration_hours = 0.3; seed }
+
+let version_of blob = Persist.peek_version ~magic:"NECOFUZZ-CKPT" blob
+
+let drive_n t n =
+  for _ = 1 to n do
+    ignore (Engine.step t)
+  done
+
+let test_checkpoint_versions () =
+  let markov = { Corpus.kind = Corpus.Markov; dir = None } in
+  let cases =
+    [
+      ("queue", Engine.create (short_cfg Engine.Kvm_intel), 2);
+      ( "queue differential",
+        Engine.create ~differential:true (short_cfg Engine.Kvm_intel),
+        3 );
+      ("markov", Engine.create ~corpus:markov (short_cfg Engine.Kvm_intel), 4);
+      ( "markov differential",
+        Engine.create ~differential:true ~corpus:markov
+          (short_cfg Engine.Kvm_intel),
+        5 );
+    ]
+  in
+  List.iter
+    (fun (label, t, version) ->
+      drive_n t 50;
+      let blob = Engine.to_string t in
+      check Alcotest.(option int) (label ^ " frame version") (Some version)
+        (version_of blob);
+      (* The codec is its own inverse: decode and re-encode is stable,
+         and the corpus implementation survives the round-trip. *)
+      match Engine.of_string blob with
+      | Error e -> Alcotest.failf "%s restore: %s" label e
+      | Ok t' ->
+          check Alcotest.string (label ^ " re-encode stable") (hex blob)
+            (hex (Engine.to_string t'));
+          check Alcotest.string (label ^ " kind preserved")
+            (Corpus.kind_name (Engine.corpus_kind t))
+            (Corpus.kind_name (Engine.corpus_kind t')))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Per-implementation determinism                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic coverage trace derived from the input bytes alone, so
+   a fuzzer can be driven without the harness: novelty then depends only
+   on the proposal stream, which is exactly what is under test. *)
+let synthetic_bitmap input =
+  let bm = Bitmap.create () in
+  let h = Hashtbl.hash (Bytes.to_string input) in
+  for i = 0 to 15 do
+    Bitmap.record bm ((h + (i * 37)) land 0xFFF)
+  done;
+  bm
+
+let drive_fuzzer f n =
+  for i = 1 to n do
+    let input = Fuzzer.next_input f in
+    let bitmap = synthetic_bitmap input in
+    ignore
+      (Fuzzer.report f ~input ~bitmap ~now_us:(Int64.of_int (i * 1000)) ())
+  done
+
+let next_inputs f n = List.init n (fun _ -> Bytes.to_string (Fuzzer.next_input f))
+
+(* Drive k executions, snapshot, push the snapshot through the wire
+   codec, and compare the next n proposals of the live instance against
+   the restored one: they must be byte-identical for every corpus
+   implementation (and the snapshot must not alias live state). *)
+let prop_resume_determinism =
+  QCheck.Test.make ~name:"corpus: checkpoint/resume proposal stream" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      List.for_all
+        (fun (_, spec) ->
+          let f = Fuzzer.create ~corpus:spec ~seed () in
+          let srng = Rng.create (seed + 17) in
+          for _ = 1 to 3 do
+            Fuzzer.seed_input f (Input.random srng)
+          done;
+          drive_fuzzer f 120;
+          let w = Persist.Writer.create () in
+          Fuzzer.write_persisted w (Fuzzer.persist f);
+          let r = Persist.Reader.of_string (Persist.Writer.contents w) in
+          let f' = Fuzzer.of_persisted (Fuzzer.read_persisted r) in
+          next_inputs f 40 = next_inputs f' 40)
+        (all_specs ()))
+
+(* The legacy codec round-trips the queue the same way. *)
+let prop_legacy_roundtrip =
+  QCheck.Test.make ~name:"corpus: legacy queue codec round-trip" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let f = Fuzzer.create ~seed () in
+      let srng = Rng.create (seed + 3) in
+      for _ = 1 to 3 do
+        Fuzzer.seed_input f (Input.random srng)
+      done;
+      drive_fuzzer f 80;
+      let w = Persist.Writer.create () in
+      Fuzzer.write_persisted_legacy w (Fuzzer.persist f);
+      let r = Persist.Reader.of_string (Persist.Writer.contents w) in
+      let f' = Fuzzer.of_persisted (Fuzzer.read_persisted_legacy r) in
+      next_inputs f 40 = next_inputs f' 40)
+
+(* Writing a non-queue corpus through the legacy codec is a programming
+   error, loudly. *)
+let test_legacy_rejects_non_queue () =
+  let f =
+    Fuzzer.create ~corpus:{ Corpus.kind = Corpus.Mab; dir = None } ~seed:5 ()
+  in
+  let w = Persist.Writer.create () in
+  match Fuzzer.write_persisted_legacy w (Fuzzer.persist f) with
+  | () -> Alcotest.fail "legacy codec accepted a bandit corpus"
+  | exception Invalid_argument _ -> ()
+
+(* Engine-level: resume mid-campaign and the final checkpoint equals the
+   uninterrupted run's, for every implementation. *)
+let test_engine_resume_per_impl () =
+  List.iter
+    (fun (name, spec) ->
+      let mk () = Engine.create ~corpus:spec (short_cfg Engine.Kvm_amd) in
+      let uninterrupted = mk () in
+      let rec drive t =
+        match Engine.step t with
+        | Engine.Stepped _ -> drive t
+        | Engine.Deadline -> ()
+      in
+      drive uninterrupted;
+      let t = mk () in
+      drive_n t 200;
+      match Engine.of_string (Engine.to_string t) with
+      | Error e -> Alcotest.failf "%s: resume failed: %s" name e
+      | Ok t' ->
+          drive t';
+          check Alcotest.string (name ^ ": resumed digest")
+            (hex (Engine.to_string uninterrupted))
+            (hex (Engine.to_string t')))
+    (List.filter
+       (fun (_, s) -> s.Corpus.kind <> Corpus.Durable)
+       (all_specs ()))
+
+(* The durable variant separately.  The checkpoint embeds the store
+   directory, so both runs must name the same path for their digests to
+   be comparable — and the store is wiped in between, otherwise the
+   second run would replay the first one's discoveries as seeds. *)
+let test_engine_resume_durable () =
+  let dir = tmpdir () in
+  let wipe () =
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".bin" then
+          Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+  in
+  let mk () =
+    Engine.create
+      ~corpus:{ Corpus.kind = Corpus.Durable; dir = Some dir }
+      (short_cfg Engine.Kvm_amd)
+  in
+  let rec drive t =
+    match Engine.step t with Engine.Stepped _ -> drive t | Engine.Deadline -> ()
+  in
+  let full =
+    let t = mk () in
+    drive t;
+    hex (Engine.to_string t)
+  in
+  wipe ();
+  let resumed =
+    let t = mk () in
+    drive_n t 200;
+    match Engine.of_string (Engine.to_string t) with
+    | Error e -> Alcotest.failf "durable resume failed: %s" e
+    | Ok t' ->
+        drive t';
+        hex (Engine.to_string t')
+  in
+  check Alcotest.string "durable: resumed digest" full resumed
+
+(* run_parallel is deterministic for every corpus implementation: two
+   invocations produce identical merged campaigns. *)
+let test_parallel_deterministic_per_impl () =
+  List.iter
+    (fun (name, spec) ->
+      let options = { Engine.default_options with corpus = spec } in
+      let cfg = short_cfg ~seed:3 Engine.Kvm_intel in
+      let a = Engine.run_parallel ~options ~jobs:2 cfg in
+      let b = Engine.run_parallel ~options ~jobs:2 cfg in
+      check Alcotest.int (name ^ ": execs equal") a.Engine.merged.execs
+        b.Engine.merged.execs;
+      check Alcotest.int (name ^ ": corpus equal") a.Engine.merged.corpus_size
+        b.Engine.merged.corpus_size;
+      let cov (r : Engine.result) =
+        hex
+          (String.concat ","
+             (Array.to_list
+                (Array.map string_of_int
+                   (Nf_coverage.Coverage.Map.raw_hits r.coverage))))
+      in
+      check Alcotest.string (name ^ ": coverage digest equal")
+        (cov a.Engine.merged) (cov b.Engine.merged))
+    (List.filter
+       (fun (_, s) -> s.Corpus.kind <> Corpus.Durable)
+       (all_specs ()))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-specific behaviour                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_energy_shapes () =
+  List.iter
+    (fun (name, spec) ->
+      let f = Fuzzer.create ~corpus:spec ~seed:11 () in
+      let srng = Rng.create 23 in
+      for _ = 1 to 4 do
+        Fuzzer.seed_input f (Input.random srng)
+      done;
+      drive_fuzzer f 60;
+      let e = Fuzzer.energy f in
+      check Alcotest.int (name ^ ": energy per entry") (Fuzzer.queue_size f)
+        (Array.length e);
+      (* Queue energy is flat by definition. *)
+      if spec.Corpus.kind = Corpus.Queue then
+        Array.iter
+          (fun x -> check (Alcotest.float 0.0) (name ^ ": flat") 1.0 x)
+          e)
+    (all_specs ())
+
+(* ------------------------------------------------------------------ *)
+(* Durable store                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bin_files dir =
+  List.sort compare
+    (List.filter
+       (fun f -> Filename.check_suffix f ".bin")
+       (Array.to_list (Sys.readdir dir)))
+
+let test_durable_store_survives () =
+  let dir = tmpdir () in
+  let spec = { Corpus.kind = Corpus.Durable; dir = Some dir } in
+  let f = Fuzzer.create ~corpus:spec ~seed:2 () in
+  let srng = Rng.create 5 in
+  let seeds = List.init 3 (fun _ -> Input.random srng) in
+  List.iter (Fuzzer.seed_input f) seeds;
+  check Alcotest.int "one file per entry" 3 (List.length (bin_files dir));
+  (* Re-seeding the same content is idempotent on disk. *)
+  List.iter (Fuzzer.seed_input f) seeds;
+  check Alcotest.int "content-addressed dedup" 3 (List.length (bin_files dir));
+  (* A fresh instance on the same directory replays the store. *)
+  let f' = Fuzzer.create ~corpus:spec ~seed:9 () in
+  check Alcotest.int "store replayed" 3 (Fuzzer.queue_size f');
+  let sorted l = List.sort compare (List.map Bytes.to_string l) in
+  check
+    Alcotest.(list string)
+    "replayed bytes equal" (sorted seeds)
+    (sorted (Fuzzer.queue_entries f'))
+
+let test_durable_store_skips_corruption () =
+  let dir = tmpdir () in
+  let spec = { Corpus.kind = Corpus.Durable; dir = Some dir } in
+  let f = Fuzzer.create ~corpus:spec ~seed:2 () in
+  Fuzzer.seed_input f (Input.random (Rng.create 5));
+  (* Unreadable junk and a well-framed entry of the wrong size must both
+     be skipped, not crash construction. *)
+  let oc = open_out (Filename.concat dir "junk.bin") in
+  output_string oc "not a corpus entry";
+  close_out oc;
+  Persist.save ~magic:"NECOFUZZ-CORP" ~version:1
+    ~path:(Filename.concat dir "short.bin") (fun w ->
+      Persist.Writer.bytes w (Bytes.make 7 'x'));
+  let f' = Fuzzer.create ~corpus:spec ~seed:9 () in
+  check Alcotest.int "only the valid entry loads" 1 (Fuzzer.queue_size f')
+
+let tests =
+  [
+    ("spec_of_string vocabulary and errors", `Quick, test_spec_of_string);
+    ("golden: explicit --corpus queue digest", `Quick, test_golden_explicit_queue);
+    ("checkpoint versions v2-v5", `Quick, test_checkpoint_versions);
+    ("legacy codec rejects non-queue", `Quick, test_legacy_rejects_non_queue);
+    ("engine resume per implementation", `Quick, test_engine_resume_per_impl);
+    ("engine resume, durable store", `Quick, test_engine_resume_durable);
+    ( "run_parallel deterministic per implementation",
+      `Quick,
+      test_parallel_deterministic_per_impl );
+    ("energy vector shapes", `Quick, test_energy_shapes);
+    ("durable store: persist and replay", `Quick, test_durable_store_survives);
+    ( "durable store: corruption skipped",
+      `Quick,
+      test_durable_store_skips_corruption );
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_resume_determinism; prop_legacy_roundtrip ]

@@ -294,7 +294,11 @@ let short_cfg target =
   }
 
 let test_campaign_reports_bochs_bugs () =
-  let r = Engine.run ~differential:true (short_cfg Engine.Kvm_intel) in
+  let r =
+    Engine.run
+      ~options:{ Engine.default_options with differential = true }
+      (short_cfg Engine.Kvm_intel)
+  in
   let bochs =
     List.filter
       (fun (d : Diff.divergence) -> d.Diff.impl = "bochs-legacy")
@@ -316,7 +320,10 @@ let test_disabled_mode_empty_and_inert () =
   (* Same cfg with the oracle off: no divergences, identical trajectory
      and checkpoint bytes as ever (v2). *)
   let cfg = short_cfg Engine.Kvm_intel in
-  let off = Engine.run cfg and on_ = Engine.run ~differential:true cfg in
+  let off = Engine.run cfg
+  and on_ =
+    Engine.run ~options:{ Engine.default_options with differential = true } cfg
+  in
   Alcotest.(check int) "off: no divergences" 0
     (List.length off.Engine.divergences);
   Alcotest.(check int) "same execs" off.Engine.execs on_.Engine.execs;
@@ -365,7 +372,11 @@ let test_resume_bit_identical () =
 
 let test_parallel_merge_deterministic () =
   let cfg = short_cfg Engine.Kvm_intel in
-  let go () = Engine.run_parallel ~differential:true ~jobs:2 cfg in
+  let go () =
+    Engine.run_parallel
+      ~options:{ Engine.default_options with differential = true }
+      ~jobs:2 cfg
+  in
   let a = go () and b = go () in
   Alcotest.(check bool) "two runs agree" true
     (a.Engine.merged.Engine.divergences = b.Engine.merged.Engine.divergences);

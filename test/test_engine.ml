@@ -114,7 +114,11 @@ let test_parallel_deterministic_and_superset () =
 let test_parallel_sync_imports () =
   let cfg = short_cfg ~hours:0.6 Engine.Kvm_intel in
   let seq = Engine.run cfg in
-  let par = Engine.run_parallel ~jobs:3 ~sync_hours:0.2 cfg in
+  let par =
+    Engine.run_parallel
+      ~options:{ Engine.default_options with sync_hours = Some 0.2 }
+      ~jobs:3 cfg
+  in
   Alcotest.(check bool) "merged corpus beyond sequential" true
     (par.merged.corpus_size > seq.corpus_size);
   Array.iter

@@ -14,6 +14,7 @@ let () =
       ("agent", Test_agent.tests);
       ("engine", Test_engine.tests);
       ("persist", Test_persist.tests);
+      ("corpus", Test_corpus.tests);
       ("obs", Test_obs.tests);
       ("diff", Test_diff.tests);
       ("baselines", Test_baselines.tests);

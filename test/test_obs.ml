@@ -356,7 +356,15 @@ let test_parallel_supervisor_events () =
     if worker = 1 && round = 1 && attempt = 0 then failwith "chaos"
   in
   let out =
-    Engine.run_parallel ~jobs:2 ~sync_hours:0.2 ~chaos ~obs:sink cfg
+    Engine.run_parallel
+      ~options:
+        {
+          Engine.default_options with
+          sync_hours = Some 0.2;
+          chaos = Some chaos;
+          obs = sink;
+        }
+      ~jobs:2 cfg
   in
   (match out.supervision.(1) with
   | Engine.Recovered 1 -> ()
@@ -398,7 +406,12 @@ let test_parallel_supervisor_events () =
     syncs;
   (* Tracing the supervisor is inert too: same campaign without the
      sink produces identical merged metrics. *)
-  let plain = Engine.run_parallel ~jobs:2 ~sync_hours:0.2 ~chaos cfg in
+  let plain =
+    Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:2 cfg
+  in
   check Alcotest.bool "supervisor tracing inert" true
     (Obs.Metrics.to_list plain.merged.metrics
     = Obs.Metrics.to_list out.merged.metrics)

@@ -313,7 +313,10 @@ let test_worker_death_recovered () =
     if worker = 1 && round = 2 && attempt = 0 then
       raise (Chaos "injected worker death")
   in
-  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  let o = Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:2 cfg in
   check Alcotest.int "both workers reported" 2 (Array.length o.supervision);
   (match o.supervision.(0) with
   | Engine.Healthy -> ()
@@ -324,7 +327,10 @@ let test_worker_death_recovered () =
   check Alcotest.bool "supervisor restart recorded" true (o.merged.restarts > 0);
   check Alcotest.bool "campaign completed" true (o.merged.execs > 0);
   (* recovery is deterministic: same chaos, same merged result *)
-  let o' = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  let o' = Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:2 cfg in
   check_results_equal "deterministic recovery" o.merged o'.merged
 
 let test_worker_abandoned_graceful () =
@@ -334,7 +340,10 @@ let test_worker_abandoned_graceful () =
   let chaos ~worker ~round:_ ~attempt:_ =
     if worker = 1 then raise (Chaos "persistent worker death")
   in
-  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  let o = Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:2 cfg in
   (match o.supervision.(1) with
   | Engine.Abandoned { attempts; error } ->
       check Alcotest.int "budget spent" 4 attempts;
@@ -348,7 +357,10 @@ let test_worker_abandoned_graceful () =
   check Alcotest.bool "abandoned worker frozen at its barrier" true
     (o.workers.(1).execs < o.workers.(0).execs);
   (* degradation is deterministic too *)
-  let o' = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:2 cfg in
+  let o' = Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:2 cfg in
   check_results_equal "deterministic degradation" o.merged o'.merged
 
 let test_jobs1_supervision_unaffected () =
@@ -363,7 +375,12 @@ let test_jobs1_supervision_unaffected () =
   let chaos ~worker:_ ~round ~attempt =
     if round = 1 && attempt = 0 then raise (Chaos "solo death")
   in
-  let o = Engine.run_parallel ~sync_hours:0.2 ~chaos ~jobs:1 cfg in
+  let o =
+    Engine.run_parallel
+      ~options:
+        { Engine.default_options with sync_hours = Some 0.2; chaos = Some chaos }
+      ~jobs:1 cfg
+  in
   (match o.supervision.(0) with
   | Engine.Recovered 1 -> ()
   | _ -> Alcotest.fail "solo worker should be Recovered 1");
