@@ -9,9 +9,10 @@
      dune exec bench/main.exe -- --exp parallel -- --jobs scaling scenario
      dune exec bench/main.exe -- --exp throughput -- wall-clock execs/sec
      dune exec bench/main.exe -- --exp corpus     -- corpus-scheduler shoot-out
+     dune exec bench/main.exe -- --exp fleet      -- fleet-vs-parallel digest gate
 
    Experiments: t1 t2 f3 t3 f4 f5 t4 t5 t6 lessons differential micro
-   parallel throughput corpus.
+   parallel throughput corpus fleet.
 
    Besides the human-readable tables, every experiment drops a
    machine-readable BENCH_<exp>.json next to the cwd (or --out-dir DIR)
@@ -263,6 +264,64 @@ let corpus_indirection () =
         ("budget_pct", Json.Float indirection_budget_pct);
       ],
     overhead_pct )
+
+(* Fleet equivalence benchmark: the distributed leader/worker protocol
+   (run in-process over a simulated chaotic network) must merge to the
+   exact digest of the Domain-parallel runner, and we report the
+   wall-clock cost of the wire protocol next to it.  The digest check is
+   a hard gate: a mismatch is a protocol bug, so the bench exits
+   nonzero. *)
+let fleet_bench () =
+  let hours = 1.0 and jobs = 2 and fault_rate = 0.1 and fault_seed = 1 in
+  let cfg =
+    {
+      (Necofuzz.campaign ~target:Necofuzz.Kvm_intel ~seed:1 ~hours ()) with
+      Necofuzz.Engine.checkpoint_hours = 0.2;
+    }
+  in
+  Format.fprintf ppf
+    "@.== Fleet protocol equivalence (KVM/Intel, %.0f vh, %d workers, fault \
+     rate %g) ==@."
+    hours jobs fault_rate;
+  let t0 = Unix.gettimeofday () in
+  let golden = Necofuzz.Engine.run_parallel ~jobs cfg in
+  let wall_parallel = Unix.gettimeofday () -. t0 in
+  let golden_digest = Necofuzz.Engine.result_digest golden.merged in
+  let t1 = Unix.gettimeofday () in
+  let o = Necofuzz.Fleet.run_sim ~fault_rate ~fault_seed ~jobs cfg in
+  let wall_fleet = Unix.gettimeofday () -. t1 in
+  let fleet_digest = Necofuzz.Engine.result_digest o.fleet.merged in
+  let matches = String.equal golden_digest fleet_digest in
+  Format.fprintf ppf "%12s %34s %9s@." "runner" "digest" "wall(s)";
+  Format.fprintf ppf "%12s %34s %9.2f@." "run_parallel" golden_digest
+    wall_parallel;
+  Format.fprintf ppf "%12s %34s %9.2f@." "fleet" fleet_digest wall_fleet;
+  Format.fprintf ppf
+    "faults injected: %d, retries: %d, joins: %d, deaths: %d -> digest %s@."
+    o.stats.faults o.stats.retries o.stats.joins o.stats.deaths
+    (if matches then "MATCH" else "MISMATCH");
+  bench_json "fleet"
+    [
+      ("jobs", Json.Int jobs);
+      ("hours", Json.Float hours);
+      ("fault_rate", Json.Float fault_rate);
+      ("fault_seed", Json.Int fault_seed);
+      ("digest_match", Json.Bool matches);
+      ("golden_digest", Json.String golden_digest);
+      ("fleet_digest", Json.String fleet_digest);
+      ("execs", Json.Int o.fleet.merged.execs);
+      ("corpus", Json.Int o.fleet.merged.corpus_size);
+      ("faults", Json.Int o.stats.faults);
+      ("retries", Json.Int o.stats.retries);
+      ("wall_parallel_s", Json.Float wall_parallel);
+      ("wall_fleet_s", Json.Float wall_fleet);
+    ];
+  if not matches then begin
+    Format.eprintf
+      "bench: fleet digest %s does not match run_parallel digest %s@."
+      fleet_digest golden_digest;
+    exit 1
+  end
 
 let corpus_bench ~gate () =
   let budget = List.fold_left max 0 corpus_samples in
@@ -638,6 +697,7 @@ let () =
         ]
   | Some "micro" -> micro ()
   | Some "corpus" -> corpus_bench ~gate:(List.mem "--gate" args) ()
+  | Some "fleet" -> fleet_bench ()
   | Some "parallel" -> parallel ()
   | Some "throughput" ->
       let jobs =

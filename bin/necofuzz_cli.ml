@@ -504,10 +504,201 @@ let validate_model_cmd =
          "Differential-test the VM state validator against the hardware           oracle (the self-correction loop of the paper's Sec. 3.4).")
     Term.(const run $ samples)
 
+(* The distributed fleet.  A single command with a positional verb
+   (rather than a nested Cmd.group) so unknown subcommands follow the
+   repo-wide usage-error convention: a "necofuzz: ..." diagnostic and
+   exit 2. *)
+let fleet_cmd =
+  let verb =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:
+            "$(b,lead) listens on --listen and merges a fleet campaign; \
+             $(b,work) connects a worker to --connect; $(b,golden) runs the \
+             equivalent in-process campaign (Engine.run_parallel) and prints \
+             the reference digest.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Leader listen address: unix:PATH or tcp:HOST:PORT.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Leader address a worker connects to: unix:PATH or \
+                tcp:HOST:PORT.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Fleet size (worker slots).")
+  in
+  let target =
+    Arg.(
+      value
+      & opt target_conv Necofuzz.Kvm_intel
+      & info [ "target"; "t" ] ~docv:"TARGET"
+          ~doc:"L0 hypervisor: kvm-intel, kvm-amd, xen-intel, xen-amd, vbox.")
+  in
+  let hours =
+    Arg.(
+      value & opt float 12.0
+      & info [ "hours" ] ~docv:"H" ~doc:"Virtual campaign duration in hours.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let sync_hours =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sync-hours" ] ~docv:"H"
+          ~doc:"Barrier pitch in virtual hours (default: the checkpoint \
+                interval).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Heartbeat/retransmission timeout in milliseconds (leader: \
+                silence before a worker is presumed dead; worker: wait \
+                before re-sending a request).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:"Worker-side wire-fault injection probability per frame \
+                (chaos testing; the merged digest must not change).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Wire-fault injection seed.")
+  in
+  let worker_slot =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "worker" ] ~docv:"N"
+          ~doc:"Rejoin as worker slot N after a restart (resyncs from the \
+                leader's barrier checkpoint).")
+  in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:"Run the fleet campaign with the cross-hypervisor \
+                differential oracle enabled.")
+  in
+  let run verb listen connect jobs target hours seed sync_hours timeout_ms
+      fault_rate fault_seed worker_slot differential =
+    if jobs < 1 then begin
+      Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
+      exit 2
+    end;
+    if hours <= 0.0 then begin
+      Format.eprintf "necofuzz: --hours must be positive (got %g)@." hours;
+      exit 2
+    end;
+    (match sync_hours with
+    | Some h when h <= 0.0 ->
+        Format.eprintf "necofuzz: --sync-hours must be positive (got %g)@." h;
+        exit 2
+    | _ -> ());
+    if not (fault_rate >= 0.0 && fault_rate <= 1.0) then begin
+      Format.eprintf "necofuzz: --fault-rate must be within [0, 1] (got %g)@."
+        fault_rate;
+      exit 2
+    end;
+    if timeout_ms < 1 then begin
+      Format.eprintf "necofuzz: --timeout-ms must be positive (got %d)@."
+        timeout_ms;
+      exit 2
+    end;
+    let addr_of flag = function
+      | None ->
+          Format.eprintf "necofuzz: fleet %s requires %s@." verb flag;
+          exit 2
+      | Some s -> (
+          match Necofuzz.Fleet.parse_addr s with
+          | Ok addr -> addr
+          | Error msg ->
+              Format.eprintf "necofuzz: %s: %s@." flag msg;
+              exit 2)
+    in
+    let options =
+      {
+        Necofuzz.Engine.default_options with
+        differential;
+        sync_hours;
+      }
+    in
+    let cfg () = Necofuzz.campaign ~seed ~target ~hours () in
+    let report_outcome (o : Necofuzz.Fleet.outcome) =
+      let r = o.fleet.merged in
+      Format.printf
+        "fleet done: %d executions, %d corpus entries, coverage %.1f%%@."
+        r.execs r.corpus_size (Necofuzz.coverage_pct r);
+      Format.printf
+        "fleet stats: %d joins, %d rejoins, %d deaths, %d abandoned@."
+        o.stats.joins o.stats.rejoins o.stats.deaths o.stats.abandoned;
+      List.iter (fun c -> Format.printf "%a@." Necofuzz.pp_crash c) r.crashes;
+      Format.printf "digest %s@." (Necofuzz.Engine.result_digest r)
+    in
+    match verb with
+    | "lead" -> (
+        let addr = addr_of "--listen" listen in
+        Format.printf "fleet leader: %d workers, %.1f virtual hours...@." jobs
+          hours;
+        match Necofuzz.Fleet.lead ~options ~timeout_ms ~jobs ~addr (cfg ()) with
+        | Ok o -> report_outcome o
+        | Error msg ->
+            Format.eprintf "necofuzz: %s@." msg;
+            exit 1)
+    | "work" -> (
+        let addr = addr_of "--connect" connect in
+        match
+          Necofuzz.Fleet.work ~timeout_ms ~fault_rate ~fault_seed
+            ?prev:worker_slot ~addr ()
+        with
+        | Ok () -> Format.printf "worker done@."
+        | Error msg ->
+            Format.eprintf "necofuzz: %s@." msg;
+            exit 1)
+    | "golden" ->
+        (* The reference: the same campaign run in-process.  A fleet
+           leader over any transport must print this exact digest. *)
+        let o = Necofuzz.Engine.run_parallel ~options ~jobs (cfg ()) in
+        Format.printf "digest %s@." (Necofuzz.Engine.result_digest o.merged)
+    | other ->
+        Format.eprintf
+          "necofuzz: unknown fleet verb %S (expected lead, work or golden)@."
+          other;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Distributed fuzzing fleet: a leader/worker protocol whose merged \
+          campaign is bit-identical to the in-process parallel runner.")
+    Term.(
+      const run $ verb $ listen $ connect $ jobs $ target $ hours $ seed
+      $ sync_hours $ timeout_ms $ fault_rate $ fault_seed $ worker_slot
+      $ differential)
+
 let () =
   let info =
     Cmd.info "necofuzz" ~version:"1.0.0"
       ~doc:"Fuzzing nested virtualization via fuzz-harness VMs (simulated substrate)"
   in
   exit (Cmd.eval (Cmd.group info
-          [ fuzz_cmd; experiment_cmd; list_checks_cmd; validate_model_cmd ]))
+          [ fuzz_cmd; experiment_cmd; list_checks_cmd; validate_model_cmd;
+            fleet_cmd ]))

@@ -27,6 +27,10 @@
       AFL++-style stats formatting
     - {!Diff} — the cross-hypervisor differential oracle
       ([run ~differential:true] turns it on for a campaign)
+    - {!Fleet} — the fault-tolerant distributed fuzzing fleet: a
+      leader/worker wire protocol whose merged campaign is bit-identical
+      to [Engine.run_parallel]'s, chaos-tested under wire faults and
+      worker churn
     - {!Experiments} — reproduction of every table and figure of §5 *)
 
 module Agent = Nf_agent.Agent
@@ -56,6 +60,7 @@ module Persist = Nf_persist.Persist
 module Faulty = Nf_hv.Faulty
 module Obs = Nf_obs.Obs
 module Diff = Nf_diff.Diff
+module Fleet = Nf_fleet.Fleet
 module Sanitizer = Nf_sanitizer.Sanitizer
 module Features = Nf_cpu.Features
 module Experiments = Experiments

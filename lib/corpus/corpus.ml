@@ -163,6 +163,7 @@ let guided_report (b : base) ~input ~crashed ~bitmap ~now_us ~on_new =
   novel
 
 let entries_of (b : base) = List.init b.len (fun i -> Input.copy b.q.(i).data)
+let edges_of (b : base) = List.init b.len (fun i -> Array.copy b.q.(i).edges)
 
 (* Serialization helpers.  The queue payload below reproduces the legacy
    engine checkpoint field sequence byte-for-byte (list of
@@ -195,7 +196,9 @@ module type S = sig
   val spec : t -> spec
   val seed_input : t -> Bytes.t -> unit
   val import : t -> Bytes.t -> unit
+  val import_edges : t -> Bytes.t -> edges:int array -> unit
   val entries : t -> Bytes.t list
+  val entry_edges : t -> int array list
   val size : t -> int
   val next_input : t -> Bytes.t
 
@@ -226,7 +229,12 @@ module Queue_impl = struct
      interesting by another instance, so no virgin-bits gate and no
      [finds] credit. *)
   let import = seed_input
+
+  (* Round-robin scheduling ignores edge metadata; behaviour (and hence
+     the pinned golden digests) is byte-identical to plain [import]. *)
+  let import_edges t data ~edges:_ = import t data
   let entries t = entries_of t.base
+  let entry_edges t = edges_of t.base
   let size t = t.base.len
 
   let next_input t : Bytes.t =
@@ -349,7 +357,25 @@ module Markov_impl = struct
 
   let seed_input t data = push t.base (mk_entry (Input.copy data) 0L)
   let import = seed_input
+
+  (* Fleet-global rarity: an entry arriving from another worker carries
+     the edge record its origin captured at discovery.  Accounting those
+     edges here makes every worker's rarity table converge on the union
+     of all discoveries — each entry's edges are recorded exactly once
+     fleet-wide (at its origin) and shipped, never re-derived. *)
+  let import_edges t data ~edges =
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= Bitmap.size then
+          invalid_arg "Corpus.import_edges: edge index out of range")
+      edges;
+    let e = mk_entry (Input.copy data) 0L in
+    e.edges <- Array.copy edges;
+    push t.base e;
+    account t e
+
   let entries t = entries_of t.base
+  let entry_edges t = edges_of t.base
   let size t = t.base.len
 
   let next_input t : Bytes.t =
@@ -457,7 +483,11 @@ module Mab_impl = struct
 
   let seed_input t data = push t.base (mk_entry (Input.copy data) 0L)
   let import = seed_input
+
+  (* UCB scheduling keys on plays/rewards, not edges: ignore them. *)
+  let import_edges t data ~edges:_ = import t data
   let entries t = entries_of t.base
+  let entry_edges t = edges_of t.base
   let size t = t.base.len
 
   let ucb t (e : entry) =
@@ -619,7 +649,14 @@ module Durable_impl = struct
     Queue_impl.import t.q data;
     store t data
 
+  (* Wire-imported entries hit the store too, so a fleet worker's
+     durable directory converges on the distributed corpus. *)
+  let import_edges t data ~edges =
+    Queue_impl.import_edges t.q data ~edges;
+    store t data
+
   let entries t = Queue_impl.entries t.q
+  let entry_edges t = Queue_impl.entry_edges t.q
   let size t = Queue_impl.size t.q
   let next_input t = Queue_impl.next_input t.q
 
@@ -665,7 +702,12 @@ let kind (Packed ((module M), _)) = M.kind
 let spec (Packed ((module M), st)) = M.spec st
 let seed_input (Packed ((module M), st)) data = M.seed_input st data
 let import (Packed ((module M), st)) data = M.import st data
+
+let import_edges (Packed ((module M), st)) data ~edges =
+  M.import_edges st data ~edges
+
 let entries (Packed ((module M), st)) = M.entries st
+let entry_edges (Packed ((module M), st)) = M.entry_edges st
 let size (Packed ((module M), st)) = M.size st
 let next_input (Packed ((module M), st)) = M.next_input st
 

@@ -101,9 +101,26 @@ module type S = sig
       already took credit). *)
   val import : t -> Bytes.t -> unit
 
+  (** [import_edges t data ~edges] is {!import} plus the edge record the
+      exporting worker captured when it discovered [data] (the coverage
+      buckets first touched, see {!entry_edges}).  The Markov scheduler
+      accounts the shipped edges into its rarity table so rarity is
+      global across a fleet of workers; every other scheduler ignores
+      [edges] and behaves exactly like {!import}.
+      @raise Invalid_argument on an out-of-range edge index. *)
+  val import_edges : t -> Bytes.t -> edges:int array -> unit
+
   (** Copies of all queue entries in discovery order — the engine's
       corpus-sync export and merge surface. *)
   val entries : t -> Bytes.t list
+
+  (** Per-entry edge records, index-aligned with {!entries}: the
+      coverage-bitmap buckets each entry first touched, as captured by
+      the Markov scheduler at discovery ([[||]] for seeds, imports
+      without metadata, and schedulers that record none).  Shipped
+      alongside entries during cross-worker sync so the receiving
+      scheduler can feed {!import_edges}. *)
+  val entry_edges : t -> int array list
 
   (** Number of queue entries. *)
   val size : t -> int
@@ -160,7 +177,9 @@ val kind : packed -> kind
 val spec : packed -> spec
 val seed_input : packed -> Bytes.t -> unit
 val import : packed -> Bytes.t -> unit
+val import_edges : packed -> Bytes.t -> edges:int array -> unit
 val entries : packed -> Bytes.t list
+val entry_edges : packed -> int array list
 val size : packed -> int
 val next_input : packed -> Bytes.t
 

@@ -941,6 +941,15 @@ let write_stats ~dir ~target ~mode (row : Obs.Stats.row) =
   write_fuzzer_stats ~dir ~target ~mode row;
   append_plot_data ~dir row
 
+(* Supervision policy knobs, shared by the Domain-parallel supervisor
+   (restore a crashed worker from its barrier snapshot, charge an
+   exponential virtual-time backoff) and the fleet transport (bounded
+   send/recv retries with exponential real-time backoff, and how many
+   heartbeat timeouts a dead worker gets before abandonment). *)
+type supervision = { retry_budget : int; backoff_base_us : int64 }
+
+let default_supervision = { retry_budget = 3; backoff_base_us = 60_000_000L }
+
 (* The unified entry-point options: everything that used to travel as
    scattered optional arguments across [run]/[run_from]/[run_parallel],
    plus the corpus selection.  One record drives both the sequential and
@@ -957,6 +966,7 @@ type options = {
   on_sync : (snapshot -> unit) option;
   chaos : (worker:int -> round:int -> attempt:int -> unit) option;
   obs : Obs.Sink.t;
+  supervision : supervision;
 }
 
 let default_options =
@@ -971,6 +981,7 @@ let default_options =
     on_sync = None;
     chaos = None;
     obs = Obs.Sink.null;
+    supervision = default_supervision;
   }
 
 let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
@@ -1072,14 +1083,81 @@ type parallel_outcome = {
   supervision : worker_status array;
 }
 
+(* The deterministic merge rules every multi-worker topology shares —
+   the Domain barrier below and the fleet leader (Nf_fleet) both drive
+   exactly this code, which is what makes a fleet campaign bit-identical
+   to [run_parallel ~jobs:N].  All functions visit workers in id order;
+   callers must present exports/reports in id order. *)
+module Sync = struct
+  type table = {
+    distributed : (Bytes.t, unit) Hashtbl.t; (* inputs already broadcast *)
+    crash_table : (string, unit) Hashtbl.t; (* cross-worker dedup *)
+    mutable merged_crashes : (int * crash_report) list;
+        (* (worker, crash), newest first *)
+  }
+
+  let create () =
+    {
+      distributed = Hashtbl.create 64;
+      crash_table = Hashtbl.create 17;
+      merged_crashes = [];
+    }
+
+  (* Initial seeds are identical in every worker: pre-mark them so sync
+     never re-broadcasts them. *)
+  let mark_distributed t data = Hashtbl.replace t.distributed data ()
+
+  let broadcast t (exports : (int * (Bytes.t * int array) list) list) =
+    let acc = ref [] in
+    List.iter
+      (fun (w, entries) ->
+        List.iter
+          (fun (data, edges) ->
+            if not (Hashtbl.mem t.distributed data) then begin
+              Hashtbl.add t.distributed data ();
+              acc := (w, data, edges) :: !acc
+            end)
+          entries)
+      exports;
+    List.rev !acc
+
+  (* The first worker (in id order) to have found a signature claims the
+     report. *)
+  let claim_crashes t (reports : (int * crash_report list) list) =
+    List.iter
+      (fun (w, crashes) ->
+        List.iter
+          (fun (c : crash_report) ->
+            let key = dedup_key c.message in
+            if not (Hashtbl.mem t.crash_table key) then begin
+              Hashtbl.add t.crash_table key ();
+              t.merged_crashes <- (w, c) :: t.merged_crashes
+            end)
+          crashes)
+      reports
+
+  let merged_crashes t = t.merged_crashes
+
+  (* Unique inputs across the union corpus: the seeds plus every entry
+     any worker discovered (deduplicated at broadcast). *)
+  let corpus_size t = Hashtbl.length t.distributed
+end
+
+(* Apply one round's broadcast to a worker: import every entry another
+   worker discovered, carrying the edge metadata its discoverer recorded
+   (so Markov rarity stays global — see Corpus.import_edges). *)
+let apply_imports (e : t) ~worker broadcast =
+  List.iter
+    (fun (origin, data, edges) ->
+      if origin <> worker then Nf_fuzzer.Fuzzer.import_edges e.fuzzer data ~edges)
+    broadcast
+
 (* Shared campaign state.  Workers only touch it under [mutex], and only
    at sync barriers, so the fuzzing rounds themselves run lock-free. *)
 type shared = {
   mutex : Mutex.t;
   mutable shared_cov : Cov.Map.t; (* union of worker maps at last sync *)
-  crash_table : (string, unit) Hashtbl.t; (* cross-worker dedup *)
-  mutable merged_crashes : (int * crash_report) list; (* (worker, crash) *)
-  distributed : (Bytes.t, unit) Hashtbl.t; (* inputs already broadcast *)
+  table : Sync.table;
 }
 
 (* Drive [e] until its virtual clock crosses [bound_us] (a sync barrier)
@@ -1104,51 +1182,40 @@ let engine_finished (e : t) =
    deterministic under any Domain scheduling. *)
 let sync_phase shared (engines : t array) (last_export : int array)
     (crash_export : int array) ~(may_import : int -> bool) =
-  (* 1. Collect queue entries discovered since the previous sync; the
+  (* 1. Collect queue entries discovered since the previous sync (with
+     the edge metadata their discoverer recorded); [Sync.broadcast]'s
      [distributed] table ensures an input is broadcast at most once
      campaign-wide (and never re-broadcast after being imported). *)
-  let broadcast = ref [] in
+  let exports = ref [] in
   Array.iteri
     (fun w e ->
       let entries = Nf_fuzzer.Fuzzer.queue_entries e.fuzzer in
-      List.iteri
-        (fun i data ->
-          if i >= last_export.(w) && not (Hashtbl.mem shared.distributed data)
-          then begin
-            Hashtbl.add shared.distributed data ();
-            broadcast := (w, data) :: !broadcast
-          end)
-        entries)
+      let edges = Nf_fuzzer.Fuzzer.entry_edges e.fuzzer in
+      let fresh =
+        List.filteri
+          (fun i _ -> i >= last_export.(w))
+          (List.combine entries edges)
+      in
+      exports := (w, fresh) :: !exports)
     engines;
-  let broadcast = List.rev !broadcast in
+  let broadcast = Sync.broadcast shared.table (List.rev !exports) in
   (* 2. Import every broadcast entry into every other worker (abandoned
      workers are frozen at their last barrier and import nothing). *)
   Array.iteri
     (fun w e ->
-      List.iter
-        (fun (origin, data) ->
-          if origin <> w && may_import w then
-            Nf_fuzzer.Fuzzer.import e.fuzzer data)
-        broadcast;
+      if may_import w then apply_imports e ~worker:w broadcast;
       last_export.(w) <- Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
     engines;
-  (* 3. Crash dedup through the shared table: the first worker (in id
-     order) to have found a signature claims the report. *)
+  (* 3. Crash dedup through the shared table. *)
+  let reports = ref [] in
   Array.iteri
     (fun w e ->
       let crashes = List.rev e.crashes in
-      List.iteri
-        (fun i c ->
-          if i >= crash_export.(w) then begin
-            let key = dedup_key c.message in
-            if not (Hashtbl.mem shared.crash_table key) then begin
-              Hashtbl.add shared.crash_table key ();
-              shared.merged_crashes <- (w, c) :: shared.merged_crashes
-            end
-          end)
-        crashes;
-      crash_export.(w) <- List.length crashes)
+      let fresh = List.filteri (fun i _ -> i >= crash_export.(w)) crashes in
+      crash_export.(w) <- List.length crashes;
+      reports := (w, fresh) :: !reports)
     engines;
+  Sync.claim_crashes shared.table (List.rev !reports);
   (* 4. Merge coverage maps under the mutex (the shared map feeds the
      [on_sync] observer and any concurrent snapshot reader). *)
   Mutex.protect shared.mutex (fun () ->
@@ -1190,7 +1257,7 @@ let campaign_snapshot shared (engines : t array) : snapshot =
           Array.fold_left
             (fun acc e -> acc + Nf_fuzzer.Fuzzer.queue_size e.fuzzer)
             0 engines;
-        snap_crashes = List.length shared.merged_crashes;
+        snap_crashes = List.length (Sync.merged_crashes shared.table);
         snap_restarts = Array.fold_left (fun acc e -> acc + e.restarts) 0 engines;
         execs_per_sec = execs_per_vsec ~execs:snap_execs ~virtual_hours;
         stage_cost_us =
@@ -1228,18 +1295,114 @@ let merge_timelines (results : result array) ~grid =
       (h, best))
     results.(grid).timeline
 
+(* The deterministic cross-worker final merge, shared verbatim by
+   [run_parallel] and the fleet leader.  [results] are the per-worker
+   sealed results in id order (an abandoned worker's result is its
+   last-barrier state, sealed); [merged_crashes] is the sync table's
+   accumulated claim list (newest first); [rounds] the number of sync
+   barriers run. *)
+let merge_results ~(cfg : cfg) ~(results : result array)
+    ~(supervision : worker_status array)
+    ~(merged_crashes : (int * crash_report) list) ~(corpus_size : int)
+    ~(rounds : int) ~(differential : bool) : result =
+  let region = target_region cfg.target in
+  let abandoned w =
+    match supervision.(w) with
+    | Abandoned _ -> true
+    | Healthy | Recovered _ -> false
+  in
+  let coverage = Cov.Map.create region in
+  Array.iter (fun (r : result) -> Cov.Map.merge coverage r.coverage) results;
+  let crashes =
+    List.stable_sort
+      (fun (w1, (c1 : crash_report)) (w2, (c2 : crash_report)) ->
+        match compare w1 w2 with
+        | 0 -> compare c1.found_at_hours c2.found_at_hours
+        | n -> n)
+      (List.rev merged_crashes)
+    |> List.map snd
+  in
+  let grid =
+    (* The first worker that survived the whole campaign; if every
+       worker was abandoned, fall back to worker 0's truncated grid. *)
+    let g = ref 0 in
+    (try
+       for w = 0 to Array.length results - 1 do
+         if not (abandoned w) then begin
+           g := w;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !g
+  in
+  (* Fleet registry: per-worker registries merged in worker-id order
+     (deterministic under any Domain scheduling), coverage gauges
+     overwritten from the union map (gauges merge as max — the best
+     single worker, not the union), plus fleet-level accounting. *)
+  let merged_metrics = Obs.Metrics.create () in
+  Array.iter
+    (fun (r : result) -> Obs.Metrics.merge ~into:merged_metrics r.metrics)
+    results;
+  Obs.Metrics.set_gauge merged_metrics "coverage/total"
+    (Cov.Map.coverage_pct coverage);
+  List.iter
+    (fun file ->
+      Obs.Metrics.set_gauge merged_metrics ("coverage/" ^ file)
+        (Cov.Map.coverage_pct ~file coverage))
+    (Cov.files region);
+  Array.iter
+    (fun status ->
+      Obs.Metrics.incr merged_metrics
+        (match status with
+        | Healthy -> "workers/healthy"
+        | Recovered _ -> "workers/recovered"
+        | Abandoned _ -> "workers/abandoned"))
+    supervision;
+  Obs.Metrics.incr ~by:rounds merged_metrics "sync/rounds";
+  (* Divergence union across workers, rebuilt from the per-worker
+     retained lists — [Diff.record]'s retention is order-independent, so
+     this equals the store-level union regardless of which barriers
+     abandoned workers froze at. *)
+  let divergences =
+    if not differential then []
+    else begin
+      let u = Diff.create (diff_arch cfg.target) in
+      Array.iter
+        (fun (r : result) ->
+          List.iter (fun d -> ignore (Diff.record u d)) r.divergences)
+        results;
+      Obs.Metrics.set_gauge merged_metrics "diff/unique"
+        (float_of_int (Diff.size u));
+      Diff.divergences u
+    end
+  in
+  {
+    cfg;
+    coverage;
+    timeline = merge_timelines results ~grid;
+    crashes;
+    execs = Array.fold_left (fun acc (r : result) -> acc + r.execs) 0 results;
+    restarts =
+      Array.fold_left (fun acc (r : result) -> acc + r.restarts) 0 results;
+    corpus_size;
+    metrics = merged_metrics;
+    divergences;
+  }
+
 (* Supervision policy: a worker Domain that raises is restored from its
-   last sync-barrier snapshot and retried, up to [supervisor_retry_budget]
-   restarts per worker; each restart also charges an exponentially
+   last sync-barrier snapshot and retried, up to [options.supervision]'s
+   retry budget per worker; each restart also charges an exponentially
    growing virtual-time penalty (the rebooted machine is gone for a
    while).  Past the budget the worker is abandoned — frozen at its last
    barrier — and the campaign degrades to the survivors. *)
-let supervisor_retry_budget = 3
-let supervisor_backoff_base_us = 60_000_000L
 
 let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     parallel_outcome =
-  let { differential; corpus; sync_hours; on_sync; chaos; obs; _ } = options in
+  let { differential; corpus; sync_hours; on_sync; chaos; obs;
+        supervision = policy; _ } =
+    options
+  in
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
@@ -1254,9 +1417,7 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     {
       mutex = Mutex.create ();
       shared_cov = Cov.Map.create (engines.(0)).region;
-      crash_table = Hashtbl.create 17;
-      merged_crashes = [];
-      distributed = Hashtbl.create 64;
+      table = Sync.create ();
     }
   in
   (* The initial seeds are identical in every worker: mark them as
@@ -1266,8 +1427,7 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
   Array.iteri
     (fun w e ->
       let seeds = Nf_fuzzer.Fuzzer.queue_entries e.fuzzer in
-      if w = 0 then
-        List.iter (fun s -> Hashtbl.replace shared.distributed s ()) seeds;
+      if w = 0 then List.iter (Sync.mark_distributed shared.table) seeds;
       last_export.(w) <- List.length seeds)
     engines;
   let deadline_us = Nf_stdext.Vclock.of_hours cfg.duration_hours in
@@ -1358,7 +1518,7 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
               (* The barrier blob never left memory; failing to decode
                  it means the serializer itself is broken. *)
               invalid_arg ("Engine.run_parallel: barrier state: " ^ msg));
-          if attempts.(w) > supervisor_retry_budget then begin
+          if attempts.(w) > policy.retry_budget then begin
             abandoned.(w) <- true;
             emit_sup ~worker:w
               ~ts_us:(Nf_stdext.Vclock.now_us (engines.(w)).clock)
@@ -1374,7 +1534,7 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
                round-trip without breaking bit-identity. *)
             Obs.Metrics.incr e.metrics "recovery/supervisor_restarts";
             Nf_stdext.Vclock.advance_us e.clock
-              (Int64.mul supervisor_backoff_base_us
+              (Int64.mul policy.backoff_base_us
                  (Int64.shift_left 1L (attempts.(w) - 1)));
             emit_sup ~worker:w ~ts_us:(Nf_stdext.Vclock.now_us e.clock)
               (Obs.Event.Worker_recovered
@@ -1435,87 +1595,143 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
   in
   let results = Array.map finish engines in
   if jobs = 1 then { merged = results.(0); workers = results; supervision }
-  else begin
-    let coverage = Cov.Map.create (engines.(0)).region in
-    Array.iter (fun (r : result) -> Cov.Map.merge coverage r.coverage) results;
-    let crashes =
-      List.stable_sort
-        (fun (w1, (c1 : crash_report)) (w2, (c2 : crash_report)) ->
-          match compare w1 w2 with
-          | 0 -> compare c1.found_at_hours c2.found_at_hours
-          | n -> n)
-        (List.rev shared.merged_crashes)
-      |> List.map snd
-    in
-    let grid =
-      (* The first worker that survived the whole campaign; if every
-         worker was abandoned, fall back to worker 0's truncated grid. *)
-      let g = ref 0 in
-      (try
-         Array.iteri
-           (fun w ab ->
-             if not ab then begin
-               g := w;
-               raise Exit
-             end)
-           abandoned
-       with Exit -> ());
-      !g
-    in
-    (* Fleet registry: per-worker registries merged in worker-id order
-       (deterministic under any Domain scheduling), coverage gauges
-       overwritten from the union map (gauges merge as max — the best
-       single worker, not the union), plus fleet-level accounting. *)
-    let merged_metrics = Obs.Metrics.create () in
-    Array.iter
-      (fun (r : result) -> Obs.Metrics.merge ~into:merged_metrics r.metrics)
-      results;
-    Obs.Metrics.set_gauge merged_metrics "coverage/total"
-      (Cov.Map.coverage_pct coverage);
-    List.iter
-      (fun file ->
-        Obs.Metrics.set_gauge merged_metrics ("coverage/" ^ file)
-          (Cov.Map.coverage_pct ~file coverage))
-      (Cov.files (engines.(0)).region);
-    Array.iter
-      (fun status ->
-        Obs.Metrics.incr merged_metrics
-          (match status with
-          | Healthy -> "workers/healthy"
-          | Recovered _ -> "workers/recovered"
-          | Abandoned _ -> "workers/abandoned"))
-      supervision;
-    Obs.Metrics.incr ~by:!round merged_metrics "sync/rounds";
-    (* Divergence union across workers; order-independent, so it does
-       not matter that abandoned workers froze at different barriers. *)
-    let divergences =
-      match (engines.(0)).diff with
-      | None -> []
-      | Some d0 ->
-          let u = Diff.create (Diff.arch d0) in
-          Array.iter
-            (fun e ->
-              match e.diff with Some d -> Diff.merge ~into:u d | None -> ())
-            engines;
-          Obs.Metrics.set_gauge merged_metrics "diff/unique"
-            (float_of_int (Diff.size u));
-          Diff.divergences u
-    in
+  else
     let merged =
+      merge_results ~cfg ~results ~supervision
+        ~merged_crashes:(Sync.merged_crashes shared.table)
+        ~corpus_size:(Sync.corpus_size shared.table)
+        ~rounds:!round ~differential
+    in
+    { merged; workers = results; supervision }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet hooks.  [Nf_fleet.Fleet] reimplements the barrier protocol
+   above across process boundaries; these accessors expose exactly the
+   per-round state the sync phase reads and writes, so the wire protocol
+   can ship it instead of sharing memory.  Keeping them here (rather
+   than letting the fleet poke at engine internals) pins the invariant
+   the fleet tests assert: leader-side merges built from these values
+   are bit-identical to [run_parallel]'s. *)
+
+let config (t : t) = t.cfg
+let run_round = run_until
+let campaign_over = engine_finished
+let queue_entries (t : t) = Nf_fuzzer.Fuzzer.queue_entries t.fuzzer
+let entry_edges (t : t) = Nf_fuzzer.Fuzzer.entry_edges t.fuzzer
+let crash_log (t : t) = List.rev t.crashes
+let coverage_hits (t : t) = Cov.Map.raw_hits t.campaign_cov
+
+let export_diff (t : t) =
+  Option.map
+    (fun d ->
+      let w = Persist.Writer.create () in
+      Diff.write w d;
+      Persist.Writer.contents w)
+    t.diff
+
+let assign_diff (t : t) blob =
+  match t.diff with
+  | None -> Ok ()
+  | Some d -> (
+      match Diff.read (Persist.Reader.of_string blob) with
+      | u ->
+          Diff.assign d ~from:u;
+          Ok ()
+      | exception Persist.Reader.Corrupt msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Result codec.  A fleet worker's final [result] travels to the leader
+   as one framed blob; [result_digest] is the hex fingerprint the chaos
+   tests (and the CI fleet smoke job) compare against the [run_parallel]
+   golden. *)
+
+let result_magic = "NECOFUZZ-RSLT"
+let result_version = 1
+
+let cls_code = function
+  | Diff.Too_strict -> 0
+  | Diff.Too_lax -> 1
+  | Diff.Exit_mismatch -> 2
+
+let cls_of_code = function
+  | 0 -> Diff.Too_strict
+  | 1 -> Diff.Too_lax
+  | 2 -> Diff.Exit_mismatch
+  | n -> corrupt "unknown divergence class code %d" n
+
+let write_divergence w (d : Diff.divergence) =
+  let open Persist.Writer in
+  u8 w (cls_code d.cls);
+  string w d.impl;
+  string w d.check;
+  list w string d.fields;
+  string w d.detail;
+  int w d.first_exec;
+  float w d.first_hours
+
+let read_divergence r : Diff.divergence =
+  let open Persist.Reader in
+  let cls = cls_of_code (u8 r) in
+  let impl = string r in
+  let check = string r in
+  let fields = list r string in
+  let detail = string r in
+  let first_exec = int r in
+  let first_hours = float r in
+  { cls; impl; check; fields; detail; first_exec; first_hours }
+
+let result_to_string (res : result) : string =
+  let w = Persist.Writer.create () in
+  let open Persist.Writer in
+  write_cfg w res.cfg;
+  int_array w (Cov.Map.raw_hits res.coverage);
+  list w
+    (fun w (h, pct) ->
+      float w h;
+      float w pct)
+    res.timeline;
+  list w write_crash res.crashes;
+  int w res.execs;
+  int w res.restarts;
+  int w res.corpus_size;
+  Obs.Metrics.write w res.metrics;
+  list w write_divergence res.divergences;
+  Persist.frame ~magic:result_magic ~version:result_version (contents w)
+
+let result_of_string (blob : string) : (result, string) Stdlib.result =
+  Persist.decode ~magic:result_magic ~version:result_version blob (fun r ->
+      let open Persist.Reader in
+      let cfg = read_cfg r in
+      let hits = int_array r in
+      let coverage =
+        match Cov.Map.of_hits (target_region cfg.target) hits with
+        | Ok m -> m
+        | Error msg -> corrupt "coverage map: %s" msg
+      in
+      let timeline =
+        list r (fun r ->
+            let h = float r in
+            let pct = float r in
+            (h, pct))
+      in
+      let crashes = list r read_crash in
+      let execs = int r in
+      let restarts = int r in
+      let corpus_size = int r in
+      let metrics = Obs.Metrics.read r in
+      let divergences = list r read_divergence in
+      expect_end r;
       {
         cfg;
         coverage;
-        timeline = merge_timelines results ~grid;
+        timeline;
         crashes;
-        execs = Array.fold_left (fun acc (r : result) -> acc + r.execs) 0 results;
-        restarts =
-          Array.fold_left (fun acc (r : result) -> acc + r.restarts) 0 results;
-        (* Unique inputs across the union corpus: the seeds plus every
-           entry any worker discovered (deduplicated at broadcast). *)
-        corpus_size = Hashtbl.length shared.distributed;
-        metrics = merged_metrics;
+        execs;
+        restarts;
+        corpus_size;
+        metrics;
         divergences;
-      }
-    in
-    { merged; workers = results; supervision }
-  end
+      })
+
+let result_digest (res : result) =
+  Digest.to_hex (Digest.string (result_to_string res))

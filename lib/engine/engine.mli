@@ -230,6 +230,24 @@ val finish : t -> result
     keyword spellings survive as thin wrappers on
     [Nf_agent.Agent.run]/[run_parallel] (deprecated; new code should
     pass an options record). *)
+
+(** Worker-failure policy, shared by the Domain supervisor of
+    {!run_parallel} and the fleet transport ([Nf_fleet.Fleet]): a worker
+    gets [retry_budget] restore-and-retry attempts per failure episode,
+    each charged an exponential backoff ([backoff_base_us] · 2{^ n-1}
+    virtual µs in-process; the same schedule paces reconnect attempts on
+    the wire) before it is abandoned and the campaign degrades to the
+    survivors. *)
+type supervision = {
+  retry_budget : int;  (** retries per worker before abandonment *)
+  backoff_base_us : int64;
+      (** first-retry backoff; doubles on each further attempt *)
+}
+
+(** Three retries, one virtual minute of first-retry backoff — the
+    policy every pre-existing campaign ran under. *)
+val default_supervision : supervision
+
 type options = {
   differential : bool;  (** enable the differential oracle *)
   corpus : Nf_corpus.Corpus.spec;  (** corpus implementation to schedule from *)
@@ -255,6 +273,9 @@ type options = {
   obs : Nf_obs.Obs.Sink.t;
       (** event sink — the engine sink sequentially, the supervisor
           sink in parallel (default {!Nf_obs.Obs.Sink.null}) *)
+  supervision : supervision;
+      (** parallel/fleet: worker retry budget and backoff schedule
+          (default {!default_supervision}) *)
 }
 
 (** [default_options]: no differential oracle, the default queue corpus,
@@ -436,3 +457,147 @@ type parallel_outcome = {
     ([checkpoint_dir], [stats_dir], [stats_hours], [on_progress]) are
     ignored. *)
 val run_parallel : ?options:options -> jobs:int -> cfg -> parallel_outcome
+
+(** {1 Fleet hooks}
+
+    The building blocks [Nf_fleet.Fleet] assembles into a leader/worker
+    wire protocol: the shared sync tables, the per-round engine drivers,
+    and the deterministic final merge — the {e same} code paths
+    {!run_parallel} runs, exposed so a fleet of independent processes can
+    reproduce its merges bit-identically.  Nothing here is needed for
+    in-process campaigns. *)
+
+module Sync : sig
+  (** Campaign-wide deduplication state the barrier protocol accumulates:
+      which corpus entries have been broadcast, which crash signatures
+      have been claimed, and the claimed crash reports in claim order.
+      {!run_parallel} keeps one under its mutex; the fleet leader keeps
+      one per campaign and feeds it from [Report] frames. *)
+  type table
+
+  (** A fresh table (no entries distributed, no crashes claimed). *)
+  val create : unit -> table
+
+  (** Pre-mark an input as distributed — used for the initial seeds,
+      which every worker already holds, so sync never re-broadcasts
+      them. *)
+  val mark_distributed : table -> Bytes.t -> unit
+
+  (** [broadcast t exports] folds one round's per-worker fresh entries
+      ([(worker, (input, edges) list)] in worker-id order) into the
+      distributed table and returns the round's broadcast list —
+      [(origin, input, edges)], first-discoverer-wins, in worker-id
+      order — for {!apply_imports}. *)
+  val broadcast :
+    table ->
+    (int * (Bytes.t * int array) list) list ->
+    (int * Bytes.t * int array) list
+
+  (** [claim_crashes t reports] folds one round's per-worker fresh crash
+      reports (worker-id order) into the claim table: a signature's
+      first claimant (lowest worker id, earliest report) wins, duplicates
+      are dropped. *)
+  val claim_crashes : table -> (int * crash_report list) list -> unit
+
+  (** All claimed crashes as [(claiming worker, report)], newest first —
+      the [merged_crashes] input of {!merge_results}. *)
+  val merged_crashes : table -> (int * crash_report) list
+
+  (** Unique inputs across the union corpus (seeds + every broadcast
+      entry) — the [corpus_size] input of {!merge_results}. *)
+  val corpus_size : table -> int
+end
+
+(** [apply_imports e ~worker broadcast] imports every broadcast entry
+    another worker discovered (entries whose origin is [worker] are
+    skipped — the discoverer already holds them), carrying the
+    discoverer's edge record so Markov rarity stays fleet-global (see
+    {!Nf_fuzzer.Fuzzer.import_edges}). *)
+val apply_imports : t -> worker:int -> (int * Bytes.t * int array) list -> unit
+
+(** The deterministic cross-worker final merge — the exact code
+    {!run_parallel} runs on its per-worker results, exposed so the fleet
+    leader (merging results that arrived over the wire) produces
+    bit-identical campaigns.  [results] are the sealed per-worker
+    results in worker-id order; [merged_crashes] and [corpus_size] come
+    from the campaign's {!Sync.table}; [rounds] counts sync barriers;
+    [differential] selects the divergence-union step (keying off the
+    result lists would skip the [diff/unique] gauge for a
+    zero-divergence differential campaign). *)
+val merge_results :
+  cfg:cfg ->
+  results:result array ->
+  supervision:worker_status array ->
+  merged_crashes:(int * crash_report) list ->
+  corpus_size:int ->
+  rounds:int ->
+  differential:bool ->
+  result
+
+(** The configuration the engine was created with. *)
+val config : t -> cfg
+
+(** [run_round e ~bound_us] drives [e] until its virtual clock crosses
+    [bound_us] (a sync barrier) or the campaign deadline — one worker
+    round of the barrier protocol. *)
+val run_round : t -> bound_us:int64 -> unit
+
+(** The engine's virtual clock has reached the campaign deadline. *)
+val campaign_over : t -> bool
+
+(** Queue contents in discovery order (see
+    {!Nf_fuzzer.Fuzzer.queue_entries}) — what a fleet worker diffs
+    against its last export mark to build a [Report]. *)
+val queue_entries : t -> Bytes.t list
+
+(** Per-entry edge records, index-aligned with {!queue_entries} (see
+    {!Nf_fuzzer.Fuzzer.entry_edges}). *)
+val entry_edges : t -> int array list
+
+(** Crashes found so far, oldest first — fleet workers ship the suffix
+    past their last crash-export mark. *)
+val crash_log : t -> crash_report list
+
+(** Raw bucket array of the campaign coverage map (see
+    {!Nf_coverage.Coverage.Map.raw_hits}) — shipped in [Report] frames
+    for the leader's campaign-wide coverage gauge. *)
+val coverage_hits : t -> int array
+
+(** Serialized divergence store ([None] for non-differential engines) —
+    shipped at every barrier so the leader can union stores exactly as
+    {!run_parallel}'s sync phase does. *)
+val export_diff : t -> string option
+
+(** [assign_diff e blob] overwrites [e]'s divergence store with a
+    deserialized union shipped by the leader; [Ok ()] (and a no-op) for
+    non-differential engines, [Error] on a malformed blob. *)
+val assign_diff : t -> string -> (unit, string) Stdlib.result
+
+(** {2 Wire codecs}
+
+    Fleet frames carry crash reports and whole results; the codecs live
+    here because the engine owns those types' serialized shapes (they
+    are the checkpoint codecs re-exposed). *)
+
+(** Serialize one crash report (the checkpoint encoding). *)
+val write_crash : Nf_persist.Persist.Writer.t -> crash_report -> unit
+
+(** Inverse of {!write_crash}.
+    @raise Nf_persist.Persist.Reader.Corrupt on malformed input. *)
+val read_crash : Nf_persist.Persist.Reader.t -> crash_report
+
+(** A whole campaign {!result} as one framed, checksummed blob
+    (magic ["NECOFUZZ-RSLT"], version 1) — how a fleet worker's final
+    result travels to the leader. *)
+val result_to_string : result -> string
+
+(** Inverse of {!result_to_string}; every failure mode (bad magic,
+    truncation, checksum mismatch, malformed payload) is a descriptive
+    [Error]. *)
+val result_of_string : string -> (result, string) Stdlib.result
+
+(** Hex MD5 of {!result_to_string} — the fingerprint the fleet chaos
+    tests and the CI fleet smoke job compare against the
+    {!run_parallel} golden: equal digests mean bit-identical merged
+    campaigns. *)
+val result_digest : result -> string

@@ -1,0 +1,1412 @@
+(* Fault-tolerant distributed fuzzing fleet: a leader/worker wire
+   protocol that reproduces [Engine.run_parallel]'s barrier-synced
+   rounds across process boundaries.
+
+   The design premise is that the Domain-parallel campaign is already a
+   message-passing protocol in disguise: workers only interact at sync
+   barriers, through values ([Sync.broadcast]/[Sync.claim_crashes], the
+   diff union, the barrier checkpoint blobs) that serialize.  The fleet
+   makes those messages explicit — Persist-framed, CRC-checked, shipped
+   over Unix/TCP sockets — and keeps the merge rules bit-identical, so a
+   fleet of [N] workers converges to the same merged result digest as
+   [run_parallel ~jobs:N], under any schedule of frame loss, corruption,
+   duplication, delay, worker death and rejoin the chaos layer throws at
+   it.
+
+   Layering, bottom up:
+   - [Wire]: the framed message codec (corpus entries with edge
+     metadata, crash reports, diff-store blobs, engine checkpoints).
+   - [Chaos]: a deterministic wire-fault injector (the network-side
+     sibling of [Nf_hv.Faulty]).
+   - [Leader] / [Worker]: pure, transport-agnostic state machines.
+     Neither touches a socket or a clock; they consume timestamps and
+     frames and emit frames.  All protocol logic — round merging,
+     heartbeat supervision, rejoin resync, idempotent replies — lives
+     here, so the chaos tests exercise exactly the code the socket
+     drivers run.
+   - [run_sim]: a single-threaded deterministic harness wiring one
+     leader to [jobs] workers through a simulated network.
+   - [lead]/[work]: thin [Unix] socket drivers over the same machines. *)
+
+module Engine = Nf_engine.Engine
+module Persist = Nf_persist.Persist
+module Obs = Nf_obs.Obs
+module Diff = Nf_diff.Diff
+module Cov = Nf_coverage.Coverage
+module Rng = Nf_stdext.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol *)
+
+module Wire = struct
+  let magic = "NECOFUZZ-FLET"
+  let version = 1
+
+  type report = {
+    entries : (Bytes.t * int array) list;
+    crashes : Engine.crash_report list;
+    diff : string option;
+    hits : int array;
+    execs : int;
+    finished : bool;
+  }
+
+  type msg =
+    | Hello of { prev : int option }
+    | Welcome of { worker : int; round : int; sync_hours : float; state : string }
+    | Busy of { reason : string }
+    | Report of { worker : int; round : int; report : report }
+    | Poll of { worker : int; round : int }
+    | Wait
+    | Merge of {
+        round : int;
+        imports : (int * Bytes.t * int array) list;
+        diff : string option;
+      }
+    | Barrier of { worker : int; round : int; state : string }
+    | Proceed of { round : int; last : bool }
+    | Final of { worker : int; result : string }
+    | Goodbye
+
+  let msg_name = function
+    | Hello _ -> "hello"
+    | Welcome _ -> "welcome"
+    | Busy _ -> "busy"
+    | Report _ -> "report"
+    | Poll _ -> "poll"
+    | Wait -> "wait"
+    | Merge _ -> "merge"
+    | Barrier _ -> "barrier"
+    | Proceed _ -> "proceed"
+    | Final _ -> "final"
+    | Goodbye -> "goodbye"
+
+  let write_report w (r : report) =
+    let open Persist.Writer in
+    list w
+      (fun w (data, edges) ->
+        bytes w data;
+        int_array w edges)
+      r.entries;
+    list w Engine.write_crash r.crashes;
+    option w string r.diff;
+    int_array w r.hits;
+    int w r.execs;
+    bool w r.finished
+
+  let read_report r : report =
+    let open Persist.Reader in
+    let entries =
+      list r (fun r ->
+          let data = bytes r in
+          let edges = int_array r in
+          (data, edges))
+    in
+    let crashes = list r Engine.read_crash in
+    let diff = option r string in
+    let hits = int_array r in
+    let execs = int r in
+    let finished = bool r in
+    { entries; crashes; diff; hits; execs; finished }
+
+  let encode msg =
+    let w = Persist.Writer.create () in
+    let open Persist.Writer in
+    (match msg with
+    | Hello { prev } ->
+        u8 w 0;
+        option w int prev
+    | Welcome { worker; round; sync_hours; state } ->
+        u8 w 1;
+        int w worker;
+        int w round;
+        float w sync_hours;
+        string w state
+    | Busy { reason } ->
+        u8 w 2;
+        string w reason
+    | Report { worker; round; report } ->
+        u8 w 3;
+        int w worker;
+        int w round;
+        write_report w report
+    | Poll { worker; round } ->
+        u8 w 4;
+        int w worker;
+        int w round
+    | Wait -> u8 w 5
+    | Merge { round; imports; diff } ->
+        u8 w 6;
+        int w round;
+        list w
+          (fun w (origin, data, edges) ->
+            int w origin;
+            bytes w data;
+            int_array w edges)
+          imports;
+        option w string diff
+    | Barrier { worker; round; state } ->
+        u8 w 7;
+        int w worker;
+        int w round;
+        string w state
+    | Proceed { round; last } ->
+        u8 w 8;
+        int w round;
+        bool w last
+    | Final { worker; result } ->
+        u8 w 9;
+        int w worker;
+        string w result
+    | Goodbye -> u8 w 10);
+    Persist.frame ~magic ~version (contents w)
+
+  let decode payload =
+    Persist.decode_typed ~magic ~version payload (fun r ->
+        let open Persist.Reader in
+        let msg =
+          match u8 r with
+          | 0 -> Hello { prev = option r int }
+          | 1 ->
+              let worker = int r in
+              let round = int r in
+              let sync_hours = float r in
+              let state = string r in
+              Welcome { worker; round; sync_hours; state }
+          | 2 -> Busy { reason = string r }
+          | 3 ->
+              let worker = int r in
+              let round = int r in
+              let report = read_report r in
+              Report { worker; round; report }
+          | 4 ->
+              let worker = int r in
+              let round = int r in
+              Poll { worker; round }
+          | 5 -> Wait
+          | 6 ->
+              let round = int r in
+              let imports =
+                list r (fun r ->
+                    let origin = int r in
+                    let data = bytes r in
+                    let edges = int_array r in
+                    (origin, data, edges))
+              in
+              let diff = option r string in
+              Merge { round; imports; diff }
+          | 7 ->
+              let worker = int r in
+              let round = int r in
+              let state = string r in
+              Barrier { worker; round; state }
+          | 8 ->
+              let round = int r in
+              let last = bool r in
+              Proceed { round; last }
+          | 9 ->
+              let worker = int r in
+              let result = string r in
+              Final { worker; result }
+          | 10 -> Goodbye
+          | n ->
+              raise
+                (Persist.Reader.Corrupt
+                   (Printf.sprintf "unknown fleet message tag %d" n))
+        in
+        expect_end r;
+        msg)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic wire-fault injection *)
+
+module Chaos = struct
+  type kind = Drop | Truncate | Corrupt | Duplicate | Delay
+
+  let kind_name = function
+    | Drop -> "drop"
+    | Truncate -> "truncate"
+    | Corrupt -> "corrupt"
+    | Duplicate -> "duplicate"
+    | Delay -> "delay"
+
+  let all_kinds = [| Drop; Truncate; Corrupt; Duplicate; Delay |]
+
+  type t = { rng : Rng.t; rate : float; on_fault : kind -> unit }
+
+  let create ?(on_fault = fun (_ : kind) -> ()) ~rate ~seed () =
+    if not (rate >= 0.0 && rate <= 1.0) then
+      invalid_arg "Fleet.Chaos.create: rate must be within [0, 1]";
+    { rng = Rng.create seed; rate; on_fault }
+
+  (* [plan t payload] decides one transmission's fate: the list of
+     [(delay, frame)] copies the network actually carries.  Mangled
+     frames keep their outer (length-prefixed) framing intact — only the
+     Persist frame inside is damaged — so the receiving stream never
+     desynchronizes; the CRC/typed-decode layer rejects the frame and
+     the sender's retransmission timer recovers. *)
+  let plan t payload =
+    if t.rate > 0.0 && Rng.float t.rng < t.rate then begin
+      let kind = Rng.pick t.rng all_kinds in
+      t.on_fault kind;
+      match kind with
+      | Drop -> []
+      | Truncate ->
+          [ (0, String.sub payload 0 (Rng.int t.rng (String.length payload))) ]
+      | Corrupt ->
+          let b = Bytes.of_string payload in
+          let i = Rng.int t.rng (Bytes.length b) in
+          (* XOR with a non-zero mask guarantees the byte changes. *)
+          Bytes.set b i
+            (Char.chr
+               (Char.code (Bytes.get b i) lxor (1 + Rng.int t.rng 255)));
+          [ (0, Bytes.to_string b) ]
+      | Duplicate -> [ (0, payload); (0, payload) ]
+      | Delay -> [ (1 + Rng.int t.rng 3, payload) ]
+    end
+    else [ (0, payload) ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Transport accounting (never merged into campaign results) *)
+
+type stats = {
+  joins : int;
+  rejoins : int;
+  deaths : int;
+  abandoned : int;
+  retries : int;
+  faults : int;
+}
+
+type outcome = { fleet : Engine.parallel_outcome; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Worker state machine *)
+
+module Worker = struct
+  type io =
+    | Transmit of string
+    | Idle of int
+    | Finished of (unit, string) result
+
+  type phase =
+    | Joining
+    | Running
+    | Awaiting_merge
+    | Awaiting_proceed
+    | Finalizing
+    | Closed of (unit, string) result
+
+  type t = {
+    timeout : int;
+    retry_budget : int;
+    mutable phase : phase;
+    mutable engine : Engine.t option;
+    mutable id : int; (* slot id; -1 until welcomed *)
+    mutable round : int;
+    mutable sync_us : int64;
+    mutable deadline_us : int64;
+    mutable last_export : int;
+    mutable crash_export : int;
+    mutable outbox : string option; (* current request, already encoded *)
+    mutable sent_at : int; (* -1: not transmitted yet *)
+    mutable defer_until : int;
+        (* do not transmit the outbox before this tick — the polite
+           polling interval after a Wait.  A deferred send is a
+           scheduled request, not a retransmission, so it never counts
+           against the retry budget. *)
+    mutable attempts : int; (* retransmissions of the current request *)
+    mutable retries : int; (* lifetime retransmission count *)
+  }
+
+  let create ?prev ?(timeout = 8)
+      ?(retry_budget = Engine.default_supervision.retry_budget) () =
+    if timeout < 1 then invalid_arg "Fleet.Worker.create: timeout must be >= 1";
+    if retry_budget < 0 then
+      invalid_arg "Fleet.Worker.create: retry_budget must be >= 0";
+    {
+      timeout;
+      retry_budget;
+      phase = Joining;
+      engine = None;
+      id = (match prev with Some w -> w | None -> -1);
+      round = 0;
+      sync_us = 0L;
+      deadline_us = 0L;
+      last_export = 0;
+      crash_export = 0;
+      outbox = Some (Wire.encode (Wire.Hello { prev }));
+      sent_at = -1;
+      defer_until = 0;
+      attempts = 0;
+      retries = 0;
+    }
+
+  let id t = t.id
+  let round t = t.round
+  let retries t = t.retries
+  let about_to_run t = match t.phase with Running -> true | _ -> false
+
+  (* Exponential backoff between retransmissions of the same request
+     (the wire-side reading of [Engine.supervision.backoff_base_us]'s
+     doubling schedule); the exponent is clamped so the arithmetic never
+     overflows under an absurd budget. *)
+  let cur_timeout t = t.timeout * (1 lsl min t.attempts 16)
+
+  let send t msg =
+    t.outbox <- Some (Wire.encode msg);
+    t.sent_at <- -1;
+    t.defer_until <- 0;
+    t.attempts <- 0
+
+  let fail t msg =
+    t.phase <- Closed (Error msg);
+    t.outbox <- None
+
+  let engine_exn t =
+    match t.engine with
+    | Some e -> e
+    | None -> invalid_arg "Fleet.Worker: no engine before Welcome"
+
+  (* Run one barrier round and stage its Report.  The bound computation
+     is [run_parallel]'s, verbatim: round r ends at [r * sync_us],
+     clamped to the deadline (and guarding the Int64 overflow case). *)
+  let run_and_report t =
+    let e = engine_exn t in
+    let bound_us =
+      let b = Int64.mul (Int64.of_int t.round) t.sync_us in
+      if b > t.deadline_us || b <= 0L then t.deadline_us else b
+    in
+    Engine.run_round e ~bound_us;
+    let entries = Engine.queue_entries e in
+    let edges = Engine.entry_edges e in
+    let fresh =
+      List.filteri (fun i _ -> i >= t.last_export) (List.combine entries edges)
+    in
+    let crashes = Engine.crash_log e in
+    let fresh_crashes =
+      List.filteri (fun i _ -> i >= t.crash_export) crashes
+    in
+    t.crash_export <- List.length crashes;
+    t.phase <- Awaiting_merge;
+    send t
+      (Wire.Report
+         {
+           worker = t.id;
+           round = t.round;
+           report =
+             {
+               entries = fresh;
+               crashes = fresh_crashes;
+               diff = Engine.export_diff e;
+               hits = Engine.coverage_hits e;
+               execs = (Engine.snapshot e).snap_execs;
+               finished = Engine.campaign_over e;
+             };
+         })
+
+  let rec poll t ~now =
+    match t.phase with
+    | Closed r -> Finished r
+    | Running ->
+        run_and_report t;
+        poll t ~now
+    | Joining | Awaiting_merge | Awaiting_proceed | Finalizing -> (
+        match t.outbox with
+        | None -> Idle t.timeout
+        | Some payload ->
+            if t.sent_at < 0 && now < t.defer_until then
+              Idle (t.defer_until - now)
+            else if t.sent_at < 0 then begin
+              t.sent_at <- now;
+              Transmit payload
+            end
+            else if now - t.sent_at >= cur_timeout t then begin
+              t.retries <- t.retries + 1;
+              (* Enrollment never gives up: the leader decides how long
+                 the fleet waits, so a worker keeps knocking (with
+                 bounded backoff) until welcomed.  Mid-campaign requests
+                 obey the retry budget. *)
+              if t.phase <> Joining then t.attempts <- t.attempts + 1
+              else if t.attempts < 5 then t.attempts <- t.attempts + 1;
+              if t.phase <> Joining && t.attempts > t.retry_budget then begin
+                fail t
+                  (Printf.sprintf
+                     "fleet worker %d: leader unresponsive (%d retries \
+                      exhausted)"
+                     t.id t.retry_budget);
+                poll t ~now
+              end
+              else begin
+                t.sent_at <- now;
+                Transmit payload
+              end
+            end
+            else Idle (t.sent_at + cur_timeout t - now))
+
+  let barrier t =
+    let e = engine_exn t in
+    t.phase <- Awaiting_proceed;
+    send t
+      (Wire.Barrier { worker = t.id; round = t.round; state = Engine.to_string e })
+
+  let deliver t ~now frame =
+    match Wire.decode frame with
+    | Error _ -> () (* mangled in flight; the retransmit timer recovers *)
+    | Ok msg -> (
+        match (t.phase, msg) with
+        | Closed _, _ -> () (* already retired; nothing can reopen us *)
+        | Joining, Wire.Welcome { worker; round; sync_hours; state } -> (
+            match Engine.of_string state with
+            | Error e -> fail t ("fleet worker: welcome state: " ^ e)
+            | Ok engine ->
+                t.engine <- Some engine;
+                t.id <- worker;
+                t.round <- round;
+                let cfg = Engine.config engine in
+                t.sync_us <- Nf_stdext.Vclock.of_hours sync_hours;
+                t.deadline_us <-
+                  Nf_stdext.Vclock.of_hours cfg.Engine.duration_hours;
+                t.last_export <- List.length (Engine.queue_entries engine);
+                t.crash_export <- List.length (Engine.crash_log engine);
+                t.phase <- Running;
+                t.outbox <- None)
+        | Joining, Wire.Goodbye ->
+            (* Rejoined after our Final was already accepted: the
+               campaign is over and our contribution is in. *)
+            t.phase <- Closed (Ok ());
+            t.outbox <- None
+        | _, Wire.Busy { reason } -> fail t ("fleet worker: leader refused: " ^ reason)
+        | Awaiting_merge, Wire.Wait ->
+            (* The round is waiting on stragglers (possibly a dead peer
+               running out its rejoin window); the leader is alive, so
+               this never counts against the retry budget — schedule a
+               polite re-poll one timeout from now. *)
+            t.attempts <- 0;
+            t.outbox <-
+              Some (Wire.encode (Wire.Poll { worker = t.id; round = t.round }));
+            t.sent_at <- -1;
+            t.defer_until <- now + t.timeout
+        | Awaiting_merge, Wire.Merge { round; imports; diff }
+          when round = t.round -> (
+            let e = engine_exn t in
+            Engine.apply_imports e ~worker:t.id imports;
+            t.last_export <- List.length (Engine.queue_entries e);
+            match diff with
+            | None -> barrier t
+            | Some blob -> (
+                match Engine.assign_diff e blob with
+                | Ok () -> barrier t
+                | Error msg -> fail t ("fleet worker: merge diff: " ^ msg)))
+        | Awaiting_proceed, Wire.Proceed { round; last } when round = t.round
+          ->
+            if last then begin
+              let e = engine_exn t in
+              t.phase <- Finalizing;
+              send t
+                (Wire.Final
+                   {
+                     worker = t.id;
+                     result = Engine.result_to_string (Engine.finish e);
+                   })
+            end
+            else begin
+              t.round <- t.round + 1;
+              t.phase <- Running;
+              t.outbox <- None
+            end
+        | Finalizing, Wire.Goodbye ->
+            t.phase <- Closed (Ok ());
+            t.outbox <- None
+        | _ -> () (* stale, duplicated or out-of-phase: ignore *))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Leader state machine *)
+
+module Leader = struct
+  type slot = {
+    mutable assigned : bool;
+    mutable owner : int; (* conn that enrolled the slot; sticky *)
+    mutable conn : int option; (* live connection, None while presumed dead *)
+    mutable last_seen : int;
+    mutable next_check : int; (* rejoin-patience deadline while dead *)
+    mutable attempts : int; (* consecutive heartbeat timeouts *)
+    mutable abandoned : bool;
+    mutable verdict : Engine.worker_status;
+    mutable barrier : string; (* engine blob at the last completed barrier *)
+    mutable barrier_round : int;
+    mutable report : Wire.report option;
+    mutable report_round : int; (* 0: none yet *)
+    mutable finished : bool; (* campaign_over flag of the last report *)
+    mutable final : string option; (* serialized final result *)
+  }
+
+  type mstats = {
+    mutable m_joins : int;
+    mutable m_rejoins : int;
+    mutable m_deaths : int;
+    mutable m_abandoned : int;
+  }
+
+  type t = {
+    cfg : Engine.cfg;
+    options : Engine.options;
+    jobs : int;
+    sync_hours : float;
+    timeout : int;
+    table : Engine.Sync.table;
+    slots : slot array;
+    merges : (int, string) Hashtbl.t; (* round -> encoded Merge frame *)
+    lasts : (int, bool) Hashtbl.t;
+        (* round -> was it the campaign's final round?  Snapshotted when
+           the round merges, so every worker's Proceed carries the same
+           verdict no matter how late its Barrier lands (a fast peer may
+           already have reported round+1 by then). *)
+    mutable rounds : int; (* merges computed so far *)
+    ms : mstats;
+    metrics : Obs.Metrics.t; (* fleet-local transport registry *)
+  }
+
+  let create ?(options = Engine.default_options) ?(timeout = 50) ~jobs
+      (cfg : Engine.cfg) =
+    if jobs < 1 then invalid_arg "Fleet.Leader.create: jobs must be >= 1";
+    if timeout < 1 then invalid_arg "Fleet.Leader.create: timeout must be >= 1";
+    let sync_hours =
+      match options.Engine.sync_hours with
+      | Some h -> h
+      | None -> cfg.Engine.checkpoint_hours
+    in
+    if sync_hours <= 0.0 then
+      invalid_arg "Fleet.Leader.create: sync_hours must be positive";
+    let table = Engine.Sync.create () in
+    let slots =
+      Array.init jobs (fun w ->
+          (* The same per-worker engines [run_parallel] builds: worker
+             [w] runs seed [cfg.seed + w].  The initial seeds are
+             identical in every worker; marking worker 0's copy keeps
+             sync from ever re-broadcasting them. *)
+          let e =
+            Engine.create ~differential:options.Engine.differential
+              ~corpus:options.Engine.corpus
+              { cfg with Engine.seed = cfg.Engine.seed + w }
+          in
+          if w = 0 then
+            List.iter
+              (Engine.Sync.mark_distributed table)
+              (Engine.queue_entries e);
+          {
+            assigned = false;
+            owner = -1;
+            conn = None;
+            last_seen = 0;
+            next_check = 0;
+            attempts = 0;
+            abandoned = false;
+            verdict = Engine.Healthy;
+            barrier = Engine.to_string e;
+            barrier_round = 0;
+            report = None;
+            report_round = 0;
+            finished = false;
+            final = None;
+          })
+    in
+    {
+      cfg;
+      options;
+      jobs;
+      sync_hours;
+      timeout;
+      table;
+      slots;
+      merges = Hashtbl.create 17;
+      lasts = Hashtbl.create 17;
+      rounds = 0;
+      ms = { m_joins = 0; m_rejoins = 0; m_deaths = 0; m_abandoned = 0 };
+      metrics = Obs.Metrics.create ();
+    }
+
+  let emit t ~worker ~now ev =
+    let obs = t.options.Engine.obs in
+    if not (Obs.Sink.is_null obs) then
+      Obs.Sink.emit obs ~ts_us:(Int64.of_int now) ~worker ev
+
+  let finished t =
+    Array.for_all (fun s -> s.abandoned || s.final <> None) t.slots
+
+  let campaign_done t =
+    Array.for_all (fun s -> s.abandoned || s.finished) t.slots
+
+  (* Compute merge [round] once every non-abandoned slot has reported
+     it.  This is [sync_phase], steps 1/3/5, fed from the wire: exports
+     folded through [Sync.broadcast] in worker-id order, crash claims
+     through [Sync.claim_crashes], the diff stores unioned in worker-id
+     order.  Abandoned workers contribute empty exports — exactly what
+     their frozen engines would export in-process (their last-export
+     marks equal their frozen queues) — and their frozen diff stores are
+     subsets of every live store (each barrier assigned the union back),
+     so skipping them changes nothing. *)
+  let try_merge t ~round ~now =
+    if
+      round = t.rounds + 1
+      && (not (Hashtbl.mem t.merges round))
+      && Array.for_all
+           (fun s -> s.abandoned || s.report_round = round)
+           t.slots
+    then begin
+      let live w =
+        let s = t.slots.(w) in
+        if s.abandoned then None else Some (Option.get s.report)
+      in
+      let exports = ref [] in
+      Array.iteri
+        (fun w _ ->
+          let entries =
+            match live w with None -> [] | Some r -> r.Wire.entries
+          in
+          exports := (w, entries) :: !exports)
+        t.slots;
+      let imports = Engine.Sync.broadcast t.table (List.rev !exports) in
+      let claims = ref [] in
+      Array.iteri
+        (fun w _ ->
+          let crashes =
+            match live w with None -> [] | Some r -> r.Wire.crashes
+          in
+          claims := (w, crashes) :: !claims)
+        t.slots;
+      Engine.Sync.claim_crashes t.table (List.rev !claims);
+      let diff =
+        if not t.options.Engine.differential then None
+        else begin
+          let blobs =
+            List.filter_map
+              (fun w -> Option.bind (live w) (fun r -> r.Wire.diff))
+              (List.init t.jobs Fun.id)
+          in
+          match blobs with
+          | [] -> None
+          | first :: rest ->
+              (* Blobs arrive CRC-checked, so a decode failure here is a
+                 codec bug, not line noise: let it raise. *)
+              let u = Diff.read (Persist.Reader.of_string first) in
+              List.iter
+                (fun b ->
+                  Diff.merge ~into:u (Diff.read (Persist.Reader.of_string b)))
+                rest;
+              let w = Persist.Writer.create () in
+              Diff.write w u;
+              Some (Persist.Writer.contents w)
+        end
+      in
+      Hashtbl.replace t.merges round
+        (Wire.encode (Wire.Merge { round; imports; diff }));
+      Hashtbl.replace t.lasts round (campaign_done t);
+      t.rounds <- round;
+      Obs.Metrics.incr t.metrics "fleet/merges";
+      if not (Obs.Sink.is_null t.options.Engine.obs) then begin
+        (* Observational only (never merged into campaign results):
+           round telemetry mirroring [run_parallel]'s Worker_sync. *)
+        let workers =
+          Array.fold_left
+            (fun acc s -> if s.abandoned then acc else acc + 1)
+            0 t.slots
+        in
+        let execs =
+          Array.fold_left
+            (fun acc s ->
+              match s.report with Some r -> acc + r.Wire.execs | None -> acc)
+            0 t.slots
+        in
+        let coverage_pct =
+          let region = Engine.target_region t.cfg.Engine.target in
+          let u = Cov.Map.create region in
+          Array.iter
+            (fun s ->
+              match s.report with
+              | Some r -> (
+                  match Cov.Map.of_hits region r.Wire.hits with
+                  | Ok m -> Cov.Map.merge u m
+                  | Error _ -> ())
+              | None -> ())
+            t.slots;
+          Cov.Map.coverage_pct u
+        in
+        emit t ~worker:0 ~now
+          (Obs.Event.Worker_sync { round; workers; execs; coverage_pct })
+      end
+    end
+
+  let abandon t w (s : slot) ~now =
+    s.abandoned <- true;
+    s.verdict <-
+      Engine.Abandoned { attempts = s.attempts; error = "heartbeat timeout" };
+    t.ms.m_abandoned <- t.ms.m_abandoned + 1;
+    Obs.Metrics.incr t.metrics "fleet/abandoned";
+    emit t ~worker:w ~now
+      (Obs.Event.Worker_abandoned
+         { worker = w; attempts = s.attempts; error = "heartbeat timeout" });
+    (* The stalled round may now be mergeable, and the campaign may now
+       be over (the survivors' finals are already in). *)
+    try_merge t ~round:(t.rounds + 1) ~now
+
+  (* Heartbeat supervision: a connected worker that goes quiet past the
+     timeout is presumed dead; the leader then waits for a rejoin with
+     exponentially growing patience ([timeout · 2^(attempts-1)], the
+     wire-side sibling of the Domain supervisor's backoff), and past the
+     retry budget abandons the slot — frozen at its last barrier — so
+     the campaign degrades deterministically to the survivors.  A slot
+     nobody has ever claimed is supervised by the same clock (armed
+     with one full window at the first check): a worker that never
+     shows up must abandon, not stall every joined peer at the first
+     merge forever. *)
+  let check_timeouts t ~now =
+    let budget = t.options.Engine.supervision.Engine.retry_budget in
+    Array.iteri
+      (fun w s ->
+        if not s.abandoned then
+          match s.conn with
+          | Some _ ->
+              if now - s.last_seen > t.timeout then begin
+                s.conn <- None;
+                s.attempts <- s.attempts + 1;
+                t.ms.m_deaths <- t.ms.m_deaths + 1;
+                Obs.Metrics.incr t.metrics "fleet/deaths";
+                s.next_check <-
+                  now + (t.timeout * (1 lsl min (s.attempts - 1) 16));
+                if s.attempts > budget then abandon t w s ~now
+              end
+          | None ->
+              if (not s.assigned) && s.next_check = 0 then
+                s.next_check <- now + t.timeout
+              else if now >= s.next_check then begin
+                s.attempts <- s.attempts + 1;
+                s.next_check <-
+                  now + (t.timeout * (1 lsl min (s.attempts - 1) 16));
+                if s.attempts > budget then abandon t w s ~now
+              end)
+      t.slots
+
+  let welcome t w (s : slot) ~conn ~now ~rejoined =
+    s.conn <- Some conn;
+    s.owner <- conn;
+    s.last_seen <- now;
+    s.attempts <- 0;
+    if rejoined then begin
+      t.ms.m_rejoins <- t.ms.m_rejoins + 1;
+      Obs.Metrics.incr t.metrics "fleet/rejoins"
+    end
+    else begin
+      t.ms.m_joins <- t.ms.m_joins + 1;
+      Obs.Metrics.incr t.metrics "fleet/joins"
+    end;
+    emit t ~worker:w ~now (Obs.Event.Worker_joined { worker = w; rejoined });
+    if s.final <> None then
+      (* Died between Final and Goodbye: its contribution is already
+         in; just let it go. *)
+      Wire.encode Wire.Goodbye
+    else
+      Wire.encode
+        (Wire.Welcome
+           {
+             worker = w;
+             round = s.barrier_round + 1;
+             sync_hours = t.sync_hours;
+             state = s.barrier;
+           })
+
+  let hello t ~conn ~now prev =
+    match prev with
+    | Some w ->
+        if w < 0 || w >= t.jobs then
+          Wire.encode
+            (Wire.Busy { reason = Printf.sprintf "unknown worker %d" w })
+        else
+          let s = t.slots.(w) in
+          if s.abandoned then
+            Wire.encode
+              (Wire.Busy
+                 { reason = Printf.sprintf "worker %d was abandoned" w })
+          else if
+            (* A live different connection already owns the slot: refuse
+               the takeover rather than fork the worker's identity. *)
+            match s.conn with
+            | Some c -> c <> conn && now - s.last_seen <= t.timeout
+            | None -> false
+          then Wire.encode (Wire.Busy { reason = "slot has a live worker" })
+          else begin
+            s.assigned <- true;
+            welcome t w s ~conn ~now ~rejoined:true
+          end
+    | None -> (
+        (* A reconnecting worker that lost its Welcome retransmits a
+           fresh Hello: the sticky [owner] field routes it back to its
+           slot instead of burning a new one. *)
+        let by_owner = ref None in
+        Array.iteri
+          (fun w s ->
+            if !by_owner = None && s.assigned && s.owner = conn then
+              by_owner := Some w)
+          t.slots;
+        match !by_owner with
+        | Some w ->
+            let s = t.slots.(w) in
+            if s.abandoned then
+              Wire.encode
+                (Wire.Busy
+                   { reason = Printf.sprintf "worker %d was abandoned" w })
+            else welcome t w s ~conn ~now ~rejoined:(s.barrier_round > 0)
+        | None -> (
+            let free = ref None in
+            Array.iteri
+              (fun w s ->
+                if !free = None && (not s.assigned) && not s.abandoned then
+                  free := Some w)
+              t.slots;
+            match !free with
+            | None -> Wire.encode (Wire.Busy { reason = "fleet is full" })
+            | Some w ->
+                let s = t.slots.(w) in
+                s.assigned <- true;
+                welcome t w s ~conn ~now ~rejoined:false))
+
+  let seen (s : slot) ~conn ~now =
+    s.conn <- Some conn;
+    s.last_seen <- now;
+    s.attempts <- 0
+
+  (* The reply to a Report/Poll for [round]: the cached Merge once the
+     round has merged, Wait while it blocks on stragglers.  Cached
+     merges make duplicate and re-sent requests idempotent. *)
+  let round_reply t ~round =
+    match Hashtbl.find_opt t.merges round with
+    | Some frame -> frame
+    | None -> Wire.encode Wire.Wait
+
+  let handle t ~now ~conn frame : string option =
+    match Wire.decode frame with
+    | Error _ -> None (* mangled in flight: the sender retransmits *)
+    | Ok msg -> (
+        match msg with
+        | Wire.Hello { prev } -> Some (hello t ~conn ~now prev)
+        | Wire.Report { worker; round; report } ->
+            if worker < 0 || worker >= t.jobs then None
+            else
+              let s = t.slots.(worker) in
+              if s.abandoned then
+                Some
+                  (Wire.encode
+                     (Wire.Busy
+                        {
+                          reason =
+                            Printf.sprintf "worker %d was abandoned" worker;
+                        }))
+              else begin
+                seen s ~conn ~now;
+                if round = s.barrier_round + 1 && s.report_round < round then begin
+                  s.report <- Some report;
+                  s.report_round <- round;
+                  s.finished <- report.Wire.finished;
+                  try_merge t ~round ~now
+                end;
+                Some (round_reply t ~round)
+              end
+        | Wire.Poll { worker; round } ->
+            if worker < 0 || worker >= t.jobs then None
+            else
+              let s = t.slots.(worker) in
+              if s.abandoned then
+                Some
+                  (Wire.encode
+                     (Wire.Busy
+                        {
+                          reason =
+                            Printf.sprintf "worker %d was abandoned" worker;
+                        }))
+              else begin
+                seen s ~conn ~now;
+                Some (round_reply t ~round)
+              end
+        | Wire.Barrier { worker; round; state } ->
+            if worker < 0 || worker >= t.jobs then None
+            else
+              let s = t.slots.(worker) in
+              if s.abandoned then
+                Some
+                  (Wire.encode
+                     (Wire.Busy
+                        {
+                          reason =
+                            Printf.sprintf "worker %d was abandoned" worker;
+                        }))
+              else begin
+                seen s ~conn ~now;
+                if round = s.barrier_round + 1 && Hashtbl.mem t.merges round
+                then begin
+                  s.barrier <- state;
+                  s.barrier_round <- round;
+                  s.report <- None
+                end;
+                (* Idempotent: a duplicated or re-sent Barrier for the
+                   already-completed round gets the same Proceed. *)
+                if round = s.barrier_round then
+                  let last =
+                    match Hashtbl.find_opt t.lasts round with
+                    | Some b -> b
+                    | None -> campaign_done t
+                  in
+                  Some (Wire.encode (Wire.Proceed { round; last }))
+                else None
+              end
+        | Wire.Final { worker; result } ->
+            if worker < 0 || worker >= t.jobs then None
+            else
+              let s = t.slots.(worker) in
+              (* An abandoned slot is frozen at its last barrier: a
+                 straggler Final must not resurrect it (the survivors
+                 merged without it).  Goodbye lets the worker retire. *)
+              if not s.abandoned then begin
+                seen s ~conn ~now;
+                if s.final = None then s.final <- Some result
+              end;
+              Some (Wire.encode Wire.Goodbye)
+        | Wire.Welcome _ | Wire.Busy _ | Wire.Wait | Wire.Merge _
+        | Wire.Proceed _ | Wire.Goodbye ->
+            None (* worker-bound messages; not ours to answer *))
+
+  let metrics t = t.metrics
+
+  let stats t =
+    {
+      joins = t.ms.m_joins;
+      rejoins = t.ms.m_rejoins;
+      deaths = t.ms.m_deaths;
+      abandoned = t.ms.m_abandoned;
+      retries = 0;
+      faults = 0;
+    }
+
+  let outcome t : outcome =
+    if not (finished t) then
+      invalid_arg "Fleet.Leader.outcome: the campaign is still running";
+    let results =
+      Array.map
+        (fun s ->
+          match (s.abandoned, s.final) with
+          | false, Some blob -> (
+              match Engine.result_of_string blob with
+              | Ok r -> r
+              | Error msg ->
+                  invalid_arg ("Fleet.Leader.outcome: final result: " ^ msg))
+          | _ -> (
+              (* Abandoned: frozen at its last barrier — exactly what
+                 [run_parallel] does with an abandoned engine. *)
+              match Engine.of_string s.barrier with
+              | Ok e -> Engine.finish e
+              | Error msg ->
+                  invalid_arg ("Fleet.Leader.outcome: barrier state: " ^ msg)))
+        t.slots
+    in
+    let supervision = Array.map (fun s -> s.verdict) t.slots in
+    let fleet =
+      if t.jobs = 1 then
+        { Engine.merged = results.(0); workers = results; supervision }
+      else
+        let merged =
+          Engine.merge_results ~cfg:t.cfg ~results ~supervision
+            ~merged_crashes:(Engine.Sync.merged_crashes t.table)
+            ~corpus_size:(Engine.Sync.corpus_size t.table) ~rounds:t.rounds
+            ~differential:t.options.Engine.differential
+        in
+        { Engine.merged; workers = results; supervision }
+    in
+    { fleet; stats = stats t }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic in-process fleet simulation *)
+
+type sim_worker = {
+  mutable fsm : Worker.t;
+  mutable alive : bool;
+  mutable rejoin_at : int option;
+  mutable slot : int; (* last slot this worker held; -1 before Welcome *)
+  mutable lost_retries : int; (* retries of FSMs replaced on rejoin *)
+}
+
+let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
+    ?(fault_seed = 0) ?(churn = []) ?(rejoin_after = 5)
+    ?(leader_timeout = 50) ?(worker_timeout = 8) ?(max_ticks = 2_000_000)
+    ~jobs (cfg : Engine.cfg) : outcome =
+  if rejoin_after < 1 then
+    invalid_arg "Fleet.run_sim: rejoin_after must be >= 1";
+  let faults = ref 0 in
+  let now_ref = ref 0 in
+  let obs = options.Engine.obs in
+  let chaos =
+    if fault_rate = 0.0 then None
+    else
+      Some
+        (Chaos.create ~rate:fault_rate ~seed:fault_seed
+           ~on_fault:(fun k ->
+             incr faults;
+             if not (Obs.Sink.is_null obs) then
+               Obs.Sink.emit obs
+                 ~ts_us:(Int64.of_int !now_ref)
+                 (Obs.Event.Net_fault { kind = Chaos.kind_name k }))
+           ())
+  in
+  let leader = Leader.create ~options ~timeout:leader_timeout ~jobs cfg in
+  let workers =
+    Array.init jobs (fun _ ->
+        {
+          fsm = Worker.create ~timeout:worker_timeout
+              ~retry_budget:options.Engine.supervision.Engine.retry_budget ();
+          alive = true;
+          rejoin_at = None;
+          slot = -1;
+          lost_retries = 0;
+        })
+  in
+  (* The simulated network: frames in flight as (due tick, sequence, to
+     leader?, conn/worker index, payload), delivered in (due, seq) order
+     — fully deterministic.  Worker index doubles as the connection id,
+     so a rejoined worker reclaims its slot through the leader's sticky
+     owner routing. *)
+  let pending = ref [] in
+  let seq = ref 0 in
+  let transmit ~to_leader ~idx payload =
+    let copies =
+      match chaos with None -> [ (0, payload) ] | Some c -> Chaos.plan c payload
+    in
+    List.iter
+      (fun (delay, p) ->
+        incr seq;
+        pending := (!now_ref + 1 + delay, !seq, to_leader, idx, p) :: !pending)
+      copies
+  in
+  let churn_left = ref churn in
+  let should_kill i w =
+    Worker.about_to_run w.fsm
+    && List.exists (fun (cw, cr) -> cw = i && cr = Worker.round w.fsm) !churn_left
+  in
+  let kill i w =
+    churn_left :=
+      List.filter
+        (fun (cw, cr) -> not (cw = i && cr = Worker.round w.fsm))
+        !churn_left;
+    w.alive <- false;
+    if Worker.id w.fsm >= 0 then w.slot <- Worker.id w.fsm;
+    w.lost_retries <- w.lost_retries + Worker.retries w.fsm;
+    w.rejoin_at <- Some (!now_ref + rejoin_after)
+  in
+  while not (Leader.finished leader) do
+    if !now_ref > max_ticks then
+      failwith "Fleet.run_sim: tick budget exceeded (fleet livelocked?)";
+    let now = !now_ref in
+    (* 1. Deliver frames that are due. *)
+    let due, later =
+      List.partition (fun (d, _, _, _, _) -> d <= now) !pending
+    in
+    pending := later;
+    List.iter
+      (fun (_, _, to_leader, idx, payload) ->
+        if to_leader then begin
+          match Leader.handle leader ~now ~conn:idx payload with
+          | Some reply -> transmit ~to_leader:false ~idx reply
+          | None -> ()
+        end
+        else begin
+          let w = workers.(idx) in
+          if w.alive then Worker.deliver w.fsm ~now payload
+        end)
+      (List.sort compare due);
+    (* 2. Heartbeat supervision. *)
+    Leader.check_timeouts leader ~now;
+    (* 3. Scheduled rejoins: a dead worker comes back as a fresh process
+       that resyncs from the leader's barrier checkpoint. *)
+    Array.iteri
+      (fun _ w ->
+        match w.rejoin_at with
+        | Some t when t <= now ->
+            w.rejoin_at <- None;
+            w.fsm <-
+              Worker.create
+                ?prev:(if w.slot >= 0 then Some w.slot else None)
+                ~timeout:worker_timeout
+                ~retry_budget:options.Engine.supervision.Engine.retry_budget ();
+            w.alive <- true
+        | _ -> ())
+      workers;
+    (* 4. Drive the worker machines (worker order: deterministic). *)
+    Array.iteri
+      (fun i w ->
+        if w.alive then
+          if should_kill i w then kill i w
+          else
+            match Worker.poll w.fsm ~now with
+            | Worker.Transmit payload -> transmit ~to_leader:true ~idx:i payload
+            | Worker.Idle _ -> ()
+            | Worker.Finished (Ok ()) -> ()
+            | Worker.Finished (Error _) ->
+                (* The worker process gave up (its own retry budget, or
+                   a leader refusal): model the operator's crash-restart
+                   loop.  If its slot was abandoned meanwhile the rejoin
+                   is refused again, harmlessly, until the campaign ends
+                   without it. *)
+                w.alive <- false;
+                if Worker.id w.fsm >= 0 then w.slot <- Worker.id w.fsm;
+                w.lost_retries <- w.lost_retries + Worker.retries w.fsm;
+                w.rejoin_at <- Some (now + rejoin_after))
+      workers;
+    incr now_ref
+  done;
+  let o = Leader.outcome leader in
+  let retries =
+    Array.fold_left
+      (fun acc w -> acc + w.lost_retries + Worker.retries w.fsm)
+      0 workers
+  in
+  { o with stats = { o.stats with faults = !faults; retries } }
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport *)
+
+let parse_addr s : (Unix.sockaddr, string) result =
+  match String.index_opt s ':' with
+  | None ->
+      Error
+        (Printf.sprintf "bad address %S (expected unix:PATH or tcp:HOST:PORT)"
+           s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error "unix address needs a socket path"
+          else Ok (Unix.ADDR_UNIX rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None ->
+              Error
+                (Printf.sprintf "bad tcp address %S (expected tcp:HOST:PORT)" s)
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | None -> Error (Printf.sprintf "bad port %S" port)
+              | Some p when p < 0 || p > 65535 ->
+                  Error (Printf.sprintf "port %d out of range" p)
+              | Some p -> (
+                  match
+                    try Some (Unix.inet_addr_of_string host)
+                    with _ -> (
+                      try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+                      with _ -> None)
+                  with
+                  | Some addr -> Ok (Unix.ADDR_INET (addr, p))
+                  | None -> Error (Printf.sprintf "unknown host %S" host))))
+      | other -> Error (Printf.sprintf "unknown address scheme %S" other))
+
+(* Outer transport framing: a 4-byte little-endian length prefix per
+   frame.  This layer is reliable by construction — chaos only ever
+   mangles the Persist frame inside, so a byte stream never
+   desynchronizes. *)
+
+let max_frame_bytes = 256 * 1024 * 1024
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let send_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let k = Unix.read fd b !off (n - !off) in
+    if k = 0 then eof := true else off := !off + k
+  done;
+  if !eof then None else Some b
+
+let recv_frame fd =
+  match read_exact fd 4 with
+  | None -> None
+  | Some hdr ->
+      let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      if n < 0 || n > max_frame_bytes then None
+      else if n = 0 then Some ""
+      else
+        Option.map Bytes.to_string (read_exact fd n)
+
+let ms_clock () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0)
+
+let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
+    (cfg : Engine.cfg) : (outcome, string) result =
+  match
+    let leader = Leader.create ~options ~timeout:timeout_ms ~jobs cfg in
+    let domain =
+      match addr with
+      | Unix.ADDR_UNIX path ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Unix.PF_UNIX
+      | Unix.ADDR_INET _ -> Unix.PF_INET
+    in
+    let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        match addr with
+        | Unix.ADDR_UNIX path -> (
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Unix.ADDR_INET _ -> ())
+      (fun () ->
+        Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+        Unix.bind listen_fd addr;
+        Unix.listen listen_fd 64;
+        let now = ms_clock () in
+        (* Connection ids are monotonic, never reused: the leader's
+           sticky slot ownership must not confuse two distinct clients
+           that happened to share a recycled fd number. *)
+        let next_conn = ref 0 in
+        let conns : (Unix.file_descr * int) list ref = ref [] in
+        let drop fd =
+          conns := List.filter (fun (fd', _) -> fd' <> fd) !conns;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        in
+        while not (Leader.finished leader) do
+          let fds = listen_fd :: List.map fst !conns in
+          let readable, _, _ =
+            try Unix.select fds [] [] 0.05
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              if fd = listen_fd then begin
+                let client, _ = Unix.accept fd in
+                incr next_conn;
+                conns := (client, !next_conn) :: !conns
+              end
+              else
+                match List.assoc_opt fd !conns with
+                | None -> ()
+                | Some conn -> (
+                    match recv_frame fd with
+                    | None -> drop fd
+                    | Some payload -> (
+                        match
+                          Leader.handle leader ~now:(now ()) ~conn payload
+                        with
+                        | Some reply -> (
+                            try send_frame fd reply
+                            with Unix.Unix_error _ | Sys_error _ -> drop fd)
+                        | None -> ())))
+            readable;
+          Leader.check_timeouts leader ~now:(now ())
+        done;
+        List.iter
+          (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+          !conns;
+        Leader.outcome leader)
+  with
+  | o -> Ok o
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "fleet leader: %s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+  | exception Failure msg | exception Invalid_argument msg ->
+      Error ("fleet leader: " ^ msg)
+
+let work ?(timeout_ms = 2_000)
+    ?(retry_budget = Engine.default_supervision.Engine.retry_budget)
+    ?(fault_rate = 0.0) ?(fault_seed = 0) ?prev ~addr () :
+    (unit, string) result =
+  match
+    let chaos =
+      if fault_rate = 0.0 then None
+      else Some (Chaos.create ~rate:fault_rate ~seed:fault_seed ())
+    in
+    let fd =
+      let fd =
+        Unix.socket
+          (match addr with
+          | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+          | Unix.ADDR_INET _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      (* The leader may come up moments after its workers: retry the
+         connect for a few seconds before giving up. *)
+      let rec connect attempt =
+        match Unix.connect fd addr with
+        | () -> ()
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          when attempt < 50 ->
+            Unix.sleepf 0.2;
+            connect (attempt + 1)
+      in
+      connect 0;
+      fd
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let now = ms_clock () in
+        let w = Worker.create ?prev ~timeout:timeout_ms ~retry_budget () in
+        let send payload =
+          let copies =
+            match chaos with
+            | None -> [ (0, payload) ]
+            | Some c -> Chaos.plan c payload
+          in
+          List.iter
+            (fun (delay, p) ->
+              if delay > 0 then Unix.sleepf (0.01 *. float_of_int delay);
+              send_frame fd p)
+            copies
+        in
+        let rec loop () =
+          match Worker.poll w ~now:(now ()) with
+          | Worker.Finished r -> r
+          | Worker.Transmit payload ->
+              send payload;
+              loop ()
+          | Worker.Idle wait_ms ->
+              let wait_s = float_of_int (min wait_ms 500) /. 1000.0 in
+              let readable, _, _ =
+                try Unix.select [ fd ] [] [] wait_s
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+              in
+              if readable = [] then loop ()
+              else (
+                match recv_frame fd with
+                | None -> Error "fleet worker: leader closed the connection"
+                | Some frame ->
+                    Worker.deliver w ~now:(now ()) frame;
+                    loop ())
+        in
+        loop ())
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "fleet worker: %s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+  | exception Failure msg | exception Invalid_argument msg ->
+      Error ("fleet worker: " ^ msg)

@@ -1,0 +1,343 @@
+(** Fault-tolerant distributed fuzzing fleet: a leader/worker wire
+    protocol that reproduces {!Nf_engine.Engine.run_parallel}'s
+    barrier-synced campaign across process boundaries.
+
+    The Domain-parallel campaign is already a message-passing protocol
+    in disguise: workers only interact at sync barriers, through values
+    that serialize — fresh corpus entries (with the edge metadata their
+    discoverer recorded), crash signatures, differential-store blobs,
+    coverage maps and barrier checkpoints.  The fleet makes those
+    messages explicit ({!Nf_persist.Persist}-framed, CRC-checked,
+    shipped over Unix or TCP sockets) and keeps the merge rules
+    identical, so a fleet of [N] workers converges to the {e same}
+    merged result digest as [run_parallel ~jobs:N] — the invariant the
+    chaos tests pin under every wire-fault and worker-churn schedule.
+
+    Robustness model:
+    - {b Heartbeats}: every worker request doubles as a liveness signal;
+      a slot silent past the leader's timeout is presumed dead.
+    - {b Supervision}: the leader waits for a rejoin with exponentially
+      growing patience, governed by
+      {!Nf_engine.Engine.options.supervision} — the same retry budget
+      and backoff policy the Domain supervisor uses — and past the
+      budget abandons the slot, frozen at its last barrier, degrading
+      the campaign to the survivors exactly as [run_parallel] does.
+    - {b Rejoin}: a returning worker resyncs from the leader's barrier
+      checkpoint and re-runs its round deterministically; duplicate
+      reports are byte-identical and deduplicated, so recovery is
+      idempotent.
+    - {b Wire faults}: {!Chaos} mangles frames (drop, truncate, corrupt,
+      duplicate, delay) deterministically by seed; the typed decode
+      layer rejects damage and retransmission timers recover.
+
+    The {!Leader} and {!Worker} state machines are pure with respect to
+    the transport: they consume timestamps and frames and emit frames.
+    {!run_sim} drives them through a simulated network in one process
+    (the chaos-test harness); {!lead} and {!work} drive the {e same}
+    machines over real sockets. *)
+
+(** {1 Wire protocol} *)
+
+module Wire : sig
+  (** Frame envelope constants: every message is
+      [Persist.frame ~magic ~version] over the encoded payload, CRC32
+      and all. *)
+
+  val magic : string
+  val version : int
+
+  (** One worker's round contribution: queue entries discovered since
+      its previous export (with per-entry edge metadata), crashes found
+      since its previous claim, its serialized differential store (when
+      the campaign is differential), its raw coverage hit counters, its
+      exec count, and whether its campaign window is over. *)
+  type report = {
+    entries : (Bytes.t * int array) list;
+    crashes : Nf_engine.Engine.crash_report list;
+    diff : string option;
+    hits : int array;
+    execs : int;
+    finished : bool;
+  }
+
+  (** The protocol.  Workers drive: every worker-bound message is a
+      response to a worker request, so the leader never needs to push.
+
+      {v
+      tag  message   direction          payload
+       0   Hello     worker -> leader   prev slot (rejoin) or none
+       1   Welcome   leader -> worker   slot id, round, sync pitch,
+                                        barrier checkpoint to resync from
+       2   Busy      leader -> worker   refusal (fleet full, abandoned…)
+       3   Report    worker -> leader   round contribution (see report)
+       4   Poll      worker -> leader   re-ask for a pending merge
+       5   Wait      leader -> worker   round still blocked on stragglers
+       6   Merge     leader -> worker   round broadcast: imports + diff
+       7   Barrier   worker -> leader   post-merge engine checkpoint
+       8   Proceed   leader -> worker   advance; last=true -> finalize
+       9   Final     worker -> leader   serialized campaign result
+      10   Goodbye   leader -> worker   contribution accepted, retire
+      v} *)
+  type msg =
+    | Hello of { prev : int option }
+    | Welcome of { worker : int; round : int; sync_hours : float; state : string }
+    | Busy of { reason : string }
+    | Report of { worker : int; round : int; report : report }
+    | Poll of { worker : int; round : int }
+    | Wait
+    | Merge of {
+        round : int;
+        imports : (int * Bytes.t * int array) list;
+        diff : string option;
+      }
+    | Barrier of { worker : int; round : int; state : string }
+    | Proceed of { round : int; last : bool }
+    | Final of { worker : int; result : string }
+    | Goodbye
+
+  (** Stable lower-case name of a message (["hello"], ["welcome"], …). *)
+  val msg_name : msg -> string
+
+  (** Encode and frame one message. *)
+  val encode : msg -> string
+
+  (** Validate the frame (magic, version, length, CRC32) and decode.
+      Never raises: truncation, bit flips and unknown tags all come back
+      as typed {!Nf_persist.Persist.frame_error}s, which is what lets a
+      receiver simply ignore a frame the chaos layer mangled. *)
+  val decode : string -> (msg, Nf_persist.Persist.frame_error) result
+end
+
+(** {1 Deterministic wire-fault injection} *)
+
+module Chaos : sig
+  (** What the injector may do to one transmission. *)
+  type kind = Drop | Truncate | Corrupt | Duplicate | Delay
+
+  (** Stable lower-case name (["drop"], ["truncate"], …) — the value
+      carried by {!Nf_obs.Obs.Event.Net_fault}. *)
+  val kind_name : kind -> string
+
+  type t
+
+  (** [create ~rate ~seed ()] builds an injector that mangles each
+      transmission with probability [rate], drawing every decision from
+      its own seeded {!Nf_stdext.Rng} stream — the same [(rate, seed)]
+      always yields the same fault schedule.  [on_fault] observes each
+      injected fault (the simulator counts and traces them).
+      @raise Invalid_argument unless [rate] is within [\[0, 1\]]. *)
+  val create : ?on_fault:(kind -> unit) -> rate:float -> seed:int -> unit -> t
+
+  (** [plan t frame] decides one transmission's fate: the [(delay,
+      frame)] copies the network actually carries.  [[]] is a drop; two
+      copies a duplication; a positive delay a reordering opportunity.
+      Mangled frames stay within the outer transport framing — only the
+      Persist frame inside is damaged — so a receiving byte stream never
+      desynchronizes and the CRC layer rejects the frame cleanly. *)
+  val plan : t -> string -> (int * string) list
+end
+
+(** {1 Transport accounting} *)
+
+(** Transport-level counters of one fleet run.  Deliberately {e not}
+    part of the merged campaign result: two fleets that took different
+    network paths to the same campaign report identical results and
+    different stats. *)
+type stats = {
+  joins : int;  (** first-time worker enrollments *)
+  rejoins : int;  (** workers welcomed back after a death/disconnect *)
+  deaths : int;  (** heartbeat timeouts detected by the leader *)
+  abandoned : int;  (** slots given up past the retry budget *)
+  retries : int;  (** worker-side frame retransmissions *)
+  faults : int;  (** wire faults the chaos layer injected *)
+}
+
+(** A finished fleet campaign: the merged {!Nf_engine.Engine.parallel_outcome}
+    (bit-identical to [run_parallel]'s under the fleet invariant) plus
+    the transport stats. *)
+type outcome = { fleet : Nf_engine.Engine.parallel_outcome; stats : stats }
+
+(** {1 The worker state machine} *)
+
+module Worker : sig
+  (** A fleet worker: runs its engine between barriers and speaks the
+      wire protocol.  Pure with respect to the transport — {!poll} says
+      what to do next, {!deliver} feeds it a received frame; timestamps
+      come in as abstract integer ticks (milliseconds under {!work},
+      simulation ticks under {!run_sim}). *)
+  type t
+
+  (** What the transport should do now: send a frame, sleep at most the
+      given number of ticks (then poll again), or stop — the worker
+      retired cleanly ([Ok]) or gave up ([Error]). *)
+  type io =
+    | Transmit of string
+    | Idle of int
+    | Finished of (unit, string) result
+
+  (** [create ()] starts a worker in the joining phase, ready to send
+      [Hello].  [prev] names the slot a restarted worker wants back (it
+      resyncs from the leader's barrier checkpoint).  [timeout] is the
+      retransmission timeout in ticks; [retry_budget] bounds consecutive
+      unanswered retransmissions (with exponential backoff) before the
+      worker gives up — except while joining, where it knocks forever:
+      enrollment patience belongs to the operator, abandonment to the
+      leader.
+      @raise Invalid_argument when [timeout < 1] or [retry_budget < 0]. *)
+  val create : ?prev:int -> ?timeout:int -> ?retry_budget:int -> unit -> t
+
+  (** Assigned slot id; [-1] until welcomed. *)
+  val id : t -> int
+
+  (** Current barrier round (1-based once running). *)
+  val round : t -> int
+
+  (** Lifetime retransmission count (the {!stats.retries} feed). *)
+  val retries : t -> int
+
+  (** The worker is in its running phase, about to fuzz a round — the
+      hook the churn harness uses to kill at a precise round boundary. *)
+  val about_to_run : t -> bool
+
+  (** Advance the machine at tick [now]: runs the engine to the next
+      barrier when due, transmits or retransmits the pending request,
+      or reports how long to sleep. *)
+  val poll : t -> now:int -> io
+
+  (** Feed one received frame.  Mangled frames (typed decode errors) and
+      stale, duplicated or out-of-phase messages are ignored — the
+      retransmission timers recover. *)
+  val deliver : t -> now:int -> string -> unit
+end
+
+(** {1 The leader state machine} *)
+
+module Leader : sig
+  (** The fleet leader: owns the campaign — per-slot barrier
+      checkpoints, the shared sync tables, round merging, heartbeat
+      supervision — and answers worker frames.  Pure with respect to the
+      transport, like {!Worker}. *)
+  type t
+
+  (** [create ~jobs cfg] prepares a fleet campaign of [jobs] slots, each
+      seeded exactly like [run_parallel]'s worker [w] (seed
+      [cfg.seed + w]).  [options] supplies the corpus spec, differential
+      flag, sync pitch and supervision policy; [timeout] is the
+      heartbeat timeout in ticks.
+      @raise Invalid_argument when [jobs < 1], [timeout < 1] or the
+      effective sync pitch is not positive. *)
+  val create :
+    ?options:Nf_engine.Engine.options -> ?timeout:int -> jobs:int ->
+    Nf_engine.Engine.cfg -> t
+
+  (** [handle t ~now ~conn frame] processes one received frame and
+      returns the reply to send back on that connection, if any.
+      [conn] identifies the transport connection (never reused across
+      distinct clients): it anchors slot ownership, so a worker whose
+      [Welcome] was lost in flight can reclaim its slot by retransmitting
+      [Hello].  Mangled frames return [None]. *)
+  val handle : t -> now:int -> conn:int -> string -> string option
+
+  (** Run heartbeat supervision at tick [now]: detect silent workers,
+      schedule rejoin patience, abandon past the retry budget (which may
+      unblock a stalled round merge).  Slots never claimed by any
+      worker are supervised on the same clock (one full timeout window
+      of grace before the budget is charged), so a worker that never
+      joins degrades the fleet instead of stalling it.  Call
+      periodically. *)
+  val check_timeouts : t -> now:int -> unit
+
+  (** Every slot has either delivered its final result or been
+      abandoned: the campaign is over. *)
+  val finished : t -> bool
+
+  (** Transport counters so far ({!stats.retries} and {!stats.faults}
+      are zero here: they live worker- and injector-side). *)
+  val stats : t -> stats
+
+  (** Leader-local transport metrics registry ([fleet/merges],
+      [fleet/joins], [fleet/rejoins], [fleet/deaths],
+      [fleet/abandoned]) — observability only, never merged into the
+      campaign result. *)
+  val metrics : t -> Nf_obs.Obs.Metrics.t
+
+  (** The merged campaign.  Per-worker results are decoded from their
+      [Final] blobs (abandoned slots: rebuilt from their frozen barrier,
+      like [run_parallel]) and merged by
+      {!Nf_engine.Engine.merge_results} — the same worker-id-ordered,
+      deterministic merge as the Domain runner.
+      @raise Invalid_argument while the campaign is still running, or on
+      a corrupt blob (CRC-checked frames make that a codec bug, not line
+      noise). *)
+  val outcome : t -> outcome
+end
+
+(** {1 Deterministic in-process simulation} *)
+
+(** [run_sim ~jobs cfg] wires one {!Leader} and [jobs] {!Worker}s
+    through a simulated network in a single process and runs the
+    campaign to completion — the chaos-test harness behind the fleet
+    invariant: the returned [outcome.fleet.merged] digest equals
+    [run_parallel ~jobs cfg]'s under {e every} fault schedule.
+
+    - [fault_rate]/[fault_seed] drive one {!Chaos} injector over every
+      transmission, both directions ([Net_fault] is traced per fault).
+    - [churn] is a deterministic kill schedule: [(worker, round)] kills
+      that worker just before it fuzzes that round; it returns
+      [rejoin_after] ticks later as a fresh process and resyncs.
+    - [leader_timeout]/[worker_timeout] are the heartbeat and
+      retransmission timeouts in simulation ticks.
+    - A worker that gives up on the wire (retry budget exhausted under
+      extreme fault rates) is restarted like a crashed process, so the
+      invariant holds as long as the leader's patience covers the rejoin
+      window.
+
+    @raise Invalid_argument when [rejoin_after < 1].
+    @raise Failure when the fleet fails to converge within [max_ticks]
+    (a livelocked protocol is a bug, not a wait). *)
+val run_sim :
+  ?options:Nf_engine.Engine.options ->
+  ?fault_rate:float ->
+  ?fault_seed:int ->
+  ?churn:(int * int) list ->
+  ?rejoin_after:int ->
+  ?leader_timeout:int ->
+  ?worker_timeout:int ->
+  ?max_ticks:int ->
+  jobs:int ->
+  Nf_engine.Engine.cfg ->
+  outcome
+
+(** {1 Socket transport} *)
+
+(** Parse a listen/connect address: [unix:PATH] or [tcp:HOST:PORT]
+    (numeric or resolvable host; port within 0–65535).  Descriptive
+    [Error]s — the CLI maps them to usage failures. *)
+val parse_addr : string -> (Unix.sockaddr, string) result
+
+(** [lead ~jobs ~addr cfg] binds [addr], serves the {!Leader} machine
+    over length-prefixed frames until the campaign finishes, and returns
+    the merged outcome.  [timeout_ms] is the heartbeat timeout in
+    wall-clock milliseconds.  Socket errors come back as [Error]. *)
+val lead :
+  ?options:Nf_engine.Engine.options ->
+  ?timeout_ms:int ->
+  jobs:int ->
+  addr:Unix.sockaddr ->
+  Nf_engine.Engine.cfg ->
+  (outcome, string) result
+
+(** [work ~addr ()] connects to a leader (retrying briefly while it
+    boots), runs the {!Worker} machine to completion and returns its
+    verdict.  [prev] reclaims a slot after a restart; [fault_rate]/
+    [fault_seed] apply {!Chaos} to this worker's outbound frames — the
+    socket-level chaos smoke test. *)
+val work :
+  ?timeout_ms:int ->
+  ?retry_budget:int ->
+  ?fault_rate:float ->
+  ?fault_seed:int ->
+  ?prev:int ->
+  addr:Unix.sockaddr ->
+  unit ->
+  (unit, string) result

@@ -23,7 +23,9 @@ let kind t = Corpus.kind t.corpus
 let spec t = Corpus.spec t.corpus
 let seed_input t data = Corpus.seed_input t.corpus data
 let import t data = Corpus.import t.corpus data
+let import_edges t data ~edges = Corpus.import_edges t.corpus data ~edges
 let queue_entries t = Corpus.entries t.corpus
+let entry_edges t = Corpus.entry_edges t.corpus
 let queue_size t = Corpus.size t.corpus
 let next_input t = Corpus.next_input t.corpus
 

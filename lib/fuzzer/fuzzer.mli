@@ -43,11 +43,24 @@ val seed_input : t -> Bytes.t -> unit
     {!finds}. *)
 val import : t -> Bytes.t -> unit
 
+(** [import_edges t data ~edges] is {!import} plus the edge record the
+    exporting worker captured at discovery (see
+    {!Nf_corpus.Corpus.S.import_edges}): the Markov scheduler accounts
+    the shipped edges so rarity stays global across workers; all other
+    schedulers ignore [edges].
+    @raise Invalid_argument on an out-of-range edge index. *)
+val import_edges : t -> Bytes.t -> edges:int array -> unit
+
 (** Current queue contents in discovery order (copies; imported entries
     included).  The parallel runner snapshots this at every sync interval
     to exchange new entries between workers without reaching into the
     corpus representation. *)
 val queue_entries : t -> Bytes.t list
+
+(** Per-entry edge records, index-aligned with {!queue_entries} (see
+    {!Nf_corpus.Corpus.S.entry_edges}) — exported alongside entries
+    during cross-worker sync. *)
+val entry_edges : t -> int array list
 
 val queue_size : t -> int
 

@@ -41,6 +41,8 @@ module Event = struct
     | Checkpoint_saved of { path : string; bytes : int }
     | Worker_recovered of { worker : int; attempt : int; error : string }
     | Worker_abandoned of { worker : int; attempts : int; error : string }
+    | Worker_joined of { worker : int; rejoined : bool }
+    | Net_fault of { kind : string }
     | Divergence_found of {
         exec : int;
         cls : string;
@@ -59,6 +61,8 @@ module Event = struct
     | Checkpoint_saved _ -> "checkpoint_saved"
     | Worker_recovered _ -> "worker_recovered"
     | Worker_abandoned _ -> "worker_abandoned"
+    | Worker_joined _ -> "worker_joined"
+    | Net_fault _ -> "net_fault"
     | Divergence_found _ -> "divergence_found"
 
   (* The event-specific payload fields of the JSONL schema. *)
@@ -90,6 +94,9 @@ module Event = struct
     | Worker_abandoned { worker; attempts; error } ->
         [ ("worker", Json.Int worker); ("attempts", Json.Int attempts);
           ("error", Json.String error) ]
+    | Worker_joined { worker; rejoined } ->
+        [ ("worker", Json.Int worker); ("rejoined", Json.Bool rejoined) ]
+    | Net_fault { kind } -> [ ("kind", Json.String kind) ]
     | Divergence_found { exec; cls; impl; check } ->
         [ ("exec", Json.Int exec); ("class", Json.String cls);
           ("impl", Json.String impl); ("check", Json.String check) ]

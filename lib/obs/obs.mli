@@ -65,6 +65,15 @@ module Event : sig
     | Checkpoint_saved of { path : string; bytes : int }
     | Worker_recovered of { worker : int; attempt : int; error : string }
     | Worker_abandoned of { worker : int; attempts : int; error : string }
+    | Worker_joined of { worker : int; rejoined : bool }
+        (** A fleet worker connected to the leader and was assigned slot
+            [worker]; [rejoined] marks a worker returning after a
+            death/disconnect and resyncing from the leader's barrier
+            checkpoint (see [Nf_fleet.Fleet]). *)
+    | Net_fault of { kind : string }
+        (** The fleet wire fault injector mangled a frame: [kind] is
+            ["drop"], ["truncate"], ["corrupt"], ["duplicate"] or
+            ["delay"]. *)
     | Divergence_found of {
         exec : int;
         cls : string;  (** ["too-strict"], ["too-lax"] or ["exit-mismatch"] *)

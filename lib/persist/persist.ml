@@ -165,23 +165,45 @@ let peek_version ~magic blob =
   if String.length blob < mlen + 2 || String.sub blob 0 mlen <> magic then None
   else Some (String.get_uint16_le blob mlen)
 
-let unframe ~magic ~version blob =
+type frame_error =
+  | Truncated of { got : int; need : int }
+  | Bad_magic of { expected : string; found : string }
+  | Bad_version of { got : int; want : int }
+  | Length_mismatch of { promised : int; carried : int }
+  | Checksum_mismatch
+  | Corrupt_payload of string
+
+let frame_error_message = function
+  | Truncated { got; need } ->
+      Printf.sprintf
+        "truncated file: %d bytes is too short even for the %d-byte header" got
+        need
+  | Bad_magic { expected; found } ->
+      Printf.sprintf "bad magic: not a %s file (found %S)" expected found
+  | Bad_version { got; want } ->
+      Printf.sprintf "unsupported format version %d (this build reads version %d)"
+        got want
+  | Length_mismatch { promised; carried } ->
+      Printf.sprintf
+        "truncated file: header promises %d payload bytes, file carries %d"
+        promised carried
+  | Checksum_mismatch ->
+      "checksum mismatch: the file is corrupt (or was tampered with)"
+  | Corrupt_payload msg -> "corrupt payload: " ^ msg
+
+let unframe_typed ~magic ~version blob =
   let mlen = String.length magic in
   let header = mlen + 10 in
   if String.length blob < header then
-    Error
-      (Printf.sprintf "truncated file: %d bytes is too short even for the %d-byte header"
-         (String.length blob) header)
+    Error (Truncated { got = String.length blob; need = header })
   else if String.sub blob 0 mlen <> magic then
     Error
-      (Printf.sprintf "bad magic: not a %s file (found %S)" magic
-         (String.sub blob 0 (min mlen (String.length blob))))
+      (Bad_magic
+         { expected = magic;
+           found = String.sub blob 0 (min mlen (String.length blob)) })
   else
     let v = String.get_uint16_le blob mlen in
-    if v <> version then
-      Error
-        (Printf.sprintf "unsupported format version %d (this build reads version %d)"
-           v version)
+    if v <> version then Error (Bad_version { got = v; want = version })
     else
       let len =
         Int32.to_int (Int32.logand (String.get_int32_le blob (mlen + 2)) 0xFFFFFFFFl)
@@ -189,18 +211,13 @@ let unframe ~magic ~version blob =
       let crc = String.get_int32_le blob (mlen + 6) in
       let avail = String.length blob - header in
       if len < 0 || len <> avail then
-        Error
-          (Printf.sprintf
-             "truncated file: header promises %d payload bytes, file carries %d"
-             len avail)
+        Error (Length_mismatch { promised = len; carried = avail })
       else
         let payload = String.sub blob header len in
-        if crc32 payload <> crc then
-          Error "checksum mismatch: the file is corrupt (or was tampered with)"
-        else Ok payload
+        if crc32 payload <> crc then Error Checksum_mismatch else Ok payload
 
-let decode ~magic ~version blob read =
-  match unframe ~magic ~version blob with
+let decode_typed ~magic ~version blob read =
+  match unframe_typed ~magic ~version blob with
   | Error _ as e -> e
   | Ok payload -> (
       let r = Reader.of_string payload in
@@ -210,7 +227,14 @@ let decode ~magic ~version blob read =
         v
       with
       | v -> Ok v
-      | exception Reader.Corrupt msg -> Error ("corrupt payload: " ^ msg))
+      | exception Reader.Corrupt msg -> Error (Corrupt_payload msg))
+
+let string_error = function
+  | Ok _ as ok -> ok
+  | Error e -> Error (frame_error_message e)
+
+let unframe ~magic ~version blob = string_error (unframe_typed ~magic ~version blob)
+let decode ~magic ~version blob read = string_error (decode_typed ~magic ~version blob read)
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                                *)

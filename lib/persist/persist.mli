@@ -120,15 +120,57 @@ val frame : magic:string -> version:int -> string -> string
     is too short or the magic does not match. *)
 val peek_version : magic:string -> string -> int option
 
-(** [unframe ~magic ~version blob] validates magic, version, length and
-    CRC32 and returns the payload.  Every failure mode is a descriptive
-    [Error]: wrong magic, unsupported version, truncation, checksum
-    mismatch. *)
+(** Every way a framed blob can fail validation, as a typed value.
+    Consumers that must {e react} to specific failures — the durable
+    corpus store skipping corrupt entries on replay, the fleet transport
+    treating a mangled frame as a lost frame and retrying — match on
+    this; human-facing paths render it with {!frame_error_message}. *)
+type frame_error =
+  | Truncated of { got : int; need : int }
+      (** Blob shorter than the fixed header: [got] bytes present,
+          [need] required. *)
+  | Bad_magic of { expected : string; found : string }
+      (** The leading bytes are not the expected magic string. *)
+  | Bad_version of { got : int; want : int }
+      (** Well-formed header, but a format version this reader does not
+          accept. *)
+  | Length_mismatch of { promised : int; carried : int }
+      (** The header's payload length disagrees with the bytes actually
+          present — a truncated or over-long file. *)
+  | Checksum_mismatch
+      (** Payload present at the promised length but its CRC32 does not
+          match the header. *)
+  | Corrupt_payload of string
+      (** Frame intact, but the payload decoder raised
+          {!Reader.Corrupt} (or left trailing bytes). *)
+
+(** Render a {!frame_error} as the descriptive string the untyped
+    {!unframe}/{!decode} wrappers return — existing callers and tests
+    see byte-identical messages. *)
+val frame_error_message : frame_error -> string
+
+(** [unframe_typed ~magic ~version blob] validates magic, version,
+    length and CRC32 and returns the payload.  Never raises: every
+    failure mode is a {!frame_error}. *)
+val unframe_typed :
+  magic:string -> version:int -> string -> (string, frame_error) result
+
+(** [decode_typed ~magic ~version blob read] unframes then runs [read]
+    over a {!Reader}, converting {!Reader.Corrupt} into
+    {!frame_error.Corrupt_payload} and enforcing that the payload is
+    fully consumed.  Never raises. *)
+val decode_typed :
+  magic:string -> version:int -> string -> (Reader.t -> 'a) ->
+  ('a, frame_error) result
+
+(** [unframe ~magic ~version blob] is {!unframe_typed} with the error
+    rendered through {!frame_error_message}: wrong magic, unsupported
+    version, truncation, checksum mismatch all become descriptive
+    strings. *)
 val unframe : magic:string -> version:int -> string -> (string, string) result
 
-(** [decode ~magic ~version blob read] unframes then runs [read] over a
-    {!Reader}, converting {!Reader.Corrupt} into [Error] and enforcing
-    that the payload is fully consumed. *)
+(** [decode ~magic ~version blob read] is {!decode_typed} with the error
+    rendered through {!frame_error_message}. *)
 val decode :
   magic:string -> version:int -> string -> (Reader.t -> 'a) -> ('a, string) result
 

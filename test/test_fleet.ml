@@ -1,0 +1,398 @@
+(* The fleet's contract: a leader/worker fleet of [N] processes is the
+   {e same campaign} as [Engine.run_parallel ~jobs:N] — bit-identical
+   merged results ([Engine.result_digest] equality) — and stays so under
+   every wire-fault schedule (drop/truncate/corrupt/duplicate/delay) and
+   worker-churn schedule (crash, rejoin, duplicate frames) the chaos
+   layer can produce. *)
+
+module Engine = Nf_engine.Engine
+module Fleet = Nf_fleet.Fleet
+module Corpus = Nf_corpus.Corpus
+module Obs = Nf_obs.Obs
+module Persist = Nf_persist.Persist
+
+let check = Alcotest.check
+
+(* A short multi-round campaign: 0.5 virtual hours at a 0.1-hour barrier
+   pitch is 5 sync rounds, enough to exercise export/import/merge. *)
+let cfg =
+  {
+    (Engine.default_cfg Engine.Kvm_intel) with
+    duration_hours = 0.5;
+    checkpoint_hours = 0.1;
+    seed = 7;
+  }
+
+let digest (o : Engine.parallel_outcome) = Engine.result_digest o.merged
+
+let golden ?(options = Engine.default_options) ~jobs cfg =
+  digest (Engine.run_parallel ~options ~jobs cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let report : Fleet.Wire.report =
+  {
+    entries = [ (Bytes.of_string "abc", [| 1; 5; 9 |]); (Bytes.create 0, [||]) ];
+    crashes = [];
+    diff = Some "diff-blob";
+    hits = [| 0; 3; 0; 1 |];
+    execs = 42;
+    finished = false;
+  }
+
+let wire_msgs : Fleet.Wire.msg list =
+  [
+    Hello { prev = None };
+    Hello { prev = Some 3 };
+    Welcome { worker = 1; round = 4; sync_hours = 0.25; state = "blob" };
+    Busy { reason = "fleet is full" };
+    Report { worker = 2; round = 3; report };
+    Poll { worker = 0; round = 1 };
+    Wait;
+    Merge
+      {
+        round = 2;
+        imports = [ (1, Bytes.of_string "xyz", [| 2; 4 |]) ];
+        diff = None;
+      };
+    Barrier { worker = 1; round = 2; state = "ckpt" };
+    Proceed { round = 2; last = true };
+    Final { worker = 0; result = "result-blob" };
+    Goodbye;
+  ]
+
+let wire_roundtrip () =
+  List.iter
+    (fun msg ->
+      match Fleet.Wire.decode (Fleet.Wire.encode msg) with
+      | Ok msg' ->
+          check Alcotest.bool
+            ("roundtrip " ^ Fleet.Wire.msg_name msg)
+            true (msg = msg')
+      | Error e ->
+          Alcotest.failf "decode %s: %s" (Fleet.Wire.msg_name msg)
+            (Persist.frame_error_message e))
+    wire_msgs
+
+let wire_rejects_damage () =
+  let frame = Fleet.Wire.encode (Poll { worker = 1; round = 2 }) in
+  (* Truncation at every prefix length and a flipped byte at every
+     offset must yield a typed [Error] — never an exception. *)
+  for n = 0 to String.length frame - 1 do
+    match Fleet.Wire.decode (String.sub frame 0 n) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated frame (%d bytes) decoded" n
+  done;
+  for i = 0 to String.length frame - 1 do
+    let b = Bytes.of_string frame in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+    match Fleet.Wire.decode (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok msg' ->
+        (* Flipping a payload byte of a [string] field can produce a
+           different-but-valid frame only if the CRC colluded — it
+           cannot, so any [Ok] must be the identical message (flip in a
+           region the codec ignores does not exist). *)
+        Alcotest.failf "corrupted frame decoded at offset %d (%s)" i
+          (Fleet.Wire.msg_name msg')
+  done
+
+let chaos_deterministic () =
+  let plans seed =
+    let c = Fleet.Chaos.create ~rate:0.5 ~seed () in
+    List.init 32 (fun i -> Fleet.Chaos.plan c (String.make (i + 1) 'x'))
+  in
+  check Alcotest.bool "same seed, same fault schedule" true
+    (plans 3 = plans 3);
+  check Alcotest.bool "different seeds differ" true (plans 3 <> plans 4);
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Fleet.Chaos.create: rate must be within [0, 1]")
+    (fun () -> ignore (Fleet.Chaos.create ~rate:1.5 ~seed:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Simulated fleet == run_parallel *)
+
+let sim_matches_parallel ?(options = Engine.default_options) ~jobs () =
+  let want = golden ~options ~jobs cfg in
+  let o = Fleet.run_sim ~options ~jobs cfg in
+  check Alcotest.string "merged digest" want (digest o.fleet);
+  check Alcotest.int "all workers healthy" jobs
+    (Array.fold_left
+       (fun acc -> function Engine.Healthy -> acc + 1 | _ -> acc)
+       0 o.fleet.supervision)
+
+let sim_jobs1 () = sim_matches_parallel ~jobs:1 ()
+let sim_jobs2 () = sim_matches_parallel ~jobs:2 ()
+let sim_jobs3 () = sim_matches_parallel ~jobs:3 ()
+
+let sim_markov () =
+  sim_matches_parallel
+    ~options:
+      {
+        Engine.default_options with
+        corpus = { Corpus.kind = Corpus.Markov; dir = None };
+      }
+    ~jobs:2 ()
+
+let sim_differential () =
+  sim_matches_parallel
+    ~options:{ Engine.default_options with differential = true }
+    ~jobs:2 ()
+
+let sim_durable () =
+  let mkdir () = Filename.temp_file "fleet-store" "" in
+  let dir_a = mkdir () and dir_b = mkdir () in
+  Sys.remove dir_a;
+  Sys.remove dir_b;
+  let opts dir =
+    {
+      Engine.default_options with
+      corpus = { Corpus.kind = Corpus.Durable; dir = Some dir };
+    }
+  in
+  let want = golden ~options:(opts dir_a) ~jobs:2 cfg in
+  let o = Fleet.run_sim ~options:(opts dir_b) ~jobs:2 cfg in
+  check Alcotest.string "durable merged digest" want (digest o.fleet)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos invariance *)
+
+let chaos_invariance () =
+  let want = golden ~jobs:2 cfg in
+  List.iter
+    (fun (rate, seed) ->
+      let o = Fleet.run_sim ~fault_rate:rate ~fault_seed:seed ~jobs:2 cfg in
+      check Alcotest.string
+        (Printf.sprintf "digest under faults (rate %.2f seed %d)" rate seed)
+        want (digest o.fleet))
+    [ (0.05, 1); (0.15, 2); (0.3, 3) ]
+
+let chaos_faults_counted () =
+  (* At a 30% fault rate over a multi-round fleet, the injector must
+     actually have fired — otherwise the invariance test proves
+     nothing. *)
+  let o = Fleet.run_sim ~fault_rate:0.3 ~fault_seed:3 ~jobs:2 cfg in
+  check Alcotest.bool "faults were injected" true (o.stats.faults > 0)
+
+let chaos_qcheck =
+  QCheck.Test.make ~count:8 ~name:"fleet digest invariant under fault seeds"
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, rate_i) ->
+      let rate = 0.05 +. (0.1 *. float_of_int rate_i) in
+      let want = golden ~jobs:2 cfg in
+      let o = Fleet.run_sim ~fault_rate:rate ~fault_seed:seed ~jobs:2 cfg in
+      String.equal want (digest o.fleet))
+
+let net_fault_events () =
+  let sink, events = Obs.Sink.memory () in
+  let options = { Engine.default_options with obs = sink } in
+  let o =
+    Fleet.run_sim ~options ~fault_rate:0.3 ~fault_seed:9 ~jobs:2 cfg
+  in
+  let net_faults =
+    List.filter
+      (fun (_, _, ev) ->
+        match ev with Obs.Event.Net_fault _ -> true | _ -> false)
+      (events ())
+  in
+  check Alcotest.int "every fault traced" o.stats.faults
+    (List.length net_faults);
+  let joined =
+    List.exists
+      (fun (_, _, ev) ->
+        match ev with Obs.Event.Worker_joined _ -> true | _ -> false)
+      (events ())
+  in
+  check Alcotest.bool "joins traced" true joined
+
+(* ------------------------------------------------------------------ *)
+(* Worker churn: crash, rejoin, resync *)
+
+let churn_rejoin () =
+  let want = golden ~jobs:2 cfg in
+  (* Kill worker 1 as it is about to run rounds 2 and 4; each death
+     rejoins after 5 ticks and resyncs from the leader's barrier.  The
+     leader's heartbeat timeout (3 ticks) is shorter than the rejoin
+     window, so the deaths are actually detected rather than papered
+     over by the next frame. *)
+  let o =
+    Fleet.run_sim ~churn:[ (1, 2); (1, 4) ] ~leader_timeout:3
+      ~worker_timeout:2 ~jobs:2 cfg
+  in
+  check Alcotest.string "digest with mid-campaign deaths" want
+    (digest o.fleet);
+  check Alcotest.bool "deaths were detected" true (o.stats.deaths > 0);
+  check Alcotest.bool "worker rejoined" true (o.stats.rejoins > 0);
+  (* Rejoined-and-converged workers look healthy in the merged verdicts:
+     the digest must not depend on transport history. *)
+  Array.iter
+    (fun v -> check Alcotest.bool "healthy verdict" true (v = Engine.Healthy))
+    o.fleet.supervision
+
+let churn_plus_chaos () =
+  let want = golden ~jobs:2 cfg in
+  let o =
+    Fleet.run_sim ~churn:[ (0, 1); (1, 3) ] ~fault_rate:0.2 ~fault_seed:11
+      ~jobs:2 cfg
+  in
+  check Alcotest.string "digest under churn and wire faults" want
+    (digest o.fleet)
+
+let abandonment_deterministic () =
+  (* A worker that never rejoins (rejoin window far beyond the leader's
+     patience) is abandoned; the campaign degrades to the survivor and
+     does so reproducibly. *)
+  let run () =
+    Fleet.run_sim ~churn:[ (1, 2) ] ~rejoin_after:1_000_000
+      ~leader_timeout:5 ~jobs:2 cfg
+  in
+  let a = run () and b = run () in
+  check Alcotest.string "degraded digest reproducible" (digest a.fleet)
+    (digest b.fleet);
+  check Alcotest.int "one abandonment" 1 a.stats.abandoned;
+  (match a.fleet.supervision.(1) with
+  | Engine.Abandoned { error; _ } ->
+      check Alcotest.string "verdict reason" "heartbeat timeout" error
+  | _ -> Alcotest.fail "worker 1 should be abandoned");
+  (* The survivor still completed the campaign. *)
+  check Alcotest.bool "survivor healthy" true
+    (a.fleet.supervision.(0) = Engine.Healthy)
+
+let retry_budget_zero () =
+  (* Satellite: the supervision policy is configurable.  With a zero
+     retry budget the leader abandons a dead worker at the first missed
+     heartbeat instead of waiting out the rejoin window. *)
+  let options =
+    {
+      Engine.default_options with
+      supervision = { Engine.retry_budget = 0; backoff_base_us = 60_000_000L };
+    }
+  in
+  let o =
+    Fleet.run_sim ~options ~churn:[ (1, 2) ] ~rejoin_after:1_000_000
+      ~leader_timeout:10 ~worker_timeout:3 ~jobs:2 cfg
+  in
+  check Alcotest.int "abandoned on first timeout" 1 o.stats.abandoned;
+  check Alcotest.bool "survivor finished the campaign" true
+    (o.fleet.supervision.(0) = Engine.Healthy)
+
+let never_join_abandons () =
+  (* A worker that never shows up at all is on the same supervision
+     clock as one that dies: the leader charges the retry budget
+     against the empty slot and degrades, rather than stalling every
+     joined peer at the first merge forever. *)
+  let leader = Fleet.Leader.create ~timeout:5 ~jobs:2 cfg in
+  let now = ref 0 in
+  while (not (Fleet.Leader.finished leader)) && !now < 10_000 do
+    Fleet.Leader.check_timeouts leader ~now:!now;
+    incr now
+  done;
+  check Alcotest.bool "fleet finishes by degradation" true
+    (Fleet.Leader.finished leader);
+  let o = Fleet.Leader.outcome leader in
+  check Alcotest.int "both empty slots abandoned" 2 o.stats.abandoned;
+  Array.iter
+    (fun v ->
+      match v with
+      | Engine.Abandoned { error; _ } ->
+          check Alcotest.string "verdict reason" "heartbeat timeout" error
+      | _ -> Alcotest.fail "empty slot should be abandoned")
+    o.fleet.supervision
+
+(* ------------------------------------------------------------------ *)
+(* Result codec *)
+
+let result_roundtrip () =
+  let options = { Engine.default_options with differential = true } in
+  let o = Engine.run_parallel ~options ~jobs:2 cfg in
+  Array.iter
+    (fun r ->
+      match Engine.result_of_string (Engine.result_to_string r) with
+      | Error msg -> Alcotest.failf "result codec: %s" msg
+      | Ok r' ->
+          check Alcotest.string "digest stable across codec"
+            (Engine.result_digest r) (Engine.result_digest r'))
+    o.workers;
+  match Engine.result_of_string "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded as a result"
+
+(* ------------------------------------------------------------------ *)
+(* parse_addr *)
+
+let parse_addr () =
+  (match Fleet.parse_addr "unix:/tmp/fleet.sock" with
+  | Ok (Unix.ADDR_UNIX p) -> check Alcotest.string "unix path" "/tmp/fleet.sock" p
+  | _ -> Alcotest.fail "unix: address should parse");
+  (match Fleet.parse_addr "tcp:127.0.0.1:4477" with
+  | Ok (Unix.ADDR_INET (_, port)) -> check Alcotest.int "tcp port" 4477 port
+  | _ -> Alcotest.fail "tcp: address should parse");
+  List.iter
+    (fun bad ->
+      match Fleet.parse_addr bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" bad)
+    [ "nope"; "ftp:host:1"; "tcp:host"; "tcp:host:notaport"; "tcp:host:99999"; "unix:" ]
+
+(* ------------------------------------------------------------------ *)
+(* Sockets: a real leader and workers over a Unix socket *)
+
+let socket_fleet () =
+  let path = Filename.temp_file "fleet" ".sock" in
+  Sys.remove path;
+  let addr = Unix.ADDR_UNIX path in
+  let want = golden ~jobs:2 cfg in
+  let worker i =
+    Thread.create
+      (fun () ->
+        match
+          Fleet.work ~timeout_ms:2_000 ~fault_rate:0.1 ~fault_seed:(100 + i)
+            ~addr ()
+        with
+        | Ok () -> ()
+        | Error msg -> Printf.eprintf "worker %d: %s\n%!" i msg)
+      ()
+  in
+  let w1 = worker 1 and w2 = worker 2 in
+  let r = Fleet.lead ~timeout_ms:30_000 ~jobs:2 ~addr cfg in
+  Thread.join w1;
+  Thread.join w2;
+  match r with
+  | Error msg -> Alcotest.failf "leader: %s" msg
+  | Ok o -> check Alcotest.string "socket fleet digest" want (digest o.fleet)
+
+let tests =
+  [
+    Alcotest.test_case "wire: every message round-trips" `Quick wire_roundtrip;
+    Alcotest.test_case "wire: damage yields typed errors" `Quick
+      wire_rejects_damage;
+    Alcotest.test_case "chaos: deterministic by seed" `Quick chaos_deterministic;
+    Alcotest.test_case "sim == run_parallel (jobs 1)" `Quick sim_jobs1;
+    Alcotest.test_case "sim == run_parallel (jobs 2)" `Quick sim_jobs2;
+    Alcotest.test_case "sim == run_parallel (jobs 3)" `Quick sim_jobs3;
+    Alcotest.test_case "sim == run_parallel (markov corpus)" `Quick sim_markov;
+    Alcotest.test_case "sim == run_parallel (differential)" `Quick
+      sim_differential;
+    Alcotest.test_case "sim == run_parallel (durable corpus)" `Quick
+      sim_durable;
+    Alcotest.test_case "digest invariant under wire faults" `Quick
+      chaos_invariance;
+    Alcotest.test_case "fault injector actually fires" `Quick
+      chaos_faults_counted;
+    QCheck_alcotest.to_alcotest chaos_qcheck;
+    Alcotest.test_case "net faults and joins are traced" `Quick
+      net_fault_events;
+    Alcotest.test_case "churn: killed worker rejoins, digest intact" `Quick
+      churn_rejoin;
+    Alcotest.test_case "churn + wire faults, digest intact" `Quick
+      churn_plus_chaos;
+    Alcotest.test_case "abandonment degrades deterministically" `Quick
+      abandonment_deterministic;
+    Alcotest.test_case "retry budget is configurable" `Quick retry_budget_zero;
+    Alcotest.test_case "never-joining worker abandons, not stalls" `Quick
+      never_join_abandons;
+    Alcotest.test_case "result codec round-trips" `Quick result_roundtrip;
+    Alcotest.test_case "parse_addr" `Quick parse_addr;
+    Alcotest.test_case "socket fleet matches golden" `Quick socket_fleet;
+  ]

@@ -21,5 +21,6 @@ let () =
       ("tools", Test_tools.tests);
       ("edge", Test_edge.tests);
       ("perf-golden", Test_perf_golden.tests);
+      ("fleet", Test_fleet.tests);
       ("experiments", Test_experiments.tests);
     ]

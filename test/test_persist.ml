@@ -18,6 +18,85 @@ let faulty_cfg ?(hours = 0.4) ?(rate = 0.02) ?(fault_seed = 7) target =
     Engine.faults = Some { Engine.fault_rate = rate; fault_seed };
   }
 
+(* --- typed frame errors ---------------------------------------------- *)
+
+(* Every way a frame can fail validation must come back as the matching
+   [frame_error] constructor — never an exception — and its
+   [frame_error_message] rendering must be byte-identical to what the
+   legacy string-error [unframe]/[decode] wrappers report, so existing
+   callers (and their tests) observe no change. *)
+let test_typed_frame_errors () =
+  let magic = "TEST-FRAME" in
+  let version = 3 in
+  let payload =
+    let w = Persist.Writer.create () in
+    Persist.Writer.int w 12345;
+    Persist.Writer.string w "payload";
+    Persist.Writer.contents w
+  in
+  let good = Persist.frame ~magic ~version payload in
+  (match Persist.unframe_typed ~magic ~version good with
+  | Ok p -> check Alcotest.string "payload survives" payload p
+  | Error e -> Alcotest.failf "valid frame: %s" (Persist.frame_error_message e));
+  let expect name blob want =
+    (match Persist.unframe_typed ~magic ~version blob with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error e -> check Alcotest.bool (name ^ " constructor") true (e = want));
+    (* The legacy wrapper must render the same failure as the same
+       string. *)
+    match Persist.unframe ~magic ~version blob with
+    | Ok _ -> Alcotest.failf "%s: untyped accepted" name
+    | Error msg ->
+        check Alcotest.string (name ^ " message")
+          (Persist.frame_error_message want)
+          msg
+  in
+  expect "truncated" "TE"
+    (Persist.Truncated
+       { got = 2; need = String.length magic + 10 });
+  expect "bad magic"
+    ("WRONG-FRAM" ^ String.sub good 10 (String.length good - 10))
+    (Persist.Bad_magic { expected = magic; found = "WRONG-FRAM" });
+  let other_version = Persist.frame ~magic ~version:9 payload in
+  expect "bad version" other_version
+    (Persist.Bad_version { got = 9; want = version });
+  expect "length mismatch"
+    (String.sub good 0 (String.length good - 3))
+    (Persist.Length_mismatch
+       {
+         promised = String.length payload;
+         carried = String.length payload - 3;
+       });
+  let flipped =
+    let b = Bytes.of_string good in
+    let last = Bytes.length b - 1 in
+    Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+    Bytes.to_string b
+  in
+  expect "checksum mismatch" flipped Persist.Checksum_mismatch;
+  (* A structurally valid frame whose payload the reader rejects. *)
+  (match
+     Persist.decode_typed ~magic ~version good (fun r ->
+         ignore (Persist.Reader.int r);
+         Persist.Reader.expect_end r)
+   with
+  | Error (Persist.Corrupt_payload _) -> ()
+  | Error e ->
+      Alcotest.failf "trailing bytes: wrong error %s"
+        (Persist.frame_error_message e)
+  | Ok () -> Alcotest.fail "trailing bytes accepted");
+  match
+    Persist.decode_typed ~magic ~version good (fun r ->
+        ignore (Persist.Reader.int r);
+        ignore (Persist.Reader.string r);
+        ignore (Persist.Reader.string r);
+        ())
+  with
+  | Error (Persist.Corrupt_payload _) -> ()
+  | Error e ->
+      Alcotest.failf "overread: wrong error %s" (Persist.frame_error_message e)
+  | Ok () -> Alcotest.fail "overread accepted"
+
 (* --- the codec ------------------------------------------------------- *)
 
 let test_codec_roundtrip () =
@@ -389,6 +468,7 @@ let test_jobs1_supervision_unaffected () =
 let tests =
   [
     Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "typed frame errors" `Quick test_typed_frame_errors;
     Alcotest.test_case "frame rejects corruption" `Quick
       test_frame_rejects_corruption;
     Alcotest.test_case "decode rejects malformed payload" `Quick
