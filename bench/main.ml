@@ -292,10 +292,35 @@ let fleet_bench () =
   let wall_fleet = Unix.gettimeofday () -. t1 in
   let fleet_digest = Necofuzz.Engine.result_digest o.fleet.merged in
   let matches = String.equal golden_digest fleet_digest in
+  (* The same chaotic fleet with the whole live layer armed — HTTP
+     status server, merged distributed trace, flight recorder, worker
+     telemetry streaming.  The inertness invariant makes this a hard
+     gate too: telemetry must not move the digest. *)
+  let t2 = Unix.gettimeofday () in
+  let tele_trace = Filename.concat !out_dir "fleet-bench-trace.json" in
+  let tele_flight = Filename.concat !out_dir "fleet-bench-flight" in
+  let trace_sink =
+    Necofuzz.Obs.Sink.chrome_trace ~lanes:true ~path:tele_trace ()
+  in
+  let telemetry =
+    {
+      Necofuzz.Fleet.serve =
+        Some (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      trace = trace_sink;
+      flight = Some (Necofuzz.Obs.Flight.create ~dir:tele_flight ());
+      stream = true;
+    }
+  in
+  let ot = Necofuzz.Fleet.run_sim ~telemetry ~fault_rate ~fault_seed ~jobs cfg in
+  Necofuzz.Obs.Sink.close trace_sink;
+  let wall_tele = Unix.gettimeofday () -. t2 in
+  let tele_digest = Necofuzz.Engine.result_digest ot.fleet.merged in
+  let tele_matches = String.equal golden_digest tele_digest in
   Format.fprintf ppf "%12s %34s %9s@." "runner" "digest" "wall(s)";
   Format.fprintf ppf "%12s %34s %9.2f@." "run_parallel" golden_digest
     wall_parallel;
   Format.fprintf ppf "%12s %34s %9.2f@." "fleet" fleet_digest wall_fleet;
+  Format.fprintf ppf "%12s %34s %9.2f@." "fleet+tele" tele_digest wall_tele;
   Format.fprintf ppf
     "faults injected: %d, retries: %d, joins: %d, deaths: %d -> digest %s@."
     o.stats.faults o.stats.retries o.stats.joins o.stats.deaths
@@ -307,19 +332,29 @@ let fleet_bench () =
       ("fault_rate", Json.Float fault_rate);
       ("fault_seed", Json.Int fault_seed);
       ("digest_match", Json.Bool matches);
+      ("telemetry_digest_match", Json.Bool tele_matches);
       ("golden_digest", Json.String golden_digest);
       ("fleet_digest", Json.String fleet_digest);
+      ("telemetry_digest", Json.String tele_digest);
       ("execs", Json.Int o.fleet.merged.execs);
       ("corpus", Json.Int o.fleet.merged.corpus_size);
       ("faults", Json.Int o.stats.faults);
       ("retries", Json.Int o.stats.retries);
       ("wall_parallel_s", Json.Float wall_parallel);
       ("wall_fleet_s", Json.Float wall_fleet);
+      ("wall_fleet_telemetry_s", Json.Float wall_tele);
     ];
   if not matches then begin
     Format.eprintf
       "bench: fleet digest %s does not match run_parallel digest %s@."
       fleet_digest golden_digest;
+    exit 1
+  end;
+  if not tele_matches then begin
+    Format.eprintf
+      "bench: telemetry-enabled fleet digest %s does not match run_parallel \
+       digest %s (inertness violation)@."
+      tele_digest golden_digest;
     exit 1
   end
 

@@ -18,6 +18,109 @@ let target_conv =
   let print ppf t = Format.fprintf ppf "%s" (Necofuzz.Agent.target_name t) in
   Arg.conv (parse, print)
 
+(* --- live status server plumbing (shared by fuzz and fleet lead) --- *)
+
+let sockaddr_name = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (host, port) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr host) port
+
+(* Resolve --serve ADDR / --status-port N into a bind address.  The two
+   flags are alternative spellings (exactly one may be given); both
+   malformed addresses and out-of-range ports are usage errors. *)
+let resolve_serve_addr ~serve ~status_port =
+  match (serve, status_port) with
+  | None, None -> None
+  | Some _, Some _ ->
+      Format.eprintf
+        "necofuzz: --serve and --status-port are mutually exclusive@.";
+      exit 2
+  | Some s, None -> (
+      match Necofuzz.Fleet.parse_addr s with
+      | Ok addr -> Some addr
+      | Error msg ->
+          Format.eprintf "necofuzz: --serve: %s@." msg;
+          exit 2)
+  | None, Some p ->
+      if p < 1 || p > 65535 then begin
+        Format.eprintf
+          "necofuzz: --status-port must be within 1-65535 (got %d)@." p;
+        exit 2
+      end;
+      Some (Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+
+(* Start the HTTP status server when an address was requested.  [init]
+   populates the board before the accept thread exists, so the pages
+   are never observably missing.  A bind failure is a runtime error
+   (exit 1), not a usage error: the flags were well-formed, the port
+   just was not ours to take. *)
+let start_status_server ?(init = fun (_ : Necofuzz.Obs.Serve.board) -> ())
+    = function
+  | None -> None
+  | Some addr -> (
+      let board = Necofuzz.Obs.Serve.board () in
+      init board;
+      match
+        Necofuzz.Obs.Serve.create ~addr
+          ~handler:(Necofuzz.Obs.Serve.board_handler board)
+      with
+      | Ok srv ->
+          Format.printf "serving /metrics /status /healthz on %s@."
+            (sockaddr_name (Necofuzz.Obs.Serve.addr srv));
+          Some (srv, board)
+      | Error msg ->
+          Format.eprintf "necofuzz: status server: %s@." msg;
+          exit 1)
+
+(* The /status page of a single-process campaign: same shape as the
+   fleet leader's, one row per worker. *)
+let local_status_json ~target ~jobs rows =
+  let module J = Nf_stdext.Json in
+  let row w (s : Necofuzz.Engine.snapshot option) =
+    let tele =
+      match s with
+      | None ->
+          [ ("virtual_hours", J.Null); ("coverage_pct", J.Null);
+            ("execs", J.Null); ("queue", J.Null); ("crashes", J.Null);
+            ("execs_per_sec", J.Null) ]
+      | Some s ->
+          [ ("virtual_hours", J.Float s.Necofuzz.Engine.virtual_hours);
+            ("coverage_pct", J.Float s.coverage_pct);
+            ("execs", J.Int s.snap_execs); ("queue", J.Int s.queue);
+            ("crashes", J.Int s.snap_crashes);
+            ("execs_per_sec", J.Float s.execs_per_sec) ]
+    in
+    J.Obj
+      (( "worker", J.Int w )
+       :: ("target", J.String (Necofuzz.Engine.target_slug target))
+       :: tele)
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("jobs", J.Int jobs);
+         ("workers", J.Arr (Array.to_list (Array.mapi row rows)));
+       ])
+
+(* The /metrics page of a single-process campaign: per-worker labelled
+   registries (the engine's own registry sequentially; synthetic
+   worker/... gauges from barrier snapshots in parallel, where the live
+   registries belong to the worker domains). *)
+let local_prometheus ~target regs =
+  let slug = Necofuzz.Engine.target_slug target in
+  Necofuzz.Obs.Metrics.prometheus
+    (List.mapi
+       (fun w reg -> ([ ("worker", string_of_int w); ("target", slug) ], reg))
+       regs)
+
+let gauges_of_snapshot (s : Necofuzz.Engine.snapshot) =
+  let reg = Necofuzz.Obs.Metrics.create () in
+  Necofuzz.Obs.Metrics.set_gauge reg "worker/virtual_hours"
+    s.Necofuzz.Engine.virtual_hours;
+  Necofuzz.Obs.Metrics.set_gauge reg "worker/coverage_pct" s.coverage_pct;
+  Necofuzz.Obs.Metrics.set_gauge reg "worker/execs_per_sec" s.execs_per_sec;
+  reg
+
 let fuzz_cmd =
   let target =
     Arg.(
@@ -200,10 +303,31 @@ let fuzz_cmd =
              (too-strict / too-lax / exit-mismatch).  Inert: the fuzzing \
              trajectory is identical with or without the flag.")
   in
+  let serve =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve" ] ~docv:"ADDR"
+          ~doc:
+            "Serve live campaign status over HTTP while fuzzing: \
+             $(b,/metrics) (Prometheus text exposition), $(b,/status) \
+             (JSON) and $(b,/healthz) on ADDR (unix:PATH or \
+             tcp:HOST:PORT).  Inert: a served campaign is bit-identical \
+             to an unserved one.")
+  in
+  let status_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "status-port" ] ~docv:"PORT"
+          ~doc:
+            "Shorthand for --serve tcp:127.0.0.1:PORT (mutually exclusive \
+             with --serve).")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
       corpus_dir corpus_kind minimize jobs sync_hours checkpoint_hours
       checkpoint_dir resume fault_rate fault_seed trace trace_jsonl
-      stats_interval stats_dir differential =
+      stats_interval stats_dir differential serve status_port =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -234,6 +358,7 @@ let fuzz_cmd =
           h;
         exit 2
     | _ -> ());
+    let serve_addr = resolve_serve_addr ~serve ~status_port in
     (* --corpus validation mirrors the --exp convention: unknown values
        (and durable without a store directory) are usage errors, exit 2. *)
     let corpus =
@@ -282,7 +407,7 @@ let fuzz_cmd =
     let sink =
       let sinks =
         (match trace with
-        | Some path -> [ Necofuzz.Obs.Sink.chrome_trace ~path ]
+        | Some path -> [ Necofuzz.Obs.Sink.chrome_trace ~path () ]
         | None -> [])
         @
         match trace_jsonl with
@@ -293,6 +418,23 @@ let fuzz_cmd =
       | [] -> Necofuzz.Obs.Sink.null
       | [ s ] -> s
       | ss -> Necofuzz.Obs.Sink.tee ss
+    in
+    (* Seed the board before the accept loop starts so /metrics and
+       /status answer from the very first request, even if the first
+       engine refresh has not landed yet. *)
+    let server =
+      start_status_server serve_addr ~init:(fun board ->
+          let regs =
+            List.init jobs (fun _ ->
+                let r = Necofuzz.Obs.Metrics.create () in
+                Necofuzz.Obs.Metrics.set_gauge r "worker/up" 1.0;
+                r)
+          in
+          Necofuzz.Obs.Serve.publish board ~path:"/metrics"
+            (Necofuzz.Obs.Serve.prometheus (local_prometheus ~target regs));
+          Necofuzz.Obs.Serve.publish board ~path:"/status"
+            (Necofuzz.Obs.Serve.json
+               (local_status_json ~target ~jobs (Array.make jobs None))))
     in
     let ablation =
       {
@@ -322,10 +464,43 @@ let fuzz_cmd =
               Format.printf "%a@." Necofuzz.Engine.pp_snapshot s)
       | None -> None
     in
+    (* Publish the status pages for a sequential campaign: the engine's
+       own registry and snapshot, refreshed every ~256 events through a
+       tee'd sink (reads only, on the campaign thread — inert). *)
+    let publish_seq engine =
+      match server with
+      | None -> ()
+      | Some (_, board) ->
+          Necofuzz.Obs.Serve.publish board ~path:"/metrics"
+            (Necofuzz.Obs.Serve.prometheus
+               (local_prometheus ~target [ Necofuzz.Engine.metrics engine ]));
+          Necofuzz.Obs.Serve.publish board ~path:"/status"
+            (Necofuzz.Obs.Serve.json
+               (local_status_json ~target ~jobs:1
+                  [| Some (Necofuzz.Engine.snapshot engine) |]))
+    in
     let run_sequential engine =
+      let sink =
+        match server with
+        | None -> sink
+        | Some _ ->
+            let n = ref 0 in
+            Necofuzz.Obs.Sink.tee
+              [
+                sink;
+                Necofuzz.Obs.Sink.callback (fun ~ts_us:_ ~worker:_ _ ->
+                    incr n;
+                    if !n land 255 = 0 then publish_seq engine);
+              ]
+      in
       Necofuzz.Engine.set_sink engine sink;
-      Necofuzz.Engine.run_from ?checkpoint_dir ?stats_dir
-        ?stats_hours:stats_interval ?on_progress engine
+      publish_seq engine;
+      let r =
+        Necofuzz.Engine.run_from ?checkpoint_dir ?stats_dir
+          ?stats_hours:stats_interval ?on_progress engine
+      in
+      publish_seq engine;
+      r
     in
     let r =
       match resume with
@@ -349,8 +524,30 @@ let fuzz_cmd =
                Printf.sprintf ", fault rate %g" fault_rate
              else "");
           if jobs > 1 then
+            (* Per-worker barrier snapshots feed the status pages; the
+               worker registries live in their domains, so /metrics
+               exposes synthetic worker/... gauges instead. *)
+            let statuses = Array.make jobs None in
+            let publish_par () =
+              match server with
+              | None -> ()
+              | Some (_, board) ->
+                  Necofuzz.Obs.Serve.publish board ~path:"/metrics"
+                    (Necofuzz.Obs.Serve.prometheus
+                       (local_prometheus ~target
+                          (Array.to_list
+                             (Array.map
+                                (function
+                                  | Some s -> gauges_of_snapshot s
+                                  | None -> Necofuzz.Obs.Metrics.create ())
+                                statuses))));
+                  Necofuzz.Obs.Serve.publish board ~path:"/status"
+                    (Necofuzz.Obs.Serve.json
+                       (local_status_json ~target ~jobs statuses))
+            in
             let on_sync (s : Necofuzz.Engine.snapshot) =
               Format.printf "  sync %a@." Necofuzz.Engine.pp_snapshot s;
+              publish_par ();
               match stats_dir with
               | Some dir ->
                   Necofuzz.Engine.write_stats ~dir
@@ -367,10 +564,28 @@ let fuzz_cmd =
                     }
               | None -> ()
             in
-            Necofuzz.run_parallel ~differential ?sync_hours ~on_sync ~obs:sink
-              ~corpus ~jobs cfg
+            let options =
+              {
+                Necofuzz.Engine.default_options with
+                differential;
+                corpus;
+                sync_hours;
+                obs = sink;
+                on_sync = Some on_sync;
+                on_worker_status =
+                  (match server with
+                  | None -> None
+                  | Some _ ->
+                      Some (fun ~worker s -> statuses.(worker) <- Some s));
+              }
+            in
+            publish_par ();
+            let o = Necofuzz.Engine.run_parallel ~options ~jobs cfg in
+            publish_par ();
+            o.Necofuzz.Engine.merged
           else run_sequential (Necofuzz.Engine.create ~differential ~corpus cfg)
     in
+    Option.iter (fun (srv, _) -> Necofuzz.Obs.Serve.close srv) server;
     Necofuzz.Obs.Sink.close sink;
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
@@ -413,7 +628,7 @@ let fuzz_cmd =
       $ no_configurator $ corpus_dir $ corpus_kind $ minimize $ jobs
       $ sync_hours $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate
       $ fault_seed $ trace $ trace_jsonl $ stats_interval $ stats_dir
-      $ differential)
+      $ differential $ serve $ status_port)
 
 let experiment_cmd =
   let which =
@@ -516,9 +731,26 @@ let fleet_cmd =
       & info [] ~docv:"VERB"
           ~doc:
             "$(b,lead) listens on --listen and merges a fleet campaign; \
-             $(b,work) connects a worker to --connect; $(b,golden) runs the \
-             equivalent in-process campaign (Engine.run_parallel) and prints \
-             the reference digest.")
+             $(b,work) connects a worker to --connect; $(b,status) fetches a \
+             running leader's /status page (address as second positional \
+             argument or --connect); $(b,golden) runs the equivalent \
+             in-process campaign (Engine.run_parallel) and prints the \
+             reference digest.")
+  in
+  let status_addr =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "For $(b,status): the leader's status-server address (unix:PATH \
+             or tcp:HOST:PORT).")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:"With $(b,status): refresh every 2 seconds until interrupted.")
   in
   let listen =
     Arg.(
@@ -598,8 +830,57 @@ let fleet_cmd =
           ~doc:"Run the fleet campaign with the cross-hypervisor \
                 differential oracle enabled.")
   in
+  let serve =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve" ] ~docv:"ADDR"
+          ~doc:
+            "Leader: serve live fleet status over HTTP ($(b,/metrics), \
+             $(b,/status), $(b,/healthz)) on ADDR (unix:PATH or \
+             tcp:HOST:PORT) while the campaign runs.")
+  in
+  let status_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "status-port" ] ~docv:"PORT"
+          ~doc:
+            "Shorthand for --serve tcp:127.0.0.1:PORT (mutually exclusive \
+             with --serve).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Leader: write the merged distributed trace — every worker's \
+             streamed spans plus the leader's supervision events, one \
+             Chrome-trace process lane per worker — to FILE.")
+  in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Leader: arm the crash flight recorder; on a host crash, worker \
+             abandonment or a wire-fault burst it dumps the last events per \
+             worker to DIR/flight-<reason>.jsonl.")
+  in
+  let no_telemetry =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Worker: do not stream live status frames and trace spans to \
+             the leader (v1-style wire traffic; the merged campaign digest \
+             is identical either way).")
+  in
   let run verb listen connect jobs target hours seed sync_hours timeout_ms
-      fault_rate fault_seed worker_slot differential =
+      fault_rate fault_seed worker_slot differential status_addr watch serve
+      status_port trace flight_dir no_telemetry =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -623,6 +904,7 @@ let fleet_cmd =
         timeout_ms;
       exit 2
     end;
+    let serve_addr = resolve_serve_addr ~serve ~status_port in
     let addr_of flag = function
       | None ->
           Format.eprintf "necofuzz: fleet %s requires %s@." verb flag;
@@ -656,9 +938,47 @@ let fleet_cmd =
     match verb with
     | "lead" -> (
         let addr = addr_of "--listen" listen in
+        (match flight_dir with
+        | Some dir -> (
+            match Necofuzz.Persist.mkdir_p dir with
+            | Ok () -> ()
+            | Error msg ->
+                Format.eprintf "necofuzz: --flight-dir: %s@." msg;
+                exit 1)
+        | None -> ());
+        let trace_sink =
+          match trace with
+          | Some path -> Necofuzz.Obs.Sink.chrome_trace ~lanes:true ~path ()
+          | None -> Necofuzz.Obs.Sink.null
+        in
+        let flight =
+          Option.map
+            (fun dir -> Necofuzz.Obs.Flight.create ~dir ())
+            flight_dir
+        in
+        let telemetry =
+          {
+            Necofuzz.Fleet.serve = serve_addr;
+            trace = trace_sink;
+            flight;
+            stream = not no_telemetry;
+          }
+        in
         Format.printf "fleet leader: %d workers, %.1f virtual hours...@." jobs
           hours;
-        match Necofuzz.Fleet.lead ~options ~timeout_ms ~jobs ~addr (cfg ()) with
+        let r =
+          Necofuzz.Fleet.lead ~options ~telemetry ~timeout_ms ~jobs ~addr
+            (cfg ())
+        in
+        Necofuzz.Obs.Sink.close trace_sink;
+        Option.iter
+          (fun f ->
+            List.iter
+              (fun (reason, path) ->
+                Format.printf "flight recorder: %s -> %s@." reason path)
+              (Necofuzz.Obs.Flight.dumps f))
+          flight;
+        match r with
         | Ok o -> report_outcome o
         | Error msg ->
             Format.eprintf "necofuzz: %s@." msg;
@@ -667,12 +987,48 @@ let fleet_cmd =
         let addr = addr_of "--connect" connect in
         match
           Necofuzz.Fleet.work ~timeout_ms ~fault_rate ~fault_seed
-            ?prev:worker_slot ~addr ()
+            ~telemetry:(not no_telemetry) ?prev:worker_slot ~addr ()
         with
         | Ok () -> Format.printf "worker done@."
         | Error msg ->
             Format.eprintf "necofuzz: %s@." msg;
             exit 1)
+    | "status" ->
+        let addr =
+          match (status_addr, connect) with
+          | Some s, _ | None, Some s -> (
+              match Necofuzz.Fleet.parse_addr s with
+              | Ok a -> a
+              | Error msg ->
+                  Format.eprintf "necofuzz: fleet status: %s@." msg;
+                  exit 2)
+          | None, None ->
+              Format.eprintf
+                "necofuzz: fleet status requires an address (second \
+                 positional argument or --connect)@.";
+              exit 2
+        in
+        let fetch () =
+          match Necofuzz.Obs.Serve.get ~addr ~path:"/status" with
+          | Ok { Necofuzz.Obs.Serve.status = 200; body; _ } ->
+              print_string body;
+              if body = "" || body.[String.length body - 1] <> '\n' then
+                print_newline ();
+              flush stdout
+          | Ok r ->
+              Format.eprintf "necofuzz: fleet status: HTTP %d@."
+                r.Necofuzz.Obs.Serve.status;
+              exit 1
+          | Error msg ->
+              Format.eprintf "necofuzz: fleet status: %s@." msg;
+              exit 1
+        in
+        if watch then
+          while true do
+            fetch ();
+            Unix.sleepf 2.0
+          done
+        else fetch ()
     | "golden" ->
         (* The reference: the same campaign run in-process.  A fleet
            leader over any transport must print this exact digest. *)
@@ -680,7 +1036,8 @@ let fleet_cmd =
         Format.printf "digest %s@." (Necofuzz.Engine.result_digest o.merged)
     | other ->
         Format.eprintf
-          "necofuzz: unknown fleet verb %S (expected lead, work or golden)@."
+          "necofuzz: unknown fleet verb %S (expected lead, work, status or \
+           golden)@."
           other;
         exit 2
   in
@@ -692,7 +1049,8 @@ let fleet_cmd =
     Term.(
       const run $ verb $ listen $ connect $ jobs $ target $ hours $ seed
       $ sync_hours $ timeout_ms $ fault_rate $ fault_seed $ worker_slot
-      $ differential)
+      $ differential $ status_addr $ watch $ serve $ status_port $ trace
+      $ flight_dir $ no_telemetry)
 
 let () =
   let info =

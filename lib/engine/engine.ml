@@ -964,6 +964,7 @@ type options = {
   on_progress : (snapshot -> unit) option;
   sync_hours : float option;
   on_sync : (snapshot -> unit) option;
+  on_worker_status : (worker:int -> snapshot -> unit) option;
   chaos : (worker:int -> round:int -> attempt:int -> unit) option;
   obs : Obs.Sink.t;
   supervision : supervision;
@@ -979,6 +980,7 @@ let default_options =
     on_progress = None;
     sync_hours = None;
     on_sync = None;
+    on_worker_status = None;
     chaos = None;
     obs = Obs.Sink.null;
     supervision = default_supervision;
@@ -1399,8 +1401,8 @@ let merge_results ~(cfg : cfg) ~(results : result array)
 
 let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     parallel_outcome =
-  let { differential; corpus; sync_hours; on_sync; chaos; obs;
-        supervision = policy; _ } =
+  let { differential; corpus; sync_hours; on_sync; on_worker_status; chaos;
+        obs; supervision = policy; _ } =
     options
   in
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
@@ -1569,6 +1571,16 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     Array.iteri
       (fun w e -> if not abandoned.(w) then barrier_state.(w) <- to_string e)
       engines;
+    (* Live-status hook: read-only per-worker snapshots at the barrier,
+       where the supervisor already owns every engine.  Inert by
+       construction — snapshots are pure reads, the callback runs on
+       the supervisor between rounds. *)
+    (match on_worker_status with
+    | Some f ->
+        Array.iteri
+          (fun w e -> if not abandoned.(w) then f ~worker:w (snapshot e))
+          engines
+    | None -> ());
     if Option.is_some on_sync || not (Obs.Sink.is_null obs) then begin
       let snap = campaign_snapshot shared engines in
       emit_sup ~worker:0

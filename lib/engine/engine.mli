@@ -267,6 +267,11 @@ type options = {
   on_sync : (snapshot -> unit) option;
       (** parallel: observer of the campaign-wide snapshot at every
           barrier *)
+  on_worker_status : (worker:int -> snapshot -> unit) option;
+      (** parallel: live-status observer called with each non-abandoned
+          worker's own snapshot at every barrier (before [on_sync]).
+          Read-only and inert: feeds the status server's per-worker
+          rows, never the campaign *)
   chaos : (worker:int -> round:int -> attempt:int -> unit) option;
       (** parallel: test hook run at the start of every worker attempt;
           may raise to simulate a worker death *)

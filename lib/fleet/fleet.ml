@@ -34,13 +34,21 @@ module Obs = Nf_obs.Obs
 module Diff = Nf_diff.Diff
 module Cov = Nf_coverage.Coverage
 module Rng = Nf_stdext.Rng
+module Json = Nf_stdext.Json
 
 (* ------------------------------------------------------------------ *)
 (* Wire protocol *)
 
 module Wire = struct
   let magic = "NECOFUZZ-FLET"
-  let version = 1
+
+  (* v1: the original protocol.  v2 piggybacks live telemetry on
+     Report/Poll: an optional status summary plus forwarded trace
+     spans.  Encoding always writes v2; decoding accepts both, so a v2
+     leader still merges v1 workers (their telemetry is simply empty). *)
+  let version = 2
+
+  let versions = [ 1; 2 ]
 
   type report = {
     entries : (Bytes.t * int array) list;
@@ -51,12 +59,33 @@ module Wire = struct
     finished : bool;
   }
 
+  (* Live worker telemetry: a full (not delta) snapshot, so a chaos-
+     duplicated or retransmitted frame re-applies idempotently.
+     [registry] is an [Obs.Metrics] codec blob — again a full snapshot
+     of the worker's campaign registry. *)
+  type status = {
+    st_round : int;
+    virtual_hours : float;
+    cov_pct : float;
+    execs_done : int;
+    queue_len : int;
+    crash_count : int;
+    eps : float; (* execs per virtual second *)
+    registry : string;
+  }
+
   type msg =
     | Hello of { prev : int option }
     | Welcome of { worker : int; round : int; sync_hours : float; state : string }
     | Busy of { reason : string }
-    | Report of { worker : int; round : int; report : report }
-    | Poll of { worker : int; round : int }
+    | Report of {
+        worker : int;
+        round : int;
+        report : report;
+        status : status option;
+        spans : (int64 * Obs.Event.t) list;
+      }
+    | Poll of { worker : int; round : int; status : status option }
     | Wait
     | Merge of {
         round : int;
@@ -109,6 +138,43 @@ module Wire = struct
     let finished = bool r in
     { entries; crashes; diff; hits; execs; finished }
 
+  let write_status w (s : status) =
+    let open Persist.Writer in
+    int w s.st_round;
+    float w s.virtual_hours;
+    float w s.cov_pct;
+    int w s.execs_done;
+    int w s.queue_len;
+    int w s.crash_count;
+    float w s.eps;
+    string w s.registry
+
+  let read_status r : status =
+    let open Persist.Reader in
+    let st_round = int r in
+    let virtual_hours = float r in
+    let cov_pct = float r in
+    let execs_done = int r in
+    let queue_len = int r in
+    let crash_count = int r in
+    let eps = float r in
+    let registry = string r in
+    { st_round; virtual_hours; cov_pct; execs_done; queue_len; crash_count;
+      eps; registry }
+
+  let write_spans w spans =
+    Persist.Writer.list w
+      (fun w (ts, ev) ->
+        Persist.Writer.i64 w ts;
+        Obs.Event.write w ev)
+      spans
+
+  let read_spans r =
+    Persist.Reader.list r (fun r ->
+        let ts = Persist.Reader.i64 r in
+        let ev = Obs.Event.read r in
+        (ts, ev))
+
   let encode msg =
     let w = Persist.Writer.create () in
     let open Persist.Writer in
@@ -125,15 +191,18 @@ module Wire = struct
     | Busy { reason } ->
         u8 w 2;
         string w reason
-    | Report { worker; round; report } ->
+    | Report { worker; round; report; status; spans } ->
         u8 w 3;
         int w worker;
         int w round;
-        write_report w report
-    | Poll { worker; round } ->
+        write_report w report;
+        option w write_status status;
+        write_spans w spans
+    | Poll { worker; round; status } ->
         u8 w 4;
         int w worker;
-        int w round
+        int w round;
+        option w write_status status
     | Wait -> u8 w 5
     | Merge { round; imports; diff } ->
         u8 w 6;
@@ -162,7 +231,7 @@ module Wire = struct
     Persist.frame ~magic ~version (contents w)
 
   let decode payload =
-    Persist.decode_typed ~magic ~version payload (fun r ->
+    Persist.decode_typed_versions ~magic ~versions payload (fun ~version r ->
         let open Persist.Reader in
         let msg =
           match u8 r with
@@ -178,11 +247,18 @@ module Wire = struct
               let worker = int r in
               let round = int r in
               let report = read_report r in
-              Report { worker; round; report }
+              let status, spans =
+                if version >= 2 then
+                  let status = option r read_status in
+                  (status, read_spans r)
+                else (None, [])
+              in
+              Report { worker; round; report; status; spans }
           | 4 ->
               let worker = int r in
               let round = int r in
-              Poll { worker; round }
+              let status = if version >= 2 then option r read_status else None in
+              Poll { worker; round; status }
           | 5 -> Wait
           | 6 ->
               let round = int r in
@@ -283,6 +359,28 @@ type stats = {
 type outcome = { fleet : Engine.parallel_outcome; stats : stats }
 
 (* ------------------------------------------------------------------ *)
+(* Live-observability configuration.
+
+   Everything here is strictly off to the side of the campaign: the
+   status server only reads rendered pages, the merged trace and the
+   flight recorder only consume events that already happened.  A
+   campaign with any combination enabled produces a bit-identical
+   result digest (the inertness invariant, pinned by tests/bench). *)
+
+type telemetry = {
+  serve : Unix.sockaddr option;
+      (* leader: bind the HTTP status server here *)
+  trace : Obs.Sink.t;
+      (* leader: merged distributed trace (worker spans re-emitted
+         per-worker; pair with [Obs.Sink.chrome_trace ~lanes:true]) *)
+  flight : Obs.Flight.t option; (* leader: crash flight recorder *)
+  stream : bool; (* worker: attach the span ring + status frames *)
+}
+
+let telemetry_none =
+  { serve = None; trace = Obs.Sink.null; flight = None; stream = true }
+
+(* ------------------------------------------------------------------ *)
 (* Worker state machine *)
 
 module Worker = struct
@@ -319,13 +417,21 @@ module Worker = struct
            against the retry budget. *)
     mutable attempts : int; (* retransmissions of the current request *)
     mutable retries : int; (* lifetime retransmission count *)
+    telemetry : bool; (* stream status frames + trace spans *)
+    span_cap : int;
+    spans : (int64 * Obs.Event.t) Queue.t;
+        (* bounded ring of recent engine events, drained into each
+           Report for the leader's merged trace *)
   }
 
   let create ?prev ?(timeout = 8)
-      ?(retry_budget = Engine.default_supervision.retry_budget) () =
+      ?(retry_budget = Engine.default_supervision.retry_budget)
+      ?(telemetry = true) ?(span_cap = 64) () =
     if timeout < 1 then invalid_arg "Fleet.Worker.create: timeout must be >= 1";
     if retry_budget < 0 then
       invalid_arg "Fleet.Worker.create: retry_budget must be >= 0";
+    if span_cap < 1 then
+      invalid_arg "Fleet.Worker.create: span_cap must be >= 1";
     {
       timeout;
       retry_budget;
@@ -342,6 +448,9 @@ module Worker = struct
       defer_until = 0;
       attempts = 0;
       retries = 0;
+      telemetry;
+      span_cap;
+      spans = Queue.create ();
     }
 
   let id t = t.id
@@ -369,6 +478,33 @@ module Worker = struct
     match t.engine with
     | Some e -> e
     | None -> invalid_arg "Fleet.Worker: no engine before Welcome"
+
+  (* Full status snapshot of the local engine: what the leader's /status
+     and /metrics pages show for this worker between merges.  Reads
+     deterministic campaign values only — building it never perturbs the
+     engine. *)
+  let status_of_engine t e : Wire.status =
+    let snap = Engine.snapshot e in
+    let w = Persist.Writer.create () in
+    Obs.Metrics.write w (Engine.metrics e);
+    {
+      Wire.st_round = t.round;
+      virtual_hours = snap.Engine.virtual_hours;
+      cov_pct = snap.Engine.coverage_pct;
+      execs_done = snap.Engine.snap_execs;
+      queue_len = snap.Engine.queue;
+      crash_count = snap.Engine.snap_crashes;
+      eps = snap.Engine.execs_per_sec;
+      registry = Persist.Writer.contents w;
+    }
+
+  let maybe_status t =
+    if t.telemetry then Option.map (status_of_engine t) t.engine else None
+
+  let drain_spans t =
+    let spans = List.rev (Queue.fold (fun acc x -> x :: acc) [] t.spans) in
+    Queue.clear t.spans;
+    spans
 
   (* Run one barrier round and stage its Report.  The bound computation
      is [run_parallel]'s, verbatim: round r ends at [r * sync_us],
@@ -405,6 +541,8 @@ module Worker = struct
                execs = (Engine.snapshot e).snap_execs;
                finished = Engine.campaign_over e;
              };
+           status = maybe_status t;
+           spans = (if t.telemetry then drain_spans t else []);
          })
 
   let rec poll t ~now =
@@ -471,6 +609,16 @@ module Worker = struct
                   Nf_stdext.Vclock.of_hours cfg.Engine.duration_hours;
                 t.last_export <- List.length (Engine.queue_entries engine);
                 t.crash_export <- List.length (Engine.crash_log engine);
+                (* Telemetry streaming: capture the engine's event
+                   stream into the bounded span ring.  A sink is inert
+                   by contract, so attaching one never changes the
+                   campaign. *)
+                if t.telemetry then
+                  Engine.set_sink engine
+                    (Obs.Sink.callback (fun ~ts_us ~worker:_ ev ->
+                         Queue.push (ts_us, ev) t.spans;
+                         if Queue.length t.spans > t.span_cap then
+                           ignore (Queue.pop t.spans)));
                 t.phase <- Running;
                 t.outbox <- None)
         | Joining, Wire.Goodbye ->
@@ -486,7 +634,14 @@ module Worker = struct
                polite re-poll one timeout from now. *)
             t.attempts <- 0;
             t.outbox <-
-              Some (Wire.encode (Wire.Poll { worker = t.id; round = t.round }));
+              Some
+                (Wire.encode
+                   (Wire.Poll
+                      {
+                        worker = t.id;
+                        round = t.round;
+                        status = maybe_status t;
+                      }));
             t.sent_at <- -1;
             t.defer_until <- now + t.timeout
         | Awaiting_merge, Wire.Merge { round; imports; diff }
@@ -542,6 +697,8 @@ module Leader = struct
     mutable report_round : int; (* 0: none yet *)
     mutable finished : bool; (* campaign_over flag of the last report *)
     mutable final : string option; (* serialized final result *)
+    mutable last_status : Wire.status option; (* latest live telemetry *)
+    mutable status_at : int; (* leader clock when it arrived *)
   }
 
   type mstats = {
@@ -568,10 +725,11 @@ module Leader = struct
     mutable rounds : int; (* merges computed so far *)
     ms : mstats;
     metrics : Obs.Metrics.t; (* fleet-local transport registry *)
+    tele : telemetry;
   }
 
-  let create ?(options = Engine.default_options) ?(timeout = 50) ~jobs
-      (cfg : Engine.cfg) =
+  let create ?(options = Engine.default_options) ?(telemetry = telemetry_none)
+      ?(timeout = 50) ~jobs (cfg : Engine.cfg) =
     if jobs < 1 then invalid_arg "Fleet.Leader.create: jobs must be >= 1";
     if timeout < 1 then invalid_arg "Fleet.Leader.create: timeout must be >= 1";
     let sync_hours =
@@ -612,6 +770,8 @@ module Leader = struct
             report_round = 0;
             finished = false;
             final = None;
+            last_status = None;
+            status_at = 0;
           })
     in
     {
@@ -627,12 +787,48 @@ module Leader = struct
       rounds = 0;
       ms = { m_joins = 0; m_rejoins = 0; m_deaths = 0; m_abandoned = 0 };
       metrics = Obs.Metrics.create ();
+      tele = telemetry;
     }
 
   let emit t ~worker ~now ev =
     let obs = t.options.Engine.obs in
     if not (Obs.Sink.is_null obs) then
-      Obs.Sink.emit obs ~ts_us:(Int64.of_int now) ~worker ev
+      Obs.Sink.emit obs ~ts_us:(Int64.of_int now) ~worker ev;
+    (* The leader's own supervision events feed the flight recorder too,
+       so a Worker_abandoned (or a Net_fault burst observed here)
+       freezes the ring at the incident. *)
+    match t.tele.flight with
+    | Some f -> Obs.Flight.record f ~ts_us:(Int64.of_int now) ~worker ev
+    | None -> ()
+
+  (* Forwarded worker telemetry.  Status frames apply under a virtual-
+     hours monotonicity guard: chaos can deliver a duplicated or delayed
+     older frame after a newer one, and live pages must never travel
+     backwards in time. *)
+  let apply_status (s : slot) ~now = function
+    | None -> ()
+    | Some (st : Wire.status) ->
+        let newer =
+          match s.last_status with
+          | None -> true
+          | Some cur -> st.Wire.virtual_hours >= cur.Wire.virtual_hours
+        in
+        if newer then begin
+          s.last_status <- Some st;
+          s.status_at <- now
+        end
+
+  let forward_spans t ~worker spans =
+    if not (Obs.Sink.is_null t.tele.trace) then
+      List.iter
+        (fun (ts_us, ev) -> Obs.Sink.emit t.tele.trace ~ts_us ~worker ev)
+        spans;
+    match t.tele.flight with
+    | None -> ()
+    | Some f ->
+        List.iter
+          (fun (ts_us, ev) -> Obs.Flight.record f ~ts_us ~worker ev)
+          spans
 
   let finished t =
     Array.for_all (fun s -> s.abandoned || s.final <> None) t.slots
@@ -892,7 +1088,7 @@ module Leader = struct
     | Ok msg -> (
         match msg with
         | Wire.Hello { prev } -> Some (hello t ~conn ~now prev)
-        | Wire.Report { worker; round; report } ->
+        | Wire.Report { worker; round; report; status; spans } ->
             if worker < 0 || worker >= t.jobs then None
             else
               let s = t.slots.(worker) in
@@ -906,15 +1102,20 @@ module Leader = struct
                         }))
               else begin
                 seen s ~conn ~now;
+                apply_status s ~now status;
                 if round = s.barrier_round + 1 && s.report_round < round then begin
                   s.report <- Some report;
                   s.report_round <- round;
                   s.finished <- report.Wire.finished;
+                  (* Spans forward only on first acceptance of the
+                     round: a chaos-duplicated Report must not write the
+                     same slices into the merged trace twice. *)
+                  forward_spans t ~worker spans;
                   try_merge t ~round ~now
                 end;
                 Some (round_reply t ~round)
               end
-        | Wire.Poll { worker; round } ->
+        | Wire.Poll { worker; round; status } ->
             if worker < 0 || worker >= t.jobs then None
             else
               let s = t.slots.(worker) in
@@ -928,6 +1129,7 @@ module Leader = struct
                         }))
               else begin
                 seen s ~conn ~now;
+                apply_status s ~now status;
                 Some (round_reply t ~round)
               end
         | Wire.Barrier { worker; round; state } ->
@@ -979,6 +1181,120 @@ module Leader = struct
 
   let metrics t = t.metrics
 
+  (* ---------------- live status pages ---------------- *)
+
+  let verdict_name = function
+    | Engine.Healthy -> "healthy"
+    | Engine.Recovered _ -> "recovered"
+    | Engine.Abandoned _ -> "abandoned"
+
+  (* The /status page: fleet-level supervision counters plus one row per
+     worker.  Heartbeat ages are in leader-clock ticks (ms on the socket
+     transport); telemetry fields are null until the worker's first
+     status frame. *)
+  let status_json t ~now =
+    let worker_json w (s : slot) =
+      let live =
+        match s.conn with
+        | Some _ -> now - s.last_seen <= t.timeout
+        | None -> false
+      in
+      let base =
+        [
+          ("worker", Json.Int w);
+          ("target", Json.String (Engine.target_slug t.cfg.Engine.target));
+          ("assigned", Json.Bool s.assigned);
+          ("up", Json.Bool (live && not s.abandoned));
+          ("verdict", Json.String (verdict_name s.verdict));
+          ("round", Json.Int s.barrier_round);
+          ("finished", Json.Bool s.finished);
+          ( "last_seen_age",
+            if s.assigned then Json.Int (max 0 (now - s.last_seen))
+            else Json.Null );
+          ( "status_age",
+            match s.last_status with
+            | Some _ -> Json.Int (max 0 (now - s.status_at))
+            | None -> Json.Null );
+        ]
+      in
+      let telemetry =
+        match s.last_status with
+        | None ->
+            [ ("virtual_hours", Json.Null); ("coverage_pct", Json.Null);
+              ("execs", Json.Null); ("queue", Json.Null);
+              ("crashes", Json.Null); ("execs_per_sec", Json.Null) ]
+        | Some st ->
+            [ ("virtual_hours", Json.Float st.Wire.virtual_hours);
+              ("coverage_pct", Json.Float st.Wire.cov_pct);
+              ("execs", Json.Int st.Wire.execs_done);
+              ("queue", Json.Int st.Wire.queue_len);
+              ("crashes", Json.Int st.Wire.crash_count);
+              ("execs_per_sec", Json.Float st.Wire.eps) ]
+      in
+      Json.Obj (base @ telemetry)
+    in
+    Json.to_string
+      (Json.Obj
+         [
+           ("jobs", Json.Int t.jobs);
+           ("rounds", Json.Int t.rounds);
+           ("finished", Json.Bool (finished t));
+           ("joins", Json.Int t.ms.m_joins);
+           ("rejoins", Json.Int t.ms.m_rejoins);
+           ("deaths", Json.Int t.ms.m_deaths);
+           ("abandoned", Json.Int t.ms.m_abandoned);
+           ( "workers",
+             Json.Arr (Array.to_list (Array.mapi worker_json t.slots)) );
+         ])
+
+  (* The /metrics page: the leader's transport registry labelled
+     role="leader", plus each worker's streamed campaign registry (its
+     full Metrics snapshot, decoded from the latest status frame)
+     augmented with worker/... gauges derived from the status summary —
+     so there is a per-worker labelled series from the moment a worker
+     joins, even before its first streamed registry. *)
+  let prometheus t ~now =
+    let target = Engine.target_slug t.cfg.Engine.target in
+    let per_worker =
+      Array.to_list
+        (Array.mapi
+           (fun w (s : slot) ->
+             let reg =
+               match s.last_status with
+               | Some st -> (
+                   match Obs.Metrics.read
+                           (Persist.Reader.of_string st.Wire.registry)
+                   with
+                   | reg -> reg
+                   | exception Persist.Reader.Corrupt _ ->
+                       (* Streamed inside a CRC-checked frame, so this
+                          is a codec bug — but a status page must
+                          degrade, not take the leader down. *)
+                       Obs.Metrics.create ())
+               | None -> Obs.Metrics.create ()
+             in
+             let live =
+               match s.conn with
+               | Some _ -> (not s.abandoned) && now - s.last_seen <= t.timeout
+               | None -> false
+             in
+             Obs.Metrics.set_gauge reg "worker/up" (if live then 1.0 else 0.0);
+             Obs.Metrics.set_gauge reg "worker/round"
+               (float_of_int s.barrier_round);
+             (match s.last_status with
+             | Some st ->
+                 Obs.Metrics.set_gauge reg "worker/virtual_hours"
+                   st.Wire.virtual_hours;
+                 Obs.Metrics.set_gauge reg "worker/coverage_pct"
+                   st.Wire.cov_pct;
+                 Obs.Metrics.set_gauge reg "worker/execs_per_sec" st.Wire.eps
+             | None -> ());
+             ([ ("worker", string_of_int w); ("target", target) ], reg))
+           t.slots)
+    in
+    Obs.Metrics.prometheus
+      (([ ("role", "leader") ], t.metrics) :: per_worker)
+
   let stats t =
     {
       joins = t.ms.m_joins;
@@ -1027,6 +1343,27 @@ module Leader = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Status-server plumbing shared by [run_sim] and [lead]: the driving
+   loop (which owns the leader) renders both pages onto the board at
+   safe points; the accept thread only ever reads the board. *)
+
+let publish_pages board leader ~now =
+  Obs.Serve.publish board ~path:"/metrics"
+    (Obs.Serve.prometheus (Leader.prometheus leader ~now));
+  Obs.Serve.publish board ~path:"/status"
+    (Obs.Serve.json (Leader.status_json leader ~now))
+
+let start_server telemetry board =
+  match telemetry.serve with
+  | None -> Ok None
+  | Some addr -> (
+      match
+        Obs.Serve.create ~addr ~handler:(Obs.Serve.board_handler board)
+      with
+      | Ok srv -> Ok (Some srv)
+      | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
 (* Deterministic in-process fleet simulation *)
 
 type sim_worker = {
@@ -1037,8 +1374,8 @@ type sim_worker = {
   mutable lost_retries : int; (* retries of FSMs replaced on rejoin *)
 }
 
-let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
-    ?(fault_seed = 0) ?(churn = []) ?(rejoin_after = 5)
+let run_sim ?(options = Engine.default_options) ?(telemetry = telemetry_none)
+    ?(fault_rate = 0.0) ?(fault_seed = 0) ?(churn = []) ?(rejoin_after = 5)
     ?(leader_timeout = 50) ?(worker_timeout = 8) ?(max_ticks = 2_000_000)
     ~jobs (cfg : Engine.cfg) : outcome =
   if rejoin_after < 1 then
@@ -1059,12 +1396,27 @@ let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
                  (Obs.Event.Net_fault { kind = Chaos.kind_name k }))
            ())
   in
-  let leader = Leader.create ~options ~timeout:leader_timeout ~jobs cfg in
+  let leader =
+    Leader.create ~options ~telemetry ~timeout:leader_timeout ~jobs cfg
+  in
+  let board = Obs.Serve.board () in
+  (* Render the pages before the accept thread exists: a client that
+     connects the instant the server is up never sees a 404. *)
+  if telemetry.serve <> None then publish_pages board leader ~now:!now_ref;
+  let server =
+    match start_server telemetry board with
+    | Ok s -> s
+    | Error msg -> failwith ("Fleet.run_sim: " ^ msg)
+  in
+  let refresh_pages () =
+    if server <> None then publish_pages board leader ~now:!now_ref
+  in
   let workers =
     Array.init jobs (fun _ ->
         {
           fsm = Worker.create ~timeout:worker_timeout
-              ~retry_budget:options.Engine.supervision.Engine.retry_budget ();
+              ~retry_budget:options.Engine.supervision.Engine.retry_budget
+              ~telemetry:telemetry.stream ();
           alive = true;
           rejoin_at = None;
           slot = -1;
@@ -1103,9 +1455,17 @@ let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
     w.lost_retries <- w.lost_retries + Worker.retries w.fsm;
     w.rejoin_at <- Some (!now_ref + rejoin_after)
   in
+  Fun.protect
+    ~finally:(fun () ->
+      refresh_pages ();
+      Option.iter Obs.Serve.close server)
+    (fun () ->
   while not (Leader.finished leader) do
     if !now_ref > max_ticks then
       failwith "Fleet.run_sim: tick budget exceeded (fleet livelocked?)";
+    (* Keep the served pages roughly current without re-rendering on
+       every simulated tick. *)
+    if !now_ref land 63 = 0 then refresh_pages ();
     let now = !now_ref in
     (* 1. Deliver frames that are due. *)
     let due, later =
@@ -1137,7 +1497,8 @@ let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
               Worker.create
                 ?prev:(if w.slot >= 0 then Some w.slot else None)
                 ~timeout:worker_timeout
-                ~retry_budget:options.Engine.supervision.Engine.retry_budget ();
+                ~retry_budget:options.Engine.supervision.Engine.retry_budget
+                ~telemetry:telemetry.stream ();
             w.alive <- true
         | _ -> ())
       workers;
@@ -1170,7 +1531,7 @@ let run_sim ?(options = Engine.default_options) ?(fault_rate = 0.0)
       (fun acc w -> acc + w.lost_retries + Worker.retries w.fsm)
       0 workers
   in
-  { o with stats = { o.stats with faults = !faults; retries } }
+  { o with stats = { o.stats with faults = !faults; retries } })
 
 (* ------------------------------------------------------------------ *)
 (* Socket transport *)
@@ -1256,10 +1617,20 @@ let ms_clock () =
   let t0 = Unix.gettimeofday () in
   fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0)
 
-let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
-    (cfg : Engine.cfg) : (outcome, string) result =
+let lead ?(options = Engine.default_options) ?(telemetry = telemetry_none)
+    ?(timeout_ms = 30_000) ~jobs ~addr (cfg : Engine.cfg) :
+    (outcome, string) result =
   match
-    let leader = Leader.create ~options ~timeout:timeout_ms ~jobs cfg in
+    let leader =
+      Leader.create ~options ~telemetry ~timeout:timeout_ms ~jobs cfg
+    in
+    let board = Obs.Serve.board () in
+    if telemetry.serve <> None then publish_pages board leader ~now:0;
+    let server =
+      match start_server telemetry board with
+      | Ok s -> s
+      | Error msg -> failwith msg
+    in
     let domain =
       match addr with
       | Unix.ADDR_UNIX path ->
@@ -1270,6 +1641,7 @@ let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
     let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     Fun.protect
       ~finally:(fun () ->
+        Option.iter Obs.Serve.close server;
         (try Unix.close listen_fd with Unix.Unix_error _ -> ());
         match addr with
         | Unix.ADDR_UNIX path -> (
@@ -1280,6 +1652,10 @@ let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
         Unix.bind listen_fd addr;
         Unix.listen listen_fd 64;
         let now = ms_clock () in
+        let refresh_pages () =
+          if server <> None then publish_pages board leader ~now:(now ())
+        in
+        refresh_pages ();
         (* Connection ids are monotonic, never reused: the leader's
            sticky slot ownership must not confuse two distinct clients
            that happened to share a recycled fd number. *)
@@ -1317,8 +1693,10 @@ let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
                             with Unix.Unix_error _ | Sys_error _ -> drop fd)
                         | None -> ())))
             readable;
-          Leader.check_timeouts leader ~now:(now ())
+          Leader.check_timeouts leader ~now:(now ());
+          refresh_pages ()
         done;
+        refresh_pages ();
         List.iter
           (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
           !conns;
@@ -1335,7 +1713,7 @@ let lead ?(options = Engine.default_options) ?(timeout_ms = 30_000) ~jobs ~addr
 
 let work ?(timeout_ms = 2_000)
     ?(retry_budget = Engine.default_supervision.Engine.retry_budget)
-    ?(fault_rate = 0.0) ?(fault_seed = 0) ?prev ~addr () :
+    ?(fault_rate = 0.0) ?(fault_seed = 0) ?(telemetry = true) ?prev ~addr () :
     (unit, string) result =
   match
     let chaos =
@@ -1367,7 +1745,9 @@ let work ?(timeout_ms = 2_000)
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         let now = ms_clock () in
-        let w = Worker.create ?prev ~timeout:timeout_ms ~retry_budget () in
+        let w =
+          Worker.create ?prev ~timeout:timeout_ms ~retry_budget ~telemetry ()
+        in
         let send payload =
           let copies =
             match chaos with

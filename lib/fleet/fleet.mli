@@ -44,7 +44,15 @@ module Wire : sig
       and all. *)
 
   val magic : string
+
+  (** Version written by {!encode} (currently [2]: v1 plus live
+      telemetry piggybacked on [Report]/[Poll]). *)
   val version : int
+
+  (** Versions {!decode} accepts, oldest first ([\[1; 2\]]): a v2
+      leader still merges v1 workers — their telemetry is simply
+      empty. *)
+  val versions : int list
 
   (** One worker's round contribution: queue entries discovered since
       its previous export (with per-entry edge metadata), crashes found
@@ -58,6 +66,22 @@ module Wire : sig
     hits : int array;
     execs : int;
     finished : bool;
+  }
+
+  (** Live worker telemetry, piggybacked on [Report]/[Poll] since wire
+      v2.  Always a {e full} snapshot (never a delta), so a
+      chaos-duplicated or retransmitted frame re-applies idempotently.
+      [registry] is the worker's whole campaign
+      {!Nf_obs.Obs.Metrics} registry as a codec blob. *)
+  type status = {
+    st_round : int;  (** barrier round the snapshot belongs to *)
+    virtual_hours : float;  (** campaign clock position *)
+    cov_pct : float;  (** coverage percentage *)
+    execs_done : int;  (** cumulative executions *)
+    queue_len : int;  (** corpus queue length *)
+    crash_count : int;  (** unique crashes so far *)
+    eps : float;  (** executions per virtual second *)
+    registry : string;  (** serialized {!Nf_obs.Obs.Metrics} snapshot *)
   }
 
   (** The protocol.  Workers drive: every worker-bound message is a
@@ -82,8 +106,18 @@ module Wire : sig
     | Hello of { prev : int option }
     | Welcome of { worker : int; round : int; sync_hours : float; state : string }
     | Busy of { reason : string }
-    | Report of { worker : int; round : int; report : report }
-    | Poll of { worker : int; round : int }
+    | Report of {
+        worker : int;
+        round : int;
+        report : report;
+        status : status option;
+            (** live telemetry snapshot (v2; [None] from v1 workers or
+                with streaming off) *)
+        spans : (int64 * Nf_obs.Obs.Event.t) list;
+            (** recent trace events [(ts_us, event)] for the leader's
+                merged distributed trace (v2) *)
+      }
+    | Poll of { worker : int; round : int; status : status option }
     | Wait
     | Merge of {
         round : int;
@@ -157,6 +191,37 @@ type stats = {
     the transport stats. *)
 type outcome = { fleet : Nf_engine.Engine.parallel_outcome; stats : stats }
 
+(** {1 Live observability} *)
+
+(** Live-observability configuration for a fleet run.  Everything here
+    is strictly off to the side of the campaign — the status server
+    only reads pre-rendered pages, the merged trace and flight
+    recorder only consume events that already happened — so a campaign
+    with any combination enabled produces a bit-identical result
+    digest (the inertness invariant, pinned by tests and bench). *)
+type telemetry = {
+  serve : Unix.sockaddr option;
+      (** leader: bind the HTTP status server here ([/metrics],
+          [/status], [/healthz]) *)
+  trace : Nf_obs.Obs.Sink.t;
+      (** leader: sink for the merged distributed trace — worker spans
+          re-emitted under their worker id; pair with
+          [Obs.Sink.chrome_trace ~lanes:true] for per-worker process
+          lanes *)
+  flight : Nf_obs.Obs.Flight.t option;
+      (** leader: crash flight recorder fed every forwarded span and
+          supervision event *)
+  stream : bool;
+      (** worker: attach the span ring and emit status frames
+          (default on; [false] downgrades workers to v1-style empty
+          telemetry) *)
+}
+
+(** All telemetry off: no server, null trace sink, no flight recorder,
+    streaming enabled (streaming is worker-side and harmless without a
+    leader-side consumer). *)
+val telemetry_none : telemetry
+
 (** {1 The worker state machine} *)
 
 module Worker : sig
@@ -182,9 +247,18 @@ module Worker : sig
       unanswered retransmissions (with exponential backoff) before the
       worker gives up — except while joining, where it knocks forever:
       enrollment patience belongs to the operator, abandonment to the
-      leader.
+      leader.  [telemetry] (default [true]) streams live status frames
+      and trace spans to the leader; [span_cap] bounds the in-worker
+      ring of recent events drained into each [Report].
       @raise Invalid_argument when [timeout < 1] or [retry_budget < 0]. *)
-  val create : ?prev:int -> ?timeout:int -> ?retry_budget:int -> unit -> t
+  val create :
+    ?prev:int ->
+    ?timeout:int ->
+    ?retry_budget:int ->
+    ?telemetry:bool ->
+    ?span_cap:int ->
+    unit ->
+    t
 
   (** Assigned slot id; [-1] until welcomed. *)
   val id : t -> int
@@ -223,12 +297,15 @@ module Leader : sig
       seeded exactly like [run_parallel]'s worker [w] (seed
       [cfg.seed + w]).  [options] supplies the corpus spec, differential
       flag, sync pitch and supervision policy; [timeout] is the
-      heartbeat timeout in ticks.
+      heartbeat timeout in ticks; [telemetry] wires the merged trace
+      sink and flight recorder (the leader machine does not run the
+      HTTP server itself — {!run_sim} and {!lead} do, off
+      [telemetry.serve]).
       @raise Invalid_argument when [jobs < 1], [timeout < 1] or the
       effective sync pitch is not positive. *)
   val create :
-    ?options:Nf_engine.Engine.options -> ?timeout:int -> jobs:int ->
-    Nf_engine.Engine.cfg -> t
+    ?options:Nf_engine.Engine.options -> ?telemetry:telemetry ->
+    ?timeout:int -> jobs:int -> Nf_engine.Engine.cfg -> t
 
   (** [handle t ~now ~conn frame] processes one received frame and
       returns the reply to send back on that connection, if any.
@@ -261,6 +338,26 @@ module Leader : sig
       campaign result. *)
   val metrics : t -> Nf_obs.Obs.Metrics.t
 
+  (** Render the [/status] page at tick [now]: a JSON object with
+      fleet-level supervision counters ([jobs], [rounds], [finished],
+      [joins], [rejoins], [deaths], [abandoned]) and a [workers] array
+      — per worker: slot id, target slug, liveness, supervision
+      verdict, barrier round, heartbeat and status-frame ages, and the
+      latest streamed telemetry ([virtual_hours], [coverage_pct],
+      [execs], [queue], [crashes], [execs_per_sec]; [null] until the
+      worker's first status frame). *)
+  val status_json : t -> now:int -> string
+
+  (** Render the [/metrics] page at tick [now]: Prometheus text
+      exposition of the leader's transport registry (labelled
+      [role="leader"]) plus, per slot, the worker's streamed campaign
+      registry augmented with [worker/up], [worker/round],
+      [worker/virtual_hours], [worker/coverage_pct] and
+      [worker/execs_per_sec] gauges, labelled
+      [worker="<id>",target="<slug>"] — so a per-worker labelled
+      series exists from the moment a slot exists. *)
+  val prometheus : t -> now:int -> string
+
   (** The merged campaign.  Per-worker results are decoded from their
       [Final] blobs (abandoned slots: rebuilt from their frozen barrier,
       like [run_parallel]) and merged by
@@ -292,11 +389,16 @@ end
       invariant holds as long as the leader's patience covers the rejoin
       window.
 
+    [telemetry] enables the live layer inside the simulation — HTTP
+    server, merged trace, flight recorder, worker streaming — without
+    perturbing the campaign digest (the inertness invariant).
+
     @raise Invalid_argument when [rejoin_after < 1].
     @raise Failure when the fleet fails to converge within [max_ticks]
     (a livelocked protocol is a bug, not a wait). *)
 val run_sim :
   ?options:Nf_engine.Engine.options ->
+  ?telemetry:telemetry ->
   ?fault_rate:float ->
   ?fault_seed:int ->
   ?churn:(int * int) list ->
@@ -318,9 +420,14 @@ val parse_addr : string -> (Unix.sockaddr, string) result
 (** [lead ~jobs ~addr cfg] binds [addr], serves the {!Leader} machine
     over length-prefixed frames until the campaign finishes, and returns
     the merged outcome.  [timeout_ms] is the heartbeat timeout in
-    wall-clock milliseconds.  Socket errors come back as [Error]. *)
+    wall-clock milliseconds.  [telemetry] wires the live layer: when
+    [telemetry.serve] is set the leader also runs the HTTP status
+    server ([/metrics], [/status], [/healthz]) for the duration of the
+    campaign, refreshing its pages at every supervision tick.  Socket
+    errors come back as [Error]. *)
 val lead :
   ?options:Nf_engine.Engine.options ->
+  ?telemetry:telemetry ->
   ?timeout_ms:int ->
   jobs:int ->
   addr:Unix.sockaddr ->
@@ -331,12 +438,14 @@ val lead :
     boots), runs the {!Worker} machine to completion and returns its
     verdict.  [prev] reclaims a slot after a restart; [fault_rate]/
     [fault_seed] apply {!Chaos} to this worker's outbound frames — the
-    socket-level chaos smoke test. *)
+    socket-level chaos smoke test.  [telemetry] (default [true])
+    streams live status frames and trace spans to the leader. *)
 val work :
   ?timeout_ms:int ->
   ?retry_budget:int ->
   ?fault_rate:float ->
   ?fault_seed:int ->
+  ?telemetry:bool ->
   ?prev:int ->
   addr:Unix.sockaddr ->
   unit ->

@@ -111,11 +111,16 @@ module Event = struct
   (* Chrome trace-event format (the JSON array flavour).  [Step_end]
      carries its own duration, so it maps onto a complete ("X") slice
      ending at [ts_us]; everything else is an instant ("i") event on the
-     same per-worker track. *)
-  let to_trace_json ~ts_us ~worker ev =
+     same per-worker track.  The default layout puts every worker on a
+     thread lane of one process (pid 0); [~lanes:true] — used for the
+     leader's merged distributed trace — promotes each worker to its own
+     process lane instead, which trace viewers render as separate
+     collapsible groups. *)
+  let to_trace_json ?(lanes = false) ~ts_us ~worker ev =
+    let pid, tid = if lanes then (worker, 0) else (0, worker) in
     let common ph ts =
       [ ("name", Json.String (name ev)); ("ph", Json.String ph);
-        ("ts", Json.I64 ts); ("pid", Json.Int 0); ("tid", Json.Int worker);
+        ("ts", Json.I64 ts); ("pid", Json.Int pid); ("tid", Json.Int tid);
         ("cat", Json.String "necofuzz");
         ("args", Json.Obj (payload ev)) ]
     in
@@ -124,7 +129,161 @@ module Event = struct
         let start = Int64.sub ts_us (max 0L cost_us) in
         Json.Obj (common "X" start @ [ ("dur", Json.I64 (max 0L cost_us)) ])
     | _ -> Json.Obj (common "i" ts_us @ [ ("s", Json.String "t") ])
+
+  (* Binary codec so events can travel inside Persist frames (the fleet
+     forwards worker trace spans to the leader).  Tags follow the
+     declaration order of [t]; the verdict gets its own tag space. *)
+
+  let verdict_tag = function
+    | Entered -> 0
+    | Vmfail -> 1
+    | No_entry -> 2
+    | Vm_died -> 3
+    | Host_crashed -> 4
+
+  let verdict_of_tag = function
+    | 0 -> Entered
+    | 1 -> Vmfail
+    | 2 -> No_entry
+    | 3 -> Vm_died
+    | 4 -> Host_crashed
+    | n ->
+        raise
+          (Persist.Reader.Corrupt
+             (Printf.sprintf "unknown event verdict tag %d" n))
+
+  let write w ev =
+    let open Persist.Writer in
+    match ev with
+    | Step_begin { exec } ->
+        u8 w 0;
+        int w exec
+    | Input_proposed { exec; bytes; queue } ->
+        u8 w 1;
+        int w exec;
+        int w bytes;
+        int w queue
+    | Vm_entry_checked { exec; verdict; entries; vmfails } ->
+        u8 w 2;
+        int w exec;
+        u8 w (verdict_tag verdict);
+        int w entries;
+        int w vmfails
+    | Sanitizer_report { exec; kind; message } ->
+        u8 w 3;
+        int w exec;
+        string w kind;
+        string w message
+    | Fault_injected { kind } ->
+        u8 w 4;
+        string w kind
+    | Step_end { exec; novel; crashed; cost_us } ->
+        u8 w 5;
+        int w exec;
+        bool w novel;
+        bool w crashed;
+        i64 w cost_us
+    | Worker_sync { round; workers; execs; coverage_pct } ->
+        u8 w 6;
+        int w round;
+        int w workers;
+        int w execs;
+        float w coverage_pct
+    | Checkpoint_saved { path; bytes } ->
+        u8 w 7;
+        string w path;
+        int w bytes
+    | Worker_recovered { worker; attempt; error } ->
+        u8 w 8;
+        int w worker;
+        int w attempt;
+        string w error
+    | Worker_abandoned { worker; attempts; error } ->
+        u8 w 9;
+        int w worker;
+        int w attempts;
+        string w error
+    | Worker_joined { worker; rejoined } ->
+        u8 w 10;
+        int w worker;
+        bool w rejoined
+    | Net_fault { kind } ->
+        u8 w 11;
+        string w kind
+    | Divergence_found { exec; cls; impl; check } ->
+        u8 w 12;
+        int w exec;
+        string w cls;
+        string w impl;
+        string w check
+
+  let read r =
+    let open Persist.Reader in
+    match u8 r with
+    | 0 -> Step_begin { exec = int r }
+    | 1 ->
+        let exec = int r in
+        let bytes = int r in
+        let queue = int r in
+        Input_proposed { exec; bytes; queue }
+    | 2 ->
+        let exec = int r in
+        let verdict = verdict_of_tag (u8 r) in
+        let entries = int r in
+        let vmfails = int r in
+        Vm_entry_checked { exec; verdict; entries; vmfails }
+    | 3 ->
+        let exec = int r in
+        let kind = string r in
+        let message = string r in
+        Sanitizer_report { exec; kind; message }
+    | 4 -> Fault_injected { kind = string r }
+    | 5 ->
+        let exec = int r in
+        let novel = bool r in
+        let crashed = bool r in
+        let cost_us = i64 r in
+        Step_end { exec; novel; crashed; cost_us }
+    | 6 ->
+        let round = int r in
+        let workers = int r in
+        let execs = int r in
+        let coverage_pct = float r in
+        Worker_sync { round; workers; execs; coverage_pct }
+    | 7 ->
+        let path = string r in
+        let bytes = int r in
+        Checkpoint_saved { path; bytes }
+    | 8 ->
+        let worker = int r in
+        let attempt = int r in
+        let error = string r in
+        Worker_recovered { worker; attempt; error }
+    | 9 ->
+        let worker = int r in
+        let attempts = int r in
+        let error = string r in
+        Worker_abandoned { worker; attempts; error }
+    | 10 ->
+        let worker = int r in
+        let rejoined = bool r in
+        Worker_joined { worker; rejoined }
+    | 11 -> Net_fault { kind = string r }
+    | 12 ->
+        let exec = int r in
+        let cls = string r in
+        let impl = string r in
+        let check = string r in
+        Divergence_found { exec; cls; impl; check }
+    | n ->
+        raise
+          (Persist.Reader.Corrupt (Printf.sprintf "unknown event tag %d" n))
 end
+
+(* Backing cell for the "obs/sink_errors" counter of {!process_metrics}.
+   Declared here because [Sink] precedes [Metrics] in this file; the
+   registry below adopts the same ref, so both views always agree. *)
+let sink_error_count = ref 0
 
 module Sink = struct
   type t = {
@@ -138,41 +297,71 @@ module Sink = struct
 
   let is_null s = s == null
 
+  (* Observability must never kill a campaign: a sink that raises (full
+     disk, unwritable path, buggy callback) drops the event and bumps
+     the process-local error counter instead of propagating. *)
+  let soak f = try f () with _ -> incr sink_error_count
+
   let emit s ~ts_us ?(worker = 0) ev =
-    if not s.closed then s.emit ~ts_us ~worker ev
+    if not s.closed then soak (fun () -> s.emit ~ts_us ~worker ev)
 
   let close s =
     if not s.closed then begin
       s.closed <- true;
-      s.close ()
+      soak s.close
     end
 
+  let callback f =
+    { emit = (fun ~ts_us ~worker ev -> f ~ts_us ~worker ev);
+      close = ignore;
+      closed = false }
+
+  (* File sinks open lazily on first emit so that an unwritable path
+     degrades to dropped events (via [soak]) rather than aborting
+     campaign setup — and an event-free campaign leaves no file. *)
+  let lazy_channel ~init path =
+    let oc = ref None in
+    let get () =
+      match !oc with
+      | Some c -> c
+      | None ->
+          let c = open_out_bin path in
+          init c;
+          oc := Some c;
+          c
+    in
+    (get, fun f -> match !oc with Some c -> f c | None -> ())
+
   let jsonl ~path =
-    let oc = open_out_bin path in
+    let channel, if_open = lazy_channel ~init:ignore path in
     {
       emit =
         (fun ~ts_us ~worker ev ->
+          let oc = channel () in
           output_string oc (Json.to_string (Event.to_json ~ts_us ~worker ev));
           output_char oc '\n');
-      close = (fun () -> close_out_noerr oc);
+      close = (fun () -> if_open close_out_noerr);
       closed = false;
     }
 
-  let chrome_trace ~path =
-    let oc = open_out_bin path in
-    output_string oc "[";
+  let chrome_trace ?(lanes = false) ~path () =
+    let channel, if_open =
+      lazy_channel ~init:(fun oc -> output_string oc "[") path
+    in
     let first = ref true in
     {
       emit =
         (fun ~ts_us ~worker ev ->
+          let oc = channel () in
           if !first then first := false else output_string oc ",";
           output_string oc "\n";
           output_string oc
-            (Json.to_string (Event.to_trace_json ~ts_us ~worker ev)));
+            (Json.to_string (Event.to_trace_json ~lanes ~ts_us ~worker ev)));
       close =
         (fun () ->
-          output_string oc "\n]\n";
-          close_out_noerr oc);
+          if_open (fun oc ->
+              output_string oc "\n]\n";
+              close_out_noerr oc));
       closed = false;
     }
 
@@ -365,9 +554,130 @@ module Metrics = struct
         match v with
         | Counter n -> Format.fprintf ppf "%-32s %d@." name n
         | Gauge g -> Format.fprintf ppf "%-32s %.3f@." name g
-        | Histogram { n; sum; _ } ->
-            Format.fprintf ppf "%-32s n=%d sum=%Ld@." name n sum)
+        | Histogram { bounds; counts; n; sum } ->
+            (* Per-bucket detail so the text dump carries the same
+               information as the Prometheus exposition. *)
+            Format.fprintf ppf "%-32s n=%d sum=%Ld" name n sum;
+            Array.iteri
+              (fun i c ->
+                let le =
+                  if i < Array.length bounds then Int64.to_string bounds.(i)
+                  else "+inf"
+                in
+                Format.fprintf ppf " le=%s:%d" le c)
+              counts;
+            Format.fprintf ppf "@.")
       (to_list t)
+
+  (* ---------------- Prometheus text exposition ---------------- *)
+
+  (* Metric names may only contain [a-zA-Z0-9_:]; ours use '/' and '-'
+     as separators, which map to '_'. *)
+  let prometheus_name ~prefix name =
+    let b = Buffer.create (String.length prefix + String.length name) in
+    Buffer.add_string b prefix;
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+            Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let prometheus_escape v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let render_labels = function
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> k ^ "=\"" ^ prometheus_escape v ^ "\"")
+               kvs)
+        ^ "}"
+
+  (* Shortest exact decimal for gauge samples ("61.25", not
+     "61.250000"); counters and bucket counts are plain ints. *)
+  let render_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let prometheus ?(prefix = "necofuzz_") registries =
+    (* Flatten every registry into (sanitized name, kind, labels, value)
+       samples, then group by name so each series family gets exactly
+       one "# TYPE" line even when many label sets report it. *)
+    let samples =
+      List.concat_map
+        (fun (labels, t) ->
+          List.map
+            (fun (name, v) -> (prometheus_name ~prefix name, labels, v))
+            (to_list t))
+        registries
+    in
+    let samples =
+      (* Stable: same-name samples keep their registry order. *)
+      List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) samples
+    in
+    let buf = Buffer.create 4096 in
+    let last_type = ref "" in
+    List.iter
+      (fun (name, labels, v) ->
+        let kind =
+          match v with
+          | Counter _ -> "counter"
+          | Gauge _ -> "gauge"
+          | Histogram _ -> "histogram"
+        in
+        let type_line = Printf.sprintf "# TYPE %s %s\n" name kind in
+        if !last_type <> type_line then begin
+          Buffer.add_string buf type_line;
+          last_type := type_line
+        end;
+        match v with
+        | Counter n ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" name (render_labels labels) n)
+        | Gauge g ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" name (render_labels labels)
+                 (render_float g))
+        | Histogram { bounds; counts; n; sum } ->
+            (* Prometheus buckets are cumulative and always end with a
+               "+Inf" bucket equal to the sample count. *)
+            let cumulative = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cumulative := !cumulative + c;
+                let le =
+                  if i < Array.length bounds then
+                    Int64.to_string bounds.(i)
+                  else "+Inf"
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (render_labels (labels @ [ ("le", le) ]))
+                     !cumulative))
+              counts;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %Ld\n" name (render_labels labels)
+                 sum);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+                 n))
+      samples;
+    Buffer.contents buf
 
   (* Checkpoint codec: the sorted (name, value) list, tagged per kind. *)
   let write w t =
@@ -432,6 +742,125 @@ module Metrics = struct
     t
 end
 
+(* Process-local registry for observability-infrastructure health.
+   Deliberately NOT an engine registry: engine registries are
+   checkpointed and digested, so accounting sink failures there would
+   make campaign state depend on the host filesystem.  The counter cell
+   is the same ref [Sink.soak] bumps. *)
+let process_metrics : Metrics.t =
+  let t = Metrics.create () in
+  Hashtbl.replace t "obs/sink_errors" (Metrics.C_counter sink_error_count);
+  t
+
+module Flight = struct
+  type entry = { fr_ts : int64; fr_worker : int; fr_event : Event.t }
+
+  type t = {
+    capacity : int;
+    rings : (int, entry Queue.t) Hashtbl.t;
+    dir : string option;
+    burst : int;
+    burst_window_us : int64;
+    mutable recent_faults : int64 list; (* Net_fault timestamps, newest first *)
+    mutable dumped : (string * string) list; (* (reason, path), oldest first *)
+  }
+
+  let create ?(capacity = 256) ?(burst = 8) ?(burst_window_us = 1_000_000L)
+      ?dir () =
+    if capacity < 1 then invalid_arg "Obs.Flight.create: capacity must be >= 1";
+    if burst < 1 then invalid_arg "Obs.Flight.create: burst must be >= 1";
+    {
+      capacity;
+      rings = Hashtbl.create 8;
+      dir;
+      burst;
+      burst_window_us;
+      recent_faults = [];
+      dumped = [];
+    }
+
+  let events t =
+    (* Deterministic despite hash-table storage: concatenate workers in
+       ascending id order, then stable-sort by timestamp so interleaving
+       is chronological and ties preserve per-worker order. *)
+    let ids =
+      List.sort compare (Hashtbl.fold (fun w _ acc -> w :: acc) t.rings [])
+    in
+    let all =
+      List.concat_map
+        (fun w ->
+          let q = Hashtbl.find t.rings w in
+          List.rev (Queue.fold (fun acc e -> e :: acc) [] q))
+        ids
+    in
+    List.stable_sort (fun a b -> compare a.fr_ts b.fr_ts) all
+    |> List.map (fun e -> (e.fr_ts, e.fr_worker, e.fr_event))
+
+  let render t =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (ts_us, worker, ev) ->
+        Buffer.add_string b (Json.to_string (Event.to_json ~ts_us ~worker ev));
+        Buffer.add_char b '\n')
+      (events t);
+    Buffer.contents b
+
+  let dump t ~path =
+    match Persist.write_file_atomic ~path (render t) with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+
+  let dumps t = t.dumped
+
+  (* One dump per distinct reason: the first trigger freezes the most
+     interesting window; repeats would overwrite it with later, less
+     relevant tails.  Dump failures bump the sink-error counter — the
+     recorder itself must stay inert. *)
+  let trip t ~reason =
+    match t.dir with
+    | None -> ()
+    | Some dir ->
+        if not (List.mem_assoc reason t.dumped) then begin
+          let ok =
+            match Persist.mkdir_p dir with
+            | Ok () -> true
+            | Error _ -> false
+          in
+          let path = Filename.concat dir ("flight-" ^ reason ^ ".jsonl") in
+          match if ok then dump t ~path else Error "mkdir failed" with
+          | Ok () -> t.dumped <- t.dumped @ [ (reason, path) ]
+          | Error _ -> incr sink_error_count
+        end
+
+  let record t ~ts_us ~worker ev =
+    let q =
+      match Hashtbl.find_opt t.rings worker with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.rings worker q;
+          q
+    in
+    Queue.push { fr_ts = ts_us; fr_worker = worker; fr_event = ev } q;
+    if Queue.length q > t.capacity then ignore (Queue.pop q);
+    match ev with
+    | Event.Vm_entry_checked { verdict = Event.Host_crashed; _ } ->
+        trip t ~reason:"host-crashed"
+    | Event.Worker_abandoned _ -> trip t ~reason:"abandoned"
+    | Event.Net_fault _ ->
+        t.recent_faults <-
+          ts_us
+          :: List.filter
+               (fun f -> Int64.sub ts_us f <= t.burst_window_us)
+               t.recent_faults;
+        if List.length t.recent_faults >= t.burst then
+          trip t ~reason:"net-fault-burst"
+    | _ -> ()
+
+  let sink t =
+    Sink.callback (fun ~ts_us ~worker ev -> record t ~ts_us ~worker ev)
+end
+
 module Stats = struct
   type row = {
     run_time_vs : float;
@@ -471,4 +900,244 @@ module Stats = struct
   let plot_data_line row =
     Printf.sprintf "%.0f, %d, %d, %d, %.2f, %.2f" row.run_time_vs row.execs
       row.paths_total row.saved_crashes row.coverage_pct row.execs_per_sec
+end
+
+module Serve = struct
+  (* Minimal HTTP/1.0 status server.  Same socket discipline as the
+     fleet's leader loop (select with a short tick so close is prompt),
+     but speaking plain HTTP: one request per connection, response,
+     close.  The accept loop runs on a background thread and only ever
+     touches the mutex-protected board — never live engine or leader
+     state — which is what keeps serving inert with respect to the
+     campaign. *)
+
+  type response = { status : int; content_type : string; body : string }
+
+  let text ?(status = 200) body =
+    { status; content_type = "text/plain; charset=utf-8"; body }
+
+  let json ?(status = 200) body =
+    { status; content_type = "application/json"; body }
+
+  let prometheus ?(status = 200) body =
+    { status; content_type = "text/plain; version=0.0.4; charset=utf-8"; body }
+
+  type board = { mutex : Mutex.t; mutable pages : (string * response) list }
+
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+  let board () = { mutex = Mutex.create (); pages = [] }
+
+  let publish b ~path resp =
+    with_lock b.mutex (fun () ->
+        b.pages <- (path, resp) :: List.remove_assoc path b.pages)
+
+  let board_handler b path =
+    if path = "/healthz" then Some (text "ok\n")
+    else with_lock b.mutex (fun () -> List.assoc_opt path b.pages)
+
+  type t = {
+    sock : Unix.file_descr;
+    bound : Unix.sockaddr;
+    thread : Thread.t;
+    stop : bool Atomic.t;
+  }
+
+  let addr t = t.bound
+
+  let reason = function
+    | 200 -> "OK"
+    | 400 -> "Bad Request"
+    | 404 -> "Not Found"
+    | 500 -> "Internal Server Error"
+    | _ -> "Status"
+
+  let render_response r =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      r.status (reason r.status) r.content_type (String.length r.body) r.body
+
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+
+  let contains_terminator s =
+    let n = String.length s in
+    let rec go i =
+      if i + 4 > n then false
+      else if String.sub s i 4 = "\r\n\r\n" then true
+      else go (i + 1)
+    in
+    go 0
+
+  (* Read until the request head terminator (we ignore bodies) with a
+     hard cap so a hostile client cannot balloon memory. *)
+  let read_request fd =
+    let buf = Buffer.create 512 in
+    let chunk = Bytes.create 512 in
+    let rec go () =
+      if Buffer.length buf > 8192 || contains_terminator (Buffer.contents buf)
+      then Buffer.contents buf
+      else
+        match Unix.read fd chunk 0 512 with
+        | 0 -> Buffer.contents buf
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error _ -> Buffer.contents buf
+    in
+    go ()
+
+  let request_path raw =
+    match String.split_on_char '\r' raw with
+    | line :: _ -> (
+        match String.split_on_char ' ' line with
+        | meth :: path :: _ when meth = "GET" || meth = "HEAD" ->
+            (* Strip any query string: the board keys on bare paths. *)
+            Some (match String.index_opt path '?' with
+                 | Some i -> String.sub path 0 i
+                 | None -> path)
+        | _ -> None)
+    | [] -> None
+
+  let serve_client handler fd =
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
+    let resp =
+      match request_path (read_request fd) with
+      | None -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+      | Some path -> (
+          match handler path with
+          | Some r -> r
+          | None -> { status = 404; content_type = "text/plain"; body = "not found\n" })
+    in
+    write_all fd (render_response resp)
+
+  let create ~addr ~handler =
+    match
+      let domain = Unix.domain_of_sockaddr addr in
+      let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt sock Unix.SO_REUSEADDR true;
+         (match addr with
+         | Unix.ADDR_UNIX p when Sys.file_exists p -> Unix.unlink p
+         | _ -> ());
+         Unix.bind sock addr;
+         Unix.listen sock 16
+       with e ->
+         (try Unix.close sock with _ -> ());
+         raise e);
+      let bound = Unix.getsockname sock in
+      let stop = Atomic.make false in
+      let thread =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              (* Select-with-tick instead of a blocking accept: close
+                 flips [stop] and the loop notices within 0.2s, so
+                 shutdown never hangs on an idle listener. *)
+              match Unix.select [ sock ] [] [] 0.2 with
+              | [], _, _ -> ()
+              | _ :: _, _, _ -> (
+                  match Unix.accept sock with
+                  | client, _ ->
+                      (try serve_client handler client with _ -> ());
+                      (try Unix.close client with _ -> ())
+                  | exception Unix.Unix_error _ -> ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done)
+          ()
+      in
+      { sock; bound; thread; stop }
+    with
+    | t -> Ok t
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "status server: %s: %s" fn (Unix.error_message e))
+
+  let close t =
+    if not (Atomic.exchange t.stop true) then begin
+      Thread.join t.thread;
+      (try Unix.close t.sock with Unix.Unix_error _ -> ());
+      match t.bound with
+      | Unix.ADDR_UNIX p -> ( try Unix.unlink p with _ -> ())
+      | _ -> ()
+    end
+
+  (* Tiny blocking client, enough for the CLI's `fleet status` verb and
+     the tests — not a general HTTP client. *)
+  let get ~addr ~path =
+    let timeout_s = 5.0 in
+    let domain = Unix.domain_of_sockaddr addr in
+    let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+    let finally () = try Unix.close sock with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally (fun () ->
+          Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout_s;
+          Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout_s;
+          Unix.connect sock addr;
+          write_all sock (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read sock chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+          in
+          drain ();
+          Buffer.contents buf)
+    with
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | raw -> (
+        (* Split head from body on the first blank line, then pull the
+           status code and content type out of the head. *)
+        let head, body =
+          let n = String.length raw in
+          let rec find i =
+            if i + 4 > n then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | Some i -> (String.sub raw 0 i, String.sub raw (i + 4) (n - i - 4))
+          | None -> (raw, "")
+        in
+        match String.split_on_char '\r' head with
+        | status_line :: _ -> (
+            match String.split_on_char ' ' status_line with
+            | _http :: code :: _ -> (
+                match int_of_string_opt code with
+                | Some status ->
+                    let content_type =
+                      List.find_map
+                        (fun line ->
+                          let line = String.trim line in
+                          let k = "content-type:" in
+                          if
+                            String.length line > String.length k
+                            && String.lowercase_ascii
+                                 (String.sub line 0 (String.length k))
+                               = k
+                          then
+                            Some
+                              (String.trim
+                                 (String.sub line (String.length k)
+                                    (String.length line - String.length k)))
+                          else None)
+                        (String.split_on_char '\n' head)
+                      |> Option.value ~default:"text/plain"
+                    in
+                    Ok { status; content_type; body }
+                | None -> Error "malformed HTTP status line")
+            | _ -> Error "malformed HTTP status line")
+        | [] -> Error "empty HTTP response")
 end

@@ -96,8 +96,22 @@ module Event : sig
       JSON array format): [Step_end] becomes a complete ("X") slice of
       [cost_us] duration ending at [ts_us]; everything else an instant
       ("i") event.  Virtual microseconds map directly onto the trace
-      [ts] clock. *)
-  val to_trace_json : ts_us:int64 -> worker:int -> t -> Nf_stdext.Json.t
+      [ts] clock.  By default every worker is a thread lane of one
+      process ([pid 0], [tid worker]); [~lanes:true] — used for the
+      leader's merged distributed trace — gives each worker its own
+      process lane ([pid worker]) so viewers render workers as separate
+      collapsible groups. *)
+  val to_trace_json :
+    ?lanes:bool -> ts_us:int64 -> worker:int -> t -> Nf_stdext.Json.t
+
+  (** Binary codec, so events can ride inside [Nf_persist] frames — the
+      fleet forwards worker trace spans to the leader as part of its
+      wire protocol. *)
+  val write : Nf_persist.Persist.Writer.t -> t -> unit
+
+  (** Inverse of {!write}.
+      @raise Nf_persist.Persist.Reader.Corrupt on a malformed blob. *)
+  val read : Nf_persist.Persist.Reader.t -> t
 end
 
 module Sink : sig
@@ -114,21 +128,36 @@ module Sink : sig
   val is_null : t -> bool
 
   (** [emit s ~ts_us ?worker ev] delivers one event.  [ts_us] is the
-      virtual-microsecond timestamp; [worker] defaults to [0]. *)
+      virtual-microsecond timestamp; [worker] defaults to [0].  Never
+      raises: a sink whose implementation throws (full disk, unwritable
+      path, buggy callback) drops the event and bumps the
+      ["obs/sink_errors"] counter of {!process_metrics} — observability
+      failures must not kill the campaign. *)
   val emit : t -> ts_us:int64 -> ?worker:int -> Event.t -> unit
 
   (** Flush and release the sink's resources.  Idempotent.  Required
-      for {!chrome_trace}, which closes its JSON array here. *)
+      for {!chrome_trace}, which closes its JSON array here.  Like
+      {!emit}, failures are swallowed and counted. *)
   val close : t -> unit
 
-  (** One JSON object per line, written incrementally.
-      @raise Sys_error when the file cannot be created. *)
+  (** [callback f] wraps an arbitrary event consumer as a sink.  The
+      sink contract applies to [f]: it must be inert (no fuzzing RNG,
+      no virtual-time charges); exceptions it raises are dropped and
+      counted as sink errors. *)
+  val callback : (ts_us:int64 -> worker:int -> Event.t -> unit) -> t
+
+  (** One JSON object per line, written incrementally.  The file is
+      opened lazily on the first event, so an unwritable path degrades
+      to dropped events (counted in ["obs/sink_errors"]) and an
+      event-free campaign leaves no file. *)
   val jsonl : path:string -> t
 
   (** Chrome trace-event format: a JSON array of trace events, loadable
-      in [chrome://tracing] and Perfetto.
-      @raise Sys_error when the file cannot be created. *)
-  val chrome_trace : path:string -> t
+      in [chrome://tracing] and Perfetto.  Opened lazily like {!jsonl}.
+      [~lanes:true] renders each worker as its own process lane (see
+      {!Event.to_trace_json}); the default keeps the historical
+      one-process layout. *)
+  val chrome_trace : ?lanes:bool -> path:string -> unit -> t
 
   (** In-memory sink for tests: returns the sink and a function reading
       the events captured so far (in emission order). *)
@@ -202,8 +231,27 @@ module Metrics : sig
       @raise Invalid_argument on type or bucket-layout clashes. *)
   val merge : into:t -> t -> unit
 
-  (** Human-readable dump in {!to_list} order, one metric per line. *)
+  (** Human-readable dump in {!to_list} order, one metric per line.
+      Histogram lines carry the full per-bucket detail
+      ([le=<bound>:<count>], ending with the [+inf] overflow bucket) in
+      addition to [n]/[sum], so the text dump and the Prometheus
+      exposition of {!prometheus} agree. *)
   val pp : Format.formatter -> t -> unit
+
+  (** [prometheus ?prefix registries] renders one or more registries —
+      each tagged with a label set, e.g.
+      [[("worker", "0"); ("target", "kvm-intel")]] — as Prometheus text
+      exposition (format version 0.0.4).  Metric names are sanitized
+      ([/] and [-] become [_]) and prefixed ([?prefix] defaults to
+      ["necofuzz_"]); each series family gets exactly one [# TYPE] line
+      even when several label sets report it, and histograms render the
+      conventional cumulative [_bucket{le=…}] series plus [_sum] and
+      [_count].  Output is deterministic: families sort by name, and
+      same-name samples keep the given registry order.  Registries that
+      disagree on a name's kind are a caller bug (the exposition would
+      be ill-typed). *)
+  val prometheus :
+    ?prefix:string -> ((string * string) list * t) list -> string
 
   (** Checkpoint codec: registries round-trip through the engine
       checkpoint so metrics survive resume. *)
@@ -212,6 +260,59 @@ module Metrics : sig
   (** Inverse of {!write}.
       @raise Nf_persist.Persist.Reader.Corrupt on a malformed blob. *)
   val read : Nf_persist.Persist.Reader.t -> t
+end
+
+(** Process-local registry for the health of the observability
+    infrastructure itself — currently the ["obs/sink_errors"] counter
+    bumped whenever a sink raises or a flight-recorder dump fails.
+    Deliberately separate from the engines' checkpointed registries:
+    campaign state must not depend on whether the host filesystem
+    accepted telemetry. *)
+val process_metrics : Metrics.t
+
+module Flight : sig
+  (** A crash flight recorder: a bounded in-memory ring of the last
+      [capacity] events {e per worker}, dumped to disk automatically
+      when something goes seriously wrong — an {!Event.Host_crashed}
+      verdict, a {!Event.Worker_abandoned} supervision give-up, or a
+      burst of {!Event.Net_fault}s within a short window.  Recording is
+      pure bookkeeping on deterministic campaign values, so the
+      recorder preserves the inertness invariant; dump failures are
+      counted in {!process_metrics} rather than raised. *)
+  type t
+
+  (** [create ()] builds a recorder.  [capacity] (default 256) bounds
+      the ring per worker; [burst] Net_faults within [burst_window_us]
+      (defaults 8 within 1 virtual second) trigger a dump; [dir], when
+      given, enables automatic dumps to [dir/flight-<reason>.jsonl]
+      (created on demand).  Only the {e first} trigger per distinct
+      reason dumps, freezing the window around the first incident.
+      @raise Invalid_argument when [capacity] or [burst] is [< 1]. *)
+  val create :
+    ?capacity:int -> ?burst:int -> ?burst_window_us:int64 ->
+    ?dir:string -> unit -> t
+
+  (** [record t ~ts_us ~worker ev] appends one event to [worker]'s ring
+      (evicting the oldest past capacity) and fires automatic dumps on
+      the trigger events described above. *)
+  val record : t -> ts_us:int64 -> worker:int -> Event.t -> unit
+
+  (** The recorder as a {!Sink.t}, for teeing into a campaign's event
+      stream. *)
+  val sink : t -> Sink.t
+
+  (** Chronological view of everything currently held: merged across
+      workers, sorted by timestamp (ties keep per-worker order).
+      Deterministic. *)
+  val events : t -> (int64 * int * Event.t) list
+
+  (** [dump t ~path] writes {!events} as JSONL (atomically). *)
+  val dump : t -> path:string -> (unit, string) result
+
+  (** [(reason, path)] pairs of the automatic dumps written so far, in
+      trigger order.  Reasons: ["host-crashed"], ["abandoned"],
+      ["net-fault-burst"]. *)
+  val dumps : t -> (string * string) list
 end
 
 module Stats : sig
@@ -240,4 +341,76 @@ module Stats : sig
       [relative_time, execs_done, paths_total, saved_crashes,
        coverage_pct, execs_per_sec]. *)
   val plot_data_line : row -> string
+end
+
+module Serve : sig
+  (** A minimal HTTP/1.0 status server for live campaign observability:
+      the fleet leader (and the single-process CLI) publish rendered
+      [/metrics], [/status] and [/healthz] pages onto a {!board}, and a
+      background accept thread serves them to [curl]/Prometheus.
+
+      The design keeps serving inert: the accept thread only ever reads
+      the mutex-protected board — never live engine or leader state —
+      and the campaign refreshes the board at points it already owns
+      (merge barriers, sync rounds).  One request per connection,
+      [Connection: close], no keep-alive: this is an operator peephole,
+      not a web framework. *)
+
+  (** One HTTP response: status code, [Content-Type], body. *)
+  type response = { status : int; content_type : string; body : string }
+
+  (** [text body] is a [200] [text/plain] response ([?status]
+      overrides). *)
+  val text : ?status:int -> string -> response
+
+  (** [json body] is a [200] [application/json] response. *)
+  val json : ?status:int -> string -> response
+
+  (** [prometheus body] is a [200] response with the Prometheus text
+      exposition content type (version 0.0.4). *)
+  val prometheus : ?status:int -> string -> response
+
+  (** A mutex-protected set of published pages, keyed by request path —
+      the only state shared between the campaign and the accept
+      thread. *)
+  type board
+
+  (** A fresh, empty board. *)
+  val board : unit -> board
+
+  (** [publish b ~path resp] replaces the page served at [path]. *)
+  val publish : board -> path:string -> response -> unit
+
+  (** [board_handler b] is the request handler serving [b]'s pages,
+      with a built-in ["/healthz"] (200 ["ok\n"]) so liveness probes
+      work before the first publish.  Unknown paths return [None]
+      (rendered as 404). *)
+  val board_handler : board -> string -> response option
+
+  (** A running server. *)
+  type t
+
+  (** [create ~addr ~handler] binds [addr] (TCP or Unix-domain; an
+      existing Unix-socket path is replaced, TCP port [0] picks an
+      ephemeral port — see {!addr}) and starts the background accept
+      thread.  Returns [Error] with a descriptive message when the bind
+      fails (address in use, permission denied, …). *)
+  val create :
+    addr:Unix.sockaddr ->
+    handler:(string -> response option) ->
+    (t, string) result
+
+  (** The actually-bound address — resolves TCP port [0] to the kernel-
+      assigned ephemeral port. *)
+  val addr : t -> Unix.sockaddr
+
+  (** Stop the accept thread (within its 0.2s poll tick), close the
+      listener and unlink a Unix-socket path.  Idempotent. *)
+  val close : t -> unit
+
+  (** [get ~addr ~path] is a tiny blocking HTTP/1.0 GET client — enough
+      for the [fleet status] CLI verb and the tests.  Connect and read
+      are bounded by a 5-second timeout. *)
+  val get :
+    addr:Unix.sockaddr -> path:string -> (response, string) result
 end

@@ -191,7 +191,10 @@ let frame_error_message = function
       "checksum mismatch: the file is corrupt (or was tampered with)"
   | Corrupt_payload msg -> "corrupt payload: " ^ msg
 
-let unframe_typed ~magic ~version blob =
+(* Shared unframing core: accept any version in [versions] and report
+   which one the frame carried — the migration hook multi-version
+   readers (e.g. the fleet wire protocol) dispatch on. *)
+let unframe_versions ~magic ~versions blob =
   let mlen = String.length magic in
   let header = mlen + 10 in
   if String.length blob < header then
@@ -203,7 +206,10 @@ let unframe_typed ~magic ~version blob =
            found = String.sub blob 0 (min mlen (String.length blob)) })
   else
     let v = String.get_uint16_le blob mlen in
-    if v <> version then Error (Bad_version { got = v; want = version })
+    if not (List.mem v versions) then
+      (* Report the newest accepted version: "this build reads up to". *)
+      Error
+        (Bad_version { got = v; want = List.fold_left max min_int versions })
     else
       let len =
         Int32.to_int (Int32.logand (String.get_int32_le blob (mlen + 2)) 0xFFFFFFFFl)
@@ -214,20 +220,30 @@ let unframe_typed ~magic ~version blob =
         Error (Length_mismatch { promised = len; carried = avail })
       else
         let payload = String.sub blob header len in
-        if crc32 payload <> crc then Error Checksum_mismatch else Ok payload
+        if crc32 payload <> crc then Error Checksum_mismatch
+        else Ok (v, payload)
 
-let decode_typed ~magic ~version blob read =
-  match unframe_typed ~magic ~version blob with
+let unframe_typed ~magic ~version blob =
+  Result.map snd (unframe_versions ~magic ~versions:[ version ] blob)
+
+let decode_typed_versions ~magic ~versions blob read =
+  if versions = [] then
+    invalid_arg "Persist.decode_typed_versions: empty version list";
+  match unframe_versions ~magic ~versions blob with
   | Error _ as e -> e
-  | Ok payload -> (
+  | Ok (version, payload) -> (
       let r = Reader.of_string payload in
       match
-        let v = read r in
+        let v = read ~version r in
         Reader.expect_end r;
         v
       with
       | v -> Ok v
       | exception Reader.Corrupt msg -> Error (Corrupt_payload msg))
+
+let decode_typed ~magic ~version blob read =
+  decode_typed_versions ~magic ~versions:[ version ] blob
+    (fun ~version:_ r -> read r)
 
 let string_error = function
   | Ok _ as ok -> ok

@@ -163,6 +163,21 @@ val decode_typed :
   magic:string -> version:int -> string -> (Reader.t -> 'a) ->
   ('a, frame_error) result
 
+(** [decode_typed_versions ~magic ~versions blob read] is
+    {!decode_typed} generalised to a set of accepted format versions:
+    the frame's version must be a member of [versions], and [read] is
+    told which one the frame actually carried so it can decode older
+    layouts.  This is the migration hook for evolving on-disk and
+    on-wire formats — e.g. the fleet wire protocol reads both its
+    original and its telemetry-carrying frame layout.  A rejected
+    version reports [Bad_version] with [want] set to the newest
+    accepted version.  Never raises (an empty [versions] list is a
+    programming error and raises [Invalid_argument]). *)
+val decode_typed_versions :
+  magic:string -> versions:int list -> string ->
+  (version:int -> Reader.t -> 'a) ->
+  ('a, frame_error) result
+
 (** [unframe ~magic ~version blob] is {!unframe_typed} with the error
     rendered through {!frame_error_message}: wrong magic, unsupported
     version, truncation, checksum mismatch all become descriptive

@@ -1,0 +1,108 @@
+(* CLI-level tests for the live observability flags: the usage-error
+   convention (malformed --serve/--status-port/--stats-interval exit 2
+   with a "necofuzz:" diagnostic), the fleet status verb, and a served
+   sequential campaign smoke-tested end to end over a Unix socket. *)
+
+module Obs = Nf_obs.Obs
+
+let check = Alcotest.check
+
+(* The CLI binary lives next to this test binary in the build tree
+   (_build/default/{test,bin}), wherever dune set our cwd. *)
+let cli =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "necofuzz_cli.exe"))
+
+let run args =
+  Sys.command
+    (Filename.quote_command ~stdout:"/dev/null" ~stderr:"/dev/null" cli args)
+
+let has s sub =
+  let n = String.length sub and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let usage_errors_exit_2 () =
+  List.iter
+    (fun args ->
+      check Alcotest.int
+        ("fuzz " ^ String.concat " " args)
+        2
+        (run ([ "fuzz"; "--hours"; "0.1" ] @ args)))
+    [
+      [ "--stats-interval"; "0" ];
+      [ "--stats-interval=-0.5" ];
+      [ "--serve"; "tcp:127.0.0.1:1"; "--status-port"; "1" ];
+      [ "--status-port"; "0" ];
+      [ "--status-port"; "70000" ];
+      [ "--serve"; "bogus" ];
+      [ "--serve"; "tcp:host:notaport" ];
+    ];
+  (* The fleet command shares the validation, ahead of any socket IO. *)
+  check Alcotest.int "fleet lead --serve bogus" 2
+    (run [ "fleet"; "lead"; "--serve"; "bogus" ]);
+  check Alcotest.int "fleet lead --status-port 0" 2
+    (run [ "fleet"; "lead"; "--status-port"; "0" ]);
+  check Alcotest.int "fleet status without an address" 2
+    (run [ "fleet"; "status" ]);
+  check Alcotest.int "fleet status malformed address" 2
+    (run [ "fleet"; "status"; "bogus" ])
+
+let fleet_status_unreachable () =
+  (* A well-formed address nobody answers is a runtime failure (exit 1),
+     not a usage error. *)
+  check Alcotest.int "fleet status dead socket" 1
+    (run [ "fleet"; "status"; "unix:/nonexistent-nf-cli-test/sock" ])
+
+let served_campaign () =
+  let dir = Filename.temp_dir "nf-test-cli" "" in
+  let sock = Filename.concat dir "status.sock" in
+  let cmd =
+    Filename.quote_command ~stdout:"/dev/null" ~stderr:"/dev/null" cli
+      [ "fuzz"; "--hours"; "2"; "--seed"; "3"; "--serve"; "unix:" ^ sock ]
+  in
+  check Alcotest.int "background launch" 0 (Sys.command (cmd ^ " &"));
+  let addr = Unix.ADDR_UNIX sock in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec await_health () =
+    match Obs.Serve.get ~addr ~path:"/healthz" with
+    | Ok { Obs.Serve.status = 200; _ } -> ()
+    | _ when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        await_health ()
+    | _ -> Alcotest.fail "status server never came up"
+  in
+  await_health ();
+  let body path =
+    match Obs.Serve.get ~addr ~path with
+    | Ok { Obs.Serve.status = 200; body; _ } -> body
+    | Ok r -> Alcotest.failf "GET %s: HTTP %d" path r.Obs.Serve.status
+    | Error msg -> Alcotest.failf "GET %s: %s" path msg
+  in
+  let metrics = body "/metrics" in
+  Alcotest.(check bool) "metrics have a worker-labelled series" true
+    (has metrics {|worker="0"|});
+  Alcotest.(check bool) "metrics have TYPE lines" true (has metrics "# TYPE ");
+  Alcotest.(check bool) "status page has the worker row" true
+    (has (body "/status") {|"worker":0|});
+  (* The campaign finishes and takes the server down with it. *)
+  let rec await_down () =
+    match Obs.Serve.get ~addr ~path:"/healthz" with
+    | Error _ -> ()
+    | Ok _ when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.1;
+        await_down ()
+    | Ok _ -> Alcotest.fail "server still up after the campaign ended"
+  in
+  await_down ()
+
+let tests =
+  [
+    Alcotest.test_case "observability flags: usage errors exit 2" `Quick
+      usage_errors_exit_2;
+    Alcotest.test_case "fleet status: unreachable leader exits 1" `Quick
+      fleet_status_unreachable;
+    Alcotest.test_case "served campaign answers over a unix socket" `Quick
+      served_campaign;
+  ]

@@ -41,14 +41,39 @@ let report : Fleet.Wire.report =
     finished = false;
   }
 
+let status : Fleet.Wire.status =
+  {
+    st_round = 3;
+    virtual_hours = 0.25;
+    cov_pct = 41.5;
+    execs_done = 512;
+    queue_len = 17;
+    crash_count = 2;
+    eps = 0.54;
+    registry = "registry-blob";
+  }
+
 let wire_msgs : Fleet.Wire.msg list =
   [
     Hello { prev = None };
     Hello { prev = Some 3 };
     Welcome { worker = 1; round = 4; sync_hours = 0.25; state = "blob" };
     Busy { reason = "fleet is full" };
-    Report { worker = 2; round = 3; report };
-    Poll { worker = 0; round = 1 };
+    Report { worker = 2; round = 3; report; status = None; spans = [] };
+    Report
+      {
+        worker = 2;
+        round = 3;
+        report;
+        status = Some status;
+        spans =
+          [
+            (17L, Obs.Event.Step_begin { exec = 4 });
+            (19L, Obs.Event.Net_fault { kind = "drop" });
+          ];
+      };
+    Poll { worker = 0; round = 1; status = None };
+    Poll { worker = 0; round = 1; status = Some status };
     Wait;
     Merge
       {
@@ -76,7 +101,7 @@ let wire_roundtrip () =
     wire_msgs
 
 let wire_rejects_damage () =
-  let frame = Fleet.Wire.encode (Poll { worker = 1; round = 2 }) in
+  let frame = Fleet.Wire.encode (Poll { worker = 1; round = 2; status = None }) in
   (* Truncation at every prefix length and a flipped byte at every
      offset must yield a typed [Error] — never an exception. *)
   for n = 0 to String.length frame - 1 do
@@ -97,6 +122,35 @@ let wire_rejects_damage () =
         Alcotest.failf "corrupted frame decoded at offset %d (%s)" i
           (Fleet.Wire.msg_name msg')
   done
+
+(* A v2 receiver still decodes v1 frames: a hand-built version-1 Poll
+   (no status field) comes back with empty telemetry.  Versions beyond
+   [Wire.version] are typed Bad_version errors. *)
+let wire_v1_compat () =
+  check Alcotest.int "current wire version" 2 Fleet.Wire.version;
+  Alcotest.(check (list int)) "accepted versions" [ 1; 2 ] Fleet.Wire.versions;
+  let w = Persist.Writer.create () in
+  Persist.Writer.u8 w 4 (* Poll tag *);
+  Persist.Writer.int w 1;
+  Persist.Writer.int w 2;
+  let v1_frame =
+    Persist.frame ~magic:Fleet.Wire.magic ~version:1
+      (Persist.Writer.contents w)
+  in
+  (match Fleet.Wire.decode v1_frame with
+  | Ok (Fleet.Wire.Poll { worker = 1; round = 2; status = None }) -> ()
+  | Ok msg -> Alcotest.failf "v1 Poll decoded as %s" (Fleet.Wire.msg_name msg)
+  | Error e ->
+      Alcotest.failf "v1 frame rejected: %s" (Persist.frame_error_message e));
+  let v3_frame =
+    Persist.frame ~magic:Fleet.Wire.magic ~version:3
+      (Persist.Writer.contents w)
+  in
+  match Fleet.Wire.decode v3_frame with
+  | Error (Persist.Bad_version { got = 3; _ }) -> ()
+  | Error e ->
+      Alcotest.failf "v3 frame: wrong error %s" (Persist.frame_error_message e)
+  | Ok _ -> Alcotest.fail "future version decoded"
 
 let chaos_deterministic () =
   let plans seed =
@@ -301,6 +355,108 @@ let never_join_abandons () =
     o.fleet.supervision
 
 (* ------------------------------------------------------------------ *)
+(* Live telemetry: inertness, the merged trace, the status pages *)
+
+let telemetry_inert () =
+  (* The whole live layer on — HTTP server on an ephemeral port, merged
+     trace, flight recorder, streaming — under chaos, with the digest
+     pinned to the plain golden. *)
+  let want = golden ~jobs:2 cfg in
+  let trace, events = Obs.Sink.memory () in
+  let flight = Obs.Flight.create () in
+  let telemetry =
+    {
+      Fleet.serve = Some (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      trace;
+      flight = Some flight;
+      stream = true;
+    }
+  in
+  let o = Fleet.run_sim ~telemetry ~fault_rate:0.15 ~fault_seed:2 ~jobs:2 cfg in
+  check Alcotest.string "telemetry leaves the digest untouched" want
+    (digest o.fleet);
+  (* Worker spans actually crossed the wire into the merged trace, from
+     both workers, in their own lanes. *)
+  let spans = events () in
+  check Alcotest.bool "spans forwarded" true (List.length spans > 0);
+  List.iter
+    (fun w ->
+      check Alcotest.bool
+        (Printf.sprintf "worker %d has a lane" w)
+        true
+        (List.exists (fun (_, w', _) -> w' = w) spans))
+    [ 0; 1 ];
+  (* The flight recorder rode along. *)
+  check Alcotest.bool "flight ring non-empty" true
+    (List.length (Obs.Flight.events flight) > 0);
+  (* Streaming off (v1-style traffic) converges to the same digest. *)
+  let quiet =
+    Fleet.run_sim ~telemetry:{ Fleet.telemetry_none with stream = false }
+      ~jobs:2 cfg
+  in
+  check Alcotest.string "no-telemetry digest" want (digest quiet.fleet)
+
+(* Drive a leader and two workers through a synchronous in-process pump
+   and inspect the rendered /status and /metrics pages. *)
+let leader_status_pages () =
+  let leader = Fleet.Leader.create ~timeout:50 ~jobs:2 cfg in
+  let workers = Array.init 2 (fun _ -> Fleet.Worker.create ()) in
+  let now = ref 0 in
+  (* Before anyone joins: both rows exist, telemetry is null. *)
+  let empty = Fleet.Leader.status_json leader ~now:0 in
+  let has s sub =
+    let n = String.length sub and l = String.length s in
+    let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "unjoined telemetry is null" true
+    (has empty {|"virtual_hours":null|});
+  while (not (Fleet.Leader.finished leader)) && !now < 2_000_000 do
+    incr now;
+    Array.iteri
+      (fun i w ->
+        match Fleet.Worker.poll w ~now:!now with
+        | Fleet.Worker.Transmit frame -> (
+            match Fleet.Leader.handle leader ~now:!now ~conn:(i + 1) frame with
+            | Some reply -> Fleet.Worker.deliver w ~now:!now reply
+            | None -> ())
+        | Fleet.Worker.Idle _ | Fleet.Worker.Finished _ -> ())
+      workers;
+    Fleet.Leader.check_timeouts leader ~now:!now
+  done;
+  check Alcotest.bool "fleet converged" true (Fleet.Leader.finished leader);
+  let status = Fleet.Leader.status_json leader ~now:!now in
+  List.iter
+    (fun sub ->
+      check Alcotest.bool (Printf.sprintf "status has %s" sub) true
+        (has status sub))
+    [
+      {|"jobs":2|}; {|"finished":true|}; {|"workers":[|}; {|"worker":0|};
+      {|"worker":1|}; {|"target":"kvm-intel"|}; {|"verdict":"healthy"|};
+      {|"coverage_pct":|}; {|"execs_per_sec":|};
+    ];
+  (* Workers streamed status frames, so telemetry is populated. *)
+  check Alcotest.bool "live telemetry populated" true
+    (not (has status {|"virtual_hours":null|}));
+  let metrics = Fleet.Leader.prometheus leader ~now:!now in
+  List.iter
+    (fun sub ->
+      check Alcotest.bool (Printf.sprintf "metrics has %s" sub) true
+        (has metrics sub))
+    [
+      {|# TYPE necofuzz_worker_up gauge|};
+      {|necofuzz_worker_round{worker="0",target="kvm-intel"}|};
+      {|necofuzz_worker_round{worker="1",target="kvm-intel"}|};
+      {|necofuzz_fleet_merges{role="leader"}|};
+      (* A series decoded from the streamed worker registry, not
+         synthesized leader-side. *)
+      {|necofuzz_execs{worker="0",target="kvm-intel"}|};
+    ];
+  (* The digest is still the golden one: rendering pages is inert. *)
+  let o = Fleet.Leader.outcome leader in
+  check Alcotest.string "pump digest" (golden ~jobs:2 cfg) (digest o.fleet)
+
+(* ------------------------------------------------------------------ *)
 (* Result codec *)
 
 let result_roundtrip () =
@@ -367,6 +523,8 @@ let tests =
     Alcotest.test_case "wire: every message round-trips" `Quick wire_roundtrip;
     Alcotest.test_case "wire: damage yields typed errors" `Quick
       wire_rejects_damage;
+    Alcotest.test_case "wire: v1 frames decode, v3 rejected" `Quick
+      wire_v1_compat;
     Alcotest.test_case "chaos: deterministic by seed" `Quick chaos_deterministic;
     Alcotest.test_case "sim == run_parallel (jobs 1)" `Quick sim_jobs1;
     Alcotest.test_case "sim == run_parallel (jobs 2)" `Quick sim_jobs2;
@@ -392,6 +550,9 @@ let tests =
     Alcotest.test_case "retry budget is configurable" `Quick retry_budget_zero;
     Alcotest.test_case "never-joining worker abandons, not stalls" `Quick
       never_join_abandons;
+    Alcotest.test_case "telemetry: live layer is inert" `Quick telemetry_inert;
+    Alcotest.test_case "leader renders /status and /metrics" `Quick
+      leader_status_pages;
     Alcotest.test_case "result codec round-trips" `Quick result_roundtrip;
     Alcotest.test_case "parse_addr" `Quick parse_addr;
     Alcotest.test_case "socket fleet matches golden" `Quick socket_fleet;

@@ -22,5 +22,6 @@ let () =
       ("edge", Test_edge.tests);
       ("perf-golden", Test_perf_golden.tests);
       ("fleet", Test_fleet.tests);
+      ("cli", Test_cli.tests);
       ("experiments", Test_experiments.tests);
     ]

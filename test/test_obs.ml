@@ -546,7 +546,7 @@ let test_jsonl_and_chrome_schemas () =
   let cfg = short_cfg ~hours:0.05 Engine.Kvm_intel in
   let t = Engine.create cfg in
   let jsonl = Obs.Sink.jsonl ~path:jsonl_path in
-  let chrome = Obs.Sink.chrome_trace ~path:trace_path in
+  let chrome = Obs.Sink.chrome_trace ~path:trace_path () in
   Engine.set_sink t (Obs.Sink.tee [ jsonl; chrome ]);
   drive t;
   Obs.Sink.close jsonl;
@@ -597,6 +597,313 @@ let test_jsonl_and_chrome_schemas () =
      let rec go i = i + n <= m && (String.sub inst i n = sub || go (i + 1)) in
      go 0)
 
+(* ------------------------------------------------------------------ *)
+(* The live layer: pp bucket detail, Prometheus exposition, the event
+   codec, sink error soaking, the flight recorder and the HTTP status
+   server. *)
+
+(* Regression: [Metrics.pp] used to print only n/sum for histograms,
+   losing the per-bucket counts the Prometheus exposition carries. *)
+let test_pp_histogram_buckets () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.observe m "h" 50L;
+  Obs.Metrics.observe m "h" 2_000L;
+  Obs.Metrics.observe m "h" 999_000_000L;
+  let rendered = Format.asprintf "%a" Obs.Metrics.pp m in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp has %S" sub)
+        true
+        (let n = String.length sub and l = String.length rendered in
+         let rec go i =
+           i + n <= l && (String.sub rendered i n = sub || go (i + 1))
+         in
+         go 0))
+    [ "n=3"; "sum=999002050"; "le=100:1"; "le=10000:1"; "le=+inf:1" ]
+
+let test_prometheus_rendering () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:7 m "fleet/joins";
+  Obs.Metrics.set_gauge m "coverage-pct" 61.25;
+  Obs.Metrics.observe m "cost_us/step" 50L;
+  Obs.Metrics.observe m "cost_us/step" 2_000L;
+  let body = Obs.Metrics.prometheus [ ([ ("worker", "0") ], m) ] in
+  let expect_line l =
+    Alcotest.(check bool)
+      (Printf.sprintf "exposition has %S" l)
+      true
+      (List.mem l (String.split_on_char '\n' body))
+  in
+  expect_line {|# TYPE necofuzz_fleet_joins counter|};
+  expect_line {|necofuzz_fleet_joins{worker="0"} 7|};
+  expect_line {|necofuzz_coverage_pct{worker="0"} 61.25|};
+  (* Buckets are cumulative and end with +Inf, sum and count. *)
+  expect_line {|necofuzz_cost_us_step_bucket{worker="0",le="100"} 1|};
+  expect_line {|necofuzz_cost_us_step_bucket{worker="0",le="10000"} 2|};
+  expect_line {|necofuzz_cost_us_step_bucket{worker="0",le="+Inf"} 2|};
+  expect_line {|necofuzz_cost_us_step_sum{worker="0"} 2050|};
+  expect_line {|necofuzz_cost_us_step_count{worker="0"} 2|};
+  (* Same registry twice under different labels: one # TYPE per family. *)
+  let two = Obs.Metrics.prometheus [ ([ ("w", "0") ], m); ([ ("w", "1") ], m) ] in
+  let types =
+    List.filter
+      (fun l -> String.length l > 6 && String.sub l 0 6 = "# TYPE")
+      (String.split_on_char '\n' two)
+  in
+  check Alcotest.int "one TYPE line per family" 3 (List.length types);
+  (* Label values are escaped. *)
+  let esc = Obs.Metrics.prometheus [ ([ ("t", "a\"b\\c\nd") ], m) ] in
+  Alcotest.(check bool) "label escaping" true
+    (let sub = {|t="a\"b\\c\nd"|} in
+     let n = String.length sub and l = String.length esc in
+     let rec go i = i + n <= l && (String.sub esc i n = sub || go (i + 1)) in
+     go 0)
+
+let all_events : Obs.Event.t list =
+  [
+    Obs.Event.Step_begin { exec = 3 };
+    Obs.Event.Input_proposed { exec = 3; bytes = 24; queue = 7 };
+    Obs.Event.Vm_entry_checked
+      { exec = 3; verdict = Obs.Event.Host_crashed; entries = 2; vmfails = 1 };
+    Obs.Event.Sanitizer_report { exec = 3; kind = "ubsan"; message = "m" };
+    Obs.Event.Fault_injected { kind = "hang" };
+    Obs.Event.Step_end { exec = 3; novel = true; crashed = false; cost_us = 9L };
+    Obs.Event.Worker_sync
+      { round = 2; workers = 4; execs = 100; coverage_pct = 12.5 };
+    Obs.Event.Checkpoint_saved { path = "/tmp/x"; bytes = 42 };
+    Obs.Event.Worker_recovered { worker = 1; attempt = 2; error = "boom" };
+    Obs.Event.Worker_abandoned { worker = 1; attempts = 3; error = "gone" };
+    Obs.Event.Worker_joined { worker = 0; rejoined = true };
+    Obs.Event.Net_fault { kind = "drop" };
+    Obs.Event.Divergence_found
+      { exec = 3; cls = "too_strict"; impl = "bochs"; check = "cr4" };
+  ]
+
+let test_event_codec_roundtrip () =
+  List.iter
+    (fun ev ->
+      let w = Persist.Writer.create () in
+      Obs.Event.write w ev;
+      let blob = Persist.Writer.contents w in
+      let ev' = Obs.Event.read (Persist.Reader.of_string blob) in
+      check Alcotest.string
+        (Printf.sprintf "roundtrip %s" (Obs.Event.name ev))
+        (Json.to_string (Obs.Event.to_json ~ts_us:1L ~worker:0 ev))
+        (Json.to_string (Obs.Event.to_json ~ts_us:1L ~worker:0 ev')))
+    all_events;
+  (* An unknown tag is a typed Corrupt, not a crash. *)
+  (match Obs.Event.read (Persist.Reader.of_string "\xff") with
+  | _ -> Alcotest.fail "unknown event tag must raise Reader.Corrupt"
+  | exception Persist.Reader.Corrupt _ -> ());
+  (* The lanes variant swaps the pid/tid axes: per-worker process lanes. *)
+  let ev = List.hd all_events in
+  let dflt = Json.to_string (Obs.Event.to_trace_json ~ts_us:1L ~worker:5 ev) in
+  let lanes =
+    Json.to_string (Obs.Event.to_trace_json ~lanes:true ~ts_us:1L ~worker:5 ev)
+  in
+  let has s sub =
+    let n = String.length sub and l = String.length s in
+    let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "default: tid carries worker" true
+    (has dflt {|"tid":5|} && has dflt {|"pid":0|});
+  Alcotest.(check bool) "lanes: pid carries worker" true
+    (has lanes {|"pid":5|} && has lanes {|"tid":0|})
+
+(* A sink that raises must not take the campaign (or its tee siblings)
+   down: events drop, obs/sink_errors increments. *)
+let test_sink_error_paths () =
+  let before = Obs.Metrics.counter Obs.process_metrics "obs/sink_errors" in
+  let seen = ref 0 in
+  let bomb =
+    Obs.Sink.callback (fun ~ts_us:_ ~worker:_ _ -> failwith "sink bomb")
+  in
+  let ok = Obs.Sink.callback (fun ~ts_us:_ ~worker:_ _ -> incr seen) in
+  let tee = Obs.Sink.tee [ bomb; ok ] in
+  Obs.Sink.emit tee ~ts_us:1L (Obs.Event.Net_fault { kind = "drop" });
+  Obs.Sink.emit tee ~ts_us:2L (Obs.Event.Net_fault { kind = "drop" });
+  check Alcotest.int "sibling sink still receives" 2 !seen;
+  Obs.Sink.close tee;
+  let after = Obs.Metrics.counter Obs.process_metrics "obs/sink_errors" in
+  Alcotest.(check bool) "sink_errors counted" true (after - before >= 2);
+  (* An unwritable jsonl path: emit and close never raise, and the
+     campaign result is unperturbed. *)
+  let bad = Obs.Sink.jsonl ~path:"/nonexistent-nf-test-dir/events.jsonl" in
+  let cfg = short_cfg ~hours:0.1 Engine.Kvm_intel in
+  let plain = Engine.run cfg in
+  let t = Engine.create cfg in
+  Engine.set_sink t bad;
+  let traced = Engine.run_from t in
+  Obs.Sink.close bad;
+  check Alcotest.string "unwritable sink is inert"
+    (Engine.result_digest plain) (Engine.result_digest traced);
+  let final = Obs.Metrics.counter Obs.process_metrics "obs/sink_errors" in
+  Alcotest.(check bool) "write failures counted" true (final > after)
+
+let test_flight_recorder () =
+  let dir = tmpdir () in
+  let f = Obs.Flight.create ~capacity:4 ~dir () in
+  (* Capacity bounds the per-worker ring. *)
+  for i = 1 to 10 do
+    Obs.Flight.record f ~ts_us:(Int64.of_int i) ~worker:0
+      (Obs.Event.Step_begin { exec = i })
+  done;
+  let evs = Obs.Flight.events f in
+  check Alcotest.int "ring keeps last capacity events" 4 (List.length evs);
+  (match List.rev evs with
+  | (ts, 0, Obs.Event.Step_begin { exec = 10 }) :: _ ->
+      check Alcotest.int64 "newest retained" 10L ts
+  | _ -> Alcotest.fail "unexpected newest event");
+  check
+    Alcotest.(list (pair string string))
+    "no dump yet" [] (Obs.Flight.dumps f);
+  (* A host crash trips exactly one dump per reason. *)
+  let crash =
+    Obs.Event.Vm_entry_checked
+      { exec = 1; verdict = Obs.Event.Host_crashed; entries = 0; vmfails = 0 }
+  in
+  Obs.Flight.record f ~ts_us:11L ~worker:1 crash;
+  Obs.Flight.record f ~ts_us:12L ~worker:1 crash;
+  (match Obs.Flight.dumps f with
+  | [ ("host-crashed", path) ] ->
+      let body = read_file path in
+      Alcotest.(check bool) "dump is jsonl" true
+        (String.length body > 0 && body.[String.length body - 1] = '\n')
+  | dumps -> Alcotest.failf "expected one host-crashed dump, got %d"
+               (List.length dumps));
+  (* Worker abandonment is a distinct reason. *)
+  Obs.Flight.record f ~ts_us:13L ~worker:1
+    (Obs.Event.Worker_abandoned { worker = 1; attempts = 3; error = "gone" });
+  check Alcotest.int "second reason dumps" 2 (List.length (Obs.Flight.dumps f));
+  (* A Net_fault burst inside the window trips the third reason. *)
+  let g = Obs.Flight.create ~burst:3 ~burst_window_us:100L ~dir () in
+  Obs.Flight.record g ~ts_us:1L ~worker:0 (Obs.Event.Net_fault { kind = "d" });
+  Obs.Flight.record g ~ts_us:2L ~worker:0 (Obs.Event.Net_fault { kind = "d" });
+  check Alcotest.int "below burst threshold" 0
+    (List.length (Obs.Flight.dumps g));
+  Obs.Flight.record g ~ts_us:3L ~worker:0 (Obs.Event.Net_fault { kind = "d" });
+  (match Obs.Flight.dumps g with
+  | [ ("net-fault-burst", _) ] -> ()
+  | _ -> Alcotest.fail "expected a net-fault-burst dump");
+  (* Faults spread wider than the window do not trip. *)
+  let h = Obs.Flight.create ~burst:3 ~burst_window_us:10L ~dir:(tmpdir ()) () in
+  List.iter
+    (fun ts ->
+      Obs.Flight.record h ~ts_us:ts ~worker:0
+        (Obs.Event.Net_fault { kind = "d" }))
+    [ 0L; 100L; 200L; 300L ];
+  check Alcotest.int "slow faults never burst" 0
+    (List.length (Obs.Flight.dumps h))
+
+let http_get addr path =
+  match Obs.Serve.get ~addr ~path with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "GET %s: %s" path msg
+
+let test_serve_board () =
+  let board = Obs.Serve.board () in
+  let srv =
+    match
+      Obs.Serve.create
+        ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+        ~handler:(Obs.Serve.board_handler board)
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "serve: %s" msg
+  in
+  let addr = Obs.Serve.addr srv in
+  (* /healthz works before any publish. *)
+  let h = http_get addr "/healthz" in
+  check Alcotest.int "healthz status" 200 h.Obs.Serve.status;
+  check Alcotest.string "healthz body" "ok\n" h.Obs.Serve.body;
+  (* Unknown paths 404. *)
+  check Alcotest.int "404 for unknown path" 404
+    (http_get addr "/nope").Obs.Serve.status;
+  (* Published pages are served with their content type, and a
+     re-publish replaces the page. *)
+  Obs.Serve.publish board ~path:"/metrics"
+    (Obs.Serve.prometheus "# TYPE necofuzz_up gauge\nnecofuzz_up 1\n");
+  Obs.Serve.publish board ~path:"/status" (Obs.Serve.json {|{"jobs":1}|});
+  let m = http_get addr "/metrics" in
+  check Alcotest.int "metrics status" 200 m.Obs.Serve.status;
+  Alcotest.(check bool) "prometheus content type" true
+    (String.length m.content_type >= 4
+    && String.sub m.content_type 0 4 = "text");
+  check Alcotest.string "metrics body" "# TYPE necofuzz_up gauge\nnecofuzz_up 1\n"
+    m.body;
+  check Alcotest.string "status content type" "application/json"
+    (http_get addr "/status").Obs.Serve.content_type;
+  Obs.Serve.publish board ~path:"/status" (Obs.Serve.json {|{"jobs":2}|});
+  check Alcotest.string "republish replaces" {|{"jobs":2}|}
+    (http_get addr "/status").Obs.Serve.body;
+  (* Query strings are stripped. *)
+  check Alcotest.int "query string ignored" 200
+    (http_get addr "/status?x=1").Obs.Serve.status;
+  Obs.Serve.close srv;
+  Obs.Serve.close srv (* idempotent *);
+  match Obs.Serve.get ~addr ~path:"/healthz" with
+  | Ok _ -> Alcotest.fail "server still answering after close"
+  | Error _ -> ()
+
+(* The whole live layer wired into a parallel campaign must leave the
+   digest untouched (the tentpole inertness check for run_parallel). *)
+let test_parallel_serve_inert () =
+  let cfg = short_cfg ~hours:0.3 ~seed:5 Engine.Kvm_intel in
+  let plain = Engine.run_parallel ~jobs:2 cfg in
+  let board = Obs.Serve.board () in
+  let srv =
+    match
+      Obs.Serve.create
+        ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+        ~handler:(Obs.Serve.board_handler board)
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "serve: %s" msg
+  in
+  let statuses = Array.make 2 None in
+  let options =
+    {
+      Engine.default_options with
+      on_worker_status =
+        Some (fun ~worker s -> statuses.(worker) <- Some s);
+      on_sync =
+        Some
+          (fun _ ->
+            let regs =
+              Array.to_list
+                (Array.mapi
+                   (fun w s ->
+                     let reg = Obs.Metrics.create () in
+                     (match s with
+                     | Some (s : Engine.snapshot) ->
+                         Obs.Metrics.set_gauge reg "worker/virtual_hours"
+                           s.virtual_hours
+                     | None -> ());
+                     ([ ("worker", string_of_int w) ], reg))
+                   statuses)
+            in
+            Obs.Serve.publish board ~path:"/metrics"
+              (Obs.Serve.prometheus (Obs.Metrics.prometheus regs)));
+    }
+  in
+  let served = Engine.run_parallel ~options ~jobs:2 cfg in
+  let m = http_get (Obs.Serve.addr srv) "/metrics" in
+  Obs.Serve.close srv;
+  Alcotest.(check bool) "per-worker series published" true
+    (let sub = {|necofuzz_worker_virtual_hours{worker="1"}|} in
+     let n = String.length sub and l = String.length m.Obs.Serve.body in
+     let rec go i =
+       i + n <= l && (String.sub m.Obs.Serve.body i n = sub || go (i + 1))
+     in
+     go 0);
+  Alcotest.(check bool) "every worker reported a status" true
+    (Array.for_all Option.is_some statuses);
+  check Alcotest.string "serving is inert"
+    (Engine.result_digest plain.Engine.merged)
+    (Engine.result_digest served.Engine.merged)
+
 let tests =
   [
     ("metrics: counters, gauges, histograms", `Quick, test_metrics_basics);
@@ -624,4 +931,11 @@ let tests =
       `Quick,
       test_stats_resume_continues_grid );
     ("jsonl and chrome trace schemas", `Quick, test_jsonl_and_chrome_schemas);
+    ("metrics: pp histogram buckets", `Quick, test_pp_histogram_buckets);
+    ("metrics: prometheus exposition", `Quick, test_prometheus_rendering);
+    ("event codec round-trip", `Quick, test_event_codec_roundtrip);
+    ("sink errors are soaked and counted", `Quick, test_sink_error_paths);
+    ("flight recorder rings and dumps", `Quick, test_flight_recorder);
+    ("http status server", `Quick, test_serve_board);
+    ("parallel: live serving is inert", `Quick, test_parallel_serve_inert);
   ]
