@@ -136,6 +136,46 @@ let throughput ~jobs ~baseline () =
   in
   let _, seq_wall, seq_eps = measure 1 in
   let par_r, par_wall, par_eps = measure jobs in
+  (* Persistent-mode batch sweep: the same sequential campaign at
+     several [step_batch] sizes.  Throughput varies; the campaign result
+     must not — batching is bit-identical by construction, and the
+     coarse identity check here backs the CI digest gate. *)
+  Format.fprintf ppf "@.%6s %9s %9s %14s %9s@." "batch" "execs" "wall(s)"
+    "execs/sec" "coverage";
+  let measure_batch batch =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Necofuzz.Engine.run
+        ~options:{ Necofuzz.Engine.default_options with batch }
+        cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let eps = float_of_int r.execs /. wall in
+    Format.fprintf ppf "%6d %9d %9.2f %14.0f %8.1f%%@." batch r.execs wall eps
+      (Necofuzz.coverage_pct r);
+    (r, eps)
+  in
+  let batch_sizes = [ 1; 16; 256 ] in
+  let sweep = List.map (fun b -> (b, measure_batch b)) batch_sizes in
+  (match sweep with
+  | (_, (r0, _)) :: rest ->
+      List.iter
+        (fun (b, ((r : Necofuzz.result), _)) ->
+          if
+            r.execs <> r0.execs
+            || r.corpus_size <> r0.corpus_size
+            || List.length r.crashes <> List.length r0.crashes
+            || Necofuzz.coverage_pct r <> Necofuzz.coverage_pct r0
+          then begin
+            Format.fprintf ppf
+              "[bench] batch %d result differs from batch %d — persistent \
+               mode broke bit-identity@."
+              b (List.hd batch_sizes);
+            Format.pp_print_flush ppf ();
+            exit 1
+          end)
+        rest
+  | [] -> ());
   bench_json "throughput"
     [
       ("target", Json.String "kvm-intel");
@@ -156,6 +196,12 @@ let throughput ~jobs ~baseline () =
             ("wall_s", Json.Float par_wall);
             ("execs_per_sec", Json.Float par_eps);
           ] );
+      ( "batch_sweep",
+        Json.Obj
+          (List.map
+             (fun (b, (_, eps)) ->
+               (string_of_int b, Json.Float eps))
+             sweep) );
     ];
   match baseline with
   | None -> ()
@@ -617,6 +663,39 @@ let micro () =
          (let buf = String.make 65536 '\x5a' in
           fun () -> ignore (Necofuzz.Persist.crc32 buf)))
   in
+  (* Persistent-mode primitives: the cost of capturing a pristine booted
+     instance, and of the warm blit-restore the engine pays per cached
+     execution instead of a full [create]. *)
+  let snap_hv =
+    Nf_kvm.Vmx_nested.create ~features:Nf_cpu.Features.default
+      ~sanitizer:(Nf_sanitizer.Sanitizer.create ())
+  in
+  let snap_blob = Nf_kvm.Vmx_nested.snapshot snap_hv in
+  let test_snapshot =
+    Test.make ~name:"hv-snapshot"
+      (Staged.stage (fun () -> ignore (Nf_kvm.Vmx_nested.snapshot snap_hv)))
+  in
+  let test_restore =
+    Test.make ~name:"hv-restore"
+      (Staged.stage (fun () -> Nf_kvm.Vmx_nested.restore snap_hv snap_blob))
+  in
+  (* Batched stepping through the public engine API: amortized dispatch,
+     gauge and sink work per execution.  The engine's horizon is far
+     beyond the benchmark quota, so every run measures 16 full
+     executions of campaign steady state. *)
+  let batch_engine =
+    Necofuzz.Engine.create
+      {
+        (Necofuzz.Engine.default_cfg Necofuzz.Kvm_intel) with
+        duration_hours = 1e6;
+        seed = 7;
+      }
+  in
+  let test_step_batch =
+    Test.make ~name:"step-batch-16"
+      (Staged.stage (fun () ->
+           ignore (Necofuzz.Engine.step_batch batch_engine ~n:16)))
+  in
   let estimates = ref [] in
   let benchmark test =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -642,7 +721,8 @@ let micro () =
     [
       test_round; test_enter; test_exec; test_blob; test_hamming;
       test_vmcb_blob; test_vmcb_hamming; test_has_new_bits;
-      test_ckpt_save; test_ckpt_load; test_crc;
+      test_ckpt_save; test_ckpt_load; test_crc; test_snapshot;
+      test_restore; test_step_batch;
     ];
   bench_json "micro"
     [

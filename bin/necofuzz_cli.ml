@@ -324,16 +324,31 @@ let fuzz_cmd =
             "Shorthand for --serve tcp:127.0.0.1:PORT (mutually exclusive \
              with --serve).")
   in
+  let batch =
+    Arg.(
+      value
+      & opt int Necofuzz.Engine.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Persistent-mode batch size: executions per $(b,step_batch) \
+             call.  Amortizes dispatch, coverage-gauge and sink work; a \
+             campaign is bit-identical at any batch size (digests, \
+             checkpoints, metrics and event streams all match batch 1).")
+  in
   let run target hours seed blind no_harness no_validator no_configurator
       corpus_dir corpus_kind minimize jobs sync_hours checkpoint_hours
       checkpoint_dir resume fault_rate fault_seed trace trace_jsonl
-      stats_interval stats_dir differential serve status_port =
+      stats_interval stats_dir differential serve status_port batch =
     if jobs < 1 then begin
       Format.eprintf "necofuzz: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
     end;
     if hours <= 0.0 then begin
       Format.eprintf "necofuzz: --hours must be positive (got %g)@." hours;
+      exit 2
+    end;
+    if batch < 1 then begin
+      Format.eprintf "necofuzz: --batch must be at least 1 (got %d)@." batch;
       exit 2
     end;
     (match sync_hours with
@@ -497,7 +512,7 @@ let fuzz_cmd =
       publish_seq engine;
       let r =
         Necofuzz.Engine.run_from ?checkpoint_dir ?stats_dir
-          ?stats_hours:stats_interval ?on_progress engine
+          ?stats_hours:stats_interval ?on_progress ~batch engine
       in
       publish_seq engine;
       r
@@ -570,6 +585,7 @@ let fuzz_cmd =
                 differential;
                 corpus;
                 sync_hours;
+                batch;
                 obs = sink;
                 on_sync = Some on_sync;
                 on_worker_status =
@@ -590,6 +606,9 @@ let fuzz_cmd =
     Format.printf
       "done: %d executions, %d corpus entries, %d restarts, coverage %.1f%%@."
       r.execs r.corpus_size r.restarts (Necofuzz.coverage_pct r);
+    (* Campaign digest: lets CI (and users) assert bit-identity across
+       equivalent configurations, e.g. --batch 1 vs --batch 256. *)
+    Format.printf "digest %s@." (Necofuzz.Engine.result_digest r);
     List.iter (fun c -> Format.printf "%a@." Necofuzz.pp_crash c) r.crashes;
     (* A resumed differential campaign (v3 checkpoint) carries its store
        even when --differential was not repeated on the command line. *)
@@ -628,7 +647,7 @@ let fuzz_cmd =
       $ no_configurator $ corpus_dir $ corpus_kind $ minimize $ jobs
       $ sync_hours $ checkpoint_hours $ checkpoint_dir $ resume $ fault_rate
       $ fault_seed $ trace $ trace_jsonl $ stats_interval $ stats_dir
-      $ differential $ serve $ status_port)
+      $ differential $ serve $ status_port $ batch)
 
 let experiment_cmd =
   let which =

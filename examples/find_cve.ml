@@ -22,7 +22,7 @@ let direct_kvm_repro () =
      CPU silently allows, KVM's shadow MMU mispaginates. *)
   let vmcs12 = (Necofuzz.Witness.find_vmx "guest.ia32e_pae").build kvm.caps_l1 in
   let ops = Necofuzz.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
-  List.iter (fun op -> ignore (Nf_kvm.Vmx_nested.exec_l1 kvm op)) ops;
+  Array.iter (fun op -> ignore (Nf_kvm.Vmx_nested.exec_l1 kvm op)) ops;
   List.iter
     (fun e -> Format.printf "  %a@." Necofuzz.Sanitizer.pp_event e)
     (Necofuzz.Sanitizer.events sanitizer)

@@ -54,7 +54,7 @@ let run_intel ~seed ~duration_hours : Baseline.run_result =
     Vmcs.write vmcs12 Field.tsc_offset (Nf_stdext.Rng.bits64 rng);
     let ops = Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
     let entered =
-      List.fold_left
+      Array.fold_left
         (fun entered op ->
           match Nf_kvm.Vmx_nested.exec_l1 kvm op with
           | Nf_hv.Hypervisor.L2_entered -> true

@@ -30,14 +30,14 @@ let fresh_xen_amd () =
     entered. *)
 let vmx_setup exec_l1 vmcs12 =
   let ops = Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
-  List.fold_left
+  Array.fold_left
     (fun entered op ->
       match exec_l1 op with Nf_hv.Hypervisor.L2_entered -> true | _ -> entered)
     false ops
 
 let svm_setup exec_l1 vmcb12 =
   let ops = Nf_harness.Executor.svm_init_template ~vmcb12 in
-  List.fold_left
+  Array.fold_left
     (fun entered op ->
       match exec_l1 op with Nf_hv.Hypervisor.L2_entered -> true | _ -> entered)
     false ops

@@ -103,14 +103,15 @@ let run_intel ~seed ~duration_hours : Baseline.run_result =
              else geometric (k + 1)
            in
            let extra = pool.(geometric 0) in
-           let pos = Nf_stdext.Rng.int rng (List.length ops) in
-           List.concat
-             (List.mapi (fun i op -> if i = pos then [ extra; op ] else [ op ]) ops)
+           let pos = Nf_stdext.Rng.int rng (Array.length ops) in
+           Array.concat
+             [ Array.sub ops 0 pos; [| extra |];
+               Array.sub ops pos (Array.length ops - pos) ]
          end
          else ops
        in
        let entered =
-         List.fold_left
+         Array.fold_left
            (fun entered op ->
              match Nf_kvm.Vmx_nested.exec_l1 kvm op with
              | Nf_hv.Hypervisor.L2_entered -> true

@@ -131,6 +131,16 @@ module Map = struct
     if total = 0 then 0.0
     else 100.0 *. float_of_int (covered_lines ?file t) /. float_of_int total
 
+  (** Overwrite [t]'s counters in place from a {!raw_hits} array while
+      preserving the map's identity — the blit-restore half of the
+      persistent-mode hypervisor snapshot (adapters hand out their map
+      once at [create] and must keep that same object live across
+      restores). *)
+  let load_hits t hits =
+    ensure t (Array.length hits - 1);
+    Array.fill t.hits 0 (Array.length t.hits) 0;
+    Array.blit hits 0 t.hits 0 (Array.length hits)
+
   (** [merge a b] accumulates [b]'s hits into [a]. *)
   let merge a b =
     assert (a.region == b.region);
@@ -182,26 +192,64 @@ end
 module Bitmap = struct
   let size = 65536
 
-  type t = { counts : Bytes.t; mutable prev_loc : int }
+  (* [dirty.(0 .. n_dirty-1)] journals every counter index that went
+     0 -> nonzero since the last [reset].  Counters only ever increase
+     (saturating), so the journal is duplicate-free and lists exactly
+     the nonzero counters.  It turns the hot-path consumers —
+     [has_new_bits], [reset], [count_nonzero] — from 64 KiB scans into
+     O(touched-edges) loops; a single execution touches a few dozen
+     edges, so a per-exec scratch bitmap becomes nearly free to reuse.
+     Index-ordered scans (e.g. the corpus edge extraction) still read
+     the counters directly: the journal is in touch order, not index
+     order, and is deliberately not exposed. *)
+  type t = {
+    counts : Bytes.t;
+    mutable prev_loc : int;
+    mutable dirty : int array;
+    mutable n_dirty : int;
+  }
 
-  let create () = { counts = Bytes.make size '\000'; prev_loc = 0 }
+  let create () =
+    {
+      counts = Bytes.make size '\000';
+      prev_loc = 0;
+      dirty = Array.make 256 0;
+      n_dirty = 0;
+    }
+
+  let mark_dirty t i =
+    if t.n_dirty = Array.length t.dirty then begin
+      let bigger = Array.make (2 * t.n_dirty) 0 in
+      Array.blit t.dirty 0 bigger 0 t.n_dirty;
+      t.dirty <- bigger
+    end;
+    t.dirty.(t.n_dirty) <- i;
+    t.n_dirty <- t.n_dirty + 1
 
   let reset t =
-    Bytes.fill t.counts 0 size '\000';
+    for k = 0 to t.n_dirty - 1 do
+      Bytes.unsafe_set t.counts (Array.unsafe_get t.dirty k) '\000'
+    done;
+    t.n_dirty <- 0;
     t.prev_loc <- 0
 
   let get t i = Char.code (Bytes.get t.counts i)
 
   (** Saturating accumulate: fold [c] extra hits into counter [i]. *)
   let add t i c =
-    let v = Char.code (Bytes.get t.counts i) + c in
-    Bytes.set t.counts i (Char.chr (if v > 255 then 255 else v))
+    let old = Char.code (Bytes.get t.counts i) in
+    let v = old + c in
+    Bytes.set t.counts i (Char.chr (if v > 255 then 255 else v));
+    if old = 0 && v > 0 then mark_dirty t i
 
   let record t probe_id =
     let cur = (probe_id * 2654435761) land (size - 1) in
     let edge = cur lxor t.prev_loc in
     let v = Char.code (Bytes.unsafe_get t.counts edge) in
-    if v < 255 then Bytes.unsafe_set t.counts edge (Char.unsafe_chr (v + 1));
+    if v < 255 then begin
+      Bytes.unsafe_set t.counts edge (Char.unsafe_chr (v + 1));
+      if v = 0 then mark_dirty t edge
+    end;
     t.prev_loc <- cur lsr 1
 
   (* AFL++ count classes. *)
@@ -240,38 +288,26 @@ module Bitmap = struct
 
   (** [has_new_bits virgin t] — does [t] touch any bucket not yet seen in
       [virgin]?  Updates [virgin] in place and reports the discovery.
-      AFL++'s u64-skim: words of the trace map that are entirely zero are
-      skipped eight counters at a time; only live words fall back to the
-      per-byte classify-and-OR. *)
+      The dirty journal lists exactly the nonzero counters, so the scan
+      visits only edges this execution touched (AFL++'s u64-skim walks
+      the full 64 KiB; the result is identical because the per-edge
+      classify-and-OR is independent across indices). *)
   let has_new_bits ~(virgin : virgin) t =
     let novel = ref false in
     let counts = t.counts in
-    for w = 0 to (size / 8) - 1 do
-      let off = w lsl 3 in
-      if Bytes.get_int64_le counts off <> 0L then
-        for i = off to off + 7 do
-          let c = Char.code (Bytes.unsafe_get counts i) in
-          if c <> 0 then begin
-            let b = Char.code (String.unsafe_get bucket_lut c) in
-            let v = Char.code (Bytes.unsafe_get virgin i) in
-            if v land b = 0 then begin
-              Bytes.unsafe_set virgin i (Char.unsafe_chr (v lor b));
-              novel := true
-            end
-          end
-        done
+    for k = 0 to t.n_dirty - 1 do
+      let i = Array.unsafe_get t.dirty k in
+      let c = Char.code (Bytes.unsafe_get counts i) in
+      let b = Char.code (String.unsafe_get bucket_lut c) in
+      let v = Char.code (Bytes.unsafe_get virgin i) in
+      if v land b = 0 then begin
+        Bytes.unsafe_set virgin i (Char.unsafe_chr (v lor b));
+        novel := true
+      end
     done;
     !novel
 
-  let count_nonzero t =
-    let counts = t.counts in
-    let n = ref 0 in
-    for w = 0 to (size / 8) - 1 do
-      let off = w lsl 3 in
-      if Bytes.get_int64_le counts off <> 0L then
-        for i = off to off + 7 do
-          if Bytes.unsafe_get counts i <> '\000' then incr n
-        done
-    done;
-    !n
+  (* The journal is duplicate-free and counters never decay back to
+     zero between resets, so its length is the nonzero count. *)
+  let count_nonzero t = t.n_dirty
 end

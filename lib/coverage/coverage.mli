@@ -48,6 +48,14 @@ module Map : sig
       region (a checkpoint taken against a different build). *)
   val of_hits : region -> int array -> (t, string) result
 
+  (** [load_hits t hits] overwrites [t]'s counters in place from a
+      {!raw_hits} array (zero-extending short arrays), preserving the
+      map's identity.  This is the blit-restore half of the
+      persistent-mode hypervisor snapshot: adapters hand out their map
+      once at [create] and must keep that same object live across
+      restores. *)
+  val load_hits : t -> int array -> unit
+
   val covered_lines : ?file:string -> t -> int
   val coverage_pct : ?file:string -> t -> float
 

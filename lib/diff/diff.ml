@@ -398,9 +398,12 @@ let svm_impls :
 let replay ~a ~features ~pack ~warmup ops =
   let san = San.create () in
   let hv = pack ~features ~sanitizer:san in
-  List.iter (fun op -> ignore (Hv.packed_exec_l1 hv op)) warmup;
+  Array.iter (fun op -> ignore (Hv.packed_exec_l1 hv op)) warmup;
   ignore (San.drain san);
-  let results = List.map (Hv.packed_exec_l1 hv) ops in
+  let results =
+    List.rev
+      (Array.fold_left (fun acc op -> Hv.packed_exec_l1 hv op :: acc) [] ops)
+  in
   interpret a san results
 
 let observe_vmcs t ~exec ~hours ~features ~msr_area vmcs =
@@ -425,7 +428,7 @@ let observe_vmcs t ~exec ~hours ~features ~msr_area vmcs =
   in
   List.iter
     (fun (impl, pack, missing) ->
-      let b = replay ~a:Vmx ~features ~pack ~warmup:[] ops in
+      let b = replay ~a:Vmx ~features ~pack ~warmup:[||] ops in
       let model_check () = model_check_vmx ~caps ~msr_area ~missing vmcs in
       match classify ~silicon ~model_check b with
       | Some res -> add impl res

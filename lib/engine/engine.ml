@@ -153,6 +153,33 @@ let fold_bitmap (bitmap : Cov.Bitmap.t) (map : Cov.Map.t) region =
 
 let dedup_key message = String.sub message 0 (min 48 (String.length message))
 
+(* Histogram keys for the per-stage cost accounting, built once: the hot
+   path must not re-concatenate "cost_us/<stage>" on every execution.
+   Stages are nullary constructors, so [List.assq] resolves them with a
+   pointer compare. *)
+let stage_cost_keys =
+  List.map
+    (fun s -> (s, "cost_us/" ^ Nf_harness.Executor.stage_name s))
+    Nf_harness.Executor.all_stages
+
+let stage_cost_key s = List.assq s stage_cost_keys
+
+(* Persistent-mode boot cache: the post-[create] hypervisor state for
+   one vCPU configuration, snapshotted once into a flat byte-blob and
+   blit-restored on every subsequent execution with the same
+   configuration instead of re-running target setup.  Cached per raw
+   feature combination (the space is tiny — a handful of booleans), so
+   alternating configurations all stay warm.  Derived state: never
+   checkpointed (a restored campaign rebuilds it lazily), and restore
+   is defined to be bit-identical to a fresh [boot_target]. *)
+(* The pristine snapshot is shared engine-wide: an adapter's mutable
+   state right after [create] does not depend on the vCPU feature
+   combination (features only shape the immutable capability envelopes),
+   so one blob restores every cached instance.  The instance table is
+   bounded — feature combinations come from fuzz input, so an adversarial
+   corpus could otherwise grow it without limit. *)
+let boot_cache_cap = 512
+
 type t = {
   cfg : cfg;
   region : Cov.region;
@@ -173,7 +200,17 @@ type t = {
   mutable timeline : (float * float) list; (* newest first *)
   mutable next_checkpoint : float;
   mutable sealed : result option;
+  (* Transient hot-path state, all derived: none of it is checkpointed,
+     and none of it may influence campaign-visible behaviour. *)
+  scratch_bitmap : Cov.Bitmap.t; (* per-exec edge map, reset before use *)
+  cov_gauge_keys : (string * string) list; (* (file, "coverage/<file>") *)
+  boot_cache : (Nf_cpu.Features.t, Nf_hv.Hypervisor.packed) Hashtbl.t;
+  mutable boot_snapshot : Bytes.t option; (* shared pristine state *)
 }
+
+(* The per-file coverage gauge keys of a region, built once per engine. *)
+let mk_cov_gauge_keys region =
+  List.map (fun file -> (file, "coverage/" ^ file)) (Cov.files region)
 
 (* Emit one trace event at the engine's current virtual instant.  The
    [is_null] guard means an untraced campaign never even constructs the
@@ -255,6 +292,10 @@ let create ?(differential = false) ?(corpus = Nf_corpus.Corpus.default_spec)
       timeline = [ (0.0, 0.0) ];
       next_checkpoint = cfg.checkpoint_hours;
       sealed = None;
+      scratch_bitmap = Cov.Bitmap.create ();
+      cov_gauge_keys = mk_cov_gauge_keys region;
+      boot_cache = Hashtbl.create 7;
+      boot_snapshot = None;
     }
   in
   wire_observers t;
@@ -269,7 +310,25 @@ let create ?(differential = false) ?(corpus = Nf_corpus.Corpus.default_spec)
       Obs.Metrics.set_gauge t.metrics "diff/unique" (float_of_int (Diff.size d)));
   t
 
-let step (t : t) : step_outcome =
+(* Recompute the campaign coverage gauges from [campaign_cov].  The
+   gauges are pure functions of the campaign map, so last-write-wins:
+   setting them after every execution ([step]) and setting them once
+   after the last execution of a batch ([step_batch]) leave the registry
+   in the same state. *)
+let flush_coverage_gauges (t : t) =
+  Obs.Metrics.set_gauge t.metrics "coverage/total"
+    (Cov.Map.coverage_pct t.campaign_cov);
+  List.iter
+    (fun (file, key) ->
+      Obs.Metrics.set_gauge t.metrics key
+        (Cov.Map.coverage_pct ~file t.campaign_cov))
+    t.cov_gauge_keys
+
+(* One fuzzing execution.  [batched] defers the coverage-gauge
+   recomputation to the caller ({!step_batch} flushes once per batch);
+   everything else — clock, corpus, metrics counters, crash triage,
+   trace events — is per-execution state and must stay inline. *)
+let step_impl ~batched (t : t) : step_outcome =
   if
     t.sealed <> None
     || Nf_stdext.Vclock.reached t.clock ~deadline_us:t.deadline_us
@@ -303,7 +362,29 @@ let step (t : t) : step_outcome =
        dies, so the synthesized outcome charges it. *)
     let hv, outcome =
       match
-        let hv = boot_target cfg.target ~features ~sanitizer in
+        (* Persistent mode: the first execution of a configuration boots
+           the target and snapshots the pristine state; every later one
+           blit-restores that snapshot (and retargets the sanitizer)
+           instead of re-running setup.  An execution that died mid-run
+           leaves the cached instance dirty — harmless, the next restore
+           overwrites all of it. *)
+        let hv =
+          match Hashtbl.find_opt t.boot_cache features with
+          | Some hv ->
+              Nf_hv.Hypervisor.packed_set_sanitizer hv sanitizer;
+              (match t.boot_snapshot with
+              | Some snap -> Nf_hv.Hypervisor.packed_restore hv snap
+              | None -> assert false (* set when the instance was cached *));
+              hv
+          | None ->
+              let hv = boot_target cfg.target ~features ~sanitizer in
+              if t.boot_snapshot = None then
+                t.boot_snapshot <- Some (Nf_hv.Hypervisor.packed_snapshot hv);
+              if Hashtbl.length t.boot_cache >= boot_cache_cap then
+                Hashtbl.reset t.boot_cache;
+              Hashtbl.replace t.boot_cache features hv;
+              hv
+        in
         let hv =
           match t.injector with
           | Some inj -> Nf_hv.Faulty.wrap inj hv
@@ -334,10 +415,7 @@ let step (t : t) : step_outcome =
        triage), plus the VM-entry verdict of the validator-generated
        state at the L0 hypervisor's entry checks. *)
     List.iter
-      (fun (stage, c) ->
-        Obs.Metrics.observe t.metrics
-          ("cost_us/" ^ Nf_harness.Executor.stage_name stage)
-          c)
+      (fun (stage, c) -> Obs.Metrics.observe t.metrics (stage_cost_key stage) c)
       (Nf_harness.Executor.cost_breakdown outcome);
     Obs.Metrics.incr ~by:outcome.entries t.metrics "vm/entries";
     Obs.Metrics.incr ~by:outcome.vmfails t.metrics "vm/vmfails";
@@ -372,7 +450,8 @@ let step (t : t) : step_outcome =
     (* Coverage collection (KCOV/gcov -> shared-memory bitmap).  A
        failed read (or a dead host) degrades to black-box for this one
        execution. *)
-    let bitmap = Cov.Bitmap.create () in
+    let bitmap = t.scratch_bitmap in
+    Cov.Bitmap.reset bitmap;
     (match Option.bind hv Nf_hv.Hypervisor.packed_coverage with
     | Some map ->
         Cov.Map.merge t.campaign_cov map;
@@ -381,13 +460,7 @@ let step (t : t) : step_outcome =
     | exception _ -> ());
     (* Per-region coverage gauges: campaign totals plus one gauge per
        instrumented source file of the target region. *)
-    Obs.Metrics.set_gauge t.metrics "coverage/total"
-      (Cov.Map.coverage_pct t.campaign_cov);
-    List.iter
-      (fun file ->
-        Obs.Metrics.set_gauge t.metrics ("coverage/" ^ file)
-          (Cov.Map.coverage_pct ~file t.campaign_cov))
-      (Cov.files t.region);
+    if not batched then flush_coverage_gauges t;
     let crashed =
       match outcome.termination with
       | Nf_harness.Executor.Completed -> San.has_reportable sanitizer
@@ -515,6 +588,50 @@ let step (t : t) : step_outcome =
          { exec = exec_no; novel; crashed; cost_us = outcome.cost_us });
     Stepped { novel; crashed; cost_us = outcome.cost_us }
   end
+
+let step (t : t) : step_outcome = step_impl ~batched:false t
+
+type batch_outcome = {
+  steps : int;
+  batch_novel : int;
+  batch_crashes : int;
+  batch_cost_us : int64;
+  hit_deadline : bool;
+}
+
+let step_batch ?until_us (t : t) ~n : batch_outcome =
+  if n < 0 then invalid_arg "Engine.step_batch: n must be non-negative";
+  let bounded () =
+    match until_us with
+    | Some b -> Nf_stdext.Vclock.now_us t.clock >= b
+    | None -> false
+  in
+  let steps = ref 0 and novel = ref 0 and crashes = ref 0 in
+  let cost = ref 0L in
+  let deadline = ref false in
+  (try
+     while !steps < n && not (bounded ()) do
+       match step_impl ~batched:true t with
+       | Deadline ->
+           deadline := true;
+           raise Exit
+       | Stepped { novel = nv; crashed; cost_us } ->
+           incr steps;
+           if nv then incr novel;
+           if crashed then incr crashes;
+           cost := Int64.add !cost cost_us
+     done
+   with Exit -> ());
+  (* One gauge recomputation for the whole batch; values are identical
+     to what per-step recomputation would have left behind. *)
+  if !steps > 0 then flush_coverage_gauges t;
+  {
+    steps = !steps;
+    batch_novel = !novel;
+    batch_crashes = !crashes;
+    batch_cost_us = !cost;
+    hit_deadline = !deadline;
+  }
 
 (* The stage-cost breakdown a snapshot reports: cumulative virtual
    microseconds per stage, straight from the metrics histograms. *)
@@ -853,6 +970,10 @@ let read_engine ~differential ~legacy r : t =
       timeline;
       next_checkpoint;
       sealed = None;
+      scratch_bitmap = Cov.Bitmap.create ();
+      cov_gauge_keys = mk_cov_gauge_keys region;
+      boot_cache = Hashtbl.create 7;
+      boot_snapshot = None;
     }
   in
   wire_observers t;
@@ -968,7 +1089,10 @@ type options = {
   chaos : (worker:int -> round:int -> attempt:int -> unit) option;
   obs : Obs.Sink.t;
   supervision : supervision;
+  batch : int;
 }
+
+let default_batch = 256
 
 let default_options =
   {
@@ -984,10 +1108,12 @@ let default_options =
     chaos = None;
     obs = Obs.Sink.null;
     supervision = default_supervision;
+    batch = default_batch;
   }
 
-let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
-    result =
+let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress
+    ?(batch = default_batch) (t : t) : result =
+  if batch < 1 then invalid_arg "Engine.run_from: batch must be at least 1";
   let last_timeline = ref (List.length t.timeline) in
   let maybe_checkpoint () =
     match checkpoint_dir with
@@ -1045,13 +1171,44 @@ let run_from ?checkpoint_dir ?stats_dir ?stats_hours ?on_progress (t : t) :
           incr stats_k
         done
   in
+  (* Batched driving.  Checkpoint saves and stats rows fire when the
+     clock crosses a grid point; bounding every batch at the next
+     pending grid point makes the batch end right after the crossing
+     execution, so the side effects observe exactly the state per-step
+     driving would have shown them.  With no pending grid point the
+     batch runs unbounded (side-effect conditions below mirror this:
+     a grid point past the campaign duration never fires). *)
+  let horizon_us () =
+    let acc = infinity in
+    let acc =
+      match stats_hours with
+      | Some h when h *. float_of_int !stats_k <= t.cfg.duration_hours ->
+          Float.min acc (h *. float_of_int !stats_k)
+      | _ -> acc
+    in
+    let acc =
+      match checkpoint_dir with
+      | Some _ when t.next_checkpoint <= t.cfg.duration_hours ->
+          Float.min acc t.next_checkpoint
+      | _ -> acc
+    in
+    if Float.is_finite acc then Some (Nf_stdext.Vclock.of_hours acc) else None
+  in
   let rec drive () =
-    match step t with
-    | Stepped _ ->
-        maybe_checkpoint ();
-        maybe_stats ();
-        drive ()
-    | Deadline -> ()
+    let o = step_batch ?until_us:(horizon_us ()) t ~n:batch in
+    maybe_checkpoint ();
+    maybe_stats ();
+    if o.hit_deadline then ()
+    else if o.steps = 0 then
+      (* Defensive: guarantee progress even if a horizon lands at or
+         before the current instant (it cannot, by construction). *)
+      match step t with
+      | Deadline -> ()
+      | Stepped _ ->
+          maybe_checkpoint ();
+          maybe_stats ();
+          drive ()
+    else drive ()
   in
   drive ();
   (* Final refresh so [fuzzer_stats] reflects the completed campaign
@@ -1067,7 +1224,8 @@ let run ?(options = default_options) (cfg : cfg) : result =
   let t = create ~differential:options.differential ~corpus:options.corpus cfg in
   if not (Obs.Sink.is_null options.obs) then set_sink t options.obs;
   run_from ?checkpoint_dir:options.checkpoint_dir ?stats_dir:options.stats_dir
-    ?stats_hours:options.stats_hours ?on_progress:options.on_progress t
+    ?stats_hours:options.stats_hours ?on_progress:options.on_progress
+    ~batch:options.batch t
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel campaigns (AFL++ -M/-S topology).                   *)
@@ -1165,14 +1323,16 @@ type shared = {
 (* Drive [e] until its virtual clock crosses [bound_us] (a sync barrier)
    or the campaign deadline.  A step may overshoot the bound; the worker
    then waits at the barrier. *)
-let run_until (e : t) ~bound_us =
+let run_until ?(batch = default_batch) (e : t) ~bound_us =
   let rec loop () =
     if e.sealed <> None then ()
     else if Nf_stdext.Vclock.now_us e.clock >= bound_us then
       (* Crossing the final bound means crossing the deadline; one more
          step call observes it (runs nothing) so the worker is Done. *)
       if bound_us >= e.deadline_us then ignore (step e) else ()
-    else match step e with Deadline -> () | Stepped _ -> loop ()
+    else
+      let o = step_batch ~until_us:bound_us e ~n:(max 1 batch) in
+      if o.hit_deadline then () else loop ()
   in
   loop ()
 
@@ -1402,10 +1562,11 @@ let merge_results ~(cfg : cfg) ~(results : result array)
 let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     parallel_outcome =
   let { differential; corpus; sync_hours; on_sync; on_worker_status; chaos;
-        obs; supervision = policy; _ } =
+        obs; supervision = policy; batch; _ } =
     options
   in
   if jobs < 1 then invalid_arg "Engine.run_parallel: jobs must be >= 1";
+  if batch < 1 then invalid_arg "Engine.run_parallel: batch must be at least 1";
   let sync_hours =
     match sync_hours with Some h -> h | None -> cfg.checkpoint_hours
   in
@@ -1461,7 +1622,7 @@ let run_parallel ?(options = default_options) ~jobs (cfg : cfg) :
     (match chaos with
     | Some f -> f ~worker:w ~round:!round ~attempt:attempts.(w)
     | None -> ());
-    run_until engines.(w) ~bound_us
+    run_until ~batch engines.(w) ~bound_us
   in
   (* Run [ids] (in worker order) for one round; returns the workers
      whose Domain raised, with the exception, ordered by worker id so

@@ -190,6 +190,38 @@ val create : ?differential:bool -> ?corpus:Nf_corpus.Corpus.spec -> cfg -> t
     reached the configured duration. *)
 val step : t -> step_outcome
 
+(** What one {!step_batch} call did, aggregated over its executions. *)
+type batch_outcome = {
+  steps : int;  (** executions actually performed (0 at the deadline) *)
+  batch_novel : int;  (** how many exposed new edge-bitmap behaviour *)
+  batch_crashes : int;  (** how many crashed (sanitizer, VM or host) *)
+  batch_cost_us : int64;  (** total virtual time charged *)
+  hit_deadline : bool;
+      (** the batch stopped because {!step} reported [Deadline] *)
+}
+
+(** [step_batch t ~n] performs up to [n] fuzz iterations, amortizing
+    per-step bookkeeping over the batch: the campaign coverage gauges
+    ([coverage/total] and the per-file gauges — pure functions of the
+    campaign coverage map) are recomputed once after the last execution
+    instead of after every one, and the per-execution scratch state
+    (edge bitmap, boot snapshot) is reused across the whole batch.
+
+    {b Bit-identity invariant}: after [step_batch t ~n] the engine is in
+    exactly the state [n] successive {!step} calls would have left it in
+    — same checkpoint bytes, same campaign digest, same metrics
+    registry, same trace-event stream.  The batch ends early when the
+    campaign deadline is observed ([hit_deadline]), or — with
+    [?until_us] — before the first execution that would start at or
+    after that virtual instant (the bound {!run_until} uses to stop at
+    sync barriers; an execution may overshoot it, exactly as per-step
+    driving overshoots).
+
+    [step_batch ~n:1] is {!step} with the return type changed;
+    [~n:0] performs nothing.
+    @raise Invalid_argument when [n] is negative. *)
+val step_batch : ?until_us:int64 -> t -> n:int -> batch_outcome
+
 (** Cheap observable progress summary of a live campaign. *)
 val snapshot : t -> snapshot
 
@@ -281,10 +313,21 @@ type options = {
   supervision : supervision;
       (** parallel/fleet: worker retry budget and backoff schedule
           (default {!default_supervision}) *)
+  batch : int;
+      (** executions per {!step_batch} call in every runner's drive
+          loop (sequential, parallel and fleet workers alike); batching
+          is bit-identical to per-step driving, so this is purely a
+          throughput knob (default {!default_batch}).  Must be >= 1. *)
 }
 
+(** The default {!options.batch} size (256): large enough to amortize
+    the per-batch gauge recomputation to noise, small enough that
+    progress observers stay responsive. *)
+val default_batch : int
+
 (** [default_options]: no differential oracle, the default queue corpus,
-    no checkpointing, no stats, no observers, the null sink. *)
+    no checkpointing, no stats, no observers, the null sink, batched
+    stepping at {!default_batch}. *)
 val default_options : options
 
 (** [run cfg] drives {!step} to [Deadline]: the sequential campaign,
@@ -389,6 +432,7 @@ val run_from :
   ?stats_dir:string ->
   ?stats_hours:float ->
   ?on_progress:(snapshot -> unit) ->
+  ?batch:int ->
   t ->
   result
 
@@ -544,8 +588,11 @@ val config : t -> cfg
 
 (** [run_round e ~bound_us] drives [e] until its virtual clock crosses
     [bound_us] (a sync barrier) or the campaign deadline — one worker
-    round of the barrier protocol. *)
-val run_round : t -> bound_us:int64 -> unit
+    round of the barrier protocol.  Internally the round steps in
+    {!step_batch} batches of [batch] (default {!default_batch});
+    batching is bit-identical to per-step driving, so fleet rounds
+    reproduce [run_parallel] rounds byte-for-byte at the barrier. *)
+val run_round : ?batch:int -> t -> bound_us:int64 -> unit
 
 (** The engine's virtual clock has reached the campaign deadline. *)
 val campaign_over : t -> bool

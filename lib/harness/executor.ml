@@ -157,6 +157,45 @@ let scratch_svm_validator =
   Domain.DLS.new_key (fun () ->
       Nf_validator.Svm_validator.create Nf_cpu.Svm_caps.zen3)
 
+(* Golden-template memo.  [Golden.vmcs]/[Golden.vmcb] are pure functions
+   of the capability envelope, and a campaign only ever sees a handful
+   of envelopes (one per vCPU feature combination), so rebuilding the
+   template from scratch on every Template-mode execution is wasted
+   work: build each envelope's template once per Domain (DLS, like the
+   scratch validators — the memo must not be shared across campaign
+   worker Domains) and hand out copies, which callers may mutate. *)
+let golden_vmcs_memo :
+    (Nf_cpu.Vmx_caps.t, Nf_vmcs.Vmcs.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+let golden_vmcs caps =
+  let tbl = Domain.DLS.get golden_vmcs_memo in
+  let v =
+    match Hashtbl.find_opt tbl caps with
+    | Some v -> v
+    | None ->
+        let v = Nf_validator.Golden.vmcs caps in
+        Hashtbl.add tbl caps v;
+        v
+  in
+  Nf_vmcs.Vmcs.copy v
+
+let golden_vmcb_memo :
+    (Nf_cpu.Svm_caps.t, Nf_vmcb.Vmcb.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+let golden_vmcb caps =
+  let tbl = Domain.DLS.get golden_vmcb_memo in
+  let v =
+    match Hashtbl.find_opt tbl caps with
+    | Some v -> v
+    | None ->
+        let v = Nf_validator.Golden.vmcb caps in
+        Hashtbl.add tbl caps v;
+        v
+  in
+  Nf_vmcb.Vmcb.copy v
+
 (* Decode the VMCS-slice region in place (no Bytes.sub per execution). *)
 let vmcs_of_input input =
   Nf_vmcs.Vmcs.of_blob_sub input ~pos:Layout.vmcs_raw_off
@@ -165,7 +204,7 @@ let vmcs_of_input input =
 let generate_vmcs12 ~(ablation : ablation) ~(validator : Nf_validator.Validator.t)
     ~(caps_l1 : Nf_cpu.Vmx_caps.t) input =
   match ablation.generation with
-  | Template -> Nf_validator.Golden.vmcs caps_l1
+  | Template -> golden_vmcs caps_l1
   | Raw -> vmcs_of_input input
   | Rounded_only | Boundary ->
       let scratch = Domain.DLS.get scratch_vmx_validator in
@@ -207,7 +246,7 @@ let generate_vmcb12 ~(ablation : ablation)
     ~(svm_validator : Nf_validator.Svm_validator.t)
     ~(caps_l1 : Nf_cpu.Svm_caps.t) input =
   match ablation.generation with
-  | Template -> Nf_validator.Golden.vmcb caps_l1
+  | Template -> golden_vmcb caps_l1
   | Raw -> raw_vmcb input
   | Rounded_only | Boundary ->
       let vmcb = raw_vmcb input in
@@ -241,8 +280,13 @@ let generate_msr_area input =
 (* Initialization-phase template                                        *)
 (* ------------------------------------------------------------------ *)
 
-let vmx_init_template ~vmcs12 ~msr_area : L1_op.t list =
-  [
+(* The init sequences are precompiled into flat instruction arrays: the
+   constant op prefix is built once at module load, and each execution
+   only blits it and fills the input-dependent slots (the generated VM
+   state and MSR area).  Flat arrays also let [mutate_init_ops] work in
+   place instead of round-tripping through lists. *)
+let vmx_init_prefix : L1_op.t array =
+  [|
     L1_op.L1_insn
       (Nf_cpu.Insn.Mov_to_cr
          ( 4,
@@ -252,22 +296,34 @@ let vmx_init_template ~vmcs12 ~msr_area : L1_op.t list =
     L1_op.Vmxon 0x3000L;
     L1_op.Vmclear 0x1000L;
     L1_op.Vmptrld 0x1000L;
-    L1_op.Vmwrite_state vmcs12;
-    L1_op.Set_entry_msr_area msr_area;
-    L1_op.Vmlaunch;
-  ]
+  |]
 
-let svm_init_template ~vmcb12 : L1_op.t list =
-  [
+let vmx_init_template ~vmcs12 ~msr_area : L1_op.t array =
+  let n = Array.length vmx_init_prefix in
+  let ops = Array.make (n + 3) L1_op.Vmlaunch in
+  Array.blit vmx_init_prefix 0 ops 0 n;
+  ops.(n) <- L1_op.Vmwrite_state vmcs12;
+  ops.(n + 1) <- L1_op.Set_entry_msr_area msr_area;
+  (* ops.(n + 2) is already Vmlaunch. *)
+  ops
+
+let svm_init_prefix : L1_op.t array =
+  [|
     L1_op.L1_insn
       (Nf_cpu.Insn.Wrmsr
          ( Nf_x86.Msr.ia32_efer,
            List.fold_left Nf_stdext.Bits.set 0L
              [ Nf_x86.Efer.svme; Nf_x86.Efer.lme; Nf_x86.Efer.lma;
                Nf_x86.Efer.sce ] ));
-    L1_op.Vmcb_state vmcb12;
-    L1_op.Vmrun 0x1000L;
-  ]
+  |]
+
+let svm_init_template ~vmcb12 : L1_op.t array =
+  let n = Array.length svm_init_prefix in
+  let ops = Array.make (n + 2) (L1_op.Vmrun 0x1000L) in
+  Array.blit svm_init_prefix 0 ops 0 n;
+  ops.(n) <- L1_op.Vmcb_state vmcb12;
+  (* ops.(n + 1) is already Vmrun. *)
+  ops
 
 let fuzz_addresses =
   [| 0x1000L; 0x1000L; 0x3000L; 0x1008L (* unaligned *); 0x7FFF_F000L;
@@ -301,8 +357,12 @@ let extra_pool =
 
 (** Mutate the initialization sequence: instruction ordering, argument
     values and repetition counts (§4.2), all drawn from the init slice. *)
-let mutate_init_ops next (ops : L1_op.t list) : L1_op.t list =
-  let arr = Array.of_list ops in
+let mutate_init_ops next (arr : L1_op.t array) : L1_op.t array * int =
+  (* [arr] is each execution's freshly built template, so the swap and
+     argument passes mutate it in place; only insertion grows it (into a
+     fresh flat array at most twice the input length).  Every directive
+     is drawn in exactly the order the list-based implementation used,
+     so campaigns replay bit-identically. *)
   (* Order: up to two swaps of adjacent operations. *)
   let swaps = next () land 0x3 in
   for _ = 1 to swaps do
@@ -312,31 +372,31 @@ let mutate_init_ops next (ops : L1_op.t list) : L1_op.t list =
     arr.(i + 1) <- tmp
   done;
   (* Arguments: occasionally corrupt an address operand. *)
-  let arr =
-    Array.map
-      (fun op ->
-        if next () land 0x7 <> 0 then op
-        else begin
-          let addr () = fuzz_addresses.(next () mod Array.length fuzz_addresses) in
-          match (op : L1_op.t) with
-          | Vmxon _ -> L1_op.Vmxon (addr ())
-          | Vmclear _ -> L1_op.Vmclear (addr ())
-          | Vmptrld _ -> L1_op.Vmptrld (addr ())
-          | Vmrun _ -> L1_op.Vmrun (addr ())
-          | other -> other
-        end)
-      arr
-  in
+  for i = 0 to Array.length arr - 1 do
+    if next () land 0x7 = 0 then begin
+      let addr () = fuzz_addresses.(next () mod Array.length fuzz_addresses) in
+      match arr.(i) with
+      | Vmxon _ -> arr.(i) <- L1_op.Vmxon (addr ())
+      | Vmclear _ -> arr.(i) <- L1_op.Vmclear (addr ())
+      | Vmptrld _ -> arr.(i) <- L1_op.Vmptrld (addr ())
+      | Vmrun _ -> arr.(i) <- L1_op.Vmrun (addr ())
+      | _ -> ()
+    end
+  done;
   (* Repetition / insertion: sprinkle extra VMX housekeeping ops. *)
   let extras = next () land 0x3 in
-  let out = ref [] in
+  let out = Array.make (2 * Array.length arr) L1_op.Vmlaunch in
+  let k = ref 0 in
   Array.iter
     (fun op ->
-      out := op :: !out;
-      if extras > 0 && next () land 0x7 = 0 then
-        out := extra_pool.(next () mod Array.length extra_pool) :: !out)
+      out.(!k) <- op;
+      incr k;
+      if extras > 0 && next () land 0x7 = 0 then begin
+        out.(!k) <- extra_pool.(next () mod Array.length extra_pool);
+        incr k
+      end)
     arr;
-  List.rev !out
+  (out, !k)
 
 (* ------------------------------------------------------------------ *)
 (* Main orchestration                                                   *)
@@ -378,37 +438,36 @@ let run ~(hv : Hypervisor.packed) ~(vmx_validator : Nf_validator.Validator.t)
         let vmcb12 = generate_vmcb12 ~ablation ~svm_validator ~caps_l1 input in
         svm_init_template ~vmcb12
   in
-  let init_ops =
+  let init_ops, init_len =
     if ablation.use_exec_harness then
       mutate_init_ops (Layout.cursor (Layout.init_bytes input)) init_ops
-    else init_ops
+    else (init_ops, Array.length init_ops)
   in
   (* --- initialization phase --- *)
-  let rec run_init ops in_l2 =
-    match ops with
-    | [] -> in_l2
-    | op :: rest -> (
-        match exec_l1 op with
-        | Hypervisor.Ok_step -> run_init rest in_l2
-        | Vmfail _ ->
-            incr vmfails;
-            run_init rest in_l2
-        | Fault _ -> run_init rest in_l2
-        | L2_entered ->
-            incr entries;
-            true
-        | L2_exit_to_l1 _ ->
-            incr reflected;
-            run_init rest in_l2
-        | L2_resumed -> run_init rest true
-        | Vm_killed msg ->
-            termination := Vm_died msg;
-            false
-        | Host_down msg ->
-            termination := Host_crashed msg;
-            false)
+  let rec run_init i in_l2 =
+    if i >= init_len then in_l2
+    else
+      match exec_l1 init_ops.(i) with
+      | Hypervisor.Ok_step -> run_init (i + 1) in_l2
+      | Vmfail _ ->
+          incr vmfails;
+          run_init (i + 1) in_l2
+      | Fault _ -> run_init (i + 1) in_l2
+      | L2_entered ->
+          incr entries;
+          true
+      | L2_exit_to_l1 _ ->
+          incr reflected;
+          run_init (i + 1) in_l2
+      | L2_resumed -> run_init (i + 1) true
+      | Vm_killed msg ->
+          termination := Vm_died msg;
+          false
+      | Host_down msg ->
+          termination := Host_crashed msg;
+          false
   in
-  let in_l2 = run_init init_ops false in
+  let in_l2 = run_init 0 false in
   (* --- runtime phase --- *)
   let runtime_next = Layout.cursor (Layout.runtime_bytes input) in
   let fixed_cycle =

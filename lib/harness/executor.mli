@@ -93,17 +93,23 @@ val generate_vmcb12 :
   Bytes.t ->
   Nf_vmcb.Vmcb.t
 
-(** The canonical VMX initialization sequence (§2.1): enable CR4.VMXE,
-    program IA32_FEATURE_CONTROL, vmxon, vmclear, vmptrld, the vmwrite
-    sequence, the MSR-load area, vmlaunch. *)
+(** The canonical VMX initialization sequence (§2.1), precompiled as a
+    flat instruction array: the constant prefix (enable CR4.VMXE,
+    program IA32_FEATURE_CONTROL, vmxon, vmclear, vmptrld) is built once
+    at module load and blitted; only the input-dependent vmwrite state,
+    MSR-load area and the trailing vmlaunch slots are filled per
+    execution. *)
 val vmx_init_template :
-  vmcs12:Nf_vmcs.Vmcs.t -> msr_area:(int * int64) array -> Nf_hv.L1_op.t list
+  vmcs12:Nf_vmcs.Vmcs.t -> msr_area:(int * int64) array -> Nf_hv.L1_op.t array
 
-val svm_init_template : vmcb12:Nf_vmcb.Vmcb.t -> Nf_hv.L1_op.t list
+val svm_init_template : vmcb12:Nf_vmcb.Vmcb.t -> Nf_hv.L1_op.t array
 
-(** Mutate the initialization sequence: instruction ordering, argument
-    values and repetition counts (§4.2). *)
-val mutate_init_ops : (unit -> int) -> Nf_hv.L1_op.t list -> Nf_hv.L1_op.t list
+(** Mutate the initialization sequence in place: instruction ordering,
+    argument values and repetition counts (§4.2).  The insertion pass
+    returns a fresh flat array plus the live length (trailing slots are
+    padding); the swap and argument passes mutate the input array. *)
+val mutate_init_ops :
+  (unit -> int) -> Nf_hv.L1_op.t array -> Nf_hv.L1_op.t array * int
 
 (** Execute one fuzz-harness VM run. *)
 val run :

@@ -90,5 +90,12 @@ let wrap (inj : injector) (Hypervisor.Packed ((module H), vm)) :
 
     let in_l2 = H.in_l2
     let reset = H.reset
+
+    (* Snapshot/restore and sanitizer retargeting act on the underlying
+       instance's state, not on its fault stream (the injector is
+       engine-owned and checkpointed separately): forward unchanged. *)
+    let snapshot = H.snapshot
+    let restore = H.restore
+    let set_sanitizer = H.set_sanitizer
   end in
   Hypervisor.Packed ((module F), vm)

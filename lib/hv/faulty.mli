@@ -35,7 +35,7 @@ val injected : injector -> int
     every injected fault with [kind] one of ["host_crash"],
     ["vm_kill"], ["hang"] or ["coverage_drop"].  The observer is
     telemetry only — it must be inert (the engine wires it to the
-    {!Nf_obs} event stream and metrics registry); it is not part of the
+    [Nf_obs] event stream and metrics registry); it is not part of the
     injector's checkpointed state and defaults to a no-op. *)
 val set_on_fault : injector -> (string -> unit) -> unit
 

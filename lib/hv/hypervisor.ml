@@ -27,6 +27,89 @@ let step_name = function
   | Vm_killed m -> Printf.sprintf "vm-killed(%s)" m
   | Host_down m -> Printf.sprintf "host-down(%s)" m
 
+(* Persistent-mode snapshot framing, shared by every adapter: one magic,
+   one format version, and an adapter-name guard so a blob can never be
+   restored into a different hypervisor model.  The payload itself is
+   adapter-specific (each serialises exactly its own mutable state). *)
+module Snapshot = struct
+  module Persist = Nf_persist.Persist
+
+  let magic = "NECOFUZZ-HVSN"
+  let version = 1
+
+  let frame ~name write =
+    let w = Persist.Writer.create () in
+    Persist.Writer.string w name;
+    write w;
+    Bytes.unsafe_of_string
+      (Persist.frame ~magic ~version (Persist.Writer.contents w))
+
+  (* [validate ~name blob] checks the frame (magic, version, length,
+     CRC32) and the adapter guard once and returns the payload that
+     follows the guard.  Adapters memoize the result per blob so the
+     per-execution restore path skips straight to [decode]. *)
+  let validate ~name blob =
+    match Persist.unframe_typed ~magic ~version (Bytes.to_string blob) with
+    | Error e ->
+        invalid_arg ("Hypervisor snapshot: " ^ Persist.frame_error_message e)
+    | Ok payload -> (
+        match
+          let r = Persist.Reader.of_string payload in
+          let got = Persist.Reader.string r in
+          (got, String.length got)
+        with
+        | exception Persist.Reader.Corrupt m ->
+            invalid_arg ("Hypervisor snapshot: " ^ m)
+        | got, len ->
+            if not (String.equal got name) then
+              invalid_arg
+                (Printf.sprintf
+                   "Hypervisor snapshot: snapshot of %S restored into %S" got
+                   name)
+            else
+              (* Strip the length-prefixed guard (8-byte prefix). *)
+              String.sub payload (8 + len)
+                (String.length payload - 8 - len))
+
+  (* [decode payload read] runs [read] over a validated payload,
+     requiring full consumption. *)
+  let decode payload read =
+    match
+      let r = Persist.Reader.of_string payload in
+      let v = read r in
+      Persist.Reader.expect_end r;
+      v
+    with
+    | v -> v
+    | exception Persist.Reader.Corrupt m ->
+        invalid_arg ("Hypervisor snapshot: " ^ m)
+
+  let unframe ~name blob read = decode (validate ~name blob) read
+
+  (* Shared control-structure codecs: the packed blob formats carry the
+     field values; revision id and launch state (VMCS only) ride
+     alongside.  Value-exact in both directions because the stores keep
+     every field truncated to its declared width. *)
+  let write_vmcs w (v : Nf_vmcs.Vmcs.t) =
+    Persist.Writer.int w v.Nf_vmcs.Vmcs.revision_id;
+    Persist.Writer.bool w (v.Nf_vmcs.Vmcs.launch_state = Nf_vmcs.Vmcs.Launched);
+    Persist.Writer.bytes w (Nf_vmcs.Vmcs.to_blob v)
+
+  let read_vmcs r =
+    let revision_id = Persist.Reader.int r in
+    let launched = Persist.Reader.bool r in
+    let v = Nf_vmcs.Vmcs.of_blob (Persist.Reader.bytes r) in
+    v.Nf_vmcs.Vmcs.revision_id <- revision_id;
+    v.Nf_vmcs.Vmcs.launch_state <-
+      (if launched then Nf_vmcs.Vmcs.Launched else Nf_vmcs.Vmcs.Clear);
+    v
+
+  let write_vmcb w (v : Nf_vmcb.Vmcb.t) =
+    Persist.Writer.bytes w (Nf_vmcb.Vmcb.to_blob v)
+
+  let read_vmcb r = Nf_vmcb.Vmcb.of_blob (Persist.Reader.bytes r)
+end
+
 module type S = sig
   type t
 
@@ -58,6 +141,28 @@ module type S = sig
   (** Watchdog restart after a host crash: reboot the hypervisor,
       dropping all nested state but keeping the same configuration. *)
   val reset : t -> unit
+
+  (** [snapshot t] serialises the instance's complete mutable state —
+      nested-virtualization registers, VMCS/VMCB regions (via the packed
+      blob codecs), coverage counters — into one flat, framed byte-blob
+      ({!Snapshot}).  The configuration (features, capability envelopes)
+      is *not* captured: a snapshot may only be restored into an
+      instance created with the same configuration. *)
+  val snapshot : t -> Bytes.t
+
+  (** [restore t blob] overwrites [t]'s mutable state from a {!snapshot}
+      blob taken from an instance of the same adapter and configuration.
+      Afterwards [t] is behaviourally indistinguishable from the
+      snapshotted instance at capture time — this is the persistent-mode
+      contract the engine's boot cache relies on.
+      @raise Invalid_argument on a corrupt frame or an adapter
+      mismatch. *)
+  val restore : t -> Bytes.t -> unit
+
+  (** Retarget the instance's sanitizer sink: subsequent executions
+      report into [san].  Persistent-mode executions reuse one booted
+      instance but want a fresh sanitizer per run. *)
+  val set_sanitizer : t -> Nf_sanitizer.Sanitizer.t -> unit
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -69,3 +174,8 @@ let packed_in_l2 (Packed ((module H), vm)) = H.in_l2 vm
 let packed_coverage (Packed ((module H), vm)) = H.coverage vm
 let packed_reset (Packed ((module H), vm)) = H.reset vm
 let packed_arch (Packed ((module H), _)) = H.arch
+let packed_snapshot (Packed ((module H), vm)) = H.snapshot vm
+let packed_restore (Packed ((module H), vm)) blob = H.restore vm blob
+
+let packed_set_sanitizer (Packed ((module H), vm)) san =
+  H.set_sanitizer vm san

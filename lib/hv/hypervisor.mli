@@ -18,6 +18,57 @@ type step_result =
 
 val step_name : step_result -> string
 
+(** Persistent-mode snapshot framing shared by every adapter: a common
+    magic and format version plus an adapter-name guard, so a snapshot
+    blob can never be restored into a different hypervisor model.  The
+    payload layout is adapter-specific. *)
+module Snapshot : sig
+  (** Frame magic ("NECOFUZZ-HVSN"). *)
+  val magic : string
+
+  (** Current snapshot format version. *)
+  val version : int
+
+  (** [frame ~name write] builds a framed snapshot blob: [name] (the
+      adapter's guard string) followed by whatever [write] serialises,
+      checksummed per {!Nf_persist.Persist.frame}. *)
+  val frame :
+    name:string -> (Nf_persist.Persist.Writer.t -> unit) -> Bytes.t
+
+  (** [unframe ~name blob read] validates the frame and the adapter
+      guard, then decodes the payload with [read] (which must consume it
+      fully).
+      @raise Invalid_argument on a corrupt frame, a version or checksum
+      mismatch, or a snapshot taken by a different adapter. *)
+  val unframe :
+    name:string -> Bytes.t -> (Nf_persist.Persist.Reader.t -> 'a) -> 'a
+
+  (** [validate ~name blob] checks the frame (magic, version, length,
+      CRC32) and the adapter guard once and returns the remaining
+      payload.  Adapters memoize the result per blob (physical
+      equality), so the per-execution restore path skips revalidation —
+      which is why a snapshot blob must never be mutated after it is
+      first restored.
+      @raise Invalid_argument on any frame or guard failure. *)
+  val validate : name:string -> Bytes.t -> string
+
+  (** [decode payload read] decodes a {!validate}d payload with [read],
+      requiring full consumption.
+      @raise Invalid_argument on a malformed payload. *)
+  val decode : string -> (Nf_persist.Persist.Reader.t -> 'a) -> 'a
+
+  (** Value-exact VMCS codec for snapshot payloads: the packed field
+      blob plus revision id and launch state. *)
+  val write_vmcs : Nf_persist.Persist.Writer.t -> Nf_vmcs.Vmcs.t -> unit
+
+  val read_vmcs : Nf_persist.Persist.Reader.t -> Nf_vmcs.Vmcs.t
+
+  (** Value-exact VMCB codec for snapshot payloads. *)
+  val write_vmcb : Nf_persist.Persist.Writer.t -> Nf_vmcb.Vmcb.t -> unit
+
+  val read_vmcb : Nf_persist.Persist.Reader.t -> Nf_vmcb.Vmcb.t
+end
+
 module type S = sig
   type t
 
@@ -46,6 +97,26 @@ module type S = sig
   (** Watchdog restart: reboot the hypervisor, dropping nested state but
       keeping the configuration. *)
   val reset : t -> unit
+
+  (** [snapshot t] serialises the instance's complete mutable state —
+      nested-virtualization registers, VMCS/VMCB regions (via the packed
+      blob codecs), coverage counters — into one flat, framed byte-blob
+      ({!Snapshot}).  Configuration (features, capability envelopes) is
+      *not* captured: restore only into an instance created with the
+      same configuration. *)
+  val snapshot : t -> Bytes.t
+
+  (** [restore t blob] overwrites [t]'s mutable state from a {!snapshot}
+      blob of the same adapter and configuration; afterwards [t] is
+      behaviourally indistinguishable from the snapshotted instance at
+      capture time (the persistent-mode contract).
+      @raise Invalid_argument on a corrupt frame or adapter mismatch. *)
+  val restore : t -> Bytes.t -> unit
+
+  (** Retarget the instance's sanitizer sink: subsequent executions
+      report into the given sanitizer.  Persistent-mode executions reuse
+      one booted instance with a fresh sanitizer per run. *)
+  val set_sanitizer : t -> Nf_sanitizer.Sanitizer.t -> unit
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -57,3 +128,12 @@ val packed_in_l2 : packed -> bool
 val packed_coverage : packed -> Nf_coverage.Coverage.Map.t option
 val packed_reset : packed -> unit
 val packed_arch : packed -> Nf_cpu.Cpu_model.vendor
+
+(** {!S.snapshot} through the existential wrapper. *)
+val packed_snapshot : packed -> Bytes.t
+
+(** {!S.restore} through the existential wrapper. *)
+val packed_restore : packed -> Bytes.t -> unit
+
+(** {!S.set_sanitizer} through the existential wrapper. *)
+val packed_set_sanitizer : packed -> Nf_sanitizer.Sanitizer.t -> unit

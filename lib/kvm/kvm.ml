@@ -13,6 +13,9 @@ module Intel = struct
   let exec_l2 = Vmx_nested.exec_l2
   let in_l2 t = t.Vmx_nested.in_l2
   let reset = Vmx_nested.reset
+  let snapshot = Vmx_nested.snapshot
+  let restore = Vmx_nested.restore
+  let set_sanitizer = Vmx_nested.set_sanitizer
 end
 
 module Amd = struct
@@ -27,6 +30,9 @@ module Amd = struct
   let exec_l2 = Svm_nested.exec_l2
   let in_l2 t = t.Svm_nested.in_l2
   let reset = Svm_nested.reset
+  let snapshot = Svm_nested.snapshot
+  let restore = Svm_nested.restore
+  let set_sanitizer = Svm_nested.set_sanitizer
 end
 
 let pack_intel ~features ~sanitizer : Nf_hv.Hypervisor.packed =

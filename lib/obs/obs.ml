@@ -387,6 +387,43 @@ module Sink = struct
           close = (fun () -> List.iter close sinks);
           closed = false;
         }
+
+  (* Batched delivery: events accumulate in memory and reach [inner] in
+     emission order [cap] at a time, so a file sink pays its I/O (and
+     [soak] handler) once per batch boundary instead of once per event.
+     Wrapping [null] returns [null] so emitters keep the [is_null]
+     fast path. *)
+  let buffered ?(cap = 256) inner =
+    if cap <= 0 then invalid_arg "Obs.Sink.buffered: cap must be positive";
+    if is_null inner then (null, ignore)
+    else begin
+      let buf = ref [] and n = ref 0 in
+      let flush () =
+        if !n > 0 then begin
+          let pending = List.rev !buf in
+          buf := [];
+          n := 0;
+          List.iter
+            (fun (ts_us, worker, ev) -> emit inner ~ts_us ~worker ev)
+            pending
+        end
+      in
+      let sink =
+        {
+          emit =
+            (fun ~ts_us ~worker ev ->
+              buf := (ts_us, worker, ev) :: !buf;
+              incr n;
+              if !n >= cap then flush ());
+          close =
+            (fun () ->
+              flush ();
+              close inner);
+          closed = false;
+        }
+      in
+      (sink, flush)
+    end
 end
 
 module Metrics = struct

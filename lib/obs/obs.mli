@@ -165,6 +165,18 @@ module Sink : sig
 
   (** Fan out to several sinks. *)
   val tee : t list -> t
+
+  (** [buffered ?cap inner] batches delivery: events accumulate in
+      memory and are forwarded to [inner] in emission order whenever
+      [cap] (default 256) are pending, on the returned flush function,
+      and on {!close} (which then closes [inner]).  Everything [inner]
+      eventually sees is byte-identical to unbuffered delivery — only
+      the timing of the forwarding changes, which is what lets batched
+      execution amortize per-event sink I/O.  Wrapping {!null} returns
+      [null] (and a no-op flush) so emitters keep the {!is_null} fast
+      path.
+      @raise Invalid_argument if [cap <= 0]. *)
+  val buffered : ?cap:int -> t -> t * (unit -> unit)
 end
 
 module Metrics : sig

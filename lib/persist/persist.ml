@@ -4,30 +4,30 @@
 (* CRC32 (IEEE 802.3), table-driven                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* The accumulator and table live in native [int]s (the polynomial fits
+   32 bits, well within OCaml's 63): [Int32] arithmetic boxes every
+   intermediate, which made checksumming the single hottest part of
+   framing — snapshot restores, checkpoints and fleet frames all pay it
+   per blob.  Only the final result converts to [int32]. *)
 let crc_table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor (Int32.shift_right_logical !c 1) 0xEDB88320l
-             else Int32.shift_right_logical !c 1
+           c := if !c land 1 <> 0 then (!c lsr 1) lxor 0xEDB88320 else !c lsr 1
          done;
          !c))
 
 let crc32 s =
   let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int
-          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+  let c = ref 0xFFFFFFFF in
+  for i = 0 to String.length s - 1 do
+    c :=
+      Array.unsafe_get table
+        ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
 
 (* ------------------------------------------------------------------ *)
 (* Payload codec                                                        *)

@@ -89,11 +89,32 @@ let reflect_probes, l0_probes =
     l0_handled_codes;
   (reflect, l0)
 
+(* Decoded snapshot template: [restore] parses a blob once, then every
+   later restore of the same blob blits from this immutable template
+   (scalar assigns, [Array]/[Vmcb] copies) — the persistent-mode hot
+   path never re-touches the codec. *)
+type snap_current12 = Snap_none | Snap_aliased of int64 | Snap_inline of Vmcb.t
+
+type snap_state = {
+  ss_l1_efer : int64;
+  ss_gif : bool;
+  ss_regions : (int64 * Vmcb.t) list;
+  ss_current_vmcb12 : snap_current12;
+  ss_in_l2 : bool;
+  ss_vmcb02 : Vmcb.t;
+  ss_prev_l2_long_mode : bool;
+  ss_dead : bool;
+  ss_hits : int array;
+}
+
 type t = {
   features : Nf_cpu.Features.t;
   caps_l1 : Nf_cpu.Svm_caps.t;
   caps_l0 : Nf_cpu.Svm_caps.t;
-  san : San.t;
+  mutable san : San.t;
+  (* Validated-payload memo for [restore]: the engine restores the same
+     snapshot blob thousands of times, so the frame check runs once. *)
+  mutable snap_memo : (Bytes.t * snap_state) option;
   cov : Cov.Map.t;
   mutable l1_efer : int64;
   mutable gif : bool;
@@ -109,6 +130,11 @@ type t = {
 
 let hit t p = Cov.Map.hit t.cov p
 
+(* Shared read-only VMCB02 base: a pure function of the module-constant
+   host envelope, built once eagerly (OCaml 5 [Lazy] is not
+   Domain-safe); the VMCB02 construction only ever copies it. *)
+let shared_golden02 = Nf_validator.Golden.vmcb Nf_cpu.Svm_caps.zen3
+
 let create ~features ~sanitizer =
   let features = Nf_cpu.Features.normalize features in
   let caps_l0 = Nf_cpu.Svm_caps.zen3 in
@@ -118,6 +144,7 @@ let create ~features ~sanitizer =
       caps_l1 = Nf_cpu.Svm_caps.apply_features caps_l0 features;
       caps_l0;
       san = sanitizer;
+      snap_memo = None;
       cov = Cov.Map.create region;
       l1_efer = 0L;
       gif = true;
@@ -127,7 +154,7 @@ let create ~features ~sanitizer =
       vmcb02 = Vmcb.create ();
       prev_l2_long_mode = false;
       dead = false;
-      golden02 = Nf_validator.Golden.vmcb caps_l0;
+      golden02 = shared_golden02;
     }
   in
   hit t P.init_paths;
@@ -144,6 +171,126 @@ let reset t =
   t.dead <- false
 
 let svme t = Nf_stdext.Bits.is_set t.l1_efer Nf_x86.Efer.svme
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-mode snapshot (the engine's boot cache)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Snap = Nf_hv.Hypervisor.Snapshot
+module Persist = Nf_persist.Persist
+
+(* Regions serialise in address order: the table is only ever probed by
+   address (never iterated), so a canonical order makes equal states
+   produce equal snapshot bytes. *)
+let sorted_vmcb_regions t =
+  Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) t.vmcb_regions []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+(* [current_vmcb12] usually aliases an entry of [vmcb_regions]; restore
+   must rebuild that sharing, so an aliased control block serialises as
+   its owning address and only a detached one is carried inline. *)
+let write_current_vmcb12 w t =
+  match t.current_vmcb12 with
+  | None -> Persist.Writer.u8 w 0
+  | Some v -> (
+      match
+        Hashtbl.fold
+          (fun addr u acc -> if u == v then Some addr else acc)
+          t.vmcb_regions None
+      with
+      | Some addr ->
+          Persist.Writer.u8 w 1;
+          Persist.Writer.i64 w addr
+      | None ->
+          Persist.Writer.u8 w 2;
+          Snap.write_vmcb w v)
+
+let snapshot_tag = "xen-svm"
+
+let snapshot t =
+  Snap.frame ~name:snapshot_tag (fun w ->
+      Persist.Writer.i64 w t.l1_efer;
+      Persist.Writer.bool w t.gif;
+      Persist.Writer.list w
+        (fun w (addr, v) ->
+          Persist.Writer.i64 w addr;
+          Snap.write_vmcb w v)
+        (sorted_vmcb_regions t);
+      write_current_vmcb12 w t;
+      Persist.Writer.bool w t.in_l2;
+      Snap.write_vmcb w t.vmcb02;
+      Persist.Writer.bool w t.prev_l2_long_mode;
+      Persist.Writer.bool w t.dead;
+      Persist.Writer.int_array w (Cov.Map.raw_hits t.cov))
+
+let decode_snapshot payload =
+  Snap.decode payload (fun r ->
+      let ss_l1_efer = Persist.Reader.i64 r in
+      let ss_gif = Persist.Reader.bool r in
+      let ss_regions =
+        Persist.Reader.list r (fun r ->
+            let addr = Persist.Reader.i64 r in
+            (addr, Snap.read_vmcb r))
+      in
+      let ss_current_vmcb12 =
+        match Persist.Reader.u8 r with
+        | 0 -> Snap_none
+        | 1 -> Snap_aliased (Persist.Reader.i64 r)
+        | 2 -> Snap_inline (Snap.read_vmcb r)
+        | n ->
+            raise
+              (Persist.Reader.Corrupt
+                 (Printf.sprintf "current VMCB12 tag %d" n))
+      in
+      let ss_in_l2 = Persist.Reader.bool r in
+      let ss_vmcb02 = Snap.read_vmcb r in
+      let ss_prev_l2_long_mode = Persist.Reader.bool r in
+      let ss_dead = Persist.Reader.bool r in
+      let ss_hits = Persist.Reader.int_array r in
+      {
+        ss_l1_efer;
+        ss_gif;
+        ss_regions;
+        ss_current_vmcb12;
+        ss_in_l2;
+        ss_vmcb02;
+        ss_prev_l2_long_mode;
+        ss_dead;
+        ss_hits;
+      })
+
+let restore t blob =
+  let ss =
+    match t.snap_memo with
+    | Some (b, ss) when b == blob -> ss
+    | _ ->
+        let ss = decode_snapshot (Snap.validate ~name:snapshot_tag blob) in
+        t.snap_memo <- Some (blob, ss);
+        ss
+  in
+  t.l1_efer <- ss.ss_l1_efer;
+  t.gif <- ss.ss_gif;
+  Hashtbl.reset t.vmcb_regions;
+  List.iter
+    (fun (addr, v) -> Hashtbl.replace t.vmcb_regions addr (Vmcb.copy v))
+    ss.ss_regions;
+  (t.current_vmcb12 <-
+     (match ss.ss_current_vmcb12 with
+     | Snap_none -> None
+     | Snap_aliased addr -> (
+         match Hashtbl.find_opt t.vmcb_regions addr with
+         | Some v -> Some v
+         | None ->
+             invalid_arg
+               "Hypervisor snapshot: current VMCB12 address not in regions")
+     | Snap_inline v -> Some (Vmcb.copy v)));
+  t.in_l2 <- ss.ss_in_l2;
+  t.vmcb02 <- Vmcb.copy ss.ss_vmcb02;
+  t.prev_l2_long_mode <- ss.ss_prev_l2_long_mode;
+  t.dead <- ss.ss_dead;
+  Cov.Map.load_hits t.cov ss.ss_hits
+
+let set_sanitizer t san = t.san <- san
 
 open Nf_hv.Hypervisor
 

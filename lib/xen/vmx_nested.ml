@@ -96,11 +96,32 @@ let reflect_probes, l0_probes =
     l0_handled_reasons;
   (reflect, l0)
 
+(* Decoded snapshot template: [restore] parses a blob once, then every
+   later restore of the same blob blits from this immutable template
+   (scalar assigns, [Array]/[Vmcs] copies) — the persistent-mode hot
+   path never re-touches the codec. *)
+type snap_state = {
+  ss_l1_cr4 : int64;
+  ss_vmxon : bool;
+  ss_vmxon_ptr : int64;
+  ss_current_vmptr : int64;
+  ss_regions : (int64 * Vmcs.t) list;
+  ss_msr_load_area : (int * int64) array;
+  ss_in_l2 : bool;
+  ss_vmcs02 : Vmcs.t;
+  ss_dead : bool;
+  ss_host_down : bool;
+  ss_hits : int array;
+}
+
 type t = {
   features : Nf_cpu.Features.t;
   caps_l1 : Nf_cpu.Vmx_caps.t;
   caps_l0 : Nf_cpu.Vmx_caps.t;
-  san : San.t;
+  mutable san : San.t;
+  (* Validated-payload memo for [restore]: the engine restores the same
+     snapshot blob thousands of times, so the frame check runs once. *)
+  mutable snap_memo : (Bytes.t * snap_state) option;
   cov : Cov.Map.t;
   mutable l1_cr4 : int64;
   mutable vmxon : bool;
@@ -117,6 +138,11 @@ type t = {
 
 let hit t p = Cov.Map.hit t.cov p
 
+(* Shared read-only VMCS02 base: a pure function of the module-constant
+   host envelope, built once eagerly (OCaml 5 [Lazy] is not
+   Domain-safe); [prepare_vmcs02] only ever copies it. *)
+let shared_golden02 = Nf_validator.Golden.vmcs Nf_cpu.Vmx_caps.alder_lake
+
 let create ~features ~sanitizer =
   let features = Nf_cpu.Features.normalize features in
   let caps_l0 = Nf_cpu.Vmx_caps.alder_lake in
@@ -126,6 +152,7 @@ let create ~features ~sanitizer =
       caps_l1 = Nf_cpu.Vmx_caps.apply_features caps_l0 features;
       caps_l0;
       san = sanitizer;
+      snap_memo = None;
       cov = Cov.Map.create region;
       l1_cr4 = 0L;
       vmxon = false;
@@ -137,7 +164,7 @@ let create ~features ~sanitizer =
       vmcs02 = Vmcs.create ();
       dead = false;
       host_down = false;
-      golden02 = Nf_validator.Golden.vmcs caps_l0;
+      golden02 = shared_golden02;
     }
   in
   hit t P.init_paths;
@@ -160,6 +187,106 @@ let current_vmcs12 t =
   else Hashtbl.find_opt t.vmcs_regions t.current_vmptr
 
 let good_addr a = Nf_stdext.Bits.is_aligned a 12 && a >= 0L && a < guest_mem_limit
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-mode snapshot (the engine's boot cache)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Snap = Nf_hv.Hypervisor.Snapshot
+module Persist = Nf_persist.Persist
+
+(* Regions serialise in address order: the table is only ever probed by
+   address (never iterated), so a canonical order makes equal states
+   produce equal snapshot bytes. *)
+let sorted_vmcs_regions t =
+  Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) t.vmcs_regions []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let snapshot_tag = "xen-vmx"
+
+let snapshot t =
+  Snap.frame ~name:snapshot_tag (fun w ->
+      Persist.Writer.i64 w t.l1_cr4;
+      Persist.Writer.bool w t.vmxon;
+      Persist.Writer.i64 w t.vmxon_ptr;
+      Persist.Writer.i64 w t.current_vmptr;
+      Persist.Writer.list w
+        (fun w (addr, v) ->
+          Persist.Writer.i64 w addr;
+          Snap.write_vmcs w v)
+        (sorted_vmcs_regions t);
+      Persist.Writer.list w
+        (fun w (idx, v) ->
+          Persist.Writer.int w idx;
+          Persist.Writer.i64 w v)
+        (Array.to_list t.msr_load_area);
+      Persist.Writer.bool w t.in_l2;
+      Snap.write_vmcs w t.vmcs02;
+      Persist.Writer.bool w t.dead;
+      Persist.Writer.bool w t.host_down;
+      Persist.Writer.int_array w (Cov.Map.raw_hits t.cov))
+
+let decode_snapshot payload =
+  Snap.decode payload (fun r ->
+      let ss_l1_cr4 = Persist.Reader.i64 r in
+      let ss_vmxon = Persist.Reader.bool r in
+      let ss_vmxon_ptr = Persist.Reader.i64 r in
+      let ss_current_vmptr = Persist.Reader.i64 r in
+      let ss_regions =
+        Persist.Reader.list r (fun r ->
+            let addr = Persist.Reader.i64 r in
+            (addr, Snap.read_vmcs r))
+      in
+      let ss_msr_load_area =
+        Array.of_list
+          (Persist.Reader.list r (fun r ->
+               let idx = Persist.Reader.int r in
+               (idx, Persist.Reader.i64 r)))
+      in
+      let ss_in_l2 = Persist.Reader.bool r in
+      let ss_vmcs02 = Snap.read_vmcs r in
+      let ss_dead = Persist.Reader.bool r in
+      let ss_host_down = Persist.Reader.bool r in
+      let ss_hits = Persist.Reader.int_array r in
+      {
+        ss_l1_cr4;
+        ss_vmxon;
+        ss_vmxon_ptr;
+        ss_current_vmptr;
+        ss_regions;
+        ss_msr_load_area;
+        ss_in_l2;
+        ss_vmcs02;
+        ss_dead;
+        ss_host_down;
+        ss_hits;
+      })
+
+let restore t blob =
+  let ss =
+    match t.snap_memo with
+    | Some (b, ss) when b == blob -> ss
+    | _ ->
+        let ss = decode_snapshot (Snap.validate ~name:snapshot_tag blob) in
+        t.snap_memo <- Some (blob, ss);
+        ss
+  in
+  t.l1_cr4 <- ss.ss_l1_cr4;
+  t.vmxon <- ss.ss_vmxon;
+  t.vmxon_ptr <- ss.ss_vmxon_ptr;
+  t.current_vmptr <- ss.ss_current_vmptr;
+  Hashtbl.reset t.vmcs_regions;
+  List.iter
+    (fun (addr, v) -> Hashtbl.replace t.vmcs_regions addr (Vmcs.copy v))
+    ss.ss_regions;
+  t.msr_load_area <- Array.copy ss.ss_msr_load_area;
+  t.in_l2 <- ss.ss_in_l2;
+  t.vmcs02 <- Vmcs.copy ss.ss_vmcs02;
+  t.dead <- ss.ss_dead;
+  t.host_down <- ss.ss_host_down;
+  Cov.Map.load_hits t.cov ss.ss_hits
+
+let set_sanitizer t san = t.san <- san
 
 open Nf_hv.Hypervisor
 

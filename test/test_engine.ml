@@ -207,6 +207,123 @@ let test_target_of_string () =
             (contains ~sub:"kvm-intel" msg))
     [ ""; "kvm"; "qemu"; "kvm intel"; "kvm--intel" ]
 
+(* --- persistent-mode batched stepping: bit-identity --- *)
+
+(* Fingerprint of the full metrics registry, canonical order. *)
+let metrics_fingerprint m =
+  List.map
+    (fun (name, v) ->
+      ( name,
+        match (v : Nf_obs.Obs.Metrics.value) with
+        | Counter n -> Printf.sprintf "c%d" n
+        | Gauge g -> Printf.sprintf "g%.17g" g
+        | Histogram { counts; n; sum; _ } ->
+            Printf.sprintf "h%d:%Ld:%s" n sum
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int counts))) ))
+    (Nf_obs.Obs.Metrics.to_list m)
+
+let event_fingerprint (ts_us, worker, ev) =
+  Printf.sprintf "%Ld/%d/%s" ts_us worker
+    (Nf_stdext.Json.to_string (Nf_obs.Obs.Event.to_json ~ts_us ~worker ev))
+
+(* [step_batch ~n] must leave the engine in exactly the state [n]
+   successive [step] calls would: same checkpoint bytes, same metrics
+   registry, same trace-event stream, same final result — across corpus
+   schedulers, fault injection and differential mode. *)
+let batch_equals_steps ~kind ~faults ~differential ~seed ~batch =
+  let corpus = { Nf_corpus.Corpus.kind; dir = None } in
+  let cfg =
+    {
+      (Engine.default_cfg Engine.Kvm_intel) with
+      seed;
+      duration_hours = 0.12;
+      faults;
+    }
+  in
+  let make () =
+    let e = Engine.create ~differential ~corpus cfg in
+    let sink, events = Nf_obs.Obs.Sink.memory () in
+    Engine.set_sink e sink;
+    (e, events)
+  in
+  let a, events_a = make () in
+  let b, events_b = make () in
+  let rec drive_steps () =
+    match Engine.step a with
+    | Engine.Stepped _ -> drive_steps ()
+    | Engine.Deadline -> ()
+  in
+  drive_steps ();
+  let rec drive_batches () =
+    let o = Engine.step_batch b ~n:batch in
+    if not o.Engine.hit_deadline then drive_batches ()
+  in
+  drive_batches ();
+  let label =
+    Printf.sprintf "batch %d, %s corpus%s%s" batch
+      (match kind with
+      | Nf_corpus.Corpus.Queue -> "queue"
+      | Markov -> "markov"
+      | Mab -> "mab"
+      | Durable -> "durable")
+      (if faults <> None then ", faults" else "")
+      (if differential then ", differential" else "")
+  in
+  check Alcotest.bool (label ^ ": checkpoint bytes") true
+    (String.equal (Engine.to_string a) (Engine.to_string b));
+  check
+    Alcotest.(list (pair string string))
+    (label ^ ": metrics registry")
+    (metrics_fingerprint (Engine.metrics a))
+    (metrics_fingerprint (Engine.metrics b));
+  check
+    Alcotest.(list string)
+    (label ^ ": trace-event stream")
+    (List.map event_fingerprint (events_a ()))
+    (List.map event_fingerprint (events_b ()));
+  check_results_equal label (Engine.finish a) (Engine.finish b)
+
+let batch_identity_qcheck =
+  QCheck.Test.make ~count:6
+    ~name:"engine: step_batch ~n bit-identical to n steps"
+    QCheck.(
+      quad (int_range 1 1000) (int_range 1 64) (int_range 0 2)
+        (pair bool bool))
+    (fun (seed, batch, kind_ix, (with_faults, differential)) ->
+      let kind =
+        match kind_ix with
+        | 0 -> Nf_corpus.Corpus.Queue
+        | 1 -> Nf_corpus.Corpus.Markov
+        | _ -> Nf_corpus.Corpus.Mab
+      in
+      let faults =
+        if with_faults then
+          Some { Engine.fault_rate = 0.02; fault_seed = seed }
+        else None
+      in
+      batch_equals_steps ~kind ~faults ~differential ~seed ~batch;
+      true)
+
+let test_step_batch_edge_cases () =
+  let t = Engine.create (short_cfg ~hours:0.05 Engine.Kvm_intel) in
+  let o = Engine.step_batch t ~n:0 in
+  check Alcotest.int "n:0 performs nothing" 0 o.Engine.steps;
+  check Alcotest.bool "n:0 no deadline" false o.Engine.hit_deadline;
+  (match Engine.step_batch t ~n:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative batch accepted");
+  (* Drain the campaign; at the deadline the batch reports it. *)
+  let rec drain () =
+    let o = Engine.step_batch t ~n:100 in
+    if not o.Engine.hit_deadline then drain ()
+  in
+  drain ();
+  let o = Engine.step_batch t ~n:5 in
+  check Alcotest.int "post-deadline batch performs nothing" 0 o.Engine.steps;
+  check Alcotest.bool "post-deadline batch reports deadline" true
+    o.Engine.hit_deadline
+
 let tests =
   [
     ("step-wise engine equals sequential run", `Quick, test_step_equals_run);
@@ -220,4 +337,6 @@ let tests =
     ("sync propagates corpus entries", `Quick, test_parallel_sync_imports);
     ("cross-worker crash dedup", `Quick, test_parallel_crash_dedup);
     ("target_of_string case-insensitive", `Quick, test_target_of_string);
+    ("step_batch edge cases", `Quick, test_step_batch_edge_cases);
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ batch_identity_qcheck ]

@@ -40,14 +40,14 @@ let scaps_l1 = Nf_cpu.Svm_caps.apply_features Nf_cpu.Svm_caps.zen3 features
 
 let vmx_boot exec_l1 vmcs12 =
   let ops = Nf_harness.Executor.vmx_init_template ~vmcs12 ~msr_area:[||] in
-  List.fold_left
+  Array.fold_left
     (fun entered op ->
       match exec_l1 op with Hv.L2_entered -> true | _ -> entered)
     false ops
 
 let svm_boot exec_l1 vmcb12 =
   let ops = Nf_harness.Executor.svm_init_template ~vmcb12 in
-  List.fold_left
+  Array.fold_left
     (fun entered op ->
       match exec_l1 op with Hv.L2_entered -> true | _ -> entered)
     false ops
@@ -127,7 +127,7 @@ let test_guest_state_failure_reflected () =
   let w = (Nf_validator.Witness.find_vmx "guest.rflags").build caps_l1 in
   let saw_entry_failure = ref false in
   let ops = Nf_harness.Executor.vmx_init_template ~vmcs12:w ~msr_area:[||] in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_kvm.Vmx_nested.exec_l1 kvm op with
       | Hv.L2_exit_to_l1 r
@@ -168,7 +168,7 @@ let test_exit_syncs_vmcs12 () =
 let test_msr_load_fail_reflected () =
   let kvm, _ = kvm_intel () in
   let saw = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_kvm.Vmx_nested.exec_l1 kvm op with
       | Hv.L2_exit_to_l1 r
@@ -221,7 +221,7 @@ let test_invalid_eptp_triple_fault () =
   Vmcs.write vmcs12 Field.ept_pointer
     (Controls.Eptp.make ~ad:true ~pml4:0x10_0000_0000L ());
   let saw_triple = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_kvm.Vmx_nested.exec_l1 kvm op with
       | Hv.L2_exit_to_l1 r when r = Int64.of_int Nf_cpu.Exit_reason.triple_fault ->
@@ -237,7 +237,7 @@ let test_invalid_ncr3_shutdown () =
   let vmcb12 = Nf_validator.Golden.vmcb scaps_l1 in
   Nf_vmcb.Vmcb.write vmcb12 Nf_vmcb.Vmcb.n_cr3 0x10_0000_0000L;
   let saw = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_kvm.Svm_nested.exec_l1 kvm op with
       | Hv.L2_exit_to_l1 r when r = Nf_vmcb.Vmcb.Exit.shutdown -> saw := true
@@ -264,7 +264,7 @@ let test_xen_wait_for_sipi_hangs_host () =
   let vmcs12 = Nf_validator.Golden.vmcs caps_l1 in
   Vmcs.write vmcs12 Field.guest_activity_state Field.Activity.wait_for_sipi;
   let saw_down = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_xen.Vmx_nested.exec_l1 xen op with
       | Hv.Host_down _ -> saw_down := true
@@ -353,7 +353,7 @@ and test_xen_vgif_set_no_assertion () =
 and test_vbox_msr_load_gpf () =
   let vb, san = vbox () in
   let killed = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_vbox.Vbox.exec_l1 vb op with
       | Hv.Vm_killed _ -> killed := true
@@ -371,7 +371,7 @@ and test_vbox_msr_load_gpf () =
 and test_vbox_canonical_msr_ok () =
   let vb, san = vbox () in
   let entered = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_vbox.Vbox.exec_l1 vb op with
       | Hv.L2_entered -> entered := true
@@ -429,13 +429,123 @@ and test_svm_invalid_vmcb_reflects_invalid () =
   let kvm, _ = kvm_amd () in
   let w = (Nf_validator.Witness.find_svm "svm.cr4_reserved").svm_build scaps_l1 in
   let saw = ref false in
-  List.iter
+  Array.iter
     (fun op ->
       match Nf_kvm.Svm_nested.exec_l1 kvm op with
       | Hv.L2_exit_to_l1 code when code = Nf_vmcb.Vmcb.Exit.invalid -> saw := true
       | _ -> ())
     (Nf_harness.Executor.svm_init_template ~vmcb12:w);
   Alcotest.(check bool) "VMEXIT_INVALID reflected" true !saw
+
+(* --- persistent-mode snapshot/restore --- *)
+
+(* Round trip through the packed interface: snapshot a booted instance,
+   restore into a fresh one, and require (1) the restored instance
+   re-serialises to byte-identical state and (2) both behave identically
+   under further execution — the contract the engine's boot cache
+   relies on. *)
+let snapshot_roundtrip_packed name fresh boot drive =
+  let a = fresh () in
+  boot a;
+  let blob = Hv.packed_snapshot a in
+  let b = fresh () in
+  Hv.packed_restore b blob;
+  check Alcotest.bool (name ^ ": restored state re-serialises identically")
+    true
+    (Bytes.equal blob (Hv.packed_snapshot b));
+  let ra = drive a and rb = drive b in
+  check Alcotest.(list string) (name ^ ": identical behaviour after restore")
+    ra rb;
+  check Alcotest.bool (name ^ ": post-drive states identical") true
+    (Bytes.equal (Hv.packed_snapshot a) (Hv.packed_snapshot b));
+  (* Restoring again rewinds the divergent instance to capture time. *)
+  Hv.packed_restore a blob;
+  check Alcotest.bool (name ^ ": restore rewinds to capture time") true
+    (Bytes.equal blob (Hv.packed_snapshot a))
+
+let vmx_drive hv =
+  List.map
+    (fun op -> Hv.step_name (Hv.packed_exec_l1 hv op))
+    [ Nf_hv.L1_op.Vmptrst; Vmread Nf_vmcs.Field.(encoding exit_reason);
+      Vmwrite (Nf_vmcs.Field.(encoding guest_rip), 0x20_0000L);
+      Vmclear 0x1000L; Vmptrld 0x1000L; Vmlaunch ]
+  @ List.map
+      (fun insn -> Hv.step_name (Hv.packed_exec_l2 hv insn))
+      [ Nf_cpu.Insn.Cpuid 0; Nf_cpu.Insn.Hlt ]
+
+let svm_drive hv =
+  List.map
+    (fun op -> Hv.step_name (Hv.packed_exec_l1 hv op))
+    [ Nf_hv.L1_op.Vmsave; Vmload; Clgi; Stgi; Vmrun 0x1000L ]
+  @ List.map
+      (fun insn -> Hv.step_name (Hv.packed_exec_l2 hv insn))
+      [ Nf_cpu.Insn.Cpuid 0; Nf_cpu.Insn.Hlt ]
+
+let vmx_boot_packed hv =
+  Array.iter
+    (fun op -> ignore (Hv.packed_exec_l1 hv op))
+    (Nf_harness.Executor.vmx_init_template
+       ~vmcs12:(Nf_validator.Golden.vmcs caps_l1)
+       ~msr_area:[||])
+
+let svm_boot_packed hv =
+  Array.iter
+    (fun op -> ignore (Hv.packed_exec_l1 hv op))
+    (Nf_harness.Executor.svm_init_template
+       ~vmcb12:(Nf_validator.Golden.vmcb scaps_l1))
+
+let test_snapshot_roundtrips () =
+  let san () = San.create () in
+  snapshot_roundtrip_packed "kvm-vmx"
+    (fun () -> Nf_kvm.Kvm.pack_intel ~features ~sanitizer:(san ()))
+    vmx_boot_packed vmx_drive;
+  snapshot_roundtrip_packed "xen-vmx"
+    (fun () -> Nf_xen.Xen.pack_intel ~features ~sanitizer:(san ()))
+    vmx_boot_packed vmx_drive;
+  snapshot_roundtrip_packed "vbox-vmx"
+    (fun () -> Nf_vbox.Vbox.pack ~features ~sanitizer:(san ()))
+    vmx_boot_packed vmx_drive;
+  snapshot_roundtrip_packed "kvm-svm"
+    (fun () -> Nf_kvm.Kvm.pack_amd ~features ~sanitizer:(san ()))
+    svm_boot_packed svm_drive;
+  snapshot_roundtrip_packed "xen-svm"
+    (fun () -> Nf_xen.Xen.pack_amd ~features ~sanitizer:(san ()))
+    svm_boot_packed svm_drive
+
+let test_snapshot_pristine_restore_resets () =
+  (* The engine's actual usage: snapshot a pristine instance, dirty it,
+     restore, and require the pristine snapshot bytes back. *)
+  let kvm, _ = kvm_intel () in
+  let blob = Nf_kvm.Vmx_nested.snapshot kvm in
+  ignore
+    (vmx_boot (Nf_kvm.Vmx_nested.exec_l1 kvm) (Nf_validator.Golden.vmcs caps_l1));
+  check Alcotest.bool "dirtied state serialises differently" false
+    (Bytes.equal blob (Nf_kvm.Vmx_nested.snapshot kvm));
+  Nf_kvm.Vmx_nested.restore kvm blob;
+  check Alcotest.bool "restore returns to pristine bytes" true
+    (Bytes.equal blob (Nf_kvm.Vmx_nested.snapshot kvm))
+
+let test_snapshot_guards () =
+  let kvm, _ = kvm_intel () in
+  let blob = Nf_kvm.Vmx_nested.snapshot kvm in
+  (* Cross-adapter restore is refused by the name guard. *)
+  let xen, _ = xen_intel () in
+  (match Nf_xen.Vmx_nested.restore xen blob with
+  | () -> Alcotest.fail "cross-adapter restore accepted"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "guard names both adapters" true
+        (msg_contains "kvm-vmx" msg && msg_contains "xen-vmx" msg));
+  (* Corruption is refused by the frame checksum. *)
+  let dirty = Bytes.copy blob in
+  let i = Bytes.length dirty - 1 in
+  Bytes.set dirty i (Char.chr (Char.code (Bytes.get dirty i) lxor 0xFF));
+  (match Nf_kvm.Vmx_nested.restore kvm dirty with
+  | () -> Alcotest.fail "corrupt snapshot accepted"
+  | exception Invalid_argument _ -> ());
+  (* The sane blob still restores after the failed attempts. *)
+  Nf_kvm.Vmx_nested.restore kvm blob;
+  check Alcotest.bool "original blob still restores" true
+    (Bytes.equal blob (Nf_kvm.Vmx_nested.snapshot kvm))
 
 let tests =
   [
@@ -473,4 +583,7 @@ let tests =
     ("SVM without SVME #UD", `Quick, test_svm_no_svme_ud);
     ("SVM golden roundtrip", `Quick, test_svm_golden_roundtrip);
     ("SVM invalid VMCB reflects VMEXIT_INVALID", `Quick, test_svm_invalid_vmcb_reflects_invalid);
+    ("snapshot/restore round trip (all adapters)", `Quick, test_snapshot_roundtrips);
+    ("snapshot restore rewinds pristine state", `Quick, test_snapshot_pristine_restore_resets);
+    ("snapshot guards: adapter name and checksum", `Quick, test_snapshot_guards);
   ]

@@ -904,6 +904,44 @@ let test_parallel_serve_inert () =
     (Engine.result_digest plain.Engine.merged)
     (Engine.result_digest served.Engine.merged)
 
+(* --- buffered sink --- *)
+
+(* [Sink.buffered] must be transparent: the inner sink eventually sees
+   exactly the unbuffered stream, in order — flushing at the cap, on the
+   explicit flush, and on close. *)
+let test_buffered_sink_transparent () =
+  let direct, direct_events = Obs.Sink.memory () in
+  let inner, buffered_events = Obs.Sink.memory () in
+  let buffered, flush = Obs.Sink.buffered ~cap:4 inner in
+  let ev i = Obs.Event.Step_begin { exec = i } in
+  for i = 1 to 10 do
+    Obs.Sink.emit direct ~ts_us:(Int64.of_int i) ~worker:(i mod 3) (ev i);
+    Obs.Sink.emit buffered ~ts_us:(Int64.of_int i) ~worker:(i mod 3) (ev i)
+  done;
+  (* 10 emitted at cap 4: two full batches forwarded, two still held. *)
+  Alcotest.(check int) "cap batches forwarded" 8
+    (List.length (buffered_events ()));
+  flush ();
+  Alcotest.(check bool) "flush drains the tail, order intact" true
+    (direct_events () = buffered_events ());
+  Obs.Sink.emit buffered ~ts_us:11L (ev 11);
+  Obs.Sink.close buffered;
+  Alcotest.(check int) "close flushes the remainder" 11
+    (List.length (buffered_events ()));
+  Alcotest.(check bool) "flush is idempotent once empty" true
+    (let n = List.length (buffered_events ()) in
+     flush ();
+     List.length (buffered_events ()) = n)
+
+let test_buffered_sink_null_and_cap () =
+  let sink, flush = Obs.Sink.buffered Obs.Sink.null in
+  Alcotest.(check bool) "wrapping null returns null" true
+    (Obs.Sink.is_null sink);
+  flush ();
+  (match Obs.Sink.buffered ~cap:0 Obs.Sink.null with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cap 0 accepted")
+
 let tests =
   [
     ("metrics: counters, gauges, histograms", `Quick, test_metrics_basics);
@@ -924,6 +962,8 @@ let tests =
       test_parallel_one_worker_metrics_equal_sequential );
     ("parallel: supervisor events", `Quick, test_parallel_supervisor_events);
     ("fuzzer_stats/plot_data golden", `Quick, test_fuzzer_stats_schema);
+    ("buffered sink is transparent", `Quick, test_buffered_sink_transparent);
+    ("buffered sink null/cap edges", `Quick, test_buffered_sink_null_and_cap);
     ( "stats outputs deterministic",
       `Quick,
       test_stats_outputs_deterministic );

@@ -168,7 +168,7 @@ let test_async_reflects_to_l1 () =
   Nf_vmcs.Vmcs.set_bit vmcs12 Nf_vmcs.Field.pin_based_ctls
     Nf_vmcs.Controls.Pin.nmi_exiting true;
   let entered =
-    List.fold_left
+    Array.fold_left
       (fun e op ->
         match Nf_kvm.Vmx_nested.exec_l1 kvm op with
         | Nf_hv.Hypervisor.L2_entered -> true
